@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the embedding-model layer: forward/backward
+//! steps of the CTR, KGE and GNN models used by the end-to-end figures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlkv_embedding::kge::{DistMult, KgeModel};
+use mlkv_embedding::nn::{DeepCross, Mlp};
+use mlkv_embedding::{auc, GraphSage};
+
+fn bench_ctr_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctr_models");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let input: Vec<f32> = (0..132).map(|i| (i as f32 * 0.013).sin()).collect();
+    let mut mlp = Mlp::new(input.len(), &[64, 32], 1);
+    group.bench_function("ffnn_train_step", |b| {
+        b.iter(|| mlp.train_step(&input, 1.0, 0.01))
+    });
+    let mut dcn = DeepCross::new(input.len(), 2, &[64], 1);
+    group.bench_function("dcn_train_step", |b| {
+        b.iter(|| dcn.train_step(&input, 1.0, 0.01))
+    });
+    group.finish();
+}
+
+fn bench_kge_and_gnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kge_gnn_models");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let model = DistMult::new(128);
+    let h: Vec<f32> = (0..128).map(|i| (i as f32 * 0.1).cos()).collect();
+    group.bench_function("distmult_loss_and_grad_dim128", |b| {
+        b.iter(|| model.loss_and_grad(&h, &h, &h, 1.0))
+    });
+    let mut sage = GraphSage::new(64, 64, 8, 3);
+    let center = vec![0.1f32; 64];
+    let neighbors = vec![vec![0.2f32; 64]; 16];
+    group.bench_function("graphsage_train_step_16_neighbors", |b| {
+        b.iter(|| sage.train_step(&center, &neighbors, 3, 0.01))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality_metrics");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let scores: Vec<f32> = (0..10_000).map(|i| ((i * 37) % 1000) as f32 / 1000.0).collect();
+    let labels: Vec<f32> = (0..10_000).map(|i| (i % 2) as f32).collect();
+    group.bench_function("auc_10k", |b| b.iter(|| auc(&scores, &labels)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctr_models, bench_kge_and_gnn, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the storage engines' point operations — the
+//! primitive costs underlying Figures 7 and 10.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlkv::{open_store, BackendKind};
+use mlkv_storage::{KvStore, StoreConfig};
+
+fn engine(backend: BackendKind, budget: usize) -> Arc<dyn KvStore> {
+    open_store(
+        backend,
+        StoreConfig::in_memory()
+            .with_memory_budget(budget)
+            .with_page_size(4 << 10)
+            .with_index_buckets(1 << 14),
+    )
+    .unwrap()
+}
+
+fn bench_point_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_point_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let value = vec![7u8; 64];
+    for backend in [
+        BackendKind::Faster,
+        BackendKind::RocksDbLike,
+        BackendKind::WiredTigerLike,
+        BackendKind::InMemory,
+    ] {
+        let store = engine(backend, 8 << 20);
+        for k in 0..10_000u64 {
+            store.put(k, &value).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("get_hot", backend.name()), &store, |b, s| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 10_000;
+                s.get(k).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("put", backend.name()), &store, |b, s| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 10_000;
+                s.put(k, &value).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cold_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cold_reads");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let value = vec![7u8; 64];
+    for backend in [
+        BackendKind::Faster,
+        BackendKind::RocksDbLike,
+        BackendKind::WiredTigerLike,
+    ] {
+        // Tiny buffer: most reads must touch the simulated device.
+        let store = engine(backend, 256 << 10);
+        for k in 0..20_000u64 {
+            store.put(k, &value).unwrap();
+        }
+        store.flush().unwrap();
+        group.bench_with_input(BenchmarkId::new("get_cold", backend.name()), &store, |b, s| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919) % 20_000;
+                s.get(k).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops, bench_cold_reads);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark of one full DLRM training batch through each backend —
+//! the per-batch cost that aggregates into the Figure 7 throughput numbers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlkv::BackendKind;
+use mlkv_bench::open_table;
+use mlkv_trainer::{
+    DlrmModelKind, DlrmTrainer, DlrmTrainerConfig, PrefetchMode, TrainerOptions, UpdateMode,
+};
+use mlkv_workloads::criteo::CriteoConfig;
+
+fn bench_training_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlrm_training_batches");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    for backend in [
+        BackendKind::Mlkv,
+        BackendKind::Faster,
+        BackendKind::RocksDbLike,
+        BackendKind::WiredTigerLike,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("ten_batches", backend.name()),
+            &backend,
+            |b, &backend| {
+                b.iter_batched(
+                    || {
+                        let table = open_table("bench-train", backend, 2 << 20, 8, 10).unwrap();
+                        DlrmTrainer::new(
+                            table,
+                            DlrmTrainerConfig {
+                                model: DlrmModelKind::Ffnn,
+                                criteo: CriteoConfig::default(),
+                                hidden: vec![16],
+                                options: TrainerOptions {
+                                    batch_size: 32,
+                                    update_mode: UpdateMode::Synchronous,
+                                    prefetch: if backend.is_mlkv() {
+                                        PrefetchMode::LookAhead
+                                    } else {
+                                        PrefetchMode::None
+                                    },
+                                    eval_every_batches: 0,
+                                    eval_samples: 32,
+                                    ..TrainerOptions::default()
+                                },
+                            },
+                        )
+                    },
+                    |mut trainer| trainer.run(10).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_batch);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 10 — YCSB throughput of MLKV vs FASTER (50% reads / 50% writes),
+//! sweeping buffer size, thread count and value size under uniform and Zipfian
+//! request distributions. Quantifies the overhead of the record-word vector
+//! clock in isolation from any application code (paper §IV-E).
+
+use std::sync::Arc;
+
+use mlkv_bench::{buffer_label, header, open_faster_store, scale_from_args, StalenessWrappedStore};
+use mlkv_storage::KvStore;
+use mlkv_trainer::{run_ycsb, YcsbRunConfig};
+use mlkv_workloads::ycsb::{YcsbConfig, YcsbDistribution};
+
+fn run(
+    mlkv: bool,
+    buffer: usize,
+    threads: usize,
+    value_size: usize,
+    distribution: YcsbDistribution,
+    ops: usize,
+    records: u64,
+) -> f64 {
+    let inner = open_faster_store(buffer).unwrap();
+    let store: Arc<dyn KvStore> = if mlkv {
+        Arc::new(StalenessWrappedStore::new(inner, u32::MAX))
+    } else {
+        inner
+    };
+    let result = run_ycsb(
+        store,
+        &YcsbRunConfig {
+            workload: YcsbConfig {
+                record_count: records,
+                value_size,
+                read_fraction: 0.5,
+                distribution,
+                seed: 3,
+            },
+            threads,
+            ops_per_thread: ops,
+        },
+    )
+    .unwrap();
+    result.ops_per_sec
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let ops = (20_000.0 * scale) as usize;
+    let records = (50_000.0 * scale) as u64;
+
+    for distribution in [YcsbDistribution::Uniform, YcsbDistribution::Zipfian] {
+        let dist_name = match distribution {
+            YcsbDistribution::Uniform => "uniform",
+            YcsbDistribution::Zipfian => "zipfian",
+        };
+
+        header(&format!("Figure 10 (left, {dist_name}): throughput vs buffer size"));
+        println!("{:>8} {:>14} {:>14} {:>8}", "buffer", "MLKV ops/s", "FASTER ops/s", "ratio");
+        for buffer in [1 << 20, 2 << 20, 4 << 20, 8 << 20] {
+            let m = run(true, buffer, 2, 64, distribution, ops, records);
+            let f = run(false, buffer, 2, 64, distribution, ops, records);
+            println!("{:>8} {:>14.0} {:>14.0} {:>8.2}", buffer_label(buffer), m, f, m / f);
+        }
+
+        header(&format!("Figure 10 (middle, {dist_name}): throughput vs number of threads"));
+        println!("{:>8} {:>14} {:>14} {:>8}", "threads", "MLKV ops/s", "FASTER ops/s", "ratio");
+        for threads in [1usize, 2, 4, 8] {
+            let m = run(true, 4 << 20, threads, 64, distribution, ops / threads.max(1), records);
+            let f = run(false, 4 << 20, threads, 64, distribution, ops / threads.max(1), records);
+            println!("{threads:>8} {m:>14.0} {f:>14.0} {:>8.2}", m / f);
+        }
+
+        header(&format!("Figure 10 (right, {dist_name}): throughput vs value size"));
+        println!("{:>8} {:>14} {:>14} {:>8}", "bytes", "MLKV ops/s", "FASTER ops/s", "ratio");
+        for value_size in [16usize, 32, 64, 128, 256] {
+            let m = run(true, 4 << 20, 2, value_size, distribution, ops, records);
+            let f = run(false, 4 << 20, 2, value_size, distribution, ops, records);
+            println!("{value_size:>8} {m:>14.0} {f:>14.0} {:>8.2}", m / f);
+        }
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper): MLKV stays within ~10% of FASTER under uniform access and\n\
+         within ~20% under skewed access (vector-clock overhead concentrates on hot keys)."
+    );
+}

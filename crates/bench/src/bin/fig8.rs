@@ -1,0 +1,88 @@
+//! Figure 8 — Effect of bounded staleness consistency: model quality vs
+//! throughput as the staleness bound varies (buffer size fixed).
+
+use mlkv::BackendKind;
+use mlkv_bench::{default_compute, header, open_table, scale_from_args};
+use mlkv_trainer::{
+    DlrmModelKind, DlrmTrainer, DlrmTrainerConfig, KgeModelKind, KgeTrainer, KgeTrainerConfig,
+    PrefetchMode, TrainerOptions, UpdateMode,
+};
+use mlkv_workloads::criteo::CriteoConfig;
+use mlkv_workloads::kg::KgConfig;
+
+const BOUNDS: [u32; 6] = [0, 4, 10, 20, 40, 80];
+
+fn options(bound: u32) -> TrainerOptions {
+    TrainerOptions {
+        batch_size: 64,
+        simulated_compute: default_compute(),
+        eval_every_batches: 0,
+        eval_samples: 256,
+        prefetch: PrefetchMode::Conventional,
+        update_mode: if bound == 0 {
+            UpdateMode::Synchronous
+        } else {
+            UpdateMode::Asynchronous
+        },
+        ..TrainerOptions::default()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let batches = (100.0 * scale) as usize;
+    let buffer = 2 << 20;
+
+    header("Figure 8(a): DLRM on Criteo-Ad-like — AUC vs throughput across staleness bounds");
+    println!("{:>8} {:>14} {:>10}", "bound", "samples/s", "AUC%");
+    for bound in BOUNDS {
+        let table = open_table("fig8-dlrm", BackendKind::Mlkv, buffer, 8, bound).unwrap();
+        let mut trainer = DlrmTrainer::new(
+            table,
+            DlrmTrainerConfig {
+                model: DlrmModelKind::Ffnn,
+                criteo: CriteoConfig::criteo_ad(2e-4 * scale, 7),
+                hidden: vec![32, 16],
+                options: options(bound),
+            },
+        );
+        let report = trainer.run(batches).unwrap();
+        println!(
+            "{:>8} {:>14.0} {:>9.2}%",
+            bound,
+            report.throughput,
+            report.final_metric * 100.0
+        );
+    }
+
+    header("Figure 8(b): KGE on WikiKG2-like — Hits@10 vs throughput across staleness bounds");
+    println!("{:>8} {:>14} {:>10}", "bound", "samples/s", "Hits@10");
+    for bound in BOUNDS {
+        let table = open_table("fig8-kge", BackendKind::Mlkv, buffer, 16, bound).unwrap();
+        let mut trainer = KgeTrainer::new(
+            table,
+            KgeTrainerConfig {
+                model: KgeModelKind::DistMult,
+                kg: KgConfig::wikikg2(2e-3 * scale, 11),
+                negatives: 4,
+                beta_ordering: false,
+                num_partitions: 16,
+                options: TrainerOptions {
+                    learning_rate: 0.5,
+                    ..options(bound)
+                },
+            },
+        );
+        let report = trainer.run(batches).unwrap();
+        println!(
+            "{:>8} {:>14.0} {:>10.3}",
+            bound, report.throughput, report.final_metric
+        );
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper): relaxing the bound raises throughput (up to ~6.6x) with\n\
+         less than ~0.1% AUC degradation, unlike unbounded asynchrony (Figure 2)."
+    );
+}

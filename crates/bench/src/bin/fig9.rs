@@ -1,0 +1,116 @@
+//! Figure 9 — Effect of look-ahead prefetching.
+//!
+//! (a) DLRM: relative speedup of look-ahead prefetching over no prefetching as
+//!     the staleness bound varies (conventional prefetching is limited by the
+//!     bound; look-ahead is not).
+//! (b) KGE: training throughput vs buffer size for MLKV and FASTER, with and
+//!     without BETA-style partition ordering.
+
+use mlkv::BackendKind;
+use mlkv_bench::{buffer_label, default_compute, header, open_table, scale_from_args};
+use mlkv_trainer::{
+    DlrmModelKind, DlrmTrainer, DlrmTrainerConfig, KgeModelKind, KgeTrainer, KgeTrainerConfig,
+    PrefetchMode, TrainerOptions,
+};
+use mlkv_workloads::criteo::CriteoConfig;
+use mlkv_workloads::kg::KgConfig;
+
+fn dlrm_throughput(scale: f64, bound: u32, prefetch: PrefetchMode, batches: usize) -> f64 {
+    let table = open_table("fig9-dlrm", BackendKind::Mlkv, 2 << 20, 8, bound).unwrap();
+    let mut trainer = DlrmTrainer::new(
+        table,
+        DlrmTrainerConfig {
+            model: DlrmModelKind::Ffnn,
+            criteo: CriteoConfig::criteo_ad(2e-4 * scale, 7),
+            hidden: vec![32, 16],
+            options: TrainerOptions {
+                batch_size: 64,
+                prefetch,
+                simulated_compute: default_compute(),
+                eval_every_batches: 0,
+                eval_samples: 64,
+                ..TrainerOptions::default()
+            },
+        },
+    );
+    trainer.run(batches).unwrap().throughput
+}
+
+fn kge_throughput(
+    scale: f64,
+    backend: BackendKind,
+    buffer: usize,
+    beta: bool,
+    batches: usize,
+) -> f64 {
+    let table = open_table("fig9-kge", backend, buffer, 16, 10).unwrap();
+    let mut trainer = KgeTrainer::new(
+        table,
+        KgeTrainerConfig {
+            model: KgeModelKind::DistMult,
+            kg: KgConfig::freebase86m(2e-4 * scale, 13),
+            negatives: 4,
+            beta_ordering: beta,
+            num_partitions: 16,
+            options: TrainerOptions {
+                batch_size: 64,
+                prefetch: if backend.is_mlkv() {
+                    PrefetchMode::LookAhead
+                } else {
+                    PrefetchMode::None
+                },
+                simulated_compute: default_compute(),
+                eval_every_batches: 0,
+                eval_samples: 64,
+                ..TrainerOptions::default()
+            },
+        },
+    );
+    trainer.run(batches).unwrap().throughput
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let batches = (60.0 * scale) as usize;
+
+    header("Figure 9(a): DLRM — relative speedup of look-ahead prefetching vs staleness bound");
+    println!("{:>8} {:>16} {:>16} {:>10}", "bound", "no prefetch", "look-ahead", "speedup");
+    for bound in [0u32, 4, 10, 20, 40, 80] {
+        let base = dlrm_throughput(scale, bound, PrefetchMode::None, batches);
+        let ahead = dlrm_throughput(scale, bound, PrefetchMode::LookAhead, batches);
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>9.2}x",
+            bound,
+            base,
+            ahead,
+            ahead / base.max(1e-9)
+        );
+    }
+
+    header("Figure 9(b): KGE on Freebase86M-like — throughput vs buffer size (±BETA ordering)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "buffer", "MLKV", "FASTER", "MLKV(BETA)", "FASTER(BETA)"
+    );
+    for buffer in [1 << 20, 2 << 20, 4 << 20, 8 << 20] {
+        let mlkv = kge_throughput(scale, BackendKind::Mlkv, buffer, false, batches);
+        let faster = kge_throughput(scale, BackendKind::Faster, buffer, false, batches);
+        let mlkv_beta = kge_throughput(scale, BackendKind::Mlkv, buffer, true, batches);
+        let faster_beta = kge_throughput(scale, BackendKind::Faster, buffer, true, batches);
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>14.0} {:>14.0}",
+            buffer_label(buffer),
+            mlkv,
+            faster,
+            mlkv_beta,
+            faster_beta
+        );
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper): look-ahead prefetching helps most at low staleness bounds\n\
+         (conventional prefetching alone suffices at high bounds), and improves throughput\n\
+         for both standard and BETA partition-ordered KGE training."
+    );
+}

@@ -1,0 +1,176 @@
+//! Shared helpers for the figure/table reproduction binaries.
+//!
+//! Every binary accepts `--scale <f64>` (default 1.0) which multiplies the
+//! built-in laptop-scale workload sizes, so `--scale 4` runs a longer, more
+//! faithful sweep and `--scale 0.25` gives a quick smoke run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlkv::{BackendKind, EmbeddingTable, Mlkv, StorageResult};
+use mlkv_storage::kv::{Key, KvStore, ReadResult};
+use mlkv_storage::{StorageMetrics, StoreConfig};
+
+/// Parse `--scale <f64>` from the process arguments (default 1.0).
+pub fn scale_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Open an embedding table on `backend` with the given storage buffer budget.
+/// MLKV backends get bounded staleness + look-ahead workers; baseline backends
+/// get the plain table layer with enforcement disabled (pure offloading).
+pub fn open_table(
+    name: &str,
+    backend: BackendKind,
+    buffer_bytes: usize,
+    dim: usize,
+    staleness_bound: u32,
+) -> StorageResult<Arc<EmbeddingTable>> {
+    let mut builder = Mlkv::builder(name)
+        .dim(dim)
+        .backend(backend)
+        .memory_budget(buffer_bytes)
+        .page_size(16 << 10)
+        .staleness_bound(staleness_bound)
+        .lookahead_workers(2)
+        .init_scale(0.5);
+    if !backend.is_mlkv() {
+        builder = builder.disable_staleness_enforcement();
+    }
+    Ok(builder.build()?.table())
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Format a byte count as a short human-readable buffer label.
+pub fn buffer_label(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else {
+        format!("{}KB", bytes >> 10)
+    }
+}
+
+/// Simulated per-batch accelerator compute used so that storage stalls and NN
+/// compute overlap the way they do on the paper's GPUs.
+pub fn default_compute() -> Duration {
+    Duration::from_micros(300)
+}
+
+/// A [`KvStore`] adapter that runs every operation through MLKV's record-word
+/// protocol (lock + staleness accounting). Used by the Figure 10 YCSB benchmark
+/// to measure the vector-clock overhead of MLKV relative to plain FASTER, as
+/// §IV-E does.
+pub struct StalenessWrappedStore {
+    inner: Arc<dyn KvStore>,
+    controller: mlkv::StalenessController,
+}
+
+impl StalenessWrappedStore {
+    /// Wrap `inner` with bounded-staleness bookkeeping under `bound`.
+    pub fn new(inner: Arc<dyn KvStore>, bound: u32) -> Self {
+        Self {
+            inner,
+            controller: mlkv::StalenessController::new(
+                mlkv::ConsistencyMode::from_bound(bound),
+                true,
+            ),
+        }
+    }
+}
+
+impl KvStore for StalenessWrappedStore {
+    fn name(&self) -> &'static str {
+        "MLKV"
+    }
+
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+        let guard = self.controller.acquire_get(key)?;
+        let out = self.inner.get_traced(key);
+        drop(guard);
+        out
+    }
+
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        let guard = self.controller.acquire_put(key)?;
+        let out = self.inner.put(key, value);
+        drop(guard);
+        out
+    }
+
+    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        let guard = self.controller.acquire_put(key)?;
+        let out = self.inner.rmw(key, f);
+        drop(guard);
+        out
+    }
+
+    fn delete(&self, key: Key) -> StorageResult<()> {
+        self.inner.delete(key)
+    }
+
+    fn promote_to_memory(&self, key: Key) -> StorageResult<bool> {
+        self.inner.promote_to_memory(key)
+    }
+
+    fn approximate_len(&self) -> usize {
+        self.inner.approximate_len()
+    }
+
+    fn metrics(&self) -> Arc<StorageMetrics> {
+        self.inner.metrics()
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        self.inner.flush()
+    }
+}
+
+/// Open a raw FASTER-engine store with the given buffer (used by YCSB runs).
+pub fn open_faster_store(buffer_bytes: usize) -> StorageResult<Arc<dyn KvStore>> {
+    Ok(Arc::new(mlkv_faster::FasterKv::open(
+        StoreConfig::in_memory()
+            .with_memory_budget(buffer_bytes)
+            .with_page_size(16 << 10)
+            .with_index_buckets(1 << 16),
+    )?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_table_for_every_backend() {
+        for backend in BackendKind::ALL {
+            let t = open_table("bench-helper", backend, 1 << 20, 8, 4).unwrap();
+            t.put_one(1, &[0.5; 8]).unwrap();
+            assert_eq!(t.get_one(1).unwrap(), vec![0.5; 8]);
+        }
+    }
+
+    #[test]
+    fn staleness_wrapped_store_behaves_like_inner() {
+        let inner = open_faster_store(1 << 20).unwrap();
+        let wrapped = StalenessWrappedStore::new(inner, u32::MAX);
+        wrapped.put(1, b"abc").unwrap();
+        assert_eq!(wrapped.get(1).unwrap(), b"abc");
+        assert_eq!(wrapped.name(), "MLKV");
+        assert_eq!(wrapped.approximate_len(), 1);
+    }
+
+    #[test]
+    fn buffer_labels() {
+        assert_eq!(buffer_label(2 << 20), "2MB");
+        assert_eq!(buffer_label(512 << 10), "512KB");
+    }
+}

@@ -1,0 +1,291 @@
+//! Buffer pool for B+tree leaf pages.
+//!
+//! Caches decoded leaf pages up to a page-count capacity derived from the
+//! memory budget. Eviction is LRU; dirty pages are encoded and written back to
+//! the device at `page_id * page_size` before being dropped.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult};
+
+use crate::node::LeafPage;
+
+struct CachedPage {
+    leaf: LeafPage,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// LRU buffer pool of leaf pages.
+pub struct BufferPool {
+    device: Arc<dyn Device>,
+    page_size: usize,
+    capacity_pages: usize,
+    metrics: Arc<StorageMetrics>,
+    inner: Mutex<PoolInner>,
+}
+
+struct PoolInner {
+    pages: HashMap<u64, CachedPage>,
+    clock: u64,
+}
+
+impl BufferPool {
+    /// Create a pool over `device` holding at most `capacity_pages` pages of
+    /// `page_size` bytes each.
+    pub fn new(
+        device: Arc<dyn Device>,
+        capacity_pages: usize,
+        page_size: usize,
+        metrics: Arc<StorageMetrics>,
+    ) -> Self {
+        Self {
+            device,
+            page_size,
+            capacity_pages: capacity_pages.max(2),
+            metrics,
+            inner: Mutex::new(PoolInner {
+                pages: HashMap::new(),
+                clock: 0,
+            }),
+        }
+    }
+
+    /// Page size used for on-disk leaves.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Run `f` with read access to the leaf `page_id`, faulting it in from the
+    /// device if necessary. Returns whether the page had to be read from disk.
+    pub fn with_leaf<R>(
+        &self,
+        page_id: u64,
+        f: impl FnOnce(&LeafPage) -> R,
+    ) -> StorageResult<(R, bool)> {
+        let mut inner = self.inner.lock();
+        let from_disk = self.ensure_resident(&mut inner, page_id)?;
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let page = inner.pages.get_mut(&page_id).expect("page just ensured");
+        page.stamp = stamp;
+        let out = f(&page.leaf);
+        Ok((out, from_disk))
+    }
+
+    /// Run `f` with mutable access to the leaf `page_id`, marking it dirty.
+    pub fn with_leaf_mut<R>(
+        &self,
+        page_id: u64,
+        f: impl FnOnce(&mut LeafPage) -> R,
+    ) -> StorageResult<(R, bool)> {
+        let mut inner = self.inner.lock();
+        let from_disk = self.ensure_resident(&mut inner, page_id)?;
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let page = inner.pages.get_mut(&page_id).expect("page just ensured");
+        page.stamp = stamp;
+        page.dirty = true;
+        let out = f(&mut page.leaf);
+        Ok((out, from_disk))
+    }
+
+    /// Install a brand-new leaf (e.g. the right sibling of a split) without
+    /// reading the device.
+    pub fn install_new(&self, page_id: u64, leaf: LeafPage) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.pages.insert(
+            page_id,
+            CachedPage {
+                leaf,
+                dirty: true,
+                stamp,
+            },
+        );
+        self.evict_if_needed(&mut inner)?;
+        Ok(())
+    }
+
+    fn ensure_resident(&self, inner: &mut PoolInner, page_id: u64) -> StorageResult<bool> {
+        if inner.pages.contains_key(&page_id) {
+            return Ok(false);
+        }
+        // Fault the page in from the device.
+        let offset = page_id * self.page_size as u64;
+        if offset >= self.device.len() {
+            return Err(StorageError::Corruption(format!(
+                "leaf page {page_id} does not exist on device"
+            )));
+        }
+        let mut buf = vec![0u8; self.page_size];
+        self.device.read_at(offset, &mut buf)?;
+        self.metrics.record_background_disk_read(self.page_size as u64);
+        let leaf = LeafPage::decode(&buf)?;
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.pages.insert(
+            page_id,
+            CachedPage {
+                leaf,
+                dirty: false,
+                stamp,
+            },
+        );
+        self.evict_if_needed(inner)?;
+        Ok(true)
+    }
+
+    fn evict_if_needed(&self, inner: &mut PoolInner) -> StorageResult<()> {
+        while inner.pages.len() > self.capacity_pages {
+            let victim = inner
+                .pages
+                .iter()
+                .min_by_key(|(_, p)| p.stamp)
+                .map(|(id, _)| *id)
+                .expect("non-empty");
+            let page = inner.pages.remove(&victim).expect("victim exists");
+            if page.dirty {
+                self.write_leaf(victim, &page.leaf)?;
+            }
+            self.metrics.record_eviction();
+        }
+        Ok(())
+    }
+
+    fn write_leaf(&self, page_id: u64, leaf: &LeafPage) -> StorageResult<()> {
+        let encoded = leaf.encode();
+        if encoded.len() > self.page_size {
+            return Err(StorageError::InvalidArgument(format!(
+                "leaf page {page_id} of {} bytes exceeds page size {}",
+                encoded.len(),
+                self.page_size
+            )));
+        }
+        let mut buf = vec![0u8; self.page_size];
+        buf[..encoded.len()].copy_from_slice(&encoded);
+        self.device
+            .write_at(page_id * self.page_size as u64, &buf)?;
+        self.metrics.record_disk_write(self.page_size as u64);
+        Ok(())
+    }
+
+    /// Write every dirty resident page back to the device (checkpoint barrier).
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let dirty_ids: Vec<u64> = inner
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dirty_ids {
+            let leaf = inner.pages.get(&id).expect("listed above").leaf.clone();
+            self.write_leaf(id, &leaf)?;
+            inner.pages.get_mut(&id).expect("listed above").dirty = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_storage::MemDevice;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(
+            Arc::new(MemDevice::new()),
+            capacity,
+            4096,
+            Arc::new(StorageMetrics::new()),
+        )
+    }
+
+    #[test]
+    fn install_and_read_back() {
+        let pool = pool(4);
+        let mut leaf = LeafPage::new();
+        leaf.insert(1, vec![1, 2, 3]);
+        pool.install_new(0, leaf).unwrap();
+        let (value, from_disk) = pool
+            .with_leaf(0, |l| l.get(1).map(|v| v.to_vec()))
+            .unwrap();
+        assert_eq!(value, Some(vec![1, 2, 3]));
+        assert!(!from_disk);
+    }
+
+    #[test]
+    fn eviction_writes_back_and_refault_reads_from_disk() {
+        let pool = pool(2);
+        for id in 0..5u64 {
+            let mut leaf = LeafPage::new();
+            leaf.insert(id, vec![id as u8; 8]);
+            pool.install_new(id, leaf).unwrap();
+        }
+        assert!(pool.resident_pages() <= 2);
+        // Page 0 was evicted; reading it must fault from the device with its data intact.
+        let (value, from_disk) = pool
+            .with_leaf(0, |l| l.get(0).map(|v| v.to_vec()))
+            .unwrap();
+        assert!(from_disk);
+        assert_eq!(value, Some(vec![0u8; 8]));
+    }
+
+    #[test]
+    fn missing_page_is_an_error() {
+        let pool = pool(2);
+        assert!(pool.with_leaf(99, |_| ()).is_err());
+    }
+
+    #[test]
+    fn mutation_marks_dirty_and_survives_eviction() {
+        let pool = pool(2);
+        let mut leaf = LeafPage::new();
+        leaf.insert(7, vec![1]);
+        pool.install_new(0, leaf).unwrap();
+        pool.flush_all().unwrap();
+        pool.with_leaf_mut(0, |l| {
+            l.insert(7, vec![9, 9]);
+        })
+        .unwrap();
+        // Force eviction of page 0 by touching others.
+        for id in 1..5u64 {
+            pool.install_new(id, LeafPage::new()).unwrap();
+        }
+        let (value, _) = pool.with_leaf(0, |l| l.get(7).map(|v| v.to_vec())).unwrap();
+        assert_eq!(value, Some(vec![9, 9]));
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let device = Arc::new(MemDevice::new());
+        let metrics = Arc::new(StorageMetrics::new());
+        let pool = BufferPool::new(Arc::clone(&device) as Arc<dyn Device>, 8, 4096, metrics);
+        let mut leaf = LeafPage::new();
+        leaf.insert(3, vec![3]);
+        pool.install_new(0, leaf).unwrap();
+        assert_eq!(device.len(), 0);
+        pool.flush_all().unwrap();
+        assert_eq!(device.len(), 4096);
+    }
+
+    #[test]
+    fn oversized_leaf_write_is_rejected() {
+        let device: Arc<dyn Device> = Arc::new(MemDevice::new());
+        let pool = BufferPool::new(device, 2, 64, Arc::new(StorageMetrics::new()));
+        let mut leaf = LeafPage::new();
+        leaf.insert(1, vec![0; 128]);
+        pool.install_new(0, leaf).unwrap();
+        assert!(pool.flush_all().is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! A disk-paged B+tree key-value store with a buffer pool, standing in for
+//! WiredTiger in the paper's offloading baselines.
+//!
+//! Structure:
+//!
+//! * Leaf pages hold sorted `(key, value)` entries and are the unit of disk I/O.
+//! * The internal level is kept in memory as a sorted separator map
+//!   (`max key in leaf -> leaf page id`), mirroring how WiredTiger keeps internal
+//!   pages memory-resident in practice.
+//! * A buffer pool caches leaf pages up to the configured memory budget and
+//!   evicts least-recently-used pages, writing them back when dirty.
+//!
+//! Like the LSM engine, this store deliberately lacks a record-promotion
+//! primitive: reads of cold leaves always pay a page-sized disk read, which is
+//! the behaviour the paper's Figure 7 attributes to the WiredTiger baselines.
+
+pub mod buffer_pool;
+pub mod node;
+pub mod store;
+
+pub use buffer_pool::BufferPool;
+pub use node::LeafPage;
+pub use store::BtreeStore;

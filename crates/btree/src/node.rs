@@ -1,0 +1,241 @@
+//! Leaf pages of the B+tree.
+
+use mlkv_storage::{StorageError, StorageResult};
+
+/// A leaf page: sorted `(key, value)` entries plus a byte-size estimate used to
+/// decide when the leaf must split to stay within one disk page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeafPage {
+    entries: Vec<(u64, Vec<u8>)>,
+    bytes: usize,
+}
+
+/// Per-entry serialization overhead (key + value length prefix).
+const ENTRY_OVERHEAD: usize = 12;
+/// Leaf header: entry count.
+const LEAF_HEADER: usize = 4;
+
+impl LeafPage {
+    /// Create an empty leaf.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a leaf from already-sorted entries.
+    pub fn from_sorted(entries: Vec<(u64, Vec<u8>)>) -> Self {
+        let bytes = entries
+            .iter()
+            .map(|(_, v)| ENTRY_OVERHEAD + v.len())
+            .sum();
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        Self { entries, bytes }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the leaf holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialized size of the leaf.
+    pub fn byte_size(&self) -> usize {
+        LEAF_HEADER + self.bytes
+    }
+
+    /// Largest key stored in the leaf (used as its separator in the parent).
+    pub fn max_key(&self) -> Option<u64> {
+        self.entries.last().map(|(k, _)| *k)
+    }
+
+    /// Smallest key stored in the leaf.
+    pub fn min_key(&self) -> Option<u64> {
+        self.entries.first().map(|(k, _)| *k)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Option<&[u8]> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Insert or overwrite `key`. Returns `true` when the key was new.
+    pub fn insert(&mut self, key: u64, value: Vec<u8>) -> bool {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => {
+                self.bytes -= self.entries[i].1.len();
+                self.bytes += value.len();
+                self.entries[i].1 = value;
+                false
+            }
+            Err(i) => {
+                self.bytes += ENTRY_OVERHEAD + value.len();
+                self.entries.insert(i, (key, value));
+                true
+            }
+        }
+    }
+
+    /// Remove `key`. Returns `true` when it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => {
+                let (_, v) = self.entries.remove(i);
+                self.bytes -= ENTRY_OVERHEAD + v.len();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True when the serialized leaf would exceed `page_capacity` bytes.
+    pub fn overflows(&self, page_capacity: usize) -> bool {
+        self.byte_size() > page_capacity
+    }
+
+    /// Split the leaf in half (by byte size), returning the new right sibling.
+    /// `self` keeps the lower keys.
+    pub fn split(&mut self) -> LeafPage {
+        let target = self.bytes / 2;
+        let mut acc = 0usize;
+        let mut split_at = self.entries.len() / 2;
+        for (i, (_, v)) in self.entries.iter().enumerate() {
+            acc += ENTRY_OVERHEAD + v.len();
+            if acc >= target {
+                split_at = (i + 1).min(self.entries.len() - 1).max(1);
+                break;
+            }
+        }
+        let right_entries = self.entries.split_off(split_at);
+        let right = LeafPage::from_sorted(right_entries);
+        self.bytes = self
+            .entries
+            .iter()
+            .map(|(_, v)| ENTRY_OVERHEAD + v.len())
+            .sum();
+        right
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Vec<u8>)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Serialize the leaf.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (k, v) in &self.entries {
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Deserialize a leaf produced by [`LeafPage::encode`].
+    pub fn decode(bytes: &[u8]) -> StorageResult<Self> {
+        if bytes.len() < LEAF_HEADER {
+            return Err(StorageError::Corruption("leaf page truncated".into()));
+        }
+        let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut pos = LEAF_HEADER;
+        for _ in 0..count {
+            if pos + 12 > bytes.len() {
+                return Err(StorageError::Corruption("leaf entry truncated".into()));
+            }
+            let key = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+            let vlen = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            pos += 12;
+            if pos + vlen > bytes.len() {
+                return Err(StorageError::Corruption("leaf value truncated".into()));
+            }
+            entries.push((key, bytes[pos..pos + vlen].to_vec()));
+            pos += vlen;
+        }
+        Ok(Self::from_sorted(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut leaf = LeafPage::new();
+        assert!(leaf.insert(5, vec![5]));
+        assert!(leaf.insert(1, vec![1]));
+        assert!(!leaf.insert(5, vec![50]));
+        assert_eq!(leaf.get(5), Some(&[50][..]));
+        assert_eq!(leaf.get(1), Some(&[1][..]));
+        assert_eq!(leaf.get(9), None);
+        assert_eq!(leaf.min_key(), Some(1));
+        assert_eq!(leaf.max_key(), Some(5));
+        assert!(leaf.remove(1));
+        assert!(!leaf.remove(1));
+        assert_eq!(leaf.len(), 1);
+    }
+
+    #[test]
+    fn byte_size_tracks_contents() {
+        let mut leaf = LeafPage::new();
+        let empty = leaf.byte_size();
+        leaf.insert(1, vec![0; 100]);
+        assert_eq!(leaf.byte_size(), empty + 12 + 100);
+        leaf.insert(1, vec![0; 10]);
+        assert_eq!(leaf.byte_size(), empty + 12 + 10);
+        leaf.remove(1);
+        assert_eq!(leaf.byte_size(), empty);
+    }
+
+    #[test]
+    fn split_preserves_order_and_content() {
+        let mut leaf = LeafPage::new();
+        for k in 0..100u64 {
+            leaf.insert(k, vec![k as u8; 10]);
+        }
+        let right = leaf.split();
+        assert!(!leaf.is_empty() && !right.is_empty());
+        assert!(leaf.max_key().unwrap() < right.min_key().unwrap());
+        assert_eq!(leaf.len() + right.len(), 100);
+        for k in 0..100u64 {
+            let v = leaf.get(k).or_else(|| right.get(k)).unwrap();
+            assert_eq!(v, &vec![k as u8; 10][..]);
+        }
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let mut leaf = LeafPage::new();
+        for k in 0..10u64 {
+            leaf.insert(k, vec![0; 100]);
+        }
+        assert!(leaf.overflows(512));
+        assert!(!leaf.overflows(4096));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut leaf = LeafPage::new();
+        for k in [3u64, 1, 7] {
+            leaf.insert(k, vec![k as u8; k as usize]);
+        }
+        let decoded = LeafPage::decode(&leaf.encode()).unwrap();
+        assert_eq!(decoded, leaf);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert!(LeafPage::decode(&[1]).is_err());
+        let mut bytes = 5u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 4]);
+        assert!(LeafPage::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! The B+tree store: in-memory separator level + buffer-pooled leaf pages,
+//! behind the [`KvStore`] interface.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mlkv_storage::device::device_from_config;
+use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult, StoreConfig};
+
+use crate::buffer_pool::BufferPool;
+use crate::node::LeafPage;
+
+/// Separator map: `max key reachable through this leaf -> leaf page id`. The
+/// rightmost leaf always carries `u64::MAX` so that every key routes somewhere.
+type Separators = BTreeMap<u64, u64>;
+
+struct TreeMeta {
+    separators: Separators,
+    next_page_id: u64,
+}
+
+/// Disk-paged B+tree key-value store (WiredTiger stand-in).
+pub struct BtreeStore {
+    config: StoreConfig,
+    metrics: Arc<StorageMetrics>,
+    pool: BufferPool,
+    meta_device: Arc<dyn Device>,
+    tree: RwLock<TreeMeta>,
+    live: AtomicU64,
+}
+
+const META_MAGIC: u64 = 0x4D4C_4B56_4254_5245; // "MLKVBTRE"
+
+impl BtreeStore {
+    /// Open (or create) a store described by `config`.
+    pub fn open(config: StoreConfig) -> StorageResult<Self> {
+        let metrics = Arc::new(StorageMetrics::new());
+        let leaf_device = device_from_config(&config, "btree_leaves.dat")?;
+        let meta_device = device_from_config(&config, "btree_meta.dat")?;
+        let capacity_pages = (config.memory_budget / config.page_size).max(2);
+        let pool = BufferPool::new(
+            leaf_device,
+            capacity_pages,
+            config.page_size,
+            Arc::clone(&metrics),
+        );
+
+        let (meta, live) = if meta_device.len() > 0 {
+            Self::decode_meta(meta_device.as_ref())?
+        } else {
+            // Fresh tree: a single empty leaf covering the whole key space.
+            pool.install_new(0, LeafPage::new())?;
+            let mut separators = Separators::new();
+            separators.insert(u64::MAX, 0);
+            (
+                TreeMeta {
+                    separators,
+                    next_page_id: 1,
+                },
+                0,
+            )
+        };
+
+        Ok(Self {
+            config,
+            metrics,
+            pool,
+            meta_device,
+            tree: RwLock::new(meta),
+            live: AtomicU64::new(live),
+        })
+    }
+
+    /// Convenience constructor for tests: purely in-memory store.
+    pub fn in_memory(memory_budget: usize) -> StorageResult<Self> {
+        Self::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(memory_budget)
+                .with_page_size(4096),
+        )
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of leaf pages in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.tree.read().separators.len()
+    }
+
+    fn decode_meta(device: &dyn Device) -> StorageResult<(TreeMeta, u64)> {
+        let len = device.len() as usize;
+        let mut bytes = vec![0u8; len];
+        device.read_at(0, &mut bytes)?;
+        if len < 32 {
+            return Err(StorageError::Corruption("btree meta truncated".into()));
+        }
+        let word =
+            |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        if word(0) != META_MAGIC {
+            return Err(StorageError::Corruption("bad btree meta magic".into()));
+        }
+        let next_page_id = word(1);
+        let live = word(2);
+        let count = word(3) as usize;
+        let mut separators = Separators::new();
+        let mut pos = 32;
+        for _ in 0..count {
+            if pos + 16 > len {
+                return Err(StorageError::Corruption("btree meta entry truncated".into()));
+            }
+            let sep = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+            let page = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+            separators.insert(sep, page);
+            pos += 16;
+        }
+        Ok((
+            TreeMeta {
+                separators,
+                next_page_id,
+            },
+            live,
+        ))
+    }
+
+    fn encode_meta(&self, meta: &TreeMeta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + meta.separators.len() * 16);
+        out.extend_from_slice(&META_MAGIC.to_le_bytes());
+        out.extend_from_slice(&meta.next_page_id.to_le_bytes());
+        out.extend_from_slice(&self.live.load(Ordering::SeqCst).to_le_bytes());
+        out.extend_from_slice(&(meta.separators.len() as u64).to_le_bytes());
+        for (sep, page) in &meta.separators {
+            out.extend_from_slice(&sep.to_le_bytes());
+            out.extend_from_slice(&page.to_le_bytes());
+        }
+        out
+    }
+
+    /// Page id of the leaf responsible for `key`, together with its separator.
+    fn route(separators: &Separators, key: Key) -> (u64, u64) {
+        let (sep, page) = separators
+            .range(key..)
+            .next()
+            .expect("rightmost separator is u64::MAX, so every key routes");
+        (*sep, *page)
+    }
+
+    /// Usable payload capacity of one leaf page.
+    fn leaf_capacity(&self) -> usize {
+        self.config.page_size
+    }
+}
+
+impl KvStore for BtreeStore {
+    fn name(&self) -> &'static str {
+        "WiredTiger-like"
+    }
+
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+        let tree = self.tree.read();
+        let (_, page_id) = Self::route(&tree.separators, key);
+        let (value, from_disk) = self
+            .pool
+            .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
+        match value {
+            Some(v) => {
+                if from_disk {
+                    self.metrics.record_disk_read(v.len() as u64);
+                } else {
+                    self.metrics.record_mem_hit();
+                }
+                Ok(ReadResult {
+                    value: v,
+                    source: if from_disk {
+                        ReadSource::Disk
+                    } else {
+                        ReadSource::HotMemory
+                    },
+                })
+            }
+            None => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
+    }
+
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        if value.len() + 64 > self.leaf_capacity() {
+            return Err(StorageError::InvalidArgument(format!(
+                "value of {} bytes cannot fit a {}-byte leaf page",
+                value.len(),
+                self.leaf_capacity()
+            )));
+        }
+        self.metrics.record_upsert();
+        let mut tree = self.tree.write();
+        let (sep, page_id) = Self::route(&tree.separators, key);
+        let capacity = self.leaf_capacity();
+        let (outcome, _) = self.pool.with_leaf_mut(page_id, |leaf| {
+            let inserted = leaf.insert(key, value.to_vec());
+            let split = leaf.overflows(capacity).then(|| leaf.split());
+            (inserted, split, leaf.max_key())
+        })?;
+        let (inserted, split, left_max) = outcome;
+        if inserted {
+            self.live.fetch_add(1, Ordering::Relaxed);
+        }
+        match split {
+            Some(right) => {
+                // The right sibling inherits the old separator (upper bound of the
+                // original leaf); the left leaf is re-keyed by its new max key.
+                let right_id = tree.next_page_id;
+                tree.next_page_id += 1;
+                tree.separators.remove(&sep);
+                tree.separators
+                    .insert(left_max.expect("left leaf non-empty after split"), page_id);
+                tree.separators.insert(sep, right_id);
+                self.pool.install_new(right_id, right)?;
+            }
+            None => {
+                // Grow the separator if the new key extended the leaf's range
+                // (only relevant for the rightmost leaf, whose separator is MAX,
+                // so nothing to do; interior separators never shrink).
+                if let Some(max) = left_max {
+                    if max > sep {
+                        tree.separators.remove(&sep);
+                        tree.separators.insert(max, page_id);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        self.metrics.record_rmw();
+        let current = match self.get_traced(key) {
+            Ok(r) => Some(r.value),
+            Err(e) if e.is_not_found() => None,
+            Err(e) => return Err(e),
+        };
+        let new_value = f(current.as_deref());
+        self.put(key, &new_value)?;
+        Ok(new_value)
+    }
+
+    fn delete(&self, key: Key) -> StorageResult<()> {
+        let tree = self.tree.write();
+        let (_, page_id) = Self::route(&tree.separators, key);
+        let (removed, _) = self.pool.with_leaf_mut(page_id, |leaf| leaf.remove(key))?;
+        if removed {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn approximate_len(&self) -> usize {
+        self.live.load(Ordering::Relaxed) as usize
+    }
+
+    fn metrics(&self) -> Arc<StorageMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        let tree = self.tree.read();
+        self.pool.flush_all()?;
+        self.meta_device.write_at(0, &self.encode_meta(&tree))?;
+        if self.config.sync_writes {
+            self.meta_device.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        store.put(10, b"ten").unwrap();
+        store.put(5, b"five").unwrap();
+        assert_eq!(store.get(10).unwrap(), b"ten");
+        assert_eq!(store.get(5).unwrap(), b"five");
+        assert!(store.get(7).unwrap_err().is_not_found());
+        assert_eq!(store.approximate_len(), 2);
+        store.delete(10).unwrap();
+        assert!(store.get(10).unwrap_err().is_not_found());
+        assert_eq!(store.approximate_len(), 1);
+        assert_eq!(store.name(), "WiredTiger-like");
+    }
+
+    #[test]
+    fn splits_keep_all_keys_reachable() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        let n = 5000u64;
+        for k in 0..n {
+            store.put(k, &[(k % 251) as u8; 32]).unwrap();
+        }
+        assert!(store.leaf_count() > 1, "tree should have split");
+        for k in 0..n {
+            assert_eq!(store.get(k).unwrap(), vec![(k % 251) as u8; 32], "key {k}");
+        }
+        assert_eq!(store.approximate_len(), n as usize);
+    }
+
+    #[test]
+    fn random_insertion_order_is_handled() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        // Deterministic pseudo-random permutation via multiplication.
+        let n = 3000u64;
+        for i in 0..n {
+            let k = (i.wrapping_mul(2654435761)) % 100_000;
+            store.put(k, &k.to_le_bytes()).unwrap();
+        }
+        for i in 0..n {
+            let k = (i.wrapping_mul(2654435761)) % 100_000;
+            assert_eq!(store.get(k).unwrap(), k.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn cold_leaves_are_read_from_disk() {
+        // Pool of only 2 pages: most leaves are cold.
+        let store = BtreeStore::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(4 << 10),
+        )
+        .unwrap();
+        for k in 0..3000u64 {
+            store.put(k, &[1u8; 32]).unwrap();
+        }
+        // Reading a key far from the most recent inserts should hit disk.
+        let r = store.get_traced(0).unwrap();
+        assert_eq!(r.value, vec![1u8; 32]);
+        assert!(store.metrics().snapshot().disk_reads > 0);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected() {
+        let store = BtreeStore::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(64 << 10)
+                .with_page_size(1 << 10),
+        )
+        .unwrap();
+        assert!(store.put(1, &[0u8; 2048]).is_err());
+    }
+
+    #[test]
+    fn rmw_roundtrip() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        for _ in 0..5 {
+            store
+                .rmw(1, &|old| {
+                    let cur = old
+                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap_or(0);
+                    (cur + 2).to_le_bytes().to_vec()
+                })
+                .unwrap();
+        }
+        assert_eq!(
+            u64::from_le_bytes(store.get(1).unwrap().try_into().unwrap()),
+            10
+        );
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "mlkv-btree-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(64 << 10)
+            .with_page_size(4 << 10);
+        {
+            let store = BtreeStore::open(cfg.clone()).unwrap();
+            for k in 0..2000u64 {
+                store.put(k, &k.to_le_bytes()).unwrap();
+            }
+            store.delete(3).unwrap();
+            store.flush().unwrap();
+        }
+        let store = BtreeStore::open(cfg).unwrap();
+        assert_eq!(store.get(1999).unwrap(), 1999u64.to_le_bytes());
+        assert_eq!(store.get(0).unwrap(), 0u64.to_le_bytes());
+        assert!(store.get(3).unwrap_err().is_not_found());
+        assert_eq!(store.approximate_len(), 1999);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let store = Arc::new(BtreeStore::in_memory(1 << 20).unwrap());
+        for k in 0..200u64 {
+            store.put(k, &k.to_le_bytes()).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    let key = 10_000 + t * 1000 + i;
+                    store.put(key, &key.to_le_bytes()).unwrap();
+                    assert_eq!(store.get(key).unwrap(), key.to_le_bytes());
+                    assert_eq!(store.get(i % 200).unwrap(), (i % 200).to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The `Open` interface of Figure 3: creating an embedding model with a
+//! controllable staleness bound and dimension.
+//!
+//! ```
+//! use mlkv::Mlkv;
+//!
+//! // Figure 3, line 3: nn_model, emb_tables = MLKV.Open(model_id, dim, staleness_bound)
+//! let model = Mlkv::open("my-ctr-model", 16, 4).unwrap();
+//! let emb = model.table();
+//! let values = emb.get(&[1, 2, 3]).unwrap();
+//! assert_eq!(values.len(), 3);
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mlkv_storage::{StorageResult, StoreConfig};
+
+use crate::backend::{open_store, BackendKind};
+use crate::table::{EmbeddingTable, TableOptions};
+
+/// Entry point mirroring the paper's `MLKV.Open` call.
+pub struct Mlkv;
+
+impl Mlkv {
+    /// Open an in-memory-device embedding model (convenient default used by the
+    /// examples and tests). For disk-backed models use [`Mlkv::builder`].
+    pub fn open(model_id: &str, dim: usize, staleness_bound: u32) -> StorageResult<EmbeddingModel> {
+        Mlkv::builder(model_id)
+            .dim(dim)
+            .staleness_bound(staleness_bound)
+            .build()
+    }
+
+    /// Start configuring an embedding model.
+    pub fn builder(model_id: &str) -> EmbeddingModelBuilder {
+        EmbeddingModelBuilder::new(model_id)
+    }
+}
+
+/// Builder for [`EmbeddingModel`].
+pub struct EmbeddingModelBuilder {
+    model_id: String,
+    backend: BackendKind,
+    dir: Option<PathBuf>,
+    memory_budget: usize,
+    page_size: usize,
+    options: TableOptions,
+}
+
+impl EmbeddingModelBuilder {
+    fn new(model_id: &str) -> Self {
+        Self {
+            model_id: model_id.to_string(),
+            backend: BackendKind::Mlkv,
+            dir: None,
+            memory_budget: 256 << 20,
+            page_size: 16 << 10,
+            options: TableOptions::default(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.options.dim = dim;
+        self
+    }
+
+    /// Staleness bound: 0 = BSP, `u32::MAX` = ASP, otherwise SSP.
+    pub fn staleness_bound(mut self, bound: u32) -> Self {
+        self.options.staleness_bound = bound;
+        self
+    }
+
+    /// Disable bounded-staleness enforcement entirely (leaves only the per-key
+    /// memory overhead, see §IV-E).
+    pub fn disable_staleness_enforcement(mut self) -> Self {
+        self.options.enforce_staleness = false;
+        self
+    }
+
+    /// Select the storage backend (default: MLKV's own hybrid-log engine).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Persist the model under `dir/<model_id>/` instead of an in-memory device.
+    pub fn directory(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// In-memory buffer budget of the storage engine, in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Page size of the storage engine.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Number of background look-ahead workers.
+    pub fn lookahead_workers(mut self, workers: usize) -> Self {
+        self.options.lookahead_workers = workers;
+        self
+    }
+
+    /// Application cache budget in bytes.
+    pub fn app_cache_bytes(mut self, bytes: usize) -> Self {
+        self.options.app_cache_bytes = bytes;
+        self
+    }
+
+    /// Seed of the deterministic embedding initialiser.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Scale of the uniform random initialisation of unseen embeddings.
+    pub fn init_scale(mut self, scale: f32) -> Self {
+        self.options.init_scale = scale;
+        self
+    }
+
+    /// Open the storage engine and build the embedding model.
+    pub fn build(self) -> StorageResult<EmbeddingModel> {
+        let mut config = StoreConfig::in_memory()
+            .with_memory_budget(self.memory_budget)
+            .with_page_size(self.page_size);
+        if let Some(dir) = &self.dir {
+            config.dir = Some(dir.join(&self.model_id));
+        }
+        let store = open_store(self.backend, config)?;
+        let table = EmbeddingTable::new(store, self.options)?;
+        Ok(EmbeddingModel {
+            model_id: self.model_id,
+            backend: self.backend,
+            table: Arc::new(table),
+        })
+    }
+}
+
+/// An opened embedding model: a named, backend-bound [`EmbeddingTable`].
+pub struct EmbeddingModel {
+    model_id: String,
+    backend: BackendKind,
+    table: Arc<EmbeddingTable>,
+}
+
+impl EmbeddingModel {
+    /// The model identifier passed to `Open`.
+    pub fn model_id(&self) -> &str {
+        &self.model_id
+    }
+
+    /// The backend storing this model.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The embedding table (`emb_tables` in Figure 3).
+    pub fn table(&self) -> Arc<EmbeddingTable> {
+        Arc::clone(&self.table)
+    }
+}
+
+impl std::ops::Deref for EmbeddingModel {
+    type Target = EmbeddingTable;
+
+    fn deref(&self) -> &Self::Target {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_matches_figure_3_usage() {
+        let model = Mlkv::open("test-model", 8, 4).unwrap();
+        assert_eq!(model.model_id(), "test-model");
+        assert_eq!(model.backend(), BackendKind::Mlkv);
+        assert_eq!(model.dim(), 8);
+        assert_eq!(model.mode().bound(), 4);
+        // Figure 3 style usage through Deref.
+        let values = model.get(&[1, 2, 3]).unwrap();
+        assert_eq!(values.len(), 3);
+        model.put(&[1], &[vec![0.5; 8]]).unwrap();
+        assert_eq!(model.get_one(1).unwrap(), vec![0.5; 8]);
+    }
+
+    #[test]
+    fn builder_configures_backend_and_staleness() {
+        let model = Mlkv::builder("cfg")
+            .dim(4)
+            .staleness_bound(u32::MAX)
+            .backend(BackendKind::RocksDbLike)
+            .memory_budget(1 << 20)
+            .lookahead_workers(2)
+            .app_cache_bytes(1 << 16)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(model.backend(), BackendKind::RocksDbLike);
+        assert_eq!(model.mode().name(), "ASP");
+        model.put_one(1, &[1.0; 4]).unwrap();
+        assert_eq!(model.get_one(1).unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn disk_backed_model_persists_under_model_directory() {
+        let dir = std::env::temp_dir().join(format!("mlkv-model-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let model = Mlkv::builder("persisted")
+                .dim(4)
+                .directory(&dir)
+                .memory_budget(1 << 20)
+                .build()
+                .unwrap();
+            model.put_one(9, &[3.0; 4]).unwrap();
+            model.flush().unwrap();
+        }
+        assert!(dir.join("persisted").join("hlog.dat").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_enforcement_never_tracks_stalls() {
+        let model = Mlkv::builder("free")
+            .dim(4)
+            .staleness_bound(0)
+            .disable_staleness_enforcement()
+            .build()
+            .unwrap();
+        for _ in 0..10 {
+            model.get_one(1).unwrap();
+        }
+        assert_eq!(model.staleness_stats().gets, 0);
+        assert_eq!(model.staleness_of(1), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Look-ahead prefetching (paper §III-C2, Figure 5(b)).
+//!
+//! The non-blocking `Lookahead(keys, dest)` interface hands batches of keys that
+//! will be needed in *future* iterations to a pool of background workers. Each
+//! worker either
+//!
+//! * copies the record from the on-disk region into the storage engine's mutable
+//!   memory buffer (`LookaheadDest::StorageBuffer`, via
+//!   [`KvStore::promote_to_memory`]) — this is what distinguishes look-ahead
+//!   prefetching from conventional prefetching: it works *beyond* the staleness
+//!   bound because it never reads the value into the application, so it cannot
+//!   violate bounded staleness; or
+//! * loads the value into the application-side cache
+//!   (`LookaheadDest::ApplicationCache`), which is conventional prefetching and
+//!   therefore only useful within the staleness window.
+//!
+//! Records already resident in the immutable in-memory region are *not* copied
+//! (that would only create extra pages to flush), mirroring the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use mlkv_storage::{KvStore, ShardedLruCache};
+
+/// Where prefetched embeddings should be materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookaheadDest {
+    /// Copy cold records into the storage engine's mutable memory buffer.
+    StorageBuffer,
+    /// Load values into the application cache.
+    ApplicationCache,
+}
+
+/// One prefetch request.
+#[derive(Debug, Clone)]
+struct Request {
+    keys: Vec<u64>,
+    dest: LookaheadDest,
+}
+
+/// Counters describing prefetcher activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Keys submitted via `lookahead`.
+    pub submitted: u64,
+    /// Keys fully processed by a worker.
+    pub completed: u64,
+    /// Keys that resulted in a copy into the storage buffer.
+    pub promoted: u64,
+    /// Keys loaded into the application cache.
+    pub cached: u64,
+    /// Keys that were already hot / missing and needed no work.
+    pub skipped: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    promoted: AtomicU64,
+    cached: AtomicU64,
+    skipped: AtomicU64,
+}
+
+/// Background look-ahead prefetcher.
+pub struct Prefetcher {
+    sender: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl Prefetcher {
+    /// Spawn `num_workers` background workers serving look-ahead requests for
+    /// `store`, filling `app_cache` for application-cache destinations.
+    pub fn new(store: Arc<dyn KvStore>, app_cache: Arc<ShardedLruCache>, num_workers: usize) -> Self {
+        let (sender, receiver): (Sender<Request>, Receiver<Request>) = unbounded();
+        let counters = Arc::new(Counters::default());
+        let workers = (0..num_workers.max(1))
+            .map(|_| {
+                let receiver = receiver.clone();
+                let store = Arc::clone(&store);
+                let cache = Arc::clone(&app_cache);
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    while let Ok(req) = receiver.recv() {
+                        for key in req.keys {
+                            match req.dest {
+                                LookaheadDest::StorageBuffer => {
+                                    match store.promote_to_memory(key) {
+                                        Ok(true) => {
+                                            counters.promoted.fetch_add(1, Ordering::Relaxed)
+                                        }
+                                        _ => counters.skipped.fetch_add(1, Ordering::Relaxed),
+                                    };
+                                }
+                                LookaheadDest::ApplicationCache => match store.get(key) {
+                                    Ok(value) => {
+                                        cache.insert(key, value);
+                                        counters.cached.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(_) => {
+                                        counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                },
+                            }
+                            counters.completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+            counters,
+        }
+    }
+
+    /// Submit keys for asynchronous prefetching. Never blocks.
+    pub fn lookahead(&self, keys: &[u64], dest: LookaheadDest) {
+        if keys.is_empty() {
+            return;
+        }
+        self.counters
+            .submitted
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        if let Some(sender) = &self.sender {
+            // The channel is unbounded; send only fails after shutdown.
+            let _ = sender.send(Request {
+                keys: keys.to_vec(),
+                dest,
+            });
+        }
+    }
+
+    /// Block until every submitted key has been processed (used by tests and by
+    /// benchmark phases that want a clean cut between warm-up and measurement).
+    pub fn wait_idle(&self) {
+        while self.counters.completed.load(Ordering::Acquire)
+            < self.counters.submitted.load(Ordering::Acquire)
+        {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Current prefetch statistics.
+    pub fn stats(&self) -> PrefetchStats {
+        PrefetchStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            promoted: self.counters.promoted.load(Ordering::Relaxed),
+            cached: self.counters.cached.load(Ordering::Relaxed),
+            skipped: self.counters.skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Close the channel so workers drain outstanding requests and exit.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_faster::FasterKv;
+    use mlkv_storage::{MemStore, StoreConfig};
+
+    fn cold_store() -> Arc<dyn KvStore> {
+        // A tiny memory window guarantees that early keys spill to "disk".
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(1 << 10),
+        )
+        .unwrap();
+        for k in 0..2000u64 {
+            store.put(k, &[k as u8; 64]).unwrap();
+        }
+        Arc::new(store)
+    }
+
+    #[test]
+    fn storage_buffer_prefetch_promotes_cold_records() {
+        let store = cold_store();
+        let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
+        let prefetcher = Prefetcher::new(Arc::clone(&store), cache, 2);
+        let keys: Vec<u64> = (0..64).collect();
+        prefetcher.lookahead(&keys, LookaheadDest::StorageBuffer);
+        prefetcher.wait_idle();
+        let stats = prefetcher.stats();
+        assert_eq!(stats.completed, 64);
+        assert!(stats.promoted > 0, "cold keys should be promoted");
+        // After promotion the keys are served from memory.
+        let r = store.get_traced(0).unwrap();
+        assert_ne!(r.source, mlkv_storage::kv::ReadSource::Disk);
+    }
+
+    #[test]
+    fn application_cache_prefetch_fills_cache() {
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        for k in 0..100u64 {
+            store.put(k, &[k as u8; 16]).unwrap();
+        }
+        let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
+        let prefetcher = Prefetcher::new(Arc::clone(&store), Arc::clone(&cache), 1);
+        prefetcher.lookahead(&(0..50u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+        prefetcher.wait_idle();
+        assert_eq!(prefetcher.stats().cached, 50);
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.get(7), Some(vec![7u8; 16]));
+    }
+
+    #[test]
+    fn missing_keys_are_counted_as_skipped() {
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
+        let prefetcher = Prefetcher::new(store, cache, 1);
+        prefetcher.lookahead(&[1, 2, 3], LookaheadDest::ApplicationCache);
+        prefetcher.wait_idle();
+        let stats = prefetcher.stats();
+        assert_eq!(stats.skipped, 3);
+        assert_eq!(stats.cached, 0);
+    }
+
+    #[test]
+    fn empty_request_is_a_noop() {
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
+        let prefetcher = Prefetcher::new(store, cache, 1);
+        prefetcher.lookahead(&[], LookaheadDest::StorageBuffer);
+        prefetcher.wait_idle();
+        assert_eq!(prefetcher.stats(), PrefetchStats::default());
+    }
+
+    #[test]
+    fn drop_drains_outstanding_requests() {
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        for k in 0..100u64 {
+            store.put(k, &[1u8; 8]).unwrap();
+        }
+        let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
+        let prefetcher = Prefetcher::new(store, Arc::clone(&cache), 2);
+        prefetcher.lookahead(&(0..100u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+        drop(prefetcher);
+        // All requests must have been processed before drop returned.
+        assert_eq!(cache.len(), 100);
+    }
+}

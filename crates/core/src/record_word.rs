@@ -1,0 +1,370 @@
+//! The MLKV record word: a latch-free vector clock packed into the 64-bit
+//! record-level lock word (paper Figure 5(a)).
+//!
+//! ```text
+//!  bit 63    bit 62    bits 32..61      bits 0..31
+//! +--------+---------+---------------+--------------+
+//! | Locked | Replaced| Generation(30)| Staleness(32)|
+//! +--------+---------+---------------+--------------+
+//! ```
+//!
+//! * **Locked** — record-level latch bit; acquired by both Get and Put for the
+//!   duration of the actual read/update.
+//! * **Replaced** — set when the record's memory address has been replaced by
+//!   another thread (e.g. an RCU append or a look-ahead promotion); readers that
+//!   observe it retry through the index.
+//! * **Generation** — 30-bit version counter bumped on every completed update so
+//!   that the latest value is always returned.
+//! * **Staleness** — 32-bit counter of reads whose matching update has not yet
+//!   been applied. A Get must wait until `staleness <= bound` before acquiring
+//!   the lock (and then increments it); a Put never waits (it only decreases
+//!   staleness).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const STALENESS_BITS: u32 = 32;
+const GENERATION_BITS: u32 = 30;
+const STALENESS_MASK: u64 = (1 << STALENESS_BITS) - 1;
+const GENERATION_MASK: u64 = (1 << GENERATION_BITS) - 1;
+const GENERATION_SHIFT: u32 = STALENESS_BITS;
+const REPLACED_SHIFT: u32 = 62;
+const LOCKED_SHIFT: u32 = 63;
+
+/// A decoded record word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecordWord {
+    /// Record-level latch.
+    pub locked: bool,
+    /// The record's memory address has been replaced.
+    pub replaced: bool,
+    /// 30-bit version counter.
+    pub generation: u32,
+    /// 32-bit staleness counter.
+    pub staleness: u32,
+}
+
+impl RecordWord {
+    /// Pack into the 64-bit representation.
+    pub fn pack(&self) -> u64 {
+        ((self.locked as u64) << LOCKED_SHIFT)
+            | ((self.replaced as u64) << REPLACED_SHIFT)
+            | (((self.generation as u64) & GENERATION_MASK) << GENERATION_SHIFT)
+            | ((self.staleness as u64) & STALENESS_MASK)
+    }
+
+    /// Unpack from the 64-bit representation.
+    pub fn unpack(word: u64) -> Self {
+        Self {
+            locked: (word >> LOCKED_SHIFT) & 1 == 1,
+            replaced: (word >> REPLACED_SHIFT) & 1 == 1,
+            generation: ((word >> GENERATION_SHIFT) & GENERATION_MASK) as u32,
+            staleness: (word & STALENESS_MASK) as u32,
+        }
+    }
+}
+
+/// Outcome of one lock-acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The lock was acquired (the CAS succeeded).
+    Acquired,
+    /// The record is currently locked by another thread; retry.
+    Contended,
+    /// The staleness bound blocks this Get; wait until a Put lands.
+    StalenessBlocked,
+}
+
+/// The atomic record word with the paper's Get/Put acquisition protocol.
+#[derive(Debug, Default)]
+pub struct AtomicRecordWord {
+    word: AtomicU64,
+}
+
+impl AtomicRecordWord {
+    /// A fresh word: unlocked, generation 0, staleness 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current decoded value.
+    pub fn load(&self) -> RecordWord {
+        RecordWord::unpack(self.word.load(Ordering::Acquire))
+    }
+
+    /// Attempt the Get-side acquisition: requires `staleness <= bound`, the
+    /// record unlocked and not replaced; on success sets Locked and increments
+    /// staleness in a single compare-and-swap.
+    pub fn try_acquire_get(&self, bound: u32) -> AcquireOutcome {
+        let observed = self.word.load(Ordering::Acquire);
+        let cur = RecordWord::unpack(observed);
+        if cur.locked {
+            return AcquireOutcome::Contended;
+        }
+        if cur.staleness > bound {
+            return AcquireOutcome::StalenessBlocked;
+        }
+        let desired = RecordWord {
+            locked: true,
+            replaced: cur.replaced,
+            generation: cur.generation,
+            staleness: cur.staleness.saturating_add(1),
+        };
+        match self.word.compare_exchange(
+            observed,
+            desired.pack(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => AcquireOutcome::Acquired,
+            Err(_) => AcquireOutcome::Contended,
+        }
+    }
+
+    /// Attempt the Put-side acquisition: skips the staleness check entirely (a
+    /// Put only reduces staleness); on success sets Locked and decrements
+    /// staleness in a single compare-and-swap.
+    pub fn try_acquire_put(&self) -> AcquireOutcome {
+        let observed = self.word.load(Ordering::Acquire);
+        let cur = RecordWord::unpack(observed);
+        if cur.locked {
+            return AcquireOutcome::Contended;
+        }
+        let desired = RecordWord {
+            locked: true,
+            replaced: cur.replaced,
+            generation: cur.generation,
+            staleness: cur.staleness.saturating_sub(1),
+        };
+        match self.word.compare_exchange(
+            observed,
+            desired.pack(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => AcquireOutcome::Acquired,
+            Err(_) => AcquireOutcome::Contended,
+        }
+    }
+
+    /// Release the lock after a completed operation: clears Locked, bumps the
+    /// generation (wrapping within its 30 bits) and optionally sets Replaced
+    /// when the operation relocated the record.
+    pub fn release(&self, mark_replaced: bool) {
+        loop {
+            let observed = self.word.load(Ordering::Acquire);
+            let mut cur = RecordWord::unpack(observed);
+            cur.locked = false;
+            cur.replaced = cur.replaced || mark_replaced;
+            cur.generation = (cur.generation + 1) & (GENERATION_MASK as u32);
+            if self
+                .word
+                .compare_exchange(observed, cur.pack(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Clear the Replaced bit (done after the index has been re-read and the
+    /// fresh record located).
+    pub fn clear_replaced(&self) {
+        loop {
+            let observed = self.word.load(Ordering::Acquire);
+            let mut cur = RecordWord::unpack(observed);
+            if !cur.replaced {
+                return;
+            }
+            cur.replaced = false;
+            if self
+                .word
+                .compare_exchange(observed, cur.pack(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Current staleness (number of outstanding reads).
+    pub fn staleness(&self) -> u32 {
+        self.load().staleness
+    }
+
+    /// Current generation.
+    pub fn generation(&self) -> u32 {
+        self.load().generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let cases = [
+            RecordWord::default(),
+            RecordWord {
+                locked: true,
+                replaced: false,
+                generation: 0,
+                staleness: 0,
+            },
+            RecordWord {
+                locked: false,
+                replaced: true,
+                generation: (1 << 30) - 1,
+                staleness: u32::MAX,
+            },
+            RecordWord {
+                locked: true,
+                replaced: true,
+                generation: 12345,
+                staleness: 678,
+            },
+        ];
+        for case in cases {
+            assert_eq!(RecordWord::unpack(case.pack()), case);
+        }
+    }
+
+    #[test]
+    fn bit_layout_matches_figure_5a() {
+        let w = RecordWord {
+            locked: true,
+            replaced: false,
+            generation: 1,
+            staleness: 1,
+        }
+        .pack();
+        assert_eq!(w, (1 << 63) | (1 << 32) | 1);
+    }
+
+    #[test]
+    fn get_increments_staleness_and_put_decrements() {
+        let word = AtomicRecordWord::new();
+        assert_eq!(word.try_acquire_get(4), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.staleness(), 1);
+        assert_eq!(word.try_acquire_put(), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.staleness(), 0);
+        assert_eq!(word.generation(), 2);
+    }
+
+    #[test]
+    fn staleness_bound_blocks_gets() {
+        let word = AtomicRecordWord::new();
+        // Bound 1: two outstanding Gets are allowed (staleness 0 and 1), a third must wait.
+        assert_eq!(word.try_acquire_get(1), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.try_acquire_get(1), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.try_acquire_get(1), AcquireOutcome::StalenessBlocked);
+        // A Put unblocks it.
+        assert_eq!(word.try_acquire_put(), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.try_acquire_get(1), AcquireOutcome::Acquired);
+    }
+
+    #[test]
+    fn bound_zero_is_bsp() {
+        let word = AtomicRecordWord::new();
+        assert_eq!(word.try_acquire_get(0), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.try_acquire_get(0), AcquireOutcome::StalenessBlocked);
+        assert_eq!(word.try_acquire_put(), AcquireOutcome::Acquired);
+        word.release(false);
+        assert_eq!(word.try_acquire_get(0), AcquireOutcome::Acquired);
+    }
+
+    #[test]
+    fn locked_record_causes_contention() {
+        let word = AtomicRecordWord::new();
+        assert_eq!(word.try_acquire_get(10), AcquireOutcome::Acquired);
+        assert_eq!(word.try_acquire_get(10), AcquireOutcome::Contended);
+        assert_eq!(word.try_acquire_put(), AcquireOutcome::Contended);
+        word.release(false);
+        assert_eq!(word.try_acquire_put(), AcquireOutcome::Acquired);
+    }
+
+    #[test]
+    fn put_never_underflows_staleness() {
+        let word = AtomicRecordWord::new();
+        for _ in 0..3 {
+            assert_eq!(word.try_acquire_put(), AcquireOutcome::Acquired);
+            word.release(false);
+        }
+        assert_eq!(word.staleness(), 0);
+    }
+
+    #[test]
+    fn replaced_bit_set_and_cleared() {
+        let word = AtomicRecordWord::new();
+        word.try_acquire_put();
+        word.release(true);
+        assert!(word.load().replaced);
+        word.clear_replaced();
+        assert!(!word.load().replaced);
+        // Clearing when already clear is a no-op.
+        word.clear_replaced();
+        assert!(!word.load().replaced);
+    }
+
+    #[test]
+    fn generation_wraps_within_30_bits() {
+        let word = AtomicRecordWord::new();
+        // Fake a generation at the 30-bit maximum, then release once more.
+        word.word.store(
+            RecordWord {
+                locked: true,
+                replaced: false,
+                generation: (1 << 30) - 1,
+                staleness: 5,
+            }
+            .pack(),
+            Ordering::SeqCst,
+        );
+        word.release(false);
+        let cur = word.load();
+        assert_eq!(cur.generation, 0);
+        assert_eq!(cur.staleness, 5, "staleness untouched by release");
+    }
+
+    #[test]
+    fn concurrent_gets_and_puts_balance_staleness() {
+        let word = Arc::new(AtomicRecordWord::new());
+        let mut handles = Vec::new();
+        // 4 threads each performing 100 matched Get+Put pairs with a generous bound.
+        for _ in 0..4 {
+            let word = Arc::clone(&word);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    loop {
+                        if word.try_acquire_get(u32::MAX) == AcquireOutcome::Acquired {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    word.release(false);
+                    loop {
+                        if word.try_acquire_put() == AcquireOutcome::Acquired {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    word.release(false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_word = word.load();
+        assert_eq!(final_word.staleness, 0);
+        assert!(!final_word.locked);
+        assert_eq!(final_word.generation, 800 & ((1 << 30) - 1));
+    }
+}

@@ -1,0 +1,501 @@
+//! The embedding table: MLKV's user-facing `Get` / `Put` / `Rmw` / `Lookahead`
+//! interface over a key-value backend (paper §III-A, Figure 3).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlkv_storage::{KvStore, ShardedLruCache, StorageError, StorageResult};
+
+use crate::codec::{decode_vector, encode_vector, init_vector};
+use crate::prefetch::{LookaheadDest, PrefetchStats, Prefetcher};
+use crate::staleness::{ConsistencyMode, StalenessController, StalenessStats};
+use crate::stats::{TableStats, TableStatsSnapshot};
+
+/// Options controlling an embedding table.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Staleness bound (0 = BSP, `u32::MAX` = ASP, otherwise SSP).
+    pub staleness_bound: u32,
+    /// Whether bounded-staleness enforcement is active. Disabling it leaves only
+    /// the per-key memory overhead, as described in §IV-E.
+    pub enforce_staleness: bool,
+    /// Number of background look-ahead workers.
+    pub lookahead_workers: usize,
+    /// Byte budget of the application-side cache.
+    pub app_cache_bytes: usize,
+    /// Scale of the uniform random initialisation of unseen embeddings.
+    pub init_scale: f32,
+    /// Seed of the deterministic initialiser.
+    pub seed: u64,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        Self {
+            dim: 16,
+            staleness_bound: 0,
+            enforce_staleness: true,
+            lookahead_workers: 1,
+            app_cache_bytes: 8 << 20,
+            init_scale: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+impl TableOptions {
+    /// Options for a table of dimension `dim` with staleness bound `bound`.
+    pub fn new(dim: usize, bound: u32) -> Self {
+        Self {
+            dim,
+            staleness_bound: bound,
+            ..Self::default()
+        }
+    }
+}
+
+/// An embedding table backed by a key-value store.
+///
+/// All methods are thread-safe; training workers share the table through an
+/// `Arc`.
+pub struct EmbeddingTable {
+    store: Arc<dyn KvStore>,
+    options: TableOptions,
+    controller: StalenessController,
+    cache: Arc<ShardedLruCache>,
+    prefetcher: Prefetcher,
+    stats: TableStats,
+}
+
+impl EmbeddingTable {
+    /// Create a table over `store` with the given options.
+    pub fn new(store: Arc<dyn KvStore>, options: TableOptions) -> StorageResult<Self> {
+        if options.dim == 0 {
+            return Err(StorageError::InvalidArgument(
+                "embedding dimension must be positive".into(),
+            ));
+        }
+        let mode = ConsistencyMode::from_bound(options.staleness_bound);
+        let controller = StalenessController::new(mode, options.enforce_staleness);
+        let cache = Arc::new(ShardedLruCache::new(options.app_cache_bytes.max(1 << 10), 16));
+        let prefetcher = Prefetcher::new(
+            Arc::clone(&store),
+            Arc::clone(&cache),
+            options.lookahead_workers,
+        );
+        Ok(Self {
+            store,
+            options,
+            controller,
+            cache,
+            prefetcher,
+            stats: TableStats::new(),
+        })
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.options.dim
+    }
+
+    /// The consistency mode enforced by this table.
+    pub fn mode(&self) -> ConsistencyMode {
+        self.controller.mode()
+    }
+
+    /// The table's options.
+    pub fn options(&self) -> &TableOptions {
+        &self.options
+    }
+
+    /// The underlying key-value store.
+    pub fn store(&self) -> &Arc<dyn KvStore> {
+        &self.store
+    }
+
+    /// Fetch the embedding for one key, lazily initialising it when unseen.
+    /// This is the forward-pass path (`Get` in Figure 3, line 9).
+    pub fn get_one(&self, key: u64) -> StorageResult<Vec<f32>> {
+        let start = Instant::now();
+        let guard = self.controller.acquire_get(key)?;
+        let result = self.read_or_init(key);
+        drop(guard);
+        self.stats.record_get(1, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// Fetch embeddings for a batch of keys (order preserved, duplicates allowed).
+    pub fn get(&self, keys: &[u64]) -> StorageResult<Vec<Vec<f32>>> {
+        keys.iter().map(|k| self.get_one(*k)).collect()
+    }
+
+    /// Upsert the embedding for one key. This is the backward-pass path (`Put`
+    /// in Figure 3, line 17).
+    pub fn put_one(&self, key: u64, value: &[f32]) -> StorageResult<()> {
+        self.check_dim(value)?;
+        let start = Instant::now();
+        let guard = self.controller.acquire_put(key)?;
+        let bytes = encode_vector(value);
+        self.cache.invalidate(key);
+        let result = self.store.put(key, &bytes);
+        drop(guard);
+        self.stats.record_put(1, start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// Upsert a batch of embeddings; `keys` and `values` must have equal length.
+    pub fn put(&self, keys: &[u64], values: &[Vec<f32>]) -> StorageResult<()> {
+        if keys.len() != values.len() {
+            return Err(StorageError::InvalidArgument(format!(
+                "put batch mismatch: {} keys vs {} values",
+                keys.len(),
+                values.len()
+            )));
+        }
+        for (k, v) in keys.iter().zip(values) {
+            self.put_one(*k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write a single embedding: `f` receives the current vector
+    /// (lazily initialised when unseen) and returns the new one. This maps to
+    /// MLKV's `Rmw` interface used for sparse optimizer updates.
+    pub fn rmw_one(
+        &self,
+        key: u64,
+        f: impl FnOnce(&mut Vec<f32>),
+    ) -> StorageResult<Vec<f32>> {
+        let start = Instant::now();
+        let guard = self.controller.acquire_put(key)?;
+        let mut current = self.read_or_init(key)?;
+        f(&mut current);
+        self.check_dim(&current)?;
+        self.cache.invalidate(key);
+        let bytes = encode_vector(&current);
+        self.store.put(key, &bytes)?;
+        drop(guard);
+        self.stats.record_put(1, start.elapsed().as_nanos() as u64);
+        Ok(current)
+    }
+
+    /// Apply SGD-style gradients: `value -= lr * grad` for each key. This is the
+    /// common "Put(keys, values + optimizer(gradients))" pattern of Figure 3.
+    pub fn apply_gradients(
+        &self,
+        keys: &[u64],
+        grads: &[Vec<f32>],
+        lr: f32,
+    ) -> StorageResult<()> {
+        if keys.len() != grads.len() {
+            return Err(StorageError::InvalidArgument(format!(
+                "gradient batch mismatch: {} keys vs {} gradients",
+                keys.len(),
+                grads.len()
+            )));
+        }
+        for (key, grad) in keys.iter().zip(grads) {
+            self.check_dim(grad)?;
+            self.rmw_one(*key, |value| {
+                for (v, g) in value.iter_mut().zip(grad) {
+                    *v -= lr * g;
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking look-ahead prefetch of `keys` into `dest` (paper §III-C2).
+    pub fn lookahead(&self, keys: &[u64], dest: LookaheadDest) {
+        self.prefetcher.lookahead(keys, dest);
+    }
+
+    /// Block until all submitted look-ahead work has completed.
+    pub fn wait_for_lookahead(&self) {
+        self.prefetcher.wait_idle();
+    }
+
+    /// Current staleness of `key`.
+    pub fn staleness_of(&self, key: u64) -> u32 {
+        self.controller.staleness_of(key)
+    }
+
+    /// True when `key` has a stored embedding.
+    pub fn contains(&self, key: u64) -> StorageResult<bool> {
+        self.store.contains(key)
+    }
+
+    /// Number of embeddings stored (approximate for log-structured backends).
+    pub fn len(&self) -> usize {
+        self.store.approximate_len()
+    }
+
+    /// True when no embeddings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush the backend to its device.
+    pub fn flush(&self) -> StorageResult<()> {
+        self.store.flush()
+    }
+
+    /// Table-level operation statistics.
+    pub fn stats(&self) -> TableStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Staleness-control statistics (stall time, blocked Gets).
+    pub fn staleness_stats(&self) -> StalenessStats {
+        self.controller.stats()
+    }
+
+    /// Prefetcher statistics.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetcher.stats()
+    }
+
+    /// Backend I/O metrics.
+    pub fn store_metrics(&self) -> mlkv_storage::MetricsSnapshot {
+        self.store.metrics().snapshot()
+    }
+
+    fn check_dim(&self, value: &[f32]) -> StorageResult<()> {
+        if value.len() != self.options.dim {
+            return Err(StorageError::InvalidArgument(format!(
+                "vector of dimension {} does not match table dimension {}",
+                value.len(),
+                self.options.dim
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read the embedding through cache → store, lazily initialising it.
+    fn read_or_init(&self, key: u64) -> StorageResult<Vec<f32>> {
+        if let Some(bytes) = self.cache.get(key) {
+            self.stats.record_cache_hit();
+            return decode_vector(&bytes, self.options.dim);
+        }
+        match self.store.get(key) {
+            Ok(bytes) => decode_vector(&bytes, self.options.dim),
+            Err(e) if e.is_not_found() => {
+                let fresh = init_vector(
+                    key,
+                    self.options.dim,
+                    self.options.init_scale,
+                    self.options.seed,
+                );
+                self.store.put(key, &encode_vector(&fresh))?;
+                self.stats.record_init();
+                Ok(fresh)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{open_store, BackendKind};
+    use mlkv_storage::StoreConfig;
+
+    fn table(bound: u32) -> EmbeddingTable {
+        let store = open_store(
+            BackendKind::Mlkv,
+            StoreConfig::in_memory()
+                .with_memory_budget(1 << 20)
+                .with_page_size(4096),
+        )
+        .unwrap();
+        EmbeddingTable::new(store, TableOptions::new(8, bound)).unwrap()
+    }
+
+    #[test]
+    fn get_initialises_unseen_keys_deterministically() {
+        let t = table(u32::MAX);
+        let a = t.get_one(5).unwrap();
+        let b = t.get_one(5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(t.stats().initialised, 1);
+        assert!(t.contains(5).unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let t = table(u32::MAX);
+        let v: Vec<f32> = (0..8).map(|i| i as f32 / 10.0).collect();
+        t.put_one(3, &v).unwrap();
+        assert_eq!(t.get_one(3).unwrap(), v);
+        // Batch APIs.
+        let keys = vec![10, 11, 12];
+        let vals: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32; 8]).collect();
+        t.put(&keys, &vals).unwrap();
+        assert_eq!(t.get(&keys).unwrap(), vals);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let t = table(u32::MAX);
+        assert!(t.put_one(1, &[0.0; 4]).is_err());
+        assert!(t.put(&[1, 2], &vec![vec![0.0; 8]]).is_err());
+        assert!(t.apply_gradients(&[1], &[vec![0.0; 3]], 0.1).is_err());
+        assert!(EmbeddingTable::new(
+            open_store(BackendKind::InMemory, StoreConfig::in_memory()).unwrap(),
+            TableOptions::new(0, 0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn apply_gradients_performs_sgd_step() {
+        let t = table(u32::MAX);
+        t.put_one(1, &[1.0; 8]).unwrap();
+        t.apply_gradients(&[1], &[vec![0.5; 8]], 0.2).unwrap();
+        let v = t.get_one(1).unwrap();
+        for x in v {
+            assert!((x - 0.9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn staleness_bound_is_enforced_per_key() {
+        let t = table(2);
+        // Three gets allowed (staleness reaches 3 > bound on the 4th attempt).
+        t.get_one(7).unwrap();
+        t.get_one(7).unwrap();
+        t.get_one(7).unwrap();
+        assert_eq!(t.staleness_of(7), 3);
+        // A put brings staleness back under the bound.
+        t.put_one(7, &[0.0; 8]).unwrap();
+        assert_eq!(t.staleness_of(7), 2);
+        t.get_one(7).unwrap();
+        assert!(t.staleness_stats().gets >= 4);
+    }
+
+    #[test]
+    fn bsp_interleaves_get_put_without_blocking() {
+        let t = table(0);
+        for _ in 0..20 {
+            let v = t.get_one(1).unwrap();
+            t.put_one(1, &v).unwrap();
+        }
+        assert_eq!(t.staleness_of(1), 0);
+        assert_eq!(t.staleness_stats().blocked_gets, 0);
+    }
+
+    #[test]
+    fn lookahead_into_application_cache_hits_on_next_get() {
+        let t = table(u32::MAX);
+        for k in 0..50u64 {
+            t.put_one(k, &[k as f32; 8]).unwrap();
+        }
+        t.lookahead(&(0..50u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+        t.wait_for_lookahead();
+        let before = t.stats().cache_hits;
+        let v = t.get_one(7).unwrap();
+        assert_eq!(v, vec![7.0; 8]);
+        assert_eq!(t.stats().cache_hits, before + 1);
+        assert_eq!(t.prefetch_stats().cached, 50);
+    }
+
+    #[test]
+    fn lookahead_into_storage_buffer_promotes_cold_records() {
+        let store = open_store(
+            BackendKind::Mlkv,
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(1 << 10),
+        )
+        .unwrap();
+        let t = EmbeddingTable::new(store, TableOptions::new(8, u32::MAX)).unwrap();
+        for k in 0..2000u64 {
+            t.put_one(k, &[k as f32; 8]).unwrap();
+        }
+        t.lookahead(&(0..32u64).collect::<Vec<_>>(), LookaheadDest::StorageBuffer);
+        t.wait_for_lookahead();
+        assert!(t.prefetch_stats().promoted > 0);
+        assert!(t.store_metrics().prefetch_copies > 0);
+        // Values survive promotion.
+        assert_eq!(t.get_one(0).unwrap(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn cache_never_serves_stale_values_after_put() {
+        let t = table(u32::MAX);
+        t.put_one(9, &[1.0; 8]).unwrap();
+        t.lookahead(&[9], LookaheadDest::ApplicationCache);
+        t.wait_for_lookahead();
+        t.put_one(9, &[2.0; 8]).unwrap();
+        assert_eq!(t.get_one(9).unwrap(), vec![2.0; 8]);
+    }
+
+    #[test]
+    fn rmw_one_initialises_and_modifies() {
+        let t = table(u32::MAX);
+        let out = t
+            .rmw_one(77, |v| {
+                for x in v.iter_mut() {
+                    *x = 1.5;
+                }
+            })
+            .unwrap();
+        assert_eq!(out, vec![1.5; 8]);
+        assert_eq!(t.get_one(77).unwrap(), vec![1.5; 8]);
+    }
+
+    #[test]
+    fn works_over_every_backend() {
+        for kind in BackendKind::ALL {
+            let store = open_store(
+                kind,
+                StoreConfig::in_memory()
+                    .with_memory_budget(1 << 20)
+                    .with_page_size(4096),
+            )
+            .unwrap();
+            let t = EmbeddingTable::new(store, TableOptions::new(4, 4)).unwrap();
+            t.put_one(1, &[0.25; 4]).unwrap();
+            assert_eq!(t.get_one(1).unwrap(), vec![0.25; 4], "{}", kind.name());
+            t.apply_gradients(&[1], &[vec![1.0; 4]], 0.25).unwrap();
+            assert_eq!(t.get_one(1).unwrap(), vec![0.0; 4], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn concurrent_trainers_with_ssp_make_progress() {
+        let store = open_store(
+            BackendKind::Mlkv,
+            StoreConfig::in_memory()
+                .with_memory_budget(1 << 20)
+                .with_page_size(4096),
+        )
+        .unwrap();
+        let t = Arc::new(EmbeddingTable::new(store, TableOptions::new(8, 8)).unwrap());
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let key = (worker * 50 + i) % 100;
+                    let v = t.get_one(key).unwrap();
+                    t.apply_gradients(&[key], &[vec![0.01; 8]], 0.1).unwrap();
+                    assert_eq!(v.len(), 8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every key's Gets were matched by Puts, so staleness returns to zero.
+        for key in 0..100u64 {
+            assert_eq!(t.staleness_of(key), 0, "key {key}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Knowledge-graph embedding models: DistMult and ComplEx.
+//!
+//! Both score a triple `(head, relation, tail)` from the embeddings of its three
+//! parts; the embeddings themselves are the model parameters and live in the
+//! MLKV embedding table. Training maximises the score of observed triples and
+//! minimises the score of sampled negative triples (logistic loss), so the only
+//! thing a trainer needs from this module is `score` and `grad`.
+
+use crate::tensor::sigmoid;
+
+/// A triple-scoring KGE model.
+pub trait KgeModel: Send + Sync {
+    /// Model name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Embedding dimension this model expects.
+    fn dim(&self) -> usize;
+
+    /// Score of a triple; higher means more plausible.
+    fn score(&self, head: &[f32], relation: &[f32], tail: &[f32]) -> f32;
+
+    /// Gradient of the score with respect to head, relation and tail.
+    fn score_grad(
+        &self,
+        head: &[f32],
+        relation: &[f32],
+        tail: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>);
+
+    /// Logistic loss and embedding gradients for a triple with a ±1 label
+    /// (`+1` = observed, `-1` = negative sample).
+    fn loss_and_grad(
+        &self,
+        head: &[f32],
+        relation: &[f32],
+        tail: &[f32],
+        label: f32,
+    ) -> (f32, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let s = self.score(head, relation, tail);
+        // softplus(-label * score)
+        let z = -label * s;
+        let loss = if z > 20.0 { z } else { (1.0 + z.exp()).ln() };
+        // dloss/ds = -label * sigmoid(-label * s)
+        let d_s = -label * sigmoid(z);
+        let (mut gh, mut gr, mut gt) = self.score_grad(head, relation, tail);
+        for g in gh.iter_mut().chain(gr.iter_mut()).chain(gt.iter_mut()) {
+            *g *= d_s;
+        }
+        (loss, gh, gr, gt)
+    }
+}
+
+/// DistMult: `score = Σ_i h_i · r_i · t_i`.
+#[derive(Debug, Clone, Copy)]
+pub struct DistMult {
+    dim: usize,
+}
+
+impl DistMult {
+    /// DistMult over `dim`-dimensional embeddings.
+    pub fn new(dim: usize) -> Self {
+        Self { dim }
+    }
+}
+
+impl KgeModel for DistMult {
+    fn name(&self) -> &'static str {
+        "DistMult"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, head: &[f32], relation: &[f32], tail: &[f32]) -> f32 {
+        head.iter()
+            .zip(relation)
+            .zip(tail)
+            .map(|((h, r), t)| h * r * t)
+            .sum()
+    }
+
+    fn score_grad(
+        &self,
+        head: &[f32],
+        relation: &[f32],
+        tail: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let gh = relation.iter().zip(tail).map(|(r, t)| r * t).collect();
+        let gr = head.iter().zip(tail).map(|(h, t)| h * t).collect();
+        let gt = head.iter().zip(relation).map(|(h, r)| h * r).collect();
+        (gh, gr, gt)
+    }
+}
+
+/// ComplEx: embeddings are complex vectors stored as `[real_0..real_k, imag_0..imag_k]`
+/// (so the stored dimension is `2k`); `score = Re(Σ_i h_i · r_i · conj(t_i))`.
+#[derive(Debug, Clone, Copy)]
+pub struct ComplEx {
+    dim: usize,
+}
+
+impl ComplEx {
+    /// ComplEx over `dim`-dimensional stored embeddings (`dim` must be even).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim % 2 == 0, "ComplEx requires an even embedding dimension");
+        Self { dim }
+    }
+
+    fn half(&self) -> usize {
+        self.dim / 2
+    }
+}
+
+impl KgeModel for ComplEx {
+    fn name(&self) -> &'static str {
+        "ComplEx"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn score(&self, head: &[f32], relation: &[f32], tail: &[f32]) -> f32 {
+        let k = self.half();
+        let (hr, hi) = head.split_at(k);
+        let (rr, ri) = relation.split_at(k);
+        let (tr, ti) = tail.split_at(k);
+        let mut s = 0.0;
+        for i in 0..k {
+            s += rr[i] * hr[i] * tr[i] + rr[i] * hi[i] * ti[i] + ri[i] * hr[i] * ti[i]
+                - ri[i] * hi[i] * tr[i];
+        }
+        s
+    }
+
+    fn score_grad(
+        &self,
+        head: &[f32],
+        relation: &[f32],
+        tail: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let k = self.half();
+        let (hr, hi) = head.split_at(k);
+        let (rr, ri) = relation.split_at(k);
+        let (tr, ti) = tail.split_at(k);
+        let mut gh = vec![0.0; self.dim];
+        let mut gr = vec![0.0; self.dim];
+        let mut gt = vec![0.0; self.dim];
+        for i in 0..k {
+            // d/d hr, d/d hi
+            gh[i] = rr[i] * tr[i] + ri[i] * ti[i];
+            gh[k + i] = rr[i] * ti[i] - ri[i] * tr[i];
+            // d/d rr, d/d ri
+            gr[i] = hr[i] * tr[i] + hi[i] * ti[i];
+            gr[k + i] = hr[i] * ti[i] - hi[i] * tr[i];
+            // d/d tr, d/d ti
+            gt[i] = rr[i] * hr[i] - ri[i] * hi[i];
+            gt[k + i] = rr[i] * hi[i] + ri[i] * hr[i];
+        }
+        (gh, gr, gt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(dim: usize, rng: &mut SmallRng) -> Vec<f32> {
+        (0..dim).map(|_| rng.gen_range(-0.5..0.5)).collect()
+    }
+
+    fn check_grad_numerically(model: &dyn KgeModel) {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dim = model.dim();
+        let h = random_vec(dim, &mut rng);
+        let r = random_vec(dim, &mut rng);
+        let t = random_vec(dim, &mut rng);
+        let (gh, gr, gt) = model.score_grad(&h, &r, &t);
+        let eps = 1e-3;
+        for i in 0..dim {
+            for (vec_idx, (base, grad)) in [(&h, &gh), (&r, &gr), (&t, &gt)].iter().enumerate() {
+                let mut plus = (*base).clone();
+                plus[i] += eps;
+                let mut minus = (*base).clone();
+                minus[i] -= eps;
+                let (sp, sm) = match vec_idx {
+                    0 => (model.score(&plus, &r, &t), model.score(&minus, &r, &t)),
+                    1 => (model.score(&h, &plus, &t), model.score(&h, &minus, &t)),
+                    _ => (model.score(&h, &r, &plus), model.score(&h, &r, &minus)),
+                };
+                let numeric = (sp - sm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad[i]).abs() < 1e-2,
+                    "{} vec {vec_idx} dim {i}: numeric {numeric} vs analytic {}",
+                    model.name(),
+                    grad[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distmult_score_and_grad() {
+        let model = DistMult::new(4);
+        assert_eq!(model.name(), "DistMult");
+        assert_eq!(
+            model.score(&[1.0, 2.0, 0.0, 1.0], &[1.0, 1.0, 5.0, 2.0], &[3.0, 1.0, 7.0, 0.5]),
+            1.0 * 1.0 * 3.0 + 2.0 * 1.0 * 1.0 + 0.0 + 1.0 * 2.0 * 0.5
+        );
+        check_grad_numerically(&model);
+    }
+
+    #[test]
+    fn complex_score_and_grad() {
+        let model = ComplEx::new(8);
+        assert_eq!(model.name(), "ComplEx");
+        check_grad_numerically(&model);
+        // A purely real ComplEx reduces to DistMult on the real half.
+        let h = vec![0.3, -0.2, 0.0, 0.0];
+        let r = vec![0.5, 0.4, 0.0, 0.0];
+        let t = vec![-0.1, 0.7, 0.0, 0.0];
+        let c = ComplEx::new(4);
+        let d = DistMult::new(2);
+        assert!((c.score(&h, &r, &t) - d.score(&h[..2], &r[..2], &t[..2])).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even embedding dimension")]
+    fn complex_requires_even_dim() {
+        let _ = ComplEx::new(5);
+    }
+
+    #[test]
+    fn loss_and_grad_push_scores_in_the_right_direction() {
+        let model = DistMult::new(4);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut h = random_vec(4, &mut rng);
+        let r = random_vec(4, &mut rng);
+        let t = random_vec(4, &mut rng);
+        let before = model.score(&h, &r, &t);
+        // Gradient step on the head embedding for a positive triple increases the score.
+        let (_, gh, _, _) = model.loss_and_grad(&h, &r, &t, 1.0);
+        for (hv, g) in h.iter_mut().zip(&gh) {
+            *hv -= 0.5 * g;
+        }
+        assert!(model.score(&h, &r, &t) > before);
+        // For a negative triple the loss pushes the score down.
+        let (_, gh_neg, _, _) = model.loss_and_grad(&h, &r, &t, -1.0);
+        let mut h2 = h.clone();
+        for (hv, g) in h2.iter_mut().zip(&gh_neg) {
+            *hv -= 0.5 * g;
+        }
+        assert!(model.score(&h2, &r, &t) < model.score(&h, &r, &t));
+    }
+
+    #[test]
+    fn loss_is_finite_for_extreme_scores() {
+        let model = DistMult::new(2);
+        let big = vec![100.0, 100.0];
+        let (loss_pos, ..) = model.loss_and_grad(&big, &big, &big, 1.0);
+        let (loss_neg, ..) = model.loss_and_grad(&big, &big, &big, -1.0);
+        assert!(loss_pos.is_finite());
+        assert!(loss_neg.is_finite());
+        assert!(loss_pos < loss_neg);
+    }
+}

@@ -1,0 +1,80 @@
+//! Loss functions with their gradients.
+
+use crate::tensor::sigmoid;
+
+/// Binary cross-entropy with logits for one example.
+pub fn bce_with_logits(logit: f32, label: f32) -> f32 {
+    // max(x, 0) - x*y + ln(1 + exp(-|x|)) — numerically stable form.
+    logit.max(0.0) - logit * label + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// Gradient of [`bce_with_logits`] with respect to the logit: `sigmoid(x) - y`.
+pub fn bce_with_logits_grad(logit: f32, label: f32) -> f32 {
+    sigmoid(logit) - label
+}
+
+/// Softmax cross-entropy over `logits` for the true `class`; returns the loss
+/// and the gradient with respect to the logits.
+pub fn softmax_cross_entropy(logits: &[f32], class: usize) -> (f32, Vec<f32>) {
+    assert!(class < logits.len(), "class out of range");
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+    let loss = -(probs[class].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[class] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_matches_reference_values() {
+        // logit 0 => p = 0.5 => loss = ln 2 regardless of label.
+        assert!((bce_with_logits(0.0, 1.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((bce_with_logits(0.0, 0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        // Confident correct prediction => small loss; confident wrong => large.
+        assert!(bce_with_logits(10.0, 1.0) < 0.01);
+        assert!(bce_with_logits(10.0, 0.0) > 5.0);
+        // Extreme logits stay finite.
+        assert!(bce_with_logits(1000.0, 0.0).is_finite());
+        assert!(bce_with_logits(-1000.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn bce_grad_matches_numerical_derivative() {
+        for (logit, label) in [(0.3f32, 1.0f32), (-1.2, 0.0), (2.5, 1.0)] {
+            let eps = 1e-3;
+            let numeric =
+                (bce_with_logits(logit + eps, label) - bce_with_logits(logit - eps, label))
+                    / (2.0 * eps);
+            let analytic = bce_with_logits_grad(logit, label);
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "logit {logit}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_ce_loss_and_grad() {
+        let (loss, grad) = softmax_cross_entropy(&[1.0, 1.0, 1.0], 0);
+        assert!((loss - (3.0f32).ln()).abs() < 1e-5);
+        assert!((grad[0] - (1.0 / 3.0 - 1.0)).abs() < 1e-5);
+        assert!((grad[1] - 1.0 / 3.0).abs() < 1e-5);
+        // Gradient sums to zero.
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+        // Confident correct prediction: tiny loss.
+        let (loss, _) = softmax_cross_entropy(&[10.0, -10.0], 0);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn softmax_ce_checks_class() {
+        let _ = softmax_cross_entropy(&[0.0, 1.0], 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Logical log addresses.
+//!
+//! A [`Address`] is a byte offset into the single logical hybrid-log address
+//! space that spans both the on-disk portion and the in-memory window. Address 0
+//! is reserved as "invalid" (end of a hash chain); real records start at offset
+//! `FIRST_VALID` so that 0 can never be a legitimate record address.
+
+/// Byte offset into the hybrid log. `0` means "no address".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// The invalid address terminating hash chains.
+    pub const INVALID: Address = Address(0);
+
+    /// First address at which a record may be placed. The log begins with a
+    /// small reserved header so that address 0 is never used for data.
+    pub const FIRST_VALID: u64 = 64;
+
+    /// Construct an address from a raw offset.
+    pub fn new(offset: u64) -> Self {
+        Address(offset)
+    }
+
+    /// True when this is the invalid / null address.
+    pub fn is_invalid(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Page index containing this address for pages of size `page_size`.
+    pub fn page(&self, page_size: usize) -> u64 {
+        self.0 / page_size as u64
+    }
+
+    /// Byte offset of this address within its page.
+    pub fn offset_in_page(&self, page_size: usize) -> usize {
+        (self.0 % page_size as u64) as usize
+    }
+
+    /// The raw byte offset.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_address_is_zero() {
+        assert!(Address::INVALID.is_invalid());
+        assert!(!Address::new(Address::FIRST_VALID).is_invalid());
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        let a = Address::new(4096 * 3 + 100);
+        assert_eq!(a.page(4096), 3);
+        assert_eq!(a.offset_in_page(4096), 100);
+        assert_eq!(a.raw(), 4096 * 3 + 100);
+    }
+
+    #[test]
+    fn ordering_follows_offsets() {
+        assert!(Address::new(10) < Address::new(20));
+        assert_eq!(Address::new(5), Address::new(5));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Address::new(42).to_string(), "@42");
+    }
+}

@@ -1,0 +1,229 @@
+//! Epoch-based protection.
+//!
+//! FASTER coordinates lazily-synchronized global state transitions (page flushes,
+//! region boundary movements, checkpoint phases) with an epoch framework: threads
+//! refresh their local epoch on every operation, and an action registered at
+//! epoch `E` ("drain action") only runs once every active thread has observed an
+//! epoch `>= E`.
+//!
+//! This reimplementation keeps the same public shape (acquire/refresh/release,
+//! `bump_with_action`, `drain`) with a fixed-size thread slot table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Sentinel for a slot with no active thread.
+const SLOT_FREE: u64 = 0;
+
+/// Maximum number of concurrently registered threads.
+const MAX_THREADS: usize = 128;
+
+/// A pending action to run once the global epoch is safe.
+struct DrainAction {
+    trigger_epoch: u64,
+    action: Box<dyn FnOnce() + Send>,
+}
+
+/// Epoch manager coordinating threads and deferred actions.
+pub struct EpochManager {
+    current: AtomicU64,
+    slots: Vec<AtomicU64>,
+    drain_list: Mutex<Vec<DrainAction>>,
+}
+
+impl Default for EpochManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EpochManager {
+    /// Create a new manager starting at epoch 1.
+    pub fn new() -> Self {
+        Self {
+            current: AtomicU64::new(1),
+            slots: (0..MAX_THREADS).map(|_| AtomicU64::new(SLOT_FREE)).collect(),
+            drain_list: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current global epoch.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// Register the calling thread and return a guard that keeps it protected.
+    pub fn acquire(self: &Arc<Self>) -> EpochGuard {
+        let epoch = self.current();
+        // Find a free slot; MAX_THREADS is far above anything this workspace spawns.
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(SLOT_FREE, epoch, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return EpochGuard {
+                    manager: Arc::clone(self),
+                    slot: idx,
+                };
+            }
+        }
+        panic!("epoch manager slot table exhausted ({MAX_THREADS} threads)");
+    }
+
+    /// Refresh the slot of a protected thread to the current epoch and run any
+    /// drain actions that became safe.
+    fn refresh(&self, slot: usize) {
+        let epoch = self.current();
+        self.slots[slot].store(epoch, Ordering::SeqCst);
+        self.try_drain();
+    }
+
+    fn release(&self, slot: usize) {
+        self.slots[slot].store(SLOT_FREE, Ordering::SeqCst);
+        self.try_drain();
+    }
+
+    /// The minimum epoch any active thread may still be operating in. When no
+    /// thread is active this is the current epoch.
+    pub fn safe_epoch(&self) -> u64 {
+        let mut min = u64::MAX;
+        for slot in &self.slots {
+            let v = slot.load(Ordering::SeqCst);
+            if v != SLOT_FREE && v < min {
+                min = v;
+            }
+        }
+        if min == u64::MAX {
+            self.current()
+        } else {
+            min
+        }
+    }
+
+    /// Advance the global epoch and register `action` to run once every thread
+    /// has observed the new epoch.
+    pub fn bump_with_action(&self, action: impl FnOnce() + Send + 'static) {
+        let new_epoch = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.drain_list.lock().push(DrainAction {
+            trigger_epoch: new_epoch,
+            action: Box::new(action),
+        });
+        self.try_drain();
+    }
+
+    /// Advance the global epoch without an action.
+    pub fn bump(&self) -> u64 {
+        self.current.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Run every drain action whose trigger epoch is now safe.
+    pub fn try_drain(&self) {
+        let safe = self.safe_epoch();
+        let mut ready = Vec::new();
+        {
+            let mut list = self.drain_list.lock();
+            let mut i = 0;
+            while i < list.len() {
+                if list[i].trigger_epoch <= safe {
+                    ready.push(list.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for d in ready {
+            (d.action)();
+        }
+    }
+
+    /// Number of pending drain actions (for tests and debugging).
+    pub fn pending_actions(&self) -> usize {
+        self.drain_list.lock().len()
+    }
+}
+
+/// RAII guard marking the owning thread as epoch-protected.
+pub struct EpochGuard {
+    manager: Arc<EpochManager>,
+    slot: usize,
+}
+
+impl EpochGuard {
+    /// Re-read the global epoch (call between operations in long-running loops).
+    pub fn refresh(&self) {
+        self.manager.refresh(self.slot);
+    }
+}
+
+impl Drop for EpochGuard {
+    fn drop(&mut self) {
+        self.manager.release(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mgr = Arc::new(EpochManager::new());
+        assert_eq!(mgr.current(), 1);
+        {
+            let guard = mgr.acquire();
+            guard.refresh();
+            assert_eq!(mgr.safe_epoch(), 1);
+        }
+        // After release, safe epoch equals current.
+        assert_eq!(mgr.safe_epoch(), mgr.current());
+    }
+
+    #[test]
+    fn drain_action_waits_for_laggard_thread() {
+        let mgr = Arc::new(EpochManager::new());
+        let fired = Arc::new(AtomicBool::new(false));
+
+        let guard = mgr.acquire(); // thread stuck at epoch 1
+        let f = Arc::clone(&fired);
+        mgr.bump_with_action(move || f.store(true, Ordering::SeqCst));
+        mgr.try_drain();
+        assert!(!fired.load(Ordering::SeqCst), "must wait for laggard");
+        assert_eq!(mgr.pending_actions(), 1);
+
+        guard.refresh(); // laggard observes the new epoch
+        assert!(fired.load(Ordering::SeqCst));
+        assert_eq!(mgr.pending_actions(), 0);
+    }
+
+    #[test]
+    fn drain_fires_immediately_with_no_threads() {
+        let mgr = Arc::new(EpochManager::new());
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&fired);
+        mgr.bump_with_action(move || f.store(true, Ordering::SeqCst));
+        assert!(fired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn bump_increments_epoch() {
+        let mgr = EpochManager::new();
+        let e1 = mgr.bump();
+        let e2 = mgr.bump();
+        assert_eq!(e2, e1 + 1);
+        assert_eq!(mgr.current(), e2);
+    }
+
+    #[test]
+    fn concurrent_guards_track_minimum() {
+        let mgr = Arc::new(EpochManager::new());
+        let g1 = mgr.acquire();
+        mgr.bump();
+        let _g2 = mgr.acquire(); // registers at epoch 2
+        assert_eq!(mgr.safe_epoch(), 1);
+        g1.refresh();
+        assert_eq!(mgr.safe_epoch(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Lock-free hash index.
+//!
+//! The index maps a key's hash bucket to the [`Address`] of the most recent
+//! record whose key falls in that bucket. Collisions between distinct keys are
+//! resolved by the per-bucket record chain on the log (each record stores the
+//! previous address). Entries are single `AtomicU64`s updated with
+//! compare-and-swap, so concurrent upserts linearize on the bucket entry just
+//! like FASTER.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::address::Address;
+
+/// Lock-free array of bucket entries.
+pub struct HashIndex {
+    buckets: Vec<AtomicU64>,
+    mask: u64,
+}
+
+impl HashIndex {
+    /// Create an index with at least `min_buckets` buckets (rounded up to the
+    /// next power of two).
+    pub fn new(min_buckets: usize) -> Self {
+        let n = min_buckets.max(2).next_power_of_two();
+        Self {
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket index for `key` (Fibonacci hashing — good spread for sequential
+    /// embedding ids).
+    #[inline]
+    pub fn bucket_of(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 17) & self.mask) as usize
+    }
+
+    /// Current chain head for `key`'s bucket.
+    pub fn head(&self, key: u64) -> Address {
+        let b = self.bucket_of(key);
+        Address::new(self.buckets[b].load(Ordering::Acquire))
+    }
+
+    /// Atomically replace the chain head of `key`'s bucket with `new`, but only
+    /// if it is still `expected`. Returns the observed value on failure.
+    pub fn compare_exchange(
+        &self,
+        key: u64,
+        expected: Address,
+        new: Address,
+    ) -> Result<(), Address> {
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .compare_exchange(
+                expected.raw(),
+                new.raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map(|_| ())
+            .map_err(Address::new)
+    }
+
+    /// Unconditionally set the chain head for `key`'s bucket (recovery only).
+    pub fn set_head(&self, key: u64, addr: Address) {
+        let b = self.bucket_of(key);
+        self.buckets[b].store(addr.raw(), Ordering::Release);
+    }
+
+    /// Iterate over all non-empty bucket heads (used by checkpointing and scans).
+    pub fn heads(&self) -> impl Iterator<Item = Address> + '_ {
+        self.buckets
+            .iter()
+            .map(|b| Address::new(b.load(Ordering::Acquire)))
+            .filter(|a| !a.is_invalid())
+    }
+
+    /// Clear every bucket (used when restoring from a checkpoint).
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        assert_eq!(HashIndex::new(3).bucket_count(), 4);
+        assert_eq!(HashIndex::new(16).bucket_count(), 16);
+        assert_eq!(HashIndex::new(17).bucket_count(), 32);
+        assert_eq!(HashIndex::new(0).bucket_count(), 2);
+    }
+
+    #[test]
+    fn head_starts_invalid_and_cas_installs() {
+        let idx = HashIndex::new(8);
+        assert!(idx.head(42).is_invalid());
+        idx.compare_exchange(42, Address::INVALID, Address::new(64))
+            .unwrap();
+        assert_eq!(idx.head(42), Address::new(64));
+        // CAS with stale expectation fails and reports current.
+        let err = idx
+            .compare_exchange(42, Address::INVALID, Address::new(128))
+            .unwrap_err();
+        assert_eq!(err, Address::new(64));
+    }
+
+    #[test]
+    fn same_bucket_keys_share_head() {
+        let idx = HashIndex::new(2);
+        // With only 2 buckets many keys collide; find two colliding keys.
+        let k1 = 1u64;
+        let mut k2 = 2u64;
+        while idx.bucket_of(k2) != idx.bucket_of(k1) {
+            k2 += 1;
+        }
+        idx.set_head(k1, Address::new(100));
+        assert_eq!(idx.head(k2), Address::new(100));
+    }
+
+    #[test]
+    fn heads_iterates_non_empty_buckets() {
+        let idx = HashIndex::new(8);
+        idx.set_head(1, Address::new(64));
+        idx.set_head(2, Address::new(128));
+        let mut heads: Vec<u64> = idx.heads().map(|a| a.raw()).collect();
+        heads.sort_unstable();
+        assert!(heads.len() <= 2 && !heads.is_empty());
+        idx.clear();
+        assert_eq!(idx.heads().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_cas_is_linearizable() {
+        use std::sync::Arc;
+        let idx = Arc::new(HashIndex::new(1));
+        let mut handles = Vec::new();
+        for t in 1..=4u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                // Each thread repeatedly pushes its own address on top.
+                for i in 0..100u64 {
+                    let new = Address::new(t * 1_000_000 + i + 64);
+                    loop {
+                        let cur = idx.head(0);
+                        if idx.compare_exchange(0, cur, new).is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The final head must be one of the last addresses pushed by some thread.
+        let final_head = idx.head(0).raw();
+        assert!((1..=4).any(|t| final_head == t * 1_000_000 + 99 + 64));
+    }
+}

@@ -1,0 +1,456 @@
+//! The `FasterKv` store: hash index + hybrid log + epoch protection, exposing the
+//! [`KvStore`] interface used by the MLKV layer and the benchmark harness.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mlkv_storage::device::device_from_config;
+use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::{StorageError, StorageMetrics, StorageResult, StoreConfig};
+
+use crate::address::Address;
+use crate::checkpoint;
+use crate::epoch::EpochManager;
+use crate::hash_index::HashIndex;
+use crate::hlog::HybridLog;
+use crate::record::Record;
+
+/// A FASTER-like key-value store.
+pub struct FasterKv {
+    index: HashIndex,
+    log: HybridLog,
+    epoch: Arc<EpochManager>,
+    metrics: Arc<StorageMetrics>,
+    live_records: AtomicU64,
+    config: StoreConfig,
+}
+
+impl FasterKv {
+    /// Open (or create) a store described by `config`. If the configured
+    /// directory contains a checkpoint manifest, the store recovers from it.
+    pub fn open(config: StoreConfig) -> StorageResult<Self> {
+        let metrics = Arc::new(StorageMetrics::new());
+        let device = device_from_config(&config, "hlog.dat")?;
+        let log = HybridLog::new(
+            device,
+            config.memory_budget,
+            config.page_size,
+            config.sync_writes,
+            Arc::clone(&metrics),
+        )?;
+        let store = Self {
+            index: HashIndex::new(config.index_buckets),
+            log,
+            epoch: Arc::new(EpochManager::new()),
+            metrics,
+            live_records: AtomicU64::new(0),
+            config,
+        };
+        if let Some(dir) = store.config.dir.clone() {
+            if checkpoint::manifest_exists(&dir) {
+                store.recover(&dir)?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// Convenience: an in-memory store with the given buffer budget (tests).
+    pub fn in_memory(memory_budget: usize) -> StorageResult<Self> {
+        Self::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(memory_budget)
+                .with_page_size(4096)
+                .with_index_buckets(1 << 12),
+        )
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The underlying hybrid log (used by tests and the checkpointing module).
+    pub fn log(&self) -> &HybridLog {
+        &self.log
+    }
+
+    /// The epoch manager protecting this store.
+    pub fn epoch(&self) -> &Arc<EpochManager> {
+        &self.epoch
+    }
+
+    /// Walk the hash chain for `key`, returning the first matching record along
+    /// with its address and region.
+    fn find(&self, key: Key) -> StorageResult<Option<(Address, Record, ReadSource)>> {
+        let mut addr = self.index.head(key);
+        while !addr.is_invalid() {
+            let (record, source) = self.log.read_record(addr)?;
+            if record.flags.is_valid() && record.key == key {
+                return Ok(Some((addr, record, source)));
+            }
+            addr = record.prev;
+        }
+        Ok(None)
+    }
+
+    /// Append a record for `key` and install it as the new chain head, retrying
+    /// on CAS races. Records whose CAS lost are invalidated in place.
+    fn append_and_install(&self, key: Key, value: Vec<u8>, tombstone: bool) -> StorageResult<()> {
+        loop {
+            let head = self.index.head(key);
+            let record = if tombstone {
+                Record::tombstone(key, head)
+            } else {
+                Record::new(key, value.clone(), head)
+            };
+            let addr = self.log.append(&record.encode())?;
+            match self.index.compare_exchange(key, head, addr) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // Lost the race: neutralise the appended record and retry
+                    // against the new chain head.
+                    let _ = self.log.invalidate_record(addr);
+                }
+            }
+        }
+    }
+
+    /// Checkpoint the store into its configured directory.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        let dir = self
+            .config
+            .dir
+            .clone()
+            .ok_or_else(|| StorageError::Checkpoint("in-memory store cannot checkpoint".into()))?;
+        checkpoint::write_checkpoint(self, &dir)
+    }
+
+    fn recover(&self, dir: &std::path::Path) -> StorageResult<()> {
+        let manifest = checkpoint::read_manifest(dir)?;
+        self.log
+            .restore_boundaries(manifest.tail, manifest.head, manifest.read_only);
+        // Rebuild the hash index by replaying the log in order: because every
+        // record stores the chain head observed when it was written, installing
+        // each record as the head reconstructs the exact chains.
+        self.index.clear();
+        let mut live: HashSet<u64> = HashSet::new();
+        self.log.scan(|addr, record| {
+            self.index.set_head(record.key, addr);
+            if record.is_tombstone() {
+                live.remove(&record.key);
+            } else {
+                live.insert(record.key);
+            }
+        })?;
+        self.live_records.store(live.len() as u64, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl KvStore for FasterKv {
+    fn name(&self) -> &'static str {
+        "FASTER"
+    }
+
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+        let _guard = self.epoch.acquire();
+        match self.find(key)? {
+            Some((_, record, source)) if !record.is_tombstone() => {
+                match source {
+                    ReadSource::Disk => self.metrics.record_disk_read(record.value.len() as u64),
+                    _ => self.metrics.record_mem_hit(),
+                }
+                Ok(ReadResult {
+                    value: record.value,
+                    source,
+                })
+            }
+            _ => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
+    }
+
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        let _guard = self.epoch.acquire();
+        self.metrics.record_upsert();
+        match self.find(key)? {
+            // Fast path: overwrite in place when the newest version lives in the
+            // mutable region and the length matches (always true for fixed-dim
+            // embeddings).
+            Some((addr, record, source)) if !record.is_tombstone() => {
+                if source == ReadSource::HotMemory && self.log.try_update_in_place(addr, value)? {
+                    return Ok(());
+                }
+            }
+            // Key absent or deleted: this put brings it (back) to life.
+            _ => {
+                self.live_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.append_and_install(key, value.to_vec(), false)
+    }
+
+    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        let _guard = self.epoch.acquire();
+        self.metrics.record_rmw();
+        let existing = self.find(key)?;
+        let (current, in_place_target) = match &existing {
+            Some((addr, record, source)) if !record.is_tombstone() => (
+                Some(record.value.clone()),
+                (*source == ReadSource::HotMemory).then_some(*addr),
+            ),
+            _ => (None, None),
+        };
+        if current.is_none() {
+            self.live_records.fetch_add(1, Ordering::Relaxed);
+        }
+        let new_value = f(current.as_deref());
+        if let Some(addr) = in_place_target {
+            if self.log.try_update_in_place(addr, &new_value)? {
+                return Ok(new_value);
+            }
+        }
+        self.append_and_install(key, new_value.clone(), false)?;
+        Ok(new_value)
+    }
+
+    fn delete(&self, key: Key) -> StorageResult<()> {
+        let _guard = self.epoch.acquire();
+        if let Some((_, record, _)) = self.find(key)? {
+            if !record.is_tombstone() {
+                self.live_records.fetch_sub(1, Ordering::Relaxed);
+                self.append_and_install(key, Vec::new(), true)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn promote_to_memory(&self, key: Key) -> StorageResult<bool> {
+        let _guard = self.epoch.acquire();
+        match self.find(key)? {
+            Some((_, record, ReadSource::Disk)) if !record.is_tombstone() => {
+                // Copy the cold record to the tail (mutable region), preserving
+                // its value. This is the storage-buffer destination of MLKV's
+                // look-ahead prefetching.
+                self.append_and_install(key, record.value, false)?;
+                self.metrics.record_prefetch_copy();
+                Ok(true)
+            }
+            Some((_, record, _)) if !record.is_tombstone() => {
+                // Already in memory (mutable or immutable region): the paper
+                // explicitly avoids copying records that are already memory
+                // resident to reduce pages written to disk.
+                self.metrics.record_prefetch_skip();
+                Ok(false)
+            }
+            _ => {
+                self.metrics.record_prefetch_skip();
+                Ok(false)
+            }
+        }
+    }
+
+    fn approximate_len(&self) -> usize {
+        self.live_records.load(Ordering::Relaxed) as usize
+    }
+
+    fn metrics(&self) -> Arc<StorageMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        self.log.flush_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(1, b"hello").unwrap();
+        assert_eq!(store.get(1).unwrap(), b"hello");
+        assert_eq!(store.approximate_len(), 1);
+        assert_eq!(store.name(), "FASTER");
+    }
+
+    #[test]
+    fn get_missing_key_is_not_found() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        assert!(store.get(99).unwrap_err().is_not_found());
+        assert!(!store.contains(99).unwrap());
+    }
+
+    #[test]
+    fn overwrite_returns_latest_value() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(7, b"v1").unwrap();
+        store.put(7, b"v2").unwrap();
+        store.put(7, b"v3").unwrap();
+        assert_eq!(store.get(7).unwrap(), b"v3");
+        assert_eq!(store.approximate_len(), 1);
+    }
+
+    #[test]
+    fn in_place_update_path_is_used_for_same_length_values() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(3, &[1u8; 32]).unwrap();
+        let allocated_before = store.log().allocated_bytes();
+        store.put(3, &[2u8; 32]).unwrap();
+        // Same-length overwrite of a hot record must not grow the log.
+        assert_eq!(store.log().allocated_bytes(), allocated_before);
+        assert_eq!(store.get(3).unwrap(), vec![2u8; 32]);
+    }
+
+    #[test]
+    fn delete_then_get_is_not_found() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(5, b"x").unwrap();
+        store.delete(5).unwrap();
+        assert!(store.get(5).unwrap_err().is_not_found());
+        assert_eq!(store.approximate_len(), 0);
+        // Deleting a missing key is fine.
+        store.delete(12345).unwrap();
+    }
+
+    #[test]
+    fn reinsert_after_delete_works() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(5, b"a").unwrap();
+        store.delete(5).unwrap();
+        store.put(5, b"b").unwrap();
+        assert_eq!(store.get(5).unwrap(), b"b");
+        assert_eq!(store.approximate_len(), 1);
+    }
+
+    #[test]
+    fn rmw_accumulates() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        let add_one = |old: Option<&[u8]>| -> Vec<u8> {
+            let cur = old
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .unwrap_or(0);
+            (cur + 1).to_le_bytes().to_vec()
+        };
+        for _ in 0..10 {
+            store.rmw(9, &add_one).unwrap();
+        }
+        let v = store.get(9).unwrap();
+        assert_eq!(u64::from_le_bytes(v.as_slice().try_into().unwrap()), 10);
+    }
+
+    #[test]
+    fn spills_to_disk_when_exceeding_memory_budget() {
+        // Tiny in-memory window forces most records onto the (memory-backed) device.
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(1 << 10),
+        )
+        .unwrap();
+        let n = 2000u64;
+        for k in 0..n {
+            store.put(k, &[k as u8; 64]).unwrap();
+        }
+        for k in 0..n {
+            assert_eq!(store.get(k).unwrap(), vec![k as u8; 64], "key {k}");
+        }
+        assert_eq!(store.approximate_len(), n as usize);
+        // Old keys must have been served from disk at least once.
+        assert!(store.metrics().snapshot().disk_reads > 0);
+    }
+
+    #[test]
+    fn promote_to_memory_moves_cold_records_hot() {
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(1 << 10),
+        )
+        .unwrap();
+        for k in 0..2000u64 {
+            store.put(k, &[1u8; 64]).unwrap();
+        }
+        // Key 0 is long gone from memory.
+        let before = store.get_traced(0).unwrap();
+        assert_eq!(before.source, ReadSource::Disk);
+        assert!(store.promote_to_memory(0).unwrap());
+        let after = store.get_traced(0).unwrap();
+        assert_eq!(after.source, ReadSource::HotMemory);
+        assert_eq!(after.value, before.value);
+        // Promoting an already-hot record is a no-op.
+        assert!(!store.promote_to_memory(0).unwrap());
+        // Promoting a missing key is a no-op.
+        assert!(!store.promote_to_memory(1 << 40).unwrap());
+    }
+
+    #[test]
+    fn hash_collisions_are_resolved_by_chains() {
+        // 2 buckets: nearly everything collides.
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(1 << 20)
+                .with_page_size(4096)
+                .with_index_buckets(2),
+        )
+        .unwrap();
+        for k in 0..500u64 {
+            store.put(k, &k.to_le_bytes()).unwrap();
+        }
+        for k in 0..500u64 {
+            assert_eq!(store.get(k).unwrap(), k.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_then_readers() {
+        let store = Arc::new(FasterKv::in_memory(1 << 20).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = t * 10_000 + i;
+                    store.put(key, &key.to_le_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..500u64 {
+                let key = t * 10_000 + i;
+                assert_eq!(store.get(key).unwrap(), key.to_le_bytes());
+            }
+        }
+        assert_eq!(store.approximate_len(), 2000);
+    }
+
+    #[test]
+    fn concurrent_updates_to_same_key_end_with_some_thread_value() {
+        let store = Arc::new(FasterKv::in_memory(1 << 20).unwrap());
+        store.put(1, &0u64.to_le_bytes()).unwrap();
+        let mut handles = Vec::new();
+        for t in 1..=4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    store.put(1, &(t * 1000 + i).to_le_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = u64::from_le_bytes(store.get(1).unwrap().try_into().unwrap());
+        assert!((1..=4).any(|t| v == t * 1000 + 199), "final value {v}");
+    }
+}

@@ -1,0 +1,151 @@
+//! A blocked bloom filter over `u64` keys.
+//!
+//! Each SSTable carries one so that point reads can skip tables that cannot
+//! contain the key — the standard RocksDB mitigation for read amplification.
+
+/// Bloom filter with `k` hash functions derived from two independent 64-bit
+/// hashes (Kirsch–Mitzenmacher double hashing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Create a filter sized for `expected_items` with roughly
+    /// `bits_per_key` bits per key (10 gives ~1% false positives).
+    pub fn new(expected_items: usize, bits_per_key: usize) -> Self {
+        let num_bits = (expected_items.max(1) * bits_per_key.max(1)).max(64) as u64;
+        let num_words = num_bits.div_ceil(64) as usize;
+        // Optimal k = ln(2) * bits_per_key, clamped to a sane range.
+        let num_hashes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 12);
+        Self {
+            bits: vec![0; num_words],
+            num_bits: num_words as u64 * 64,
+            num_hashes,
+        }
+    }
+
+    #[inline]
+    fn hashes(key: u64) -> (u64, u64) {
+        let h1 = key.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ (key >> 33);
+        let h2 = key.wrapping_mul(0xc4ce_b9fe_1a85_ec53) ^ (key >> 29) | 1;
+        (h1, h2)
+    }
+
+    /// Add `key` to the filter.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.num_hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// True when `key` *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: u64) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.num_hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialize the filter.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&self.num_bits.to_le_bytes());
+        out.extend_from_slice(&self.num_hashes.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a filter produced by [`BloomFilter::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let num_bits = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let num_hashes = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let words = (num_bits / 64) as usize;
+        if bytes.len() < 12 + words * 8 {
+            return None;
+        }
+        let bits = (0..words)
+            .map(|i| u64::from_le_bytes(bytes[12 + i * 8..20 + i * 8].try_into().unwrap()))
+            .collect();
+        Some(Self {
+            bits,
+            num_bits,
+            num_hashes,
+        })
+    }
+
+    /// Serialized length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        12 + self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(1000, 10);
+        for k in 0..1000u64 {
+            bf.insert(k * 7 + 3);
+        }
+        for k in 0..1000u64 {
+            assert!(bf.may_contain(k * 7 + 3));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut bf = BloomFilter::new(2000, 10);
+        for k in 0..2000u64 {
+            bf.insert(k);
+        }
+        let false_positives = (1_000_000..1_010_000u64)
+            .filter(|k| bf.may_contain(*k))
+            .count();
+        // 10 bits/key gives ~1%; allow generous slack.
+        assert!(
+            false_positives < 500,
+            "false positive rate too high: {false_positives}/10000"
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut bf = BloomFilter::new(100, 10);
+        for k in 0..100u64 {
+            bf.insert(k);
+        }
+        let decoded = BloomFilter::decode(&bf.encode()).unwrap();
+        assert_eq!(decoded, bf);
+        assert_eq!(bf.encode().len(), bf.encoded_len());
+        assert!(BloomFilter::decode(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_definitively() {
+        let bf = BloomFilter::new(10, 10);
+        assert!(!bf.may_contain(42));
+    }
+
+    #[test]
+    fn tiny_expected_items_still_works() {
+        let mut bf = BloomFilter::new(0, 0);
+        bf.insert(1);
+        assert!(bf.may_contain(1));
+    }
+}

@@ -1,0 +1,125 @@
+//! The sorted in-memory write buffer of the LSM engine.
+
+use std::collections::BTreeMap;
+
+/// An entry is either a live value or a tombstone.
+pub type Entry = Option<Vec<u8>>;
+
+/// Sorted in-memory buffer of recent writes. Not internally synchronised — the
+/// store wraps it in a lock.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<u64, Entry>,
+    bytes: usize,
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a live value.
+    pub fn put(&mut self, key: u64, value: Vec<u8>) {
+        self.account_remove(key);
+        self.bytes += 8 + value.len();
+        self.map.insert(key, Some(value));
+    }
+
+    /// Insert a tombstone.
+    pub fn delete(&mut self, key: u64) {
+        self.account_remove(key);
+        self.bytes += 8;
+        self.map.insert(key, None);
+    }
+
+    fn account_remove(&mut self, key: u64) {
+        if let Some(old) = self.map.get(&key) {
+            self.bytes -= 8 + old.as_ref().map(|v| v.len()).unwrap_or(0);
+        }
+    }
+
+    /// Look up `key`. `None` = not present at all; `Some(None)` = tombstoned.
+    pub fn get(&self, key: u64) -> Option<&Entry> {
+        self.map.get(&key)
+    }
+
+    /// Approximate heap usage of the buffered entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of buffered entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Drain the memtable into a sorted vector (used when flushing to an
+    /// SSTable), leaving it empty.
+    pub fn drain_sorted(&mut self) -> Vec<(u64, Entry)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut mt = MemTable::new();
+        assert!(mt.is_empty());
+        mt.put(1, vec![1, 2, 3]);
+        mt.put(2, vec![4]);
+        mt.delete(3);
+        assert_eq!(mt.get(1), Some(&Some(vec![1, 2, 3])));
+        assert_eq!(mt.get(3), Some(&None));
+        assert_eq!(mt.get(4), None);
+        assert_eq!(mt.len(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_overwrites() {
+        let mut mt = MemTable::new();
+        mt.put(1, vec![0; 100]);
+        assert_eq!(mt.bytes(), 108);
+        mt.put(1, vec![0; 10]);
+        assert_eq!(mt.bytes(), 18);
+        mt.delete(1);
+        assert_eq!(mt.bytes(), 8);
+    }
+
+    #[test]
+    fn drain_returns_sorted_entries_and_clears() {
+        let mut mt = MemTable::new();
+        mt.put(5, vec![5]);
+        mt.put(1, vec![1]);
+        mt.delete(3);
+        let drained = mt.drain_sorted();
+        let keys: Vec<u64> = drained.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+        assert!(mt.is_empty());
+        assert_eq!(mt.bytes(), 0);
+    }
+
+    #[test]
+    fn iter_is_key_ordered() {
+        let mut mt = MemTable::new();
+        for k in [9u64, 2, 7, 4] {
+            mt.put(k, vec![k as u8]);
+        }
+        let keys: Vec<u64> = mt.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 4, 7, 9]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Immutable sorted-string tables.
+//!
+//! Layout of one SSTable on its device:
+//!
+//! ```text
+//! [ data section  : (key u64 | tombstone u8 | vlen u32 | value bytes)* ]
+//! [ index section : (key u64 | data offset u64)*                       ]
+//! [ bloom section : serialized BloomFilter                             ]
+//! [ footer        : data_len | index_len | bloom_len | count | magic   ]
+//! ```
+//!
+//! The index and bloom filter are kept in memory once the table is opened; point
+//! reads binary-search the index and issue exactly one device read for the entry.
+
+use std::sync::Arc;
+
+use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult};
+
+use crate::bloom::BloomFilter;
+use crate::memtable::Entry;
+
+const FOOTER_LEN: usize = 40;
+const MAGIC: u64 = 0x4D4C_4B56_5353_5442; // "MLKVSSTB"
+
+/// An opened, immutable SSTable.
+pub struct SsTable {
+    device: Arc<dyn Device>,
+    /// Sorted keys with their offsets into the data section.
+    index: Vec<(u64, u64)>,
+    bloom: BloomFilter,
+    data_len: u64,
+    /// Sequence number: higher = newer (used to order reads across tables).
+    pub seq: u64,
+}
+
+impl SsTable {
+    /// Write `entries` (sorted by key, deduplicated) to `device` and return the
+    /// opened table. `seq` orders tables from oldest to newest.
+    pub fn build(
+        device: Arc<dyn Device>,
+        entries: &[(u64, Entry)],
+        seq: u64,
+        metrics: &StorageMetrics,
+    ) -> StorageResult<Self> {
+        let mut data = Vec::new();
+        let mut index = Vec::with_capacity(entries.len());
+        let mut bloom = BloomFilter::new(entries.len(), 10);
+        for (key, entry) in entries {
+            index.push((*key, data.len() as u64));
+            bloom.insert(*key);
+            data.extend_from_slice(&key.to_le_bytes());
+            match entry {
+                Some(value) => {
+                    data.push(0);
+                    data.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                    data.extend_from_slice(value);
+                }
+                None => {
+                    data.push(1);
+                    data.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+        }
+        let mut index_bytes = Vec::with_capacity(index.len() * 16);
+        for (k, off) in &index {
+            index_bytes.extend_from_slice(&k.to_le_bytes());
+            index_bytes.extend_from_slice(&off.to_le_bytes());
+        }
+        let bloom_bytes = bloom.encode();
+        let mut file = Vec::with_capacity(data.len() + index_bytes.len() + bloom_bytes.len() + FOOTER_LEN);
+        file.extend_from_slice(&data);
+        file.extend_from_slice(&index_bytes);
+        file.extend_from_slice(&bloom_bytes);
+        file.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        file.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        file.extend_from_slice(&(bloom_bytes.len() as u64).to_le_bytes());
+        file.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        file.extend_from_slice(&MAGIC.to_le_bytes());
+        device.write_at(0, &file)?;
+        metrics.record_disk_write(file.len() as u64);
+        Ok(Self {
+            device,
+            index,
+            bloom,
+            data_len: data.len() as u64,
+            seq,
+        })
+    }
+
+    /// Open an existing table from `device`.
+    pub fn open(device: Arc<dyn Device>, seq: u64) -> StorageResult<Self> {
+        let total = device.len();
+        if total < FOOTER_LEN as u64 {
+            return Err(StorageError::Corruption("sstable too small".into()));
+        }
+        let mut footer = [0u8; FOOTER_LEN];
+        device.read_at(total - FOOTER_LEN as u64, &mut footer)?;
+        let word = |i: usize| u64::from_le_bytes(footer[i * 8..(i + 1) * 8].try_into().unwrap());
+        if word(4) != MAGIC {
+            return Err(StorageError::Corruption("bad sstable magic".into()));
+        }
+        let (data_len, index_len, bloom_len, count) = (word(0), word(1), word(2), word(3));
+        let mut index_bytes = vec![0u8; index_len as usize];
+        device.read_at(data_len, &mut index_bytes)?;
+        let mut index = Vec::with_capacity(count as usize);
+        for chunk in index_bytes.chunks_exact(16) {
+            index.push((
+                u64::from_le_bytes(chunk[0..8].try_into().unwrap()),
+                u64::from_le_bytes(chunk[8..16].try_into().unwrap()),
+            ));
+        }
+        let mut bloom_bytes = vec![0u8; bloom_len as usize];
+        device.read_at(data_len + index_len, &mut bloom_bytes)?;
+        let bloom = BloomFilter::decode(&bloom_bytes)
+            .ok_or_else(|| StorageError::Corruption("bad bloom filter".into()))?;
+        Ok(Self {
+            device,
+            index,
+            bloom,
+            data_len,
+            seq,
+        })
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Smallest and largest key, when non-empty.
+    pub fn key_range(&self) -> Option<(u64, u64)> {
+        match (self.index.first(), self.index.last()) {
+            (Some((lo, _)), Some((hi, _))) => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+
+    /// True when the bloom filter admits the key.
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// Point lookup. `Ok(None)` when the key is not in this table;
+    /// `Ok(Some(None))` when the key is tombstoned here.
+    pub fn get(&self, key: u64, metrics: &StorageMetrics) -> StorageResult<Option<Entry>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let Ok(pos) = self.index.binary_search_by_key(&key, |(k, _)| *k) else {
+            return Ok(None);
+        };
+        let offset = self.index[pos].1;
+        // Read the fixed header first (key + tombstone + vlen = 13 bytes).
+        let mut header = [0u8; 13];
+        self.device.read_at(offset, &mut header)?;
+        let stored_key = u64::from_le_bytes(header[0..8].try_into().unwrap());
+        if stored_key != key {
+            return Err(StorageError::Corruption(format!(
+                "sstable index points to wrong key: {stored_key} != {key}"
+            )));
+        }
+        let tombstone = header[8] == 1;
+        let vlen = u32::from_le_bytes(header[9..13].try_into().unwrap()) as usize;
+        metrics.record_background_disk_read(13 + vlen as u64);
+        if tombstone {
+            return Ok(Some(None));
+        }
+        let mut value = vec![0u8; vlen];
+        if vlen > 0 {
+            self.device.read_at(offset + 13, &mut value)?;
+        }
+        Ok(Some(Some(value)))
+    }
+
+    /// Read every entry in key order (used by compaction).
+    pub fn scan_all(&self, metrics: &StorageMetrics) -> StorageResult<Vec<(u64, Entry)>> {
+        let mut data = vec![0u8; self.data_len as usize];
+        if self.data_len > 0 {
+            self.device.read_at(0, &mut data)?;
+            metrics.record_background_disk_read(self.data_len);
+        }
+        let mut out = Vec::with_capacity(self.index.len());
+        let mut pos = 0usize;
+        while pos + 13 <= data.len() {
+            let key = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+            let tombstone = data[pos + 8] == 1;
+            let vlen = u32::from_le_bytes(data[pos + 9..pos + 13].try_into().unwrap()) as usize;
+            pos += 13;
+            if tombstone {
+                out.push((key, None));
+            } else {
+                out.push((key, Some(data[pos..pos + vlen].to_vec())));
+                pos += vlen;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_storage::MemDevice;
+
+    fn build_table(entries: &[(u64, Entry)]) -> SsTable {
+        let device = Arc::new(MemDevice::new());
+        let metrics = StorageMetrics::new();
+        SsTable::build(device, entries, 1, &metrics).unwrap()
+    }
+
+    #[test]
+    fn build_and_get_roundtrip() {
+        let entries: Vec<(u64, Entry)> = (0..100u64).map(|k| (k * 2, Some(vec![k as u8; 16]))).collect();
+        let table = build_table(&entries);
+        let metrics = StorageMetrics::new();
+        assert_eq!(table.len(), 100);
+        assert_eq!(table.key_range(), Some((0, 198)));
+        assert_eq!(
+            table.get(10, &metrics).unwrap(),
+            Some(Some(vec![5u8; 16]))
+        );
+        // Key absent (odd keys were never inserted).
+        assert_eq!(table.get(11, &metrics).unwrap(), None);
+    }
+
+    #[test]
+    fn tombstones_are_preserved() {
+        let entries: Vec<(u64, Entry)> = vec![(1, Some(vec![1])), (2, None), (3, Some(vec![3]))];
+        let table = build_table(&entries);
+        let metrics = StorageMetrics::new();
+        assert_eq!(table.get(2, &metrics).unwrap(), Some(None));
+        assert_eq!(table.get(1, &metrics).unwrap(), Some(Some(vec![1])));
+    }
+
+    #[test]
+    fn open_reads_back_a_built_table() {
+        let device = Arc::new(MemDevice::new());
+        let metrics = StorageMetrics::new();
+        let entries: Vec<(u64, Entry)> = (0..50u64).map(|k| (k, Some(vec![k as u8]))).collect();
+        SsTable::build(Arc::clone(&device) as Arc<dyn Device>, &entries, 7, &metrics).unwrap();
+        let reopened = SsTable::open(device, 7).unwrap();
+        assert_eq!(reopened.len(), 50);
+        assert_eq!(reopened.get(49, &metrics).unwrap(), Some(Some(vec![49])));
+        assert_eq!(reopened.seq, 7);
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let device = Arc::new(MemDevice::new());
+        device.append(b"not an sstable").unwrap();
+        assert!(SsTable::open(device, 0).is_err());
+        let empty = Arc::new(MemDevice::new());
+        assert!(SsTable::open(empty, 0).is_err());
+    }
+
+    #[test]
+    fn scan_all_returns_everything_in_order() {
+        let entries: Vec<(u64, Entry)> =
+            vec![(1, Some(vec![9; 3])), (5, None), (9, Some(vec![]))];
+        let table = build_table(&entries);
+        let metrics = StorageMetrics::new();
+        assert_eq!(table.scan_all(&metrics).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_table_behaves() {
+        let table = build_table(&[]);
+        let metrics = StorageMetrics::new();
+        assert!(table.is_empty());
+        assert_eq!(table.key_range(), None);
+        assert_eq!(table.get(1, &metrics).unwrap(), None);
+        assert!(table.scan_all(&metrics).unwrap().is_empty());
+    }
+}

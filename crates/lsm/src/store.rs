@@ -1,0 +1,424 @@
+//! The LSM store tying memtable, WAL, SSTables, block cache and compaction
+//! together behind the [`KvStore`] interface.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mlkv_storage::device::device_from_config;
+use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::{
+    ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig,
+};
+
+use crate::memtable::{Entry, MemTable};
+use crate::sstable::SsTable;
+use crate::wal::WriteAheadLog;
+
+/// Number of SSTables tolerated before a full compaction is triggered.
+const COMPACTION_THRESHOLD: usize = 6;
+
+struct Inner {
+    memtable: MemTable,
+    /// All SSTables, oldest first.
+    tables: Vec<SsTable>,
+    wal: WriteAheadLog,
+    wal_gen: u64,
+}
+
+/// LSM-tree key-value store (RocksDB stand-in).
+pub struct LsmStore {
+    config: StoreConfig,
+    metrics: Arc<StorageMetrics>,
+    inner: RwLock<Inner>,
+    block_cache: ShardedLruCache,
+    memtable_budget: usize,
+    next_seq: AtomicU64,
+}
+
+impl LsmStore {
+    /// Open (or create) a store described by `config`. Half the memory budget
+    /// goes to the memtable, half to the block cache (RocksDB's usual split).
+    pub fn open(config: StoreConfig) -> StorageResult<Self> {
+        let metrics = Arc::new(StorageMetrics::new());
+        let memtable_budget = (config.memory_budget / 2).max(4 << 10);
+        let block_cache = ShardedLruCache::new((config.memory_budget / 2).max(4 << 10), 8);
+
+        let mut tables = Vec::new();
+        let mut max_seq = 0u64;
+        let mut wal_gen = 0u64;
+        if let Some(dir) = &config.dir {
+            std::fs::create_dir_all(dir)?;
+            let mut table_seqs = Vec::new();
+            for entry in std::fs::read_dir(dir)? {
+                let name = entry?.file_name().to_string_lossy().into_owned();
+                if let Some(seq) = name
+                    .strip_prefix("sst_")
+                    .and_then(|s| s.strip_suffix(".dat"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    table_seqs.push(seq);
+                } else if let Some(gen) = name
+                    .strip_prefix("wal_")
+                    .and_then(|s| s.strip_suffix(".dat"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    wal_gen = wal_gen.max(gen);
+                }
+            }
+            table_seqs.sort_unstable();
+            for seq in table_seqs {
+                let device = device_from_config(&config, &format!("sst_{seq}.dat"))?;
+                tables.push(SsTable::open(device, seq)?);
+                max_seq = max_seq.max(seq);
+            }
+        }
+        let wal_device = device_from_config(&config, &format!("wal_{wal_gen}.dat"))?;
+        let wal = WriteAheadLog::new(wal_device, config.sync_writes);
+        let mut memtable = MemTable::new();
+        for (key, entry) in wal.replay()? {
+            match entry {
+                Some(v) => memtable.put(key, v),
+                None => memtable.delete(key),
+            }
+        }
+
+        Ok(Self {
+            config,
+            metrics,
+            inner: RwLock::new(Inner {
+                memtable,
+                tables,
+                wal,
+                wal_gen,
+            }),
+            block_cache,
+            memtable_budget,
+            next_seq: AtomicU64::new(max_seq + 1),
+        })
+    }
+
+    /// Convenience constructor for tests: purely in-memory store.
+    pub fn in_memory(memory_budget: usize) -> StorageResult<Self> {
+        Self::open(StoreConfig::in_memory().with_memory_budget(memory_budget))
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of SSTables currently on disk (for tests and reporting).
+    pub fn table_count(&self) -> usize {
+        self.inner.read().tables.len()
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Flush the memtable into a new SSTable and rotate the WAL. Must be called
+    /// with the write lock held; `inner` is that guard.
+    fn flush_memtable(&self, inner: &mut Inner) -> StorageResult<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let entries = inner.memtable.drain_sorted();
+        let seq = self.next_seq();
+        let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
+        let table = SsTable::build(device, &entries, seq, &self.metrics)?;
+        inner.tables.push(table);
+        // Rotate the WAL: recovered state now lives in the SSTable.
+        inner.wal_gen += 1;
+        if let Some(dir) = &self.config.dir {
+            let _ = std::fs::remove_file(dir.join(format!("wal_{}.dat", inner.wal_gen - 1)));
+        }
+        let wal_device = device_from_config(&self.config, &format!("wal_{}.dat", inner.wal_gen))?;
+        inner.wal = WriteAheadLog::new(wal_device, self.config.sync_writes);
+
+        if inner.tables.len() > COMPACTION_THRESHOLD {
+            self.compact(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Full compaction: merge every SSTable (newest wins) into a single run and
+    /// drop tombstones.
+    fn compact(&self, inner: &mut Inner) -> StorageResult<()> {
+        let mut merged: std::collections::BTreeMap<u64, Entry> = std::collections::BTreeMap::new();
+        for table in &inner.tables {
+            // Oldest first: later (newer) tables overwrite earlier entries.
+            for (key, entry) in table.scan_all(&self.metrics)? {
+                merged.insert(key, entry);
+            }
+        }
+        // A full compaction covers the whole key space, so tombstones can be dropped.
+        let entries: Vec<(u64, Entry)> = merged
+            .into_iter()
+            .filter(|(_, e)| e.is_some())
+            .collect();
+        let seq = self.next_seq();
+        let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
+        let table = SsTable::build(device, &entries, seq, &self.metrics)?;
+        // Remove the old table files.
+        if let Some(dir) = &self.config.dir {
+            for old in &inner.tables {
+                let _ = std::fs::remove_file(dir.join(format!("sst_{}.dat", old.seq)));
+            }
+        }
+        inner.tables = vec![table];
+        Ok(())
+    }
+
+    /// Search the SSTables (newest first) for `key`.
+    fn search_tables(&self, inner: &Inner, key: Key) -> StorageResult<Option<Entry>> {
+        for table in inner.tables.iter().rev() {
+            if let Some(entry) = table.get(key, &self.metrics)? {
+                return Ok(Some(entry));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl KvStore for LsmStore {
+    fn name(&self) -> &'static str {
+        "RocksDB-like"
+    }
+
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+        let inner = self.inner.read();
+        // 1. Memtable (hot memory).
+        if let Some(entry) = inner.memtable.get(key) {
+            return match entry {
+                Some(v) => {
+                    self.metrics.record_mem_hit();
+                    Ok(ReadResult {
+                        value: v.clone(),
+                        source: ReadSource::HotMemory,
+                    })
+                }
+                None => {
+                    self.metrics.record_miss();
+                    Err(StorageError::KeyNotFound)
+                }
+            };
+        }
+        // 2. Block cache (cold memory).
+        if let Some(v) = self.block_cache.get(key) {
+            self.metrics.record_mem_hit();
+            return Ok(ReadResult {
+                value: v,
+                source: ReadSource::ColdMemory,
+            });
+        }
+        // 3. SSTables (disk).
+        match self.search_tables(&inner, key)? {
+            Some(Some(v)) => {
+                self.metrics.record_disk_read(v.len() as u64);
+                self.block_cache.insert(key, v.clone());
+                Ok(ReadResult {
+                    value: v,
+                    source: ReadSource::Disk,
+                })
+            }
+            _ => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
+    }
+
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        self.metrics.record_upsert();
+        self.block_cache.invalidate(key);
+        let mut inner = self.inner.write();
+        inner.wal.log_put(key, value, &self.metrics)?;
+        inner.memtable.put(key, value.to_vec());
+        if inner.memtable.bytes() >= self.memtable_budget {
+            self.flush_memtable(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        self.metrics.record_rmw();
+        self.block_cache.invalidate(key);
+        let mut inner = self.inner.write();
+        let current: Option<Vec<u8>> = match inner.memtable.get(key) {
+            Some(Some(v)) => Some(v.clone()),
+            Some(None) => None,
+            None => match self.search_tables(&inner, key)? {
+                Some(Some(v)) => Some(v),
+                _ => None,
+            },
+        };
+        let new_value = f(current.as_deref());
+        inner.wal.log_put(key, &new_value, &self.metrics)?;
+        inner.memtable.put(key, new_value.clone());
+        if inner.memtable.bytes() >= self.memtable_budget {
+            self.flush_memtable(&mut inner)?;
+        }
+        Ok(new_value)
+    }
+
+    fn delete(&self, key: Key) -> StorageResult<()> {
+        self.block_cache.invalidate(key);
+        let mut inner = self.inner.write();
+        inner.wal.log_delete(key, &self.metrics)?;
+        inner.memtable.delete(key);
+        if inner.memtable.bytes() >= self.memtable_budget {
+            self.flush_memtable(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    fn approximate_len(&self) -> usize {
+        let inner = self.inner.read();
+        // Approximate: overcounts keys that exist in several runs.
+        inner.memtable.len() + inner.tables.iter().map(|t| t.len()).sum::<usize>()
+    }
+
+    fn metrics(&self) -> Arc<StorageMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        let mut inner = self.inner.write();
+        self.flush_memtable(&mut inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = LsmStore::in_memory(1 << 20).unwrap();
+        store.put(1, b"one").unwrap();
+        assert_eq!(store.get(1).unwrap(), b"one");
+        assert!(store.get(2).unwrap_err().is_not_found());
+        assert_eq!(store.name(), "RocksDB-like");
+    }
+
+    #[test]
+    fn overwrites_and_deletes_across_flushes() {
+        let store = LsmStore::in_memory(64 << 10).unwrap();
+        for k in 0..2000u64 {
+            store.put(k, &[k as u8; 32]).unwrap();
+        }
+        assert!(store.table_count() > 0, "memtable should have flushed");
+        store.put(7, b"new-seven").unwrap();
+        store.delete(8).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.get(7).unwrap(), b"new-seven");
+        assert!(store.get(8).unwrap_err().is_not_found());
+        assert_eq!(store.get(1999).unwrap(), vec![1999u64 as u8; 32]);
+    }
+
+    #[test]
+    fn reads_after_flush_come_from_disk_then_cache() {
+        let store = LsmStore::in_memory(32 << 10).unwrap();
+        for k in 0..500u64 {
+            store.put(k, &[k as u8; 64]).unwrap();
+        }
+        store.flush().unwrap();
+        let r1 = store.get_traced(3).unwrap();
+        assert_eq!(r1.source, ReadSource::Disk);
+        let r2 = store.get_traced(3).unwrap();
+        assert_eq!(r2.source, ReadSource::ColdMemory);
+        assert_eq!(r1.value, r2.value);
+    }
+
+    #[test]
+    fn cache_is_invalidated_by_writes() {
+        let store = LsmStore::in_memory(32 << 10).unwrap();
+        store.put(1, b"a").unwrap();
+        store.flush().unwrap();
+        let _ = store.get(1).unwrap(); // populate cache
+        store.put(1, b"b").unwrap();
+        assert_eq!(store.get(1).unwrap(), b"b");
+    }
+
+    #[test]
+    fn compaction_bounds_table_count() {
+        let store = LsmStore::in_memory(16 << 10).unwrap();
+        for k in 0..20_000u64 {
+            store.put(k % 1000, &[(k % 251) as u8; 40]).unwrap();
+        }
+        assert!(
+            store.table_count() <= COMPACTION_THRESHOLD + 1,
+            "tables: {}",
+            store.table_count()
+        );
+        // Data is still correct after compactions.
+        for k in 0..1000u64 {
+            assert!(store.get(k).is_ok(), "key {k} lost");
+        }
+    }
+
+    #[test]
+    fn rmw_reads_through_all_levels() {
+        let store = LsmStore::in_memory(16 << 10).unwrap();
+        store.put(42, &1u64.to_le_bytes()).unwrap();
+        store.flush().unwrap();
+        let out = store
+            .rmw(42, &|old| {
+                let cur = old
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                (cur + 5).to_le_bytes().to_vec()
+            })
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 6);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "mlkv-lsm-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = StoreConfig::on_disk(&dir).with_memory_budget(32 << 10);
+        {
+            let store = LsmStore::open(cfg.clone()).unwrap();
+            for k in 0..800u64 {
+                store.put(k, &k.to_le_bytes()).unwrap();
+            }
+            store.delete(5).unwrap();
+            // Note: no explicit flush — the WAL must cover the memtable tail.
+        }
+        let store = LsmStore::open(cfg).unwrap();
+        assert_eq!(store.get(799).unwrap(), 799u64.to_le_bytes());
+        assert_eq!(store.get(0).unwrap(), 0u64.to_le_bytes());
+        assert!(store.get(5).unwrap_err().is_not_found());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let store = Arc::new(LsmStore::in_memory(64 << 10).unwrap());
+        for k in 0..100u64 {
+            store.put(k, &k.to_le_bytes()).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    let key = 1000 + t * 1000 + i;
+                    store.put(key, &key.to_le_bytes()).unwrap();
+                    assert_eq!(store.get(key).unwrap(), key.to_le_bytes());
+                    assert_eq!(store.get(i % 100).unwrap(), (i % 100).to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

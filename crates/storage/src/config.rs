@@ -1,0 +1,121 @@
+//! Common configuration knobs for storage engines.
+//!
+//! The paper's evaluation sweeps a single knob — the **memory buffer size** — across
+//! all engines (Figure 7, 9(b), 10, 11(a)). `StoreConfig` captures that budget plus
+//! the handful of structural parameters the engines need.
+
+use std::path::PathBuf;
+
+/// Configuration shared by every engine in the workspace.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the engine's on-disk files. `None` means a purely
+    /// in-memory device (used in unit tests and the in-memory baselines).
+    pub dir: Option<PathBuf>,
+    /// Total in-memory buffer budget in bytes (hybrid-log memory region, LSM
+    /// memtable + block cache, or B+tree buffer pool, depending on the engine).
+    pub memory_budget: usize,
+    /// Page size used by paged components.
+    pub page_size: usize,
+    /// Number of hash-index buckets (FASTER engine) or fan-out hints. Rounded up
+    /// to a power of two by the engines.
+    pub index_buckets: usize,
+    /// Whether writes should be flushed to the device eagerly (fsync-like). The
+    /// benchmarks keep this off, mirroring the paper's non-durable training runs.
+    pub sync_writes: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            dir: None,
+            memory_budget: 64 << 20,
+            page_size: crate::page::PAGE_SIZE,
+            index_buckets: 1 << 16,
+            sync_writes: false,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Configuration for a store persisted under `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for a purely in-memory store (tests, in-memory baseline).
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            ..Self::default()
+        }
+    }
+
+    /// Set the in-memory buffer budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Set the number of index buckets.
+    pub fn with_index_buckets(mut self, buckets: usize) -> Self {
+        self.index_buckets = buckets;
+        self
+    }
+
+    /// Set the page size.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size = bytes;
+        self
+    }
+
+    /// Enable or disable eager flushing.
+    pub fn with_sync_writes(mut self, sync: bool) -> Self {
+        self.sync_writes = sync;
+        self
+    }
+
+    /// Number of whole pages that fit in the memory budget (at least one).
+    pub fn pages_in_budget(&self) -> usize {
+        (self.memory_budget / self.page_size).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_memory() {
+        let cfg = StoreConfig::default();
+        assert!(cfg.dir.is_none());
+        assert!(cfg.memory_budget > 0);
+        assert!(!cfg.sync_writes);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = StoreConfig::on_disk("/tmp/x")
+            .with_memory_budget(1 << 20)
+            .with_index_buckets(128)
+            .with_page_size(4096)
+            .with_sync_writes(true);
+        assert_eq!(cfg.dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(cfg.memory_budget, 1 << 20);
+        assert_eq!(cfg.index_buckets, 128);
+        assert_eq!(cfg.page_size, 4096);
+        assert!(cfg.sync_writes);
+        assert_eq!(cfg.pages_in_budget(), (1 << 20) / 4096);
+    }
+
+    #[test]
+    fn pages_in_budget_is_at_least_one() {
+        let cfg = StoreConfig::in_memory()
+            .with_memory_budget(10)
+            .with_page_size(4096);
+        assert_eq!(cfg.pages_in_budget(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by all storage engines.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used across storage crates.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by storage engines and the common layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The requested key does not exist.
+    KeyNotFound,
+    /// A record or page on disk failed validation (checksum / magic / length).
+    Corruption(String),
+    /// The engine was asked to do something its configuration does not allow
+    /// (e.g. value larger than a page, buffer budget of zero).
+    InvalidArgument(String),
+    /// The store has been closed or poisoned and can no longer serve requests.
+    Closed,
+    /// A bounded-staleness wait timed out (surfaced by the MLKV core layer).
+    StalenessTimeout {
+        /// Key for which the wait timed out.
+        key: u64,
+        /// The configured staleness bound.
+        bound: u32,
+    },
+    /// Checkpoint / recovery failure.
+    Checkpoint(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::KeyNotFound => write!(f, "key not found"),
+            StorageError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StorageError::Closed => write!(f, "store is closed"),
+            StorageError::StalenessTimeout { key, bound } => {
+                write!(f, "staleness wait timed out for key {key} (bound {bound})")
+            }
+            StorageError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl StorageError {
+    /// True when the error simply means the key was absent.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, StorageError::KeyNotFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let io_err = StorageError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert_eq!(StorageError::KeyNotFound.to_string(), "key not found");
+        assert!(StorageError::Corruption("bad page".into())
+            .to_string()
+            .contains("bad page"));
+        assert!(StorageError::InvalidArgument("dim".into())
+            .to_string()
+            .contains("dim"));
+        assert_eq!(StorageError::Closed.to_string(), "store is closed");
+        let st = StorageError::StalenessTimeout { key: 7, bound: 4 };
+        assert!(st.to_string().contains("key 7"));
+        assert!(StorageError::Checkpoint("meta".into())
+            .to_string()
+            .contains("meta"));
+    }
+
+    #[test]
+    fn is_not_found_only_for_key_not_found() {
+        assert!(StorageError::KeyNotFound.is_not_found());
+        assert!(!StorageError::Closed.is_not_found());
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let err = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+}

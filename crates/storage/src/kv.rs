@@ -1,0 +1,158 @@
+//! The `KvStore` trait: the uniform key-value interface (`Get`, `Put`, `Rmw`,
+//! `Delete`) the paper identifies as the clean decoupling point between
+//! application logic and storage management (§II-C, Opportunities).
+//!
+//! All engines in the workspace implement this trait; the MLKV core layer
+//! (`mlkv` crate) is generic over it, which is exactly how the paper's MLKV can
+//! "also be applied to B+tree based key-value stores".
+
+use std::sync::Arc;
+
+use crate::error::StorageResult;
+use crate::metrics::StorageMetrics;
+
+/// Keys are 64-bit sparse-feature identifiers, matching the paper's setting where
+/// the computation layer addresses embeddings by the unique id of a sparse feature.
+pub type Key = u64;
+
+/// A batch of writes applied together (used by checkpointing and bulk loads).
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    ops: Vec<(Key, Vec<u8>)>,
+}
+
+impl WriteBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue an upsert of `key` to `value`.
+    pub fn put(&mut self, key: Key, value: Vec<u8>) {
+        self.ops.push((key, value));
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate over queued operations.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Vec<u8>)> {
+        self.ops.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Consume the batch, yielding its operations.
+    pub fn into_ops(self) -> Vec<(Key, Vec<u8>)> {
+        self.ops
+    }
+}
+
+/// Where a read was ultimately served from. The MLKV layer uses this to decide
+/// whether a prefetch needs to copy the record into the hot region, and the
+/// trainer uses it for the latency breakdown of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSource {
+    /// Served from the engine's mutable in-memory region.
+    HotMemory,
+    /// Served from an immutable in-memory region (read-only hybrid-log pages,
+    /// memtable snapshots, cached blocks).
+    ColdMemory,
+    /// Required a device read.
+    Disk,
+}
+
+/// A value together with the region it was read from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The value bytes.
+    pub value: Vec<u8>,
+    /// Where the value came from.
+    pub source: ReadSource,
+}
+
+/// Blocking key-value store interface implemented by every engine.
+///
+/// Implementations must be safe for concurrent use from multiple threads.
+pub trait KvStore: Send + Sync + 'static {
+    /// Human-readable engine name (used in benchmark output: "MLKV", "FASTER",
+    /// "RocksDB-like", "WiredTiger-like").
+    fn name(&self) -> &'static str;
+
+    /// Fetch the value for `key`.
+    fn get(&self, key: Key) -> StorageResult<Vec<u8>> {
+        self.get_traced(key).map(|r| r.value)
+    }
+
+    /// Fetch the value for `key` together with the region it was served from.
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult>;
+
+    /// Insert or overwrite `key` with `value`.
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()>;
+
+    /// Read-modify-write: apply `f` to the current value (or `None`) and store
+    /// the result. Returns the new value.
+    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>>;
+
+    /// Remove `key`. Returns `Ok(())` even when absent.
+    fn delete(&self, key: Key) -> StorageResult<()>;
+
+    /// True when the key currently exists.
+    fn contains(&self, key: Key) -> StorageResult<bool> {
+        match self.get_traced(key) {
+            Ok(_) => Ok(true),
+            Err(e) if e.is_not_found() => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Apply a batch of upserts.
+    fn write_batch(&self, batch: &WriteBatch) -> StorageResult<()> {
+        for (k, v) in batch.iter() {
+            self.put(*k, v)?;
+        }
+        Ok(())
+    }
+
+    /// Hint that `key` will be needed soon: the engine should move it into its
+    /// in-memory buffer if it currently lives on disk, *without* changing its
+    /// value or (for MLKV) its staleness. Returns `true` when a copy into the hot
+    /// region actually happened. The default implementation is a no-op, matching
+    /// engines (RocksDB/WiredTiger offloading) that have no such facility — this
+    /// is precisely the capability gap the paper's Lookahead interface fills.
+    fn promote_to_memory(&self, _key: Key) -> StorageResult<bool> {
+        Ok(false)
+    }
+
+    /// Number of live records (approximate for engines with tombstones).
+    fn approximate_len(&self) -> usize;
+
+    /// Engine metrics.
+    fn metrics(&self) -> Arc<StorageMetrics>;
+
+    /// Flush all in-memory state to the device (checkpoint-like barrier).
+    fn flush(&self) -> StorageResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_batch_accumulates_ops() {
+        let mut batch = WriteBatch::new();
+        assert!(batch.is_empty());
+        batch.put(1, vec![1, 2, 3]);
+        batch.put(2, vec![4]);
+        assert_eq!(batch.len(), 2);
+        let collected: Vec<_> = batch.iter().map(|(k, v)| (*k, v.len())).collect();
+        assert_eq!(collected, vec![(1, 3), (2, 1)]);
+        let ops = batch.into_ops();
+        assert_eq!(ops[1], (2, vec![4]));
+    }
+}

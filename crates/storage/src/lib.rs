@@ -1,0 +1,36 @@
+//! Common storage abstractions shared by every key-value engine in the MLKV
+//! reproduction workspace.
+//!
+//! The crate provides:
+//!
+//! * [`KvStore`] — the blocking key-value interface every engine implements
+//!   (FASTER-like hybrid log, LSM tree, B+tree, and the in-memory baseline).
+//! * [`Device`] — a positioned-I/O abstraction over files or memory, used by the
+//!   engines for their on-disk components.
+//! * [`Page`] / [`PageId`] — fixed-size page plumbing for paged engines.
+//! * [`ShardedLruCache`] — a general purpose byte cache used both as block cache
+//!   (LSM), buffer-pool victim cache (B+tree) and application cache (MLKV core).
+//! * [`StorageMetrics`] — atomic counters describing disk traffic and cache
+//!   behaviour; every engine exposes one so that the benchmark harness can report
+//!   I/O alongside throughput.
+//!
+//! Everything here is synchronous and thread-safe; the asynchrony the paper relies
+//! on (look-ahead prefetching) is layered on top in the `mlkv` crate.
+
+pub mod cache;
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod kv;
+pub mod memstore;
+pub mod metrics;
+pub mod page;
+
+pub use cache::ShardedLruCache;
+pub use config::StoreConfig;
+pub use device::{Device, FileDevice, MemDevice};
+pub use error::{StorageError, StorageResult};
+pub use kv::{KvStore, WriteBatch};
+pub use memstore::MemStore;
+pub use metrics::{MetricsSnapshot, StorageMetrics};
+pub use page::{Page, PageId, PAGE_SIZE};

@@ -1,0 +1,180 @@
+//! A purely in-memory `KvStore`.
+//!
+//! This is the stand-in for the *specialized in-memory frameworks*' embedding
+//! storage (PERSIA / DGL / DGL-KE proprietary in-memory tables) used as the
+//! upper-bound baseline in Figure 6, and it doubles as the model implementation
+//! that the property tests compare the disk engines against.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{StorageError, StorageResult};
+use crate::kv::{Key, KvStore, ReadResult, ReadSource};
+use crate::metrics::StorageMetrics;
+
+/// Sharded in-memory hash-map store.
+pub struct MemStore {
+    shards: Vec<RwLock<HashMap<Key, Vec<u8>>>>,
+    metrics: Arc<StorageMetrics>,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStore {
+    /// Create a store with a default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(16)
+    }
+
+    /// Create a store with `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            metrics: Arc::new(StorageMetrics::new()),
+        }
+    }
+
+    fn shard_for(&self, key: Key) -> &RwLock<HashMap<Key, Vec<u8>>> {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+}
+
+impl KvStore for MemStore {
+    fn name(&self) -> &'static str {
+        "InMemory"
+    }
+
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+        let shard = self.shard_for(key).read();
+        match shard.get(&key) {
+            Some(v) => {
+                self.metrics.record_mem_hit();
+                Ok(ReadResult {
+                    value: v.clone(),
+                    source: ReadSource::HotMemory,
+                })
+            }
+            None => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
+    }
+
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        self.metrics.record_upsert();
+        self.shard_for(key).write().insert(key, value.to_vec());
+        Ok(())
+    }
+
+    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        self.metrics.record_rmw();
+        let mut shard = self.shard_for(key).write();
+        let new = f(shard.get(&key).map(|v| v.as_slice()));
+        shard.insert(key, new.clone());
+        Ok(new)
+    }
+
+    fn delete(&self, key: Key) -> StorageResult<()> {
+        self.shard_for(key).write().remove(&key);
+        Ok(())
+    }
+
+    fn approximate_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn metrics(&self) -> Arc<StorageMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    fn flush(&self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let store = MemStore::new();
+        store.put(1, b"one").unwrap();
+        assert_eq!(store.get(1).unwrap(), b"one");
+        assert!(store.contains(1).unwrap());
+        assert_eq!(store.approximate_len(), 1);
+        store.delete(1).unwrap();
+        assert!(store.get(1).unwrap_err().is_not_found());
+        assert!(!store.contains(1).unwrap());
+    }
+
+    #[test]
+    fn rmw_sees_previous_value() {
+        let store = MemStore::new();
+        store.put(5, &[1]).unwrap();
+        let out = store
+            .rmw(5, &|old| {
+                let mut v = old.unwrap().to_vec();
+                v.push(2);
+                v
+            })
+            .unwrap();
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(store.get(5).unwrap(), vec![1, 2]);
+        // RMW on a missing key sees None.
+        let out = store.rmw(6, &|old| {
+            assert!(old.is_none());
+            vec![9]
+        });
+        assert_eq!(out.unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn reads_are_reported_as_hot_memory() {
+        let store = MemStore::new();
+        store.put(1, b"x").unwrap();
+        let r = store.get_traced(1).unwrap();
+        assert_eq!(r.source, ReadSource::HotMemory);
+    }
+
+    #[test]
+    fn write_batch_applies_all() {
+        let store = MemStore::new();
+        let mut batch = crate::kv::WriteBatch::new();
+        for i in 0..10 {
+            batch.put(i, vec![i as u8]);
+        }
+        store.write_batch(&batch).unwrap();
+        assert_eq!(store.approximate_len(), 10);
+        assert_eq!(store.get(7).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let store = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let key = t * 1000 + i;
+                    s.put(key, &key.to_le_bytes()).unwrap();
+                    assert_eq!(s.get(key).unwrap(), key.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.approximate_len(), 1000);
+    }
+}

@@ -1,0 +1,271 @@
+//! Atomic counters describing the I/O behaviour of a storage engine.
+//!
+//! The benchmark harness reports these next to throughput so the figures can show
+//! *why* one backend beats another (disk reads hidden by prefetching, write
+//! amplification of the LSM engine, ...). They are also the inputs of the energy
+//! model used for Figure 7 (bottom).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe I/O and cache counters.
+///
+/// All counters are monotonically increasing; readers take a [`MetricsSnapshot`]
+/// and subtract two snapshots to get per-interval rates.
+#[derive(Debug, Default)]
+pub struct StorageMetrics {
+    /// Number of read operations served entirely from memory.
+    pub mem_hits: AtomicU64,
+    /// Number of read operations that had to touch the device.
+    pub disk_reads: AtomicU64,
+    /// Bytes read from the device.
+    pub disk_read_bytes: AtomicU64,
+    /// Number of write operations issued to the device (page flushes, SSTable
+    /// writes, WAL appends).
+    pub disk_writes: AtomicU64,
+    /// Bytes written to the device.
+    pub disk_write_bytes: AtomicU64,
+    /// Records inserted or updated.
+    pub upserts: AtomicU64,
+    /// Read-modify-write operations.
+    pub rmws: AtomicU64,
+    /// Point lookups (regardless of hit location).
+    pub lookups: AtomicU64,
+    /// Lookups that found no record.
+    pub misses: AtomicU64,
+    /// Records copied from a cold region into the hot region by prefetching.
+    pub prefetch_copies: AtomicU64,
+    /// Prefetch requests that were no-ops (already hot / in-flight).
+    pub prefetch_skips: AtomicU64,
+    /// Number of cache evictions performed.
+    pub evictions: AtomicU64,
+}
+
+/// A point-in-time copy of [`StorageMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub mem_hits: u64,
+    pub disk_reads: u64,
+    pub disk_read_bytes: u64,
+    pub disk_writes: u64,
+    pub disk_write_bytes: u64,
+    pub upserts: u64,
+    pub rmws: u64,
+    pub lookups: u64,
+    pub misses: u64,
+    pub prefetch_copies: u64,
+    pub prefetch_skips: u64,
+    pub evictions: u64,
+}
+
+impl StorageMetrics {
+    /// Create a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read served from memory.
+    #[inline]
+    pub fn record_mem_hit(&self) {
+        self.mem_hits.fetch_add(1, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a read that required `bytes` from the device.
+    #[inline]
+    pub fn record_disk_read(&self, bytes: u64) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.disk_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a device read that is not a user lookup (e.g. prefetch I/O).
+    #[inline]
+    pub fn record_background_disk_read(&self, bytes: u64) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.disk_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` written to the device.
+    #[inline]
+    pub fn record_disk_write(&self, bytes: u64) {
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        self.disk_write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record an upsert.
+    #[inline]
+    pub fn record_upsert(&self) {
+        self.upserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an RMW.
+    #[inline]
+    pub fn record_rmw(&self) {
+        self.rmws.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a lookup that found nothing.
+    #[inline]
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a prefetch that copied a record into the hot region.
+    #[inline]
+    pub fn record_prefetch_copy(&self) {
+        self.prefetch_copies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a prefetch that was skipped.
+    #[inline]
+    pub fn record_prefetch_skip(&self) {
+        self.prefetch_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache or buffer-pool eviction.
+    #[inline]
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            disk_read_bytes: self.disk_read_bytes.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_write_bytes: self.disk_write_bytes.load(Ordering::Relaxed),
+            upserts: self.upserts.load(Ordering::Relaxed),
+            rmws: self.rmws.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            prefetch_copies: self.prefetch_copies.load(Ordering::Relaxed),
+            prefetch_skips: self.prefetch_skips.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.mem_hits.store(0, Ordering::Relaxed);
+        self.disk_reads.store(0, Ordering::Relaxed);
+        self.disk_read_bytes.store(0, Ordering::Relaxed);
+        self.disk_writes.store(0, Ordering::Relaxed);
+        self.disk_write_bytes.store(0, Ordering::Relaxed);
+        self.upserts.store(0, Ordering::Relaxed);
+        self.rmws.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.prefetch_copies.store(0, Ordering::Relaxed);
+        self.prefetch_skips.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            mem_hits: self.mem_hits - earlier.mem_hits,
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_read_bytes: self.disk_read_bytes - earlier.disk_read_bytes,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            disk_write_bytes: self.disk_write_bytes - earlier.disk_write_bytes,
+            upserts: self.upserts - earlier.upserts,
+            rmws: self.rmws - earlier.rmws,
+            lookups: self.lookups - earlier.lookups,
+            misses: self.misses - earlier.misses,
+            prefetch_copies: self.prefetch_copies - earlier.prefetch_copies,
+            prefetch_skips: self.prefetch_skips - earlier.prefetch_skips,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Fraction of lookups served from memory, in `[0, 1]`. Returns 1.0 when no
+    /// lookups happened (nothing stalled on disk).
+    pub fn memory_hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.mem_hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Total bytes moved to or from the device.
+    pub fn total_io_bytes(&self) -> u64 {
+        self.disk_read_bytes + self.disk_write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = StorageMetrics::new();
+        m.record_mem_hit();
+        m.record_disk_read(4096);
+        m.record_disk_write(8192);
+        m.record_upsert();
+        m.record_rmw();
+        m.record_miss();
+        m.record_prefetch_copy();
+        m.record_prefetch_skip();
+        m.record_eviction();
+        let s = m.snapshot();
+        assert_eq!(s.mem_hits, 1);
+        assert_eq!(s.disk_reads, 1);
+        assert_eq!(s.disk_read_bytes, 4096);
+        assert_eq!(s.disk_writes, 1);
+        assert_eq!(s.disk_write_bytes, 8192);
+        assert_eq!(s.upserts, 1);
+        assert_eq!(s.rmws, 1);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.prefetch_copies, 1);
+        assert_eq!(s.prefetch_skips, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.total_io_bytes(), 4096 + 8192);
+    }
+
+    #[test]
+    fn snapshot_delta_and_hit_ratio() {
+        let m = StorageMetrics::new();
+        m.record_mem_hit();
+        let first = m.snapshot();
+        m.record_mem_hit();
+        m.record_disk_read(100);
+        let second = m.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.mem_hits, 1);
+        assert_eq!(d.disk_reads, 1);
+        assert_eq!(d.lookups, 2);
+        assert!((d.memory_hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_ratio_with_no_lookups_is_one() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.memory_hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = StorageMetrics::new();
+        m.record_disk_read(10);
+        m.record_upsert();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn background_reads_do_not_count_as_lookups() {
+        let m = StorageMetrics::new();
+        m.record_background_disk_read(512);
+        let s = m.snapshot();
+        assert_eq!(s.disk_reads, 1);
+        assert_eq!(s.lookups, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixed-size page plumbing shared by the paged engines (B+tree buffer pool, LSM
+//! blocks, hybrid-log flush units).
+
+use crate::error::{StorageError, StorageResult};
+
+/// Default page size (16 KiB, WiredTiger-like leaf page size).
+pub const PAGE_SIZE: usize = 16 * 1024;
+
+/// Identifier of a page within one device: pages are laid out contiguously so the
+/// byte offset is `id * page_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of the page for a given page size.
+    pub fn offset(&self, page_size: usize) -> u64 {
+        self.0 * page_size as u64
+    }
+}
+
+/// A heap-allocated page buffer with a small header (`len` of valid payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl Page {
+    /// Bytes reserved at the start of the on-disk form for the payload length.
+    pub const HEADER_LEN: usize = 8;
+
+    /// Create an empty page with capacity `page_size` (payload capacity is
+    /// `page_size - HEADER_LEN`).
+    pub fn new(page_size: usize) -> Self {
+        Self {
+            data: vec![0; page_size],
+            len: 0,
+        }
+    }
+
+    /// Payload capacity of the page.
+    pub fn capacity(&self) -> usize {
+        self.data.len() - Self::HEADER_LEN
+    }
+
+    /// Length of the valid payload.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining payload capacity.
+    pub fn remaining(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Valid payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.data[Self::HEADER_LEN..Self::HEADER_LEN + self.len]
+    }
+
+    /// Append `bytes` to the payload, returning the payload offset they were
+    /// written at, or an error when the page is full.
+    pub fn append(&mut self, bytes: &[u8]) -> StorageResult<usize> {
+        if bytes.len() > self.remaining() {
+            return Err(StorageError::InvalidArgument(format!(
+                "page overflow: need {} bytes, {} remaining",
+                bytes.len(),
+                self.remaining()
+            )));
+        }
+        let offset = self.len;
+        let start = Self::HEADER_LEN + offset;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(offset)
+    }
+
+    /// Read `len` payload bytes starting at payload offset `offset`.
+    pub fn read(&self, offset: usize, len: usize) -> StorageResult<&[u8]> {
+        if offset + len > self.len {
+            return Err(StorageError::Corruption(format!(
+                "page read out of bounds: {}+{} > {}",
+                offset, len, self.len
+            )));
+        }
+        let start = Self::HEADER_LEN + offset;
+        Ok(&self.data[start..start + len])
+    }
+
+    /// Reset the page to empty, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Serialize the page (header + payload + zero padding) into its on-disk form
+    /// of exactly `page_size` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.data.clone();
+        out[..8].copy_from_slice(&(self.len as u64).to_le_bytes());
+        out
+    }
+
+    /// Deserialize a page from its on-disk form.
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        if bytes.len() < Self::HEADER_LEN {
+            return Err(StorageError::Corruption("page too small".into()));
+        }
+        let mut len_buf = [0u8; 8];
+        len_buf.copy_from_slice(&bytes[..8]);
+        let len = u64::from_le_bytes(len_buf) as usize;
+        if len > bytes.len() - Self::HEADER_LEN {
+            return Err(StorageError::Corruption(format!(
+                "page payload length {} exceeds page size {}",
+                len,
+                bytes.len()
+            )));
+        }
+        Ok(Self {
+            data: bytes.to_vec(),
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let mut page = Page::new(256);
+        let off1 = page.append(b"hello").unwrap();
+        let off2 = page.append(b"world").unwrap();
+        assert_eq!(off1, 0);
+        assert_eq!(off2, 5);
+        assert_eq!(page.read(0, 5).unwrap(), b"hello");
+        assert_eq!(page.read(5, 5).unwrap(), b"world");
+        assert_eq!(page.len(), 10);
+        assert_eq!(page.payload(), b"helloworld");
+    }
+
+    #[test]
+    fn append_overflow_is_rejected() {
+        let mut page = Page::new(Page::HEADER_LEN + 4);
+        assert!(page.append(b"12345").is_err());
+        assert!(page.append(b"1234").is_ok());
+        assert_eq!(page.remaining(), 0);
+    }
+
+    #[test]
+    fn read_out_of_bounds_is_rejected() {
+        let mut page = Page::new(64);
+        page.append(b"abc").unwrap();
+        assert!(page.read(0, 4).is_err());
+        assert!(page.read(2, 2).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut page = Page::new(128);
+        page.append(b"persist me").unwrap();
+        let bytes = page.to_bytes();
+        assert_eq!(bytes.len(), 128);
+        let restored = Page::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.payload(), b"persist me");
+        assert_eq!(restored.len(), page.len());
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        assert!(Page::from_bytes(&[1, 2, 3]).is_err());
+        let mut bytes = vec![0u8; 32];
+        bytes[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Page::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn clear_resets_length_not_capacity() {
+        let mut page = Page::new(64);
+        page.append(b"xyz").unwrap();
+        page.clear();
+        assert!(page.is_empty());
+        assert_eq!(page.capacity(), 64 - Page::HEADER_LEN);
+    }
+
+    #[test]
+    fn page_id_offset() {
+        assert_eq!(PageId(0).offset(4096), 0);
+        assert_eq!(PageId(3).offset(4096), 12288);
+    }
+}

@@ -1,0 +1,94 @@
+//! Approximate energy accounting (Figure 7, bottom).
+//!
+//! The paper reports approximate energy consumption "following previous
+//! methods" (power-model based estimation à la CarbonTracker / Zeus): the
+//! accelerator and host draw close to their active power while computing and a
+//! lower idle power while stalled on storage, and the storage device adds a
+//! per-byte transfer cost. This module implements that model; the absolute
+//! constants are nominal datasheet-style values, so only relative comparisons
+//! between backends are meaningful (which is all Figure 7 uses them for).
+
+/// Power/energy model constants.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    /// Power drawn while the trainer is doing useful compute (W).
+    pub active_watts: f64,
+    /// Power drawn while the trainer is stalled on storage (W).
+    pub idle_watts: f64,
+    /// Energy per byte moved to/from the storage device (J/byte); ~10 pJ/bit
+    /// NVMe-class transfer energy rounded up to account for the controller.
+    pub joules_per_io_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            // V100-class accelerator + host share under load vs. idling.
+            active_watts: 300.0,
+            idle_watts: 90.0,
+            joules_per_io_byte: 2e-8,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total energy in Joules for a run that spent `busy_s` seconds computing,
+    /// `stall_s` seconds waiting on storage and moved `io_bytes` bytes.
+    pub fn total_joules(&self, busy_s: f64, stall_s: f64, io_bytes: u64) -> f64 {
+        self.active_watts * busy_s
+            + self.idle_watts * stall_s
+            + self.joules_per_io_byte * io_bytes as f64
+    }
+
+    /// Joules per batch given the totals and the number of batches.
+    pub fn joules_per_batch(
+        &self,
+        busy_s: f64,
+        stall_s: f64,
+        io_bytes: u64,
+        batches: u64,
+    ) -> f64 {
+        if batches == 0 {
+            return 0.0;
+        }
+        self.total_joules(busy_s, stall_s, io_bytes) / batches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stalls_cost_less_than_compute_but_are_not_free() {
+        let m = EnergyModel::default();
+        let busy_only = m.total_joules(10.0, 0.0, 0);
+        let stall_only = m.total_joules(0.0, 10.0, 0);
+        assert!(busy_only > stall_only);
+        assert!(stall_only > 0.0);
+    }
+
+    #[test]
+    fn io_bytes_add_energy() {
+        let m = EnergyModel::default();
+        assert!(m.total_joules(1.0, 1.0, 1 << 30) > m.total_joules(1.0, 1.0, 0));
+    }
+
+    #[test]
+    fn per_batch_division() {
+        let m = EnergyModel::default();
+        let total = m.total_joules(2.0, 2.0, 1000);
+        assert!((m.joules_per_batch(2.0, 2.0, 1000, 4) - total / 4.0).abs() < 1e-9);
+        assert_eq!(m.joules_per_batch(1.0, 1.0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn a_run_with_more_stall_time_uses_more_total_energy_for_same_work() {
+        // Same compute, extra stall time (what a slower storage backend causes):
+        // total energy goes up, which is the effect Figure 7 (bottom) shows.
+        let m = EnergyModel::default();
+        let fast_backend = m.total_joules(5.0, 1.0, 1 << 28);
+        let slow_backend = m.total_joules(5.0, 8.0, 1 << 30);
+        assert!(slow_backend > fast_backend);
+    }
+}

@@ -1,0 +1,265 @@
+//! Shared training-harness machinery: execution options, the asynchronous
+//! embedding-update dispatcher and the prefetch scheduler.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mlkv::{EmbeddingTable, LookaheadDest};
+
+/// How embedding updates are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Updates are applied inline before the next batch starts (synchronous
+    /// training: the paper's "Sync" configuration and the BSP end of Figure 8).
+    Synchronous,
+    /// Updates are handed to a background updater thread; the staleness bound of
+    /// the embedding table decides how far Gets may run ahead of them (SSP /
+    /// ASP).
+    Asynchronous,
+}
+
+/// Which prefetching strategy the trainer uses for future batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchMode {
+    /// No prefetching at all.
+    None,
+    /// Conventional prefetching: future keys are loaded into the application
+    /// cache (only safe within the staleness window).
+    Conventional,
+    /// Look-ahead prefetching (§III-C2): future keys are promoted into the
+    /// storage engine's memory buffer, beyond the staleness window.
+    LookAhead,
+}
+
+/// Options shared by all trainers.
+#[derive(Debug, Clone)]
+pub struct TrainerOptions {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// How embedding updates are applied.
+    pub update_mode: UpdateMode,
+    /// Prefetch strategy.
+    pub prefetch: PrefetchMode,
+    /// How many batches ahead prefetch requests are issued.
+    pub lookahead_batches: usize,
+    /// Simulated accelerator compute per batch (added to the backward phase).
+    /// The paper's GPUs spend real time in the NN; this knob reproduces the
+    /// compute/stall overlap without a GPU.
+    pub simulated_compute: Duration,
+    /// Learning rate for both dense parameters and embeddings.
+    pub learning_rate: f32,
+    /// Evaluate the quality metric every this many batches.
+    pub eval_every_batches: usize,
+    /// Number of evaluation samples.
+    pub eval_samples: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerOptions {
+    fn default() -> Self {
+        Self {
+            batch_size: 64,
+            update_mode: UpdateMode::Asynchronous,
+            prefetch: PrefetchMode::LookAhead,
+            lookahead_batches: 4,
+            simulated_compute: Duration::from_micros(0),
+            learning_rate: 0.05,
+            eval_every_batches: 50,
+            eval_samples: 512,
+            seed: 17,
+        }
+    }
+}
+
+/// A batch of embedding gradient updates: `(keys, gradients)`.
+pub type UpdateBatch = (Vec<u64>, Vec<Vec<f32>>);
+
+/// Applies embedding updates either inline or on a background thread.
+pub struct UpdateDispatcher {
+    table: Arc<EmbeddingTable>,
+    lr: f32,
+    sender: Option<Sender<UpdateBatch>>,
+    worker: Option<JoinHandle<u64>>,
+    dispatched: u64,
+}
+
+impl UpdateDispatcher {
+    /// Create a dispatcher in the given mode.
+    pub fn new(table: Arc<EmbeddingTable>, mode: UpdateMode, lr: f32) -> Self {
+        match mode {
+            UpdateMode::Synchronous => Self {
+                table,
+                lr,
+                sender: None,
+                worker: None,
+                dispatched: 0,
+            },
+            UpdateMode::Asynchronous => {
+                let (sender, receiver) = channel::<UpdateBatch>();
+                let worker_table = Arc::clone(&table);
+                let worker = std::thread::spawn(move || {
+                    let mut applied = 0u64;
+                    while let Ok((keys, grads)) = receiver.recv() {
+                        // Errors here (e.g. staleness timeouts) are not expected for
+                        // puts; surface them loudly in debug builds, skip in release.
+                        if let Err(e) = worker_table.apply_gradients(&keys, &grads, lr) {
+                            debug_assert!(false, "async update failed: {e}");
+                        }
+                        applied += keys.len() as u64;
+                    }
+                    applied
+                });
+                Self {
+                    table,
+                    lr,
+                    sender: Some(sender),
+                    worker: Some(worker),
+                    dispatched: 0,
+                }
+            }
+        }
+    }
+
+    /// Apply (or enqueue) one batch of embedding gradients. Returns the time the
+    /// *training thread* spent on it, which is what shows up as a data stall.
+    pub fn dispatch(&mut self, keys: Vec<u64>, grads: Vec<Vec<f32>>) -> mlkv::StorageResult<Duration> {
+        let start = std::time::Instant::now();
+        self.dispatched += keys.len() as u64;
+        match &self.sender {
+            None => self.table.apply_gradients(&keys, &grads, self.lr)?,
+            Some(sender) => {
+                // The send itself is cheap; the updater thread pays the cost.
+                let _ = sender.send((keys, grads));
+            }
+        }
+        Ok(start.elapsed())
+    }
+
+    /// Total number of embedding updates dispatched.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Wait for all outstanding asynchronous updates to be applied.
+    pub fn drain(&mut self) -> u64 {
+        self.sender.take();
+        match self.worker.take() {
+            Some(worker) => worker.join().unwrap_or(0),
+            None => self.dispatched,
+        }
+    }
+}
+
+impl Drop for UpdateDispatcher {
+    fn drop(&mut self) {
+        self.sender.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Issue prefetches for the keys of a future batch according to `mode`.
+pub fn issue_prefetch(table: &EmbeddingTable, keys: &[u64], mode: PrefetchMode) {
+    match mode {
+        PrefetchMode::None => {}
+        PrefetchMode::Conventional => table.lookahead(keys, LookaheadDest::ApplicationCache),
+        PrefetchMode::LookAhead => table.lookahead(keys, LookaheadDest::StorageBuffer),
+    }
+}
+
+/// Busy-wait for the configured simulated accelerator compute time.
+pub fn simulate_compute(duration: Duration) {
+    if duration.is_zero() {
+        return;
+    }
+    let start = std::time::Instant::now();
+    while start.elapsed() < duration {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv::{BackendKind, Mlkv};
+
+    fn table(bound: u32) -> Arc<EmbeddingTable> {
+        Mlkv::builder("harness-test")
+            .dim(4)
+            .staleness_bound(bound)
+            .backend(BackendKind::Mlkv)
+            .memory_budget(1 << 20)
+            .build()
+            .unwrap()
+            .table()
+    }
+
+    #[test]
+    fn synchronous_dispatch_applies_immediately() {
+        let t = table(u32::MAX);
+        t.put_one(1, &[1.0; 4]).unwrap();
+        let mut d = UpdateDispatcher::new(Arc::clone(&t), UpdateMode::Synchronous, 0.5);
+        d.dispatch(vec![1], vec![vec![1.0; 4]]).unwrap();
+        assert_eq!(t.get_one(1).unwrap(), vec![0.5; 4]);
+        assert_eq!(d.dispatched(), 1);
+        assert_eq!(d.drain(), 1);
+    }
+
+    #[test]
+    fn asynchronous_dispatch_applies_after_drain() {
+        let t = table(u32::MAX);
+        t.put_one(2, &[1.0; 4]).unwrap();
+        let mut d = UpdateDispatcher::new(Arc::clone(&t), UpdateMode::Asynchronous, 0.5);
+        for _ in 0..10 {
+            d.dispatch(vec![2], vec![vec![0.1; 4]]).unwrap();
+        }
+        let applied = d.drain();
+        assert_eq!(applied, 10);
+        let v = t.get_one(2).unwrap();
+        for x in v {
+            assert!((x - 0.5).abs() < 1e-5, "{x}");
+        }
+    }
+
+    #[test]
+    fn bounded_staleness_throttles_gets_against_async_updates() {
+        // With bound 1, a Get of a key with two outstanding (unapplied) Gets must
+        // wait for the async updater to catch up; the run must still complete.
+        let t = table(1);
+        t.put_one(3, &[0.0; 4]).unwrap();
+        let mut d = UpdateDispatcher::new(Arc::clone(&t), UpdateMode::Asynchronous, 0.1);
+        for _ in 0..20 {
+            let _v = t.get_one(3).unwrap();
+            d.dispatch(vec![3], vec![vec![0.01; 4]]).unwrap();
+        }
+        d.drain();
+        assert_eq!(t.staleness_of(3), 0);
+    }
+
+    #[test]
+    fn prefetch_modes_route_to_the_right_destination() {
+        let t = table(u32::MAX);
+        for k in 0..20u64 {
+            t.put_one(k, &[1.0; 4]).unwrap();
+        }
+        issue_prefetch(&t, &(0..10u64).collect::<Vec<_>>(), PrefetchMode::Conventional);
+        issue_prefetch(&t, &(10..20u64).collect::<Vec<_>>(), PrefetchMode::LookAhead);
+        issue_prefetch(&t, &[999], PrefetchMode::None);
+        t.wait_for_lookahead();
+        let stats = t.prefetch_stats();
+        assert_eq!(stats.submitted, 20);
+        assert!(stats.cached >= 10);
+    }
+
+    #[test]
+    fn simulated_compute_takes_roughly_the_requested_time() {
+        let start = std::time::Instant::now();
+        simulate_compute(Duration::from_millis(5));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        simulate_compute(Duration::ZERO);
+    }
+}

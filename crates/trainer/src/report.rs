@@ -1,0 +1,123 @@
+//! Result types produced by the trainers and consumed by the benchmark harness.
+
+use std::time::Duration;
+
+/// Where the time of one training step went (Figure 2, left).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Seconds spent fetching and updating embeddings (including staleness
+    /// stalls) — the paper's "Emb Access".
+    pub emb_access_s: f64,
+    /// Seconds spent in the forward pass.
+    pub forward_s: f64,
+    /// Seconds spent in the backward pass (including the simulated accelerator
+    /// compute, which the paper attributes to the NN).
+    pub backward_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total seconds accounted for.
+    pub fn total_s(&self) -> f64 {
+        self.emb_access_s + self.forward_s + self.backward_s
+    }
+
+    /// Percentage split `(emb, forward, backward)`; all zeros when nothing was
+    /// recorded.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let total = self.total_s();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.emb_access_s / total,
+            100.0 * self.forward_s / total,
+            100.0 * self.backward_s / total,
+        )
+    }
+}
+
+/// One `(elapsed seconds, metric value)` point of a convergence curve.
+pub type ConvergencePoint = (f64, f64);
+
+/// Outcome of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Which backend / configuration produced this report (free-form label).
+    pub label: String,
+    /// Samples processed per second.
+    pub throughput: f64,
+    /// Total samples processed.
+    pub samples: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Final model-quality metric (AUC, accuracy or Hits@10 depending on task).
+    pub final_metric: f64,
+    /// Convergence curve: metric over elapsed time.
+    pub convergence: Vec<ConvergencePoint>,
+    /// Latency breakdown accumulated over the run.
+    pub breakdown: LatencyBreakdown,
+    /// Approximate energy per batch in Joules (Figure 7 bottom).
+    pub joules_per_batch: f64,
+    /// Time Gets spent blocked on the staleness bound, in seconds.
+    pub stall_s: f64,
+    /// Disk bytes read + written during the run.
+    pub io_bytes: u64,
+}
+
+impl TrainingReport {
+    /// Render the convergence curve as `time_s metric` rows (benchmark output).
+    pub fn convergence_rows(&self) -> Vec<String> {
+        self.convergence
+            .iter()
+            .map(|(t, m)| format!("{t:8.2}s  {m:.4}"))
+            .collect()
+    }
+
+    /// One-line summary used by the harness binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<28} {:>10.0} samples/s   metric {:.4}   emb/fwd/bwd {:.0}%/{:.0}%/{:.0}%   {:.2} J/batch",
+            self.label,
+            self.throughput,
+            self.final_metric,
+            self.breakdown.percentages().0,
+            self.breakdown.percentages().1,
+            self.breakdown.percentages().2,
+            self.joules_per_batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let b = LatencyBreakdown {
+            emb_access_s: 2.0,
+            forward_s: 1.0,
+            backward_s: 1.0,
+        };
+        let (e, f, w) = b.percentages();
+        assert!((e + f + w - 100.0).abs() < 1e-9);
+        assert!((e - 50.0).abs() < 1e-9);
+        assert_eq!(b.total_s(), 4.0);
+        assert_eq!(LatencyBreakdown::default().percentages(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn report_summary_contains_label_and_metric() {
+        let report = TrainingReport {
+            label: "MLKV".into(),
+            throughput: 1234.0,
+            final_metric: 0.789,
+            convergence: vec![(1.0, 0.7), (2.0, 0.79)],
+            ..Default::default()
+        };
+        let s = report.summary();
+        assert!(s.contains("MLKV"));
+        assert!(s.contains("0.7890"));
+        assert_eq!(report.convergence_rows().len(), 2);
+    }
+}

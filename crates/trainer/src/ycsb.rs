@@ -1,0 +1,147 @@
+//! YCSB runner (paper §IV-E, Figure 10): multi-threaded 50/50 read-write
+//! workload executed directly against a [`KvStore`], isolating storage-engine
+//! overhead from any application logic.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mlkv_storage::{KvStore, StorageResult};
+use mlkv_workloads::ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};
+
+/// Configuration of one YCSB run.
+#[derive(Debug, Clone)]
+pub struct YcsbRunConfig {
+    /// Workload shape (record count, value size, distribution, read fraction).
+    pub workload: YcsbConfig,
+    /// Number of client threads.
+    pub threads: usize,
+    /// Operations per thread in the measured phase.
+    pub ops_per_thread: usize,
+}
+
+impl Default for YcsbRunConfig {
+    fn default() -> Self {
+        Self {
+            workload: YcsbConfig::default(),
+            threads: 2,
+            ops_per_thread: 10_000,
+        }
+    }
+}
+
+/// Result of one YCSB run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YcsbResult {
+    /// Operations per second across all threads.
+    pub ops_per_sec: f64,
+    /// Total operations executed.
+    pub total_ops: u64,
+    /// Wall-clock duration of the measured phase.
+    pub duration: Duration,
+    /// Reads that found their key.
+    pub read_hits: u64,
+    /// Reads that missed (should be zero after the load phase).
+    pub read_misses: u64,
+}
+
+/// Load the dataset and run the measured phase with the configured threads.
+pub fn run_ycsb(store: Arc<dyn KvStore>, config: &YcsbRunConfig) -> StorageResult<YcsbResult> {
+    // Load phase.
+    let loader = YcsbWorkload::new(config.workload.clone());
+    for (key, value) in loader.load_phase() {
+        store.put(key, &value)?;
+    }
+
+    // Measured phase.
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for thread_id in 0..config.threads.max(1) {
+        let store = Arc::clone(&store);
+        let mut workload_cfg = config.workload.clone();
+        workload_cfg.seed = config.workload.seed.wrapping_add(thread_id as u64 + 1);
+        let ops = config.ops_per_thread;
+        handles.push(std::thread::spawn(move || -> (u64, u64) {
+            let mut workload = YcsbWorkload::new(workload_cfg);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for _ in 0..ops {
+                match workload.next_op() {
+                    YcsbOp::Read(key) => match store.get(key) {
+                        Ok(_) => hits += 1,
+                        Err(_) => misses += 1,
+                    },
+                    YcsbOp::Update(key, value) => {
+                        let _ = store.put(key, &value);
+                    }
+                }
+            }
+            (hits, misses)
+        }));
+    }
+    let mut read_hits = 0u64;
+    let mut read_misses = 0u64;
+    for handle in handles {
+        let (hits, misses) = handle.join().expect("ycsb worker panicked");
+        read_hits += hits;
+        read_misses += misses;
+    }
+    let duration = start.elapsed();
+    let total_ops = (config.threads.max(1) * config.ops_per_thread) as u64;
+    Ok(YcsbResult {
+        ops_per_sec: total_ops as f64 / duration.as_secs_f64().max(1e-9),
+        total_ops,
+        duration,
+        read_hits,
+        read_misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_faster::FasterKv;
+    use mlkv_storage::{MemStore, StoreConfig};
+    use mlkv_workloads::ycsb::YcsbDistribution;
+
+    fn small_config(distribution: YcsbDistribution) -> YcsbRunConfig {
+        YcsbRunConfig {
+            workload: YcsbConfig {
+                record_count: 2_000,
+                value_size: 64,
+                read_fraction: 0.5,
+                distribution,
+                seed: 1,
+            },
+            threads: 2,
+            ops_per_thread: 2_000,
+        }
+    }
+
+    #[test]
+    fn runs_against_in_memory_store_with_no_misses() {
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        let result = run_ycsb(Arc::clone(&store), &small_config(YcsbDistribution::Zipfian)).unwrap();
+        assert_eq!(result.total_ops, 4_000);
+        assert_eq!(result.read_misses, 0);
+        assert!(result.read_hits > 0);
+        assert!(result.ops_per_sec > 0.0);
+        assert_eq!(store.approximate_len(), 2_000);
+    }
+
+    #[test]
+    fn runs_against_faster_with_small_buffer() {
+        let store: Arc<dyn KvStore> = Arc::new(
+            FasterKv::open(
+                StoreConfig::in_memory()
+                    .with_memory_budget(64 << 10)
+                    .with_page_size(4 << 10)
+                    .with_index_buckets(1 << 12),
+            )
+            .unwrap(),
+        );
+        let result = run_ycsb(Arc::clone(&store), &small_config(YcsbDistribution::Uniform)).unwrap();
+        assert_eq!(result.read_misses, 0);
+        // A tiny buffer forces disk traffic during the measured phase.
+        assert!(store.metrics().snapshot().disk_reads > 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Criteo-like click-through-rate workload generator.
+//!
+//! The Criteo datasets used in the paper (Criteo-Ad / Criteo-Terabyte) are click
+//! logs with 13 dense features and 26 categorical fields of very different
+//! cardinalities accessed with a Zipfian popularity skew. This generator keeps
+//! that shape and adds a *teacher model* — a sparse logistic model over hidden
+//! per-feature weights — so that a trained student model's AUC actually improves
+//! with training, which the convergence experiments (Figures 2, 6, 8) need.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipfian;
+
+/// Configuration of a CTR stream.
+#[derive(Debug, Clone)]
+pub struct CriteoConfig {
+    /// Number of categorical fields (`m` in §II-A).
+    pub num_fields: usize,
+    /// Cardinality of each field (`n_i`); fields cycle through this list.
+    pub field_cardinalities: Vec<u64>,
+    /// Number of dense features per sample.
+    pub num_dense: usize,
+    /// Zipf exponent of the per-field popularity skew.
+    pub skew: f64,
+    /// Seed for both feature sampling and the hidden teacher model.
+    pub seed: u64,
+}
+
+impl Default for CriteoConfig {
+    fn default() -> Self {
+        Self {
+            num_fields: 8,
+            field_cardinalities: vec![10_000, 5_000, 2_000, 50_000, 100, 1_000, 20_000, 500],
+            num_dense: 4,
+            skew: 0.9,
+            seed: 7,
+        }
+    }
+}
+
+impl CriteoConfig {
+    /// A configuration shaped like Criteo-Ad (34M embeddings in the paper),
+    /// scaled by `scale` ∈ (0, 1].
+    pub fn criteo_ad(scale: f64, seed: u64) -> Self {
+        let s = |x: u64| ((x as f64 * scale) as u64).max(10);
+        Self {
+            num_fields: 8,
+            field_cardinalities: vec![
+                s(4_000_000),
+                s(1_000_000),
+                s(500_000),
+                s(250_000),
+                s(100_000),
+                s(50_000),
+                s(10_000),
+                s(1_000),
+            ],
+            num_dense: 4,
+            skew: 0.9,
+            seed,
+        }
+    }
+
+    /// A configuration shaped like Criteo-Terabyte (883M embeddings in the
+    /// paper), scaled by `scale`.
+    pub fn criteo_terabyte(scale: f64, seed: u64) -> Self {
+        let mut cfg = Self::criteo_ad(scale * 8.0, seed);
+        cfg.skew = 0.99;
+        cfg
+    }
+
+    /// Total number of distinct sparse features across all fields — the number
+    /// of rows in the embedding table.
+    pub fn total_embeddings(&self) -> u64 {
+        (0..self.num_fields)
+            .map(|f| self.field_cardinalities[f % self.field_cardinalities.len()])
+            .sum()
+    }
+}
+
+/// One training sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrSample {
+    /// Global sparse-feature keys, one per field (already offset so that keys of
+    /// different fields never collide — these are the embedding-table keys).
+    pub sparse_keys: Vec<u64>,
+    /// Dense features.
+    pub dense: Vec<f32>,
+    /// Click label (0.0 or 1.0).
+    pub label: f32,
+}
+
+/// Deterministic CTR sample stream.
+pub struct CriteoGenerator {
+    config: CriteoConfig,
+    field_offsets: Vec<u64>,
+    samplers: Vec<Zipfian>,
+    rng: SmallRng,
+    teacher_seed: u64,
+    dense_weights: Vec<f32>,
+}
+
+impl CriteoGenerator {
+    /// Create a generator for `config`.
+    pub fn new(config: CriteoConfig) -> Self {
+        let mut field_offsets = Vec::with_capacity(config.num_fields);
+        let mut offset = 0u64;
+        let mut samplers = Vec::with_capacity(config.num_fields);
+        for f in 0..config.num_fields {
+            let card = config.field_cardinalities[f % config.field_cardinalities.len()];
+            field_offsets.push(offset);
+            offset += card;
+            samplers.push(Zipfian::new(card, config.skew));
+        }
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let dense_weights = (0..config.num_dense)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        Self {
+            teacher_seed: config.seed ^ 0xABCD_EF01,
+            field_offsets,
+            samplers,
+            rng: SmallRng::seed_from_u64(config.seed.wrapping_add(1)),
+            dense_weights,
+            config,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &CriteoConfig {
+        &self.config
+    }
+
+    /// Hidden teacher weight of a sparse feature: a deterministic value in
+    /// `[-1, 1]` keyed by the global feature id.
+    fn teacher_weight(&self, key: u64) -> f32 {
+        let mut z = key ^ self.teacher_seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+    }
+
+    /// Generate the next sample.
+    pub fn next_sample(&mut self) -> CtrSample {
+        let mut sparse_keys = Vec::with_capacity(self.config.num_fields);
+        let mut logit = 0.0f32;
+        for f in 0..self.config.num_fields {
+            let rank = self.samplers[f].sample(&mut self.rng);
+            let key = self.field_offsets[f] + rank;
+            logit += self.teacher_weight(key);
+            sparse_keys.push(key);
+        }
+        let dense: Vec<f32> = (0..self.config.num_dense)
+            .map(|_| self.rng.gen_range(-1.0f32..1.0))
+            .collect();
+        logit += dense
+            .iter()
+            .zip(&self.dense_weights)
+            .map(|(x, w)| x * w)
+            .sum::<f32>();
+        // Scale the logit so labels are informative but not deterministic, then
+        // draw the click from the teacher's probability.
+        let p = 1.0 / (1.0 + (-1.5f32 * logit).exp());
+        let label = if self.rng.gen::<f32>() < p { 1.0 } else { 0.0 };
+        CtrSample {
+            sparse_keys,
+            dense,
+            label,
+        }
+    }
+
+    /// Generate a batch of samples.
+    pub fn next_batch(&mut self, batch_size: usize) -> Vec<CtrSample> {
+        (0..batch_size).map(|_| self.next_sample()).collect()
+    }
+
+    /// Key-space size (number of embedding rows the stream can touch).
+    pub fn total_embeddings(&self) -> u64 {
+        self.config.total_embeddings()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn samples_have_expected_shape() {
+        let mut generator = CriteoGenerator::new(CriteoConfig::default());
+        let sample = generator.next_sample();
+        assert_eq!(sample.sparse_keys.len(), 8);
+        assert_eq!(sample.dense.len(), 4);
+        assert!(sample.label == 0.0 || sample.label == 1.0);
+        let batch = generator.next_batch(32);
+        assert_eq!(batch.len(), 32);
+    }
+
+    #[test]
+    fn keys_of_different_fields_never_collide() {
+        let cfg = CriteoConfig::default();
+        let offsets_end = cfg.total_embeddings();
+        let mut generator = CriteoGenerator::new(cfg);
+        for _ in 0..500 {
+            let s = generator.next_sample();
+            let unique: HashSet<u64> = s.sparse_keys.iter().copied().collect();
+            assert_eq!(unique.len(), s.sparse_keys.len());
+            assert!(s.sparse_keys.iter().all(|k| *k < offsets_end));
+            // Field f keys must lie in field f's range.
+            for (f, key) in s.sparse_keys.iter().enumerate() {
+                let lo = generator.field_offsets[f];
+                let hi = lo + generator.config.field_cardinalities
+                    [f % generator.config.field_cardinalities.len()];
+                assert!(*key >= lo && *key < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<CtrSample> =
+            CriteoGenerator::new(CriteoConfig::default()).next_batch(20);
+        let b: Vec<CtrSample> =
+            CriteoGenerator::new(CriteoConfig::default()).next_batch(20);
+        assert_eq!(a, b);
+        let mut cfg = CriteoConfig::default();
+        cfg.seed = 1234;
+        let c = CriteoGenerator::new(cfg).next_batch(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_are_learnable_by_the_teacher() {
+        // The teacher's own logit must separate the classes (AUC well above 0.5),
+        // otherwise no student could ever converge in the experiments.
+        let mut generator = CriteoGenerator::new(CriteoConfig::default());
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..3000 {
+            let s = generator.next_sample();
+            let teacher_logit: f32 = s
+                .sparse_keys
+                .iter()
+                .map(|k| generator.teacher_weight(*k))
+                .sum::<f32>()
+                + s.dense
+                    .iter()
+                    .zip(&generator.dense_weights)
+                    .map(|(x, w)| x * w)
+                    .sum::<f32>();
+            scores.push(teacher_logit);
+            labels.push(s.label);
+        }
+        let auc = mlkv_embedding_auc(&scores, &labels);
+        assert!(auc > 0.75, "teacher AUC too low: {auc}");
+        // Both classes occur.
+        assert!(labels.iter().any(|l| *l == 1.0) && labels.iter().any(|l| *l == 0.0));
+    }
+
+    // Small local AUC implementation to avoid a dev-dependency cycle.
+    fn mlkv_embedding_auc(scores: &[f32], labels: &[f32]) -> f64 {
+        let mut pairs = 0u64;
+        let mut correct = 0u64;
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if labels[i] > 0.5 && labels[j] < 0.5 {
+                    pairs += 1;
+                    if scores[i] > scores[j] {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        correct as f64 / pairs.max(1) as f64
+    }
+
+    #[test]
+    fn access_skew_concentrates_on_popular_keys() {
+        let mut generator = CriteoGenerator::new(CriteoConfig {
+            skew: 0.99,
+            ..CriteoConfig::default()
+        });
+        let mut distinct = HashSet::new();
+        let total = 2000usize;
+        for _ in 0..total {
+            for k in generator.next_sample().sparse_keys {
+                distinct.insert(k);
+            }
+        }
+        // With heavy skew the number of distinct keys touched is far below the
+        // number of key slots accessed.
+        assert!(
+            distinct.len() < total * 8 / 2,
+            "too many distinct keys: {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn scaled_configs_shrink_the_key_space() {
+        let full = CriteoConfig::criteo_ad(1.0, 1).total_embeddings();
+        let small = CriteoConfig::criteo_ad(0.001, 1).total_embeddings();
+        assert!(small < full);
+        assert!(CriteoConfig::criteo_terabyte(0.001, 1).total_embeddings() > small);
+    }
+}

@@ -1,0 +1,325 @@
+//! Graphs for GNN node-classification training: a Papers100M-like power-law
+//! graph with planted communities, plus the eBay-like risk-detection graphs
+//! (bipartite transaction graph and tripartite payout graph) used in §IV-F.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipfian;
+
+/// What kind of synthetic graph to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Power-law citation-style graph with planted communities
+    /// (ogbn-papers100M stand-in).
+    PowerLawCommunity,
+    /// Bipartite transaction graph: transactions connect to buyer/seller
+    /// entities (eBay-Trisk stand-in).
+    BipartiteTransactions,
+    /// Tripartite payout graph: sellers, items and buyer checkouts
+    /// (eBay-Payout stand-in).
+    PayoutGraph,
+}
+
+/// Configuration of a GNN graph.
+#[derive(Debug, Clone)]
+pub struct GnnGraphConfig {
+    /// Kind of graph.
+    pub kind: GraphKind,
+    /// Number of nodes.
+    pub num_nodes: u64,
+    /// Average number of neighbours sampled per node.
+    pub avg_degree: usize,
+    /// Number of label classes.
+    pub num_classes: usize,
+    /// Probability that an edge stays within the node's community.
+    pub homophily: f64,
+    /// Zipf exponent of neighbour popularity (hub structure).
+    pub skew: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for GnnGraphConfig {
+    fn default() -> Self {
+        Self {
+            kind: GraphKind::PowerLawCommunity,
+            num_nodes: 20_000,
+            avg_degree: 8,
+            num_classes: 4,
+            homophily: 0.85,
+            skew: 0.8,
+            seed: 19,
+        }
+    }
+}
+
+impl GnnGraphConfig {
+    /// ogbn-papers100M-like shape (111M nodes, dim 128 in the paper), scaled.
+    pub fn papers100m(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: GraphKind::PowerLawCommunity,
+            num_nodes: ((111_000_000.0 * scale) as u64).max(2_000),
+            avg_degree: 16,
+            num_classes: 8,
+            homophily: 0.85,
+            skew: 0.9,
+            seed,
+        }
+    }
+
+    /// eBay-Trisk-like shape (185M nodes, dim 256 in the paper), scaled.
+    pub fn ebay_trisk(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: GraphKind::BipartiteTransactions,
+            num_nodes: ((185_000_000.0 * scale) as u64).max(2_000),
+            avg_degree: 6,
+            num_classes: 2,
+            homophily: 0.9,
+            skew: 0.95,
+            seed,
+        }
+    }
+
+    /// eBay-Payout-like shape (1.7B nodes, dim 768 in the paper), scaled.
+    pub fn ebay_payout(scale: f64, seed: u64) -> Self {
+        Self {
+            kind: GraphKind::PayoutGraph,
+            num_nodes: ((1_700_000_000.0 * scale) as u64).max(3_000),
+            avg_degree: 5,
+            num_classes: 2,
+            homophily: 0.9,
+            skew: 0.95,
+            seed,
+        }
+    }
+}
+
+/// Alias kept for readability in the eBay case-study benchmark.
+pub type EbayGraphConfig = GnnGraphConfig;
+
+/// A generated graph exposed through neighbourhood sampling (the storage-facing
+/// access pattern of GNN mini-batch training). Adjacency is *procedural* — the
+/// neighbour list of a node is derived deterministically from the node id — so
+/// graphs with hundreds of millions of nodes fit in no memory at all, exactly
+/// like sampling from an edge index stored out of core.
+pub struct GnnGraph {
+    config: GnnGraphConfig,
+    hub_sampler: Zipfian,
+}
+
+impl GnnGraph {
+    /// Build the procedural graph.
+    pub fn generate(config: GnnGraphConfig) -> Self {
+        let hub_sampler = Zipfian::new(config.num_nodes, config.skew);
+        Self {
+            config,
+            hub_sampler,
+        }
+    }
+
+    /// The graph's configuration.
+    pub fn config(&self) -> &GnnGraphConfig {
+        &self.config
+    }
+
+    /// Number of nodes (= embedding rows).
+    pub fn num_nodes(&self) -> u64 {
+        self.config.num_nodes
+    }
+
+    /// Number of label classes.
+    pub fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    /// Community (and therefore label) of a node.
+    pub fn label_of(&self, node: u64) -> usize {
+        // Labels are a deterministic but scrambled function of the community so
+        // that nearby ids do not trivially share labels.
+        let community = self.community_of(node);
+        (community % self.config.num_classes as u64) as usize
+    }
+
+    /// Community id of a node.
+    pub fn community_of(&self, node: u64) -> u64 {
+        let mut z = node.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.config.seed;
+        z ^= z >> 29;
+        z % (self.config.num_classes as u64 * 4)
+    }
+
+    /// Deterministically sample the neighbourhood of `node` for one training
+    /// visit (`visit` lets repeated visits see different samples, as
+    /// neighbourhood sampling does in practice).
+    pub fn sample_neighbors(&self, node: u64, visit: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(
+            node.wrapping_mul(0x517C_C1B7_2722_0A95) ^ visit ^ self.config.seed,
+        );
+        let degree = 1 + (rng.gen_range(0..self.config.avg_degree * 2) as usize);
+        let my_community = self.community_of(node);
+        (0..degree)
+            .map(|_| {
+                if rng.gen::<f64>() < self.config.homophily {
+                    // Same-community neighbour.
+                    self.sample_in_community(my_community, &mut rng)
+                } else {
+                    // Hub neighbour drawn from the global popularity skew.
+                    self.hub_sampler.sample(&mut rng)
+                }
+            })
+            .map(|n| n.min(self.config.num_nodes - 1))
+            .collect()
+    }
+
+    fn sample_in_community(&self, community: u64, rng: &mut SmallRng) -> u64 {
+        let num_communities = self.config.num_classes as u64 * 4;
+        let per_community = (self.config.num_nodes / num_communities).max(1);
+        let offset = rng.gen_range(0..per_community);
+        // Find a node whose scrambled community matches; walk forward from a
+        // candidate until it does (bounded walk keeps this cheap).
+        let mut candidate = (offset * num_communities + community) % self.config.num_nodes;
+        for _ in 0..64 {
+            if self.community_of(candidate) == community {
+                return candidate;
+            }
+            candidate = (candidate + 1) % self.config.num_nodes;
+        }
+        candidate
+    }
+
+    /// Node features used when no trained embedding exists yet: a noisy one-hot
+    /// of the community, so the classification task is learnable from features
+    /// flowing through the aggregation.
+    pub fn seed_feature(&self, node: u64, dim: usize) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(node ^ self.config.seed.rotate_left(11));
+        let community = self.community_of(node) as usize;
+        (0..dim)
+            .map(|i| {
+                let base = if i % (self.config.num_classes * 4) == community {
+                    0.6
+                } else {
+                    0.0
+                };
+                base + rng.gen_range(-0.1..0.1)
+            })
+            .collect()
+    }
+
+    /// A deterministic stream of training node ids (uniform over nodes).
+    pub fn training_nodes(&self, count: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ self.config.seed);
+        (0..count)
+            .map(|_| rng.gen_range(0..self.config.num_nodes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighborhoods_are_deterministic_per_visit() {
+        let g = GnnGraph::generate(GnnGraphConfig::default());
+        let a = g.sample_neighbors(42, 0);
+        let b = g.sample_neighbors(42, 0);
+        let c = g.sample_neighbors(42, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|n| *n < g.num_nodes()));
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let g = GnnGraph::generate(GnnGraphConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..1000u64 {
+            let label = g.label_of(node);
+            assert!(label < g.num_classes());
+            seen.insert(label);
+        }
+        assert_eq!(seen.len(), g.num_classes());
+    }
+
+    #[test]
+    fn homophily_makes_neighbors_share_labels() {
+        let g = GnnGraph::generate(GnnGraphConfig {
+            homophily: 0.95,
+            ..GnnGraphConfig::default()
+        });
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for node in 0..500u64 {
+            let label = g.label_of(node);
+            for n in g.sample_neighbors(node, 0) {
+                total += 1;
+                if g.label_of(n) == label {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(
+            frac > 0.6,
+            "neighbours share labels too rarely: {frac} (random would be ~{})",
+            1.0 / g.num_classes() as f64
+        );
+    }
+
+    #[test]
+    fn seed_features_separate_communities() {
+        let g = GnnGraph::generate(GnnGraphConfig::default());
+        // Two nodes of the same community have more similar features than two of
+        // different communities (on average).
+        let mut same_sim = 0.0;
+        let mut diff_sim = 0.0;
+        let mut same_n = 0;
+        let mut diff_n = 0;
+        for a in 0..100u64 {
+            for b in (a + 1)..100u64 {
+                let fa = g.seed_feature(a, 32);
+                let fb = g.seed_feature(b, 32);
+                let sim: f32 = fa.iter().zip(&fb).map(|(x, y)| x * y).sum();
+                if g.community_of(a) == g.community_of(b) {
+                    same_sim += sim as f64;
+                    same_n += 1;
+                } else {
+                    diff_sim += sim as f64;
+                    diff_n += 1;
+                }
+            }
+        }
+        assert!(same_sim / same_n as f64 > diff_sim / diff_n as f64);
+    }
+
+    #[test]
+    fn scaled_ebay_shapes_have_expected_relative_sizes() {
+        let trisk = GnnGraphConfig::ebay_trisk(1e-4, 1);
+        let payout = GnnGraphConfig::ebay_payout(1e-4, 1);
+        let papers = GnnGraphConfig::papers100m(1e-4, 1);
+        assert!(payout.num_nodes > trisk.num_nodes);
+        assert!(trisk.num_nodes > papers.num_nodes);
+        assert_eq!(trisk.kind, GraphKind::BipartiteTransactions);
+        assert_eq!(payout.kind, GraphKind::PayoutGraph);
+    }
+
+    #[test]
+    fn training_nodes_are_in_range_and_deterministic() {
+        let g = GnnGraph::generate(GnnGraphConfig::default());
+        let a = g.training_nodes(100, 5);
+        let b = g.training_nodes(100, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|n| *n < g.num_nodes()));
+    }
+
+    #[test]
+    fn huge_procedural_graphs_need_no_materialisation() {
+        // A payout-scale graph (millions of nodes at this scale factor) builds
+        // instantly because adjacency is procedural.
+        let g = GnnGraph::generate(GnnGraphConfig::ebay_payout(0.002, 3));
+        assert!(g.num_nodes() > 1_000_000);
+        let neighbors = g.sample_neighbors(g.num_nodes() - 1, 0);
+        assert!(!neighbors.is_empty());
+    }
+}

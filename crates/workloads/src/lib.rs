@@ -1,0 +1,34 @@
+//! Synthetic workload generators mirroring the shape of the paper's datasets
+//! (Table II) at laptop scale.
+//!
+//! Every generator is seeded and deterministic. The generators reproduce the
+//! properties that drive the paper's storage results — key-space sizes, access
+//! skew (Zipfian sparse-feature popularity, power-law graph degrees), and
+//! learnable structure so that model-quality metrics (AUC, accuracy, Hits@10)
+//! actually converge:
+//!
+//! * [`criteo`] — Criteo-like click-through-rate streams with a logistic
+//!   teacher model.
+//! * [`kg`] — knowledge graphs with community structure for link prediction.
+//! * [`graph`] — power-law graphs with planted communities for node
+//!   classification, plus eBay-like transaction/payout graphs.
+//! * [`ycsb`] — YCSB-style key-value operation streams (Figure 10).
+//! * [`partition`] — BETA-style partition-ordered traversal of graph edges
+//!   (Figure 9(b)).
+//! * [`registry`] — the Table II dataset registry with scaled-down defaults.
+
+pub mod criteo;
+pub mod graph;
+pub mod kg;
+pub mod partition;
+pub mod registry;
+pub mod ycsb;
+pub mod zipf;
+
+pub use criteo::{CriteoConfig, CriteoGenerator, CtrSample};
+pub use graph::{EbayGraphConfig, GnnGraph, GnnGraphConfig, GraphKind};
+pub use kg::{KgConfig, KnowledgeGraph, Triple};
+pub use partition::partition_order;
+pub use registry::{dataset_registry, DatasetSpec, TaskKind};
+pub use ycsb::{YcsbConfig, YcsbDistribution, YcsbOp, YcsbWorkload};
+pub use zipf::Zipfian;

@@ -1,0 +1,163 @@
+//! The Table II dataset registry: every dataset/model pair the paper evaluates,
+//! with its paper-scale statistics and the scaled-down defaults this
+//! reproduction uses.
+
+/// Which task family a dataset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Deep learning recommendation model (CTR prediction, AUC).
+    Dlrm,
+    /// Knowledge-graph embedding (link prediction, Hits@10).
+    Kge,
+    /// Graph neural network (node classification, accuracy / AUC).
+    Gnn,
+}
+
+impl TaskKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Dlrm => "DLRM",
+            TaskKind::Kge => "KGE",
+            TaskKind::Gnn => "GNN",
+        }
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name as it appears in the paper.
+    pub name: &'static str,
+    /// Number of embeddings in the paper.
+    pub paper_num_embeddings: u64,
+    /// Embedding dimension in the paper.
+    pub paper_dim: usize,
+    /// Task family.
+    pub task: TaskKind,
+    /// Models the paper trains on this dataset.
+    pub models: &'static [&'static str],
+    /// Default scale factor applied to the key space in this reproduction.
+    pub default_scale: f64,
+}
+
+impl DatasetSpec {
+    /// Number of embeddings after applying `default_scale`.
+    pub fn scaled_num_embeddings(&self) -> u64 {
+        ((self.paper_num_embeddings as f64) * self.default_scale).max(1_000.0) as u64
+    }
+
+    /// Approximate embedding-table bytes at paper scale (f32 values).
+    pub fn paper_table_bytes(&self) -> u64 {
+        self.paper_num_embeddings * self.paper_dim as u64 * 4
+    }
+}
+
+/// All rows of Table II.
+pub fn dataset_registry() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "Freebase86M",
+            paper_num_embeddings: 86_000_000,
+            paper_dim: 100,
+            task: TaskKind::Kge,
+            models: &["DistMult", "ComplEx"],
+            default_scale: 2e-4,
+        },
+        DatasetSpec {
+            name: "WikiKG2",
+            paper_num_embeddings: 2_500_000,
+            paper_dim: 400,
+            task: TaskKind::Kge,
+            models: &["DistMult", "ComplEx"],
+            default_scale: 4e-3,
+        },
+        DatasetSpec {
+            name: "Papers100M",
+            paper_num_embeddings: 111_000_000,
+            paper_dim: 128,
+            task: TaskKind::Gnn,
+            models: &["GraphSage", "GAT"],
+            default_scale: 2e-4,
+        },
+        DatasetSpec {
+            name: "eBay-Payout",
+            paper_num_embeddings: 1_700_000_000,
+            paper_dim: 768,
+            task: TaskKind::Gnn,
+            models: &["GraphSage"],
+            default_scale: 2e-5,
+        },
+        DatasetSpec {
+            name: "eBay-Trisk",
+            paper_num_embeddings: 185_000_000,
+            paper_dim: 256,
+            task: TaskKind::Gnn,
+            models: &["GraphSage"],
+            default_scale: 1e-4,
+        },
+        DatasetSpec {
+            name: "Criteo-Terabyte",
+            paper_num_embeddings: 883_000_000,
+            paper_dim: 16,
+            task: TaskKind::Dlrm,
+            models: &["FFNN", "DCN"],
+            default_scale: 5e-5,
+        },
+        DatasetSpec {
+            name: "Criteo-Ad",
+            paper_num_embeddings: 34_000_000,
+            paper_dim: 16,
+            task: TaskKind::Dlrm,
+            models: &["FFNN", "DCN"],
+            default_scale: 5e-4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_ii() {
+        let registry = dataset_registry();
+        assert_eq!(registry.len(), 7);
+        let by_name = |n: &str| registry.iter().find(|d| d.name == n).unwrap();
+        assert_eq!(by_name("Freebase86M").paper_num_embeddings, 86_000_000);
+        assert_eq!(by_name("WikiKG2").paper_dim, 400);
+        assert_eq!(by_name("Papers100M").task, TaskKind::Gnn);
+        assert_eq!(by_name("eBay-Payout").paper_dim, 768);
+        assert_eq!(by_name("Criteo-Terabyte").paper_num_embeddings, 883_000_000);
+        assert_eq!(by_name("Criteo-Ad").models, &["FFNN", "DCN"]);
+        assert_eq!(by_name("eBay-Trisk").paper_num_embeddings, 185_000_000);
+    }
+
+    #[test]
+    fn scaled_sizes_are_laptop_friendly() {
+        for spec in dataset_registry() {
+            let scaled = spec.scaled_num_embeddings();
+            assert!(scaled >= 1_000, "{} too small: {scaled}", spec.name);
+            assert!(scaled <= 50_000_000, "{} too large: {scaled}", spec.name);
+        }
+    }
+
+    #[test]
+    fn paper_table_bytes_reflect_tb_scale_models() {
+        let registry = dataset_registry();
+        let payout = registry.iter().find(|d| d.name == "eBay-Payout").unwrap();
+        // The paper quotes a 2.38 TB embedding model for eBay-Payout; dims * 4 bytes
+        // should land in the terabyte range.
+        assert!(payout.paper_table_bytes() > 1_000_000_000_000);
+        let trisk = registry.iter().find(|d| d.name == "eBay-Trisk").unwrap();
+        // 176 GB embedding model quoted in Figure 11(a).
+        assert!(trisk.paper_table_bytes() > 100_000_000_000);
+    }
+
+    #[test]
+    fn task_names_are_stable() {
+        assert_eq!(TaskKind::Dlrm.name(), "DLRM");
+        assert_eq!(TaskKind::Kge.name(), "KGE");
+        assert_eq!(TaskKind::Gnn.name(), "GNN");
+    }
+}

@@ -1,0 +1,216 @@
+//! YCSB-style key-value workloads (paper §IV-E, Figure 10).
+//!
+//! The paper isolates storage-engine overhead with a 50% read / 50% write YCSB
+//! workload under uniform and Zipfian request distributions, sweeping buffer
+//! size, thread count and value size. This module generates the corresponding
+//! operation streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipfian;
+
+/// Request distribution over the key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbDistribution {
+    /// Uniform over all keys.
+    Uniform,
+    /// Zipfian with YCSB's default exponent (0.99).
+    Zipfian,
+}
+
+/// One operation of the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Point read.
+    Read(u64),
+    /// Full-value update.
+    Update(u64, Vec<u8>),
+}
+
+/// Workload configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of records pre-loaded into the store.
+    pub record_count: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Fraction of reads (the rest are updates); the paper uses 0.5.
+    pub read_fraction: f64,
+    /// Request distribution.
+    pub distribution: YcsbDistribution,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self {
+            record_count: 100_000,
+            value_size: 64,
+            read_fraction: 0.5,
+            distribution: YcsbDistribution::Zipfian,
+            seed: 31,
+        }
+    }
+}
+
+/// A YCSB operation stream.
+pub struct YcsbWorkload {
+    config: YcsbConfig,
+    sampler: Option<Zipfian>,
+    rng: SmallRng,
+}
+
+impl YcsbWorkload {
+    /// Create a workload from `config`.
+    pub fn new(config: YcsbConfig) -> Self {
+        let sampler = match config.distribution {
+            YcsbDistribution::Uniform => None,
+            YcsbDistribution::Zipfian => Some(Zipfian::new(config.record_count, 0.99)),
+        };
+        Self {
+            rng: SmallRng::seed_from_u64(config.seed),
+            sampler,
+            config,
+        }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.config
+    }
+
+    /// The keys and values to pre-load before running the measured phase.
+    pub fn load_phase(&self) -> impl Iterator<Item = (u64, Vec<u8>)> + '_ {
+        (0..self.config.record_count).map(move |k| (k, self.value_for(k)))
+    }
+
+    /// Deterministic value bytes for a key.
+    pub fn value_for(&self, key: u64) -> Vec<u8> {
+        let mut value = vec![0u8; self.config.value_size];
+        let mut state = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.config.seed;
+        for chunk in value.chunks_mut(8) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let bytes = state.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        value
+    }
+
+    fn next_key(&mut self) -> u64 {
+        match &self.sampler {
+            Some(z) => {
+                // Scramble the rank so that popular keys are spread over the key
+                // space (YCSB's hashed key order), avoiding accidental locality.
+                let rank = z.sample(&mut self.rng);
+                rank.wrapping_mul(0xC6A4_A793_5BD1_E995) % self.config.record_count
+            }
+            None => self.rng.gen_range(0..self.config.record_count),
+        }
+    }
+
+    /// Generate the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let key = self.next_key();
+        if self.rng.gen::<f64>() < self.config.read_fraction {
+            YcsbOp::Read(key)
+        } else {
+            YcsbOp::Update(key, self.value_for(key))
+        }
+    }
+
+    /// Generate a batch of operations.
+    pub fn next_ops(&mut self, count: usize) -> Vec<YcsbOp> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_phase_covers_every_key_once() {
+        let w = YcsbWorkload::new(YcsbConfig {
+            record_count: 100,
+            ..YcsbConfig::default()
+        });
+        let pairs: Vec<(u64, Vec<u8>)> = w.load_phase().collect();
+        assert_eq!(pairs.len(), 100);
+        assert!(pairs.iter().enumerate().all(|(i, (k, _))| *k == i as u64));
+        assert!(pairs.iter().all(|(_, v)| v.len() == 64));
+    }
+
+    #[test]
+    fn read_write_mix_matches_configuration() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            read_fraction: 0.5,
+            record_count: 1000,
+            ..YcsbConfig::default()
+        });
+        let ops = w.next_ops(10_000);
+        let reads = ops.iter().filter(|o| matches!(o, YcsbOp::Read(_))).count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "read fraction {frac}");
+    }
+
+    #[test]
+    fn keys_stay_in_range_for_both_distributions() {
+        for dist in [YcsbDistribution::Uniform, YcsbDistribution::Zipfian] {
+            let mut w = YcsbWorkload::new(YcsbConfig {
+                record_count: 500,
+                distribution: dist,
+                ..YcsbConfig::default()
+            });
+            for op in w.next_ops(5000) {
+                let key = match op {
+                    YcsbOp::Read(k) => k,
+                    YcsbOp::Update(k, _) => k,
+                };
+                assert!(key < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_more_skewed_than_uniform() {
+        let count_distinct = |dist| {
+            let mut w = YcsbWorkload::new(YcsbConfig {
+                record_count: 10_000,
+                distribution: dist,
+                seed: 5,
+                ..YcsbConfig::default()
+            });
+            let mut distinct = std::collections::HashSet::new();
+            for op in w.next_ops(5000) {
+                match op {
+                    YcsbOp::Read(k) | YcsbOp::Update(k, _) => distinct.insert(k),
+                };
+            }
+            distinct.len()
+        };
+        assert!(count_distinct(YcsbDistribution::Zipfian) < count_distinct(YcsbDistribution::Uniform));
+    }
+
+    #[test]
+    fn values_are_deterministic_and_sized() {
+        let w = YcsbWorkload::new(YcsbConfig {
+            value_size: 256,
+            ..YcsbConfig::default()
+        });
+        assert_eq!(w.value_for(9), w.value_for(9));
+        assert_ne!(w.value_for(9), w.value_for(10));
+        assert_eq!(w.value_for(9).len(), 256);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = YcsbWorkload::new(YcsbConfig::default());
+        let mut b = YcsbWorkload::new(YcsbConfig::default());
+        assert_eq!(a.next_ops(100), b.next_ops(100));
+    }
+}

@@ -1,0 +1,167 @@
+//! Zipfian sampling over `0..n`, used for sparse-feature popularity and the
+//! skewed YCSB request distribution.
+//!
+//! Uses the rejection-inversion method of W. Hörmann and G. Derflinger (the same
+//! approach YCSB's `ZipfianGenerator` approximates), which is O(1) per sample
+//! and needs no O(n) precomputation, so it scales to the multi-million key
+//! spaces of Table II.
+
+use rand::Rng;
+
+/// Zipfian distribution over `{0, 1, .., n-1}` with exponent `theta`
+/// (`theta = 0` degenerates to uniform; YCSB's default skew is 0.99).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    // Precomputed constants for rejection inversion.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipfian {
+    /// Create a Zipfian sampler over `n` items with exponent `theta` in `[0, 1)`… or
+    /// above 1 for heavier skew.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian needs a non-empty domain");
+        let q = theta;
+        let h = |x: f64| -> f64 {
+            if (1.0 - q).abs() < 1e-12 {
+                (x).ln()
+            } else {
+                (x.powf(1.0 - q) - 1.0) / (1.0 - q)
+            }
+        };
+        Self {
+            n,
+            theta: q,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n as f64 + 0.5),
+            s: 2.0 - {
+                // h_inverse(h(2.5) - 2^-q) ... constant from the paper; computed below.
+                let hx = h(2.5) - 2f64.powf(-q);
+                if (1.0 - q).abs() < 1e-12 {
+                    hx.exp()
+                } else {
+                    (1.0 + hx * (1.0 - q)).powf(1.0 / (1.0 - q))
+                }
+            },
+        }
+    }
+
+    fn h_inverse(&self, x: f64) -> f64 {
+        if (1.0 - self.theta).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.theta)).powf(1.0 / (1.0 - self.theta))
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if (1.0 - self.theta).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.theta) - 1.0) / (1.0 - self.theta)
+        }
+    }
+
+    /// Draw one rank in `0..n` (rank 0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.theta < 1e-9 {
+            return rng.gen_range(0..self.n);
+        }
+        loop {
+            let u: f64 = rng.gen::<f64>();
+            let ux = self.h_n + u * (self.h_x1 - self.h_n);
+            let x = self.h_inverse(ux);
+            let k = (x + 0.5).floor().max(1.0).min(self.n as f64);
+            if (k - x).abs() <= self.s || ux >= self.h(k + 0.5) - k.powf(-self.theta) {
+                return (k as u64) - 1;
+            }
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &theta in &[0.0, 0.5, 0.99, 1.2] {
+            let z = Zipfian::new(1000, theta);
+            for _ in 0..5000 {
+                assert!(z.sample(&mut rng) < 1000);
+            }
+        }
+        let tiny = Zipfian::new(1, 0.99);
+        assert_eq!(tiny.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_low_ranks() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let z = Zipfian::new(10_000, 0.99);
+        let n = 50_000;
+        let mut top100 = 0;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 100 {
+                top100 += 1;
+            }
+        }
+        // Under uniform sampling the top-100 share would be 1%; Zipf(0.99) gives
+        // roughly half the mass to the first ~100 ranks of 10k items.
+        let share = top100 as f64 / n as f64;
+        assert!(share > 0.3, "top-100 share too small: {share}");
+    }
+
+    #[test]
+    fn uniform_distribution_is_roughly_flat() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let z = Zipfian::new(100, 0.0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "uniform sampling too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn rank_frequencies_are_monotone_under_skew() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let z = Zipfian::new(1000, 0.99);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Aggregate into buckets to smooth noise, then check decay.
+        let bucket = |range: std::ops::Range<usize>| -> u32 { counts[range].iter().sum() };
+        let first = bucket(0..10);
+        let middle = bucket(100..110);
+        let last = bucket(900..910);
+        assert!(first > middle, "{first} !> {middle}");
+        assert!(middle > last, "{middle} !> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_is_rejected() {
+        let _ = Zipfian::new(0, 0.9);
+    }
+}

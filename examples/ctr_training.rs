@@ -1,0 +1,46 @@
+//! Click-through-rate (DLRM) training on a Criteo-like synthetic stream —
+//! the workload motivating the paper's recommendation-model experiments.
+//!
+//! ```bash
+//! cargo run --release --example ctr_training
+//! ```
+
+use mlkv::BackendKind;
+use mlkv_trainer::{DlrmModelKind, DlrmTrainer, DlrmTrainerConfig, TrainerOptions};
+use mlkv_workloads::criteo::CriteoConfig;
+
+fn main() -> mlkv::StorageResult<()> {
+    // An MLKV-backed embedding table with an SSP staleness bound of 10.
+    let table = mlkv::Mlkv::builder("ctr-example")
+        .dim(8)
+        .staleness_bound(10)
+        .backend(BackendKind::Mlkv)
+        .memory_budget(32 << 20)
+        .build()?
+        .table();
+
+    let config = DlrmTrainerConfig {
+        model: DlrmModelKind::Ffnn,
+        criteo: CriteoConfig::criteo_ad(1e-4, 7),
+        hidden: vec![32, 16],
+        options: TrainerOptions {
+            batch_size: 64,
+            eval_every_batches: 50,
+            eval_samples: 512,
+            ..TrainerOptions::default()
+        },
+    };
+    println!(
+        "training FFNN CTR model over {} candidate embeddings",
+        config.criteo.total_embeddings()
+    );
+    let mut trainer = DlrmTrainer::new(table, config);
+    let report = trainer.run(200)?;
+
+    println!("{}", report.summary());
+    println!("convergence (elapsed seconds, AUC):");
+    for row in report.convergence_rows() {
+        println!("  {row}");
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: the paper's Figure 3 usage pattern in ~40 lines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mlkv::{LookaheadDest, Mlkv};
+
+fn main() -> mlkv::StorageResult<()> {
+    // nn_model, emb_tables = MLKV.Open(model_id, dim, staleness_bound)
+    let model = Mlkv::open("quickstart", 16, 4)?;
+    println!(
+        "opened model '{}' on backend {} with {} consistency",
+        model.model_id(),
+        model.backend().name(),
+        model.mode().name()
+    );
+
+    // A tiny "training loop": Get embeddings, pretend to run the NN, Put updates.
+    for step in 0..5 {
+        let keys: Vec<u64> = (step * 10..step * 10 + 8).collect();
+
+        // Tell MLKV what the *next* iteration will need (look-ahead prefetching).
+        let next_keys: Vec<u64> = ((step + 1) * 10..(step + 1) * 10 + 8).collect();
+        model.lookahead(&next_keys, LookaheadDest::StorageBuffer);
+
+        // Forward: fetch embedding vectors.
+        let emb_values = model.get(&keys)?;
+
+        // "Backward": pretend each embedding got a small gradient.
+        let grads: Vec<Vec<f32>> = emb_values.iter().map(|v| vec![0.01; v.len()]).collect();
+        model.apply_gradients(&keys, &grads, 0.1)?;
+
+        println!(
+            "step {step}: fetched {} embeddings, staleness of key {} is {}",
+            emb_values.len(),
+            keys[0],
+            model.staleness_of(keys[0])
+        );
+    }
+
+    let stats = model.stats();
+    println!(
+        "done: {} gets, {} puts, {} lazily initialised embeddings, {} cache hits",
+        stats.gets, stats.puts, stats.initialised, stats.cache_hits
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the MLKV reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a single
+//! dependency. Downstream users would normally depend on the individual crates
+//! (`mlkv`, `mlkv-faster`, ...) directly.
+
+pub use mlkv;
+pub use mlkv_btree;
+pub use mlkv_embedding;
+pub use mlkv_faster;
+pub use mlkv_lsm;
+pub use mlkv_storage;
+pub use mlkv_trainer;
+pub use mlkv_workloads;

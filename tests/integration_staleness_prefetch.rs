@@ -1,0 +1,148 @@
+//! Integration tests for the two MLKV mechanisms working together across
+//! threads and backends: bounded staleness consistency and look-ahead
+//! prefetching.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlkv::{BackendKind, LookaheadDest, Mlkv};
+
+#[test]
+fn ssp_bound_is_never_exceeded_under_concurrency() {
+    let model = Mlkv::builder("ssp-bound")
+        .dim(4)
+        .staleness_bound(3)
+        .backend(BackendKind::Mlkv)
+        .memory_budget(1 << 20)
+        .build()
+        .unwrap();
+    let table = model.table();
+    let keys: Vec<u64> = (0..16).collect();
+    for k in &keys {
+        table.put_one(*k, &[0.0; 4]).unwrap();
+    }
+
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let table = Arc::clone(&table);
+        let keys = keys.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..50u64 {
+                let key = keys[(round % keys.len() as u64) as usize];
+                let v = table.get_one(key).unwrap();
+                // Staleness observed right after a successful Get can never exceed
+                // bound + 1 (this Get itself).
+                assert!(table.staleness_of(key) <= 4, "bound violated");
+                table.apply_gradients(&[key], &[vec![0.001; 4]], 0.1).unwrap();
+                assert_eq!(v.len(), 4);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for k in keys {
+        assert_eq!(table.staleness_of(k), 0);
+    }
+}
+
+#[test]
+fn asp_and_disabled_enforcement_never_block() {
+    for (label, build) in [
+        (
+            "ASP",
+            Mlkv::builder("asp").dim(4).staleness_bound(u32::MAX),
+        ),
+        (
+            "disabled",
+            Mlkv::builder("off").dim(4).staleness_bound(0).disable_staleness_enforcement(),
+        ),
+    ] {
+        let model = build.memory_budget(1 << 20).build().unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..200 {
+            model.get_one(1).unwrap();
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "{label}: unexpected blocking"
+        );
+    }
+}
+
+#[test]
+fn lookahead_beyond_the_staleness_bound_does_not_violate_it() {
+    // The whole point of look-ahead prefetching (§III-C2): prefetching keys far
+    // beyond the staleness window must not change any record's staleness.
+    let model = Mlkv::builder("lookahead-bound")
+        .dim(4)
+        .staleness_bound(2)
+        .backend(BackendKind::Mlkv)
+        .memory_budget(64 << 10)
+        .page_size(4 << 10)
+        .build()
+        .unwrap();
+    let table = model.table();
+    for k in 0..2_000u64 {
+        table.put_one(k, &[k as f32; 4]).unwrap();
+    }
+    let future_keys: Vec<u64> = (0..500).collect();
+    table.lookahead(&future_keys, LookaheadDest::StorageBuffer);
+    table.wait_for_lookahead();
+    for k in &future_keys {
+        assert_eq!(table.staleness_of(*k), 0, "prefetch changed staleness of {k}");
+    }
+    // Values are unchanged by promotion.
+    for k in [0u64, 100, 499] {
+        assert_eq!(table.get_one(k).unwrap(), vec![k as f32; 4]);
+    }
+    assert!(table.prefetch_stats().promoted > 0);
+}
+
+#[test]
+fn conventional_prefetch_fills_the_application_cache_only() {
+    let model = Mlkv::builder("conventional")
+        .dim(4)
+        .staleness_bound(u32::MAX)
+        .memory_budget(64 << 10)
+        .page_size(4 << 10)
+        .build()
+        .unwrap();
+    let table = model.table();
+    for k in 0..2_000u64 {
+        table.put_one(k, &[1.0; 4]).unwrap();
+    }
+    let promoted_before = table.store_metrics().prefetch_copies;
+    table.lookahead(&(0..200u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+    table.wait_for_lookahead();
+    assert_eq!(table.store_metrics().prefetch_copies, promoted_before);
+    assert!(table.prefetch_stats().cached >= 200);
+    let hits_before = table.stats().cache_hits;
+    table.get_one(10).unwrap();
+    assert_eq!(table.stats().cache_hits, hits_before + 1);
+}
+
+#[test]
+fn every_backend_supports_the_full_table_api() {
+    for backend in BackendKind::ALL {
+        let mut builder = Mlkv::builder("api-matrix")
+            .dim(4)
+            .staleness_bound(8)
+            .backend(backend)
+            .memory_budget(1 << 20);
+        if !backend.is_mlkv() {
+            builder = builder.disable_staleness_enforcement();
+        }
+        let model = builder.build().unwrap();
+        let keys: Vec<u64> = (0..32).collect();
+        let values: Vec<Vec<f32>> = keys.iter().map(|k| vec![*k as f32; 4]).collect();
+        model.put(&keys, &values).unwrap();
+        assert_eq!(model.get(&keys).unwrap(), values, "{}", backend.name());
+        model.apply_gradients(&keys, &vec![vec![1.0; 4]; 32], 0.5).unwrap();
+        assert_eq!(model.get_one(0).unwrap(), vec![-0.5; 4], "{}", backend.name());
+        model.lookahead(&keys, LookaheadDest::StorageBuffer);
+        model.wait_for_lookahead();
+        model.flush().unwrap();
+        assert_eq!(model.len(), 32, "{}", backend.name());
+    }
+}

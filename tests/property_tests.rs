@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) over the core data structures and storage
+//! engines: every engine must behave like a simple in-memory map under random
+//! operation sequences, and the MLKV record word / codecs must round-trip.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mlkv::codec::{decode_vector, encode_vector};
+use mlkv::record_word::RecordWord;
+use mlkv::{open_store, BackendKind};
+use mlkv_lsm::BloomFilter;
+use mlkv_storage::StoreConfig;
+
+/// A randomly generated key-value operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Delete(u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, proptest::collection::vec(any::<u8>(), 1..48)).prop_map(|(k, v)| Op::Put(k, v)),
+        (0u64..64).prop_map(Op::Delete),
+        (0u64..64).prop_map(Op::Get),
+    ]
+}
+
+fn check_engine_against_model(backend: BackendKind, ops: &[Op]) {
+    let store = open_store(
+        backend,
+        StoreConfig::in_memory()
+            .with_memory_budget(16 << 10)
+            .with_page_size(2 << 10)
+            .with_index_buckets(64),
+    )
+    .unwrap();
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                store.put(*k, v).unwrap();
+                model.insert(*k, v.clone());
+            }
+            Op::Delete(k) => {
+                store.delete(*k).unwrap();
+                model.remove(k);
+            }
+            Op::Get(k) => match (store.get(*k), model.get(k)) {
+                (Ok(actual), Some(expected)) => assert_eq!(&actual, expected),
+                (Err(e), None) => assert!(e.is_not_found()),
+                (actual, expected) => {
+                    panic!("{}: mismatch for key {k}: {actual:?} vs {expected:?}", backend.name())
+                }
+            },
+        }
+    }
+    // Final state check for every key ever touched.
+    for k in 0..64u64 {
+        match (store.get(k), model.get(&k)) {
+            (Ok(actual), Some(expected)) => assert_eq!(&actual, expected),
+            (Err(e), None) => assert!(e.is_not_found()),
+            (actual, expected) => {
+                panic!("{}: final mismatch for key {k}: {actual:?} vs {expected:?}", backend.name())
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn faster_engine_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        check_engine_against_model(BackendKind::Faster, &ops);
+    }
+
+    #[test]
+    fn lsm_engine_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        check_engine_against_model(BackendKind::RocksDbLike, &ops);
+    }
+
+    #[test]
+    fn btree_engine_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        check_engine_against_model(BackendKind::WiredTigerLike, &ops);
+    }
+
+    #[test]
+    fn record_word_pack_unpack_roundtrips(
+        locked in any::<bool>(),
+        replaced in any::<bool>(),
+        generation in 0u32..(1 << 30),
+        staleness in any::<u32>(),
+    ) {
+        let word = RecordWord { locked, replaced, generation, staleness };
+        prop_assert_eq!(RecordWord::unpack(word.pack()), word);
+    }
+
+    #[test]
+    fn embedding_codec_roundtrips(values in proptest::collection::vec(-1000.0f32..1000.0, 0..64)) {
+        let bytes = encode_vector(&values);
+        prop_assert_eq!(decode_vector(&bytes, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives(keys in proptest::collection::hash_set(any::<u64>(), 1..200)) {
+        let mut bloom = BloomFilter::new(keys.len(), 10);
+        for k in &keys {
+            bloom.insert(*k);
+        }
+        for k in &keys {
+            prop_assert!(bloom.may_contain(*k));
+        }
+    }
+
+    #[test]
+    fn embedding_table_get_put_roundtrips(
+        keys in proptest::collection::vec(any::<u64>(), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let model = mlkv::Mlkv::builder("prop-table")
+            .dim(4)
+            .staleness_bound(u32::MAX)
+            .seed(seed)
+            .memory_budget(1 << 20)
+            .build()
+            .unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            model.put_one(*k, &[i as f32; 4]).unwrap();
+        }
+        // The last write to each key wins.
+        let mut last: HashMap<u64, usize> = HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            last.insert(*k, i);
+        }
+        for (k, i) in last {
+            prop_assert_eq!(model.get_one(k).unwrap(), vec![i as f32; 4]);
+        }
+    }
+}
