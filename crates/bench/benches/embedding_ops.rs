@@ -52,7 +52,9 @@ fn bench_metrics(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    let scores: Vec<f32> = (0..10_000).map(|i| ((i * 37) % 1000) as f32 / 1000.0).collect();
+    let scores: Vec<f32> = (0..10_000)
+        .map(|i| ((i * 37) % 1000) as f32 / 1000.0)
+        .collect();
     let labels: Vec<f32> = (0..10_000).map(|i| (i % 2) as f32).collect();
     group.bench_function("auc_10k", |b| b.iter(|| auc(&scores, &labels)));
     group.finish();

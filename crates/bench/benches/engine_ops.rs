@@ -36,13 +36,17 @@ fn bench_point_ops(c: &mut Criterion) {
         for k in 0..10_000u64 {
             store.put(k, &value).unwrap();
         }
-        group.bench_with_input(BenchmarkId::new("get_hot", backend.name()), &store, |b, s| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 1) % 10_000;
-                s.get(k).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("get_hot", backend.name()),
+            &store,
+            |b, s| {
+                let mut k = 0u64;
+                b.iter(|| {
+                    k = (k + 1) % 10_000;
+                    s.get(k).unwrap()
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("put", backend.name()), &store, |b, s| {
             let mut k = 0u64;
             b.iter(|| {
@@ -72,13 +76,17 @@ fn bench_cold_reads(c: &mut Criterion) {
             store.put(k, &value).unwrap();
         }
         store.flush().unwrap();
-        group.bench_with_input(BenchmarkId::new("get_cold", backend.name()), &store, |b, s| {
-            let mut k = 0u64;
-            b.iter(|| {
-                k = (k + 7919) % 20_000;
-                s.get(k).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("get_cold", backend.name()),
+            &store,
+            |b, s| {
+                let mut k = 0u64;
+                b.iter(|| {
+                    k = (k + 7919) % 20_000;
+                    s.get(k).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -54,24 +54,61 @@ fn main() {
             YcsbDistribution::Zipfian => "zipfian",
         };
 
-        header(&format!("Figure 10 (left, {dist_name}): throughput vs buffer size"));
-        println!("{:>8} {:>14} {:>14} {:>8}", "buffer", "MLKV ops/s", "FASTER ops/s", "ratio");
+        header(&format!(
+            "Figure 10 (left, {dist_name}): throughput vs buffer size"
+        ));
+        println!(
+            "{:>8} {:>14} {:>14} {:>8}",
+            "buffer", "MLKV ops/s", "FASTER ops/s", "ratio"
+        );
         for buffer in [1 << 20, 2 << 20, 4 << 20, 8 << 20] {
             let m = run(true, buffer, 2, 64, distribution, ops, records);
             let f = run(false, buffer, 2, 64, distribution, ops, records);
-            println!("{:>8} {:>14.0} {:>14.0} {:>8.2}", buffer_label(buffer), m, f, m / f);
+            println!(
+                "{:>8} {:>14.0} {:>14.0} {:>8.2}",
+                buffer_label(buffer),
+                m,
+                f,
+                m / f
+            );
         }
 
-        header(&format!("Figure 10 (middle, {dist_name}): throughput vs number of threads"));
-        println!("{:>8} {:>14} {:>14} {:>8}", "threads", "MLKV ops/s", "FASTER ops/s", "ratio");
+        header(&format!(
+            "Figure 10 (middle, {dist_name}): throughput vs number of threads"
+        ));
+        println!(
+            "{:>8} {:>14} {:>14} {:>8}",
+            "threads", "MLKV ops/s", "FASTER ops/s", "ratio"
+        );
         for threads in [1usize, 2, 4, 8] {
-            let m = run(true, 4 << 20, threads, 64, distribution, ops / threads.max(1), records);
-            let f = run(false, 4 << 20, threads, 64, distribution, ops / threads.max(1), records);
+            let m = run(
+                true,
+                4 << 20,
+                threads,
+                64,
+                distribution,
+                ops / threads.max(1),
+                records,
+            );
+            let f = run(
+                false,
+                4 << 20,
+                threads,
+                64,
+                distribution,
+                ops / threads.max(1),
+                records,
+            );
             println!("{threads:>8} {m:>14.0} {f:>14.0} {:>8.2}", m / f);
         }
 
-        header(&format!("Figure 10 (right, {dist_name}): throughput vs value size"));
-        println!("{:>8} {:>14} {:>14} {:>8}", "bytes", "MLKV ops/s", "FASTER ops/s", "ratio");
+        header(&format!(
+            "Figure 10 (right, {dist_name}): throughput vs value size"
+        ));
+        println!(
+            "{:>8} {:>14} {:>14} {:>8}",
+            "bytes", "MLKV ops/s", "FASTER ops/s", "ratio"
+        );
         for value_size in [16usize, 32, 64, 128, 256] {
             let m = run(true, 4 << 20, 2, value_size, distribution, ops, records);
             let f = run(false, 4 << 20, 2, value_size, distribution, ops, records);

@@ -12,9 +12,7 @@ use std::time::Duration;
 
 use mlkv::BackendKind;
 use mlkv_bench::{buffer_label, default_compute, header, open_table, scale_from_args};
-use mlkv_trainer::{
-    GnnModelKind, GnnTrainer, GnnTrainerConfig, PrefetchMode, TrainerOptions,
-};
+use mlkv_trainer::{GnnModelKind, GnnTrainer, GnnTrainerConfig, PrefetchMode, TrainerOptions};
 use mlkv_workloads::graph::GnnGraphConfig;
 
 fn trisk_run(
@@ -58,7 +56,12 @@ fn main() {
     for buffer in [1 << 20, 2 << 20, 4 << 20, 8 << 20] {
         for backend in [BackendKind::Mlkv, BackendKind::Faster] {
             let throughput = trisk_run(scale, backend, buffer, Duration::ZERO, batches);
-            println!("{:>10} {:>14} {:>14.0}", buffer_label(buffer), backend.name(), throughput);
+            println!(
+                "{:>10} {:>14} {:>14.0}",
+                buffer_label(buffer),
+                backend.name(),
+                throughput
+            );
         }
     }
     // Simulated DGL-DDP: two instances hold the whole model in memory but every
@@ -70,7 +73,10 @@ fn main() {
         Duration::from_micros(400),
         batches,
     );
-    println!("{:>10} {:>14} {:>14.0}   (2 instances in the paper)", "distrib", "DGL-DDP", ddp);
+    println!(
+        "{:>10} {:>14} {:>14.0}   (2 instances in the paper)",
+        "distrib", "DGL-DDP", ddp
+    );
 
     header("Figure 11(b): eBay-Payout-like — model quality over time (2.38TB model in the paper)");
     for buffer in [2 << 20, 8 << 20] {
@@ -98,11 +104,7 @@ fn main() {
                 },
             );
             let report = trainer.run(batches).unwrap();
-            println!(
-                "  {}-{}:",
-                backend.name(),
-                buffer_label(buffer)
-            );
+            println!("  {}-{}:", backend.name(), buffer_label(buffer));
             for row in report.convergence_rows() {
                 println!("    {row}");
             }

@@ -18,14 +18,16 @@ fn main() {
     let buffer = 2 << 20;
 
     header("Figure 2: Sync vs Fully-Async DLRM training (FASTER offloading)");
-    println!("{:<12} {:>8} {:>8} {:>8} {:>14} {:>8}", "config", "emb%", "fwd%", "bwd%", "samples/s", "AUC%");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>14} {:>8}",
+        "config", "emb%", "fwd%", "bwd%", "samples/s", "AUC%"
+    );
 
     for (label, bound, mode) in [
         ("Sync", 0u32, UpdateMode::Synchronous),
         ("Fully Async", u32::MAX, UpdateMode::Asynchronous),
     ] {
-        let table = open_table("fig2", BackendKind::Faster, buffer, 16, bound)
-            .expect("open table");
+        let table = open_table("fig2", BackendKind::Faster, buffer, 16, bound).expect("open table");
         let config = DlrmTrainerConfig {
             model: DlrmModelKind::Ffnn,
             criteo: CriteoConfig::criteo_ad(2e-4 * scale, 7),

@@ -7,11 +7,11 @@
 
 use mlkv::BackendKind;
 use mlkv_bench::{default_compute, header, open_table, scale_from_args};
+use mlkv_trainer::report::TrainingReport;
 use mlkv_trainer::{
     DlrmModelKind, DlrmTrainer, DlrmTrainerConfig, GnnModelKind, GnnTrainer, GnnTrainerConfig,
     KgeModelKind, KgeTrainer, KgeTrainerConfig, TrainerOptions,
 };
-use mlkv_trainer::report::TrainingReport;
 use mlkv_workloads::criteo::CriteoConfig;
 use mlkv_workloads::graph::GnnGraphConfig;
 use mlkv_workloads::kg::KgConfig;
@@ -40,7 +40,10 @@ fn main() {
     let big_buffer = 256 << 20; // everything fits in memory, as in Fig. 6.
 
     header("Figure 6(a): DLRM on Criteo-Ad-like (PERSIA vs PERSIA-MLKV)");
-    for (framework, backend) in [("PERSIA (in-memory)", BackendKind::InMemory), ("PERSIA-MLKV", BackendKind::Mlkv)] {
+    for (framework, backend) in [
+        ("PERSIA (in-memory)", BackendKind::InMemory),
+        ("PERSIA-MLKV", BackendKind::Mlkv),
+    ] {
         for (model, dim) in [(DlrmModelKind::Ffnn, 8usize), (DlrmModelKind::Dcn, 16)] {
             let table = open_table("fig6-dlrm", backend, big_buffer, dim, 10).unwrap();
             let mut trainer = DlrmTrainer::new(
@@ -58,8 +61,14 @@ fn main() {
     }
 
     header("Figure 6(b): KGE on WikiKG2-like (DGL-KE vs DGL-KE-MLKV)");
-    for (framework, backend) in [("DGL-KE (in-memory)", BackendKind::InMemory), ("DGL-KE-MLKV", BackendKind::Mlkv)] {
-        for (model, dim) in [(KgeModelKind::DistMult, 16usize), (KgeModelKind::ComplEx, 32)] {
+    for (framework, backend) in [
+        ("DGL-KE (in-memory)", BackendKind::InMemory),
+        ("DGL-KE-MLKV", BackendKind::Mlkv),
+    ] {
+        for (model, dim) in [
+            (KgeModelKind::DistMult, 16usize),
+            (KgeModelKind::ComplEx, 32),
+        ] {
             let table = open_table("fig6-kge", backend, big_buffer, dim, 10).unwrap();
             let mut trainer = KgeTrainer::new(
                 table,
@@ -89,7 +98,10 @@ fn main() {
     }
 
     header("Figure 6(c): GNN on Papers100M-like (DGL vs DGL-MLKV)");
-    for (framework, backend) in [("DGL (in-memory)", BackendKind::InMemory), ("DGL-MLKV", BackendKind::Mlkv)] {
+    for (framework, backend) in [
+        ("DGL (in-memory)", BackendKind::InMemory),
+        ("DGL-MLKV", BackendKind::Mlkv),
+    ] {
         for (model, dim) in [(GnnModelKind::GraphSage, 16usize), (GnnModelKind::Gat, 32)] {
             let table = open_table("fig6-gnn", backend, big_buffer, dim, 10).unwrap();
             let mut trainer = GnnTrainer::new(

@@ -57,7 +57,10 @@ fn print_table_header() {
         print!(" {:>8}", b.name());
     }
     println!();
-    println!("{:>8} {:>53} | {:>35}", "", "throughput (samples/s)", "energy (J/batch)");
+    println!(
+        "{:>8} {:>53} | {:>35}",
+        "", "throughput (samples/s)", "energy (J/batch)"
+    );
 }
 
 fn main() {

@@ -74,7 +74,10 @@ fn main() {
     let batches = (60.0 * scale) as usize;
 
     header("Figure 9(a): DLRM — relative speedup of look-ahead prefetching vs staleness bound");
-    println!("{:>8} {:>16} {:>16} {:>10}", "bound", "no prefetch", "look-ahead", "speedup");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "bound", "no prefetch", "look-ahead", "speedup"
+    );
     for bound in [0u32, 4, 10, 20, 40, 80] {
         let base = dlrm_throughput(scale, bound, PrefetchMode::None, batches);
         let ahead = dlrm_throughput(scale, bound, PrefetchMode::LookAhead, batches);

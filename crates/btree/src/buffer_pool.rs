@@ -129,7 +129,8 @@ impl BufferPool {
         }
         let mut buf = vec![0u8; self.page_size];
         self.device.read_at(offset, &mut buf)?;
-        self.metrics.record_background_disk_read(self.page_size as u64);
+        self.metrics
+            .record_background_disk_read(self.page_size as u64);
         let leaf = LeafPage::decode(&buf)?;
         inner.clock += 1;
         let stamp = inner.clock;
@@ -217,9 +218,7 @@ mod tests {
         let mut leaf = LeafPage::new();
         leaf.insert(1, vec![1, 2, 3]);
         pool.install_new(0, leaf).unwrap();
-        let (value, from_disk) = pool
-            .with_leaf(0, |l| l.get(1).map(|v| v.to_vec()))
-            .unwrap();
+        let (value, from_disk) = pool.with_leaf(0, |l| l.get(1).map(|v| v.to_vec())).unwrap();
         assert_eq!(value, Some(vec![1, 2, 3]));
         assert!(!from_disk);
     }
@@ -234,9 +233,7 @@ mod tests {
         }
         assert!(pool.resident_pages() <= 2);
         // Page 0 was evicted; reading it must fault from the device with its data intact.
-        let (value, from_disk) = pool
-            .with_leaf(0, |l| l.get(0).map(|v| v.to_vec()))
-            .unwrap();
+        let (value, from_disk) = pool.with_leaf(0, |l| l.get(0).map(|v| v.to_vec())).unwrap();
         assert!(from_disk);
         assert_eq!(value, Some(vec![0u8; 8]));
     }

@@ -23,10 +23,7 @@ impl LeafPage {
 
     /// Create a leaf from already-sorted entries.
     pub fn from_sorted(entries: Vec<(u64, Vec<u8>)>) -> Self {
-        let bytes = entries
-            .iter()
-            .map(|(_, v)| ENTRY_OVERHEAD + v.len())
-            .sum();
+        let bytes = entries.iter().map(|(_, v)| ENTRY_OVERHEAD + v.len()).sum();
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         Self { entries, bytes }
     }

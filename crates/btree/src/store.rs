@@ -49,7 +49,7 @@ impl BtreeStore {
             Arc::clone(&metrics),
         );
 
-        let (meta, live) = if meta_device.len() > 0 {
+        let (meta, live) = if !meta_device.is_empty() {
             Self::decode_meta(meta_device.as_ref())?
         } else {
             // Fresh tree: a single empty leaf covering the whole key space.
@@ -101,8 +101,7 @@ impl BtreeStore {
         if len < 32 {
             return Err(StorageError::Corruption("btree meta truncated".into()));
         }
-        let word =
-            |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
         if word(0) != META_MAGIC {
             return Err(StorageError::Corruption("bad btree meta magic".into()));
         }
@@ -113,7 +112,9 @@ impl BtreeStore {
         let mut pos = 32;
         for _ in 0..count {
             if pos + 16 > len {
-                return Err(StorageError::Corruption("btree meta entry truncated".into()));
+                return Err(StorageError::Corruption(
+                    "btree meta entry truncated".into(),
+                ));
             }
             let sep = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
             let page = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());

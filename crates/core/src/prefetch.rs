@@ -75,7 +75,11 @@ pub struct Prefetcher {
 impl Prefetcher {
     /// Spawn `num_workers` background workers serving look-ahead requests for
     /// `store`, filling `app_cache` for application-cache destinations.
-    pub fn new(store: Arc<dyn KvStore>, app_cache: Arc<ShardedLruCache>, num_workers: usize) -> Self {
+    pub fn new(
+        store: Arc<dyn KvStore>,
+        app_cache: Arc<ShardedLruCache>,
+        num_workers: usize,
+    ) -> Self {
         let (sender, receiver): (Sender<Request>, Receiver<Request>) = unbounded();
         let counters = Arc::new(Counters::default());
         let workers = (0..num_workers.max(1))
@@ -213,7 +217,10 @@ mod tests {
         }
         let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
         let prefetcher = Prefetcher::new(Arc::clone(&store), Arc::clone(&cache), 1);
-        prefetcher.lookahead(&(0..50u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+        prefetcher.lookahead(
+            &(0..50u64).collect::<Vec<_>>(),
+            LookaheadDest::ApplicationCache,
+        );
         prefetcher.wait_idle();
         assert_eq!(prefetcher.stats().cached, 50);
         assert_eq!(cache.len(), 50);
@@ -250,7 +257,10 @@ mod tests {
         }
         let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
         let prefetcher = Prefetcher::new(store, Arc::clone(&cache), 2);
-        prefetcher.lookahead(&(0..100u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+        prefetcher.lookahead(
+            &(0..100u64).collect::<Vec<_>>(),
+            LookaheadDest::ApplicationCache,
+        );
         drop(prefetcher);
         // All requests must have been processed before drop returned.
         assert_eq!(cache.len(), 100);

@@ -79,7 +79,10 @@ impl EmbeddingTable {
         }
         let mode = ConsistencyMode::from_bound(options.staleness_bound);
         let controller = StalenessController::new(mode, options.enforce_staleness);
-        let cache = Arc::new(ShardedLruCache::new(options.app_cache_bytes.max(1 << 10), 16));
+        let cache = Arc::new(ShardedLruCache::new(
+            options.app_cache_bytes.max(1 << 10),
+            16,
+        ));
         let prefetcher = Prefetcher::new(
             Arc::clone(&store),
             Arc::clone(&cache),
@@ -163,11 +166,7 @@ impl EmbeddingTable {
     /// Read-modify-write a single embedding: `f` receives the current vector
     /// (lazily initialised when unseen) and returns the new one. This maps to
     /// MLKV's `Rmw` interface used for sparse optimizer updates.
-    pub fn rmw_one(
-        &self,
-        key: u64,
-        f: impl FnOnce(&mut Vec<f32>),
-    ) -> StorageResult<Vec<f32>> {
+    pub fn rmw_one(&self, key: u64, f: impl FnOnce(&mut Vec<f32>)) -> StorageResult<Vec<f32>> {
         let start = Instant::now();
         let guard = self.controller.acquire_put(key)?;
         let mut current = self.read_or_init(key)?;
@@ -183,12 +182,7 @@ impl EmbeddingTable {
 
     /// Apply SGD-style gradients: `value -= lr * grad` for each key. This is the
     /// common "Put(keys, values + optimizer(gradients))" pattern of Figure 3.
-    pub fn apply_gradients(
-        &self,
-        keys: &[u64],
-        grads: &[Vec<f32>],
-        lr: f32,
-    ) -> StorageResult<()> {
+    pub fn apply_gradients(&self, keys: &[u64], grads: &[Vec<f32>], lr: f32) -> StorageResult<()> {
         if keys.len() != grads.len() {
             return Err(StorageError::InvalidArgument(format!(
                 "gradient batch mismatch: {} keys vs {} gradients",
@@ -343,7 +337,7 @@ mod tests {
     fn dimension_mismatches_are_rejected() {
         let t = table(u32::MAX);
         assert!(t.put_one(1, &[0.0; 4]).is_err());
-        assert!(t.put(&[1, 2], &vec![vec![0.0; 8]]).is_err());
+        assert!(t.put(&[1, 2], &[vec![0.0; 8]]).is_err());
         assert!(t.apply_gradients(&[1], &[vec![0.0; 3]], 0.1).is_err());
         assert!(EmbeddingTable::new(
             open_store(BackendKind::InMemory, StoreConfig::in_memory()).unwrap(),
@@ -395,7 +389,10 @@ mod tests {
         for k in 0..50u64 {
             t.put_one(k, &[k as f32; 8]).unwrap();
         }
-        t.lookahead(&(0..50u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+        t.lookahead(
+            &(0..50u64).collect::<Vec<_>>(),
+            LookaheadDest::ApplicationCache,
+        );
         t.wait_for_lookahead();
         let before = t.stats().cache_hits;
         let v = t.get_one(7).unwrap();
@@ -418,7 +415,10 @@ mod tests {
         for k in 0..2000u64 {
             t.put_one(k, &[k as f32; 8]).unwrap();
         }
-        t.lookahead(&(0..32u64).collect::<Vec<_>>(), LookaheadDest::StorageBuffer);
+        t.lookahead(
+            &(0..32u64).collect::<Vec<_>>(),
+            LookaheadDest::StorageBuffer,
+        );
         t.wait_for_lookahead();
         assert!(t.prefetch_stats().promoted > 0);
         assert!(t.store_metrics().prefetch_copies > 0);

@@ -105,8 +105,8 @@ impl SageCore {
     fn backward_and_step(&mut self, cache: &CoreCache, d_logits: &[f32], lr: f32) -> Vec<f32> {
         // Classifier layer.
         let mut d_hidden = vec![0.0f32; self.hidden_dim];
-        for i in 0..self.hidden_dim {
-            d_hidden[i] = dot(self.w2.row(i), d_logits);
+        for (i, d) in d_hidden.iter_mut().enumerate() {
+            *d = dot(self.w2.row(i), d_logits);
         }
         for (i, h) in cache.hidden.iter().enumerate() {
             if *h == 0.0 {
@@ -128,8 +128,8 @@ impl SageCore {
         }
         // First layer.
         let mut d_combined = vec![0.0f32; 2 * self.input_dim];
-        for i in 0..2 * self.input_dim {
-            d_combined[i] = dot(self.w1.row(i), &d_hidden);
+        for (i, d) in d_combined.iter_mut().enumerate() {
+            *d = dot(self.w1.row(i), &d_hidden);
         }
         for (i, x) in cache.combined.iter().enumerate() {
             if *x == 0.0 {
@@ -352,7 +352,7 @@ mod tests {
     ) -> (Vec<f32>, Vec<Vec<f32>>, usize) {
         let mu = if class == 0 { 0.5 } else { -0.5 };
         let sample = |rng: &mut SmallRng| -> Vec<f32> {
-            (0..dim).map(|_| mu + rng.gen_range(-0.3..0.3)).collect()
+            (0..dim).map(|_| mu + rng.gen_range(-0.3f32..0.3)).collect()
         };
         let center = sample(rng);
         let neighbors = (0..5).map(|_| sample(rng)).collect();

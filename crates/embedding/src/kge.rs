@@ -103,7 +103,10 @@ pub struct ComplEx {
 impl ComplEx {
     /// ComplEx over `dim`-dimensional stored embeddings (`dim` must be even).
     pub fn new(dim: usize) -> Self {
-        assert!(dim % 2 == 0, "ComplEx requires an even embedding dimension");
+        assert!(
+            dim.is_multiple_of(2),
+            "ComplEx requires an even embedding dimension"
+        );
         Self { dim }
     }
 
@@ -207,7 +210,11 @@ mod tests {
         let model = DistMult::new(4);
         assert_eq!(model.name(), "DistMult");
         assert_eq!(
-            model.score(&[1.0, 2.0, 0.0, 1.0], &[1.0, 1.0, 5.0, 2.0], &[3.0, 1.0, 7.0, 0.5]),
+            model.score(
+                &[1.0, 2.0, 0.0, 1.0],
+                &[1.0, 1.0, 5.0, 2.0],
+                &[3.0, 1.0, 7.0, 0.5]
+            ),
             1.0 * 1.0 * 3.0 + 2.0 * 1.0 * 1.0 + 0.0 + 1.0 * 2.0 * 0.5
         );
         check_grad_numerically(&model);

@@ -48,9 +48,9 @@ mod tests {
     fn bce_grad_matches_numerical_derivative() {
         for (logit, label) in [(0.3f32, 1.0f32), (-1.2, 0.0), (2.5, 1.0)] {
             let eps = 1e-3;
-            let numeric =
-                (bce_with_logits(logit + eps, label) - bce_with_logits(logit - eps, label))
-                    / (2.0 * eps);
+            let numeric = (bce_with_logits(logit + eps, label)
+                - bce_with_logits(logit - eps, label))
+                / (2.0 * eps);
             let analytic = bce_with_logits_grad(logit, label);
             assert!(
                 (numeric - analytic).abs() < 1e-2,

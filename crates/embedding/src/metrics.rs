@@ -12,7 +12,11 @@ pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     // Average ranks over tied scores.
     let mut ranks = vec![0.0f64; n];
     let mut i = 0;
@@ -48,12 +52,7 @@ pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| p == t)
-        .count() as f64
-        / predicted.len() as f64
+    predicted.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / predicted.len() as f64
 }
 
 /// Hits@k: fraction of queries whose true candidate ranks within the top `k`.

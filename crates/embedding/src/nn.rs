@@ -48,7 +48,11 @@ impl Mlp {
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for l in 0..dims.len() - 1 {
-            weights.push(Matrix::xavier(dims[l], dims[l + 1], seed.wrapping_add(l as u64)));
+            weights.push(Matrix::xavier(
+                dims[l],
+                dims[l + 1],
+                seed.wrapping_add(l as u64),
+            ));
             biases.push(vec![0.0; dims[l + 1]]);
         }
         Self {
@@ -322,7 +326,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let x: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
-                let label = if x.iter().sum::<f32>() > 0.0 { 1.0 } else { 0.0 };
+                let label = if x.iter().sum::<f32>() > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
                 (x, label)
             })
             .collect()
@@ -332,8 +340,8 @@ mod tests {
     fn mlp_shapes_and_params() {
         let mlp = Mlp::new(8, &[16, 4], 1);
         assert_eq!(mlp.input_dim(), 8);
-        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 4 + 4 + 4 * 1 + 1);
-        let (logit, cache) = mlp.forward(&vec![0.1; 8]);
+        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 4 + 4 + 4 + 1);
+        let (logit, cache) = mlp.forward(&[0.1; 8]);
         assert!(logit.is_finite());
         assert_eq!(cache.activations.len(), 4);
         assert_eq!(cache.masks.len(), 2);
@@ -367,10 +375,17 @@ mod tests {
         let norm_n: f32 = numeric.iter().map(|v| v * v).sum::<f32>().sqrt();
         let norm_a: f32 = d_input.iter().map(|v| v * v).sum::<f32>().sqrt();
         let cosine = dot_prod / (norm_n * norm_a).max(1e-12);
-        assert!(cosine > 0.95, "gradient direction mismatch: cosine {cosine}");
+        assert!(
+            cosine > 0.95,
+            "gradient direction mismatch: cosine {cosine}"
+        );
         // Descent check.
         let step = 0.1;
-        let x2: Vec<f32> = x.iter().zip(&d_input).map(|(xi, g)| xi - step * g).collect();
+        let x2: Vec<f32> = x
+            .iter()
+            .zip(&d_input)
+            .map(|(xi, g)| xi - step * g)
+            .collect();
         let (logit2, _) = mlp.forward(&x2);
         assert!(bce_with_logits(logit2, label) < bce_with_logits(logit, label));
     }
@@ -431,8 +446,7 @@ mod tests {
             xm[i] -= eps;
             let (lp, _) = dcn.forward(&xp);
             let (lm, _) = dcn.forward(&xm);
-            let numeric =
-                (bce_with_logits(lp, label) - bce_with_logits(lm, label)) / (2.0 * eps);
+            let numeric = (bce_with_logits(lp, label) - bce_with_logits(lm, label)) / (2.0 * eps);
             assert!(
                 (numeric - d_input[i]).abs() < 1e-2,
                 "dim {i}: numeric {numeric} vs analytic {}",

@@ -121,9 +121,9 @@ impl Matrix {
     /// Element-wise in-place addition of a row vector to every row.
     pub fn add_row_vector(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                self.data[r * self.cols + c] += bias[c];
+        for row in self.data.chunks_mut(self.cols) {
+            for (value, b) in row.iter_mut().zip(bias) {
+                *value += b;
             }
         }
     }

@@ -44,7 +44,9 @@ impl EpochManager {
     pub fn new() -> Self {
         Self {
             current: AtomicU64::new(1),
-            slots: (0..MAX_THREADS).map(|_| AtomicU64::new(SLOT_FREE)).collect(),
+            slots: (0..MAX_THREADS)
+                .map(|_| AtomicU64::new(SLOT_FREE))
+                .collect(),
             drain_list: Mutex::new(Vec::new()),
         }
     }

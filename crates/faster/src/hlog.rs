@@ -3,11 +3,11 @@
 //!
 //! Region boundaries (all monotonically non-decreasing byte offsets):
 //!
-//! * `tail`      — next allocation offset.
+//! * `tail` — next allocation offset.
 //! * `read_only` — addresses `>= read_only` are **mutable in memory** (in-place
-//!                 updates allowed); addresses in `[head, read_only)` are
-//!                 **immutable in memory**.
-//! * `head`      — addresses `< head` live only on the device.
+//!   updates allowed); addresses in `[head, read_only)` are **immutable in
+//!   memory**.
+//! * `head` — addresses `< head` live only on the device.
 //!
 //! Pages are fixed-size; a record never straddles a page boundary (the allocator
 //! pads the remainder of a page instead, and padding is recognisable because real
@@ -281,8 +281,7 @@ impl HybridLog {
         let mut buf = vec![0u8; Record::HEADER_LEN + value_len];
         self.device.read_at(addr.raw(), &mut buf)?;
         let record = Record::decode(&buf)?;
-        self.metrics
-            .record_background_disk_read(buf.len() as u64);
+        self.metrics.record_background_disk_read(buf.len() as u64);
         Ok((record, ReadSource::Disk))
     }
 

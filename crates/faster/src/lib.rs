@@ -16,7 +16,8 @@
 //!   recent record in that bucket's chain.
 //! * When the in-memory window exceeds its budget, the oldest page is flushed to
 //!   the device and the head address advances; reads below the head go to disk.
-//! * [`FasterKv::promote_to_memory`] copies a cold record back into the mutable
+//! * [`KvStore::promote_to_memory`](mlkv_storage::KvStore::promote_to_memory)
+//!   (implemented by [`FasterKv`]) copies a cold record back into the mutable
 //!   region without changing its value — the primitive MLKV's look-ahead
 //!   prefetching relies on (paper §III-C2).
 //!

@@ -118,11 +118,10 @@ impl FasterKv {
 
     /// Checkpoint the store into its configured directory.
     pub fn checkpoint(&self) -> StorageResult<()> {
-        let dir = self
-            .config
-            .dir
-            .clone()
-            .ok_or_else(|| StorageError::Checkpoint("in-memory store cannot checkpoint".into()))?;
+        let dir =
+            self.config.dir.clone().ok_or_else(|| {
+                StorageError::Checkpoint("in-memory store cannot checkpoint".into())
+            })?;
         checkpoint::write_checkpoint(self, &dir)
     }
 

@@ -67,7 +67,8 @@ impl SsTable {
             index_bytes.extend_from_slice(&off.to_le_bytes());
         }
         let bloom_bytes = bloom.encode();
-        let mut file = Vec::with_capacity(data.len() + index_bytes.len() + bloom_bytes.len() + FOOTER_LEN);
+        let mut file =
+            Vec::with_capacity(data.len() + index_bytes.len() + bloom_bytes.len() + FOOTER_LEN);
         file.extend_from_slice(&data);
         file.extend_from_slice(&index_bytes);
         file.extend_from_slice(&bloom_bytes);
@@ -215,15 +216,14 @@ mod tests {
 
     #[test]
     fn build_and_get_roundtrip() {
-        let entries: Vec<(u64, Entry)> = (0..100u64).map(|k| (k * 2, Some(vec![k as u8; 16]))).collect();
+        let entries: Vec<(u64, Entry)> = (0..100u64)
+            .map(|k| (k * 2, Some(vec![k as u8; 16])))
+            .collect();
         let table = build_table(&entries);
         let metrics = StorageMetrics::new();
         assert_eq!(table.len(), 100);
         assert_eq!(table.key_range(), Some((0, 198)));
-        assert_eq!(
-            table.get(10, &metrics).unwrap(),
-            Some(Some(vec![5u8; 16]))
-        );
+        assert_eq!(table.get(10, &metrics).unwrap(), Some(Some(vec![5u8; 16])));
         // Key absent (odd keys were never inserted).
         assert_eq!(table.get(11, &metrics).unwrap(), None);
     }
@@ -242,7 +242,13 @@ mod tests {
         let device = Arc::new(MemDevice::new());
         let metrics = StorageMetrics::new();
         let entries: Vec<(u64, Entry)> = (0..50u64).map(|k| (k, Some(vec![k as u8]))).collect();
-        SsTable::build(Arc::clone(&device) as Arc<dyn Device>, &entries, 7, &metrics).unwrap();
+        SsTable::build(
+            Arc::clone(&device) as Arc<dyn Device>,
+            &entries,
+            7,
+            &metrics,
+        )
+        .unwrap();
         let reopened = SsTable::open(device, 7).unwrap();
         assert_eq!(reopened.len(), 50);
         assert_eq!(reopened.get(49, &metrics).unwrap(), Some(Some(vec![49])));
@@ -260,8 +266,7 @@ mod tests {
 
     #[test]
     fn scan_all_returns_everything_in_order() {
-        let entries: Vec<(u64, Entry)> =
-            vec![(1, Some(vec![9; 3])), (5, None), (9, Some(vec![]))];
+        let entries: Vec<(u64, Entry)> = vec![(1, Some(vec![9; 3])), (5, None), (9, Some(vec![]))];
         let table = build_table(&entries);
         let metrics = StorageMetrics::new();
         assert_eq!(table.scan_all(&metrics).unwrap(), entries);

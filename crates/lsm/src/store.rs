@@ -8,9 +8,7 @@ use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
 use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
-use mlkv_storage::{
-    ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig,
-};
+use mlkv_storage::{ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
 use crate::memtable::{Entry, MemTable};
 use crate::sstable::SsTable;
@@ -154,10 +152,7 @@ impl LsmStore {
             }
         }
         // A full compaction covers the whole key space, so tombstones can be dropped.
-        let entries: Vec<(u64, Entry)> = merged
-            .into_iter()
-            .filter(|(_, e)| e.is_some())
-            .collect();
+        let entries: Vec<(u64, Entry)> = merged.into_iter().filter(|(_, e)| e.is_some()).collect();
         let seq = self.next_seq();
         let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
         let table = SsTable::build(device, &entries, seq, &self.metrics)?;

@@ -112,11 +112,7 @@ mod tests {
         let ops = wal.replay().unwrap();
         assert_eq!(
             ops,
-            vec![
-                (1, Some(b"one".to_vec())),
-                (2, None),
-                (3, Some(Vec::new()))
-            ]
+            vec![(1, Some(b"one".to_vec())), (2, None), (3, Some(Vec::new()))]
         );
         assert!(!wal.is_empty());
     }

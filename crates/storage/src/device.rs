@@ -57,6 +57,7 @@ impl FileDevice {
             .read(true)
             .write(true)
             .create(true)
+            .truncate(false)
             .open(path.as_ref())?;
         let len = file.metadata()?.len();
         Ok(Self {
@@ -111,8 +112,7 @@ impl Device for FileDevice {
         let offset = self.len.load(Ordering::SeqCst);
         file.seek(SeekFrom::Start(offset))?;
         file.write_all(data)?;
-        self.len
-            .store(offset + data.len() as u64, Ordering::SeqCst);
+        self.len.store(offset + data.len() as u64, Ordering::SeqCst);
         Ok(offset)
     }
 }

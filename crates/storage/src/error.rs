@@ -75,7 +75,7 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        let io_err = StorageError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let io_err = StorageError::from(io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert_eq!(StorageError::KeyNotFound.to_string(), "key not found");
         assert!(StorageError::Corruption("bad page".into())

@@ -152,8 +152,11 @@ impl DlrmTrainer {
         let opts = self.config.options.clone();
         let mut generator = CriteoGenerator::new(self.config.criteo.clone());
         let eval_set = generator.next_batch(opts.eval_samples);
-        let mut dispatcher =
-            UpdateDispatcher::new(Arc::clone(&self.table), opts.update_mode, opts.learning_rate);
+        let mut dispatcher = UpdateDispatcher::new(
+            Arc::clone(&self.table),
+            opts.update_mode,
+            opts.learning_rate,
+        );
 
         // Sliding window of upcoming batches so prefetches can run ahead.
         let mut window: VecDeque<Vec<CtrSample>> = VecDeque::new();
@@ -207,9 +210,9 @@ impl DlrmTrainer {
                     .map(|k| (*embedding_of[k]).clone())
                     .collect();
                 let input = self.build_input(&embeddings, &sample.dense);
-                let (_, d_input) =
-                    self.model
-                        .train_step(&input, sample.label, opts.learning_rate);
+                let (_, d_input) = self
+                    .model
+                    .train_step(&input, sample.label, opts.learning_rate);
                 // Split the input gradient back into per-feature embedding gradients.
                 for (field, key) in sample.sparse_keys.iter().enumerate() {
                     let grad = &d_input[field * dim..(field + 1) * dim];
@@ -239,8 +242,7 @@ impl DlrmTrainer {
 
             breakdown.emb_access_s += emb_get_s + put_time.as_secs_f64();
             breakdown.forward_s += compute_s * 0.4;
-            breakdown.backward_s +=
-                compute_s * 0.6 + opts.simulated_compute.as_secs_f64();
+            breakdown.backward_s += compute_s * 0.6 + opts.simulated_compute.as_secs_f64();
             samples_done += batch.len() as u64;
 
             if opts.eval_every_batches > 0 && (batch_idx + 1) % opts.eval_every_batches == 0 {
@@ -254,8 +256,7 @@ impl DlrmTrainer {
         let final_metric = self.evaluate(&eval_set)?;
         convergence.push((duration.as_secs_f64(), final_metric));
         let io_bytes = self.table.store_metrics().total_io_bytes() - io_before;
-        let stall_s =
-            (self.table.staleness_stats().stall_ns - stall_before) as f64 / 1e9;
+        let stall_s = (self.table.staleness_stats().stall_ns - stall_before) as f64 / 1e9;
         let busy_s = breakdown.forward_s + breakdown.backward_s;
         Ok(TrainingReport {
             label: format!(
@@ -361,7 +362,10 @@ mod tests {
 
     #[test]
     fn synchronous_and_asynchronous_modes_both_complete() {
-        for mode in [crate::harness::UpdateMode::Synchronous, crate::harness::UpdateMode::Asynchronous] {
+        for mode in [
+            crate::harness::UpdateMode::Synchronous,
+            crate::harness::UpdateMode::Asynchronous,
+        ] {
             let table = small_table(4);
             let mut config = small_config();
             config.options.update_mode = mode;

@@ -41,13 +41,7 @@ impl EnergyModel {
     }
 
     /// Joules per batch given the totals and the number of batches.
-    pub fn joules_per_batch(
-        &self,
-        busy_s: f64,
-        stall_s: f64,
-        io_bytes: u64,
-        batches: u64,
-    ) -> f64 {
+    pub fn joules_per_batch(&self, busy_s: f64, stall_s: f64, io_bytes: u64, batches: u64) -> f64 {
         if batches == 0 {
             return 0.0;
         }

@@ -139,9 +139,7 @@ impl GnnTrainer {
         let dim = self.table.dim();
         for node in 0..self.graph.num_nodes() {
             let feature = self.graph.seed_feature(node, dim);
-            self.table
-                .store()
-                .put(node, &encode_vector(&feature))?;
+            self.table.store().put(node, &encode_vector(&feature))?;
         }
         Ok(self.graph.num_nodes())
     }
@@ -179,8 +177,11 @@ impl GnnTrainer {
             self.preload_features()?;
         }
         let eval_nodes = self.graph.training_nodes(opts.eval_samples, 0xE7A1);
-        let mut dispatcher =
-            UpdateDispatcher::new(Arc::clone(&self.table), opts.update_mode, opts.learning_rate);
+        let mut dispatcher = UpdateDispatcher::new(
+            Arc::clone(&self.table),
+            opts.update_mode,
+            opts.learning_rate,
+        );
 
         // Pre-sample training nodes and their neighbourhoods for the whole run.
         let all_nodes = self
@@ -362,7 +363,8 @@ mod tests {
     #[test]
     fn graphsage_training_beats_random_guessing() {
         let table = small_table();
-        let mut trainer = GnnTrainer::new(Arc::clone(&table), small_config(GnnModelKind::GraphSage));
+        let mut trainer =
+            GnnTrainer::new(Arc::clone(&table), small_config(GnnModelKind::GraphSage));
         let report = trainer.run(100).unwrap();
         let random_baseline = 1.0 / 3.0;
         assert!(
@@ -378,7 +380,11 @@ mod tests {
         let table = small_table();
         let mut trainer = GnnTrainer::new(table, small_config(GnnModelKind::Gat));
         let report = trainer.run(60).unwrap();
-        assert!(report.final_metric > 0.35, "accuracy {}", report.final_metric);
+        assert!(
+            report.final_metric > 0.35,
+            "accuracy {}",
+            report.final_metric
+        );
         assert!(report.label.contains("GAT"));
     }
 

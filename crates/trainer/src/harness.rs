@@ -125,7 +125,11 @@ impl UpdateDispatcher {
 
     /// Apply (or enqueue) one batch of embedding gradients. Returns the time the
     /// *training thread* spent on it, which is what shows up as a data stall.
-    pub fn dispatch(&mut self, keys: Vec<u64>, grads: Vec<Vec<f32>>) -> mlkv::StorageResult<Duration> {
+    pub fn dispatch(
+        &mut self,
+        keys: Vec<u64>,
+        grads: Vec<Vec<f32>>,
+    ) -> mlkv::StorageResult<Duration> {
         let start = std::time::Instant::now();
         self.dispatched += keys.len() as u64;
         match &self.sender {
@@ -246,8 +250,16 @@ mod tests {
         for k in 0..20u64 {
             t.put_one(k, &[1.0; 4]).unwrap();
         }
-        issue_prefetch(&t, &(0..10u64).collect::<Vec<_>>(), PrefetchMode::Conventional);
-        issue_prefetch(&t, &(10..20u64).collect::<Vec<_>>(), PrefetchMode::LookAhead);
+        issue_prefetch(
+            &t,
+            &(0..10u64).collect::<Vec<_>>(),
+            PrefetchMode::Conventional,
+        );
+        issue_prefetch(
+            &t,
+            &(10..20u64).collect::<Vec<_>>(),
+            PrefetchMode::LookAhead,
+        );
         issue_prefetch(&t, &[999], PrefetchMode::None);
         t.wait_for_lookahead();
         let stats = t.prefetch_stats();

@@ -162,8 +162,11 @@ impl KgeTrainer {
         }
         let eval: Vec<Triple> = eval.into_iter().take(opts.eval_samples).collect();
         let mut rng = SmallRng::seed_from_u64(opts.seed);
-        let mut dispatcher =
-            UpdateDispatcher::new(Arc::clone(&self.table), opts.update_mode, opts.learning_rate);
+        let mut dispatcher = UpdateDispatcher::new(
+            Arc::clone(&self.table),
+            opts.update_mode,
+            opts.learning_rate,
+        );
 
         // Pre-compute batches (cycling through the training triples).
         let total_triples = num_batches * opts.batch_size;
@@ -219,27 +222,34 @@ impl KgeTrainer {
             let t1 = Instant::now();
             let dim = self.table.dim();
             let mut grad_accum: HashMap<u64, (Vec<f32>, u32)> = HashMap::new();
-            let add_grad =
-                |key: u64, grad: &[f32], accum: &mut HashMap<u64, (Vec<f32>, u32)>| {
-                    let entry = accum.entry(key).or_insert_with(|| (vec![0.0; dim], 0));
-                    for (a, g) in entry.0.iter_mut().zip(grad) {
-                        *a += g;
-                    }
-                    entry.1 += 1;
-                };
+            let add_grad = |key: u64, grad: &[f32], accum: &mut HashMap<u64, (Vec<f32>, u32)>| {
+                let entry = accum.entry(key).or_insert_with(|| (vec![0.0; dim], 0));
+                for (a, g) in entry.0.iter_mut().zip(grad) {
+                    *a += g;
+                }
+                entry.1 += 1;
+            };
             for (triple, negs) in &batch {
                 let h: &[f32] = embedding_of[&self.graph.entity_key(triple.head)];
                 let r: &[f32] = embedding_of[&self.graph.relation_key(triple.relation)];
                 let tail: &[f32] = embedding_of[&self.graph.entity_key(triple.tail)];
                 let (_, gh, gr, gt) = self.model.loss_and_grad(h, r, tail, 1.0);
                 add_grad(self.graph.entity_key(triple.head), &gh, &mut grad_accum);
-                add_grad(self.graph.relation_key(triple.relation), &gr, &mut grad_accum);
+                add_grad(
+                    self.graph.relation_key(triple.relation),
+                    &gr,
+                    &mut grad_accum,
+                );
                 add_grad(self.graph.entity_key(triple.tail), &gt, &mut grad_accum);
                 for neg in negs {
                     let ne: &[f32] = embedding_of[&self.graph.entity_key(*neg)];
                     let (_, gh_n, gr_n, gt_n) = self.model.loss_and_grad(h, r, ne, -1.0);
                     add_grad(self.graph.entity_key(triple.head), &gh_n, &mut grad_accum);
-                    add_grad(self.graph.relation_key(triple.relation), &gr_n, &mut grad_accum);
+                    add_grad(
+                        self.graph.relation_key(triple.relation),
+                        &gr_n,
+                        &mut grad_accum,
+                    );
                     add_grad(self.graph.entity_key(*neg), &gt_n, &mut grad_accum);
                 }
             }
@@ -280,7 +290,11 @@ impl KgeTrainer {
                 "{}-{}{} ({})",
                 self.config.model.name(),
                 self.table.dim(),
-                if self.config.beta_ordering { "+BETA" } else { "" },
+                if self.config.beta_ordering {
+                    "+BETA"
+                } else {
+                    ""
+                },
                 self.table.store().name()
             ),
             throughput: samples as f64 / duration.as_secs_f64().max(1e-9),

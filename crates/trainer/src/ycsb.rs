@@ -120,7 +120,8 @@ mod tests {
     #[test]
     fn runs_against_in_memory_store_with_no_misses() {
         let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
-        let result = run_ycsb(Arc::clone(&store), &small_config(YcsbDistribution::Zipfian)).unwrap();
+        let result =
+            run_ycsb(Arc::clone(&store), &small_config(YcsbDistribution::Zipfian)).unwrap();
         assert_eq!(result.total_ops, 4_000);
         assert_eq!(result.read_misses, 0);
         assert!(result.read_hits > 0);
@@ -139,7 +140,8 @@ mod tests {
             )
             .unwrap(),
         );
-        let result = run_ycsb(Arc::clone(&store), &small_config(YcsbDistribution::Uniform)).unwrap();
+        let result =
+            run_ycsb(Arc::clone(&store), &small_config(YcsbDistribution::Uniform)).unwrap();
         assert_eq!(result.read_misses, 0);
         // A tiny buffer forces disk traffic during the measured phase.
         assert!(store.metrics().snapshot().disk_reads > 0);

@@ -211,8 +211,9 @@ mod tests {
             // Field f keys must lie in field f's range.
             for (f, key) in s.sparse_keys.iter().enumerate() {
                 let lo = generator.field_offsets[f];
-                let hi = lo + generator.config.field_cardinalities
-                    [f % generator.config.field_cardinalities.len()];
+                let hi = lo
+                    + generator.config.field_cardinalities
+                        [f % generator.config.field_cardinalities.len()];
                 assert!(*key >= lo && *key < hi);
             }
         }
@@ -220,13 +221,13 @@ mod tests {
 
     #[test]
     fn stream_is_deterministic_per_seed() {
-        let a: Vec<CtrSample> =
-            CriteoGenerator::new(CriteoConfig::default()).next_batch(20);
-        let b: Vec<CtrSample> =
-            CriteoGenerator::new(CriteoConfig::default()).next_batch(20);
+        let a: Vec<CtrSample> = CriteoGenerator::new(CriteoConfig::default()).next_batch(20);
+        let b: Vec<CtrSample> = CriteoGenerator::new(CriteoConfig::default()).next_batch(20);
         assert_eq!(a, b);
-        let mut cfg = CriteoConfig::default();
-        cfg.seed = 1234;
+        let cfg = CriteoConfig {
+            seed: 1234,
+            ..CriteoConfig::default()
+        };
         let c = CriteoGenerator::new(cfg).next_batch(20);
         assert_ne!(a, c);
     }
@@ -256,7 +257,7 @@ mod tests {
         let auc = mlkv_embedding_auc(&scores, &labels);
         assert!(auc > 0.75, "teacher AUC too low: {auc}");
         // Both classes occur.
-        assert!(labels.iter().any(|l| *l == 1.0) && labels.iter().any(|l| *l == 0.0));
+        assert!(labels.contains(&1.0) && labels.contains(&0.0));
     }
 
     // Small local AUC implementation to avoid a dev-dependency cycle.

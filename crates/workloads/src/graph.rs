@@ -155,7 +155,7 @@ impl GnnGraph {
         let mut rng = SmallRng::seed_from_u64(
             node.wrapping_mul(0x517C_C1B7_2722_0A95) ^ visit ^ self.config.seed,
         );
-        let degree = 1 + (rng.gen_range(0..self.config.avg_degree * 2) as usize);
+        let degree = 1 + rng.gen_range(0..self.config.avg_degree * 2);
         let my_community = self.community_of(node);
         (0..degree)
             .map(|_| {
@@ -200,7 +200,7 @@ impl GnnGraph {
                 } else {
                     0.0
                 };
-                base + rng.gen_range(-0.1..0.1)
+                base + rng.gen_range(-0.1f32..0.1)
             })
             .collect()
     }

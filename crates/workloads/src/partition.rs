@@ -20,11 +20,7 @@ pub fn partition_of(entity: u64, num_entities: u64, num_partitions: u64) -> u64 
 /// (head partition, tail partition) pair and the pairs are visited in an order
 /// that changes only one of the two buffered partitions at a time (a "Hilbert
 /// style" snake over the partition grid).
-pub fn partition_order(
-    triples: &[Triple],
-    num_entities: u64,
-    num_partitions: u64,
-) -> Vec<Triple> {
+pub fn partition_order(triples: &[Triple], num_entities: u64, num_partitions: u64) -> Vec<Triple> {
     assert!(num_partitions > 0);
     let p = num_partitions;
     // Bucket edges by partition pair.
@@ -139,12 +135,7 @@ mod tests {
         let ordered = partition_order(&kg.triples, 4000, p);
         let pairs: Vec<(u64, u64)> = ordered
             .iter()
-            .map(|t| {
-                (
-                    partition_of(t.head, 4000, p),
-                    partition_of(t.tail, 4000, p),
-                )
-            })
+            .map(|t| (partition_of(t.head, 4000, p), partition_of(t.tail, 4000, p)))
             .collect();
         // Collapse consecutive duplicates to get the bucket visit order.
         let mut visits = vec![pairs[0]];

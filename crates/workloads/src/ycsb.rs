@@ -193,7 +193,9 @@ mod tests {
             }
             distinct.len()
         };
-        assert!(count_distinct(YcsbDistribution::Zipfian) < count_distinct(YcsbDistribution::Uniform));
+        assert!(
+            count_distinct(YcsbDistribution::Zipfian) < count_distinct(YcsbDistribution::Uniform)
+        );
     }
 
     #[test]

@@ -27,11 +27,11 @@ fn main() -> mlkv::StorageResult<()> {
 
     println!(
         "loading {NUM_EMBEDDINGS} embeddings of dim {DIM} (~{} MB) into a {} MB buffer...",
-        NUM_EMBEDDINGS as usize * DIM * 4 >> 20,
+        (NUM_EMBEDDINGS as usize * DIM * 4) >> 20,
         BUFFER_BYTES >> 20
     );
     for key in 0..NUM_EMBEDDINGS {
-        table.put_one(key, &vec![key as f32 / NUM_EMBEDDINGS as f32; DIM])?;
+        table.put_one(key, &[key as f32 / NUM_EMBEDDINGS as f32; DIM])?;
     }
     let metrics = table.store_metrics();
     println!(

@@ -1,0 +1,68 @@
+//! Collection strategies: `proptest::collection::{vec, hash_set}`.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `sizes`.
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.rng().gen_range(self.sizes.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with element strategy `element` and length in `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(!sizes.is_empty(), "collection::vec: empty size range");
+    VecStrategy { element, sizes }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from `sizes`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.rng().gen_range(self.sizes.clone());
+        let mut set = HashSet::with_capacity(target);
+        // Bounded attempts: tiny value domains may not admit `target`
+        // distinct elements.
+        for _ in 0..target.saturating_mul(20).max(64) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// `HashSet` strategy with element strategy `element` and size in `sizes`.
+pub fn hash_set<S>(element: S, sizes: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    assert!(!sizes.is_empty(), "collection::hash_set: empty size range");
+    HashSetStrategy { element, sizes }
+}

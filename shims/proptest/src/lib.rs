@@ -1,0 +1,93 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! `proptest!` macro, `Strategy` with `prop_map`, `any::<T>()`, range and
+//! tuple strategies, `prop_oneof!`, `proptest::collection::{vec, hash_set}`,
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//! Failing cases are reported by ordinary panic with the generated inputs'
+//! `Debug` form; there is no shrinking and no persisted failure seeds.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body (plain `assert!`: no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly choose between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...) { .. }`
+/// becomes an ordinary test running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($body:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($body)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        concat!(
+                            "proptest case {}/{} failed for ", stringify!($name),
+                            " with inputs:", $("\n  ", stringify!($arg), " = {:?}",)+
+                        ),
+                        case + 1, config.cases, $(&$arg),+
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,48 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Subset of `proptest::test_runner::ProptestConfig` the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test name so every run of a
+/// given test generates the same case sequence (reproducible failures), while
+/// different tests explore different sequences.
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    pub fn for_test(test_name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access the underlying `rand` generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides `Rng::gen` / `Rng::gen_range`, `SeedableRng::seed_from_u64` and
+//! `rngs::SmallRng` backed by SplitMix64 — statistically solid for the
+//! workloads and tests in this workspace (which assert distributional
+//! properties like Zipf skew and training convergence), though not a
+//! cryptographic or stream-compatible replacement for the real crate.
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::{SampleRange, StandardSample};
+
+/// Core random-number source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the "standard" distribution for `T`
+    /// (uniform over the full integer range, `[0, 1)` for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range`, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(-1.0f32..1.0)`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_integer_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+            let u = rng.gen_range(0..2usize);
+            assert!(u < 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_float_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            sum += f64::from(v);
+        }
+        // Mean of U(-1, 1) over 10k draws should be near zero.
+        assert!((sum / 10_000.0).abs() < 0.05, "biased mean: {sum}");
+    }
+
+    #[test]
+    fn standard_floats_are_in_unit_interval_and_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            buckets[(v * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((700..1300).contains(&b), "non-uniform bucket: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn float_gen_range_never_returns_the_exclusive_bound() {
+        // A span of one ulp forces the rounding edge case: without the clamp,
+        // sampling can land exactly on `end`.
+        let mut rng = SmallRng::seed_from_u64(15);
+        let (start, end) = (1.0f32, 1.0000001f32);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(start..end);
+            assert!(v >= start && v < end, "out of half-open range: {v}");
+        }
+    }
+
+    #[test]
+    fn bools_are_roughly_balanced() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "biased bools: {trues}");
+    }
+}

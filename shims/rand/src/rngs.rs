@@ -1,0 +1,36 @@
+//! Concrete generators. `SmallRng` is the only one this workspace uses.
+
+use crate::{RngCore, SeedableRng};
+
+/// Step a SplitMix64 state, returning the next output.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Small, fast, non-cryptographic generator (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix so that nearby seeds (0, 1, 2, ...) diverge immediately.
+        let mut state = seed ^ 0x5851_F42D_4C95_7F2D;
+        splitmix64(&mut state);
+        Self { state }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// Alias: the workspace never needs a cryptographically strong generator.
+pub type StdRng = SmallRng;

@@ -1,0 +1,55 @@
+//! Backend-wiring smoke test: every [`BackendKind`] must open through
+//! [`open_store`] and serve reads/writes both at the raw key-value layer and
+//! through an [`EmbeddingTable`] built on top of it. Catches factory or
+//! re-export regressions fast, before the heavier integration suites run.
+
+use mlkv::{open_store, BackendKind, Mlkv, StoreConfig};
+
+#[test]
+fn every_backend_opens_and_round_trips_raw_bytes() {
+    for kind in BackendKind::ALL {
+        let store = open_store(
+            kind,
+            StoreConfig::in_memory()
+                .with_memory_budget(1 << 20)
+                .with_page_size(4 << 10)
+                .with_index_buckets(256),
+        )
+        .unwrap_or_else(|e| panic!("{}: open_store failed: {e:?}", kind.name()));
+
+        store.put(7, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(store.get(7).unwrap(), vec![1, 2, 3, 4], "{}", kind.name());
+        store.put(7, &[9, 9]).unwrap();
+        assert_eq!(store.get(7).unwrap(), vec![9, 9], "{}", kind.name());
+        assert!(
+            store.get(8).unwrap_err().is_not_found(),
+            "{}: missing key must report not-found",
+            kind.name()
+        );
+        store.delete(7).unwrap();
+        assert!(store.get(7).unwrap_err().is_not_found(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn every_backend_round_trips_through_an_embedding_table() {
+    for kind in BackendKind::ALL {
+        let model = Mlkv::builder("smoke")
+            .dim(8)
+            .backend(kind)
+            .staleness_bound(u32::MAX)
+            .memory_budget(1 << 20)
+            .build()
+            .unwrap_or_else(|e| panic!("{}: build failed: {e:?}", kind.name()));
+        let table = model.table();
+
+        let value = [0.25f32; 8];
+        table.put_one(42, &value).unwrap();
+        assert_eq!(table.get_one(42).unwrap(), value, "{}", kind.name());
+
+        // A never-written key is served from the deterministic initializer
+        // (embedding tables are dense; see `TableOptions`).
+        let initialized = table.get_one(1_000).unwrap();
+        assert_eq!(initialized.len(), 8, "{}", kind.name());
+    }
+}

@@ -33,7 +33,9 @@ fn ssp_bound_is_never_exceeded_under_concurrency() {
                 // Staleness observed right after a successful Get can never exceed
                 // bound + 1 (this Get itself).
                 assert!(table.staleness_of(key) <= 4, "bound violated");
-                table.apply_gradients(&[key], &[vec![0.001; 4]], 0.1).unwrap();
+                table
+                    .apply_gradients(&[key], &[vec![0.001; 4]], 0.1)
+                    .unwrap();
                 assert_eq!(v.len(), 4);
             }
         }));
@@ -49,13 +51,13 @@ fn ssp_bound_is_never_exceeded_under_concurrency() {
 #[test]
 fn asp_and_disabled_enforcement_never_block() {
     for (label, build) in [
-        (
-            "ASP",
-            Mlkv::builder("asp").dim(4).staleness_bound(u32::MAX),
-        ),
+        ("ASP", Mlkv::builder("asp").dim(4).staleness_bound(u32::MAX)),
         (
             "disabled",
-            Mlkv::builder("off").dim(4).staleness_bound(0).disable_staleness_enforcement(),
+            Mlkv::builder("off")
+                .dim(4)
+                .staleness_bound(0)
+                .disable_staleness_enforcement(),
         ),
     ] {
         let model = build.memory_budget(1 << 20).build().unwrap();
@@ -90,7 +92,11 @@ fn lookahead_beyond_the_staleness_bound_does_not_violate_it() {
     table.lookahead(&future_keys, LookaheadDest::StorageBuffer);
     table.wait_for_lookahead();
     for k in &future_keys {
-        assert_eq!(table.staleness_of(*k), 0, "prefetch changed staleness of {k}");
+        assert_eq!(
+            table.staleness_of(*k),
+            0,
+            "prefetch changed staleness of {k}"
+        );
     }
     // Values are unchanged by promotion.
     for k in [0u64, 100, 499] {
@@ -113,7 +119,10 @@ fn conventional_prefetch_fills_the_application_cache_only() {
         table.put_one(k, &[1.0; 4]).unwrap();
     }
     let promoted_before = table.store_metrics().prefetch_copies;
-    table.lookahead(&(0..200u64).collect::<Vec<_>>(), LookaheadDest::ApplicationCache);
+    table.lookahead(
+        &(0..200u64).collect::<Vec<_>>(),
+        LookaheadDest::ApplicationCache,
+    );
     table.wait_for_lookahead();
     assert_eq!(table.store_metrics().prefetch_copies, promoted_before);
     assert!(table.prefetch_stats().cached >= 200);
@@ -138,8 +147,15 @@ fn every_backend_supports_the_full_table_api() {
         let values: Vec<Vec<f32>> = keys.iter().map(|k| vec![*k as f32; 4]).collect();
         model.put(&keys, &values).unwrap();
         assert_eq!(model.get(&keys).unwrap(), values, "{}", backend.name());
-        model.apply_gradients(&keys, &vec![vec![1.0; 4]; 32], 0.5).unwrap();
-        assert_eq!(model.get_one(0).unwrap(), vec![-0.5; 4], "{}", backend.name());
+        model
+            .apply_gradients(&keys, &vec![vec![1.0; 4]; 32], 0.5)
+            .unwrap();
+        assert_eq!(
+            model.get_one(0).unwrap(),
+            vec![-0.5; 4],
+            "{}",
+            backend.name()
+        );
         model.lookahead(&keys, LookaheadDest::StorageBuffer);
         model.wait_for_lookahead();
         model.flush().unwrap();

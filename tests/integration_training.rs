@@ -130,7 +130,11 @@ fn gnn_training_works_over_disk_backed_store() {
         },
     );
     let report = trainer.run(60).unwrap();
-    assert!(report.final_metric > 0.4, "accuracy {}", report.final_metric);
+    assert!(
+        report.final_metric > 0.4,
+        "accuracy {}",
+        report.final_metric
+    );
     assert!(dir.join("gnn-disk").join("hlog.dat").exists());
     std::fs::remove_dir_all(&dir).ok();
 }

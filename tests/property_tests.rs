@@ -52,7 +52,10 @@ fn check_engine_against_model(backend: BackendKind, ops: &[Op]) {
                 (Ok(actual), Some(expected)) => assert_eq!(&actual, expected),
                 (Err(e), None) => assert!(e.is_not_found()),
                 (actual, expected) => {
-                    panic!("{}: mismatch for key {k}: {actual:?} vs {expected:?}", backend.name())
+                    panic!(
+                        "{}: mismatch for key {k}: {actual:?} vs {expected:?}",
+                        backend.name()
+                    )
                 }
             },
         }
@@ -63,7 +66,10 @@ fn check_engine_against_model(backend: BackendKind, ops: &[Op]) {
             (Ok(actual), Some(expected)) => assert_eq!(&actual, expected),
             (Err(e), None) => assert!(e.is_not_found()),
             (actual, expected) => {
-                panic!("{}: final mismatch for key {k}: {actual:?} vs {expected:?}", backend.name())
+                panic!(
+                    "{}: final mismatch for key {k}: {actual:?} vs {expected:?}",
+                    backend.name()
+                )
             }
         }
     }
