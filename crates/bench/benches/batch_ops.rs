@@ -1,0 +1,154 @@
+//! Criterion benchmark of the batch-first API against the per-key loop it
+//! replaced: `multi_get` vs a `get` loop on the FASTER engine, and
+//! `EmbeddingTable::gather` / `apply_gradients` vs their per-key equivalents.
+//!
+//! The interesting read is the ratio between `per_key/<n>` and `batched/<n>`
+//! for each batch size: batching amortises the epoch enter/exit, record-word
+//! admission and cache probes, so the batched rows should win from batch
+//! size 64 up (and usually much earlier).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlkv::{open_store, BackendKind, EmbeddingTable};
+use mlkv_storage::{KvStore, StoreConfig};
+
+const BATCH_SIZES: [usize; 4] = [16, 64, 256, 1024];
+const KEY_SPACE: u64 = 20_000;
+
+fn faster_store(budget: usize) -> Arc<dyn KvStore> {
+    open_store(
+        BackendKind::Faster,
+        StoreConfig::in_memory()
+            .with_memory_budget(budget)
+            .with_page_size(4 << 10)
+            .with_index_buckets(1 << 14),
+    )
+    .unwrap()
+}
+
+fn batch_keys(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (base + i * 17) % KEY_SPACE).collect()
+}
+
+fn bench_faster_gets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faster_batched_vs_per_key_get");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let store = faster_store(16 << 20);
+    let value = vec![7u8; 64];
+    for k in 0..KEY_SPACE {
+        store.put(k, &value).unwrap();
+    }
+    for n in BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("per_key", n), &store, |b, s| {
+            let mut base = 0u64;
+            b.iter(|| {
+                base = base.wrapping_add(31);
+                batch_keys(base, n)
+                    .into_iter()
+                    .map(|k| s.get(k).unwrap())
+                    .collect::<Vec<_>>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &store, |b, s| {
+            let mut base = 0u64;
+            b.iter(|| {
+                base = base.wrapping_add(31);
+                s.multi_get(&batch_keys(base, n))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_gather_vs_per_key_get");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let table = EmbeddingTable::builder(faster_store(16 << 20))
+        .dim(16)
+        .staleness_bound(u32::MAX)
+        .build()
+        .unwrap();
+    for k in 0..KEY_SPACE {
+        table.put_one(k, &[0.5; 16]).unwrap();
+    }
+    for n in BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("per_key", n), &table, |b, t| {
+            let mut base = 0u64;
+            b.iter(|| {
+                base = base.wrapping_add(31);
+                batch_keys(base, n)
+                    .into_iter()
+                    .map(|k| t.get_one(k).unwrap())
+                    .collect::<Vec<_>>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &table, |b, t| {
+            let mut base = 0u64;
+            b.iter(|| {
+                base = base.wrapping_add(31);
+                t.gather(&batch_keys(base, n)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_apply_gradients_vs_per_key_rmw");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let table = EmbeddingTable::builder(faster_store(16 << 20))
+        .dim(16)
+        .staleness_bound(u32::MAX)
+        .build()
+        .unwrap();
+    for k in 0..KEY_SPACE {
+        table.put_one(k, &[0.5; 16]).unwrap();
+    }
+    let grad = [0.01f32; 16];
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("per_key", n), &table, |b, t| {
+            let mut base = 0u64;
+            b.iter(|| {
+                base = base.wrapping_add(31);
+                for k in batch_keys(base, n) {
+                    t.rmw_one(k, |v| {
+                        for (x, g) in v.iter_mut().zip(&grad) {
+                            *x -= 0.05 * g;
+                        }
+                    })
+                    .unwrap();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &table, |b, t| {
+            let mut base = 0u64;
+            b.iter(|| {
+                base = base.wrapping_add(31);
+                let keys = batch_keys(base, n);
+                let updates: Vec<(u64, &[f32])> =
+                    keys.iter().map(|k| (*k, grad.as_slice())).collect();
+                t.apply_gradients(&updates, 0.05).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_faster_gets,
+    bench_table_gather,
+    bench_table_scatter
+);
+criterion_main!(benches);

@@ -58,6 +58,39 @@ fn bench_point_ops(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_gets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_multi_get64");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let value = vec![7u8; 64];
+    for backend in [
+        BackendKind::Faster,
+        BackendKind::RocksDbLike,
+        BackendKind::WiredTigerLike,
+        BackendKind::InMemory,
+    ] {
+        let store = engine(backend, 8 << 20);
+        for k in 0..10_000u64 {
+            store.put(k, &value).unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("multi_get64", backend.name()),
+            &store,
+            |b, s| {
+                let mut base = 0u64;
+                b.iter(|| {
+                    base = (base + 64) % 10_000;
+                    let keys: Vec<u64> = (base..base + 64).map(|k| k % 10_000).collect();
+                    s.multi_get(&keys)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_cold_reads(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_cold_reads");
     group
@@ -91,5 +124,10 @@ fn bench_cold_reads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_point_ops, bench_cold_reads);
+criterion_group!(
+    benches,
+    bench_point_ops,
+    bench_batched_gets,
+    bench_cold_reads
+);
 criterion_main!(benches);

@@ -37,6 +37,7 @@ fn run(
             },
             threads,
             ops_per_thread: ops,
+            batch_size: 32,
         },
     )
     .unwrap();

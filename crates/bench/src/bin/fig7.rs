@@ -1,6 +1,7 @@
 //! Figure 7 — Larger-than-memory workloads: training throughput (top) and
 //! approximate energy per batch (bottom) as the memory buffer size varies, for
-//! MLKV against FASTER / RocksDB-like / WiredTiger-like offloading.
+//! MLKV against FASTER / RocksDB / WiredTiger offloading (figure labels match
+//! `BackendKind::name()`).
 
 use mlkv::BackendKind;
 use mlkv_bench::{buffer_label, default_compute, header, open_table, scale_from_args};

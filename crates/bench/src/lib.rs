@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mlkv::{BackendKind, EmbeddingTable, Mlkv, StorageResult};
-use mlkv_storage::kv::{Key, KvStore, ReadResult};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult};
 use mlkv_storage::{StorageMetrics, StoreConfig};
 
 /// Parse `--scale <f64>` from the process arguments (default 1.0).
@@ -100,6 +100,18 @@ impl KvStore for StalenessWrappedStore {
         out
     }
 
+    fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
+        // One record-word admission sweep per batch, then the engine's own
+        // batched read — mirroring how the MLKV table layer issues batches.
+        if let Err(e) = self.controller.admit_get_batch(keys) {
+            return keys
+                .iter()
+                .map(|_| Err(clone_staleness_error(&e)))
+                .collect();
+        }
+        self.inner.multi_get(keys)
+    }
+
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
         let guard = self.controller.acquire_put(key)?;
         let out = self.inner.put(key, value);
@@ -111,6 +123,25 @@ impl KvStore for StalenessWrappedStore {
         let guard = self.controller.acquire_put(key)?;
         let out = self.inner.rmw(key, f);
         drop(guard);
+        out
+    }
+
+    fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        let guards = self.controller.acquire_put_batch(keys)?;
+        let out = self.inner.multi_rmw(keys, f);
+        drop(guards);
+        out
+    }
+
+    fn exists(&self, key: Key) -> StorageResult<bool> {
+        self.inner.exists(key)
+    }
+
+    fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
+        let keys: Vec<Key> = batch.iter().map(|(k, _)| *k).collect();
+        let guards = self.controller.acquire_put_batch(&keys)?;
+        let out = self.inner.write_batch(batch);
+        drop(guards);
         out
     }
 
@@ -132,6 +163,20 @@ impl KvStore for StalenessWrappedStore {
 
     fn flush(&self) -> StorageResult<()> {
         self.inner.flush()
+    }
+}
+
+/// Rebuild a staleness-admission failure for every slot of a batch
+/// (`StorageError` is not `Clone`; only the timeout variant reaches here).
+fn clone_staleness_error(e: &mlkv::StorageError) -> mlkv::StorageError {
+    match e {
+        mlkv::StorageError::StalenessTimeout { key, bound } => {
+            mlkv::StorageError::StalenessTimeout {
+                key: *key,
+                bound: *bound,
+            }
+        }
+        other => mlkv::StorageError::InvalidArgument(format!("batch admission failed: {other}")),
     }
 }
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
-use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
 use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
 use crate::buffer_pool::BufferPool;
@@ -156,43 +156,9 @@ impl BtreeStore {
     fn leaf_capacity(&self) -> usize {
         self.config.page_size
     }
-}
 
-impl KvStore for BtreeStore {
-    fn name(&self) -> &'static str {
-        "WiredTiger-like"
-    }
-
-    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
-        let tree = self.tree.read();
-        let (_, page_id) = Self::route(&tree.separators, key);
-        let (value, from_disk) = self
-            .pool
-            .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
-        match value {
-            Some(v) => {
-                if from_disk {
-                    self.metrics.record_disk_read(v.len() as u64);
-                } else {
-                    self.metrics.record_mem_hit();
-                }
-                Ok(ReadResult {
-                    value: v,
-                    source: if from_disk {
-                        ReadSource::Disk
-                    } else {
-                        ReadSource::HotMemory
-                    },
-                })
-            }
-            None => {
-                self.metrics.record_miss();
-                Err(StorageError::KeyNotFound)
-            }
-        }
-    }
-
-    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+    /// Reject values that cannot fit a leaf page.
+    fn check_value_size(&self, value: &[u8]) -> StorageResult<()> {
         if value.len() + 64 > self.leaf_capacity() {
             return Err(StorageError::InvalidArgument(format!(
                 "value of {} bytes cannot fit a {}-byte leaf page",
@@ -200,8 +166,14 @@ impl KvStore for BtreeStore {
                 self.leaf_capacity()
             )));
         }
+        Ok(())
+    }
+
+    /// Upsert `key` into the tree whose meta the caller holds write-locked.
+    /// This is the body shared by `put`, `multi_rmw` and `write_batch`, so a
+    /// batch pays for the tree lock once.
+    fn put_locked(&self, tree: &mut TreeMeta, key: Key, value: &[u8]) -> StorageResult<()> {
         self.metrics.record_upsert();
-        let mut tree = self.tree.write();
         let (sep, page_id) = Self::route(&tree.separators, key);
         let capacity = self.leaf_capacity();
         let (outcome, _) = self.pool.with_leaf_mut(page_id, |leaf| {
@@ -239,6 +211,117 @@ impl KvStore for BtreeStore {
         }
         Ok(())
     }
+}
+
+impl KvStore for BtreeStore {
+    fn name(&self) -> &'static str {
+        // Matches `BackendKind::WiredTigerLike.name()` and the paper's figure labels.
+        "WiredTiger"
+    }
+
+    fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+        let tree = self.tree.read();
+        let (_, page_id) = Self::route(&tree.separators, key);
+        let (value, from_disk) = self
+            .pool
+            .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
+        match value {
+            Some(v) => {
+                if from_disk {
+                    self.metrics.record_disk_read(v.len() as u64);
+                } else {
+                    self.metrics.record_mem_hit();
+                }
+                Ok(ReadResult {
+                    value: v,
+                    source: if from_disk {
+                        ReadSource::Disk
+                    } else {
+                        ReadSource::HotMemory
+                    },
+                })
+            }
+            None => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
+    }
+
+    fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
+        // Sorted traversal: group the batch by leaf page so every page is
+        // pinned in the buffer pool exactly once, no matter how many of the
+        // batch's keys it serves.
+        let tree = self.tree.read();
+        let mut routed: Vec<(u64, usize)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (Self::route(&tree.separators, k).1, i))
+            .collect();
+        routed.sort_unstable_by_key(|&(page, _)| page);
+        let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut pos = 0;
+        while pos < routed.len() {
+            let page_id = routed[pos].0;
+            let mut end = pos;
+            while end < routed.len() && routed[end].0 == page_id {
+                end += 1;
+            }
+            let group = &routed[pos..end];
+            let result = self.pool.with_leaf(page_id, |leaf| {
+                group
+                    .iter()
+                    .map(|&(_, i)| leaf.get(keys[i]).map(|v| v.to_vec()))
+                    .collect::<Vec<_>>()
+            });
+            match result {
+                Ok((values, from_disk)) => {
+                    for (&(_, i), value) in group.iter().zip(values) {
+                        out[i] = Some(match value {
+                            Some(v) => {
+                                if from_disk {
+                                    self.metrics.record_disk_read(v.len() as u64);
+                                } else {
+                                    self.metrics.record_mem_hit();
+                                }
+                                Ok(v)
+                            }
+                            None => {
+                                self.metrics.record_miss();
+                                Err(StorageError::KeyNotFound)
+                            }
+                        });
+                    }
+                }
+                Err(e) => {
+                    // Preserve the original error kind: the first key keeps it
+                    // verbatim, and the (error-path-only) re-probe lets every
+                    // other key in the group surface its own genuine error.
+                    let mut slots = group.iter();
+                    if let Some(&(_, i)) = slots.next() {
+                        out[i] = Some(Err(e));
+                    }
+                    for &(_, i) in slots {
+                        out[i] = Some(
+                            self.pool
+                                .with_leaf(page_id, |leaf| leaf.get(keys[i]).map(|v| v.to_vec()))
+                                .and_then(|(value, _)| value.ok_or(StorageError::KeyNotFound)),
+                        );
+                    }
+                }
+            }
+            pos = end;
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        self.check_value_size(value)?;
+        let mut tree = self.tree.write();
+        self.put_locked(&mut tree, key, value)
+    }
 
     fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
         self.metrics.record_rmw();
@@ -250,6 +333,53 @@ impl KvStore for BtreeStore {
         let new_value = f(current.as_deref());
         self.put(key, &new_value)?;
         Ok(new_value)
+    }
+
+    fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        // One tree write-lock acquisition for the whole batch; routing happens
+        // per key because an insert may split a leaf mid-batch. Input order is
+        // preserved so duplicate keys see earlier occurrences' writes.
+        let mut tree = self.tree.write();
+        let mut out = vec![Vec::new(); keys.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            self.metrics.record_rmw();
+            let (_, page_id) = Self::route(&tree.separators, key);
+            let (current, _) = self
+                .pool
+                .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
+            let new_value = f(i, current.as_deref());
+            self.check_value_size(&new_value)?;
+            self.put_locked(&mut tree, key, &new_value)?;
+            out[i] = new_value;
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, key: Key) -> StorageResult<bool> {
+        // Leaf probe without copying the value out of the page.
+        let tree = self.tree.read();
+        let (_, page_id) = Self::route(&tree.separators, key);
+        let (found, _) = self
+            .pool
+            .with_leaf(page_id, |leaf| leaf.get(key).is_some())?;
+        Ok(found)
+    }
+
+    fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
+        for (_, v) in batch.iter() {
+            self.check_value_size(v)?;
+        }
+        // One tree write-lock acquisition; a stable sort by key turns the batch
+        // into a sorted traversal (consecutive upserts hit the same leaf) while
+        // preserving occurrence order for duplicate keys.
+        let ops: Vec<(&Key, &Vec<u8>)> = batch.iter().collect();
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| *ops[i].0);
+        let mut tree = self.tree.write();
+        for i in order {
+            self.put_locked(&mut tree, *ops[i].0, ops[i].1)?;
+        }
+        Ok(())
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
@@ -297,7 +427,69 @@ mod tests {
         store.delete(10).unwrap();
         assert!(store.get(10).unwrap_err().is_not_found());
         assert_eq!(store.approximate_len(), 1);
-        assert_eq!(store.name(), "WiredTiger-like");
+        assert_eq!(store.name(), "WiredTiger");
+    }
+
+    #[test]
+    fn multi_get_shares_leaf_pins_across_a_sorted_batch() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        for k in 0..5000u64 {
+            store.put(k, &[(k % 251) as u8; 32]).unwrap();
+        }
+        assert!(store.leaf_count() > 1);
+        let keys: Vec<u64> = vec![4999, 0, 2500, 0, 1_000_000];
+        let batch = store.multi_get(&keys);
+        assert_eq!(batch[0].as_deref().unwrap(), &[(4999 % 251) as u8; 32]);
+        assert_eq!(batch[1].as_deref().unwrap(), &[0u8; 32]);
+        assert_eq!(batch[2].as_deref().unwrap(), &[(2500 % 251) as u8; 32]);
+        assert_eq!(batch[3].as_deref().unwrap(), &[0u8; 32]);
+        assert!(batch[4].as_ref().unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn multi_rmw_survives_mid_batch_splits() {
+        let store = BtreeStore::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(64 << 10)
+                .with_page_size(1 << 10),
+        )
+        .unwrap();
+        // Values big enough that the batch forces leaf splits while it runs.
+        let keys: Vec<u64> = (0..200).map(|i| i % 100).collect();
+        store
+            .multi_rmw(&keys, &|_, cur| {
+                let n = cur.map(|b| b[0]).unwrap_or(0);
+                vec![n + 1; 64]
+            })
+            .unwrap();
+        assert!(store.leaf_count() > 1, "batch should have split leaves");
+        for k in 0..100u64 {
+            assert_eq!(store.get(k).unwrap(), vec![2u8; 64], "key {k}");
+        }
+    }
+
+    #[test]
+    fn exists_probes_leaves_without_copying() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        store.put(10, b"ten").unwrap();
+        assert!(store.exists(10).unwrap());
+        assert!(!store.exists(11).unwrap());
+        store.delete(10).unwrap();
+        assert!(!store.exists(10).unwrap());
+    }
+
+    #[test]
+    fn write_batch_sorted_traversal_applies_all_and_keeps_duplicate_order() {
+        let store = BtreeStore::in_memory(1 << 20).unwrap();
+        let mut batch = mlkv_storage::WriteBatch::new();
+        for k in (0..500u64).rev() {
+            batch.put(k, k.to_le_bytes().to_vec());
+        }
+        batch.put(7, b"second".to_vec()); // duplicate: later op must win
+        store.write_batch(&batch).unwrap();
+        assert_eq!(store.get(7).unwrap(), b"second");
+        assert_eq!(store.get(499).unwrap(), 499u64.to_le_bytes());
+        assert_eq!(store.approximate_len(), 500);
     }
 
     #[test]

@@ -16,22 +16,32 @@
 //!   into the 64-bit record word ([`RecordWord`], paper Figure 5(a)); the
 //!   staleness bound selects BSP / SSP / ASP training (paper §III-C1).
 //!
-//! The user-facing API mirrors the paper's Figure 3:
+//! The user-facing API mirrors the paper's Figure 3, with a **batch-first**
+//! surface: a training step is one `gather`, one `apply_gradients`, and one
+//! `lookahead` — each a single batched call all the way down to the storage
+//! engine:
 //!
 //! ```
-//! use mlkv::{LookaheadDest, Mlkv};
+//! use mlkv::{BackendKind, LookaheadDest, Mlkv};
 //!
 //! // nn_model, emb_tables = MLKV.Open(model_id, dim, staleness_bound)
-//! let model = Mlkv::open("quickstart", 16, 4).unwrap();
+//! let model = Mlkv::builder("quickstart")
+//!     .dim(16)
+//!     .staleness_bound(4)
+//!     .backend(BackendKind::Mlkv)
+//!     .build()
+//!     .unwrap();
 //!
-//! // Training loop: Get -> forward/backward (your framework) -> Put.
+//! // Training loop: gather -> forward/backward (your framework) -> scatter.
 //! let keys = vec![10, 42, 77];
-//! let emb_values = model.get(&keys).unwrap();
-//! let updated: Vec<Vec<f32>> = emb_values
+//! let emb_values = model.gather(&keys).unwrap();
+//! let grads: Vec<Vec<f32>> = emb_values.iter().map(|v| vec![0.01; v.len()]).collect();
+//! let updates: Vec<(u64, &[f32])> = keys
 //!     .iter()
-//!     .map(|v| v.iter().map(|x| x - 0.01).collect())
+//!     .zip(&grads)
+//!     .map(|(k, g)| (*k, g.as_slice()))
 //!     .collect();
-//! model.put(&keys, &updated).unwrap();
+//! model.apply_gradients(&updates, 0.1).unwrap();
 //!
 //! // Tell MLKV which keys the *next* batches will touch.
 //! model.lookahead(&[100, 101, 102], LookaheadDest::StorageBuffer);
@@ -56,7 +66,7 @@ pub use prefetch::{LookaheadDest, PrefetchStats, Prefetcher};
 pub use record_word::{AcquireOutcome, AtomicRecordWord, RecordWord};
 pub use staleness::{ConsistencyMode, StalenessController, StalenessStats};
 pub use stats::{TableStats, TableStatsSnapshot};
-pub use table::{EmbeddingTable, TableOptions};
+pub use table::{EmbeddingTable, TableBuilder, TableOptions};
 
 // Re-export the storage-facing types users need when configuring backends.
-pub use mlkv_storage::{StorageError, StorageResult, StoreConfig};
+pub use mlkv_storage::{KvStore, StorageError, StorageResult, StoreConfig, WriteBatch};

@@ -136,7 +136,9 @@ impl EmbeddingModelBuilder {
             config.dir = Some(dir.join(&self.model_id));
         }
         let store = open_store(self.backend, config)?;
-        let table = EmbeddingTable::new(store, self.options)?;
+        let table = EmbeddingTable::builder(store)
+            .options(self.options)
+            .build()?;
         Ok(EmbeddingModel {
             model_id: self.model_id,
             backend: self.backend,

@@ -90,27 +90,35 @@ impl Prefetcher {
                 let counters = Arc::clone(&counters);
                 std::thread::spawn(move || {
                     while let Ok(req) = receiver.recv() {
-                        for key in req.keys {
-                            match req.dest {
-                                LookaheadDest::StorageBuffer => {
+                        match req.dest {
+                            LookaheadDest::StorageBuffer => {
+                                for key in req.keys {
                                     match store.promote_to_memory(key) {
                                         Ok(true) => {
                                             counters.promoted.fetch_add(1, Ordering::Relaxed)
                                         }
                                         _ => counters.skipped.fetch_add(1, Ordering::Relaxed),
                                     };
+                                    counters.completed.fetch_add(1, Ordering::Relaxed);
                                 }
-                                LookaheadDest::ApplicationCache => match store.get(key) {
-                                    Ok(value) => {
-                                        cache.insert(key, value);
-                                        counters.cached.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    Err(_) => {
-                                        counters.skipped.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                },
                             }
-                            counters.completed.fetch_add(1, Ordering::Relaxed);
+                            LookaheadDest::ApplicationCache => {
+                                // One batched storage read per request instead
+                                // of a point read per key.
+                                let values = store.multi_get(&req.keys);
+                                for (key, value) in req.keys.into_iter().zip(values) {
+                                    match value {
+                                        Ok(value) => {
+                                            cache.insert(key, value);
+                                            counters.cached.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        Err(_) => {
+                                            counters.skipped.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                     }
                 })

@@ -146,6 +146,32 @@ impl AtomicRecordWord {
         }
     }
 
+    /// Attempt a staleness-neutral latch acquisition: sets Locked without
+    /// touching the staleness counter. Used for maintenance writes that are
+    /// neither a Get nor a Put in the consistency protocol — e.g. materialising
+    /// a lazily-initialised record — so they exclude concurrent operations on
+    /// the record without perturbing its vector clock.
+    pub fn try_acquire_latch(&self) -> AcquireOutcome {
+        let observed = self.word.load(Ordering::Acquire);
+        let cur = RecordWord::unpack(observed);
+        if cur.locked {
+            return AcquireOutcome::Contended;
+        }
+        let desired = RecordWord {
+            locked: true,
+            ..cur
+        };
+        match self.word.compare_exchange(
+            observed,
+            desired.pack(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => AcquireOutcome::Acquired,
+            Err(_) => AcquireOutcome::Contended,
+        }
+    }
+
     /// Release the lock after a completed operation: clears Locked, bumps the
     /// generation (wrapping within its 30 bits) and optionally sets Replaced
     /// when the operation relocated the record.
@@ -278,6 +304,20 @@ mod tests {
         assert_eq!(word.try_acquire_put(), AcquireOutcome::Acquired);
         word.release(false);
         assert_eq!(word.try_acquire_get(0), AcquireOutcome::Acquired);
+    }
+
+    #[test]
+    fn latch_excludes_other_operations_without_touching_staleness() {
+        let word = AtomicRecordWord::new();
+        word.try_acquire_get(4);
+        word.release(false);
+        assert_eq!(word.staleness(), 1);
+        assert_eq!(word.try_acquire_latch(), AcquireOutcome::Acquired);
+        assert_eq!(word.try_acquire_put(), AcquireOutcome::Contended);
+        assert_eq!(word.try_acquire_get(4), AcquireOutcome::Contended);
+        assert_eq!(word.try_acquire_latch(), AcquireOutcome::Contended);
+        word.release(false);
+        assert_eq!(word.staleness(), 1, "latch must not change staleness");
     }
 
     #[test]

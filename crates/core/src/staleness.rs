@@ -195,6 +195,12 @@ impl StalenessController {
             return Ok(None);
         }
         self.gets.fetch_add(1, Ordering::Relaxed);
+        self.wait_acquire_get(key).map(Some)
+    }
+
+    /// The waiting core of a Get acquisition (stats are counted by the caller
+    /// so batch admissions can amortise them).
+    fn wait_acquire_get(&self, key: u64) -> StorageResult<RecordGuard> {
         let word = self.word(key);
         let bound = self.mode.bound();
         let mut blocked_since: Option<Instant> = None;
@@ -205,11 +211,11 @@ impl StalenessController {
                         self.stall_ns
                             .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     }
-                    return Ok(Some(RecordGuard {
+                    return Ok(RecordGuard {
                         word,
                         mark_replaced: false,
                         released: false,
-                    }));
+                    });
                 }
                 AcquireOutcome::Contended => {
                     std::hint::spin_loop();
@@ -230,6 +236,22 @@ impl StalenessController {
         }
     }
 
+    /// Admit a whole batch of Gets in a single controller call: one stats
+    /// update for the batch, then per-key admission against the staleness
+    /// bound. Each key's record lock is released as soon as that key is
+    /// admitted (no hold-and-wait), so a batch can never deadlock against
+    /// concurrent writers. Returns immediately when enforcement is disabled.
+    pub fn admit_get_batch(&self, keys: &[u64]) -> StorageResult<()> {
+        if !self.enabled || keys.is_empty() {
+            return Ok(());
+        }
+        self.gets.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        for &key in keys {
+            self.wait_acquire_get(key)?.release();
+        }
+        Ok(())
+    }
+
     /// Acquire the record lock for a Put (never blocks on the bound). Returns
     /// `None` when enforcement is disabled.
     pub fn acquire_put(&self, key: u64) -> StorageResult<Option<RecordGuard>> {
@@ -237,15 +259,71 @@ impl StalenessController {
             return Ok(None);
         }
         self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(self.lock_put(key)))
+    }
+
+    /// Acquire the record locks for a batch of Puts in a single controller
+    /// call, holding all guards until the returned vector is dropped. Keys are
+    /// locked in sorted deduplicated order, so concurrent batches cannot
+    /// deadlock against each other; Put acquisitions never wait on the
+    /// staleness bound, only on the (always short-lived) record locks.
+    /// Returns `None` when enforcement is disabled.
+    pub fn acquire_put_batch(&self, keys: &[u64]) -> StorageResult<Option<Vec<RecordGuard>>> {
+        if !self.enabled {
+            return Ok(None);
+        }
+        let mut unique: Vec<u64> = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        self.puts.fetch_add(unique.len() as u64, Ordering::Relaxed);
+        Ok(Some(unique.into_iter().map(|k| self.lock_put(k)).collect()))
+    }
+
+    /// Acquire staleness-neutral latches on `keys` (sorted and deduplicated
+    /// internally, so concurrent batches cannot deadlock). The latches exclude
+    /// concurrent Gets/Puts on those records without touching their vector
+    /// clocks — used by maintenance writes such as materialising lazily
+    /// initialised records. Returns `None` when enforcement is disabled.
+    pub fn lock_records(&self, keys: &[u64]) -> Option<Vec<RecordGuard>> {
+        if !self.enabled {
+            return None;
+        }
+        let mut unique: Vec<u64> = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        Some(
+            unique
+                .into_iter()
+                .map(|key| {
+                    let word = self.word(key);
+                    loop {
+                        match word.try_acquire_latch() {
+                            AcquireOutcome::Acquired => {
+                                return RecordGuard {
+                                    word,
+                                    mark_replaced: false,
+                                    released: false,
+                                }
+                            }
+                            _ => std::hint::spin_loop(),
+                        }
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Spin until the Put lock for `key` is held (stats counted by callers).
+    fn lock_put(&self, key: u64) -> RecordGuard {
         let word = self.word(key);
         loop {
             match word.try_acquire_put() {
                 AcquireOutcome::Acquired => {
-                    return Ok(Some(RecordGuard {
+                    return RecordGuard {
                         word,
                         mark_replaced: false,
                         released: false,
-                    }))
+                    }
                 }
                 _ => std::hint::spin_loop(),
             }
@@ -356,6 +434,52 @@ mod tests {
         guard.mark_replaced();
         guard.release();
         assert!(ctl.word(9).load().replaced);
+    }
+
+    #[test]
+    fn batch_admission_counts_and_enforces_like_per_key() {
+        let ctl = StalenessController::new(ConsistencyMode::Ssp(10), true);
+        ctl.admit_get_batch(&[1, 2, 3]).unwrap();
+        assert_eq!(ctl.stats().gets, 3);
+        assert_eq!(ctl.staleness_of(1), 1);
+        assert_eq!(ctl.staleness_of(3), 1);
+        let guards = ctl.acquire_put_batch(&[3, 1, 1]).unwrap().unwrap();
+        // Duplicates are deduplicated: one put admission per unique key.
+        assert_eq!(guards.len(), 2);
+        assert_eq!(ctl.stats().puts, 2);
+        drop(guards);
+        assert_eq!(ctl.staleness_of(1), 0);
+        assert_eq!(ctl.staleness_of(3), 0);
+        assert_eq!(ctl.staleness_of(2), 1);
+    }
+
+    #[test]
+    fn batch_get_admission_blocks_on_the_bound_and_unblocks_on_put() {
+        let ctl = Arc::new(StalenessController::with_timeout(
+            ConsistencyMode::Ssp(1),
+            true,
+            Duration::from_secs(5),
+        ));
+        ctl.admit_get_batch(&[5, 5]).unwrap(); // staleness of 5 is now 2 > bound for further gets
+        let ctl2 = Arc::clone(&ctl);
+        let unblocker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            drop(ctl2.acquire_put_batch(&[5]).unwrap());
+        });
+        let start = Instant::now();
+        ctl.admit_get_batch(&[5]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        unblocker.join().unwrap();
+        assert_eq!(ctl.stats().blocked_gets, 1);
+    }
+
+    #[test]
+    fn disabled_controller_skips_batch_admission() {
+        let ctl = StalenessController::new(ConsistencyMode::Bsp, false);
+        ctl.admit_get_batch(&[1, 2, 3]).unwrap();
+        assert!(ctl.acquire_put_batch(&[1, 2]).unwrap().is_none());
+        assert_eq!(ctl.stats().gets, 0);
+        assert_eq!(ctl.tracked_keys(), 0);
     }
 
     #[test]

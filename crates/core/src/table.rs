@@ -1,10 +1,18 @@
 //! The embedding table: MLKV's user-facing `Get` / `Put` / `Rmw` / `Lookahead`
 //! interface over a key-value backend (paper §III-A, Figure 3).
+//!
+//! The table is **batch-first**: a training step calls
+//! [`EmbeddingTable::gather`] once for its forward pass and
+//! [`EmbeddingTable::apply_gradients`] once for its backward pass, and each of
+//! those performs a single staleness-controller admission, a single bulk cache
+//! probe, and a single batched storage call — instead of per-key dispatch,
+//! per-key locking and per-key cache probes.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mlkv_storage::{KvStore, ShardedLruCache, StorageError, StorageResult};
+use mlkv_storage::{KvStore, ShardedLruCache, StorageError, StorageResult, WriteBatch};
 
 use crate::codec::{decode_vector, encode_vector, init_vector};
 use crate::prefetch::{LookaheadDest, PrefetchStats, Prefetcher};
@@ -47,12 +55,96 @@ impl Default for TableOptions {
 
 impl TableOptions {
     /// Options for a table of dimension `dim` with staleness bound `bound`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EmbeddingTable::builder(store)` (or `Mlkv::builder`) instead \
+                of constructing TableOptions by hand"
+    )]
     pub fn new(dim: usize, bound: u32) -> Self {
         Self {
             dim,
             staleness_bound: bound,
             ..Self::default()
         }
+    }
+}
+
+/// Fluent constructor for an [`EmbeddingTable`] over an already-opened store.
+///
+/// This replaces struct-literal [`TableOptions`] construction; the full open
+/// path (backend selection included) is `Mlkv::builder(..)` in the `model`
+/// module, which delegates here.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mlkv::EmbeddingTable;
+/// use mlkv_storage::MemStore;
+///
+/// let table = EmbeddingTable::builder(Arc::new(MemStore::new()))
+///     .dim(8)
+///     .staleness_bound(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(table.dim(), 8);
+/// ```
+pub struct TableBuilder {
+    store: Arc<dyn KvStore>,
+    options: TableOptions,
+}
+
+impl TableBuilder {
+    /// Embedding dimension (must be positive).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.options.dim = dim;
+        self
+    }
+
+    /// Staleness bound: 0 = BSP, `u32::MAX` = ASP, otherwise SSP.
+    pub fn staleness_bound(mut self, bound: u32) -> Self {
+        self.options.staleness_bound = bound;
+        self
+    }
+
+    /// Enable or disable bounded-staleness enforcement (disabling leaves only
+    /// the per-key memory overhead, §IV-E).
+    pub fn enforce_staleness(mut self, enforce: bool) -> Self {
+        self.options.enforce_staleness = enforce;
+        self
+    }
+
+    /// Number of background look-ahead workers.
+    pub fn lookahead_workers(mut self, workers: usize) -> Self {
+        self.options.lookahead_workers = workers;
+        self
+    }
+
+    /// Byte budget of the application-side cache.
+    pub fn app_cache_bytes(mut self, bytes: usize) -> Self {
+        self.options.app_cache_bytes = bytes;
+        self
+    }
+
+    /// Scale of the uniform random initialisation of unseen embeddings.
+    pub fn init_scale(mut self, scale: f32) -> Self {
+        self.options.init_scale = scale;
+        self
+    }
+
+    /// Seed of the deterministic initialiser.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Replace every option at once (used by the model-level builder).
+    pub fn options(mut self, options: TableOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Build the table.
+    pub fn build(self) -> StorageResult<EmbeddingTable> {
+        EmbeddingTable::from_options(self.store, self.options)
     }
 }
 
@@ -70,8 +162,27 @@ pub struct EmbeddingTable {
 }
 
 impl EmbeddingTable {
+    /// Start configuring a table over an already-opened `store`.
+    pub fn builder(store: Arc<dyn KvStore>) -> TableBuilder {
+        TableBuilder {
+            store,
+            options: TableOptions::default(),
+        }
+    }
+
     /// Create a table over `store` with the given options.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EmbeddingTable::builder(store)` (or `Mlkv::builder` for the \
+                full open path) instead"
+    )]
     pub fn new(store: Arc<dyn KvStore>, options: TableOptions) -> StorageResult<Self> {
+        Self::from_options(store, options)
+    }
+
+    /// Construction shared by [`TableBuilder::build`] and the deprecated
+    /// [`EmbeddingTable::new`] shim.
+    fn from_options(store: Arc<dyn KvStore>, options: TableOptions) -> StorageResult<Self> {
         if options.dim == 0 {
             return Err(StorageError::InvalidArgument(
                 "embedding dimension must be positive".into(),
@@ -129,9 +240,96 @@ impl EmbeddingTable {
         result
     }
 
-    /// Fetch embeddings for a batch of keys (order preserved, duplicates allowed).
+    /// Fetch embeddings for a batch of keys (order preserved, duplicates
+    /// allowed), lazily initialising unseen keys.
+    ///
+    /// This is the batch-first forward-pass path: one staleness-controller
+    /// admission for the whole batch, one bulk application-cache probe, one
+    /// [`KvStore::multi_get`] for the cache misses, and one
+    /// [`KvStore::write_batch`] materialising every lazily-initialised key.
+    ///
+    /// ```
+    /// use mlkv::Mlkv;
+    ///
+    /// let model = Mlkv::open("gather-doc", 4, 0).unwrap();
+    /// let rows = model.gather(&[1, 2, 1]).unwrap();
+    /// assert_eq!(rows.len(), 3);
+    /// assert_eq!(rows[0], rows[2]); // duplicates fan out from one probe
+    /// ```
+    pub fn gather(&self, keys: &[u64]) -> StorageResult<Vec<Vec<f32>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = Instant::now();
+        let mut unique: Vec<u64> = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        // One admission per batch; each unique key counts as one Get against
+        // its staleness clock, exactly like the per-key path on deduplicated
+        // batches.
+        self.controller.admit_get_batch(&unique)?;
+
+        // Bulk cache probe, collecting the misses for one storage batch read.
+        let mut values: HashMap<u64, Vec<f32>> = HashMap::with_capacity(unique.len());
+        let mut missing: Vec<u64> = Vec::new();
+        for &key in &unique {
+            match self.cache.get(key) {
+                Some(bytes) => {
+                    self.stats.record_cache_hit();
+                    values.insert(key, decode_vector(&bytes, self.options.dim)?);
+                }
+                None => missing.push(key),
+            }
+        }
+        if !missing.is_empty() {
+            let fetched = self.store.multi_get(&missing);
+            let mut init_keys: Vec<u64> = Vec::new();
+            for (key, result) in missing.into_iter().zip(fetched) {
+                match result {
+                    Ok(bytes) => {
+                        values.insert(key, decode_vector(&bytes, self.options.dim)?);
+                    }
+                    Err(e) if e.is_not_found() => init_keys.push(key),
+                    Err(e) => return Err(e),
+                }
+            }
+            if !init_keys.is_empty() {
+                // Materialise unseen keys under staleness-neutral record
+                // latches, re-checking inside the rmw: a concurrent writer may
+                // have landed between the multi_get and here, and its value
+                // must win over the initialiser (the per-key path got the same
+                // guarantee from holding the record lock across read+init).
+                let latches = self.controller.lock_records(&init_keys);
+                let (dim, scale, seed) =
+                    (self.options.dim, self.options.init_scale, self.options.seed);
+                let written = self
+                    .store
+                    .multi_rmw(&init_keys, &|i, current| match current {
+                        Some(bytes) => bytes.to_vec(),
+                        None => {
+                            self.stats.record_init();
+                            encode_vector(&init_vector(init_keys[i], dim, scale, seed))
+                        }
+                    });
+                drop(latches);
+                for (key, bytes) in init_keys.iter().zip(written?) {
+                    values.insert(*key, decode_vector(&bytes, self.options.dim)?);
+                }
+            }
+        }
+        let out = keys
+            .iter()
+            .map(|k| values[k].clone())
+            .collect::<Vec<Vec<f32>>>();
+        self.stats
+            .record_get(keys.len() as u64, start.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
+    /// Fetch embeddings for a batch of keys (alias of
+    /// [`EmbeddingTable::gather`], kept for Figure 3 API continuity).
     pub fn get(&self, keys: &[u64]) -> StorageResult<Vec<Vec<f32>>> {
-        keys.iter().map(|k| self.get_one(*k)).collect()
+        self.gather(keys)
     }
 
     /// Upsert the embedding for one key. This is the backward-pass path (`Put`
@@ -148,7 +346,9 @@ impl EmbeddingTable {
         result
     }
 
-    /// Upsert a batch of embeddings; `keys` and `values` must have equal length.
+    /// Upsert a batch of embeddings; `keys` and `values` must have equal
+    /// length. One staleness admission and one [`KvStore::write_batch`] cover
+    /// the whole batch; duplicate keys resolve last-occurrence-wins.
     pub fn put(&self, keys: &[u64], values: &[Vec<f32>]) -> StorageResult<()> {
         if keys.len() != values.len() {
             return Err(StorageError::InvalidArgument(format!(
@@ -157,10 +357,24 @@ impl EmbeddingTable {
                 values.len()
             )));
         }
-        for (k, v) in keys.iter().zip(values) {
-            self.put_one(*k, v)?;
+        if keys.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        for v in values {
+            self.check_dim(v)?;
+        }
+        let start = Instant::now();
+        let guards = self.controller.acquire_put_batch(keys)?;
+        let mut batch = WriteBatch::new();
+        for (k, v) in keys.iter().zip(values) {
+            self.cache.invalidate(*k);
+            batch.put(*k, encode_vector(v));
+        }
+        let result = self.store.write_batch(&batch);
+        drop(guards);
+        self.stats
+            .record_put(keys.len() as u64, start.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Read-modify-write a single embedding: `f` receives the current vector
@@ -180,25 +394,78 @@ impl EmbeddingTable {
         Ok(current)
     }
 
-    /// Apply SGD-style gradients: `value -= lr * grad` for each key. This is the
-    /// common "Put(keys, values + optimizer(gradients))" pattern of Figure 3.
-    pub fn apply_gradients(&self, keys: &[u64], grads: &[Vec<f32>], lr: f32) -> StorageResult<()> {
-        if keys.len() != grads.len() {
-            return Err(StorageError::InvalidArgument(format!(
-                "gradient batch mismatch: {} keys vs {} gradients",
-                keys.len(),
-                grads.len()
-            )));
+    /// Apply SGD-style gradients: `value -= lr * grad` for each
+    /// `(key, gradient)` pair. This is the common
+    /// "Put(keys, values + optimizer(gradients))" pattern of Figure 3,
+    /// executed as one staleness admission (record locks held for the whole
+    /// scatter), one cache-invalidation sweep, and one [`KvStore::multi_rmw`].
+    /// Duplicate keys apply their gradients cumulatively in input order;
+    /// unseen keys are lazily initialised before the gradient lands.
+    ///
+    /// ```
+    /// use mlkv::Mlkv;
+    ///
+    /// let model = Mlkv::open("grad-doc", 2, 0).unwrap();
+    /// model.put(&[1], &[vec![1.0, 1.0]]).unwrap();
+    /// model
+    ///     .apply_gradients(&[(1, &[0.5, 0.5][..])], 0.2)
+    ///     .unwrap();
+    /// assert_eq!(model.get_one(1).unwrap(), vec![0.9, 0.9]);
+    /// ```
+    pub fn apply_gradients(&self, updates: &[(u64, &[f32])], lr: f32) -> StorageResult<()> {
+        if updates.is_empty() {
+            return Ok(());
         }
-        for (key, grad) in keys.iter().zip(grads) {
+        for (_, grad) in updates {
             self.check_dim(grad)?;
-            self.rmw_one(*key, |value| {
-                for (v, g) in value.iter_mut().zip(grad) {
+        }
+        let start = Instant::now();
+        let keys: Vec<u64> = updates.iter().map(|(k, _)| *k).collect();
+        let guards = self.controller.acquire_put_batch(&keys)?;
+        for key in &keys {
+            self.cache.invalidate(*key);
+        }
+        let dim = self.options.dim;
+        let (scale, seed) = (self.options.init_scale, self.options.seed);
+        // The rmw callback cannot return an error, so an undecodable stored row
+        // is left byte-identical and the failure is surfaced after the batch.
+        let decode_failure = std::cell::Cell::new(None::<u64>);
+        let mut result = self
+            .store
+            .multi_rmw(&keys, &|i, current| {
+                let mut value = match current {
+                    Some(bytes) => match decode_vector(bytes, dim) {
+                        Ok(v) => v,
+                        Err(_) => {
+                            decode_failure.set(Some(keys[i]));
+                            return bytes.to_vec();
+                        }
+                    },
+                    // Absent keys start from the deterministic initialiser,
+                    // like the per-key read path.
+                    None => {
+                        self.stats.record_init();
+                        init_vector(keys[i], dim, scale, seed)
+                    }
+                };
+                for (v, g) in value.iter_mut().zip(updates[i].1) {
                     *v -= lr * g;
                 }
-            })?;
+                encode_vector(&value)
+            })
+            .map(|_| ());
+        if result.is_ok() {
+            if let Some(key) = decode_failure.get() {
+                result = Err(StorageError::Corruption(format!(
+                    "stored embedding for key {key} does not decode to dimension {dim}; \
+                     row left unchanged"
+                )));
+            }
         }
-        Ok(())
+        drop(guards);
+        self.stats
+            .record_put(updates.len() as u64, start.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Non-blocking look-ahead prefetch of `keys` into `dest` (paper §III-C2).
@@ -305,7 +572,11 @@ mod tests {
                 .with_page_size(4096),
         )
         .unwrap();
-        EmbeddingTable::new(store, TableOptions::new(8, bound)).unwrap()
+        EmbeddingTable::builder(store)
+            .dim(8)
+            .staleness_bound(bound)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -338,22 +609,107 @@ mod tests {
         let t = table(u32::MAX);
         assert!(t.put_one(1, &[0.0; 4]).is_err());
         assert!(t.put(&[1, 2], &[vec![0.0; 8]]).is_err());
-        assert!(t.apply_gradients(&[1], &[vec![0.0; 3]], 0.1).is_err());
-        assert!(EmbeddingTable::new(
-            open_store(BackendKind::InMemory, StoreConfig::in_memory()).unwrap(),
-            TableOptions::new(0, 0)
+        assert!(t.apply_gradients(&[(1, &[0.0; 3][..])], 0.1).is_err());
+        assert!(EmbeddingTable::builder(
+            open_store(BackendKind::InMemory, StoreConfig::in_memory()).unwrap()
         )
+        .dim(0)
+        .build()
         .is_err());
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        #[allow(deprecated)]
+        let t = EmbeddingTable::new(
+            open_store(BackendKind::InMemory, StoreConfig::in_memory()).unwrap(),
+            #[allow(deprecated)]
+            TableOptions::new(4, 2),
+        )
+        .unwrap();
+        assert_eq!(t.dim(), 4);
+        assert_eq!(t.mode().bound(), 2);
     }
 
     #[test]
     fn apply_gradients_performs_sgd_step() {
         let t = table(u32::MAX);
         t.put_one(1, &[1.0; 8]).unwrap();
-        t.apply_gradients(&[1], &[vec![0.5; 8]], 0.2).unwrap();
+        t.apply_gradients(&[(1, &[0.5; 8][..])], 0.2).unwrap();
         let v = t.get_one(1).unwrap();
         for x in v {
             assert!((x - 0.9).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gather_matches_per_key_gets_and_fans_out_duplicates() {
+        let t = table(u32::MAX);
+        for k in 0..10u64 {
+            t.put_one(k, &[k as f32; 8]).unwrap();
+        }
+        let keys = vec![3, 900, 3, 0, 901];
+        let gathered = t.gather(&keys).unwrap();
+        // 900/901 are lazily initialised exactly like a per-key get would.
+        let reference: Vec<Vec<f32>> = keys.iter().map(|k| t.get_one(*k).unwrap()).collect();
+        assert_eq!(gathered, reference);
+        assert_eq!(gathered[0], gathered[2]);
+        assert_eq!(t.stats().initialised, 2);
+    }
+
+    #[test]
+    fn apply_gradients_accumulates_duplicate_keys_in_order() {
+        let t = table(u32::MAX);
+        t.put_one(1, &[1.0; 8]).unwrap();
+        let g = vec![1.0f32; 8];
+        t.apply_gradients(&[(1, g.as_slice()), (1, g.as_slice())], 0.25)
+            .unwrap();
+        assert_eq!(t.get_one(1).unwrap(), vec![0.5; 8]);
+    }
+
+    #[test]
+    fn apply_gradients_initialises_unseen_keys() {
+        let t = table(u32::MAX);
+        t.apply_gradients(&[(77, &[0.0; 8][..])], 0.1).unwrap();
+        // A zero gradient on an unseen key must land exactly on the
+        // deterministic initialisation the read path would produce.
+        let via_gather = {
+            let fresh = table(u32::MAX);
+            fresh.get_one(77).unwrap()
+        };
+        assert_eq!(t.get_one(77).unwrap(), via_gather);
+        assert_eq!(t.stats().initialised, 1);
+    }
+
+    #[test]
+    fn concurrent_gather_and_gradients_on_unseen_keys_lose_no_updates() {
+        // Regression test: gather's lazy initialisation must not clobber a
+        // concurrent gradient landing on the same unseen key. Whichever order
+        // the two operations run in, the final value is init - lr * grad.
+        let t = Arc::new(table(u32::MAX));
+        let keys: Vec<u64> = (0..200).collect();
+        let gatherer = {
+            let t = Arc::clone(&t);
+            let keys = keys.clone();
+            std::thread::spawn(move || t.gather(&keys).unwrap())
+        };
+        let updater = {
+            let t = Arc::clone(&t);
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                let grad = [1.0f32; 8];
+                for k in keys {
+                    t.apply_gradients(&[(k, grad.as_slice())], 0.5).unwrap();
+                }
+            })
+        };
+        gatherer.join().unwrap();
+        updater.join().unwrap();
+        let reference = table(u32::MAX);
+        for k in keys {
+            let init = reference.get_one(k).unwrap();
+            let expected: Vec<f32> = init.iter().map(|x| x - 0.5).collect();
+            assert_eq!(t.get_one(k).unwrap(), expected, "key {k} lost its update");
         }
     }
 
@@ -411,7 +767,11 @@ mod tests {
                 .with_index_buckets(1 << 10),
         )
         .unwrap();
-        let t = EmbeddingTable::new(store, TableOptions::new(8, u32::MAX)).unwrap();
+        let t = EmbeddingTable::builder(store)
+            .dim(8)
+            .staleness_bound(u32::MAX)
+            .build()
+            .unwrap();
         for k in 0..2000u64 {
             t.put_one(k, &[k as f32; 8]).unwrap();
         }
@@ -460,10 +820,14 @@ mod tests {
                     .with_page_size(4096),
             )
             .unwrap();
-            let t = EmbeddingTable::new(store, TableOptions::new(4, 4)).unwrap();
+            let t = EmbeddingTable::builder(store)
+                .dim(4)
+                .staleness_bound(4)
+                .build()
+                .unwrap();
             t.put_one(1, &[0.25; 4]).unwrap();
             assert_eq!(t.get_one(1).unwrap(), vec![0.25; 4], "{}", kind.name());
-            t.apply_gradients(&[1], &[vec![1.0; 4]], 0.25).unwrap();
+            t.apply_gradients(&[(1, &[1.0; 4][..])], 0.25).unwrap();
             assert_eq!(t.get_one(1).unwrap(), vec![0.0; 4], "{}", kind.name());
         }
     }
@@ -477,7 +841,13 @@ mod tests {
                 .with_page_size(4096),
         )
         .unwrap();
-        let t = Arc::new(EmbeddingTable::new(store, TableOptions::new(8, 8)).unwrap());
+        let t = Arc::new(
+            EmbeddingTable::builder(store)
+                .dim(8)
+                .staleness_bound(8)
+                .build()
+                .unwrap(),
+        );
         let mut handles = Vec::new();
         for worker in 0..4u64 {
             let t = Arc::clone(&t);
@@ -485,7 +855,7 @@ mod tests {
                 for i in 0..200u64 {
                     let key = (worker * 50 + i) % 100;
                     let v = t.get_one(key).unwrap();
-                    t.apply_gradients(&[key], &[vec![0.01; 8]], 0.1).unwrap();
+                    t.apply_gradients(&[(key, &[0.01; 8][..])], 0.1).unwrap();
                     assert_eq!(v.len(), 8);
                 }
             }));

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mlkv_storage::device::device_from_config;
-use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
 use mlkv_storage::{StorageError, StorageMetrics, StorageResult, StoreConfig};
 
 use crate::address::Address;
@@ -116,6 +116,70 @@ impl FasterKv {
         }
     }
 
+    /// Read the current value of `key`, recording metrics. The caller must
+    /// already hold epoch protection (this is the body shared by `get_traced`
+    /// and the batched `multi_get`).
+    fn read_value(&self, key: Key) -> StorageResult<Vec<u8>> {
+        match self.find(key)? {
+            Some((_, record, source)) if !record.is_tombstone() => {
+                match source {
+                    ReadSource::Disk => self.metrics.record_disk_read(record.value.len() as u64),
+                    _ => self.metrics.record_mem_hit(),
+                }
+                Ok(record.value)
+            }
+            _ => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
+    }
+
+    /// Upsert `key`, recording metrics. The caller must hold epoch protection.
+    fn put_value(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        self.metrics.record_upsert();
+        match self.find(key)? {
+            // Fast path: overwrite in place when the newest version lives in the
+            // mutable region and the length matches (always true for fixed-dim
+            // embeddings).
+            Some((addr, record, source)) if !record.is_tombstone() => {
+                if source == ReadSource::HotMemory && self.log.try_update_in_place(addr, value)? {
+                    return Ok(());
+                }
+            }
+            // Key absent or deleted: this put brings it (back) to life.
+            _ => {
+                self.live_records.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.append_and_install(key, value.to_vec(), false)
+    }
+
+    /// Read-modify-write `key`, recording metrics. The caller must hold epoch
+    /// protection.
+    fn rmw_value(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        self.metrics.record_rmw();
+        let existing = self.find(key)?;
+        let (current, in_place_target) = match &existing {
+            Some((addr, record, source)) if !record.is_tombstone() => (
+                Some(record.value.clone()),
+                (*source == ReadSource::HotMemory).then_some(*addr),
+            ),
+            _ => (None, None),
+        };
+        if current.is_none() {
+            self.live_records.fetch_add(1, Ordering::Relaxed);
+        }
+        let new_value = f(current.as_deref());
+        if let Some(addr) = in_place_target {
+            if self.log.try_update_in_place(addr, &new_value)? {
+                return Ok(new_value);
+            }
+        }
+        self.append_and_install(key, new_value.clone(), false)?;
+        Ok(new_value)
+    }
+
     /// Checkpoint the store into its configured directory.
     pub fn checkpoint(&self) -> StorageResult<()> {
         let dir =
@@ -172,48 +236,74 @@ impl KvStore for FasterKv {
         }
     }
 
+    fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
+        // One epoch enter/exit for the whole batch (the dominant fixed cost of
+        // a point read), with keys visited in sorted order so duplicate keys
+        // walk their hash chain only once.
+        let _guard = self.epoch.acquire();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_unstable_by_key(|&i| keys[i]);
+        let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut pos = 0;
+        while pos < order.len() {
+            let key = keys[order[pos]];
+            let first = self.read_value(key);
+            let mut dup = pos + 1;
+            while dup < order.len() && keys[order[dup]] == key {
+                out[order[dup]] = Some(match &first {
+                    Ok(v) => Ok(v.clone()),
+                    Err(e) if e.is_not_found() => Err(StorageError::KeyNotFound),
+                    // Non-clonable error (I/O): re-run the lookup for this slot.
+                    Err(_) => self.read_value(key),
+                });
+                dup += 1;
+            }
+            out[order[pos]] = Some(first);
+            pos = dup;
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
         let _guard = self.epoch.acquire();
-        self.metrics.record_upsert();
-        match self.find(key)? {
-            // Fast path: overwrite in place when the newest version lives in the
-            // mutable region and the length matches (always true for fixed-dim
-            // embeddings).
-            Some((addr, record, source)) if !record.is_tombstone() => {
-                if source == ReadSource::HotMemory && self.log.try_update_in_place(addr, value)? {
-                    return Ok(());
-                }
-            }
-            // Key absent or deleted: this put brings it (back) to life.
-            _ => {
-                self.live_records.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.append_and_install(key, value.to_vec(), false)
+        self.put_value(key, value)
     }
 
     fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
         let _guard = self.epoch.acquire();
-        self.metrics.record_rmw();
-        let existing = self.find(key)?;
-        let (current, in_place_target) = match &existing {
-            Some((addr, record, source)) if !record.is_tombstone() => (
-                Some(record.value.clone()),
-                (*source == ReadSource::HotMemory).then_some(*addr),
-            ),
-            _ => (None, None),
-        };
-        if current.is_none() {
-            self.live_records.fetch_add(1, Ordering::Relaxed);
+        self.rmw_value(key, f)
+    }
+
+    fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        // One epoch enter/exit per batch; a stable sort groups duplicate keys
+        // while keeping their occurrence order, so each occurrence observes the
+        // previous one's write.
+        let _guard = self.epoch.acquire();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let mut out = vec![Vec::new(); keys.len()];
+        for i in order {
+            out[i] = self.rmw_value(keys[i], &|cur| f(i, cur))?;
         }
-        let new_value = f(current.as_deref());
-        if let Some(addr) = in_place_target {
-            if self.log.try_update_in_place(addr, &new_value)? {
-                return Ok(new_value);
-            }
+        Ok(out)
+    }
+
+    fn exists(&self, key: Key) -> StorageResult<bool> {
+        // Hash-index probe + chain walk without constructing a ReadResult or
+        // touching the read metrics.
+        let _guard = self.epoch.acquire();
+        Ok(matches!(self.find(key)?, Some((_, r, _)) if !r.is_tombstone()))
+    }
+
+    fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
+        // Grouped fast path: a single epoch enter/exit covers every upsert.
+        let _guard = self.epoch.acquire();
+        for (k, v) in batch.iter() {
+            self.put_value(*k, v)?;
         }
-        self.append_and_install(key, new_value.clone(), false)?;
-        Ok(new_value)
+        Ok(())
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
@@ -341,6 +431,74 @@ mod tests {
         }
         let v = store.get(9).unwrap();
         assert_eq!(u64::from_le_bytes(v.as_slice().try_into().unwrap()), 10);
+    }
+
+    #[test]
+    fn multi_get_matches_per_key_and_handles_duplicates() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        for k in 0..100u64 {
+            store.put(k, &[k as u8; 8]).unwrap();
+        }
+        let keys = vec![7, 99, 7, 1_000, 0];
+        let batch = store.multi_get(&keys);
+        for (key, result) in keys.iter().zip(&batch) {
+            match store.get(*key) {
+                Ok(expected) => assert_eq!(result.as_ref().unwrap(), &expected),
+                Err(_) => assert!(result.as_ref().unwrap_err().is_not_found()),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rmw_applies_per_occurrence_in_order() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        let keys = vec![5u64, 5, 9];
+        let out = store
+            .multi_rmw(&keys, &|i, cur| {
+                let base = cur
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                (base + i as u64 + 1).to_le_bytes().to_vec()
+            })
+            .unwrap();
+        // Occurrence 0 writes 1, occurrence 1 reads it and writes 1+2=3.
+        assert_eq!(u64::from_le_bytes(out[0].as_slice().try_into().unwrap()), 1);
+        assert_eq!(u64::from_le_bytes(out[1].as_slice().try_into().unwrap()), 3);
+        assert_eq!(u64::from_le_bytes(out[2].as_slice().try_into().unwrap()), 3);
+        assert_eq!(
+            u64::from_le_bytes(store.get(5).unwrap().try_into().unwrap()),
+            3
+        );
+    }
+
+    #[test]
+    fn exists_probes_without_reading_metrics() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(1, b"v").unwrap();
+        store.delete(1).unwrap();
+        store.put(2, b"v").unwrap();
+        assert!(!store.exists(1).unwrap(), "tombstoned key must not exist");
+        assert!(store.exists(2).unwrap());
+        assert!(!store.exists(3).unwrap());
+        let misses_before = store.metrics().snapshot().misses;
+        store.exists(3).unwrap();
+        assert_eq!(
+            store.metrics().snapshot().misses,
+            misses_before,
+            "exists must not count as a read miss"
+        );
+    }
+
+    #[test]
+    fn write_batch_applies_under_one_epoch_guard() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        let mut batch = mlkv_storage::WriteBatch::new();
+        for k in 0..50u64 {
+            batch.put(k, vec![k as u8; 16]);
+        }
+        store.write_batch(&batch).unwrap();
+        assert_eq!(store.approximate_len(), 50);
+        assert_eq!(store.get(49).unwrap(), vec![49u8; 16]);
     }
 
     #[test]

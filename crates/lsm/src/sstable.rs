@@ -146,6 +146,24 @@ impl SsTable {
         self.bloom.may_contain(key)
     }
 
+    /// Membership probe without reading the value: `Ok(None)` when the key is
+    /// not in this table, `Ok(Some(true))` when it is live here,
+    /// `Ok(Some(false))` when it is tombstoned here. Costs at most one
+    /// 13-byte header read (and nothing at all when the bloom filter or the
+    /// in-memory index rejects the key).
+    pub fn contains(&self, key: u64, metrics: &StorageMetrics) -> StorageResult<Option<bool>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let Ok(pos) = self.index.binary_search_by_key(&key, |(k, _)| *k) else {
+            return Ok(None);
+        };
+        let mut header = [0u8; 13];
+        self.device.read_at(self.index[pos].1, &mut header)?;
+        metrics.record_background_disk_read(13);
+        Ok(Some(header[8] == 0))
+    }
+
     /// Point lookup. `Ok(None)` when the key is not in this table;
     /// `Ok(Some(None))` when the key is tombstoned here.
     pub fn get(&self, key: u64, metrics: &StorageMetrics) -> StorageResult<Option<Entry>> {
@@ -235,6 +253,16 @@ mod tests {
         let metrics = StorageMetrics::new();
         assert_eq!(table.get(2, &metrics).unwrap(), Some(None));
         assert_eq!(table.get(1, &metrics).unwrap(), Some(Some(vec![1])));
+    }
+
+    #[test]
+    fn contains_distinguishes_live_tombstoned_and_absent() {
+        let entries: Vec<(u64, Entry)> = vec![(1, Some(vec![1])), (2, None)];
+        let table = build_table(&entries);
+        let metrics = StorageMetrics::new();
+        assert_eq!(table.contains(1, &metrics).unwrap(), Some(true));
+        assert_eq!(table.contains(2, &metrics).unwrap(), Some(false));
+        assert_eq!(table.contains(3, &metrics).unwrap(), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
-use mlkv_storage::kv::{Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, WriteBatch};
 use mlkv_storage::{ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
 use crate::memtable::{Entry, MemTable};
@@ -179,7 +179,8 @@ impl LsmStore {
 
 impl KvStore for LsmStore {
     fn name(&self) -> &'static str {
-        "RocksDB-like"
+        // Matches `BackendKind::RocksDbLike.name()` and the paper's figure labels.
+        "RocksDB"
     }
 
     fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
@@ -225,6 +226,65 @@ impl KvStore for LsmStore {
         }
     }
 
+    fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
+        // One memtable/SSTable-list lock acquisition covers the whole batch.
+        let inner = self.inner.read();
+        let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut unresolved: Vec<usize> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            if let Some(entry) = inner.memtable.get(key) {
+                out[i] = Some(match entry {
+                    Some(v) => {
+                        self.metrics.record_mem_hit();
+                        Ok(v.clone())
+                    }
+                    None => {
+                        self.metrics.record_miss();
+                        Err(StorageError::KeyNotFound)
+                    }
+                });
+            } else if let Some(v) = self.block_cache.get(key) {
+                self.metrics.record_mem_hit();
+                out[i] = Some(Ok(v));
+            } else {
+                unresolved.push(i);
+            }
+        }
+        // Grouped SSTable probes: one pass per table (newest first) over the
+        // remaining keys in sorted order, with each table's bloom filter
+        // rejecting absent keys before any device read.
+        unresolved.sort_unstable_by_key(|&i| keys[i]);
+        for table in inner.tables.iter().rev() {
+            if unresolved.is_empty() {
+                break;
+            }
+            let mut still = Vec::with_capacity(unresolved.len());
+            for i in unresolved {
+                match table.get(keys[i], &self.metrics) {
+                    Ok(Some(Some(v))) => {
+                        self.metrics.record_disk_read(v.len() as u64);
+                        self.block_cache.insert(keys[i], v.clone());
+                        out[i] = Some(Ok(v));
+                    }
+                    Ok(Some(None)) => {
+                        self.metrics.record_miss();
+                        out[i] = Some(Err(StorageError::KeyNotFound));
+                    }
+                    Ok(None) => still.push(i),
+                    Err(e) => out[i] = Some(Err(e)),
+                }
+            }
+            unresolved = still;
+        }
+        for i in unresolved {
+            self.metrics.record_miss();
+            out[i] = Some(Err(StorageError::KeyNotFound));
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
         self.metrics.record_upsert();
         self.block_cache.invalidate(key);
@@ -258,6 +318,34 @@ impl KvStore for LsmStore {
         Ok(new_value)
     }
 
+    fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        // One write-lock acquisition and one WAL stream for the whole batch.
+        // Keys are processed in input order so duplicate keys observe earlier
+        // occurrences' writes through the memtable.
+        let mut inner = self.inner.write();
+        let mut out = vec![Vec::new(); keys.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            self.metrics.record_rmw();
+            self.block_cache.invalidate(key);
+            let current: Option<Vec<u8>> = match inner.memtable.get(key) {
+                Some(Some(v)) => Some(v.clone()),
+                Some(None) => None,
+                None => match self.search_tables(&inner, key)? {
+                    Some(Some(v)) => Some(v),
+                    _ => None,
+                },
+            };
+            let new_value = f(i, current.as_deref());
+            inner.wal.log_put(key, &new_value, &self.metrics)?;
+            inner.memtable.put(key, new_value.clone());
+            out[i] = new_value;
+            if inner.memtable.bytes() >= self.memtable_budget {
+                self.flush_memtable(&mut inner)?;
+            }
+        }
+        Ok(out)
+    }
+
     fn delete(&self, key: Key) -> StorageResult<()> {
         self.block_cache.invalidate(key);
         let mut inner = self.inner.write();
@@ -265,6 +353,41 @@ impl KvStore for LsmStore {
         inner.memtable.delete(key);
         if inner.memtable.bytes() >= self.memtable_budget {
             self.flush_memtable(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    fn exists(&self, key: Key) -> StorageResult<bool> {
+        let inner = self.inner.read();
+        if let Some(entry) = inner.memtable.get(key) {
+            return Ok(entry.is_some());
+        }
+        if self.block_cache.contains(key) {
+            return Ok(true);
+        }
+        // Bloom-filter fast path: tables whose filter rejects the key are
+        // skipped without any device read; an admitted key costs one 13-byte
+        // header read in the newest table that holds it.
+        for table in inner.tables.iter().rev() {
+            if let Some(live) = table.contains(key, &self.metrics)? {
+                return Ok(live);
+            }
+        }
+        Ok(false)
+    }
+
+    fn write_batch(&self, batch: &WriteBatch) -> StorageResult<()> {
+        // Grouped fast path: one write-lock acquisition and one block-cache
+        // sweep for the whole batch instead of per-key lock churn.
+        let mut inner = self.inner.write();
+        for (k, v) in batch.iter() {
+            self.metrics.record_upsert();
+            self.block_cache.invalidate(*k);
+            inner.wal.log_put(*k, v, &self.metrics)?;
+            inner.memtable.put(*k, v.clone());
+            if inner.memtable.bytes() >= self.memtable_budget {
+                self.flush_memtable(&mut inner)?;
+            }
         }
         Ok(())
     }
@@ -295,7 +418,85 @@ mod tests {
         store.put(1, b"one").unwrap();
         assert_eq!(store.get(1).unwrap(), b"one");
         assert!(store.get(2).unwrap_err().is_not_found());
-        assert_eq!(store.name(), "RocksDB-like");
+        assert_eq!(store.name(), "RocksDB");
+    }
+
+    #[test]
+    fn multi_get_reads_through_all_levels() {
+        let store = LsmStore::in_memory(32 << 10).unwrap();
+        for k in 0..500u64 {
+            store.put(k, &[k as u8; 32]).unwrap();
+        }
+        store.flush().unwrap(); // everything now lives in SSTables
+        store.put(3, b"fresh").unwrap(); // memtable entry
+        store.delete(4).unwrap(); // memtable tombstone
+        let _ = store.get(10); // block-cache entry
+        let keys = vec![3, 4, 10, 100, 9_999, 10];
+        let batch = store.multi_get(&keys);
+        assert_eq!(batch[0].as_deref().unwrap(), b"fresh");
+        assert!(batch[1].as_ref().unwrap_err().is_not_found());
+        assert_eq!(batch[2].as_deref().unwrap(), &[10u8; 32]);
+        assert_eq!(batch[3].as_deref().unwrap(), &[100u8; 32]);
+        assert!(batch[4].as_ref().unwrap_err().is_not_found());
+        assert_eq!(batch[5].as_deref().unwrap(), &[10u8; 32]);
+    }
+
+    #[test]
+    fn multi_rmw_sees_duplicate_writes_and_flushes_under_pressure() {
+        let store = LsmStore::in_memory(16 << 10).unwrap();
+        // 3000 ops over 1000 keys: the 8 KiB memtable budget forces flushes
+        // mid-batch, so later occurrences read back through the SSTables.
+        let keys: Vec<u64> = (0..3000).map(|i| i % 1000).collect();
+        store
+            .multi_rmw(&keys, &|_, cur| {
+                let n = cur
+                    .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                    .unwrap_or(0);
+                let mut v = vec![0u8; 32];
+                v[..8].copy_from_slice(&(n + 1).to_le_bytes());
+                v
+            })
+            .unwrap();
+        assert!(store.table_count() > 0, "memtable should have flushed");
+        // Every key appears 3 times in the batch; each occurrence must have
+        // seen the previous one even across mid-batch memtable flushes.
+        for k in 0..1000u64 {
+            let v = store.get(k).unwrap();
+            assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 3, "key {k}");
+        }
+    }
+
+    #[test]
+    fn exists_uses_bloom_filters_without_reading_values() {
+        let store = LsmStore::in_memory(32 << 10).unwrap();
+        for k in 0..200u64 {
+            store.put(k, &[7u8; 64]).unwrap();
+        }
+        store.flush().unwrap();
+        store.delete(5).unwrap();
+        assert!(store.exists(100).unwrap());
+        assert!(!store.exists(5).unwrap(), "memtable tombstone");
+        assert!(!store.exists(1 << 40).unwrap());
+        // Foreground read metrics are untouched by exists.
+        let snap = store.metrics().snapshot();
+        let (hits, misses) = (snap.mem_hits, snap.misses);
+        store.exists(100).unwrap();
+        store.exists(1 << 40).unwrap();
+        let snap = store.metrics().snapshot();
+        assert_eq!((snap.mem_hits, snap.misses), (hits, misses));
+    }
+
+    #[test]
+    fn write_batch_groups_wal_appends() {
+        let store = LsmStore::in_memory(64 << 10).unwrap();
+        let mut batch = WriteBatch::new();
+        for k in 0..100u64 {
+            batch.put(k, vec![k as u8; 16]);
+        }
+        store.write_batch(&batch).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(store.get(k).unwrap(), vec![k as u8; 16]);
+        }
     }
 
     #[test]

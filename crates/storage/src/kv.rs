@@ -67,6 +67,11 @@ pub enum ReadSource {
     Disk,
 }
 
+/// Callback of a batched read-modify-write: receives the *position* of the key
+/// within the batch plus its current value (or `None`), and returns the value
+/// to store.
+pub type BatchRmwFn<'a> = dyn Fn(usize, Option<&[u8]>) -> Vec<u8> + 'a;
+
 /// A value together with the region it was read from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadResult {
@@ -79,9 +84,17 @@ pub struct ReadResult {
 /// Blocking key-value store interface implemented by every engine.
 ///
 /// Implementations must be safe for concurrent use from multiple threads.
+///
+/// The interface is **batch-first**: the embedding workloads this workspace
+/// reproduces gather hundreds of rows and scatter their gradients per training
+/// step, so [`KvStore::multi_get`] / [`KvStore::multi_rmw`] /
+/// [`KvStore::write_batch`] are the hot paths. Every engine overrides them to
+/// amortise per-operation costs (epoch protection, locks, index probes) over
+/// the whole batch; the per-key methods remain for point accesses.
 pub trait KvStore: Send + Sync + 'static {
-    /// Human-readable engine name (used in benchmark output: "MLKV", "FASTER",
-    /// "RocksDB-like", "WiredTiger-like").
+    /// Human-readable engine name, matching the labels of the paper's figures
+    /// ("MLKV", "FASTER", "RocksDB", "WiredTiger", "InMemory"). Must agree with
+    /// `BackendKind::name()` in the `mlkv` crate so benchmark output lines up.
     fn name(&self) -> &'static str;
 
     /// Fetch the value for `key`.
@@ -92,6 +105,27 @@ pub trait KvStore: Send + Sync + 'static {
     /// Fetch the value for `key` together with the region it was served from.
     fn get_traced(&self, key: Key) -> StorageResult<ReadResult>;
 
+    /// Fetch the values for a batch of keys, preserving order (duplicates
+    /// allowed). One result per key; absent keys yield
+    /// `Err(StorageError::KeyNotFound)` at their position.
+    ///
+    /// The default implementation loops over [`KvStore::get`]; every engine in
+    /// the workspace overrides it to pay its per-operation costs once per
+    /// batch instead of once per key.
+    ///
+    /// ```
+    /// use mlkv_storage::{KvStore, MemStore};
+    ///
+    /// let store = MemStore::new();
+    /// store.put(1, b"one").unwrap();
+    /// let results = store.multi_get(&[1, 2]);
+    /// assert_eq!(results[0].as_deref().unwrap(), b"one");
+    /// assert!(results[1].as_ref().unwrap_err().is_not_found());
+    /// ```
+    fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
+        keys.iter().map(|k| self.get(*k)).collect()
+    }
+
     /// Insert or overwrite `key` with `value`.
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()>;
 
@@ -99,11 +133,55 @@ pub trait KvStore: Send + Sync + 'static {
     /// the result. Returns the new value.
     fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>>;
 
+    /// Batched read-modify-write: for each position `i`, apply
+    /// `f(i, current_value_of(keys[i]))` and store the result, returning the
+    /// new values in input order. `f` receives the *position* (not the key) so
+    /// batches with duplicate keys can apply per-occurrence updates; duplicate
+    /// keys observe earlier occurrences' writes.
+    ///
+    /// The default implementation loops over [`KvStore::rmw`]; engines
+    /// override it to batch locking and index traversal.
+    ///
+    /// ```
+    /// use mlkv_storage::{KvStore, MemStore};
+    ///
+    /// let store = MemStore::new();
+    /// let out = store
+    ///     .multi_rmw(&[7, 7], &|i, cur| {
+    ///         let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+    ///         v.push(i as u8);
+    ///         v
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(out, vec![vec![0], vec![0, 1]]);
+    /// assert_eq!(store.get(7).unwrap(), vec![0, 1]);
+    /// ```
+    fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, k)| self.rmw(*k, &|cur| f(i, cur)))
+            .collect()
+    }
+
     /// Remove `key`. Returns `Ok(())` even when absent.
     fn delete(&self, key: Key) -> StorageResult<()>;
 
-    /// True when the key currently exists.
-    fn contains(&self, key: Key) -> StorageResult<bool> {
+    /// True when the key currently exists, without materialising its value.
+    ///
+    /// The default implementation falls back to [`KvStore::get_traced`];
+    /// engines override it with a cheaper membership probe (bloom filters in
+    /// the LSM tree, a hash-index chain walk in FASTER, a leaf probe in the
+    /// B+tree) that never copies the value out.
+    ///
+    /// ```
+    /// use mlkv_storage::{KvStore, MemStore};
+    ///
+    /// let store = MemStore::new();
+    /// store.put(5, b"x").unwrap();
+    /// assert!(store.exists(5).unwrap());
+    /// assert!(!store.exists(6).unwrap());
+    /// ```
+    fn exists(&self, key: Key) -> StorageResult<bool> {
         match self.get_traced(key) {
             Ok(_) => Ok(true),
             Err(e) if e.is_not_found() => Ok(false),
@@ -111,7 +189,15 @@ pub trait KvStore: Send + Sync + 'static {
         }
     }
 
-    /// Apply a batch of upserts.
+    /// True when the key currently exists (alias of [`KvStore::exists`], kept
+    /// for API continuity).
+    fn contains(&self, key: Key) -> StorageResult<bool> {
+        self.exists(key)
+    }
+
+    /// Apply a batch of upserts. The default implementation loops over
+    /// [`KvStore::put`]; engines override it to group WAL appends, lock
+    /// acquisitions, or epoch protection across the whole batch.
     fn write_batch(&self, batch: &WriteBatch) -> StorageResult<()> {
         for (k, v) in batch.iter() {
             self.put(*k, v)?;
@@ -142,6 +228,63 @@ pub trait KvStore: Send + Sync + 'static {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Minimal store exercising the *default* trait implementations.
+    struct LoopStore(crate::memstore::MemStore);
+
+    impl KvStore for LoopStore {
+        fn name(&self) -> &'static str {
+            "loop"
+        }
+        fn get_traced(&self, key: Key) -> StorageResult<ReadResult> {
+            self.0.get_traced(key)
+        }
+        fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+            self.0.put(key, value)
+        }
+        fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+            self.0.rmw(key, f)
+        }
+        fn delete(&self, key: Key) -> StorageResult<()> {
+            self.0.delete(key)
+        }
+        fn approximate_len(&self) -> usize {
+            self.0.approximate_len()
+        }
+        fn metrics(&self) -> Arc<StorageMetrics> {
+            self.0.metrics()
+        }
+        fn flush(&self) -> StorageResult<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_batch_impls_match_per_key_semantics() {
+        let store = LoopStore(crate::memstore::MemStore::new());
+        store.put(1, &[1]).unwrap();
+        store.put(3, &[3]).unwrap();
+        let results = store.multi_get(&[1, 2, 3, 1]);
+        assert_eq!(results[0].as_deref().unwrap(), &[1]);
+        assert!(results[1].as_ref().unwrap_err().is_not_found());
+        assert_eq!(results[2].as_deref().unwrap(), &[3]);
+        assert_eq!(results[3].as_deref().unwrap(), &[1]);
+
+        // Duplicate keys see earlier occurrences' writes, in input order.
+        let out = store
+            .multi_rmw(&[9, 9, 1], &|i, cur| {
+                let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+                v.push(i as u8 + 10);
+                v
+            })
+            .unwrap();
+        assert_eq!(out, vec![vec![10], vec![10, 11], vec![1, 12]]);
+        assert_eq!(store.get(9).unwrap(), vec![10, 11]);
+
+        assert!(store.exists(1).unwrap());
+        assert!(!store.exists(2).unwrap());
+        assert_eq!(store.contains(1).unwrap(), store.exists(1).unwrap());
+    }
 
     #[test]
     fn write_batch_accumulates_ops() {

@@ -30,7 +30,7 @@ pub use cache::ShardedLruCache;
 pub use config::StoreConfig;
 pub use device::{Device, FileDevice, MemDevice};
 pub use error::{StorageError, StorageResult};
-pub use kv::{KvStore, WriteBatch};
+pub use kv::{BatchRmwFn, KvStore, WriteBatch};
 pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};
 pub use page::{Page, PageId, PAGE_SIZE};

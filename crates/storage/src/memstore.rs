@@ -11,7 +11,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::error::{StorageError, StorageResult};
-use crate::kv::{Key, KvStore, ReadResult, ReadSource};
+use crate::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
 use crate::metrics::StorageMetrics;
 
 /// Sharded in-memory hash-map store.
@@ -41,9 +41,23 @@ impl MemStore {
         }
     }
 
-    fn shard_for(&self, key: Key) -> &RwLock<HashMap<Key, Vec<u8>>> {
+    fn shard_idx(&self, key: Key) -> usize {
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h as usize) % self.shards.len()]
+        (h as usize) % self.shards.len()
+    }
+
+    fn shard_for(&self, key: Key) -> &RwLock<HashMap<Key, Vec<u8>>> {
+        &self.shards[self.shard_idx(key)]
+    }
+
+    /// Group the positions of `keys` by shard, preserving input order within
+    /// each shard so duplicate keys are processed in occurrence order.
+    fn positions_by_shard(&self, keys: &[Key]) -> Vec<Vec<usize>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[self.shard_idx(*key)].push(i);
+        }
+        by_shard
     }
 }
 
@@ -69,6 +83,31 @@ impl KvStore for MemStore {
         }
     }
 
+    fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
+        // One lock acquisition per shard instead of one per key.
+        let mut out: Vec<StorageResult<Vec<u8>>> = Vec::with_capacity(keys.len());
+        out.extend(keys.iter().map(|_| Err(StorageError::KeyNotFound)));
+        for (s, positions) in self.positions_by_shard(keys).into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let shard = self.shards[s].read();
+            for i in positions {
+                out[i] = match shard.get(&keys[i]) {
+                    Some(v) => {
+                        self.metrics.record_mem_hit();
+                        Ok(v.clone())
+                    }
+                    None => {
+                        self.metrics.record_miss();
+                        Err(StorageError::KeyNotFound)
+                    }
+                };
+            }
+        }
+        out
+    }
+
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
         self.metrics.record_upsert();
         self.shard_for(key).write().insert(key, value.to_vec());
@@ -83,8 +122,47 @@ impl KvStore for MemStore {
         Ok(new)
     }
 
+    fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        // Same-key operations always land in the same shard, so processing each
+        // shard's positions in input order preserves per-key rmw ordering.
+        let mut out = vec![Vec::new(); keys.len()];
+        for (s, positions) in self.positions_by_shard(keys).into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write();
+            for i in positions {
+                self.metrics.record_rmw();
+                let new = f(i, shard.get(&keys[i]).map(|v| v.as_slice()));
+                shard.insert(keys[i], new.clone());
+                out[i] = new;
+            }
+        }
+        Ok(out)
+    }
+
     fn delete(&self, key: Key) -> StorageResult<()> {
         self.shard_for(key).write().remove(&key);
+        Ok(())
+    }
+
+    fn exists(&self, key: Key) -> StorageResult<bool> {
+        Ok(self.shard_for(key).read().contains_key(&key))
+    }
+
+    fn write_batch(&self, batch: &crate::kv::WriteBatch) -> StorageResult<()> {
+        let keys: Vec<Key> = batch.iter().map(|(k, _)| *k).collect();
+        let ops: Vec<(&Key, &Vec<u8>)> = batch.iter().collect();
+        for (s, positions) in self.positions_by_shard(&keys).into_iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write();
+            for i in positions {
+                self.metrics.record_upsert();
+                shard.insert(*ops[i].0, ops[i].1.clone());
+            }
+        }
         Ok(())
     }
 
@@ -156,6 +234,40 @@ mod tests {
         store.write_batch(&batch).unwrap();
         assert_eq!(store.approximate_len(), 10);
         assert_eq!(store.get(7).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn batch_ops_group_by_shard_and_preserve_order() {
+        let store = MemStore::with_shards(4);
+        for k in 0..20u64 {
+            store.put(k, &[k as u8]).unwrap();
+        }
+        let keys: Vec<u64> = vec![5, 100, 0, 5, 19];
+        let results = store.multi_get(&keys);
+        assert_eq!(results[0].as_deref().unwrap(), &[5]);
+        assert!(results[1].as_ref().unwrap_err().is_not_found());
+        assert_eq!(results[2].as_deref().unwrap(), &[0]);
+        assert_eq!(results[3].as_deref().unwrap(), &[5]);
+        assert_eq!(results[4].as_deref().unwrap(), &[19]);
+
+        // Duplicate keys in a multi_rmw see each other's writes in order.
+        let out = store
+            .multi_rmw(&[5, 5], &|i, cur| {
+                let mut v = cur.unwrap().to_vec();
+                v.push(i as u8);
+                v
+            })
+            .unwrap();
+        assert_eq!(out, vec![vec![5, 0], vec![5, 0, 1]]);
+
+        assert!(store.exists(5).unwrap());
+        assert!(!store.exists(500).unwrap());
+
+        let mut batch = crate::kv::WriteBatch::new();
+        batch.put(42, vec![1]);
+        batch.put(42, vec![2]); // later op in the batch wins
+        store.write_batch(&batch).unwrap();
+        assert_eq!(store.get(42).unwrap(), vec![2]);
     }
 
     #[test]

@@ -111,13 +111,20 @@ impl DlrmTrainer {
         }
     }
 
-    /// Read an embedding for evaluation without touching the staleness clock.
-    fn eval_embedding(&self, key: u64) -> StorageResult<Vec<f32>> {
-        match self.table.store().get(key) {
-            Ok(bytes) => decode_vector(&bytes, self.table.dim()),
-            Err(e) if e.is_not_found() => Ok(vec![0.0; self.table.dim()]),
-            Err(e) => Err(e),
-        }
+    /// Read a batch of embeddings for evaluation without touching the
+    /// staleness clock: one `multi_get` straight at the store.
+    fn eval_embeddings(&self, keys: &[u64]) -> StorageResult<Vec<Vec<f32>>> {
+        let dim = self.table.dim();
+        self.table
+            .store()
+            .multi_get(keys)
+            .into_iter()
+            .map(|result| match result {
+                Ok(bytes) => decode_vector(&bytes, dim),
+                Err(e) if e.is_not_found() => Ok(vec![0.0; dim]),
+                Err(e) => Err(e),
+            })
+            .collect()
     }
 
     fn build_input(&self, embeddings: &[Vec<f32>], dense: &[f32]) -> Vec<f32> {
@@ -135,11 +142,7 @@ impl DlrmTrainer {
         let mut scores = Vec::with_capacity(samples.len());
         let mut labels = Vec::with_capacity(samples.len());
         for s in samples {
-            let embeddings: Vec<Vec<f32>> = s
-                .sparse_keys
-                .iter()
-                .map(|k| self.eval_embedding(*k))
-                .collect::<StorageResult<_>>()?;
+            let embeddings = self.eval_embeddings(&s.sparse_keys)?;
             let input = self.build_input(&embeddings, &s.dense);
             scores.push(self.model.predict(&input));
             labels.push(s.label);
@@ -195,7 +198,7 @@ impl DlrmTrainer {
                 .collect();
             unique_keys.sort_unstable();
             unique_keys.dedup();
-            let fetched = self.table.get(&unique_keys)?;
+            let fetched = self.table.gather(&unique_keys)?;
             let embedding_of: HashMap<u64, &Vec<f32>> =
                 unique_keys.iter().copied().zip(fetched.iter()).collect();
             let emb_get_s = t0.elapsed().as_secs_f64();
@@ -228,17 +231,13 @@ impl DlrmTrainer {
             let compute_s = t1.elapsed().as_secs_f64();
             simulate_compute(opts.simulated_compute);
 
-            // --- Embedding update (Put / Rmw). ---
+            // --- Embedding update (one batched scatter). ---
             // Mean gradient per key, so popular keys do not receive outsized steps.
-            let keys: Vec<u64> = grad_accum.keys().copied().collect();
-            let grads: Vec<Vec<f32>> = keys
-                .iter()
-                .map(|k| {
-                    let (sum, count) = &grad_accum[k];
-                    sum.iter().map(|g| g / *count as f32).collect()
-                })
+            let updates: Vec<(u64, Vec<f32>)> = grad_accum
+                .into_iter()
+                .map(|(key, (sum, count))| (key, sum.iter().map(|g| g / count as f32).collect()))
                 .collect();
-            let put_time = dispatcher.dispatch(keys, grads)?;
+            let put_time = dispatcher.dispatch(updates)?;
 
             breakdown.emb_access_s += emb_get_s + put_time.as_secs_f64();
             breakdown.forward_s += compute_s * 0.4;
@@ -284,11 +283,7 @@ impl DlrmTrainer {
 
     /// Predicted click probability for a sample (used by examples).
     pub fn predict(&self, sample: &CtrSample) -> StorageResult<f32> {
-        let embeddings: Vec<Vec<f32>> = sample
-            .sparse_keys
-            .iter()
-            .map(|k| self.eval_embedding(*k))
-            .collect::<StorageResult<_>>()?;
+        let embeddings = self.eval_embeddings(&sample.sparse_keys)?;
         let input = self.build_input(&embeddings, &sample.dense);
         Ok(self.model.predict(&input))
     }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mlkv::codec::{decode_vector, encode_vector};
-use mlkv::{EmbeddingTable, StorageResult};
+use mlkv::{EmbeddingTable, StorageResult, WriteBatch};
 use mlkv_embedding::gnn::{Gat, GraphSage, NeighborhoodGrads};
 use mlkv_embedding::metrics::accuracy;
 use mlkv_workloads::graph::{GnnGraph, GnnGraphConfig};
@@ -133,23 +133,36 @@ impl GnnTrainer {
         &self.graph
     }
 
-    /// Bulk-load every node's seed feature vector into the store. Returns the
-    /// number of nodes loaded.
+    /// Bulk-load every node's seed feature vector into the store in grouped
+    /// write batches. Returns the number of nodes loaded.
     pub fn preload_features(&self) -> StorageResult<u64> {
+        const CHUNK: u64 = 1024;
         let dim = self.table.dim();
-        for node in 0..self.graph.num_nodes() {
-            let feature = self.graph.seed_feature(node, dim);
-            self.table.store().put(node, &encode_vector(&feature))?;
+        let mut node = 0u64;
+        while node < self.graph.num_nodes() {
+            let mut batch = WriteBatch::new();
+            for n in node..(node + CHUNK).min(self.graph.num_nodes()) {
+                batch.put(n, encode_vector(&self.graph.seed_feature(n, dim)));
+            }
+            self.table.store().write_batch(&batch)?;
+            node += CHUNK;
         }
         Ok(self.graph.num_nodes())
     }
 
-    fn eval_embedding(&self, key: u64) -> StorageResult<Vec<f32>> {
-        match self.table.store().get(key) {
-            Ok(bytes) => decode_vector(&bytes, self.table.dim()),
-            Err(e) if e.is_not_found() => Ok(self.graph.seed_feature(key, self.table.dim())),
-            Err(e) => Err(e),
-        }
+    /// Read a batch of embeddings for evaluation without touching the
+    /// staleness clock: one `multi_get` straight at the store, with absent
+    /// nodes falling back to their seed feature.
+    fn eval_embeddings(&self, keys: &[u64]) -> StorageResult<Vec<Vec<f32>>> {
+        let dim = self.table.dim();
+        keys.iter()
+            .zip(self.table.store().multi_get(keys))
+            .map(|(key, result)| match result {
+                Ok(bytes) => decode_vector(&bytes, dim),
+                Err(e) if e.is_not_found() => Ok(self.graph.seed_feature(*key, dim)),
+                Err(e) => Err(e),
+            })
+            .collect()
     }
 
     /// Node-classification accuracy over `eval_nodes`.
@@ -157,14 +170,11 @@ impl GnnTrainer {
         let mut predicted = Vec::with_capacity(eval_nodes.len());
         let mut truth = Vec::with_capacity(eval_nodes.len());
         for node in eval_nodes {
-            let center = self.eval_embedding(*node)?;
-            let neighbors: Vec<Vec<f32>> = self
-                .graph
-                .sample_neighbors(*node, u64::MAX)
-                .into_iter()
-                .map(|n| self.eval_embedding(n))
-                .collect::<StorageResult<_>>()?;
-            predicted.push(self.model.predict(&center, &neighbors));
+            let neighbors = self.graph.sample_neighbors(*node, u64::MAX);
+            let keys: Vec<u64> = std::iter::once(*node).chain(neighbors).collect();
+            let mut rows = self.eval_embeddings(&keys)?;
+            let center = rows.remove(0);
+            predicted.push(self.model.predict(&center, &rows));
             truth.push(self.graph.label_of(*node));
         }
         Ok(accuracy(&predicted, &truth))
@@ -232,7 +242,7 @@ impl GnnTrainer {
                 .collect();
             unique_keys.sort_unstable();
             unique_keys.dedup();
-            let fetched = self.table.get(&unique_keys)?;
+            let fetched = self.table.gather(&unique_keys)?;
             let embedding_of: HashMap<u64, &Vec<f32>> =
                 unique_keys.iter().copied().zip(fetched.iter()).collect();
             let emb_get_s = t0.elapsed().as_secs_f64();
@@ -266,16 +276,12 @@ impl GnnTrainer {
             let compute_s = t1.elapsed().as_secs_f64();
             simulate_compute(opts.simulated_compute);
 
-            // --- Embedding update (mean gradient per key). ---
-            let keys: Vec<u64> = grad_accum.keys().copied().collect();
-            let grads: Vec<Vec<f32>> = keys
-                .iter()
-                .map(|k| {
-                    let (sum, count) = &grad_accum[k];
-                    sum.iter().map(|g| g / *count as f32).collect()
-                })
+            // --- Embedding update (one batched scatter, mean gradient per key). ---
+            let updates: Vec<(u64, Vec<f32>)> = grad_accum
+                .into_iter()
+                .map(|(key, (sum, count))| (key, sum.iter().map(|g| g / count as f32).collect()))
                 .collect();
-            let put_time = dispatcher.dispatch(keys, grads)?;
+            let put_time = dispatcher.dispatch(updates)?;
 
             breakdown.emb_access_s += emb_get_s + put_time.as_secs_f64();
             breakdown.forward_s += compute_s * 0.5;

@@ -74,8 +74,16 @@ impl Default for TrainerOptions {
     }
 }
 
-/// A batch of embedding gradient updates: `(keys, gradients)`.
-pub type UpdateBatch = (Vec<u64>, Vec<Vec<f32>>);
+/// A batch of embedding gradient updates: one `(key, gradient)` pair per
+/// unique key touched by the mini-batch, applied through the batch-first
+/// [`EmbeddingTable::apply_gradients`].
+pub type UpdateBatch = Vec<(u64, Vec<f32>)>;
+
+/// Borrow an owned update batch into the slice-of-pairs shape
+/// [`EmbeddingTable::apply_gradients`] takes.
+fn as_gradient_refs(updates: &[(u64, Vec<f32>)]) -> Vec<(u64, &[f32])> {
+    updates.iter().map(|(k, g)| (*k, g.as_slice())).collect()
+}
 
 /// Applies embedding updates either inline or on a background thread.
 pub struct UpdateDispatcher {
@@ -102,13 +110,15 @@ impl UpdateDispatcher {
                 let worker_table = Arc::clone(&table);
                 let worker = std::thread::spawn(move || {
                     let mut applied = 0u64;
-                    while let Ok((keys, grads)) = receiver.recv() {
+                    while let Ok(updates) = receiver.recv() {
                         // Errors here (e.g. staleness timeouts) are not expected for
                         // puts; surface them loudly in debug builds, skip in release.
-                        if let Err(e) = worker_table.apply_gradients(&keys, &grads, lr) {
+                        if let Err(e) =
+                            worker_table.apply_gradients(&as_gradient_refs(&updates), lr)
+                        {
                             debug_assert!(false, "async update failed: {e}");
                         }
-                        applied += keys.len() as u64;
+                        applied += updates.len() as u64;
                     }
                     applied
                 });
@@ -125,18 +135,16 @@ impl UpdateDispatcher {
 
     /// Apply (or enqueue) one batch of embedding gradients. Returns the time the
     /// *training thread* spent on it, which is what shows up as a data stall.
-    pub fn dispatch(
-        &mut self,
-        keys: Vec<u64>,
-        grads: Vec<Vec<f32>>,
-    ) -> mlkv::StorageResult<Duration> {
+    pub fn dispatch(&mut self, updates: UpdateBatch) -> mlkv::StorageResult<Duration> {
         let start = std::time::Instant::now();
-        self.dispatched += keys.len() as u64;
+        self.dispatched += updates.len() as u64;
         match &self.sender {
-            None => self.table.apply_gradients(&keys, &grads, self.lr)?,
+            None => self
+                .table
+                .apply_gradients(&as_gradient_refs(&updates), self.lr)?,
             Some(sender) => {
                 // The send itself is cheap; the updater thread pays the cost.
-                let _ = sender.send((keys, grads));
+                let _ = sender.send(updates);
             }
         }
         Ok(start.elapsed())
@@ -207,7 +215,7 @@ mod tests {
         let t = table(u32::MAX);
         t.put_one(1, &[1.0; 4]).unwrap();
         let mut d = UpdateDispatcher::new(Arc::clone(&t), UpdateMode::Synchronous, 0.5);
-        d.dispatch(vec![1], vec![vec![1.0; 4]]).unwrap();
+        d.dispatch(vec![(1, vec![1.0; 4])]).unwrap();
         assert_eq!(t.get_one(1).unwrap(), vec![0.5; 4]);
         assert_eq!(d.dispatched(), 1);
         assert_eq!(d.drain(), 1);
@@ -219,7 +227,7 @@ mod tests {
         t.put_one(2, &[1.0; 4]).unwrap();
         let mut d = UpdateDispatcher::new(Arc::clone(&t), UpdateMode::Asynchronous, 0.5);
         for _ in 0..10 {
-            d.dispatch(vec![2], vec![vec![0.1; 4]]).unwrap();
+            d.dispatch(vec![(2, vec![0.1; 4])]).unwrap();
         }
         let applied = d.drain();
         assert_eq!(applied, 10);
@@ -238,7 +246,7 @@ mod tests {
         let mut d = UpdateDispatcher::new(Arc::clone(&t), UpdateMode::Asynchronous, 0.1);
         for _ in 0..20 {
             let _v = t.get_one(3).unwrap();
-            d.dispatch(vec![3], vec![vec![0.01; 4]]).unwrap();
+            d.dispatch(vec![(3, vec![0.01; 4])]).unwrap();
         }
         d.drain();
         assert_eq!(t.staleness_of(3), 0);

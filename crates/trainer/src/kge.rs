@@ -104,17 +104,20 @@ impl KgeTrainer {
         &self.graph
     }
 
-    fn eval_embedding(&self, key: u64) -> StorageResult<Vec<f32>> {
-        match self.table.store().get(key) {
-            Ok(bytes) => decode_vector(&bytes, self.table.dim()),
-            Err(e) if e.is_not_found() => Ok(mlkv::codec::init_vector(
-                key,
-                self.table.dim(),
-                self.table.options().init_scale,
-                self.table.options().seed,
-            )),
-            Err(e) => Err(e),
-        }
+    /// Read a batch of embeddings for evaluation without touching the
+    /// staleness clock: one `multi_get` straight at the store, with unseen
+    /// keys falling back to the deterministic initialiser.
+    fn eval_embeddings(&self, keys: &[u64]) -> StorageResult<Vec<Vec<f32>>> {
+        let dim = self.table.dim();
+        let (scale, seed) = (self.table.options().init_scale, self.table.options().seed);
+        keys.iter()
+            .zip(self.table.store().multi_get(keys))
+            .map(|(key, result)| match result {
+                Ok(bytes) => decode_vector(&bytes, dim),
+                Err(e) if e.is_not_found() => Ok(mlkv::codec::init_vector(*key, dim, scale, seed)),
+                Err(e) => Err(e),
+            })
+            .collect()
     }
 
     /// Hits@10 over `eval` triples against `negatives` sampled corruptions.
@@ -123,17 +126,24 @@ impl KgeTrainer {
         let mut true_scores = Vec::with_capacity(eval.len());
         let mut neg_scores = Vec::with_capacity(eval.len());
         for t in eval {
-            let h = self.eval_embedding(self.graph.entity_key(t.head))?;
-            let r = self.eval_embedding(self.graph.relation_key(t.relation))?;
-            let tail = self.eval_embedding(self.graph.entity_key(t.tail))?;
-            true_scores.push(self.model.score(&h, &r, &tail));
             let negs = self.graph.negative_tails(t, negatives, &mut rng);
-            let mut scores = Vec::with_capacity(negs.len());
-            for n in negs {
-                let ne = self.eval_embedding(self.graph.entity_key(n))?;
-                scores.push(self.model.score(&h, &r, &ne));
-            }
-            neg_scores.push(scores);
+            // One batched read per triple: head, relation, tail, then negatives.
+            let mut keys = vec![
+                self.graph.entity_key(t.head),
+                self.graph.relation_key(t.relation),
+                self.graph.entity_key(t.tail),
+            ];
+            keys.extend(negs.iter().map(|n| self.graph.entity_key(*n)));
+            let mut rows = self.eval_embeddings(&keys)?;
+            let negatives_rows = rows.split_off(3);
+            let (h, r, tail) = (&rows[0], &rows[1], &rows[2]);
+            true_scores.push(self.model.score(h, r, tail));
+            neg_scores.push(
+                negatives_rows
+                    .iter()
+                    .map(|ne| self.model.score(h, r, ne))
+                    .collect(),
+            );
         }
         Ok(hits_at_k(&true_scores, &neg_scores, 10))
     }
@@ -213,7 +223,7 @@ impl KgeTrainer {
                 .collect();
             unique_keys.sort_unstable();
             unique_keys.dedup();
-            let fetched = self.table.get(&unique_keys)?;
+            let fetched = self.table.gather(&unique_keys)?;
             let embedding_of: HashMap<u64, &Vec<f32>> =
                 unique_keys.iter().copied().zip(fetched.iter()).collect();
             let emb_get_s = t0.elapsed().as_secs_f64();
@@ -256,16 +266,12 @@ impl KgeTrainer {
             let compute_s = t1.elapsed().as_secs_f64();
             simulate_compute(opts.simulated_compute);
 
-            // --- Embedding update (mean gradient per key). ---
-            let keys: Vec<u64> = grad_accum.keys().copied().collect();
-            let grads: Vec<Vec<f32>> = keys
-                .iter()
-                .map(|k| {
-                    let (sum, count) = &grad_accum[k];
-                    sum.iter().map(|g| g / *count as f32).collect()
-                })
+            // --- Embedding update (one batched scatter, mean gradient per key). ---
+            let updates: Vec<(u64, Vec<f32>)> = grad_accum
+                .into_iter()
+                .map(|(key, (sum, count))| (key, sum.iter().map(|g| g / count as f32).collect()))
                 .collect();
-            let put_time = dispatcher.dispatch(keys, grads)?;
+            let put_time = dispatcher.dispatch(updates)?;
 
             breakdown.emb_access_s += emb_get_s + put_time.as_secs_f64();
             breakdown.forward_s += compute_s * 0.5;

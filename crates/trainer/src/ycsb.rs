@@ -1,11 +1,17 @@
 //! YCSB runner (paper §IV-E, Figure 10): multi-threaded 50/50 read-write
 //! workload executed directly against a [`KvStore`], isolating storage-engine
 //! overhead from any application logic.
+//!
+//! Operations are issued through the batch-first interface: each client thread
+//! groups consecutive reads into one [`KvStore::multi_get`] and consecutive
+//! updates into one [`KvStore::write_batch`], flushing whenever the operation
+//! mix switches direction (which preserves per-thread read-your-writes
+//! ordering) or the group reaches `batch_size`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mlkv_storage::{KvStore, StorageResult};
+use mlkv_storage::{KvStore, StorageResult, WriteBatch};
 use mlkv_workloads::ycsb::{YcsbConfig, YcsbOp, YcsbWorkload};
 
 /// Configuration of one YCSB run.
@@ -17,6 +23,9 @@ pub struct YcsbRunConfig {
     pub threads: usize,
     /// Operations per thread in the measured phase.
     pub ops_per_thread: usize,
+    /// Maximum operations grouped into one `multi_get` / `write_batch` call
+    /// (1 reproduces per-key dispatch).
+    pub batch_size: usize,
 }
 
 impl Default for YcsbRunConfig {
@@ -25,6 +34,7 @@ impl Default for YcsbRunConfig {
             workload: YcsbConfig::default(),
             threads: 2,
             ops_per_thread: 10_000,
+            batch_size: 32,
         }
     }
 }
@@ -46,11 +56,17 @@ pub struct YcsbResult {
 
 /// Load the dataset and run the measured phase with the configured threads.
 pub fn run_ycsb(store: Arc<dyn KvStore>, config: &YcsbRunConfig) -> StorageResult<YcsbResult> {
-    // Load phase.
+    // Load phase: grouped upserts.
     let loader = YcsbWorkload::new(config.workload.clone());
+    let mut load_batch = WriteBatch::new();
     for (key, value) in loader.load_phase() {
-        store.put(key, &value)?;
+        load_batch.put(key, value);
+        if load_batch.len() >= 1024 {
+            store.write_batch(&load_batch)?;
+            load_batch = WriteBatch::new();
+        }
     }
+    store.write_batch(&load_batch)?;
 
     // Measured phase.
     let start = Instant::now();
@@ -60,20 +76,50 @@ pub fn run_ycsb(store: Arc<dyn KvStore>, config: &YcsbRunConfig) -> StorageResul
         let mut workload_cfg = config.workload.clone();
         workload_cfg.seed = config.workload.seed.wrapping_add(thread_id as u64 + 1);
         let ops = config.ops_per_thread;
+        let batch_size = config.batch_size.max(1);
         handles.push(std::thread::spawn(move || -> (u64, u64) {
             let mut workload = YcsbWorkload::new(workload_cfg);
             let mut hits = 0u64;
             let mut misses = 0u64;
-            for _ in 0..ops {
-                match workload.next_op() {
-                    YcsbOp::Read(key) => match store.get(key) {
-                        Ok(_) => hits += 1,
-                        Err(_) => misses += 1,
-                    },
-                    YcsbOp::Update(key, value) => {
-                        let _ = store.put(key, &value);
+            let mut reads: Vec<u64> = Vec::with_capacity(batch_size);
+            let mut writes = WriteBatch::new();
+            let flush_reads = |reads: &mut Vec<u64>, hits: &mut u64, misses: &mut u64| {
+                if reads.is_empty() {
+                    return;
+                }
+                for result in store.multi_get(reads) {
+                    match result {
+                        Ok(_) => *hits += 1,
+                        Err(_) => *misses += 1,
                     }
                 }
+                reads.clear();
+            };
+            for _ in 0..ops {
+                match workload.next_op() {
+                    YcsbOp::Read(key) => {
+                        if !writes.is_empty() {
+                            let _ = store.write_batch(&writes);
+                            writes = WriteBatch::new();
+                        }
+                        reads.push(key);
+                        if reads.len() >= batch_size {
+                            flush_reads(&mut reads, &mut hits, &mut misses);
+                        }
+                    }
+                    YcsbOp::Update(key, value) => {
+                        flush_reads(&mut reads, &mut hits, &mut misses);
+                        writes.put(key, value);
+                        if writes.len() >= batch_size {
+                            let _ = store.write_batch(&writes);
+                            writes = WriteBatch::new();
+                        }
+                    }
+                }
+            }
+            flush_reads(&mut reads, &mut hits, &mut misses);
+            if !writes.is_empty() {
+                let _ = store.write_batch(&writes);
             }
             (hits, misses)
         }));
@@ -114,6 +160,7 @@ mod tests {
             },
             threads: 2,
             ops_per_thread: 2_000,
+            batch_size: 16,
         }
     }
 
@@ -145,5 +192,19 @@ mod tests {
         assert_eq!(result.read_misses, 0);
         // A tiny buffer forces disk traffic during the measured phase.
         assert!(store.metrics().snapshot().disk_reads > 0);
+    }
+
+    #[test]
+    fn batch_size_one_matches_batched_results() {
+        // The batched runner must see exactly the hits a per-key runner sees.
+        let mut config = small_config(YcsbDistribution::Zipfian);
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        let batched = run_ycsb(Arc::clone(&store), &config).unwrap();
+        config.batch_size = 1;
+        let store2: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        let per_key = run_ycsb(store2, &config).unwrap();
+        assert_eq!(batched.read_hits, per_key.read_hits);
+        assert_eq!(batched.read_misses, per_key.read_misses);
+        assert_eq!(batched.total_ops, per_key.total_ops);
     }
 }

@@ -39,11 +39,12 @@ fn main() -> mlkv::StorageResult<()> {
         metrics.disk_write_bytes >> 20
     );
 
-    // Access a cold range without prefetching.
+    // Access a cold range without prefetching (one batched gather per
+    // training-step-sized chunk, like the trainers do).
     let cold_keys: Vec<u64> = (0..4_000).collect();
     let start = Instant::now();
-    for k in &cold_keys {
-        table.get_one(*k)?;
+    for chunk in cold_keys.chunks(256) {
+        table.gather(chunk)?;
     }
     let without = start.elapsed();
 
@@ -52,8 +53,8 @@ fn main() -> mlkv::StorageResult<()> {
     table.lookahead(&prefetched_keys, LookaheadDest::StorageBuffer);
     table.wait_for_lookahead();
     let start = Instant::now();
-    for k in &prefetched_keys {
-        table.get_one(*k)?;
+    for chunk in prefetched_keys.chunks(256) {
+        table.gather(chunk)?;
     }
     let with = start.elapsed();
 

@@ -4,11 +4,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mlkv::{LookaheadDest, Mlkv};
+use mlkv::{BackendKind, LookaheadDest, Mlkv};
 
 fn main() -> mlkv::StorageResult<()> {
     // nn_model, emb_tables = MLKV.Open(model_id, dim, staleness_bound)
-    let model = Mlkv::open("quickstart", 16, 4)?;
+    let model = Mlkv::builder("quickstart")
+        .dim(16)
+        .staleness_bound(4)
+        .backend(BackendKind::Mlkv)
+        .build()?;
     println!(
         "opened model '{}' on backend {} with {} consistency",
         model.model_id(),
@@ -24,12 +28,17 @@ fn main() -> mlkv::StorageResult<()> {
         let next_keys: Vec<u64> = ((step + 1) * 10..(step + 1) * 10 + 8).collect();
         model.lookahead(&next_keys, LookaheadDest::StorageBuffer);
 
-        // Forward: fetch embedding vectors.
-        let emb_values = model.get(&keys)?;
+        // Forward: one batched gather fetches every embedding of the step.
+        let emb_values = model.gather(&keys)?;
 
-        // "Backward": pretend each embedding got a small gradient.
+        // "Backward": scatter one small gradient per key in a single batch.
         let grads: Vec<Vec<f32>> = emb_values.iter().map(|v| vec![0.01; v.len()]).collect();
-        model.apply_gradients(&keys, &grads, 0.1)?;
+        let updates: Vec<(u64, &[f32])> = keys
+            .iter()
+            .zip(&grads)
+            .map(|(k, g)| (*k, g.as_slice()))
+            .collect();
+        model.apply_gradients(&updates, 0.1)?;
 
         println!(
             "step {step}: fetched {} embeddings, staleness of key {} is {}",

@@ -32,6 +32,59 @@ fn every_backend_opens_and_round_trips_raw_bytes() {
 }
 
 #[test]
+fn every_backend_serves_the_batch_interface() {
+    for kind in BackendKind::ALL {
+        let store = open_store(
+            kind,
+            StoreConfig::in_memory()
+                .with_memory_budget(1 << 20)
+                .with_page_size(4 << 10)
+                .with_index_buckets(256),
+        )
+        .unwrap();
+
+        let mut batch = mlkv::WriteBatch::new();
+        for k in 0..32u64 {
+            batch.put(k, vec![k as u8; 8]);
+        }
+        store.write_batch(&batch).unwrap();
+
+        let keys: Vec<u64> = vec![31, 0, 500, 7, 7];
+        let results = store.multi_get(&keys);
+        assert_eq!(
+            results[0].as_deref().unwrap(),
+            &[31u8; 8],
+            "{}",
+            kind.name()
+        );
+        assert_eq!(results[1].as_deref().unwrap(), &[0u8; 8], "{}", kind.name());
+        assert!(
+            results[2].as_ref().unwrap_err().is_not_found(),
+            "{}",
+            kind.name()
+        );
+        assert_eq!(
+            results[3].as_deref().unwrap(),
+            results[4].as_deref().unwrap(),
+            "{}",
+            kind.name()
+        );
+
+        store
+            .multi_rmw(&[1, 1], &|_, cur| {
+                let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+                v.push(9);
+                v
+            })
+            .unwrap();
+        assert_eq!(store.get(1).unwrap().len(), 10, "{}", kind.name());
+
+        assert!(store.exists(0).unwrap(), "{}", kind.name());
+        assert!(!store.exists(10_000).unwrap(), "{}", kind.name());
+    }
+}
+
+#[test]
 fn every_backend_round_trips_through_an_embedding_table() {
     for kind in BackendKind::ALL {
         let model = Mlkv::builder("smoke")
@@ -51,5 +104,12 @@ fn every_backend_round_trips_through_an_embedding_table() {
         // (embedding tables are dense; see `TableOptions`).
         let initialized = table.get_one(1_000).unwrap();
         assert_eq!(initialized.len(), 8, "{}", kind.name());
+
+        // Batch-first surface: gather + apply_gradients.
+        let rows = table.gather(&[42, 42, 1_000]).unwrap();
+        assert_eq!(rows[0], value, "{}", kind.name());
+        assert_eq!(rows[1], value, "{}", kind.name());
+        table.apply_gradients(&[(42, &[0.25; 8][..])], 1.0).unwrap();
+        assert_eq!(table.get_one(42).unwrap(), [0.0; 8], "{}", kind.name());
     }
 }

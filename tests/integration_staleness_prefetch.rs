@@ -34,7 +34,7 @@ fn ssp_bound_is_never_exceeded_under_concurrency() {
                 // bound + 1 (this Get itself).
                 assert!(table.staleness_of(key) <= 4, "bound violated");
                 table
-                    .apply_gradients(&[key], &[vec![0.001; 4]], 0.1)
+                    .apply_gradients(&[(key, &[0.001; 4][..])], 0.1)
                     .unwrap();
                 assert_eq!(v.len(), 4);
             }
@@ -146,10 +146,10 @@ fn every_backend_supports_the_full_table_api() {
         let keys: Vec<u64> = (0..32).collect();
         let values: Vec<Vec<f32>> = keys.iter().map(|k| vec![*k as f32; 4]).collect();
         model.put(&keys, &values).unwrap();
-        assert_eq!(model.get(&keys).unwrap(), values, "{}", backend.name());
-        model
-            .apply_gradients(&keys, &vec![vec![1.0; 4]; 32], 0.5)
-            .unwrap();
+        assert_eq!(model.gather(&keys).unwrap(), values, "{}", backend.name());
+        let grad = [1.0f32; 4];
+        let updates: Vec<(u64, &[f32])> = keys.iter().map(|k| (*k, grad.as_slice())).collect();
+        model.apply_gradients(&updates, 0.5).unwrap();
         assert_eq!(
             model.get_one(0).unwrap(),
             vec![-0.5; 4],

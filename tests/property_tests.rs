@@ -1,16 +1,20 @@
 //! Property-based tests (proptest) over the core data structures and storage
 //! engines: every engine must behave like a simple in-memory map under random
-//! operation sequences, and the MLKV record word / codecs must round-trip.
+//! operation sequences, the batch-first API (`multi_get` / `multi_rmw` /
+//! `gather` / `apply_gradients`) must be byte-identical to the per-key loop it
+//! replaced on every backend, and the MLKV record word / codecs must
+//! round-trip.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use mlkv::codec::{decode_vector, encode_vector};
 use mlkv::record_word::RecordWord;
-use mlkv::{open_store, BackendKind};
+use mlkv::{open_store, BackendKind, EmbeddingTable};
 use mlkv_lsm::BloomFilter;
-use mlkv_storage::StoreConfig;
+use mlkv_storage::{KvStore, StoreConfig};
 
 /// A randomly generated key-value operation.
 #[derive(Debug, Clone)]
@@ -75,6 +79,130 @@ fn check_engine_against_model(backend: BackendKind, ops: &[Op]) {
     }
 }
 
+fn small_store(backend: BackendKind) -> Arc<dyn KvStore> {
+    open_store(
+        backend,
+        StoreConfig::in_memory()
+            .with_memory_budget(16 << 10)
+            .with_page_size(2 << 10)
+            .with_index_buckets(64),
+    )
+    .unwrap()
+}
+
+/// `multi_get`, `multi_rmw` and `exists` must be byte-identical to the
+/// per-key loop on every backend, including absent and freshly-written keys.
+fn check_batch_matches_per_key(backend: BackendKind, present: &[u64], probes: &[u64]) {
+    let batched = small_store(backend);
+    let per_key = small_store(backend);
+    for (i, k) in present.iter().enumerate() {
+        batched.put(*k, &[i as u8; 24]).unwrap();
+        per_key.put(*k, &[i as u8; 24]).unwrap();
+    }
+
+    let batch_results = batched.multi_get(probes);
+    for (k, result) in probes.iter().zip(&batch_results) {
+        match per_key.get(*k) {
+            Ok(expected) => assert_eq!(
+                result.as_ref().unwrap(),
+                &expected,
+                "{}: multi_get({k})",
+                backend.name()
+            ),
+            Err(e) => {
+                assert!(e.is_not_found());
+                assert!(
+                    result.as_ref().unwrap_err().is_not_found(),
+                    "{}: multi_get({k}) should be not-found",
+                    backend.name()
+                );
+            }
+        }
+        assert_eq!(
+            batched.exists(*k).unwrap(),
+            per_key.contains(*k).unwrap(),
+            "{}: exists({k})",
+            backend.name()
+        );
+    }
+
+    // Identical rmw programs, one batched and one per-key: final state must
+    // be byte-identical for every key ever touched.
+    let append = |i: usize, cur: Option<&[u8]>| -> Vec<u8> {
+        let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+        v.push(i as u8);
+        v.truncate(32);
+        v
+    };
+    let batch_out = batched.multi_rmw(probes, &append).unwrap();
+    let mut loop_out = Vec::with_capacity(probes.len());
+    for (i, k) in probes.iter().enumerate() {
+        loop_out.push(per_key.rmw(*k, &|cur| append(i, cur)).unwrap());
+    }
+    assert_eq!(batch_out, loop_out, "{}: multi_rmw returns", backend.name());
+    for k in present.iter().chain(probes) {
+        assert_eq!(
+            batched.get(*k).ok(),
+            per_key.get(*k).ok(),
+            "{}: final state of {k}",
+            backend.name()
+        );
+    }
+}
+
+/// `gather` / `apply_gradients` must leave a table in a byte-identical state
+/// to the per-key `get_one` / `rmw_one` loop, on every backend.
+fn check_table_batch_matches_per_key(backend: BackendKind, keys: &[u64], seed: u64) {
+    let table_for = |backend| {
+        EmbeddingTable::builder(small_store(backend))
+            .dim(4)
+            .staleness_bound(u32::MAX)
+            .seed(seed)
+            .build()
+            .unwrap()
+    };
+    let batched = table_for(backend);
+    let per_key = table_for(backend);
+
+    // Gather initialises unseen keys exactly like sequential get_ones.
+    let gathered = batched.gather(keys).unwrap();
+    let singles: Vec<Vec<f32>> = keys.iter().map(|k| per_key.get_one(*k).unwrap()).collect();
+    assert_eq!(gathered, singles, "{}: gather", backend.name());
+
+    // One gradient per unique key (trainers deduplicate), applied batched on
+    // one table and per-key on the other.
+    let mut unique: Vec<u64> = keys.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    let grads: Vec<Vec<f32>> = unique
+        .iter()
+        .map(|k| vec![(*k % 7) as f32 * 0.5; 4])
+        .collect();
+    let updates: Vec<(u64, &[f32])> = unique
+        .iter()
+        .zip(&grads)
+        .map(|(k, g)| (*k, g.as_slice()))
+        .collect();
+    batched.apply_gradients(&updates, 0.1).unwrap();
+    for (k, g) in unique.iter().zip(&grads) {
+        per_key
+            .rmw_one(*k, |v| {
+                for (x, gi) in v.iter_mut().zip(g) {
+                    *x -= 0.1 * gi;
+                }
+            })
+            .unwrap();
+    }
+    for k in &unique {
+        assert_eq!(
+            batched.get_one(*k).unwrap(),
+            per_key.get_one(*k).unwrap(),
+            "{}: state of {k} after gradients",
+            backend.name()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -91,6 +219,26 @@ proptest! {
     #[test]
     fn btree_engine_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
         check_engine_against_model(BackendKind::WiredTigerLike, &ops);
+    }
+
+    #[test]
+    fn batch_storage_api_matches_per_key_on_every_backend(
+        present in proptest::collection::vec(0u64..48, 0..24),
+        probes in proptest::collection::vec(0u64..64, 1..24),
+    ) {
+        for backend in BackendKind::ALL {
+            check_batch_matches_per_key(backend, &present, &probes);
+        }
+    }
+
+    #[test]
+    fn batch_table_api_matches_per_key_on_every_backend(
+        keys in proptest::collection::vec(0u64..64, 1..24),
+        seed in any::<u64>(),
+    ) {
+        for backend in BackendKind::ALL {
+            check_table_batch_matches_per_key(backend, &keys, seed);
+        }
     }
 
     #[test]
