@@ -21,6 +21,18 @@ pub fn scale_from_args() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// Parse `--parallelism <usize>` from the process arguments. Defaults to `0`
+/// (auto-size from the host); `--parallelism 1` pins every batched operation
+/// to the calling thread for deterministic, executor-free runs.
+pub fn parallelism_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--parallelism")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Open an embedding table on `backend` with the given storage buffer budget.
 /// MLKV backends get bounded staleness + look-ahead workers; baseline backends
 /// get the plain table layer with enforcement disabled (pure offloading).
@@ -38,6 +50,7 @@ pub fn open_table(
         .page_size(16 << 10)
         .staleness_bound(staleness_bound)
         .lookahead_workers(2)
+        .parallelism(parallelism_from_args())
         .init_scale(0.5);
     if !backend.is_mlkv() {
         builder = builder.disable_staleness_enforcement();
@@ -190,9 +203,100 @@ pub fn open_faster_store(buffer_bytes: usize) -> StorageResult<Arc<dyn KvStore>>
     )?))
 }
 
+/// Shared setup for the shard-parallel gather measurements, used by both the
+/// `batch_parallel` criterion bench and the `emit_bench_json` recorder so the
+/// two entry points always measure the same stores.
+pub mod batch_parallel {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use mlkv::{open_store, BackendKind, EmbeddingTable};
+    use mlkv_storage::StoreConfig;
+
+    /// Parallelism levels every group sweeps.
+    pub const PARALLELISM_LEVELS: [usize; 4] = [1, 2, 4, 8];
+    /// Gather batch sizes for the warm groups.
+    pub const GATHER_BATCH_SIZES: [usize; 2] = [1024, 4096];
+    /// Key space of the warm (RAM-resident) tables.
+    pub const WARM_KEY_SPACE: u64 = 20_000;
+    /// Key space of the cold (larger-than-memory) FASTER table.
+    pub const COLD_KEY_SPACE: u64 = 4_000;
+    /// Simulated SSD read latency of the cold configuration.
+    pub const COLD_READ_LATENCY: Duration = Duration::from_micros(25);
+
+    fn build_table(
+        backend: BackendKind,
+        parallelism: usize,
+        memory_budget: usize,
+        read_latency: Duration,
+        key_space: u64,
+    ) -> Arc<EmbeddingTable> {
+        let store = open_store(
+            backend,
+            StoreConfig::in_memory()
+                .with_memory_budget(memory_budget)
+                .with_page_size(4 << 10)
+                .with_index_buckets(1 << 14)
+                .with_parallelism(parallelism)
+                .with_simulated_read_latency(read_latency),
+        )
+        .unwrap();
+        let table = Arc::new(
+            EmbeddingTable::builder(store)
+                .dim(16)
+                .staleness_bound(u32::MAX)
+                .parallelism(parallelism)
+                // Cache small enough that gathers exercise the storage engine.
+                .app_cache_bytes(1 << 10)
+                .build()
+                .unwrap(),
+        );
+        let keys: Vec<u64> = (0..key_space).collect();
+        let rows = vec![vec![0.5f32; 16]; keys.len()];
+        table.put(&keys, &rows).unwrap();
+        table
+    }
+
+    /// A RAM-resident table on `backend`: gathers are pure CPU work.
+    pub fn warm_table(backend: BackendKind, parallelism: usize) -> Arc<EmbeddingTable> {
+        build_table(
+            backend,
+            parallelism,
+            64 << 20,
+            Duration::ZERO,
+            WARM_KEY_SPACE,
+        )
+    }
+
+    /// FASTER with a tiny memory window and simulated SSD read latency: most
+    /// of a random gather hits the cold region, so the batch is device-bound
+    /// and the executor's win is overlapped I/O waits rather than extra cores.
+    pub fn cold_faster_table(parallelism: usize) -> Arc<EmbeddingTable> {
+        build_table(
+            BackendKind::Faster,
+            parallelism,
+            64 << 10,
+            COLD_READ_LATENCY,
+            COLD_KEY_SPACE,
+        )
+    }
+
+    /// The rotating key pattern both entry points gather.
+    pub fn rotating_keys(base: u64, n: usize, key_space: u64) -> Vec<u64> {
+        (0..n as u64).map(|i| (base + i * 17) % key_space).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_parallel_setup_builds_and_gathers() {
+        let warm = batch_parallel::warm_table(BackendKind::InMemory, 1);
+        let keys = batch_parallel::rotating_keys(7, 64, batch_parallel::WARM_KEY_SPACE);
+        assert_eq!(warm.gather(&keys).unwrap().len(), 64);
+    }
 
     #[test]
     fn open_table_for_every_backend() {

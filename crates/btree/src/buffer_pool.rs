@@ -66,19 +66,44 @@ impl BufferPool {
 
     /// Run `f` with read access to the leaf `page_id`, faulting it in from the
     /// device if necessary. Returns whether the page had to be read from disk.
+    ///
+    /// The fault-in device read happens *outside* the pool lock, so concurrent
+    /// readers (the batch executor's leaf-group workers) overlap their cold
+    /// reads instead of queueing on the pool mutex. Two racing faults of the
+    /// same page both read the device; the first to re-acquire the lock
+    /// installs the page and the other discards its copy.
     pub fn with_leaf<R>(
         &self,
         page_id: u64,
         f: impl FnOnce(&LeafPage) -> R,
     ) -> StorageResult<(R, bool)> {
-        let mut inner = self.inner.lock();
-        let from_disk = self.ensure_resident(&mut inner, page_id)?;
-        inner.clock += 1;
-        let stamp = inner.clock;
-        let page = inner.pages.get_mut(&page_id).expect("page just ensured");
-        page.stamp = stamp;
-        let out = f(&page.leaf);
-        Ok((out, from_disk))
+        let mut from_disk = false;
+        let mut faulted: Option<LeafPage> = None;
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(leaf) = faulted.take() {
+                    inner.clock += 1;
+                    let stamp = inner.clock;
+                    inner.pages.entry(page_id).or_insert(CachedPage {
+                        leaf,
+                        dirty: false,
+                        stamp,
+                    });
+                    self.evict_if_needed(&mut inner)?;
+                }
+                if inner.pages.contains_key(&page_id) {
+                    inner.clock += 1;
+                    let stamp = inner.clock;
+                    let page = inner.pages.get_mut(&page_id).expect("resident");
+                    page.stamp = stamp;
+                    let out = f(&page.leaf);
+                    return Ok((out, from_disk));
+                }
+            }
+            faulted = Some(self.read_leaf(page_id)?);
+            from_disk = true;
+        }
     }
 
     /// Run `f` with mutable access to the leaf `page_id`, marking it dirty.
@@ -116,11 +141,9 @@ impl BufferPool {
         Ok(())
     }
 
-    fn ensure_resident(&self, inner: &mut PoolInner, page_id: u64) -> StorageResult<bool> {
-        if inner.pages.contains_key(&page_id) {
-            return Ok(false);
-        }
-        // Fault the page in from the device.
+    /// Read and decode the leaf at `page_id` from the device (no pool lock
+    /// required).
+    fn read_leaf(&self, page_id: u64) -> StorageResult<LeafPage> {
         let offset = page_id * self.page_size as u64;
         if offset >= self.device.len() {
             return Err(StorageError::Corruption(format!(
@@ -131,7 +154,17 @@ impl BufferPool {
         self.device.read_at(offset, &mut buf)?;
         self.metrics
             .record_background_disk_read(self.page_size as u64);
-        let leaf = LeafPage::decode(&buf)?;
+        LeafPage::decode(&buf)
+    }
+
+    fn ensure_resident(&self, inner: &mut PoolInner, page_id: u64) -> StorageResult<bool> {
+        if inner.pages.contains_key(&page_id) {
+            return Ok(false);
+        }
+        // Fault the page in from the device. Mutable accesses are already
+        // serialised by the tree's write lock, so unlike `with_leaf` there is
+        // no concurrency to win by dropping the pool lock here.
+        let leaf = self.read_leaf(page_id)?;
         inner.clock += 1;
         let stamp = inner.clock;
         inner.pages.insert(

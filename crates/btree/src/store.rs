@@ -8,6 +8,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
+use mlkv_storage::exec::BatchExecutor;
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
 use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
@@ -31,6 +32,7 @@ pub struct BtreeStore {
     meta_device: Arc<dyn Device>,
     tree: RwLock<TreeMeta>,
     live: AtomicU64,
+    executor: BatchExecutor,
 }
 
 const META_MAGIC: u64 = 0x4D4C_4B56_4254_5245; // "MLKVBTRE"
@@ -66,6 +68,7 @@ impl BtreeStore {
         };
 
         Ok(Self {
+            executor: BatchExecutor::new(config.parallelism),
             config,
             metrics,
             pool,
@@ -169,6 +172,65 @@ impl BtreeStore {
         Ok(())
     }
 
+    /// Serve one leaf page's group of a batched read under a single buffer-pool
+    /// pin. `group` holds `(page id, original position)` pairs that all route
+    /// to the same leaf. Returns `(original position, result)` pairs.
+    fn read_leaf_group(
+        &self,
+        group: &[(u64, usize)],
+        keys: &[Key],
+    ) -> Vec<(usize, StorageResult<Vec<u8>>)> {
+        let page_id = group[0].0;
+        let mut out = Vec::with_capacity(group.len());
+        let result = self.pool.with_leaf(page_id, |leaf| {
+            group
+                .iter()
+                .map(|&(_, i)| leaf.get(keys[i]).map(|v| v.to_vec()))
+                .collect::<Vec<_>>()
+        });
+        match result {
+            Ok((values, from_disk)) => {
+                for (&(_, i), value) in group.iter().zip(values) {
+                    out.push((
+                        i,
+                        match value {
+                            Some(v) => {
+                                if from_disk {
+                                    self.metrics.record_disk_read(v.len() as u64);
+                                } else {
+                                    self.metrics.record_mem_hit();
+                                }
+                                Ok(v)
+                            }
+                            None => {
+                                self.metrics.record_miss();
+                                Err(StorageError::KeyNotFound)
+                            }
+                        },
+                    ));
+                }
+            }
+            Err(e) => {
+                // Preserve the original error kind: the first key keeps it
+                // verbatim, and the (error-path-only) re-probe lets every
+                // other key in the group surface its own genuine error.
+                let mut slots = group.iter();
+                if let Some(&(_, i)) = slots.next() {
+                    out.push((i, Err(e)));
+                }
+                for &(_, i) in slots {
+                    out.push((
+                        i,
+                        self.pool
+                            .with_leaf(page_id, |leaf| leaf.get(keys[i]).map(|v| v.to_vec()))
+                            .and_then(|(value, _)| value.ok_or(StorageError::KeyNotFound)),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Upsert `key` into the tree whose meta the caller holds write-locked.
     /// This is the body shared by `put`, `multi_rmw` and `write_batch`, so a
     /// batch pays for the tree lock once.
@@ -251,7 +313,10 @@ impl KvStore for BtreeStore {
     fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
         // Sorted traversal: group the batch by leaf page so every page is
         // pinned in the buffer pool exactly once, no matter how many of the
-        // batch's keys it serves.
+        // batch's keys it serves. Large batches fan the page groups out over
+        // executor workers — the groups are leaf-disjoint, so each worker
+        // keeps the shared-pin behaviour within its groups and no leaf is
+        // pinned by two workers on behalf of the same batch.
         let tree = self.tree.read();
         let mut routed: Vec<(u64, usize)> = keys
             .iter()
@@ -259,7 +324,7 @@ impl KvStore for BtreeStore {
             .map(|(i, &k)| (Self::route(&tree.separators, k).1, i))
             .collect();
         routed.sort_unstable_by_key(|&(page, _)| page);
-        let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        let mut groups: Vec<&[(u64, usize)]> = Vec::new();
         let mut pos = 0;
         while pos < routed.len() {
             let page_id = routed[pos].0;
@@ -267,50 +332,26 @@ impl KvStore for BtreeStore {
             while end < routed.len() && routed[end].0 == page_id {
                 end += 1;
             }
-            let group = &routed[pos..end];
-            let result = self.pool.with_leaf(page_id, |leaf| {
-                group
-                    .iter()
-                    .map(|&(_, i)| leaf.get(keys[i]).map(|v| v.to_vec()))
-                    .collect::<Vec<_>>()
-            });
-            match result {
-                Ok((values, from_disk)) => {
-                    for (&(_, i), value) in group.iter().zip(values) {
-                        out[i] = Some(match value {
-                            Some(v) => {
-                                if from_disk {
-                                    self.metrics.record_disk_read(v.len() as u64);
-                                } else {
-                                    self.metrics.record_mem_hit();
-                                }
-                                Ok(v)
-                            }
-                            None => {
-                                self.metrics.record_miss();
-                                Err(StorageError::KeyNotFound)
-                            }
-                        });
-                    }
-                }
-                Err(e) => {
-                    // Preserve the original error kind: the first key keeps it
-                    // verbatim, and the (error-path-only) re-probe lets every
-                    // other key in the group surface its own genuine error.
-                    let mut slots = group.iter();
-                    if let Some(&(_, i)) = slots.next() {
-                        out[i] = Some(Err(e));
-                    }
-                    for &(_, i) in slots {
-                        out[i] = Some(
-                            self.pool
-                                .with_leaf(page_id, |leaf| leaf.get(keys[i]).map(|v| v.to_vec()))
-                                .and_then(|(value, _)| value.ok_or(StorageError::KeyNotFound)),
-                        );
-                    }
+            groups.push(&routed[pos..end]);
+            pos = end;
+        }
+        let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
+        if self.executor.workers_for(groups.len(), keys.len()) <= 1 {
+            for group in groups {
+                for (i, result) in self.read_leaf_group(group, keys) {
+                    out[i] = Some(result);
                 }
             }
-            pos = end;
+        } else {
+            let jobs: Vec<_> = groups
+                .into_iter()
+                .map(|group| move || self.read_leaf_group(group, keys))
+                .collect();
+            for pairs in self.executor.execute(jobs, keys.len()) {
+                for (i, result) in pairs {
+                    out[i] = Some(result);
+                }
+            }
         }
         out.into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -444,6 +485,38 @@ mod tests {
         assert_eq!(batch[2].as_deref().unwrap(), &[(2500 % 251) as u8; 32]);
         assert_eq!(batch[3].as_deref().unwrap(), &[0u8; 32]);
         assert!(batch[4].as_ref().unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn parallel_leaf_groups_match_serial_results() {
+        let open = |parallelism| {
+            BtreeStore::open(
+                StoreConfig::in_memory()
+                    .with_memory_budget(1 << 20)
+                    .with_page_size(4096)
+                    .with_parallelism(parallelism),
+            )
+            .unwrap()
+        };
+        let serial = open(1);
+        let parallel = open(8);
+        for store in [&serial, &parallel] {
+            for k in 0..5000u64 {
+                store.put(k, &[(k % 251) as u8; 32]).unwrap();
+            }
+        }
+        assert!(parallel.leaf_count() > 1);
+        let keys: Vec<u64> = (0..4096u64).map(|i| (i * 11) % 5200).collect();
+        let a = serial.multi_get(&keys);
+        let b = parallel.multi_get(&keys);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.as_ref().ok(),
+                y.as_ref().ok(),
+                "key {} (pos {i})",
+                keys[i]
+            );
+        }
     }
 
     #[test]

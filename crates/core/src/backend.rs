@@ -67,7 +67,10 @@ pub fn open_store(kind: BackendKind, config: StoreConfig) -> StorageResult<Arc<d
         BackendKind::Mlkv | BackendKind::Faster => Arc::new(FasterKv::open(config)?),
         BackendKind::RocksDbLike => Arc::new(LsmStore::open(config)?),
         BackendKind::WiredTigerLike => Arc::new(BtreeStore::open(config)?),
-        BackendKind::InMemory => Arc::new(MemStore::new()),
+        BackendKind::InMemory => Arc::new(MemStore::with_shards_and_parallelism(
+            16,
+            config.parallelism,
+        )),
     })
 }
 

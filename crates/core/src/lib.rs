@@ -69,4 +69,6 @@ pub use stats::{TableStats, TableStatsSnapshot};
 pub use table::{EmbeddingTable, TableBuilder, TableOptions};
 
 // Re-export the storage-facing types users need when configuring backends.
-pub use mlkv_storage::{KvStore, StorageError, StorageResult, StoreConfig, WriteBatch};
+pub use mlkv_storage::{
+    BatchExecutor, KvStore, StorageError, StorageResult, StoreConfig, WriteBatch,
+};

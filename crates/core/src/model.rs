@@ -109,6 +109,15 @@ impl EmbeddingModelBuilder {
         self
     }
 
+    /// Batch-execution parallelism (`0` = auto-size from the host, `1` =
+    /// serial/deterministic). Applies to both the storage engine (shard- and
+    /// range-parallel `multi_get` / `multi_rmw`) and the table layer (bulk
+    /// vector decode): one `gather` fans out over this many workers.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.options.parallelism = parallelism;
+        self
+    }
+
     /// Application cache budget in bytes.
     pub fn app_cache_bytes(mut self, bytes: usize) -> Self {
         self.options.app_cache_bytes = bytes;
@@ -131,7 +140,8 @@ impl EmbeddingModelBuilder {
     pub fn build(self) -> StorageResult<EmbeddingModel> {
         let mut config = StoreConfig::in_memory()
             .with_memory_budget(self.memory_budget)
-            .with_page_size(self.page_size);
+            .with_page_size(self.page_size)
+            .with_parallelism(self.options.parallelism);
         if let Some(dir) = &self.dir {
             config.dir = Some(dir.join(&self.model_id));
         }

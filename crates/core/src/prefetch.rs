@@ -92,15 +92,21 @@ impl Prefetcher {
                     while let Ok(req) = receiver.recv() {
                         match req.dest {
                             LookaheadDest::StorageBuffer => {
-                                for key in req.keys {
-                                    match store.promote_to_memory(key) {
-                                        Ok(true) => {
-                                            counters.promoted.fetch_add(1, Ordering::Relaxed)
-                                        }
-                                        _ => counters.skipped.fetch_add(1, Ordering::Relaxed),
-                                    };
-                                    counters.completed.fetch_add(1, Ordering::Relaxed);
-                                }
+                                // One batched promote per request: the engine
+                                // pays its epoch enter/exit once and copies
+                                // cold records in log-address order.
+                                let total = req.keys.len() as u64;
+                                let promoted = match store.multi_promote(&req.keys) {
+                                    Ok(n) => n as u64,
+                                    // I/O failure mid-promote: the batch is a
+                                    // hint, so count it as skipped and move on.
+                                    Err(_) => 0,
+                                };
+                                counters.promoted.fetch_add(promoted, Ordering::Relaxed);
+                                counters
+                                    .skipped
+                                    .fetch_add(total - promoted, Ordering::Relaxed);
+                                counters.completed.fetch_add(total, Ordering::Relaxed);
                             }
                             LookaheadDest::ApplicationCache => {
                                 // One batched storage read per request instead
@@ -132,19 +138,27 @@ impl Prefetcher {
     }
 
     /// Submit keys for asynchronous prefetching. Never blocks.
+    ///
+    /// Keys are deduplicated before queueing: trainers announce raw
+    /// per-sample key streams (Zipf-skewed batches repeat hot keys many
+    /// times), and a duplicate can never be separately useful — it would
+    /// both waste a probe and, counted as "skipped", poison the
+    /// [`PrefetchStats`] hit-rate that the trainers' `AdaptiveLookahead`
+    /// steers the look-ahead depth with. All counters are therefore per
+    /// *unique* key.
     pub fn lookahead(&self, keys: &[u64], dest: LookaheadDest) {
         if keys.is_empty() {
             return;
         }
+        let mut unique = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
         self.counters
             .submitted
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            .fetch_add(unique.len() as u64, Ordering::Relaxed);
         if let Some(sender) = &self.sender {
             // The channel is unbounded; send only fails after shutdown.
-            let _ = sender.send(Request {
-                keys: keys.to_vec(),
-                dest,
-            });
+            let _ = sender.send(Request { keys: unique, dest });
         }
     }
 
@@ -245,6 +259,21 @@ mod tests {
         let stats = prefetcher.stats();
         assert_eq!(stats.skipped, 3);
         assert_eq!(stats.cached, 0);
+    }
+
+    #[test]
+    fn duplicate_keys_are_announced_once() {
+        let store: Arc<dyn KvStore> = Arc::new(MemStore::new());
+        store.put(1, &[1u8; 8]).unwrap();
+        let cache = Arc::new(ShardedLruCache::new(1 << 20, 4));
+        let prefetcher = Prefetcher::new(store, Arc::clone(&cache), 1);
+        prefetcher.lookahead(&[1, 1, 1, 2, 2], LookaheadDest::ApplicationCache);
+        prefetcher.wait_idle();
+        let stats = prefetcher.stats();
+        assert_eq!(stats.submitted, 2, "duplicates must collapse");
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cached, 1);
+        assert_eq!(stats.skipped, 1);
     }
 
     #[test]

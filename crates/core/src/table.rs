@@ -9,15 +9,21 @@
 //! per-key locking and per-key cache probes.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use mlkv_storage::exec::BatchExecutor;
 use mlkv_storage::{KvStore, ShardedLruCache, StorageError, StorageResult, WriteBatch};
 
 use crate::codec::{decode_vector, encode_vector, init_vector};
 use crate::prefetch::{LookaheadDest, PrefetchStats, Prefetcher};
 use crate::staleness::{ConsistencyMode, StalenessController, StalenessStats};
 use crate::stats::{TableStats, TableStatsSnapshot};
+
+/// Minimum number of f32 elements (`batch keys × dim`) a gather must decode
+/// before the table fans the decode out over its executor; below this the
+/// spawn cost dominates the copy.
+const DECODE_PARALLEL_MIN_ELEMS: usize = 1 << 16;
 
 /// Options controlling an embedding table.
 #[derive(Debug, Clone)]
@@ -37,6 +43,12 @@ pub struct TableOptions {
     pub init_scale: f32,
     /// Seed of the deterministic initialiser.
     pub seed: u64,
+    /// Worker threads a single `gather` / `apply_gradients` may fan out over
+    /// at the table layer (vector decode of large batches). `0` = auto-size
+    /// from the host, `1` = serial. The storage engine has its own
+    /// `StoreConfig::parallelism`; `Mlkv::builder(..).parallelism(n)` sets
+    /// both at once.
+    pub parallelism: usize,
 }
 
 impl Default for TableOptions {
@@ -49,6 +61,7 @@ impl Default for TableOptions {
             app_cache_bytes: 8 << 20,
             init_scale: 0.05,
             seed: 42,
+            parallelism: 0,
         }
     }
 }
@@ -136,6 +149,16 @@ impl TableBuilder {
         self
     }
 
+    /// Table-layer batch parallelism (`0` = auto, `1` = serial). Note this
+    /// knob covers only the table's own work (bulk vector decode); pass the
+    /// same value to `StoreConfig::with_parallelism` — or use
+    /// `Mlkv::builder(..).parallelism(n)`, which sets both — to parallelise
+    /// the storage engine's batch execution too.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.options.parallelism = parallelism;
+        self
+    }
+
     /// Replace every option at once (used by the model-level builder).
     pub fn options(mut self, options: TableOptions) -> Self {
         self.options = options;
@@ -159,6 +182,7 @@ pub struct EmbeddingTable {
     cache: Arc<ShardedLruCache>,
     prefetcher: Prefetcher,
     stats: TableStats,
+    executor: BatchExecutor,
 }
 
 impl EmbeddingTable {
@@ -200,6 +224,7 @@ impl EmbeddingTable {
             options.lookahead_workers,
         );
         Ok(Self {
+            executor: BatchExecutor::new(options.parallelism),
             store,
             options,
             controller,
@@ -283,14 +308,60 @@ impl EmbeddingTable {
         }
         if !missing.is_empty() {
             let fetched = self.store.multi_get(&missing);
+            // Decoding the fetched rows is per-key-independent CPU work, so
+            // large batches fan it out over the table's executor (the storage
+            // engine has already parallelised the reads themselves).
+            let dim = self.options.dim;
+            let decode_chunk = |keys_chunk: &[u64], fetched_chunk: &[StorageResult<Vec<u8>>]| {
+                keys_chunk
+                    .iter()
+                    .zip(fetched_chunk)
+                    .map(|(key, result)| {
+                        let decoded = match result {
+                            Ok(bytes) => decode_vector(bytes, dim).map(Some),
+                            Err(e) if e.is_not_found() => Ok(None),
+                            Err(e) => Err(e.clone_shallow()),
+                        };
+                        (*key, decoded)
+                    })
+                    .collect::<Vec<_>>()
+            };
+            // Gate on decoded *work* (elements), not key count: at small dims
+            // the decode is a few hundred KB of copying at most and a second
+            // thread::scope round (the engine's multi_get already paid one)
+            // would cost more than it saves — while a few hundred keys of a
+            // large dimension are worth fanning out even below the executor's
+            // key-count cutoff (hence `execute_ungated`).
+            let workers = if missing.len() * dim >= DECODE_PARALLEL_MIN_ELEMS {
+                self.executor.parallelism().min(missing.len())
+            } else {
+                1
+            };
+            let decoded: Vec<(u64, StorageResult<Option<Vec<f32>>>)> = if workers <= 1 {
+                decode_chunk(&missing, &fetched)
+            } else {
+                let chunk = missing.len().div_ceil(workers);
+                let jobs: Vec<_> = missing
+                    .chunks(chunk)
+                    .zip(fetched.chunks(chunk))
+                    .map(|(keys_chunk, fetched_chunk)| {
+                        let decode_chunk = &decode_chunk;
+                        move || decode_chunk(keys_chunk, fetched_chunk)
+                    })
+                    .collect();
+                self.executor
+                    .execute_ungated(jobs)
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            };
             let mut init_keys: Vec<u64> = Vec::new();
-            for (key, result) in missing.into_iter().zip(fetched) {
-                match result {
-                    Ok(bytes) => {
-                        values.insert(key, decode_vector(&bytes, self.options.dim)?);
+            for (key, result) in decoded {
+                match result? {
+                    Some(vector) => {
+                        values.insert(key, vector);
                     }
-                    Err(e) if e.is_not_found() => init_keys.push(key),
-                    Err(e) => return Err(e),
+                    None => init_keys.push(key),
                 }
             }
             if !init_keys.is_empty() {
@@ -429,7 +500,9 @@ impl EmbeddingTable {
         let (scale, seed) = (self.options.init_scale, self.options.seed);
         // The rmw callback cannot return an error, so an undecodable stored row
         // is left byte-identical and the failure is surfaced after the batch.
-        let decode_failure = std::cell::Cell::new(None::<u64>);
+        // A mutex (not a Cell) because the engine may run the callback from
+        // several batch-executor workers.
+        let decode_failure = Mutex::new(None::<u64>);
         let mut result = self
             .store
             .multi_rmw(&keys, &|i, current| {
@@ -437,7 +510,10 @@ impl EmbeddingTable {
                     Some(bytes) => match decode_vector(bytes, dim) {
                         Ok(v) => v,
                         Err(_) => {
-                            decode_failure.set(Some(keys[i]));
+                            decode_failure
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get_or_insert(keys[i]);
                             return bytes.to_vec();
                         }
                     },
@@ -455,7 +531,7 @@ impl EmbeddingTable {
             })
             .map(|_| ());
         if result.is_ok() {
-            if let Some(key) = decode_failure.get() {
+            if let Some(key) = *decode_failure.lock().unwrap_or_else(|e| e.into_inner()) {
                 result = Err(StorageError::Corruption(format!(
                     "stored embedding for key {key} does not decode to dimension {dim}; \
                      row left unchanged"

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mlkv_storage::device::device_from_config;
+use mlkv_storage::exec::BatchExecutor;
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
 use mlkv_storage::{StorageError, StorageMetrics, StorageResult, StoreConfig};
 
@@ -24,6 +25,7 @@ pub struct FasterKv {
     metrics: Arc<StorageMetrics>,
     live_records: AtomicU64,
     config: StoreConfig,
+    executor: BatchExecutor,
 }
 
 impl FasterKv {
@@ -45,6 +47,7 @@ impl FasterKv {
             epoch: Arc::new(EpochManager::new()),
             metrics,
             live_records: AtomicU64::new(0),
+            executor: BatchExecutor::new(config.parallelism),
             config,
         };
         if let Some(dir) = store.config.dir.clone() {
@@ -83,7 +86,17 @@ impl FasterKv {
     /// Walk the hash chain for `key`, returning the first matching record along
     /// with its address and region.
     fn find(&self, key: Key) -> StorageResult<Option<(Address, Record, ReadSource)>> {
-        let mut addr = self.index.head(key);
+        self.find_from(self.index.head(key), key)
+    }
+
+    /// [`FasterKv::find`] starting from an already-read chain `head` (callers
+    /// that need the head for a later CAS read it once and walk from it).
+    fn find_from(
+        &self,
+        head: Address,
+        key: Key,
+    ) -> StorageResult<Option<(Address, Record, ReadSource)>> {
+        let mut addr = head;
         while !addr.is_invalid() {
             let (record, source) = self.log.read_record(addr)?;
             if record.flags.is_valid() && record.key == key {
@@ -92,6 +105,30 @@ impl FasterKv {
             addr = record.prev;
         }
         Ok(None)
+    }
+
+    /// Append a *promotion copy* of `key` (value read from the cold region)
+    /// and install it only if the chain head is still `expected_head` — i.e.
+    /// nothing was written to this hash chain since the value was read. On a
+    /// lost CAS the appended record is invalidated and the promotion is
+    /// dropped: unlike `append_and_install`, promotion must never retry with
+    /// its (now possibly stale) value over a concurrent writer's update;
+    /// it is only a placement hint.
+    fn try_install_promotion(
+        &self,
+        key: Key,
+        value: Vec<u8>,
+        expected_head: Address,
+    ) -> StorageResult<bool> {
+        let record = Record::new(key, value, expected_head);
+        let addr = self.log.append(&record.encode())?;
+        match self.index.compare_exchange(key, expected_head, addr) {
+            Ok(()) => Ok(true),
+            Err(_) => {
+                let _ = self.log.invalidate_record(addr);
+                Ok(false)
+            }
+        }
     }
 
     /// Append a record for `key` and install it as the new chain head, retrying
@@ -180,6 +217,54 @@ impl FasterKv {
         Ok(new_value)
     }
 
+    /// Read a contiguous range of the key-sorted batch order, walking each
+    /// distinct key's hash chain once and fanning the value out to duplicate
+    /// occurrences. The caller must hold epoch protection. Returns
+    /// `(original position, result)` pairs.
+    fn read_sorted_range(
+        &self,
+        keys: &[Key],
+        order: &[usize],
+    ) -> Vec<(usize, StorageResult<Vec<u8>>)> {
+        let mut out = Vec::with_capacity(order.len());
+        let mut pos = 0;
+        while pos < order.len() {
+            let key = keys[order[pos]];
+            let first = self.read_value(key);
+            let mut dup = pos + 1;
+            while dup < order.len() && keys[order[dup]] == key {
+                out.push((
+                    order[dup],
+                    match &first {
+                        Ok(v) => Ok(v.clone()),
+                        Err(e) if e.is_not_found() => Err(StorageError::KeyNotFound),
+                        // Non-clonable error (I/O): re-run the lookup for this slot.
+                        Err(_) => self.read_value(key),
+                    },
+                ));
+                dup += 1;
+            }
+            out.push((order[pos], first));
+            pos = dup;
+        }
+        out
+    }
+
+    /// Apply a contiguous range of a key-sorted `multi_rmw` order in
+    /// occurrence order. The caller must hold epoch protection.
+    fn rmw_sorted_range(
+        &self,
+        keys: &[Key],
+        order: &[usize],
+        f: &BatchRmwFn,
+    ) -> StorageResult<Vec<(usize, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(order.len());
+        for &i in order {
+            out.push((i, self.rmw_value(keys[i], &|cur| f(i, cur))?));
+        }
+        Ok(out)
+    }
+
     /// Checkpoint the store into its configured directory.
     pub fn checkpoint(&self) -> StorageResult<()> {
         let dir =
@@ -237,29 +322,35 @@ impl KvStore for FasterKv {
     }
 
     fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
-        // One epoch enter/exit for the whole batch (the dominant fixed cost of
-        // a point read), with keys visited in sorted order so duplicate keys
-        // walk their hash chain only once.
-        let _guard = self.epoch.acquire();
+        // Keys are visited in sorted order so duplicate keys walk their hash
+        // chain only once. Small batches pay one epoch enter/exit (the
+        // dominant fixed cost of a point read) on the calling thread; large
+        // batches split the sorted order into contiguous key ranges, one epoch
+        // enter/exit *per worker*.
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_unstable_by_key(|&i| keys[i]);
+        let workers = self.executor.planned_workers(keys.len());
         let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
-        let mut pos = 0;
-        while pos < order.len() {
-            let key = keys[order[pos]];
-            let first = self.read_value(key);
-            let mut dup = pos + 1;
-            while dup < order.len() && keys[order[dup]] == key {
-                out[order[dup]] = Some(match &first {
-                    Ok(v) => Ok(v.clone()),
-                    Err(e) if e.is_not_found() => Err(StorageError::KeyNotFound),
-                    // Non-clonable error (I/O): re-run the lookup for this slot.
-                    Err(_) => self.read_value(key),
-                });
-                dup += 1;
+        if workers <= 1 {
+            let _guard = self.epoch.acquire();
+            for (i, result) in self.read_sorted_range(keys, &order) {
+                out[i] = Some(result);
             }
-            out[order[pos]] = Some(first);
-            pos = dup;
+        } else {
+            let jobs: Vec<_> = mlkv_storage::exec::split_sorted(&order, keys, workers)
+                .into_iter()
+                .map(|range| {
+                    move || {
+                        let _guard = self.epoch.acquire();
+                        self.read_sorted_range(keys, range)
+                    }
+                })
+                .collect();
+            for pairs in self.executor.execute(jobs, keys.len()) {
+                for (i, result) in pairs {
+                    out[i] = Some(result);
+                }
+            }
         }
         out.into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -277,15 +368,43 @@ impl KvStore for FasterKv {
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
-        // One epoch enter/exit per batch; a stable sort groups duplicate keys
-        // while keeping their occurrence order, so each occurrence observes the
-        // previous one's write.
-        let _guard = self.epoch.acquire();
+        // A stable sort groups duplicate keys while keeping their occurrence
+        // order, so each occurrence observes the previous one's write. Small
+        // batches run under one epoch enter/exit on the calling thread; large
+        // batches split the sorted order into contiguous key ranges (whole
+        // keys per worker, so per-key write ordering is untouched), one epoch
+        // enter/exit per worker. Cross-key hash-chain collisions are resolved
+        // by the index CAS exactly as for concurrent callers.
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_by_key(|&i| keys[i]);
+        let workers = self.executor.planned_workers(keys.len());
         let mut out = vec![Vec::new(); keys.len()];
-        for i in order {
-            out[i] = self.rmw_value(keys[i], &|cur| f(i, cur))?;
+        if workers <= 1 {
+            let _guard = self.epoch.acquire();
+            for (i, value) in self.rmw_sorted_range(keys, &order, f)? {
+                out[i] = value;
+            }
+            return Ok(out);
+        }
+        let jobs: Vec<_> = mlkv_storage::exec::split_sorted(&order, keys, workers)
+            .into_iter()
+            .map(|range| {
+                move || {
+                    let _guard = self.epoch.acquire();
+                    self.rmw_sorted_range(keys, range, f)
+                }
+            })
+            .collect();
+        // Every range runs to completion before the first error (in range
+        // order) is surfaced. Note this differs from the serial path on
+        // *failed* batches: serially no key after the failing one is written,
+        // in parallel the other ranges' writes still land. Both leave partial
+        // state (rmw failures here are I/O-level); only successful batches
+        // carry the byte-identical-across-parallelism guarantee.
+        for pairs in self.executor.execute(jobs, keys.len()) {
+            for (i, value) in pairs? {
+                out[i] = value;
+            }
         }
         Ok(out)
     }
@@ -319,14 +438,21 @@ impl KvStore for FasterKv {
 
     fn promote_to_memory(&self, key: Key) -> StorageResult<bool> {
         let _guard = self.epoch.acquire();
-        match self.find(key)? {
+        let head = self.index.head(key);
+        match self.find_from(head, key)? {
             Some((_, record, ReadSource::Disk)) if !record.is_tombstone() => {
                 // Copy the cold record to the tail (mutable region), preserving
                 // its value. This is the storage-buffer destination of MLKV's
-                // look-ahead prefetching.
-                self.append_and_install(key, record.value, false)?;
-                self.metrics.record_prefetch_copy();
-                Ok(true)
+                // look-ahead prefetching. Installation is conditional on the
+                // chain head being unmoved, so a concurrent update between the
+                // cold read and here can never be clobbered by the stale copy.
+                let installed = self.try_install_promotion(key, record.value, head)?;
+                if installed {
+                    self.metrics.record_prefetch_copy();
+                } else {
+                    self.metrics.record_prefetch_skip();
+                }
+                Ok(installed)
             }
             Some((_, record, _)) if !record.is_tombstone() => {
                 // Already in memory (mutable or immutable region): the paper
@@ -340,6 +466,66 @@ impl KvStore for FasterKv {
                 Ok(false)
             }
         }
+    }
+
+    fn multi_promote(&self, keys: &[Key]) -> StorageResult<usize> {
+        // One epoch enter/exit covers the whole look-ahead batch (the per-key
+        // path paid it per call). Phase 1 walks each distinct key's chain once
+        // and keeps only live disk-resident records; phase 2 copies them to
+        // the tail in log-address order, so the appends (and the flushes they
+        // trigger) follow the on-device layout instead of request order. Each
+        // copy installs only if its chain head is still the one observed in
+        // phase 1: a key written concurrently (the batch holds values across
+        // its whole run) keeps the writer's value and the promotion is
+        // dropped — it was only a hint.
+        let _guard = self.epoch.acquire();
+        let mut unique: Vec<Key> = keys.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut candidates: Vec<(Address, Key, Vec<u8>, Address)> = Vec::new();
+        for key in unique {
+            let head = self.index.head(key);
+            match self.find_from(head, key)? {
+                Some((addr, record, ReadSource::Disk)) if !record.is_tombstone() => {
+                    candidates.push((addr, key, record.value, head));
+                }
+                _ => {
+                    // Already memory-resident, tombstoned, or absent: the paper
+                    // explicitly skips these to avoid extra flushed pages.
+                    self.metrics.record_prefetch_skip();
+                }
+            }
+        }
+        candidates.sort_unstable_by_key(|(addr, _, _, _)| *addr);
+        let mut promoted = 0;
+        for (addr, key, value, mut head) in candidates {
+            // The bucket head may have moved since phase 1 — most commonly
+            // because an earlier promotion in *this very batch* shares the
+            // hash bucket. That is not a conflict on this key: re-walk from
+            // the current head, and as long as `addr` is still the key's
+            // newest record (no writer replaced it), retry the install
+            // against the fresh head. Only a genuine write to the key drops
+            // its promotion.
+            loop {
+                let current = self.index.head(key);
+                if current != head {
+                    match self.find_from(current, key)? {
+                        Some((newest, _, _)) if newest == addr => head = current,
+                        _ => {
+                            self.metrics.record_prefetch_skip();
+                            break;
+                        }
+                    }
+                }
+                if self.try_install_promotion(key, value.clone(), head)? {
+                    self.metrics.record_prefetch_copy();
+                    promoted += 1;
+                    break;
+                }
+                // CAS lost to a concurrent chain append; re-examine.
+            }
+        }
+        Ok(promoted)
     }
 
     fn approximate_len(&self) -> usize {
@@ -546,6 +732,148 @@ mod tests {
         assert!(!store.promote_to_memory(0).unwrap());
         // Promoting a missing key is a no-op.
         assert!(!store.promote_to_memory(1 << 40).unwrap());
+    }
+
+    #[test]
+    fn multi_promote_copies_cold_records_in_one_epoch() {
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(1 << 10),
+        )
+        .unwrap();
+        for k in 0..2000u64 {
+            store.put(k, &[1u8; 64]).unwrap();
+        }
+        // Early keys are cold; duplicates and missing keys ride along.
+        let keys: Vec<u64> = (0..32u64).chain([0, 5, 1 << 40]).collect();
+        let promoted = store.multi_promote(&keys).unwrap();
+        assert!(promoted > 0, "cold keys must be promoted");
+        assert!(promoted <= 32, "dups/missing keys must not double-count");
+        for k in 0..32u64 {
+            let r = store.get_traced(k).unwrap();
+            assert_ne!(r.source, ReadSource::Disk, "key {k} still cold");
+            assert_eq!(r.value, vec![1u8; 64]);
+        }
+        // A second pass finds everything hot already.
+        assert_eq!(
+            store
+                .multi_promote(&(0..32u64).collect::<Vec<_>>())
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn multi_promote_handles_same_batch_bucket_collisions() {
+        // 2 buckets: every promotion in the batch moves a head that the other
+        // candidates captured in phase 1. All of them must still install —
+        // only a genuine write to the same key may drop a promotion.
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(2),
+        )
+        .unwrap();
+        for k in 0..2000u64 {
+            store.put(k, &[1u8; 64]).unwrap();
+        }
+        let cold: Vec<u64> = (0..24u64)
+            .filter(|&k| store.get_traced(k).unwrap().source == ReadSource::Disk)
+            .collect();
+        assert!(cold.len() > 2, "need several cold keys sharing buckets");
+        let promoted = store.multi_promote(&cold).unwrap();
+        assert_eq!(promoted, cold.len(), "bucket collisions dropped promotions");
+        for &k in &cold {
+            assert_ne!(store.get_traced(k).unwrap().source, ReadSource::Disk);
+        }
+    }
+
+    #[test]
+    fn promotion_never_clobbers_a_concurrent_update() {
+        let store = FasterKv::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(8 << 10)
+                .with_page_size(1 << 10)
+                .with_index_buckets(1 << 10),
+        )
+        .unwrap();
+        for k in 0..2000u64 {
+            store.put(k, &[1u8; 64]).unwrap();
+        }
+        // Replay the race deterministically: a promoter reads key 0's cold
+        // value and chain head, then a writer lands before the install.
+        let head = store.index.head(0);
+        let (_, record, source) = store.find(0).unwrap().unwrap();
+        assert_eq!(source, ReadSource::Disk);
+        store.put(0, &[9u8; 64]).unwrap();
+        assert!(
+            !store.try_install_promotion(0, record.value, head).unwrap(),
+            "stale promotion must lose the head CAS"
+        );
+        assert_eq!(store.get(0).unwrap(), vec![9u8; 64], "update survived");
+
+        // And under real concurrency: a promoter hammering multi_promote must
+        // never make a key travel back to a value the writer already replaced.
+        let store = Arc::new(store);
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for round in 2..50u8 {
+                    for k in 0..64u64 {
+                        store.put(k, &[round; 64]).unwrap();
+                    }
+                }
+            })
+        };
+        let promoter = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let keys: Vec<u64> = (0..64).collect();
+                for _ in 0..50 {
+                    store.multi_promote(&keys).unwrap();
+                }
+            })
+        };
+        writer.join().unwrap();
+        promoter.join().unwrap();
+        for k in 0..64u64 {
+            assert_eq!(store.get(k).unwrap(), vec![49u8; 64], "key {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_batches_match_serial_results_exactly() {
+        let open = |parallelism| {
+            FasterKv::open(
+                StoreConfig::in_memory()
+                    .with_memory_budget(1 << 20)
+                    .with_page_size(4 << 10)
+                    .with_index_buckets(1 << 10)
+                    .with_parallelism(parallelism),
+            )
+            .unwrap()
+        };
+        let serial = open(1);
+        let parallel = open(8);
+        let keys: Vec<u64> = (0..4096u64).map(|i| (i * 7) % 900).collect();
+        let bump = |i: usize, cur: Option<&[u8]>| -> Vec<u8> {
+            let n = cur
+                .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                .unwrap_or(0);
+            (n + i as u64 + 1).to_le_bytes().to_vec()
+        };
+        let serial_rmw = serial.multi_rmw(&keys, &bump).unwrap();
+        let parallel_rmw = parallel.multi_rmw(&keys, &bump).unwrap();
+        assert_eq!(serial_rmw, parallel_rmw);
+        let serial_get = serial.multi_get(&keys);
+        let parallel_get = parallel.multi_get(&keys);
+        for (a, b) in serial_get.iter().zip(&parallel_get) {
+            assert_eq!(a.as_ref().ok(), b.as_ref().ok());
+        }
+        assert_eq!(serial.approximate_len(), parallel.approximate_len());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
+use mlkv_storage::exec::{split_sorted, BatchExecutor};
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, WriteBatch};
 use mlkv_storage::{ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
@@ -33,6 +34,7 @@ pub struct LsmStore {
     block_cache: ShardedLruCache,
     memtable_budget: usize,
     next_seq: AtomicU64,
+    executor: BatchExecutor,
 }
 
 impl LsmStore {
@@ -83,6 +85,7 @@ impl LsmStore {
         }
 
         Ok(Self {
+            executor: BatchExecutor::new(config.parallelism),
             config,
             metrics,
             inner: RwLock::new(Inner {
@@ -175,6 +178,48 @@ impl LsmStore {
         }
         Ok(None)
     }
+
+    /// Resolve a set of batch positions against the SSTables: one pass per
+    /// table (newest first), each table's bloom filter rejecting absent keys
+    /// before any device read. Resolved values are copied into the block
+    /// cache, exactly like the point-read path. Returns
+    /// `(original position, result)` pairs; positions that no table holds come
+    /// back as misses.
+    fn probe_tables(
+        &self,
+        tables: &[SsTable],
+        keys: &[Key],
+        mut unresolved: Vec<usize>,
+    ) -> Vec<(usize, StorageResult<Vec<u8>>)> {
+        let mut out = Vec::with_capacity(unresolved.len());
+        for table in tables.iter().rev() {
+            if unresolved.is_empty() {
+                break;
+            }
+            let mut still = Vec::with_capacity(unresolved.len());
+            for i in unresolved {
+                match table.get(keys[i], &self.metrics) {
+                    Ok(Some(Some(v))) => {
+                        self.metrics.record_disk_read(v.len() as u64);
+                        self.block_cache.insert(keys[i], v.clone());
+                        out.push((i, Ok(v)));
+                    }
+                    Ok(Some(None)) => {
+                        self.metrics.record_miss();
+                        out.push((i, Err(StorageError::KeyNotFound)));
+                    }
+                    Ok(None) => still.push(i),
+                    Err(e) => out.push((i, Err(e))),
+                }
+            }
+            unresolved = still;
+        }
+        for i in unresolved {
+            self.metrics.record_miss();
+            out.push((i, Err(StorageError::KeyNotFound)));
+        }
+        out
+    }
 }
 
 impl KvStore for LsmStore {
@@ -252,33 +297,27 @@ impl KvStore for LsmStore {
         }
         // Grouped SSTable probes: one pass per table (newest first) over the
         // remaining keys in sorted order, with each table's bloom filter
-        // rejecting absent keys before any device read.
+        // rejecting absent keys before any device read. The memtable/cache
+        // pass above stays a single serial sweep under the read lock; only
+        // this probe phase — where the device reads happen — fans out, each
+        // worker sweeping its own contiguous key range through the tables.
         unresolved.sort_unstable_by_key(|&i| keys[i]);
-        for table in inner.tables.iter().rev() {
-            if unresolved.is_empty() {
-                break;
+        let workers = self.executor.planned_workers(unresolved.len());
+        if workers <= 1 {
+            for (i, result) in self.probe_tables(&inner.tables, keys, unresolved) {
+                out[i] = Some(result);
             }
-            let mut still = Vec::with_capacity(unresolved.len());
-            for i in unresolved {
-                match table.get(keys[i], &self.metrics) {
-                    Ok(Some(Some(v))) => {
-                        self.metrics.record_disk_read(v.len() as u64);
-                        self.block_cache.insert(keys[i], v.clone());
-                        out[i] = Some(Ok(v));
-                    }
-                    Ok(Some(None)) => {
-                        self.metrics.record_miss();
-                        out[i] = Some(Err(StorageError::KeyNotFound));
-                    }
-                    Ok(None) => still.push(i),
-                    Err(e) => out[i] = Some(Err(e)),
+        } else {
+            let tables = &inner.tables;
+            let jobs: Vec<_> = split_sorted(&unresolved, keys, workers)
+                .into_iter()
+                .map(|range| move || self.probe_tables(tables, keys, range.to_vec()))
+                .collect();
+            for pairs in self.executor.execute(jobs, unresolved.len()) {
+                for (i, result) in pairs {
+                    out[i] = Some(result);
                 }
             }
-            unresolved = still;
-        }
-        for i in unresolved {
-            self.metrics.record_miss();
-            out[i] = Some(Err(StorageError::KeyNotFound));
         }
         out.into_iter()
             .map(|r| r.expect("every slot filled"))
@@ -463,6 +502,38 @@ mod tests {
         for k in 0..1000u64 {
             let v = store.get(k).unwrap();
             assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 3, "key {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_sstable_probes_match_serial_results() {
+        let open = |parallelism| {
+            LsmStore::open(
+                StoreConfig::in_memory()
+                    .with_memory_budget(32 << 10)
+                    .with_parallelism(parallelism),
+            )
+            .unwrap()
+        };
+        let serial = open(1);
+        let parallel = open(8);
+        for store in [&serial, &parallel] {
+            for k in 0..2000u64 {
+                store.put(k, &[(k % 251) as u8; 32]).unwrap();
+            }
+            store.flush().unwrap(); // everything lives in SSTables
+        }
+        // Above the executor cutoff, with duplicates and misses mixed in.
+        let keys: Vec<u64> = (0..4096u64).map(|i| (i * 3) % 2100).collect();
+        let a = serial.multi_get(&keys);
+        let b = parallel.multi_get(&keys);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.as_ref().ok(),
+                y.as_ref().ok(),
+                "key {} (pos {i})",
+                keys[i]
+            );
         }
     }
 

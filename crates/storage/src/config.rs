@@ -5,6 +5,7 @@
 //! the handful of structural parameters the engines need.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Configuration shared by every engine in the workspace.
 #[derive(Debug, Clone)]
@@ -23,6 +24,18 @@ pub struct StoreConfig {
     /// Whether writes should be flushed to the device eagerly (fsync-like). The
     /// benchmarks keep this off, mirroring the paper's non-durable training runs.
     pub sync_writes: bool,
+    /// Worker threads a single batched operation (`multi_get` / `multi_rmw` /
+    /// `write_batch`) may fan out over. `0` means "auto" (size from
+    /// [`crate::exec::available_parallelism`]); `1` forces the serial,
+    /// deterministic execution the engines used before the batch executor
+    /// existed. See [`crate::exec::BatchExecutor`].
+    pub parallelism: usize,
+    /// Extra latency injected into every device read. `Duration::ZERO` (the
+    /// default) disables injection. Used by benchmarks to model SSD/NVMe read
+    /// latency when the "device" is RAM-backed (CI containers), so that
+    /// I/O-overlap effects — parallel batch reads, look-ahead prefetching —
+    /// are measurable without real disks.
+    pub simulated_read_latency: Duration,
 }
 
 impl Default for StoreConfig {
@@ -33,6 +46,8 @@ impl Default for StoreConfig {
             page_size: crate::page::PAGE_SIZE,
             index_buckets: 1 << 16,
             sync_writes: false,
+            parallelism: 0,
+            simulated_read_latency: Duration::ZERO,
         }
     }
 }
@@ -78,6 +93,19 @@ impl StoreConfig {
         self
     }
 
+    /// Set the batch-execution parallelism (`0` = auto, `1` = serial).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Inject `latency` into every device read (benchmarking aid; see the
+    /// field docs on [`StoreConfig::simulated_read_latency`]).
+    pub fn with_simulated_read_latency(mut self, latency: Duration) -> Self {
+        self.simulated_read_latency = latency;
+        self
+    }
+
     /// Number of whole pages that fit in the memory budget (at least one).
     pub fn pages_in_budget(&self) -> usize {
         (self.memory_budget / self.page_size).max(1)
@@ -102,13 +130,24 @@ mod tests {
             .with_memory_budget(1 << 20)
             .with_index_buckets(128)
             .with_page_size(4096)
-            .with_sync_writes(true);
+            .with_sync_writes(true)
+            .with_parallelism(4)
+            .with_simulated_read_latency(Duration::from_micros(50));
         assert_eq!(cfg.dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(cfg.memory_budget, 1 << 20);
         assert_eq!(cfg.index_buckets, 128);
         assert_eq!(cfg.page_size, 4096);
         assert!(cfg.sync_writes);
+        assert_eq!(cfg.parallelism, 4);
+        assert_eq!(cfg.simulated_read_latency, Duration::from_micros(50));
         assert_eq!(cfg.pages_in_budget(), (1 << 20) / 4096);
+    }
+
+    #[test]
+    fn default_runs_serial_equivalent_auto_parallelism_without_latency() {
+        let cfg = StoreConfig::default();
+        assert_eq!(cfg.parallelism, 0, "auto-sized by the batch executor");
+        assert_eq!(cfg.simulated_read_latency, Duration::ZERO);
     }
 
     #[test]

@@ -67,6 +67,26 @@ impl StorageError {
     pub fn is_not_found(&self) -> bool {
         matches!(self, StorageError::KeyNotFound)
     }
+
+    /// Produce an owned copy of this error. `io::Error` is not `Clone`, so the
+    /// `Io` variant is rebuilt from its kind and message (the source chain is
+    /// flattened into the message); every other variant clones losslessly.
+    /// Used by batch paths that fan one underlying failure out to several
+    /// result slots.
+    pub fn clone_shallow(&self) -> Self {
+        match self {
+            StorageError::Io(e) => StorageError::Io(io::Error::new(e.kind(), e.to_string())),
+            StorageError::KeyNotFound => StorageError::KeyNotFound,
+            StorageError::Corruption(msg) => StorageError::Corruption(msg.clone()),
+            StorageError::InvalidArgument(msg) => StorageError::InvalidArgument(msg.clone()),
+            StorageError::Closed => StorageError::Closed,
+            StorageError::StalenessTimeout { key, bound } => StorageError::StalenessTimeout {
+                key: *key,
+                bound: *bound,
+            },
+            StorageError::Checkpoint(msg) => StorageError::Checkpoint(msg.clone()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +116,27 @@ mod tests {
     fn is_not_found_only_for_key_not_found() {
         assert!(StorageError::KeyNotFound.is_not_found());
         assert!(!StorageError::Closed.is_not_found());
+    }
+
+    #[test]
+    fn clone_shallow_preserves_kind_and_payload() {
+        let io_err = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        match io_err.clone_shallow() {
+            StorageError::Io(e) => {
+                assert_eq!(e.kind(), io::ErrorKind::NotFound);
+                assert!(e.to_string().contains("gone"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(StorageError::KeyNotFound.clone_shallow().is_not_found());
+        match (StorageError::StalenessTimeout { key: 3, bound: 1 }).clone_shallow() {
+            StorageError::StalenessTimeout { key: 3, bound: 1 } => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match StorageError::Corruption("page".into()).clone_shallow() {
+            StorageError::Corruption(msg) => assert_eq!(msg, "page"),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

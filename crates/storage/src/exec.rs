@@ -1,0 +1,307 @@
+//! Shard-parallel batch execution.
+//!
+//! Every engine's batched operation (`multi_get` / `multi_rmw` /
+//! `write_batch`) decomposes into jobs that touch *disjoint* slices of the
+//! store — hash-map shards in `MemStore`, contiguous sorted-key ranges in the
+//! FASTER hybrid log, SSTable probe partitions in the LSM tree, leaf-disjoint
+//! page groups in the B+tree. [`BatchExecutor`] runs those jobs on a pool of
+//! scoped worker threads so a single large `gather` saturates every core
+//! instead of 1/Nth of the machine.
+//!
+//! Design points:
+//!
+//! * **`std::thread::scope` based** — jobs may borrow the caller's stack
+//!   (keys, output buffers, the engine itself), so no `'static` bound and no
+//!   `unsafe` is needed. Workers are spawned per batch; for the batch sizes
+//!   this matters for (≥ [`PARALLEL_CUTOFF`] keys) the spawn cost is noise
+//!   compared to the work.
+//! * **Work-stealing cursor** — jobs are claimed from a shared atomic cursor,
+//!   so skewed job sizes (one hot shard, one huge leaf group) do not idle the
+//!   other workers.
+//! * **Caller participates** — the calling thread runs jobs too; `parallelism`
+//!   worker threads means `parallelism - 1` spawns.
+//! * **Inline fallback** — with `parallelism <= 1`, fewer than two jobs, or a
+//!   batch below [`PARALLEL_CUTOFF`] keys, jobs run inline on the caller in
+//!   order, byte-for-byte identical to the pre-executor serial path (this is
+//!   the deterministic single-thread mode documented in the README).
+//!
+//! Correctness contract for engines: jobs must own disjoint key sets (all
+//! occurrences of one key go to exactly one job, in batch-occurrence order),
+//! so for every batch that completes successfully the per-key observable
+//! state is identical for every parallelism level. A batch that *fails*
+//! mid-way leaves partial state in both modes, but not the same partial
+//! state: the serial path stops at the first error while parallel ranges run
+//! to completion before the error surfaces, so a failed mutating batch may
+//! have applied more of its writes at higher parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Minimum number of keys in a batch before spawning workers pays for itself.
+/// Below this, the executor always runs inline.
+pub const PARALLEL_CUTOFF: usize = 256;
+
+/// Number of worker threads the host can usefully run
+/// ([`std::thread::available_parallelism`], 1 when unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A worker pool executing disjoint batch jobs across cores.
+///
+/// The executor itself is tiny (just the resolved parallelism); engines embed
+/// one and route their batched operations through [`BatchExecutor::execute`].
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    parallelism: usize,
+}
+
+impl Default for BatchExecutor {
+    /// An executor sized from [`available_parallelism`].
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl BatchExecutor {
+    /// Create an executor with `parallelism` workers. `0` means "auto": size
+    /// from [`available_parallelism`]. `1` disables parallel execution
+    /// entirely (all jobs run inline on the caller, in order).
+    ///
+    /// An explicit `parallelism` above the host's core count is honoured, not
+    /// capped: for device-bound batches the workers overlap I/O waits, so
+    /// more workers than cores still pays (CPU-bound batches, by contrast,
+    /// need real cores — pinning a high level on a small host only adds
+    /// overhead; leave the knob at `0` to track the host).
+    pub fn new(parallelism: usize) -> Self {
+        let parallelism = if parallelism == 0 {
+            available_parallelism()
+        } else {
+            parallelism
+        };
+        Self { parallelism }
+    }
+
+    /// The configured worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Number of workers that will actually run a batch of `jobs` jobs
+    /// covering `total_keys` keys: 1 when the batch is too small to benefit,
+    /// otherwise `min(parallelism, jobs)`.
+    pub fn workers_for(&self, jobs: usize, total_keys: usize) -> usize {
+        if self.parallelism <= 1 || jobs <= 1 || total_keys < PARALLEL_CUTOFF {
+            1
+        } else {
+            self.parallelism.min(jobs)
+        }
+    }
+
+    /// Number of workers a batch of `total_keys` keys will get *before* its
+    /// job decomposition is known (engines use this to decide whether to take
+    /// the serial path or to build range/group jobs at all): 1 below the
+    /// cutoff, the configured parallelism otherwise. [`BatchExecutor::execute`]
+    /// re-clamps to the actual job count.
+    pub fn planned_workers(&self, total_keys: usize) -> usize {
+        self.workers_for(self.parallelism, total_keys)
+    }
+
+    /// Run `jobs` (each owning a disjoint slice of the batch) and return their
+    /// results in job order. `total_keys` is the number of keys the whole
+    /// batch covers; small batches run inline (see [`PARALLEL_CUTOFF`]).
+    ///
+    /// Jobs may borrow from the caller's stack. A panicking job propagates to
+    /// the caller once all workers have finished.
+    pub fn execute<F, T>(&self, jobs: Vec<F>, total_keys: usize) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let workers = self.workers_for(jobs.len(), total_keys);
+        self.run(jobs, workers)
+    }
+
+    /// Like [`BatchExecutor::execute`] but without the key-count cutoff: for
+    /// callers that have already gated on a better measure of work (e.g. the
+    /// table layer's decoded-element count, where few keys of a large
+    /// dimension are still a lot of copying). Parallelises whenever
+    /// `parallelism >= 2` and there are at least two jobs.
+    pub fn execute_ungated<F, T>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let workers = if self.parallelism <= 1 || jobs.len() <= 1 {
+            1
+        } else {
+            self.parallelism.min(jobs.len())
+        };
+        self.run(jobs, workers)
+    }
+
+    /// Shared body of the `execute*` entry points.
+    fn run<F, T>(&self, jobs: Vec<F>, workers: usize) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let n = jobs.len();
+        if workers <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let work = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let job = lock_clean(&slots[i]).take().expect("each job claimed once");
+            let out = job();
+            *lock_clean(&results[i]) = Some(out);
+        };
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                lock_clean(&slot)
+                    .take()
+                    .expect("every job ran to completion")
+            })
+            .collect()
+    }
+}
+
+/// Split a key-sorted position order into at most `parts` contiguous ranges,
+/// never separating a run of equal keys: every occurrence of a key lands in
+/// exactly one range, so range-parallel execution preserves per-key ordering.
+///
+/// `order` holds positions into `keys`, pre-sorted by `keys[position]`; this
+/// is the partitioning primitive behind the FASTER and LSM range-parallel
+/// batch paths.
+pub fn split_sorted<'a>(order: &'a [usize], keys: &[u64], parts: usize) -> Vec<&'a [usize]> {
+    let chunk = order.len().div_ceil(parts.max(1));
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < order.len() {
+        let mut end = (start + chunk).min(order.len());
+        while end < order.len() && keys[order[end]] == keys[order[end - 1]] {
+            end += 1;
+        }
+        ranges.push(&order[start..end]);
+        start = end;
+    }
+    ranges
+}
+
+/// Lock a mutex, shrugging off poison (a poisoned job slot only arises after a
+/// job panic, which `thread::scope` re-raises on the caller anyway).
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_when_parallelism_is_one() {
+        let exec = BatchExecutor::new(1);
+        assert_eq!(exec.workers_for(8, 1 << 20), 1);
+        // Inline execution preserves job order side effects.
+        let log = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..4)
+            .map(|i| {
+                let log = &log;
+                move || {
+                    lock_clean(log).push(i);
+                    i * 10
+                }
+            })
+            .collect();
+        let out = exec.execute(jobs, 1 << 20);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        assert_eq!(*lock_clean(&log), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn small_batches_run_inline_even_with_workers() {
+        let exec = BatchExecutor::new(8);
+        assert_eq!(exec.workers_for(8, PARALLEL_CUTOFF - 1), 1);
+        assert_eq!(exec.workers_for(1, 1 << 20), 1);
+    }
+
+    #[test]
+    fn auto_sizing_uses_available_parallelism() {
+        let exec = BatchExecutor::new(0);
+        assert_eq!(exec.parallelism(), available_parallelism());
+        assert!(BatchExecutor::default().parallelism() >= 1);
+    }
+
+    #[test]
+    fn parallel_execution_returns_results_in_job_order() {
+        let exec = BatchExecutor::new(4);
+        let jobs: Vec<_> = (0..32usize).map(|i| move || i * i).collect();
+        let out = exec.execute(jobs, 1 << 20);
+        assert_eq!(out, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let exec = BatchExecutor::new(4);
+        let input: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = input.chunks(100).collect();
+        let jobs: Vec<_> = chunks
+            .iter()
+            .map(|chunk| move || chunk.iter().sum::<u64>())
+            .collect();
+        let sums = exec.execute(jobs, input.len());
+        assert_eq!(sums.iter().sum::<u64>(), input.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn split_sorted_keeps_duplicate_runs_together() {
+        let keys = vec![5u64, 1, 1, 1, 9, 9, 2, 7];
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        for parts in 1..=8 {
+            let ranges = split_sorted(&order, &keys, parts);
+            assert!(ranges.len() <= parts);
+            // Every position appears exactly once, in sorted-order sequence.
+            let flat: Vec<usize> = ranges.iter().flat_map(|r| r.iter().copied()).collect();
+            assert_eq!(flat, order, "parts={parts}");
+            // No key spans two ranges.
+            for pair in ranges.windows(2) {
+                let last = keys[*pair[0].last().unwrap()];
+                let first = keys[*pair[1].first().unwrap()];
+                assert_ne!(last, first, "parts={parts}");
+            }
+        }
+        assert!(split_sorted(&[], &keys, 4).is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let exec = BatchExecutor::new(8);
+        let counter = AtomicU64::new(0);
+        let jobs: Vec<_> = (0..257)
+            .map(|_| {
+                let counter = &counter;
+                move || counter.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let out = exec.execute(jobs, 1 << 20);
+        assert_eq!(out.len(), 257);
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+}

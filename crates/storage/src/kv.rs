@@ -69,8 +69,10 @@ pub enum ReadSource {
 
 /// Callback of a batched read-modify-write: receives the *position* of the key
 /// within the batch plus its current value (or `None`), and returns the value
-/// to store.
-pub type BatchRmwFn<'a> = dyn Fn(usize, Option<&[u8]>) -> Vec<u8> + 'a;
+/// to store. `Sync` because engines may invoke it from several batch-executor
+/// workers concurrently (for *distinct* positions; all occurrences of one key
+/// are always applied by a single worker, in batch order).
+pub type BatchRmwFn<'a> = dyn Fn(usize, Option<&[u8]>) -> Vec<u8> + Sync + 'a;
 
 /// A value together with the region it was read from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -213,6 +215,30 @@ pub trait KvStore: Send + Sync + 'static {
     /// is precisely the capability gap the paper's Lookahead interface fills.
     fn promote_to_memory(&self, _key: Key) -> StorageResult<bool> {
         Ok(false)
+    }
+
+    /// Batched [`KvStore::promote_to_memory`]: hint that all of `keys` will be
+    /// needed soon, returning how many were actually copied into the hot
+    /// region. Engines override this to pay fixed per-call costs (epoch
+    /// protection) once and to order the copies by on-device address so cold
+    /// reads stay sequential. The default loops over the per-key hint.
+    ///
+    /// ```
+    /// use mlkv_storage::{KvStore, MemStore};
+    ///
+    /// let store = MemStore::new();
+    /// store.put(1, b"x").unwrap();
+    /// // MemStore has no cold region, so nothing needs promoting.
+    /// assert_eq!(store.multi_promote(&[1, 2]).unwrap(), 0);
+    /// ```
+    fn multi_promote(&self, keys: &[Key]) -> StorageResult<usize> {
+        let mut promoted = 0;
+        for &key in keys {
+            if self.promote_to_memory(key)? {
+                promoted += 1;
+            }
+        }
+        Ok(promoted)
     }
 
     /// Number of live records (approximate for engines with tombstones).

@@ -13,6 +13,8 @@
 //! * [`StorageMetrics`] — atomic counters describing disk traffic and cache
 //!   behaviour; every engine exposes one so that the benchmark harness can report
 //!   I/O alongside throughput.
+//! * [`BatchExecutor`] — the shard-parallel worker pool every engine routes its
+//!   batched operations through, so one large `gather` saturates every core.
 //!
 //! Everything here is synchronous and thread-safe; the asynchrony the paper relies
 //! on (look-ahead prefetching) is layered on top in the `mlkv` crate.
@@ -21,6 +23,7 @@ pub mod cache;
 pub mod config;
 pub mod device;
 pub mod error;
+pub mod exec;
 pub mod kv;
 pub mod memstore;
 pub mod metrics;
@@ -28,8 +31,9 @@ pub mod page;
 
 pub use cache::ShardedLruCache;
 pub use config::StoreConfig;
-pub use device::{Device, FileDevice, MemDevice};
+pub use device::{Device, FileDevice, MemDevice, SimLatencyDevice};
 pub use error::{StorageError, StorageResult};
+pub use exec::BatchExecutor;
 pub use kv::{BatchRmwFn, KvStore, WriteBatch};
 pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};

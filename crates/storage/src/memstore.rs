@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::error::{StorageError, StorageResult};
+use crate::exec::BatchExecutor;
 use crate::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
 use crate::metrics::StorageMetrics;
 
@@ -18,6 +19,7 @@ use crate::metrics::StorageMetrics;
 pub struct MemStore {
     shards: Vec<RwLock<HashMap<Key, Vec<u8>>>>,
     metrics: Arc<StorageMetrics>,
+    executor: BatchExecutor,
 }
 
 impl Default for MemStore {
@@ -32,12 +34,21 @@ impl MemStore {
         Self::with_shards(16)
     }
 
-    /// Create a store with `shards` shards.
+    /// Create a store with `shards` shards and auto-sized batch parallelism.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_parallelism(shards, 0)
+    }
+
+    /// Create a store with `shards` shards whose batched operations fan out
+    /// over `parallelism` workers (`0` = auto, `1` = serial; see
+    /// [`BatchExecutor`]). Each worker owns whole shards, so results and final
+    /// state are identical for every parallelism level.
+    pub fn with_shards_and_parallelism(shards: usize, parallelism: usize) -> Self {
         let shards = shards.max(1);
         Self {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             metrics: Arc::new(StorageMetrics::new()),
+            executor: BatchExecutor::new(parallelism),
         }
     }
 
@@ -58,6 +69,20 @@ impl MemStore {
             by_shard[self.shard_idx(*key)].push(i);
         }
         by_shard
+    }
+
+    /// Read `key` from an already-locked shard, recording metrics.
+    fn lookup(&self, shard: &HashMap<Key, Vec<u8>>, key: Key) -> StorageResult<Vec<u8>> {
+        match shard.get(&key) {
+            Some(v) => {
+                self.metrics.record_mem_hit();
+                Ok(v.clone())
+            }
+            None => {
+                self.metrics.record_miss();
+                Err(StorageError::KeyNotFound)
+            }
+        }
     }
 }
 
@@ -84,26 +109,44 @@ impl KvStore for MemStore {
     }
 
     fn multi_get(&self, keys: &[Key]) -> Vec<StorageResult<Vec<u8>>> {
-        // One lock acquisition per shard instead of one per key.
+        // One lock acquisition per shard instead of one per key; large batches
+        // dispatch their per-shard position groups to executor workers.
+        let groups: Vec<(usize, Vec<usize>)> = self
+            .positions_by_shard(keys)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, positions)| !positions.is_empty())
+            .collect();
         let mut out: Vec<StorageResult<Vec<u8>>> = Vec::with_capacity(keys.len());
         out.extend(keys.iter().map(|_| Err(StorageError::KeyNotFound)));
-        for (s, positions) in self.positions_by_shard(keys).into_iter().enumerate() {
-            if positions.is_empty() {
-                continue;
+        if self.executor.workers_for(groups.len(), keys.len()) <= 1 {
+            for (s, positions) in groups {
+                let shard = self.shards[s].read();
+                for i in positions {
+                    out[i] = self.lookup(&shard, keys[i]);
+                }
             }
-            let shard = self.shards[s].read();
-            for i in positions {
-                out[i] = match shard.get(&keys[i]) {
-                    Some(v) => {
-                        self.metrics.record_mem_hit();
-                        Ok(v.clone())
-                    }
-                    None => {
-                        self.metrics.record_miss();
-                        Err(StorageError::KeyNotFound)
-                    }
-                };
-            }
+            return out;
+        }
+        let jobs: Vec<_> = groups
+            .into_iter()
+            .map(|(s, positions)| {
+                move || {
+                    let shard = self.shards[s].read();
+                    positions
+                        .into_iter()
+                        .map(|i| (i, self.lookup(&shard, keys[i])))
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        for (i, result) in self
+            .executor
+            .execute(jobs, keys.len())
+            .into_iter()
+            .flatten()
+        {
+            out[i] = result;
         }
         out
     }
@@ -124,19 +167,51 @@ impl KvStore for MemStore {
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
         // Same-key operations always land in the same shard, so processing each
-        // shard's positions in input order preserves per-key rmw ordering.
+        // shard's positions in input order preserves per-key rmw ordering —
+        // with one worker per shard group just as much as serially.
+        let groups: Vec<(usize, Vec<usize>)> = self
+            .positions_by_shard(keys)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, positions)| !positions.is_empty())
+            .collect();
         let mut out = vec![Vec::new(); keys.len()];
-        for (s, positions) in self.positions_by_shard(keys).into_iter().enumerate() {
-            if positions.is_empty() {
-                continue;
+        if self.executor.workers_for(groups.len(), keys.len()) <= 1 {
+            for (s, positions) in groups {
+                let mut shard = self.shards[s].write();
+                for i in positions {
+                    self.metrics.record_rmw();
+                    let new = f(i, shard.get(&keys[i]).map(|v| v.as_slice()));
+                    shard.insert(keys[i], new.clone());
+                    out[i] = new;
+                }
             }
-            let mut shard = self.shards[s].write();
-            for i in positions {
-                self.metrics.record_rmw();
-                let new = f(i, shard.get(&keys[i]).map(|v| v.as_slice()));
-                shard.insert(keys[i], new.clone());
-                out[i] = new;
-            }
+            return Ok(out);
+        }
+        let jobs: Vec<_> = groups
+            .into_iter()
+            .map(|(s, positions)| {
+                move || {
+                    let mut shard = self.shards[s].write();
+                    positions
+                        .into_iter()
+                        .map(|i| {
+                            self.metrics.record_rmw();
+                            let new = f(i, shard.get(&keys[i]).map(|v| v.as_slice()));
+                            shard.insert(keys[i], new.clone());
+                            (i, new)
+                        })
+                        .collect::<Vec<_>>()
+                }
+            })
+            .collect();
+        for (i, new) in self
+            .executor
+            .execute(jobs, keys.len())
+            .into_iter()
+            .flatten()
+        {
+            out[i] = new;
         }
         Ok(out)
     }
@@ -153,15 +228,32 @@ impl KvStore for MemStore {
     fn write_batch(&self, batch: &crate::kv::WriteBatch) -> StorageResult<()> {
         let keys: Vec<Key> = batch.iter().map(|(k, _)| *k).collect();
         let ops: Vec<(&Key, &Vec<u8>)> = batch.iter().collect();
-        for (s, positions) in self.positions_by_shard(&keys).into_iter().enumerate() {
-            if positions.is_empty() {
-                continue;
-            }
+        let groups: Vec<(usize, Vec<usize>)> = self
+            .positions_by_shard(&keys)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, positions)| !positions.is_empty())
+            .collect();
+        let apply = |s: usize, positions: Vec<usize>| {
             let mut shard = self.shards[s].write();
             for i in positions {
                 self.metrics.record_upsert();
                 shard.insert(*ops[i].0, ops[i].1.clone());
             }
+        };
+        if self.executor.workers_for(groups.len(), keys.len()) <= 1 {
+            for (s, positions) in groups {
+                apply(s, positions);
+            }
+        } else {
+            let jobs: Vec<_> = groups
+                .into_iter()
+                .map(|(s, positions)| {
+                    let apply = &apply;
+                    move || apply(s, positions)
+                })
+                .collect();
+            self.executor.execute(jobs, keys.len());
         }
         Ok(())
     }
@@ -268,6 +360,37 @@ mod tests {
         batch.put(42, vec![2]); // later op in the batch wins
         store.write_batch(&batch).unwrap();
         assert_eq!(store.get(42).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn parallel_batches_match_serial_results_exactly() {
+        // Batches above the executor cutoff, across parallelism levels: results
+        // and final state must be byte-identical to the serial store.
+        let n = 4096usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 1500).collect();
+        let serial = MemStore::with_shards_and_parallelism(16, 1);
+        let parallel = MemStore::with_shards_and_parallelism(16, 8);
+        for store in [&serial, &parallel] {
+            let mut batch = crate::kv::WriteBatch::new();
+            for k in 0..1000u64 {
+                batch.put(k, vec![k as u8; 16]);
+            }
+            store.write_batch(&batch).unwrap();
+        }
+        let bump = |i: usize, cur: Option<&[u8]>| -> Vec<u8> {
+            let mut v = cur.map(<[u8]>::to_vec).unwrap_or_default();
+            v.push(i as u8);
+            v
+        };
+        let serial_rmw = serial.multi_rmw(&keys, &bump).unwrap();
+        let parallel_rmw = parallel.multi_rmw(&keys, &bump).unwrap();
+        assert_eq!(serial_rmw, parallel_rmw);
+        let serial_get = serial.multi_get(&keys);
+        let parallel_get = parallel.multi_get(&keys);
+        for (a, b) in serial_get.iter().zip(&parallel_get) {
+            assert_eq!(a.as_ref().ok(), b.as_ref().ok());
+        }
+        assert_eq!(serial.approximate_len(), parallel.approximate_len());
     }
 
     #[test]

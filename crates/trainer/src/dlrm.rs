@@ -12,7 +12,10 @@ use mlkv_embedding::nn::{DeepCross, Mlp};
 use mlkv_workloads::criteo::{CriteoConfig, CriteoGenerator, CtrSample};
 
 use crate::energy::EnergyModel;
-use crate::harness::{issue_prefetch, simulate_compute, TrainerOptions, UpdateDispatcher};
+use crate::harness::{
+    issue_prefetch, simulate_compute, AdaptiveLookahead, PrefetchMode, TrainerOptions,
+    UpdateDispatcher,
+};
 use crate::report::{LatencyBreakdown, TrainingReport};
 
 /// Which CTR model to train.
@@ -161,9 +164,14 @@ impl DlrmTrainer {
             opts.learning_rate,
         );
 
-        // Sliding window of upcoming batches so prefetches can run ahead.
+        // Sliding window of upcoming batches so prefetches can run ahead; its
+        // depth is tuned at runtime from the observed prefetch hit-rate.
+        let mut lookahead = AdaptiveLookahead::new(
+            opts.lookahead_batches,
+            opts.adaptive_lookahead && opts.prefetch != PrefetchMode::None,
+        );
         let mut window: VecDeque<Vec<CtrSample>> = VecDeque::new();
-        for _ in 0..=opts.lookahead_batches {
+        for _ in 0..=lookahead.depth() {
             window.push_back(generator.next_batch(opts.batch_size));
         }
 
@@ -177,14 +185,21 @@ impl DlrmTrainer {
 
         for batch_idx in 0..num_batches {
             let batch = window.pop_front().expect("window is pre-filled");
-            window.push_back(generator.next_batch(opts.batch_size));
-            // Look ahead: announce the keys of the most distant batch in the window.
-            if let Some(future) = window.back() {
+            // Top the window up to the current look-ahead depth, announcing
+            // the keys of every newly generated batch. At steady state this
+            // announces one batch per step; after a depth change the window
+            // drains or refills over the next few steps.
+            while window.len() <= lookahead.depth() {
+                let future = generator.next_batch(opts.batch_size);
                 let future_keys: Vec<u64> = future
                     .iter()
                     .flat_map(|s| s.sparse_keys.iter().copied())
                     .collect();
                 issue_prefetch(&self.table, &future_keys, opts.prefetch);
+                window.push_back(future);
+            }
+            if (batch_idx + 1) % 8 == 0 {
+                lookahead.observe(self.table.prefetch_stats());
             }
 
             // --- Embedding access (Get). ---

@@ -14,7 +14,10 @@ use mlkv_embedding::metrics::accuracy;
 use mlkv_workloads::graph::{GnnGraph, GnnGraphConfig};
 
 use crate::energy::EnergyModel;
-use crate::harness::{issue_prefetch, simulate_compute, TrainerOptions, UpdateDispatcher};
+use crate::harness::{
+    issue_prefetch, simulate_compute, AdaptiveLookahead, PrefetchMode, TrainerOptions,
+    UpdateDispatcher,
+};
 use crate::report::{LatencyBreakdown, TrainingReport};
 
 /// Which GNN architecture to train.
@@ -209,7 +212,11 @@ impl GnnTrainer {
             }
             batch
         };
-        for _ in 0..=opts.lookahead_batches {
+        let mut lookahead = AdaptiveLookahead::new(
+            opts.lookahead_batches,
+            opts.adaptive_lookahead && opts.prefetch != PrefetchMode::None,
+        );
+        for _ in 0..=lookahead.depth() {
             window.push_back(make_batch(&mut cursor));
         }
 
@@ -221,8 +228,9 @@ impl GnnTrainer {
 
         for batch_idx in 0..num_batches {
             let batch = window.pop_front().expect("window pre-filled");
-            window.push_back(make_batch(&mut cursor));
-            if let Some(future) = window.back() {
+            // Refill to the adaptively tuned depth, announcing each new batch.
+            while window.len() <= lookahead.depth() {
+                let future = make_batch(&mut cursor);
                 let keys: Vec<u64> = future
                     .iter()
                     .flat_map(|(node, neighbors)| {
@@ -230,6 +238,10 @@ impl GnnTrainer {
                     })
                     .collect();
                 issue_prefetch(&self.table, &keys, opts.prefetch);
+                window.push_back(future);
+            }
+            if (batch_idx + 1) % 8 == 0 {
+                lookahead.observe(self.table.prefetch_stats());
             }
 
             // --- Embedding access (deduplicated per batch). ---

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use mlkv::{EmbeddingTable, LookaheadDest};
+use mlkv::{EmbeddingTable, LookaheadDest, PrefetchStats};
 
 /// How embedding updates are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +42,13 @@ pub struct TrainerOptions {
     pub update_mode: UpdateMode,
     /// Prefetch strategy.
     pub prefetch: PrefetchMode,
-    /// How many batches ahead prefetch requests are issued.
+    /// How many batches ahead prefetch requests are issued (the *initial*
+    /// depth when [`TrainerOptions::adaptive_lookahead`] is on).
     pub lookahead_batches: usize,
+    /// Adapt the look-ahead depth at runtime from the observed
+    /// [`PrefetchStats`] hit-rate (see [`AdaptiveLookahead`]) instead of
+    /// keeping `lookahead_batches` fixed for the whole run.
+    pub adaptive_lookahead: bool,
     /// Simulated accelerator compute per batch (added to the backward phase).
     /// The paper's GPUs spend real time in the NN; this knob reproduces the
     /// compute/stall overlap without a GPU.
@@ -65,6 +70,7 @@ impl Default for TrainerOptions {
             update_mode: UpdateMode::Asynchronous,
             prefetch: PrefetchMode::LookAhead,
             lookahead_batches: 4,
+            adaptive_lookahead: true,
             simulated_compute: Duration::from_micros(0),
             learning_rate: 0.05,
             eval_every_batches: 50,
@@ -174,6 +180,79 @@ impl Drop for UpdateDispatcher {
     }
 }
 
+/// Runtime controller for the look-ahead depth (how many batches ahead the
+/// trainers announce keys), replacing the fixed `lookahead_batches: 4`.
+///
+/// The controller watches the *useful fraction* of completed prefetch work in
+/// [`PrefetchStats`]: keys that resulted in a storage-buffer copy or an
+/// application-cache fill are useful; keys that were skipped (already
+/// memory-resident, or missing) are wasted work. When most announced keys are
+/// skipped, the look-ahead is running too deep — the rows it copies arrive
+/// long before they are needed and only evict hot rows from the memory buffer
+/// — so the depth shrinks. When nearly every announced key is cold, deeper
+/// look-ahead still pays, so the depth grows. Adjustments are clamped to one
+/// step per observation inside `[MIN_DEPTH, MAX_DEPTH]`, and observations on
+/// windows smaller than a batch's worth of keys are ignored so the controller
+/// never reacts to noise.
+#[derive(Debug, Clone)]
+pub struct AdaptiveLookahead {
+    depth: usize,
+    adaptive: bool,
+    last: PrefetchStats,
+}
+
+impl AdaptiveLookahead {
+    /// Smallest depth the controller will shrink to.
+    pub const MIN_DEPTH: usize = 1;
+    /// Largest depth the controller will grow to.
+    pub const MAX_DEPTH: usize = 16;
+    /// Minimum completed keys between observations before adjusting.
+    const MIN_WINDOW: u64 = 64;
+    /// Useful fraction below which the depth shrinks.
+    const LOW_WATER: f64 = 0.25;
+    /// Useful fraction above which the depth grows.
+    const HIGH_WATER: f64 = 0.75;
+
+    /// Create a controller starting at `initial_depth` (clamped). With
+    /// `adaptive` false the depth never changes — the pre-adaptive fixed
+    /// behaviour, kept for deterministic runs.
+    pub fn new(initial_depth: usize, adaptive: bool) -> Self {
+        Self {
+            depth: initial_depth.clamp(Self::MIN_DEPTH, Self::MAX_DEPTH),
+            adaptive,
+            last: PrefetchStats::default(),
+        }
+    }
+
+    /// The current look-ahead depth in batches.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Feed the table's cumulative prefetch statistics; returns the (possibly
+    /// adjusted) depth. Call this periodically — every few batches — with
+    /// `table.prefetch_stats()`.
+    pub fn observe(&mut self, stats: PrefetchStats) -> usize {
+        if !self.adaptive {
+            return self.depth;
+        }
+        let completed = stats.completed.saturating_sub(self.last.completed);
+        if completed < Self::MIN_WINDOW {
+            return self.depth;
+        }
+        let useful =
+            (stats.promoted + stats.cached).saturating_sub(self.last.promoted + self.last.cached);
+        self.last = stats;
+        let useful_fraction = useful as f64 / completed as f64;
+        if useful_fraction < Self::LOW_WATER {
+            self.depth = (self.depth - 1).max(Self::MIN_DEPTH);
+        } else if useful_fraction > Self::HIGH_WATER {
+            self.depth = (self.depth + 1).min(Self::MAX_DEPTH);
+        }
+        self.depth
+    }
+}
+
 /// Issue prefetches for the keys of a future batch according to `mode`.
 pub fn issue_prefetch(table: &EmbeddingTable, keys: &[u64], mode: PrefetchMode) {
     match mode {
@@ -273,6 +352,56 @@ mod tests {
         let stats = t.prefetch_stats();
         assert_eq!(stats.submitted, 20);
         assert!(stats.cached >= 10);
+    }
+
+    #[test]
+    fn adaptive_lookahead_shrinks_on_wasted_prefetches_and_grows_on_cold_ones() {
+        let mut ctl = AdaptiveLookahead::new(4, true);
+        assert_eq!(ctl.depth(), 4);
+        // Window too small: no adjustment.
+        let mut stats = PrefetchStats {
+            submitted: 10,
+            completed: 10,
+            promoted: 0,
+            cached: 0,
+            skipped: 10,
+        };
+        assert_eq!(ctl.observe(stats), 4);
+        // Mostly skipped (rows already hot): shrink one step per observation,
+        // clamped at MIN_DEPTH.
+        for expected in [3, 2, 1, 1, 1] {
+            stats.completed += 100;
+            stats.skipped += 95;
+            stats.promoted += 5;
+            assert_eq!(ctl.observe(stats), expected);
+        }
+        // Mostly cold (every key promoted): grow, clamped at MAX_DEPTH.
+        for _ in 0..AdaptiveLookahead::MAX_DEPTH + 2 {
+            stats.completed += 100;
+            stats.promoted += 100;
+            ctl.observe(stats);
+        }
+        assert_eq!(ctl.depth(), AdaptiveLookahead::MAX_DEPTH);
+        // Mid-range hit-rate: hold steady.
+        stats.completed += 100;
+        stats.promoted += 50;
+        stats.skipped += 50;
+        assert_eq!(ctl.observe(stats), AdaptiveLookahead::MAX_DEPTH);
+    }
+
+    #[test]
+    fn non_adaptive_lookahead_keeps_fixed_depth() {
+        let mut ctl = AdaptiveLookahead::new(4, false);
+        let stats = PrefetchStats {
+            submitted: 1000,
+            completed: 1000,
+            promoted: 0,
+            cached: 0,
+            skipped: 1000,
+        };
+        assert_eq!(ctl.observe(stats), 4);
+        assert_eq!(AdaptiveLookahead::new(0, true).depth(), 1);
+        assert_eq!(AdaptiveLookahead::new(100, true).depth(), 16);
     }
 
     #[test]

@@ -17,7 +17,10 @@ use mlkv_workloads::kg::{KgConfig, KnowledgeGraph, Triple};
 use mlkv_workloads::partition::partition_order;
 
 use crate::energy::EnergyModel;
-use crate::harness::{issue_prefetch, simulate_compute, TrainerOptions, UpdateDispatcher};
+use crate::harness::{
+    issue_prefetch, simulate_compute, AdaptiveLookahead, PrefetchMode, TrainerOptions,
+    UpdateDispatcher,
+};
 use crate::report::{LatencyBreakdown, TrainingReport};
 
 /// Which KGE scoring model to train.
@@ -192,7 +195,11 @@ impl KgeTrainer {
             }
             batch
         };
-        for _ in 0..=opts.lookahead_batches {
+        let mut lookahead = AdaptiveLookahead::new(
+            opts.lookahead_batches,
+            opts.adaptive_lookahead && opts.prefetch != PrefetchMode::None,
+        );
+        for _ in 0..=lookahead.depth() {
             batches.push_back(make_batch(&mut cursor, &mut rng));
         }
 
@@ -204,15 +211,22 @@ impl KgeTrainer {
 
         for batch_idx in 0..num_batches {
             let batch = batches.pop_front().expect("window pre-filled");
-            if cursor < total_triples + opts.lookahead_batches * opts.batch_size {
-                batches.push_back(make_batch(&mut cursor, &mut rng));
-            }
-            if let Some(future) = batches.back() {
+            // Refill to the adaptively tuned depth (bounded so the run never
+            // generates more than `depth` batches past the end), announcing
+            // each newly generated batch.
+            while batches.len() <= lookahead.depth()
+                && cursor < total_triples + lookahead.depth() * opts.batch_size
+            {
+                let future = make_batch(&mut cursor, &mut rng);
                 let keys: Vec<u64> = future
                     .iter()
                     .flat_map(|(t, negs)| self.triple_keys(t, negs))
                     .collect();
                 issue_prefetch(&self.table, &keys, opts.prefetch);
+                batches.push_back(future);
+            }
+            if (batch_idx + 1) % 8 == 0 {
+                lookahead.observe(self.table.prefetch_stats());
             }
 
             // --- Embedding access (deduplicated per batch). ---

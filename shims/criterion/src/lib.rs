@@ -5,7 +5,10 @@
 //! `BenchmarkId`, `BatchSize`, and the `criterion_group!` / `criterion_main!`
 //! macros — with a simple warm-up-then-measure wall-clock harness. It reports
 //! mean time per iteration; it does no statistical outlier analysis and writes
-//! no reports to disk.
+//! no reports to disk. Passing `--test` (as in `cargo bench -- --test`) runs
+//! every benchmark exactly once with no warm-up, mirroring real criterion's
+//! smoke-test mode; CI uses this to keep benches honest without paying
+//! measurement time.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -113,22 +116,29 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n;
+        if !self.test_mode {
+            self.sample_size = n;
+        }
         self
     }
 
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.warm_up_time = d;
+        if !self.test_mode {
+            self.warm_up_time = d;
+        }
         self
     }
 
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        if !self.test_mode {
+            self.measurement_time = d;
+        }
         self
     }
 
@@ -162,10 +172,20 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn bencher(&self) -> Bencher {
+        // In test mode the zero warm-up/measurement windows make `iter*` run
+        // the routine exactly once and stop.
         Bencher {
-            warm_up_time: self.warm_up_time,
-            measurement_time: self.measurement_time,
-            sample_size: self.sample_size,
+            warm_up_time: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.warm_up_time
+            },
+            measurement_time: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
             result: None,
         }
     }
@@ -198,18 +218,31 @@ fn format_ns(ns: u128) -> String {
 }
 
 /// Entry point mirroring `criterion::Criterion`.
-#[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    /// `--test` on the command line (`cargo bench -- --test`): run each
+    /// benchmark exactly once with no warm-up, as a smoke test. Mirrors real
+    /// criterion's test mode; CI uses it to keep benches compiling and
+    /// running without paying measurement time.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             name: name.into(),
             sample_size: 100,
             warm_up_time: Duration::from_millis(500),
             measurement_time: Duration::from_secs(1),
+            test_mode,
             _criterion: self,
         }
     }

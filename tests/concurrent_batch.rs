@@ -1,0 +1,225 @@
+//! Concurrent batch correctness: `gather` running against `apply_gradients`
+//! on the same key set must never lose an update, on any backend, under any
+//! interleaving — and the shard-parallel batch executor must produce
+//! byte-identical state at every parallelism level.
+//!
+//! The stress tests are loom-style in spirit: real threads plus *seeded*
+//! interleavings (seed-derived chunk sizes and per-thread key orders vary the
+//! overlap between the reader and the writer), so a scheduling-dependent lost
+//! update has many distinct schedules in which to show up while every failure
+//! stays reproducible from its seed.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mlkv::{open_store, BackendKind, EmbeddingTable, KvStore, StoreConfig};
+
+const DIM: usize = 8;
+
+fn store_for(kind: BackendKind, parallelism: usize) -> Arc<dyn KvStore> {
+    open_store(
+        kind,
+        StoreConfig::in_memory()
+            .with_memory_budget(1 << 20)
+            .with_page_size(4096)
+            .with_index_buckets(1 << 10)
+            .with_parallelism(parallelism),
+    )
+    .unwrap()
+}
+
+fn table_for(kind: BackendKind, parallelism: usize) -> Arc<EmbeddingTable> {
+    Arc::new(
+        EmbeddingTable::builder(store_for(kind, parallelism))
+            .dim(DIM)
+            .staleness_bound(u32::MAX)
+            .parallelism(parallelism)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// splitmix64: deterministic per-seed pseudo-randomness without pulling the
+/// rand shim into the integration tests.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffled(keys: &[u64], seed: u64) -> Vec<u64> {
+    let mut out = keys.to_vec();
+    let mut state = seed;
+    for i in (1..out.len()).rev() {
+        let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// One seeded interleaving of a gatherer racing an updater over the same
+/// (initially unseen) key set. Every key receives exactly one gradient, so
+/// whatever the schedule, the final row must be `init(key) - lr * grad`:
+/// gather's lazy initialisation must never clobber a concurrent update.
+fn run_lost_update_round(kind: BackendKind, seed: u64) {
+    let table = table_for(kind, 0);
+    let num_keys = 192u64;
+    let keys: Vec<u64> = (0..num_keys).map(|k| k * 3 + seed % 7).collect();
+    let mut state = seed;
+    let gather_chunk = 8 + (splitmix(&mut state) % 56) as usize;
+    let update_chunk = 1 + (splitmix(&mut state) % 24) as usize;
+    let gather_keys = shuffled(&keys, splitmix(&mut state));
+    let update_keys = shuffled(&keys, splitmix(&mut state));
+
+    let gatherer = {
+        let table = Arc::clone(&table);
+        std::thread::spawn(move || {
+            for chunk in gather_keys.chunks(gather_chunk) {
+                for row in table.gather(chunk).unwrap() {
+                    assert_eq!(row.len(), DIM);
+                }
+            }
+        })
+    };
+    let updater = {
+        let table = Arc::clone(&table);
+        std::thread::spawn(move || {
+            let grad = [1.0f32; DIM];
+            for chunk in update_keys.chunks(update_chunk) {
+                let updates: Vec<(u64, &[f32])> =
+                    chunk.iter().map(|k| (*k, grad.as_slice())).collect();
+                table.apply_gradients(&updates, 0.5).unwrap();
+            }
+        })
+    };
+    gatherer.join().unwrap();
+    updater.join().unwrap();
+
+    // Reference initialisation from an identically seeded, untouched table.
+    let reference = table_for(kind, 0);
+    for &k in &keys {
+        let init = reference.get_one(k).unwrap();
+        let expected: Vec<f32> = init.iter().map(|x| x - 0.5).collect();
+        assert_eq!(
+            table.get_one(k).unwrap(),
+            expected,
+            "{}: key {k} lost its update (seed {seed})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn gather_racing_apply_gradients_loses_no_update_on_any_backend() {
+    for kind in BackendKind::ALL {
+        for seed in [1u64, 42, 1337] {
+            run_lost_update_round(kind, seed);
+        }
+    }
+}
+
+#[test]
+fn parallel_batches_racing_each_other_converge_to_the_same_totals() {
+    // Two updater threads, each applying a known number of gradients per key
+    // through large (executor-eligible) batches: the per-key record locks must
+    // serialise the read-modify-writes so no step is lost, on every backend.
+    for kind in BackendKind::ALL {
+        let table = table_for(kind, 0);
+        let keys: Vec<u64> = (0..128).collect();
+        // Tile the key set so each batch clears the executor's parallel cutoff.
+        let batch: Vec<u64> = keys.iter().cycle().take(512).copied().collect();
+        let rounds = 4usize;
+        let occurrences_per_key = (batch.len() / keys.len()) * rounds * 2;
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                let batch = batch.clone();
+                std::thread::spawn(move || {
+                    let grad = [1.0f32; DIM];
+                    for _ in 0..rounds {
+                        let updates: Vec<(u64, &[f32])> =
+                            batch.iter().map(|k| (*k, grad.as_slice())).collect();
+                        table.apply_gradients(&updates, 0.25).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let reference = table_for(kind, 0);
+        let step = 0.25 * occurrences_per_key as f32;
+        for &k in &keys {
+            let init = reference.get_one(k).unwrap();
+            let expected: Vec<f32> = init.iter().map(|x| x - step).collect();
+            let got = table.get_one(k).unwrap();
+            for (g, e) in got.iter().zip(&expected) {
+                assert!(
+                    (g - e).abs() < 1e-4,
+                    "{}: key {k}: {got:?} vs {expected:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// Apply an identical batched program at several parallelism levels and
+/// demand byte-identical results and final state.
+fn check_parallelism_equivalence(kind: BackendKind, base_keys: &[u64], rounds: u8) {
+    let levels = [1usize, 2, 8];
+    let tables: Vec<Arc<EmbeddingTable>> = levels.iter().map(|&p| table_for(kind, p)).collect();
+    // Tile the random key pattern past the executor's cutoff so the parallel
+    // paths genuinely engage on multi-core hosts.
+    let batch: Vec<u64> = base_keys.iter().cycle().take(512).copied().collect();
+    for round in 0..rounds {
+        let grad = vec![0.125f32 * (round + 1) as f32; DIM];
+        let mut gathered: Vec<Vec<Vec<f32>>> = Vec::new();
+        for table in &tables {
+            gathered.push(table.gather(&batch).unwrap());
+            let updates: Vec<(u64, &[f32])> = batch.iter().map(|k| (*k, grad.as_slice())).collect();
+            table.apply_gradients(&updates, 0.1).unwrap();
+        }
+        for other in &gathered[1..] {
+            assert_eq!(
+                &gathered[0],
+                other,
+                "{}: gather diverged between parallelism levels",
+                kind.name()
+            );
+        }
+    }
+    // Final state sweep straight at the stores, byte-for-byte.
+    let all_keys: Vec<u64> = (0..600).collect();
+    let baseline = tables[0].store().multi_get(&all_keys);
+    for (level, table) in levels.iter().zip(&tables).skip(1) {
+        let state = table.store().multi_get(&all_keys);
+        for (k, (a, b)) in all_keys.iter().zip(baseline.iter().zip(&state)) {
+            assert_eq!(
+                a.as_ref().ok(),
+                b.as_ref().ok(),
+                "{}: key {k} differs between parallelism 1 and {level}",
+                kind.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// parallelism ∈ {1, 2, 8} yields byte-identical gather results and final
+    /// store state on every backend, for random key patterns with duplicates.
+    #[test]
+    fn parallelism_levels_are_byte_identical(
+        base_keys in proptest::collection::vec(0u64..600, 16..48),
+        rounds in 1u8..3,
+    ) {
+        for kind in BackendKind::ALL {
+            check_parallelism_equivalence(kind, &base_keys, rounds);
+        }
+    }
+}
