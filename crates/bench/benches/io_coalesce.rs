@@ -1,0 +1,57 @@
+//! Criterion benchmark of coalesced cold-path I/O: one `EmbeddingTable::gather`
+//! over a larger-than-memory store on a throughput-priced simulated SSD
+//! (25 µs per request + 1 GiB/s transfer), with the I/O planner's coalescing
+//! on vs off at the same executor parallelism.
+//!
+//! All table setup lives in `mlkv_bench::io_coalesce`, shared with the
+//! `emit_bench_json` binary, so this bench and the recorded
+//! `BENCH_io_coalesce.json` always measure the same stores.
+//!
+//! The interesting read is `gather/1024` `coalesce-off` vs `coalesce-on`
+//! within one engine group: `off` is the PR 3 per-record read path (one device
+//! round trip per record, overlapped across workers), `on` replaces the round
+//! trips with few merged reads, so the gap is the round-trip cost itself and
+//! shows up on any host, single-core CI boxes included.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlkv_bench::io_coalesce::{
+    cold_table, rotating_keys, BACKENDS, IO_BATCH, KEY_SPACE, PARALLELISM,
+};
+
+fn bench_io_coalesce(c: &mut Criterion) {
+    for backend in BACKENDS {
+        let mut group = c.benchmark_group(format!(
+            "{}_cold_ssd_io_coalesce",
+            backend.name().to_lowercase()
+        ));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_millis(600));
+        for coalescing in [false, true] {
+            let table = cold_table(backend, coalescing, PARALLELISM);
+            let label = if coalescing {
+                "coalesce-on"
+            } else {
+                "coalesce-off"
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("gather/{IO_BATCH}"), label),
+                &table,
+                |b, t| {
+                    let mut base = 0u64;
+                    b.iter(|| {
+                        base = base.wrapping_add(31);
+                        t.gather(&rotating_keys(base, IO_BATCH, KEY_SPACE)).unwrap()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_io_coalesce);
+criterion_main!(benches);

@@ -1,26 +1,33 @@
-//! Measure the shard-parallel batch executor and record the results as
-//! `BENCH_*.json`, so the repository carries its performance trajectory
-//! alongside the code.
+//! Measure the shard-parallel batch executor and the coalesced cold-path I/O
+//! planner, recording the results as `BENCH_*.json`, so the repository carries
+//! its performance trajectory alongside the code.
 //!
-//! Runs the same matrix as the `batch_parallel` criterion bench — the table
-//! setup is shared via `mlkv_bench::batch_parallel` — and writes mean latency
-//! and speedup-vs-serial per configuration: one `EmbeddingTable::gather` at
-//! parallelism 1 / 2 / 4 / 8 on the in-memory and FASTER engines (warm,
-//! RAM-resident) plus a cold FASTER configuration with simulated SSD read
-//! latency.
+//! Two recordings per run, each sharing its table setup with the criterion
+//! bench of the same name:
+//!
+//! * `BENCH_batch_parallel.json` (`mlkv_bench::batch_parallel`): one
+//!   `EmbeddingTable::gather` at parallelism 1 / 2 / 4 / 8 on the in-memory
+//!   and FASTER engines (warm, RAM-resident) plus a cold FASTER configuration
+//!   with simulated SSD read latency.
+//! * `BENCH_io_coalesce.json` (`mlkv_bench::io_coalesce`): the cold-SSD gather
+//!   on FASTER / RocksDB-label LSM / WiredTiger-label B+tree with the I/O
+//!   planner's coalescing off (the per-record read path) vs on, at the same
+//!   executor parallelism.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p mlkv-bench --bin emit_bench_json [-- --out PATH] [--quick]
+//! cargo run --release -p mlkv-bench --bin emit_bench_json \
+//!     [-- --out PATH] [--io-out PATH] [--quick]
 //! ```
 //!
 //! `--quick` runs one measurement iteration per cell (CI smoke); the default
 //! run is sized for stable means on an idle machine. Interpreting the
 //! numbers: the warm (RAM-resident) groups are pure CPU work, so their
 //! parallel speedup is bounded by `host_parallelism` — on a single-core host
-//! they measure executor overhead (expect ~1.0x), while the cold ssd-sim
-//! group overlaps device waits and shows the parallel win on any host.
+//! they measure executor overhead (expect ~1.0x) — while the device-bound
+//! cold-SSD groups (parallel overlap, read coalescing) show their wins on any
+//! host.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -31,6 +38,7 @@ use mlkv_bench::batch_parallel::{
     cold_faster_table, rotating_keys, warm_table, COLD_KEY_SPACE, GATHER_BATCH_SIZES,
     PARALLELISM_LEVELS, WARM_KEY_SPACE,
 };
+use mlkv_bench::io_coalesce;
 use mlkv_storage::exec::available_parallelism;
 
 struct Cell {
@@ -114,6 +122,102 @@ fn push_group(
     }
 }
 
+/// One `BENCH_io_coalesce.json` row: a cold-SSD gather with the planner's
+/// coalescing off (per-record reads) or on, at fixed parallelism.
+struct IoCell {
+    engine: &'static str,
+    coalescing: bool,
+    mean_ns: u128,
+    speedup_vs_per_record: f64,
+}
+
+/// Measure the coalescing on/off pair for every disk-backed engine.
+fn run_io_coalesce(quick: bool) -> Vec<IoCell> {
+    let (warmup, iters) = if quick { (1, 1) } else { (1, 8) };
+    let mut cells = Vec::new();
+    for backend in io_coalesce::BACKENDS {
+        let mut per_record_ns = 0u128;
+        for coalescing in [false, true] {
+            let table = io_coalesce::cold_table(backend, coalescing, io_coalesce::PARALLELISM);
+            let mean_ns = measure_gather(
+                &table,
+                io_coalesce::IO_BATCH,
+                io_coalesce::KEY_SPACE,
+                warmup,
+                iters,
+            );
+            if !coalescing {
+                per_record_ns = mean_ns;
+            }
+            let speedup = per_record_ns as f64 / mean_ns.max(1) as f64;
+            eprintln!(
+                "{:>10} cold-ssd batch {} p{} coalescing={coalescing}: \
+                 {:>10.3} ms/gather ({speedup:.2}x vs per-record)",
+                backend.name(),
+                io_coalesce::IO_BATCH,
+                io_coalesce::PARALLELISM,
+                mean_ns as f64 / 1e6
+            );
+            cells.push(IoCell {
+                engine: backend.name(),
+                coalescing,
+                mean_ns,
+                speedup_vs_per_record: speedup,
+            });
+        }
+    }
+    cells
+}
+
+fn write_io_coalesce_json(cells: &[IoCell], quick: bool, out_path: &str) {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"io_coalesce\",");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p mlkv-bench --bin emit_bench_json\","
+    );
+    let _ = writeln!(json, "  \"host_parallelism\": {},", available_parallelism());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"unix_time\": {},",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"cold-SSD gather (batch {}, parallelism {}, {}us/request + 1 GiB/s \
+         simulated SSD) with cold-path read coalescing off (the per-record read path) vs on; \
+         both modes return byte-identical results (tests/io_coalesce.rs), the speedup is \
+         device round trips removed by the IoPlanner and shows up on any host\",",
+        io_coalesce::IO_BATCH,
+        io_coalesce::PARALLELISM,
+        io_coalesce::READ_LATENCY.as_micros(),
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"workload\": \"gather-cold-ssd\", \"batch\": {}, \
+             \"parallelism\": {}, \"coalescing\": {}, \"mean_ns\": {}, \
+             \"speedup_vs_per_record\": {:.3}}}",
+            c.engine,
+            io_coalesce::IO_BATCH,
+            io_coalesce::PARALLELISM,
+            c.coalescing,
+            c.mean_ns,
+            c.speedup_vs_per_record
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -123,6 +227,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_batch_parallel.json".to_string());
+    let io_out_path = args
+        .iter()
+        .position(|a| a == "--io-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_io_coalesce.json".to_string());
 
     let mut cells = Vec::new();
     let warm = |engine| GroupSpec {
@@ -194,4 +304,7 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap();
     println!("wrote {out_path}");
+
+    let io_cells = run_io_coalesce(quick);
+    write_io_coalesce_json(&io_cells, quick, &io_out_path);
 }

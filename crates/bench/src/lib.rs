@@ -238,7 +238,12 @@ pub mod batch_parallel {
                 .with_page_size(4 << 10)
                 .with_index_buckets(1 << 14)
                 .with_parallelism(parallelism)
-                .with_simulated_read_latency(read_latency),
+                .with_simulated_read_latency(read_latency)
+                // This matrix isolates the *executor*: the cold group measures
+                // how well workers overlap blocking per-record reads, so the
+                // coalescing planner (which would remove those reads outright;
+                // measured separately in `io_coalesce`) stays off.
+                .with_io_coalescing(false),
         )
         .unwrap();
         let table = Arc::new(
@@ -287,9 +292,104 @@ pub mod batch_parallel {
     }
 }
 
+/// Shared setup for the coalesced cold-path I/O measurements, used by both the
+/// `io_coalesce` criterion bench and the `emit_bench_json` recorder.
+///
+/// The stores are larger-than-memory with a throughput-priced simulated SSD
+/// ([`mlkv_storage::SimLatencyDevice`]: fixed cost per request + per-byte
+/// transfer), so a cold gather is dominated by device round trips — exactly
+/// the cost the coalescing [`mlkv_storage::IoPlanner`] removes. Comparing the
+/// `coalescing = false` rows (the PR 3 per-record read path) against
+/// `coalescing = true` at the *same* parallelism isolates the round-trip
+/// savings from the executor's overlap.
+pub mod io_coalesce {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use mlkv::{open_store, BackendKind, EmbeddingTable};
+    use mlkv_storage::StoreConfig;
+
+    pub use super::batch_parallel::rotating_keys;
+
+    /// Gather batch size (the acceptance batch of the paper-scale runs).
+    pub const IO_BATCH: usize = 1024;
+    /// Key space: ~6x the memory budget, so most of a random gather is cold.
+    pub const KEY_SPACE: u64 = 4_000;
+    /// Embedding dimension of the cold tables.
+    pub const DIM: usize = 16;
+    /// Fixed per-request cost of the simulated SSD (command overhead).
+    pub const READ_LATENCY: Duration = Duration::from_micros(25);
+    /// Simulated SSD transfer rate: 1 GiB/s, so merged large reads still pay
+    /// for every byte they move.
+    pub const READ_BYTES_PER_SEC: u64 = 1 << 30;
+    /// Worker count both modes run at (same parallelism, per the bench's
+    /// apples-to-apples contract).
+    pub const PARALLELISM: usize = 4;
+    /// The disk-backed engines the bench sweeps (labels follow the paper's
+    /// figures: RocksDB = LSM, WiredTiger = B+tree).
+    pub const BACKENDS: [BackendKind; 3] = [
+        BackendKind::Faster,
+        BackendKind::RocksDbLike,
+        BackendKind::WiredTigerLike,
+    ];
+
+    /// A larger-than-memory table on `backend` over the simulated SSD, with
+    /// cold-path read coalescing on or off.
+    pub fn cold_table(
+        backend: BackendKind,
+        coalescing: bool,
+        parallelism: usize,
+    ) -> Arc<EmbeddingTable> {
+        let store = open_store(
+            backend,
+            StoreConfig::in_memory()
+                .with_memory_budget(64 << 10)
+                .with_page_size(4 << 10)
+                .with_index_buckets(1 << 14)
+                .with_parallelism(parallelism)
+                .with_simulated_read_latency(READ_LATENCY)
+                .with_simulated_read_throughput(READ_BYTES_PER_SEC)
+                .with_io_coalescing(coalescing),
+        )
+        .unwrap();
+        let table = Arc::new(
+            EmbeddingTable::builder(store)
+                .dim(DIM)
+                .staleness_bound(u32::MAX)
+                .parallelism(parallelism)
+                // Cache small enough that gathers exercise the storage engine.
+                .app_cache_bytes(1 << 10)
+                .build()
+                .unwrap(),
+        );
+        let keys: Vec<u64> = (0..KEY_SPACE).collect();
+        let rows = vec![vec![0.5f32; DIM]; keys.len()];
+        table.put(&keys, &rows).unwrap();
+        // Push memtable/pool residue to the device so the gather's cold
+        // fraction is the same on every engine.
+        table.flush().unwrap();
+        table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn io_coalesce_setup_gathers_identically_on_and_off() {
+        for backend in io_coalesce::BACKENDS {
+            let on = io_coalesce::cold_table(backend, true, 1);
+            let off = io_coalesce::cold_table(backend, false, 1);
+            let keys = io_coalesce::rotating_keys(3, 64, io_coalesce::KEY_SPACE);
+            assert_eq!(
+                on.gather(&keys).unwrap(),
+                off.gather(&keys).unwrap(),
+                "{}",
+                backend.name()
+            );
+        }
+    }
 
     #[test]
     fn batch_parallel_setup_builds_and_gathers() {

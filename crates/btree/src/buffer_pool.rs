@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult};
+use mlkv_storage::{Device, IoPlanner, ReadReq, StorageError, StorageMetrics, StorageResult};
 
 use crate::node::LeafPage;
 
@@ -24,6 +24,7 @@ pub struct BufferPool {
     device: Arc<dyn Device>,
     page_size: usize,
     capacity_pages: usize,
+    planner: IoPlanner,
     metrics: Arc<StorageMetrics>,
     inner: Mutex<PoolInner>,
 }
@@ -40,12 +41,14 @@ impl BufferPool {
         device: Arc<dyn Device>,
         capacity_pages: usize,
         page_size: usize,
+        planner: IoPlanner,
         metrics: Arc<StorageMetrics>,
     ) -> Self {
         Self {
             device,
             page_size,
             capacity_pages: capacity_pages.max(2),
+            planner,
             metrics,
             inner: Mutex::new(PoolInner {
                 pages: HashMap::new(),
@@ -139,6 +142,79 @@ impl BufferPool {
         );
         self.evict_if_needed(&mut inner)?;
         Ok(())
+    }
+
+    /// Fault every non-resident page of `page_ids` with **one** coalesced
+    /// device scatter (instead of one read per page as each leaf group would
+    /// pay via [`BufferPool::with_leaf`]) and return the decoded leaves.
+    ///
+    /// The batch may be far larger than the pool: fetched pages are installed
+    /// into spare pool capacity only (never evicting resident — possibly
+    /// dirty, definitely warmer — pages), and the caller serves its groups
+    /// from the returned copies either way. That is safe whenever leaf
+    /// mutations are excluded for the duration of the batch (the tree read
+    /// lock in `BtreeStore::multi_get`): a non-resident page's on-device
+    /// bytes are current, because eviction writes dirty pages back.
+    ///
+    /// Best-effort: pages with no on-device home (fresh leaves that live only
+    /// in the pool), undecodable pages, and whole batches whose scatter read
+    /// fails are simply absent from the result; the per-leaf path surfaces
+    /// their genuine state or error. Callers must attribute reads served from
+    /// the returned leaves to disk in their metrics.
+    pub fn fault_batch(&self, page_ids: &[u64]) -> HashMap<u64, LeafPage> {
+        if !self.planner.coalescing() {
+            // Coalescing off restores the exact per-record path: each leaf
+            // group faults its own page (overlapping across executor workers)
+            // instead of this batched pre-pass.
+            return HashMap::new();
+        }
+        let mut missing: Vec<u64> = {
+            let inner = self.inner.lock();
+            page_ids
+                .iter()
+                .copied()
+                .filter(|id| !inner.pages.contains_key(id))
+                .collect()
+        };
+        missing.sort_unstable();
+        missing.dedup();
+        let device_len = self.device.len();
+        missing.retain(|id| (id + 1) * self.page_size as u64 <= device_len);
+        if missing.is_empty() {
+            return HashMap::new();
+        }
+        let mut reqs: Vec<ReadReq> = missing
+            .iter()
+            .map(|id| ReadReq::new(id * self.page_size as u64, self.page_size))
+            .collect();
+        if self.planner.read(self.device.as_ref(), &mut reqs).is_err() {
+            return HashMap::new();
+        }
+        let mut fetched = HashMap::with_capacity(missing.len());
+        for (id, req) in missing.into_iter().zip(reqs) {
+            if let Ok(leaf) = LeafPage::decode(&req.buf) {
+                self.metrics
+                    .record_background_disk_read(self.page_size as u64);
+                fetched.insert(id, leaf);
+            }
+        }
+        // Warm the pool with as many fetched pages as fit for free. Resident
+        // pages are never displaced (they may be dirty, and they are warmer
+        // than a batch that just swept the key space).
+        let mut inner = self.inner.lock();
+        for (id, leaf) in &fetched {
+            if inner.pages.len() >= self.capacity_pages {
+                break;
+            }
+            inner.clock += 1;
+            let stamp = inner.clock;
+            inner.pages.entry(*id).or_insert(CachedPage {
+                leaf: leaf.clone(),
+                dirty: false,
+                stamp,
+            });
+        }
+        fetched
     }
 
     /// Read and decode the leaf at `page_id` from the device (no pool lock
@@ -241,6 +317,7 @@ mod tests {
             Arc::new(MemDevice::new()),
             capacity,
             4096,
+            IoPlanner::default(),
             Arc::new(StorageMetrics::new()),
         )
     }
@@ -297,10 +374,54 @@ mod tests {
     }
 
     #[test]
+    fn fault_batch_fetches_cold_pages_with_one_scatter() {
+        let pool = pool(8);
+        for id in 0..6u64 {
+            let mut leaf = LeafPage::new();
+            leaf.insert(id * 10, vec![id as u8; 8]);
+            pool.install_new(id, leaf).unwrap();
+        }
+        pool.flush_all().unwrap();
+        // Drop residency by rebuilding a small pool over the same device.
+        let device = Arc::clone(&pool.device);
+        let cold = BufferPool::new(
+            device,
+            2,
+            4096,
+            IoPlanner::default(),
+            Arc::new(StorageMetrics::new()),
+        );
+        // Duplicates and a page beyond the device mixed in; the batch (5
+        // pages) exceeds the pool capacity (2).
+        let fetched = cold.fault_batch(&[3, 0, 3, 5, 1, 4, 99]);
+        let mut ids: Vec<u64> = fetched.keys().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 3, 4, 5]);
+        for (&id, leaf) in &fetched {
+            assert_eq!(leaf.get(id * 10), Some(vec![id as u8; 8].as_slice()));
+        }
+        // Spare capacity was warmed, but never beyond the pool size.
+        assert!(cold.resident_pages() <= 2);
+        // A fully-resident batch fetches nothing.
+        assert!(
+            pool.fault_batch(&[0, 1, 2]).is_empty(),
+            "pages still resident in original pool"
+        );
+        // Missing pages still error through the per-leaf path.
+        assert!(cold.with_leaf(99, |_| ()).is_err());
+    }
+
+    #[test]
     fn flush_all_persists_without_eviction() {
         let device = Arc::new(MemDevice::new());
         let metrics = Arc::new(StorageMetrics::new());
-        let pool = BufferPool::new(Arc::clone(&device) as Arc<dyn Device>, 8, 4096, metrics);
+        let pool = BufferPool::new(
+            Arc::clone(&device) as Arc<dyn Device>,
+            8,
+            4096,
+            IoPlanner::default(),
+            metrics,
+        );
         let mut leaf = LeafPage::new();
         leaf.insert(3, vec![3]);
         pool.install_new(0, leaf).unwrap();
@@ -312,7 +433,13 @@ mod tests {
     #[test]
     fn oversized_leaf_write_is_rejected() {
         let device: Arc<dyn Device> = Arc::new(MemDevice::new());
-        let pool = BufferPool::new(device, 2, 64, Arc::new(StorageMetrics::new()));
+        let pool = BufferPool::new(
+            device,
+            2,
+            64,
+            IoPlanner::default(),
+            Arc::new(StorageMetrics::new()),
+        );
         let mut leaf = LeafPage::new();
         leaf.insert(1, vec![0; 128]);
         pool.install_new(0, leaf).unwrap();

@@ -48,6 +48,7 @@ impl BtreeStore {
             leaf_device,
             capacity_pages,
             config.page_size,
+            mlkv_storage::IoPlanner::from_config(&config),
             Arc::clone(&metrics),
         );
 
@@ -174,20 +175,33 @@ impl BtreeStore {
 
     /// Serve one leaf page's group of a batched read under a single buffer-pool
     /// pin. `group` holds `(page id, original position)` pairs that all route
-    /// to the same leaf. Returns `(original position, result)` pairs.
+    /// to the same leaf; `fetched` holds the leaves the batch scatter-read via
+    /// [`BufferPool::fault_batch`] — groups whose page is there are served
+    /// from the fetched copy (and their reads count as disk reads). Returns
+    /// `(original position, result)` pairs.
     fn read_leaf_group(
         &self,
         group: &[(u64, usize)],
         keys: &[Key],
+        fetched: &std::collections::HashMap<u64, LeafPage>,
     ) -> Vec<(usize, StorageResult<Vec<u8>>)> {
         let page_id = group[0].0;
         let mut out = Vec::with_capacity(group.len());
-        let result = self.pool.with_leaf(page_id, |leaf| {
-            group
-                .iter()
-                .map(|&(_, i)| leaf.get(keys[i]).map(|v| v.to_vec()))
-                .collect::<Vec<_>>()
-        });
+        let result = match fetched.get(&page_id) {
+            Some(leaf) => Ok((
+                group
+                    .iter()
+                    .map(|&(_, i)| leaf.get(keys[i]).map(|v| v.to_vec()))
+                    .collect::<Vec<_>>(),
+                true,
+            )),
+            None => self.pool.with_leaf(page_id, |leaf| {
+                group
+                    .iter()
+                    .map(|&(_, i)| leaf.get(keys[i]).map(|v| v.to_vec()))
+                    .collect::<Vec<_>>()
+            }),
+        };
         match result {
             Ok((values, from_disk)) => {
                 for (&(_, i), value) in group.iter().zip(values) {
@@ -335,17 +349,26 @@ impl KvStore for BtreeStore {
             groups.push(&routed[pos..end]);
             pos = end;
         }
+        // Fetch the batch's missing leaf pages with one coalesced device
+        // scatter before touching any group. Groups whose page was fetched
+        // read the returned copy (the tree read lock held across this whole
+        // call excludes leaf mutations, so the copies cannot go stale);
+        // everything else pins the pool as before, whether serially or on
+        // executor workers.
+        let page_ids: Vec<u64> = groups.iter().map(|g| g[0].0).collect();
+        let fetched = self.pool.fault_batch(&page_ids);
+        let fetched = &fetched;
         let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
         if self.executor.workers_for(groups.len(), keys.len()) <= 1 {
             for group in groups {
-                for (i, result) in self.read_leaf_group(group, keys) {
+                for (i, result) in self.read_leaf_group(group, keys, fetched) {
                     out[i] = Some(result);
                 }
             }
         } else {
             let jobs: Vec<_> = groups
                 .into_iter()
-                .map(|group| move || self.read_leaf_group(group, keys))
+                .map(|group| move || self.read_leaf_group(group, keys, fetched))
                 .collect();
             for pairs in self.executor.execute(jobs, keys.len()) {
                 for (i, result) in pairs {

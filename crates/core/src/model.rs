@@ -45,6 +45,8 @@ pub struct EmbeddingModelBuilder {
     dir: Option<PathBuf>,
     memory_budget: usize,
     page_size: usize,
+    io_coalescing: bool,
+    io_gap_bytes: Option<usize>,
     options: TableOptions,
 }
 
@@ -56,6 +58,8 @@ impl EmbeddingModelBuilder {
             dir: None,
             memory_budget: 256 << 20,
             page_size: 16 << 10,
+            io_coalescing: true,
+            io_gap_bytes: None,
             options: TableOptions::default(),
         }
     }
@@ -118,6 +122,22 @@ impl EmbeddingModelBuilder {
         self
     }
 
+    /// Enable or disable coalesced cold-path batch reads (on by default):
+    /// the storage engine merges a batch's near-adjacent device reads into
+    /// few large ones. `false` restores the per-record read path.
+    pub fn io_coalescing(mut self, coalesce: bool) -> Self {
+        self.io_coalescing = coalesce;
+        self
+    }
+
+    /// Maximum byte gap between two cold-read ranges that the I/O planner
+    /// still merges into one device read (default:
+    /// [`mlkv_storage::config::DEFAULT_IO_GAP_BYTES`]).
+    pub fn io_gap_bytes(mut self, bytes: usize) -> Self {
+        self.io_gap_bytes = Some(bytes);
+        self
+    }
+
     /// Application cache budget in bytes.
     pub fn app_cache_bytes(mut self, bytes: usize) -> Self {
         self.options.app_cache_bytes = bytes;
@@ -141,7 +161,11 @@ impl EmbeddingModelBuilder {
         let mut config = StoreConfig::in_memory()
             .with_memory_budget(self.memory_budget)
             .with_page_size(self.page_size)
-            .with_parallelism(self.options.parallelism);
+            .with_parallelism(self.options.parallelism)
+            .with_io_coalescing(self.io_coalescing);
+        if let Some(gap) = self.io_gap_bytes {
+            config = config.with_io_gap_bytes(gap);
+        }
         if let Some(dir) = &self.dir {
             config.dir = Some(dir.join(&self.model_id));
         }
@@ -223,6 +247,27 @@ mod tests {
         assert_eq!(model.mode().name(), "ASP");
         model.put_one(1, &[1.0; 4]).unwrap();
         assert_eq!(model.get_one(1).unwrap(), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn io_knobs_reach_the_store_and_preserve_results() {
+        for coalesce in [true, false] {
+            let model = Mlkv::builder("io-knobs")
+                .dim(4)
+                .backend(BackendKind::Faster)
+                .memory_budget(16 << 10)
+                .page_size(1 << 10)
+                .io_coalescing(coalesce)
+                .io_gap_bytes(256)
+                .build()
+                .unwrap();
+            let keys: Vec<u64> = (0..500).collect();
+            let rows = vec![vec![0.25f32; 4]; keys.len()];
+            model.put(&keys, &rows).unwrap();
+            // Larger-than-memory: gathers hit the cold path either way.
+            let got = model.get(&keys).unwrap();
+            assert_eq!(got, rows, "coalesce={coalesce}");
+        }
     }
 
     #[test]

@@ -19,13 +19,19 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use mlkv_storage::kv::ReadSource;
-use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult};
+use mlkv_storage::{Device, IoPlanner, ReadReq, StorageError, StorageMetrics, StorageResult};
 
 use crate::address::Address;
 use crate::record::Record;
 
 /// Marker for a frame that holds no page yet.
 const NO_PAGE: u64 = u64::MAX;
+
+/// Size of the speculative first read of a cold record: enough for the header
+/// plus a typical embedding row, so most records arrive in **one** device
+/// round trip (the pre-scatter path read the header and the value
+/// separately). Values longer than this pay a second, exactly-sized read.
+const SPECULATIVE_COLD_READ: usize = 512;
 
 struct Frame {
     /// Log page index currently resident in this frame, or [`NO_PAGE`].
@@ -45,6 +51,7 @@ pub struct HybridLog {
     head: AtomicU64,
     read_only: AtomicU64,
     alloc_lock: Mutex<()>,
+    planner: IoPlanner,
     metrics: Arc<StorageMetrics>,
     sync_writes: bool,
 }
@@ -58,6 +65,7 @@ impl HybridLog {
         memory_budget: usize,
         page_size: usize,
         sync_writes: bool,
+        planner: IoPlanner,
         metrics: Arc<StorageMetrics>,
     ) -> StorageResult<Self> {
         if page_size < Record::HEADER_LEN * 2 {
@@ -85,6 +93,7 @@ impl HybridLog {
             head: AtomicU64::new(0),
             read_only: AtomicU64::new(0),
             alloc_lock: Mutex::new(()),
+            planner,
             metrics,
             sync_writes,
         };
@@ -228,20 +237,35 @@ impl HybridLog {
     /// Read the full record at `addr`, returning the decoded record and the
     /// region it was served from.
     pub fn read_record(&self, addr: Address) -> StorageResult<(Record, ReadSource)> {
+        match self.read_record_memory(addr)? {
+            Some(result) => Ok(result),
+            None => self.read_record_from_disk(addr),
+        }
+    }
+
+    /// Serve `addr` from the in-memory window when resident: `Ok(None)` means
+    /// the record lives only on the device. Batch callers collect the `None`
+    /// addresses of a whole key range and fetch them with one coalesced
+    /// scatter via [`HybridLog::read_records_from_disk`].
+    pub fn read_record_memory(&self, addr: Address) -> StorageResult<Option<(Record, ReadSource)>> {
+        self.check_addr(addr)?;
+        if addr.raw() >= self.head.load(Ordering::Acquire) {
+            // May still be None when the page was evicted between the head
+            // check and the frame lock; the caller then reads the device.
+            self.read_record_from_memory(addr)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reject invalid or not-yet-allocated addresses.
+    fn check_addr(&self, addr: Address) -> StorageResult<()> {
         if addr.is_invalid() || addr.raw() >= self.tail.load(Ordering::Acquire) {
             return Err(StorageError::Corruption(format!(
                 "read of invalid address {addr}"
             )));
         }
-        let head = self.head.load(Ordering::Acquire);
-        if addr.raw() >= head {
-            if let Some(result) = self.read_record_from_memory(addr)? {
-                return Ok(result);
-            }
-            // The page was evicted between the head check and the frame lock;
-            // fall through to a device read.
-        }
-        self.read_record_from_disk(addr)
+        Ok(())
     }
 
     /// Attempt to read a record from the in-memory window; `Ok(None)` when the
@@ -274,15 +298,105 @@ impl HybridLog {
         Ok(Some((record, source)))
     }
 
+    /// Bytes of the speculative first read at `addr`: header plus as much of
+    /// the value as [`SPECULATIVE_COLD_READ`] allows, capped by the record's
+    /// page (records never straddle pages, and spilled pages are flushed
+    /// whole) and by the device end.
+    fn disk_span(&self, addr: Address) -> usize {
+        let in_page = self.page_size - addr.offset_in_page(self.page_size);
+        let to_end = self.device.len().saturating_sub(addr.raw()) as usize;
+        in_page
+            .min(SPECULATIVE_COLD_READ)
+            .min(to_end)
+            .max(Record::HEADER_LEN)
+    }
+
+    /// Decode a fully-fetched on-device record and account the read.
+    fn finish_disk_record(&self, bytes: &[u8]) -> StorageResult<Record> {
+        let record = Record::decode(bytes)?;
+        self.metrics.record_background_disk_read(bytes.len() as u64);
+        Ok(record)
+    }
+
     fn read_record_from_disk(&self, addr: Address) -> StorageResult<(Record, ReadSource)> {
-        let mut header = [0u8; Record::HEADER_LEN];
-        self.device.read_at(addr.raw(), &mut header)?;
-        let (_, _, value_len, _) = Record::decode_header(&header)?;
-        let mut buf = vec![0u8; Record::HEADER_LEN + value_len];
+        // One speculative read covers header + value for typical records; the
+        // old path always paid two device round trips (header, then value).
+        let mut buf = vec![0u8; self.disk_span(addr)];
         self.device.read_at(addr.raw(), &mut buf)?;
-        let record = Record::decode(&buf)?;
-        self.metrics.record_background_disk_read(buf.len() as u64);
-        Ok((record, ReadSource::Disk))
+        let (_, _, value_len, _) = Record::decode_header(&buf)?;
+        let total = Record::HEADER_LEN + value_len;
+        if total > buf.len() {
+            buf = vec![0u8; total];
+            self.device.read_at(addr.raw(), &mut buf)?;
+        }
+        Ok((self.finish_disk_record(&buf[..total])?, ReadSource::Disk))
+    }
+
+    /// Fetch the records at `addrs` — all device-resident — with one coalesced
+    /// scatter: a speculative span per record (header + typical value in a
+    /// single request, see `SPECULATIVE_COLD_READ`) and a second,
+    /// exactly-sized scatter for the few values that exceed it. Results are
+    /// per-address, so one bad address cannot fail the whole batch.
+    pub fn read_records_from_disk(&self, addrs: &[Address]) -> Vec<StorageResult<Record>> {
+        let mut out: Vec<Option<StorageResult<Record>>> = addrs.iter().map(|_| None).collect();
+        let mut slots: Vec<usize> = Vec::with_capacity(addrs.len());
+        let mut batch: Vec<ReadReq> = Vec::with_capacity(addrs.len());
+        for (i, &addr) in addrs.iter().enumerate() {
+            match self.check_addr(addr) {
+                Ok(()) => {
+                    slots.push(i);
+                    batch.push(ReadReq::new(addr.raw(), self.disk_span(addr)));
+                }
+                Err(e) => out[i] = Some(Err(e)),
+            }
+        }
+        if self.planner.read(self.device.as_ref(), &mut batch).is_err() {
+            // A merged read failed somewhere in the batch: retry per record so
+            // each address surfaces its own (possibly clean) result.
+            for (&i, req) in slots.iter().zip(&batch) {
+                out[i] = Some(
+                    self.read_record_from_disk(Address::new(req.offset))
+                        .map(|(record, _)| record),
+                );
+            }
+        } else {
+            let mut follow_slots: Vec<usize> = Vec::new();
+            let mut follow: Vec<ReadReq> = Vec::new();
+            for (&i, req) in slots.iter().zip(&batch) {
+                match Record::decode_header(&req.buf) {
+                    Ok((_, _, value_len, _)) => {
+                        let total = Record::HEADER_LEN + value_len;
+                        if total <= req.buf.len() {
+                            out[i] = Some(self.finish_disk_record(&req.buf[..total]));
+                        } else {
+                            follow_slots.push(i);
+                            follow.push(ReadReq::new(req.offset, total));
+                        }
+                    }
+                    Err(e) => out[i] = Some(Err(e)),
+                }
+            }
+            if !follow.is_empty()
+                && self
+                    .planner
+                    .read(self.device.as_ref(), &mut follow)
+                    .is_err()
+            {
+                for (&i, req) in follow_slots.iter().zip(&follow) {
+                    out[i] = Some(
+                        self.read_record_from_disk(Address::new(req.offset))
+                            .map(|(record, _)| record),
+                    );
+                }
+            } else {
+                for (&i, req) in follow_slots.iter().zip(&follow) {
+                    out[i] = Some(self.finish_disk_record(&req.buf));
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 
     /// Clear the VALID flag of the record at `addr`, turning it into padding that
@@ -431,6 +545,7 @@ mod tests {
             budget,
             page,
             false,
+            IoPlanner::default(),
             Arc::new(StorageMetrics::new()),
         )
         .unwrap()
@@ -551,12 +666,63 @@ mod tests {
     fn flush_all_persists_dirty_pages() {
         let device = Arc::new(MemDevice::new());
         let metrics = Arc::new(StorageMetrics::new());
-        let log = HybridLog::new(device.clone(), 1024, 256, false, metrics).unwrap();
+        let log = HybridLog::new(
+            device.clone(),
+            1024,
+            256,
+            false,
+            IoPlanner::default(),
+            metrics,
+        )
+        .unwrap();
         let rec = Record::new(5, vec![5u8; 32], Address::INVALID);
         log.append(&rec.encode()).unwrap();
         assert_eq!(device.len(), 0);
         log.flush_all().unwrap();
         assert!(device.len() > 0);
+    }
+
+    #[test]
+    fn batched_disk_reads_match_single_reads() {
+        // 2 frames of 2 KiB: most records spill. Values straddle the
+        // speculative span boundary (one below, one far above 512 bytes).
+        let log = new_log(4096, 2048);
+        let mut addrs = Vec::new();
+        for k in 0..40u64 {
+            let len = if k % 5 == 0 { 1000 } else { 64 };
+            addrs.push(append_record(&log, k, &vec![k as u8; len]));
+        }
+        let head = log.head();
+        let cold: Vec<Address> = addrs.iter().copied().filter(|a| *a < head).collect();
+        assert!(cold.len() > 10, "need cold records");
+        let batch = log.read_records_from_disk(&cold);
+        for (addr, got) in cold.iter().zip(batch) {
+            let (want, src) = log.read_record(*addr).unwrap();
+            assert_eq!(src, ReadSource::Disk);
+            let got = got.unwrap();
+            assert_eq!(got.key, want.key);
+            assert_eq!(got.value, want.value);
+        }
+        // Invalid addresses fail their own slot, not the batch.
+        let mixed = vec![cold[0], Address::new(1 << 40)];
+        let results = log.read_records_from_disk(&mixed);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn read_record_memory_reports_disk_residents_as_none() {
+        let log = new_log(512, 256);
+        let mut addrs = Vec::new();
+        for k in 0..30u64 {
+            addrs.push(append_record(&log, k, &[9u8; 64]));
+        }
+        let head = log.head();
+        assert!(log.read_record_memory(addrs[0]).unwrap().is_none());
+        assert!(addrs[0] < head);
+        let hot = *addrs.last().unwrap();
+        assert!(log.read_record_memory(hot).unwrap().is_some());
+        assert!(log.read_record_memory(Address::INVALID).is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ impl FasterKv {
             config.memory_budget,
             config.page_size,
             config.sync_writes,
+            mlkv_storage::IoPlanner::from_config(&config),
             Arc::clone(&metrics),
         )?;
         let store = Self {
@@ -153,25 +154,6 @@ impl FasterKv {
         }
     }
 
-    /// Read the current value of `key`, recording metrics. The caller must
-    /// already hold epoch protection (this is the body shared by `get_traced`
-    /// and the batched `multi_get`).
-    fn read_value(&self, key: Key) -> StorageResult<Vec<u8>> {
-        match self.find(key)? {
-            Some((_, record, source)) if !record.is_tombstone() => {
-                match source {
-                    ReadSource::Disk => self.metrics.record_disk_read(record.value.len() as u64),
-                    _ => self.metrics.record_mem_hit(),
-                }
-                Ok(record.value)
-            }
-            _ => {
-                self.metrics.record_miss();
-                Err(StorageError::KeyNotFound)
-            }
-        }
-    }
-
     /// Upsert `key`, recording metrics. The caller must hold epoch protection.
     fn put_value(&self, key: Key, value: &[u8]) -> StorageResult<()> {
         self.metrics.record_upsert();
@@ -221,31 +203,117 @@ impl FasterKv {
     /// distinct key's hash chain once and fanning the value out to duplicate
     /// occurrences. The caller must hold epoch protection. Returns
     /// `(original position, result)` pairs.
+    ///
+    /// Chain hops that leave the in-memory window are not read one record at a
+    /// time: each round collects every distinct key's pending device address
+    /// and fetches them with **one** coalesced scatter
+    /// ([`HybridLog::read_records_from_disk`]), so a cold range pays one
+    /// device submission per chain depth, not one per record.
     fn read_sorted_range(
         &self,
         keys: &[Key],
         order: &[usize],
     ) -> Vec<(usize, StorageResult<Vec<u8>>)> {
-        let mut out = Vec::with_capacity(order.len());
+        // Distinct keys of the range, with the order-slice span of each.
+        let mut spans: Vec<(usize, usize)> = Vec::new();
         let mut pos = 0;
         while pos < order.len() {
             let key = keys[order[pos]];
-            let first = self.read_value(key);
-            let mut dup = pos + 1;
-            while dup < order.len() && keys[order[dup]] == key {
+            let mut end = pos + 1;
+            while end < order.len() && keys[order[end]] == key {
+                end += 1;
+            }
+            spans.push((pos, end));
+            pos = end;
+        }
+
+        // Walk every distinct key's chain; `resolved[d]` is the final result
+        // of distinct key `d` (Ok(None) = absent or tombstoned).
+        let mut resolved: Vec<Option<StorageResult<Option<Vec<u8>>>>> =
+            spans.iter().map(|_| None).collect();
+        let mut pending: Vec<(usize, Address)> = spans
+            .iter()
+            .enumerate()
+            .map(|(d, &(start, _))| (d, self.index.head(keys[order[start]])))
+            .collect();
+        while !pending.is_empty() {
+            let mut disk: Vec<(usize, Address)> = Vec::new();
+            // Memory phase: follow each chain until it resolves or leaves the
+            // in-memory window.
+            for (d, mut addr) in pending.drain(..) {
+                let key = keys[order[spans[d].0]];
+                loop {
+                    if addr.is_invalid() {
+                        resolved[d] = Some(Ok(None));
+                        break;
+                    }
+                    match self.log.read_record_memory(addr) {
+                        Ok(Some((record, source))) => {
+                            if record.flags.is_valid() && record.key == key {
+                                resolved[d] = Some(Ok((!record.is_tombstone()).then(|| {
+                                    match source {
+                                        ReadSource::Disk => {
+                                            self.metrics.record_disk_read(record.value.len() as u64)
+                                        }
+                                        _ => self.metrics.record_mem_hit(),
+                                    }
+                                    record.value
+                                })));
+                                break;
+                            }
+                            addr = record.prev;
+                        }
+                        Ok(None) => {
+                            disk.push((d, addr));
+                            break;
+                        }
+                        Err(e) => {
+                            resolved[d] = Some(Err(e));
+                            break;
+                        }
+                    }
+                }
+            }
+            if disk.is_empty() {
+                break;
+            }
+            // Disk phase: one coalesced scatter for this round's addresses.
+            let addrs: Vec<Address> = disk.iter().map(|&(_, addr)| addr).collect();
+            for ((d, _), record) in disk
+                .into_iter()
+                .zip(self.log.read_records_from_disk(&addrs))
+            {
+                let key = keys[order[spans[d].0]];
+                match record {
+                    Ok(record) if record.flags.is_valid() && record.key == key => {
+                        resolved[d] = Some(Ok((!record.is_tombstone()).then(|| {
+                            self.metrics.record_disk_read(record.value.len() as u64);
+                            record.value
+                        })));
+                    }
+                    Ok(record) => pending.push((d, record.prev)),
+                    Err(e) => resolved[d] = Some(Err(e)),
+                }
+            }
+        }
+
+        // Fan each distinct key's result out to its duplicate occurrences.
+        let mut out = Vec::with_capacity(order.len());
+        for (d, &(start, end)) in spans.iter().enumerate() {
+            let result = resolved[d].take().expect("every chain resolved");
+            if matches!(result, Ok(None)) {
+                self.metrics.record_miss();
+            }
+            for &slot in &order[start..end] {
                 out.push((
-                    order[dup],
-                    match &first {
-                        Ok(v) => Ok(v.clone()),
-                        Err(e) if e.is_not_found() => Err(StorageError::KeyNotFound),
-                        // Non-clonable error (I/O): re-run the lookup for this slot.
-                        Err(_) => self.read_value(key),
+                    slot,
+                    match &result {
+                        Ok(Some(v)) => Ok(v.clone()),
+                        Ok(None) => Err(StorageError::KeyNotFound),
+                        Err(e) => Err(e.clone_shallow()),
                     },
                 ));
-                dup += 1;
             }
-            out.push((order[pos], first));
-            pos = dup;
         }
         out
     }

@@ -9,7 +9,9 @@ use parking_lot::RwLock;
 use mlkv_storage::device::device_from_config;
 use mlkv_storage::exec::{split_sorted, BatchExecutor};
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, WriteBatch};
-use mlkv_storage::{ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig};
+use mlkv_storage::{
+    IoPlanner, ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig,
+};
 
 use crate::memtable::{Entry, MemTable};
 use crate::sstable::SsTable;
@@ -70,7 +72,7 @@ impl LsmStore {
             table_seqs.sort_unstable();
             for seq in table_seqs {
                 let device = device_from_config(&config, &format!("sst_{seq}.dat"))?;
-                tables.push(SsTable::open(device, seq)?);
+                tables.push(SsTable::open(device, IoPlanner::from_config(&config), seq)?);
                 max_seq = max_seq.max(seq);
             }
         }
@@ -128,7 +130,13 @@ impl LsmStore {
         let entries = inner.memtable.drain_sorted();
         let seq = self.next_seq();
         let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
-        let table = SsTable::build(device, &entries, seq, &self.metrics)?;
+        let table = SsTable::build(
+            device,
+            IoPlanner::from_config(&self.config),
+            &entries,
+            seq,
+            &self.metrics,
+        )?;
         inner.tables.push(table);
         // Rotate the WAL: recovered state now lives in the SSTable.
         inner.wal_gen += 1;
@@ -158,7 +166,13 @@ impl LsmStore {
         let entries: Vec<(u64, Entry)> = merged.into_iter().filter(|(_, e)| e.is_some()).collect();
         let seq = self.next_seq();
         let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
-        let table = SsTable::build(device, &entries, seq, &self.metrics)?;
+        let table = SsTable::build(
+            device,
+            IoPlanner::from_config(&self.config),
+            &entries,
+            seq,
+            &self.metrics,
+        )?;
         // Remove the old table files.
         if let Some(dir) = &self.config.dir {
             for old in &inner.tables {
@@ -181,8 +195,9 @@ impl LsmStore {
 
     /// Resolve a set of batch positions against the SSTables: one pass per
     /// table (newest first), each table's bloom filter rejecting absent keys
-    /// before any device read. Resolved values are copied into the block
-    /// cache, exactly like the point-read path. Returns
+    /// before any device read and every admitted key of the pass fetched with
+    /// **one** coalesced scatter ([`SsTable::get_many`]). Resolved values are
+    /// copied into the block cache, exactly like the point-read path. Returns
     /// `(original position, result)` pairs; positions that no table holds come
     /// back as misses.
     fn probe_tables(
@@ -196,9 +211,11 @@ impl LsmStore {
             if unresolved.is_empty() {
                 break;
             }
+            let probe_keys: Vec<Key> = unresolved.iter().map(|&i| keys[i]).collect();
+            let results = table.get_many(&probe_keys, &self.metrics);
             let mut still = Vec::with_capacity(unresolved.len());
-            for i in unresolved {
-                match table.get(keys[i], &self.metrics) {
+            for (i, result) in unresolved.into_iter().zip(results) {
+                match result {
                     Ok(Some(Some(v))) => {
                         self.metrics.record_disk_read(v.len() as u64);
                         self.block_cache.insert(keys[i], v.clone());

@@ -36,7 +36,26 @@ pub struct StoreConfig {
     /// I/O-overlap effects — parallel batch reads, look-ahead prefetching —
     /// are measurable without real disks.
     pub simulated_read_latency: Duration,
+    /// Simulated read transfer throughput in bytes per second (`0` = unlimited,
+    /// the default). Combined with [`StoreConfig::simulated_read_latency`] this
+    /// models an SSD as "fixed cost per request + per-byte transfer", so that
+    /// coalescing many small reads into one large read shows its real trade-off
+    /// (fewer round trips, same bytes) in simulation.
+    pub simulated_read_bytes_per_sec: u64,
+    /// Whether cold-path batch reads go through the coalescing I/O planner
+    /// ([`crate::IoPlanner`]), which merges near-adjacent device ranges into
+    /// single large reads. `false` restores the per-record read path (used for
+    /// benchmarking comparisons).
+    pub io_coalescing: bool,
+    /// Maximum byte gap between two read requests that the I/O planner still
+    /// merges into one device read. Larger values trade wasted transfer bytes
+    /// for fewer round trips; the default (4 KiB) merges anything within a
+    /// typical flash page.
+    pub io_gap_bytes: usize,
 }
+
+/// Default [`StoreConfig::io_gap_bytes`]: one typical flash page.
+pub const DEFAULT_IO_GAP_BYTES: usize = 4 << 10;
 
 impl Default for StoreConfig {
     fn default() -> Self {
@@ -48,6 +67,9 @@ impl Default for StoreConfig {
             sync_writes: false,
             parallelism: 0,
             simulated_read_latency: Duration::ZERO,
+            simulated_read_bytes_per_sec: 0,
+            io_coalescing: true,
+            io_gap_bytes: DEFAULT_IO_GAP_BYTES,
         }
     }
 }
@@ -106,6 +128,26 @@ impl StoreConfig {
         self
     }
 
+    /// Cap the simulated read transfer rate at `bytes_per_sec` (`0` =
+    /// unlimited; see the field docs on
+    /// [`StoreConfig::simulated_read_bytes_per_sec`]).
+    pub fn with_simulated_read_throughput(mut self, bytes_per_sec: u64) -> Self {
+        self.simulated_read_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Enable or disable coalesced cold-path batch reads (on by default).
+    pub fn with_io_coalescing(mut self, coalesce: bool) -> Self {
+        self.io_coalescing = coalesce;
+        self
+    }
+
+    /// Set the I/O planner's range-merge gap threshold in bytes.
+    pub fn with_io_gap_bytes(mut self, bytes: usize) -> Self {
+        self.io_gap_bytes = bytes;
+        self
+    }
+
     /// Number of whole pages that fit in the memory budget (at least one).
     pub fn pages_in_budget(&self) -> usize {
         (self.memory_budget / self.page_size).max(1)
@@ -132,7 +174,10 @@ mod tests {
             .with_page_size(4096)
             .with_sync_writes(true)
             .with_parallelism(4)
-            .with_simulated_read_latency(Duration::from_micros(50));
+            .with_simulated_read_latency(Duration::from_micros(50))
+            .with_simulated_read_throughput(1 << 30)
+            .with_io_coalescing(false)
+            .with_io_gap_bytes(128);
         assert_eq!(cfg.dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(cfg.memory_budget, 1 << 20);
         assert_eq!(cfg.index_buckets, 128);
@@ -140,6 +185,9 @@ mod tests {
         assert!(cfg.sync_writes);
         assert_eq!(cfg.parallelism, 4);
         assert_eq!(cfg.simulated_read_latency, Duration::from_micros(50));
+        assert_eq!(cfg.simulated_read_bytes_per_sec, 1 << 30);
+        assert!(!cfg.io_coalescing);
+        assert_eq!(cfg.io_gap_bytes, 128);
         assert_eq!(cfg.pages_in_budget(), (1 << 20) / 4096);
     }
 
@@ -148,6 +196,9 @@ mod tests {
         let cfg = StoreConfig::default();
         assert_eq!(cfg.parallelism, 0, "auto-sized by the batch executor");
         assert_eq!(cfg.simulated_read_latency, Duration::ZERO);
+        assert_eq!(cfg.simulated_read_bytes_per_sec, 0);
+        assert!(cfg.io_coalescing, "coalescing is on by default");
+        assert_eq!(cfg.io_gap_bytes, DEFAULT_IO_GAP_BYTES);
     }
 
     #[test]

@@ -3,17 +3,18 @@
 //! Engines spill cold data to a [`Device`]: either a real file ([`FileDevice`],
 //! used for the larger-than-memory experiments) or an in-memory byte vector
 //! ([`MemDevice`], used in unit tests and for the pure in-memory baselines). The
-//! interface is deliberately tiny — append-friendly positioned reads and writes —
-//! because both the hybrid log and the paged engines only need that.
+//! interface is deliberately tiny — append-friendly positioned reads and writes
+//! plus a vectored batch read ([`Device::read_scatter`]) — because both the
+//! hybrid log and the paged engines only need that.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
+use crate::io::ReadReq;
 
 /// A device supporting positioned reads and writes.
 ///
@@ -25,6 +26,21 @@ pub trait Device: Send + Sync {
     /// Fill `buf` from byte offset `offset`. Returns an error if the range is
     /// not fully populated.
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()>;
+
+    /// Fill every request's buffer from its offset (vectored batch read).
+    ///
+    /// Semantically identical to calling [`Device::read_at`] once per request
+    /// — which is exactly the default implementation — but a single trait call
+    /// lets implementations batch, reorder or price the requests as one
+    /// submission (see [`FileDevice`] and [`SimLatencyDevice`]). Engines
+    /// normally go through [`crate::IoPlanner::read`], which additionally
+    /// coalesces near-adjacent ranges into single large reads.
+    fn read_scatter(&self, reqs: &mut [ReadReq]) -> StorageResult<()> {
+        for req in reqs.iter_mut() {
+            self.read_at(req.offset, &mut req.buf)?;
+        }
+        Ok(())
+    }
 
     /// Current logical size in bytes (highest written offset + length).
     fn len(&self) -> u64;
@@ -42,12 +58,66 @@ pub trait Device: Send + Sync {
     fn append(&self, data: &[u8]) -> StorageResult<u64>;
 }
 
-/// File-backed device. Reads and writes go through a mutex-protected file handle;
-/// that is plenty for the workloads in this repository (the hybrid log batches its
-/// flushes into whole pages) and keeps the implementation portable.
+/// Positioned read without moving any shared cursor (`pread`).
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
+
+/// Positioned write without moving any shared cursor (`pwrite`).
+#[cfg(unix)]
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> std::io::Result<()> {
+    std::os::unix::fs::FileExt::write_all_at(file, buf, offset)
+}
+
+#[cfg(windows)]
+fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "failed to fill whole buffer",
+                ))
+            }
+            n => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(windows)]
+fn write_all_at(file: &File, mut buf: &[u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_write(buf, offset)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole buffer",
+                ))
+            }
+            n => {
+                buf = &buf[n..];
+                offset += n as u64;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// File-backed device built on positioned I/O (`pread`/`pwrite`-style calls
+/// that never move a shared cursor), so concurrent reads — the executor's
+/// parallel cold gathers — run without any lock between them. Only `append`
+/// takes a (tiny) mutex, to make its offset reservation atomic.
 pub struct FileDevice {
-    file: Mutex<File>,
+    file: File,
     len: AtomicU64,
+    append_lock: Mutex<()>,
 }
 
 impl FileDevice {
@@ -61,8 +131,9 @@ impl FileDevice {
             .open(path.as_ref())?;
         let len = file.metadata()?.len();
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             len: AtomicU64::new(len),
+            append_lock: Mutex::new(()),
         })
     }
 
@@ -75,26 +146,36 @@ impl FileDevice {
             .truncate(true)
             .open(path.as_ref())?;
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             len: AtomicU64::new(0),
+            append_lock: Mutex::new(()),
         })
     }
 }
 
 impl Device for FileDevice {
     fn write_at(&self, offset: u64, data: &[u8]) -> StorageResult<()> {
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(data)?;
+        write_all_at(&self.file, data, offset)?;
         let end = offset + data.len() as u64;
         self.len.fetch_max(end, Ordering::SeqCst);
         Ok(())
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(offset))?;
-        file.read_exact(buf)?;
+        read_exact_at(&self.file, buf, offset)?;
+        Ok(())
+    }
+
+    fn read_scatter(&self, reqs: &mut [ReadReq]) -> StorageResult<()> {
+        // Native vectored read: issue the preads in ascending offset order so
+        // the kernel/device sees a sequential access pattern, still without
+        // taking any lock.
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_unstable_by_key(|&i| reqs[i].offset);
+        for i in order {
+            let req = &mut reqs[i];
+            read_exact_at(&self.file, &mut req.buf, req.offset)?;
+        }
         Ok(())
     }
 
@@ -103,16 +184,18 @@ impl Device for FileDevice {
     }
 
     fn sync(&self) -> StorageResult<()> {
-        self.file.lock().sync_data()?;
+        self.file.sync_data()?;
         Ok(())
     }
 
     fn append(&self, data: &[u8]) -> StorageResult<u64> {
-        let mut file = self.file.lock();
+        let _guard = self.append_lock.lock();
         let offset = self.len.load(Ordering::SeqCst);
-        file.seek(SeekFrom::Start(offset))?;
-        file.write_all(data)?;
-        self.len.store(offset + data.len() as u64, Ordering::SeqCst);
+        write_all_at(&self.file, data, offset)?;
+        // fetch_max, not store: a concurrent `write_at` past the old end may
+        // have advanced `len` since the load, and it must never regress.
+        self.len
+            .fetch_max(offset + data.len() as u64, Ordering::SeqCst);
         Ok(offset)
     }
 }
@@ -134,6 +217,21 @@ impl MemDevice {
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.lock().clone()
     }
+
+    /// Bounds-checked copy of `[offset, offset + buf.len())` out of the
+    /// locked byte store (shared by `read_at` and `read_scatter`).
+    fn copy_range(data: &[u8], offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+        let end = offset as usize + buf.len();
+        if end > data.len() {
+            return Err(StorageError::Corruption(format!(
+                "read past end of device: {} > {}",
+                end,
+                data.len()
+            )));
+        }
+        buf.copy_from_slice(&data[offset as usize..end]);
+        Ok(())
+    }
 }
 
 impl Device for MemDevice {
@@ -149,15 +247,15 @@ impl Device for MemDevice {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
         let guard = self.data.lock();
-        let end = offset as usize + buf.len();
-        if end > guard.len() {
-            return Err(StorageError::Corruption(format!(
-                "read past end of device: {} > {}",
-                end,
-                guard.len()
-            )));
+        Self::copy_range(&guard, offset, buf)
+    }
+
+    fn read_scatter(&self, reqs: &mut [ReadReq]) -> StorageResult<()> {
+        // One lock acquisition covers the whole batch.
+        let guard = self.data.lock();
+        for req in reqs.iter_mut() {
+            Self::copy_range(&guard, req.offset, &mut req.buf)?;
         }
-        buf.copy_from_slice(&guard[offset as usize..end]);
         Ok(())
     }
 
@@ -177,26 +275,55 @@ impl Device for MemDevice {
     }
 }
 
-/// Decorator injecting a fixed latency into every read of an inner device.
+/// Decorator injecting SSD-like read costs into an inner device.
 ///
 /// RAM-backed devices answer reads in nanoseconds, which hides every effect
 /// the paper attributes to storage: parallel batch reads overlapping device
-/// waits, look-ahead prefetching, cold-read stalls. Wrapping the device in a
-/// `SimLatencyDevice` restores an SSD-like read cost (sleeps, not spins, so
-/// concurrent readers genuinely overlap) without needing a real disk. Enabled
-/// via [`crate::StoreConfig::with_simulated_read_latency`]; writes are not
+/// waits, look-ahead prefetching, cold-read stalls — and the round-trip
+/// savings of coalesced scatter reads. The model charges every request a
+/// **fixed per-request latency** (command overhead / flash read latency) plus
+/// a **per-byte transfer cost** derived from a configured throughput, so
+/// merging N small reads into one large read genuinely pays 1 fixed cost + N
+/// transfers instead of N of each — the same trade a real NVMe queue makes.
+/// Sleeps, not spins, so concurrent readers overlap. Enabled via
+/// [`crate::StoreConfig::with_simulated_read_latency`] /
+/// [`crate::StoreConfig::with_simulated_read_throughput`]; writes are not
 /// delayed (the engines already batch them into page-sized flushes).
 pub struct SimLatencyDevice {
     inner: std::sync::Arc<dyn Device>,
     read_latency: std::time::Duration,
+    read_bytes_per_sec: u64,
 }
 
 impl SimLatencyDevice {
-    /// Wrap `inner`, delaying every `read_at` by `read_latency`.
+    /// Wrap `inner`, delaying every `read_at` by `read_latency` (unlimited
+    /// transfer throughput — the pure fixed-cost model).
     pub fn new(inner: std::sync::Arc<dyn Device>, read_latency: std::time::Duration) -> Self {
+        Self::with_throughput(inner, read_latency, 0)
+    }
+
+    /// Wrap `inner` with a fixed `read_latency` per request plus a transfer
+    /// cost of `bytes_per_sec` (0 = unlimited).
+    pub fn with_throughput(
+        inner: std::sync::Arc<dyn Device>,
+        read_latency: std::time::Duration,
+        bytes_per_sec: u64,
+    ) -> Self {
         Self {
             inner,
             read_latency,
+            read_bytes_per_sec: bytes_per_sec,
+        }
+    }
+
+    /// Transfer time for `bytes` at the configured throughput.
+    fn transfer_cost(&self, bytes: u64) -> std::time::Duration {
+        if self.read_bytes_per_sec == 0 {
+            std::time::Duration::ZERO
+        } else {
+            std::time::Duration::from_nanos(
+                (bytes as f64 / self.read_bytes_per_sec as f64 * 1e9) as u64,
+            )
         }
     }
 }
@@ -209,8 +336,18 @@ impl Device for SimLatencyDevice {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
         // Sleep before taking any inner lock so concurrent readers wait in
         // parallel, exactly like outstanding requests on a real device queue.
-        std::thread::sleep(self.read_latency);
+        std::thread::sleep(self.read_latency + self.transfer_cost(buf.len() as u64));
         self.inner.read_at(offset, buf)
+    }
+
+    fn read_scatter(&self, reqs: &mut [ReadReq]) -> StorageResult<()> {
+        // A scatter of N requests drains a device queue serially: N fixed
+        // costs plus the total transfer, paid as one sleep. This is what the
+        // coalescing planner beats — merged runs arrive here as a single
+        // large `read_at` paying one fixed cost.
+        let total_bytes: u64 = reqs.iter().map(|r| r.buf.len() as u64).sum();
+        std::thread::sleep(self.read_latency * reqs.len() as u32 + self.transfer_cost(total_bytes));
+        self.inner.read_scatter(reqs)
     }
 
     fn len(&self) -> u64 {
@@ -229,7 +366,8 @@ impl Device for SimLatencyDevice {
 /// Construct a device from a [`crate::StoreConfig`]: file-backed when a directory
 /// is configured, memory-backed otherwise. `name` distinguishes multiple device
 /// files of one engine (e.g. `hlog.dat`, `wal.dat`). A configured
-/// `simulated_read_latency` wraps the device in a [`SimLatencyDevice`].
+/// `simulated_read_latency` / `simulated_read_bytes_per_sec` wraps the device
+/// in a [`SimLatencyDevice`].
 pub fn device_from_config(
     cfg: &crate::StoreConfig,
     name: &str,
@@ -241,12 +379,13 @@ pub fn device_from_config(
         }
         None => std::sync::Arc::new(MemDevice::new()),
     };
-    if cfg.simulated_read_latency.is_zero() {
+    if cfg.simulated_read_latency.is_zero() && cfg.simulated_read_bytes_per_sec == 0 {
         Ok(device)
     } else {
-        Ok(std::sync::Arc::new(SimLatencyDevice::new(
+        Ok(std::sync::Arc::new(SimLatencyDevice::with_throughput(
             device,
             cfg.simulated_read_latency,
+            cfg.simulated_read_bytes_per_sec,
         )))
     }
 }
@@ -266,6 +405,11 @@ mod tests {
         let mut buf = vec![0u8; 11];
         dev.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"hello world");
+
+        let mut reqs = vec![ReadReq::new(6, 5), ReadReq::new(0, 5)];
+        dev.read_scatter(&mut reqs).unwrap();
+        assert_eq!(&reqs[0].buf, b"world");
+        assert_eq!(&reqs[1].buf, b"hello");
 
         dev.write_at(0, b"HELLO").unwrap();
         let mut buf = vec![0u8; 5];
@@ -299,6 +443,33 @@ mod tests {
     }
 
     #[test]
+    fn file_device_concurrent_positioned_reads_need_no_lock() {
+        let dir = std::env::temp_dir().join(format!("mlkv-dev-par-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dev = std::sync::Arc::new(FileDevice::create(dir.join("par.dat")).unwrap());
+        let bytes: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+        dev.append(&bytes).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let dev = std::sync::Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let offset = (t * 1000 + i * 13) % (64 * 1024 - 32);
+                    let mut buf = [0u8; 32];
+                    dev.read_at(offset, &mut buf).unwrap();
+                    for (j, b) in buf.iter().enumerate() {
+                        assert_eq!(*b, ((offset as usize + j) % 251) as u8);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mem_device_write_past_end_extends() {
         let dev = MemDevice::new();
         dev.write_at(100, b"x").unwrap();
@@ -314,6 +485,8 @@ mod tests {
         dev.append(b"abc").unwrap();
         let mut buf = vec![0u8; 10];
         assert!(dev.read_at(0, &mut buf).is_err());
+        let mut reqs = vec![ReadReq::new(0, 10)];
+        assert!(dev.read_scatter(&mut reqs).is_err());
     }
 
     #[test]
@@ -343,5 +516,29 @@ mod tests {
         assert_eq!(&buf, b"hello");
         dev.write_at(0, b"HELLO").unwrap();
         dev.sync().unwrap();
+    }
+
+    #[test]
+    fn sim_latency_scatter_pays_per_request_and_per_byte() {
+        let latency = std::time::Duration::from_millis(2);
+        let cfg = crate::StoreConfig::in_memory()
+            .with_simulated_read_latency(latency)
+            .with_simulated_read_throughput(1 << 20); // 1 MiB/s: 1 KiB ≈ 1 ms
+        let dev = device_from_config(&cfg, "x.dat").unwrap();
+        dev.append(&vec![7u8; 4096]).unwrap();
+
+        // Scatter of 4 requests: ≥ 4 fixed costs.
+        let mut reqs: Vec<ReadReq> = (0..4).map(|i| ReadReq::new(i * 64, 64)).collect();
+        let start = std::time::Instant::now();
+        dev.read_scatter(&mut reqs).unwrap();
+        assert!(start.elapsed() >= latency * 4, "scatter pays per request");
+        assert!(reqs.iter().all(|r| r.buf == vec![7u8; 64]));
+
+        // One large read: 1 fixed cost + transfer of 2 KiB ≈ 2 ms.
+        let start = std::time::Instant::now();
+        let mut buf = vec![0u8; 2048];
+        dev.read_at(0, &mut buf).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= latency + std::time::Duration::from_millis(1));
     }
 }

@@ -1,0 +1,342 @@
+//! Vectored cold-path I/O: batch read requests and a coalescing planner.
+//!
+//! Every engine's cold read path boils down to "fetch these N byte ranges from
+//! the device". Issuing them one [`Device::read_at`] at a time pays one device
+//! round trip per record; on real SSDs (and on [`crate::SimLatencyDevice`],
+//! which models their fixed per-request cost) the round trips dominate the
+//! transfer. [`IoPlanner`] turns a batch of [`ReadReq`]s into few large device
+//! reads: it sorts the requests by offset, merges ranges whose gap is at most
+//! [`crate::StoreConfig::io_gap_bytes`], reads each merged run with a single
+//! `read_at`, and slices the bytes back into the per-request buffers.
+//!
+//! The planner is pure plumbing: it never looks at the bytes, so duplicate,
+//! overlapping and unsorted requests all work, and the result is byte-identical
+//! to the per-request loop ([`Device::read_scatter`]'s default implementation)
+//! for every gap threshold.
+
+use crate::device::Device;
+use crate::error::StorageResult;
+
+/// One positioned read: fill `buf` from byte offset `offset` of a device.
+#[derive(Debug)]
+pub struct ReadReq {
+    /// Device byte offset the read starts at.
+    pub offset: u64,
+    /// Destination buffer; its length is the read length.
+    pub buf: Vec<u8>,
+}
+
+impl ReadReq {
+    /// A request for `len` bytes at `offset` (buffer zero-initialised).
+    pub fn new(offset: u64, len: usize) -> Self {
+        Self {
+            offset,
+            buf: vec![0; len],
+        }
+    }
+
+    /// One past the last byte offset this request covers.
+    pub fn end(&self) -> u64 {
+        self.offset + self.buf.len() as u64
+    }
+
+    /// Consume the request, keeping the filled buffer.
+    pub fn into_buf(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Upper bound on one merged read's scratch allocation. Runs that would grow
+/// beyond this are split; with the default 4 KiB gap threshold a run only
+/// approaches this when a batch genuinely reads megabytes of adjacent data,
+/// in which case a handful of 4 MiB reads is still one round trip each.
+const MAX_RUN_BYTES: u64 = 4 << 20;
+
+/// Plans batched device reads: sorts by offset and merges near-adjacent
+/// ranges into single large reads (see the module docs).
+///
+/// Engines embed one (built from their [`crate::StoreConfig`]) and route every
+/// cold-path batch read through [`IoPlanner::read`].
+#[derive(Debug, Clone)]
+pub struct IoPlanner {
+    coalesce: bool,
+    gap_bytes: u64,
+}
+
+impl Default for IoPlanner {
+    /// Coalescing on, with the [`crate::StoreConfig`] default gap threshold.
+    fn default() -> Self {
+        Self::from_config(&crate::StoreConfig::default())
+    }
+}
+
+impl IoPlanner {
+    /// A coalescing planner merging ranges separated by at most `gap_bytes`.
+    pub fn new(gap_bytes: u64) -> Self {
+        Self {
+            coalesce: true,
+            gap_bytes,
+        }
+    }
+
+    /// A pass-through planner: every batch goes straight to
+    /// [`Device::read_scatter`], one request at a time on most devices. This
+    /// is the pre-coalescing behaviour, kept for benchmarking comparisons.
+    pub fn disabled() -> Self {
+        Self {
+            coalesce: false,
+            gap_bytes: 0,
+        }
+    }
+
+    /// Build a planner from the store configuration knobs.
+    pub fn from_config(cfg: &crate::StoreConfig) -> Self {
+        Self {
+            coalesce: cfg.io_coalescing,
+            gap_bytes: cfg.io_gap_bytes as u64,
+        }
+    }
+
+    /// True when this planner merges ranges (false = pass-through).
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Fill every request's buffer from `device`, coalescing near-adjacent
+    /// ranges into single device reads when enabled.
+    ///
+    /// Byte-identical to [`Device::read_scatter`] for any request batch; the
+    /// first failing device read aborts (callers needing per-request error
+    /// granularity fall back to per-request reads on error).
+    pub fn read(&self, device: &dyn Device, reqs: &mut [ReadReq]) -> StorageResult<()> {
+        if !self.coalesce || reqs.len() <= 1 {
+            return device.read_scatter(reqs);
+        }
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_unstable_by_key(|&i| (reqs[i].offset, reqs[i].buf.len()));
+        let mut run: Vec<usize> = Vec::new();
+        let (mut run_start, mut run_end) = (0u64, 0u64);
+        for &i in &order {
+            let (offset, end) = (reqs[i].offset, reqs[i].end());
+            let extends = !run.is_empty()
+                && offset <= run_end.saturating_add(self.gap_bytes)
+                && end.max(run_end) - run_start <= MAX_RUN_BYTES;
+            if extends {
+                run.push(i);
+                run_end = run_end.max(end);
+            } else {
+                self.read_run(device, reqs, &run, run_start, run_end)?;
+                run.clear();
+                run.push(i);
+                run_start = offset;
+                run_end = end;
+            }
+        }
+        self.read_run(device, reqs, &run, run_start, run_end)
+    }
+
+    /// Issue one merged read covering `[start, end)` and slice it back into
+    /// the member requests' buffers. Single-member runs read straight into
+    /// their own buffer (no scratch copy).
+    fn read_run(
+        &self,
+        device: &dyn Device,
+        reqs: &mut [ReadReq],
+        run: &[usize],
+        start: u64,
+        end: u64,
+    ) -> StorageResult<()> {
+        match run {
+            [] => Ok(()),
+            [i] => {
+                let req = &mut reqs[*i];
+                device.read_at(req.offset, &mut req.buf)
+            }
+            _ => {
+                let mut scratch = vec![0u8; (end - start) as usize];
+                device.read_at(start, &mut scratch)?;
+                for &i in run {
+                    let req = &mut reqs[i];
+                    let at = (req.offset - start) as usize;
+                    let len = req.buf.len();
+                    req.buf.copy_from_slice(&scratch[at..at + len]);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Device wrapper counting `read_at` calls (merged runs count once).
+    struct CountingDevice {
+        inner: MemDevice,
+        reads: AtomicU64,
+    }
+
+    impl CountingDevice {
+        fn with_bytes(n: usize) -> Self {
+            let inner = MemDevice::new();
+            let bytes: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            inner.append(&bytes).unwrap();
+            Self {
+                inner,
+                reads: AtomicU64::new(0),
+            }
+        }
+
+        fn reads(&self) -> u64 {
+            self.reads.load(Ordering::Relaxed)
+        }
+    }
+
+    impl Device for CountingDevice {
+        fn write_at(&self, offset: u64, data: &[u8]) -> StorageResult<()> {
+            self.inner.write_at(offset, data)
+        }
+        fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            self.inner.read_at(offset, buf)
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn sync(&self) -> StorageResult<()> {
+            self.inner.sync()
+        }
+        fn append(&self, data: &[u8]) -> StorageResult<u64> {
+            self.inner.append(data)
+        }
+    }
+
+    fn expected(dev: &dyn Device, reqs: &[(u64, usize)]) -> Vec<Vec<u8>> {
+        reqs.iter()
+            .map(|&(offset, len)| {
+                let mut buf = vec![0u8; len];
+                dev.read_at(offset, &mut buf).unwrap();
+                buf
+            })
+            .collect()
+    }
+
+    fn run_planner(planner: &IoPlanner, dev: &dyn Device, reqs: &[(u64, usize)]) -> Vec<Vec<u8>> {
+        let mut batch: Vec<ReadReq> = reqs.iter().map(|&(o, l)| ReadReq::new(o, l)).collect();
+        planner.read(dev, &mut batch).unwrap();
+        batch.into_iter().map(ReadReq::into_buf).collect()
+    }
+
+    #[test]
+    fn adjacent_requests_merge_into_one_read() {
+        let dev = CountingDevice::with_bytes(4096);
+        let reqs = [(0u64, 64usize), (64, 64), (128, 64), (192, 64)];
+        let want = expected(&dev, &reqs);
+        let base = dev.reads();
+        let got = run_planner(&IoPlanner::new(0), &dev, &reqs);
+        assert_eq!(got, want);
+        assert_eq!(dev.reads() - base, 1, "adjacent ranges must merge");
+    }
+
+    #[test]
+    fn gap_threshold_controls_merging() {
+        let dev = CountingDevice::with_bytes(8192);
+        // 64-byte reads separated by 100-byte gaps.
+        let reqs: Vec<(u64, usize)> = (0..8u64).map(|i| (i * 164, 64)).collect();
+        let want = expected(&dev, &reqs);
+
+        let base = dev.reads();
+        assert_eq!(run_planner(&IoPlanner::new(100), &dev, &reqs), want);
+        assert_eq!(dev.reads() - base, 1, "gaps within threshold must merge");
+
+        let base = dev.reads();
+        assert_eq!(run_planner(&IoPlanner::new(99), &dev, &reqs), want);
+        assert_eq!(dev.reads() - base, 8, "gaps above threshold must not");
+    }
+
+    #[test]
+    fn unsorted_duplicate_and_overlapping_requests_work() {
+        let dev = CountingDevice::with_bytes(4096);
+        let reqs = [
+            (512u64, 128usize),
+            (0, 64),
+            (512, 128), // duplicate
+            (32, 64),   // overlaps the second
+            (600, 100), // overlaps the first
+            (4000, 96), // tail of the device
+        ];
+        let want = expected(&dev, &reqs);
+        for gap in [0u64, 1, 64, 4096, u64::MAX] {
+            assert_eq!(
+                run_planner(&IoPlanner::new(gap), &dev, &reqs),
+                want,
+                "gap {gap}"
+            );
+        }
+        assert_eq!(run_planner(&IoPlanner::disabled(), &dev, &reqs), want);
+    }
+
+    #[test]
+    fn disabled_planner_reads_per_request() {
+        let dev = CountingDevice::with_bytes(1024);
+        let reqs = [(0u64, 32usize), (32, 32), (64, 32)];
+        let base = dev.reads();
+        run_planner(&IoPlanner::disabled(), &dev, &reqs);
+        assert_eq!(dev.reads() - base, 3);
+        assert!(!IoPlanner::disabled().coalescing());
+        assert!(IoPlanner::default().coalescing());
+    }
+
+    #[test]
+    fn oversized_runs_are_split() {
+        let chunk = (MAX_RUN_BYTES / 2) as usize + 1;
+        let dev = CountingDevice::with_bytes(3 * chunk);
+        let reqs = [
+            (0u64, chunk),
+            (chunk as u64, chunk),
+            (2 * chunk as u64, chunk),
+        ];
+        let want = expected(&dev, &reqs);
+        let base = dev.reads();
+        assert_eq!(run_planner(&IoPlanner::new(0), &dev, &reqs), want);
+        let merged_reads = dev.reads() - base;
+        assert!(
+            (2..=3).contains(&merged_reads),
+            "runs above MAX_RUN_BYTES must split (got {merged_reads} reads)"
+        );
+    }
+
+    #[test]
+    fn zero_length_and_empty_batches_are_fine() {
+        let dev = CountingDevice::with_bytes(64);
+        let planner = IoPlanner::new(16);
+        let mut empty: Vec<ReadReq> = Vec::new();
+        planner.read(&dev, &mut empty).unwrap();
+        let got = run_planner(&planner, &dev, &[(8, 0), (8, 8)]);
+        assert_eq!(got[0], Vec::<u8>::new());
+        assert_eq!(got[1].len(), 8);
+    }
+
+    #[test]
+    fn read_errors_propagate() {
+        let dev = CountingDevice::with_bytes(64);
+        let planner = IoPlanner::new(u64::MAX);
+        let mut reqs = vec![ReadReq::new(0, 32), ReadReq::new(1024, 32)];
+        assert!(planner.read(&dev, &mut reqs).is_err(), "read past end");
+    }
+
+    #[test]
+    fn from_config_honours_the_knobs() {
+        let cfg = crate::StoreConfig::in_memory()
+            .with_io_coalescing(false)
+            .with_io_gap_bytes(123);
+        assert!(!IoPlanner::from_config(&cfg).coalescing());
+        let cfg = crate::StoreConfig::in_memory().with_io_gap_bytes(123);
+        let planner = IoPlanner::from_config(&cfg);
+        assert!(planner.coalescing());
+        assert_eq!(planner.gap_bytes, 123);
+    }
+}

@@ -6,7 +6,10 @@
 //! * [`KvStore`] — the blocking key-value interface every engine implements
 //!   (FASTER-like hybrid log, LSM tree, B+tree, and the in-memory baseline).
 //! * [`Device`] — a positioned-I/O abstraction over files or memory, used by the
-//!   engines for their on-disk components.
+//!   engines for their on-disk components, with a vectored batch read
+//!   ([`Device::read_scatter`]).
+//! * [`IoPlanner`] / [`ReadReq`] — the cold-path I/O planner that coalesces a
+//!   batch of near-adjacent device reads into few large ones.
 //! * [`Page`] / [`PageId`] — fixed-size page plumbing for paged engines.
 //! * [`ShardedLruCache`] — a general purpose byte cache used both as block cache
 //!   (LSM), buffer-pool victim cache (B+tree) and application cache (MLKV core).
@@ -24,6 +27,7 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod io;
 pub mod kv;
 pub mod memstore;
 pub mod metrics;
@@ -34,6 +38,7 @@ pub use config::StoreConfig;
 pub use device::{Device, FileDevice, MemDevice, SimLatencyDevice};
 pub use error::{StorageError, StorageResult};
 pub use exec::BatchExecutor;
+pub use io::{IoPlanner, ReadReq};
 pub use kv::{BatchRmwFn, KvStore, WriteBatch};
 pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};
