@@ -13,12 +13,19 @@
 //! trips with few merged reads, so the gap is the round-trip cost itself and
 //! shows up on any host, single-core CI boxes included.
 
+//!
+//! The `*_cold_ssd_io_backend` groups compare the same coalesced gather with
+//! blocking reads (`sync`) vs submission-queue reads (`async`): the async
+//! rows submit each pass's merged reads as one batch, so their fixed costs
+//! overlap up to the queue depth instead of paying one round trip each.
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mlkv_bench::io_coalesce::{
-    cold_table, rotating_keys, BACKENDS, IO_BATCH, KEY_SPACE, PARALLELISM,
+    cold_table, cold_table_io, rotating_keys, BACKENDS, IO_BATCH, KEY_SPACE, PARALLELISM,
 };
+use mlkv_storage::IoBackend;
 
 fn bench_io_coalesce(c: &mut Criterion) {
     for backend in BACKENDS {
@@ -53,5 +60,33 @@ fn bench_io_coalesce(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_io_coalesce);
+fn bench_io_async(c: &mut Criterion) {
+    for backend in BACKENDS {
+        let mut group = c.benchmark_group(format!(
+            "{}_cold_ssd_io_backend",
+            backend.name().to_lowercase()
+        ));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(100))
+            .measurement_time(Duration::from_millis(600));
+        for io_backend in [IoBackend::Sync, IoBackend::Async] {
+            let table = cold_table_io(backend, true, io_backend, PARALLELISM);
+            group.bench_with_input(
+                BenchmarkId::new(format!("gather/{IO_BATCH}"), io_backend.to_string()),
+                &table,
+                |b, t| {
+                    let mut base = 0u64;
+                    b.iter(|| {
+                        base = base.wrapping_add(31);
+                        t.gather(&rotating_keys(base, IO_BATCH, KEY_SPACE)).unwrap()
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_io_coalesce, bench_io_async);
 criterion_main!(benches);

@@ -13,12 +13,15 @@
 //!   on FASTER / RocksDB-label LSM / WiredTiger-label B+tree with the I/O
 //!   planner's coalescing off (the per-record read path) vs on, at the same
 //!   executor parallelism.
+//! * `BENCH_io_async.json` (same setup): the coalesced cold-SSD gather with
+//!   blocking reads (`io_backend = sync`) vs submission-queue reads
+//!   (`io_backend = async`), at the same parallelism and coalescing.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p mlkv-bench --bin emit_bench_json \
-//!     [-- --out PATH] [--io-out PATH] [--quick]
+//!     [-- --out PATH] [--io-out PATH] [--io-async-out PATH] [--quick]
 //! ```
 //!
 //! `--quick` runs one measurement iteration per cell (CI smoke); the default
@@ -40,6 +43,30 @@ use mlkv_bench::batch_parallel::{
 };
 use mlkv_bench::io_coalesce;
 use mlkv_storage::exec::available_parallelism;
+
+/// Write the shared `BENCH_*.json` prologue (provenance, host, mode, time)
+/// and open the `results` array. Every writer funnels through this so the
+/// schema `check_bench_drift` keys on cannot silently diverge.
+fn json_prologue(json: &mut String, bench: &str, quick: bool, note: &str) {
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release -p mlkv-bench --bin emit_bench_json\","
+    );
+    let _ = writeln!(json, "  \"host_parallelism\": {},", available_parallelism());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"unix_time\": {},",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"note\": \"{note}\",");
+    json.push_str("  \"results\": [\n");
+}
 
 struct Cell {
     engine: &'static str,
@@ -169,35 +196,102 @@ fn run_io_coalesce(quick: bool) -> Vec<IoCell> {
     cells
 }
 
+/// One `BENCH_io_async.json` row: the coalesced cold-SSD gather under one
+/// read backend (sync blocking `pread`s vs async submission queue).
+struct IoAsyncCell {
+    engine: &'static str,
+    io_backend: mlkv_storage::IoBackend,
+    mean_ns: u128,
+    speedup_vs_sync: f64,
+}
+
+/// Measure the sync/async pair for every disk-backed engine (coalescing on,
+/// same parallelism — the only variable is how reads reach the device).
+fn run_io_async(quick: bool) -> Vec<IoAsyncCell> {
+    use mlkv_storage::IoBackend;
+    let (warmup, iters) = if quick { (1, 1) } else { (1, 8) };
+    let mut cells = Vec::new();
+    for backend in io_coalesce::BACKENDS {
+        let mut sync_ns = 0u128;
+        for io_backend in [IoBackend::Sync, IoBackend::Async] {
+            let table =
+                io_coalesce::cold_table_io(backend, true, io_backend, io_coalesce::PARALLELISM);
+            let mean_ns = measure_gather(
+                &table,
+                io_coalesce::IO_BATCH,
+                io_coalesce::KEY_SPACE,
+                warmup,
+                iters,
+            );
+            if io_backend == IoBackend::Sync {
+                sync_ns = mean_ns;
+            }
+            let speedup = sync_ns as f64 / mean_ns.max(1) as f64;
+            eprintln!(
+                "{:>10} cold-ssd batch {} p{} io_backend={io_backend}: \
+                 {:>10.3} ms/gather ({speedup:.2}x vs sync)",
+                backend.name(),
+                io_coalesce::IO_BATCH,
+                io_coalesce::PARALLELISM,
+                mean_ns as f64 / 1e6
+            );
+            cells.push(IoAsyncCell {
+                engine: backend.name(),
+                io_backend,
+                mean_ns,
+                speedup_vs_sync: speedup,
+            });
+        }
+    }
+    cells
+}
+
+fn write_io_async_json(cells: &[IoAsyncCell], quick: bool, out_path: &str) {
+    let mut json = String::new();
+    let note = format!(
+        "coalesced cold-SSD gather (batch {}, parallelism {}, {}us/request + \
+         1 GiB/s simulated SSD, queue depth {}) with blocking reads (io_backend=sync) vs \
+         submission-queue reads (io_backend=async); async submits each pass's merged reads \
+         as one batch so their fixed costs overlap up to the queue depth, and both modes \
+         return byte-identical results (tests/io_coalesce.rs)",
+        io_coalesce::IO_BATCH,
+        io_coalesce::PARALLELISM,
+        io_coalesce::READ_LATENCY.as_micros(),
+        io_coalesce::IO_QUEUE_DEPTH,
+    );
+    json_prologue(&mut json, "io_async", quick, &note);
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"workload\": \"gather-cold-ssd\", \"batch\": {}, \
+             \"parallelism\": {}, \"io_backend\": \"{}\", \"mean_ns\": {}, \
+             \"speedup_vs_sync\": {:.3}}}",
+            c.engine,
+            io_coalesce::IO_BATCH,
+            io_coalesce::PARALLELISM,
+            c.io_backend,
+            c.mean_ns,
+            c.speedup_vs_sync
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}
+
 fn write_io_coalesce_json(cells: &[IoCell], quick: bool, out_path: &str) {
     let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"io_coalesce\",");
-    let _ = writeln!(
-        json,
-        "  \"generated_by\": \"cargo run --release -p mlkv-bench --bin emit_bench_json\","
-    );
-    let _ = writeln!(json, "  \"host_parallelism\": {},", available_parallelism());
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(
-        json,
-        "  \"unix_time\": {},",
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0)
-    );
-    let _ = writeln!(
-        json,
-        "  \"note\": \"cold-SSD gather (batch {}, parallelism {}, {}us/request + 1 GiB/s \
+    let note = format!(
+        "cold-SSD gather (batch {}, parallelism {}, {}us/request + 1 GiB/s \
          simulated SSD) with cold-path read coalescing off (the per-record read path) vs on; \
          both modes return byte-identical results (tests/io_coalesce.rs), the speedup is \
-         device round trips removed by the IoPlanner and shows up on any host\",",
+         device round trips removed by the IoPlanner and shows up on any host",
         io_coalesce::IO_BATCH,
         io_coalesce::PARALLELISM,
         io_coalesce::READ_LATENCY.as_micros(),
     );
-    json.push_str("  \"results\": [\n");
+    json_prologue(&mut json, "io_coalesce", quick, &note);
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
@@ -221,18 +315,12 @@ fn write_io_coalesce_json(cells: &[IoCell], quick: bool, out_path: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let out_path = mlkv_bench::arg_value(&args, "--out")
         .unwrap_or_else(|| "BENCH_batch_parallel.json".to_string());
-    let io_out_path = args
-        .iter()
-        .position(|a| a == "--io-out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let io_out_path = mlkv_bench::arg_value(&args, "--io-out")
         .unwrap_or_else(|| "BENCH_io_coalesce.json".to_string());
+    let io_async_out_path = mlkv_bench::arg_value(&args, "--io-async-out")
+        .unwrap_or_else(|| "BENCH_io_async.json".to_string());
 
     let mut cells = Vec::new();
     let warm = |engine| GroupSpec {
@@ -267,30 +355,15 @@ fn main() {
     );
 
     let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"batch_parallel\",");
-    let _ = writeln!(
-        json,
-        "  \"generated_by\": \"cargo run --release -p mlkv-bench --bin emit_bench_json\","
-    );
-    let _ = writeln!(json, "  \"host_parallelism\": {},", available_parallelism());
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(
-        json,
-        "  \"unix_time\": {},",
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0)
-    );
-    let _ = writeln!(
-        json,
-        "  \"note\": \"gather latency by batch-executor parallelism; gather-warm is \
+    json_prologue(
+        &mut json,
+        "batch_parallel",
+        quick,
+        "gather latency by batch-executor parallelism; gather-warm is \
          RAM-resident CPU work (parallel speedup requires >= that many idle cores; on a \
          1-core host it measures executor overhead), gather-cold-ssd is device-bound with \
-         25us simulated SSD reads (speedup = overlapped I/O, visible on any host)\","
+         25us simulated SSD reads (speedup = overlapped I/O, visible on any host)",
     );
-    json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
@@ -307,4 +380,7 @@ fn main() {
 
     let io_cells = run_io_coalesce(quick);
     write_io_coalesce_json(&io_cells, quick, &io_out_path);
+
+    let io_async_cells = run_io_async(quick);
+    write_io_async_json(&io_async_cells, quick, &io_async_out_path);
 }

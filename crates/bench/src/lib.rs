@@ -11,12 +11,24 @@ use mlkv::{BackendKind, EmbeddingTable, Mlkv, StorageResult};
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult};
 use mlkv_storage::{StorageMetrics, StoreConfig};
 
+/// Value following `flag` in `args` (e.g. `arg_value(&args, "--out")`),
+/// shared by every bench binary's flag parsing.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// [`arg_value`] over the process arguments.
+pub fn cli_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    arg_value(&args, flag)
+}
+
 /// Parse `--scale <f64>` from the process arguments (default 1.0).
 pub fn scale_from_args() -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
+    cli_value("--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0)
 }
@@ -25,10 +37,7 @@ pub fn scale_from_args() -> f64 {
 /// (auto-size from the host); `--parallelism 1` pins every batched operation
 /// to the calling thread for deterministic, executor-free runs.
 pub fn parallelism_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--parallelism")
-        .and_then(|i| args.get(i + 1))
+    cli_value("--parallelism")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
 }
@@ -307,7 +316,7 @@ pub mod io_coalesce {
     use std::time::Duration;
 
     use mlkv::{open_store, BackendKind, EmbeddingTable};
-    use mlkv_storage::StoreConfig;
+    use mlkv_storage::{IoBackend, StoreConfig};
 
     pub use super::batch_parallel::rotating_keys;
 
@@ -325,6 +334,18 @@ pub mod io_coalesce {
     /// Worker count both modes run at (same parallelism, per the bench's
     /// apples-to-apples contract).
     pub const PARALLELISM: usize = 4;
+    /// Submission-queue depth of the async-backend rows: how many in-flight
+    /// merged reads the simulated device overlaps per submission.
+    pub const IO_QUEUE_DEPTH: usize = 32;
+    /// Gap threshold of the sync-vs-async rows. The coalesce rows use the
+    /// default 4 KiB gap, which folds this dense setup into one or two giant
+    /// runs per pass — nothing left for a submission queue to overlap. The
+    /// async comparison instead measures the complementary scenario the
+    /// submission queue exists for: ranges too far apart to merge (a 256 B
+    /// gap leaves one merged run per record here), where the sync path pays
+    /// one blocking round trip per run and the async path overlaps them up
+    /// to [`IO_QUEUE_DEPTH`].
+    pub const ASYNC_GAP_BYTES: usize = 256;
     /// The disk-backed engines the bench sweeps (labels follow the paper's
     /// figures: RocksDB = LSM, WiredTiger = B+tree).
     pub const BACKENDS: [BackendKind; 3] = [
@@ -334,22 +355,52 @@ pub mod io_coalesce {
     ];
 
     /// A larger-than-memory table on `backend` over the simulated SSD, with
-    /// cold-path read coalescing on or off.
+    /// cold-path read coalescing on or off (blocking reads — the sync
+    /// backend — at the default 4 KiB merge gap).
     pub fn cold_table(
         backend: BackendKind,
         coalescing: bool,
         parallelism: usize,
     ) -> Arc<EmbeddingTable> {
+        let cfg = StoreConfig::in_memory().with_io_coalescing(coalescing);
+        build_cold_table(backend, cfg, parallelism)
+    }
+
+    /// Cold table for the sync-vs-async comparison recorded in
+    /// `BENCH_io_async.json`: `IoBackend::Async` submits each pass's merged
+    /// reads as one batch, so their fixed costs overlap up to
+    /// [`IO_QUEUE_DEPTH`]. Uses [`ASYNC_GAP_BYTES`] so each pass genuinely
+    /// leaves many merged runs (see that constant's docs).
+    pub fn cold_table_io(
+        backend: BackendKind,
+        coalescing: bool,
+        io_backend: IoBackend,
+        parallelism: usize,
+    ) -> Arc<EmbeddingTable> {
+        let cfg = StoreConfig::in_memory()
+            .with_io_coalescing(coalescing)
+            .with_io_gap_bytes(ASYNC_GAP_BYTES)
+            .with_io_backend(io_backend)
+            .with_io_queue_depth(IO_QUEUE_DEPTH);
+        build_cold_table(backend, cfg, parallelism)
+    }
+
+    /// Shared cold-table construction of [`cold_table`] / [`cold_table_io`]:
+    /// the same larger-than-memory layout over the same simulated SSD, with
+    /// the I/O knobs pre-set on `cfg`.
+    fn build_cold_table(
+        backend: BackendKind,
+        cfg: StoreConfig,
+        parallelism: usize,
+    ) -> Arc<EmbeddingTable> {
         let store = open_store(
             backend,
-            StoreConfig::in_memory()
-                .with_memory_budget(64 << 10)
+            cfg.with_memory_budget(64 << 10)
                 .with_page_size(4 << 10)
                 .with_index_buckets(1 << 14)
                 .with_parallelism(parallelism)
                 .with_simulated_read_latency(READ_LATENCY)
-                .with_simulated_read_throughput(READ_BYTES_PER_SEC)
-                .with_io_coalescing(coalescing),
+                .with_simulated_read_throughput(READ_BYTES_PER_SEC),
         )
         .unwrap();
         let table = Arc::new(
@@ -385,6 +436,22 @@ mod tests {
             assert_eq!(
                 on.gather(&keys).unwrap(),
                 off.gather(&keys).unwrap(),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn io_async_setup_gathers_identically_to_sync() {
+        use mlkv_storage::IoBackend;
+        for backend in io_coalesce::BACKENDS {
+            let sync = io_coalesce::cold_table_io(backend, true, IoBackend::Sync, 1);
+            let async_ = io_coalesce::cold_table_io(backend, true, IoBackend::Async, 1);
+            let keys = io_coalesce::rotating_keys(11, 64, io_coalesce::KEY_SPACE);
+            assert_eq!(
+                sync.gather(&keys).unwrap(),
+                async_.gather(&keys).unwrap(),
                 "{}",
                 backend.name()
             );

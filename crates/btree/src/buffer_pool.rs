@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use mlkv_storage::{Device, IoPlanner, ReadReq, StorageError, StorageMetrics, StorageResult};
+use mlkv_storage::{
+    Device, IoPlanner, PendingRead, ReadReq, StorageError, StorageMetrics, StorageResult,
+};
 
 use crate::node::LeafPage;
 
@@ -162,11 +164,24 @@ impl BufferPool {
     /// their genuine state or error. Callers must attribute reads served from
     /// the returned leaves to disk in their metrics.
     pub fn fault_batch(&self, page_ids: &[u64]) -> HashMap<u64, LeafPage> {
+        self.submit_fault_batch(page_ids).wait()
+    }
+
+    /// Submit the scatter behind [`BufferPool::fault_batch`] and return a
+    /// handle to finish it with. Under the async backend the leaf reads
+    /// overlap whatever the caller does between submit and
+    /// [`PendingLeafFetch::wait`] — `BtreeStore::multi_get` builds its leaf
+    /// groups in that window.
+    pub fn submit_fault_batch(&self, page_ids: &[u64]) -> PendingLeafFetch<'_> {
         if !self.planner.coalescing() {
             // Coalescing off restores the exact per-record path: each leaf
             // group faults its own page (overlapping across executor workers)
             // instead of this batched pre-pass.
-            return HashMap::new();
+            return PendingLeafFetch {
+                pool: self,
+                missing: Vec::new(),
+                pending: None,
+            };
         }
         let mut missing: Vec<u64> = {
             let inner = self.inner.lock();
@@ -181,15 +196,27 @@ impl BufferPool {
         let device_len = self.device.len();
         missing.retain(|id| (id + 1) * self.page_size as u64 <= device_len);
         if missing.is_empty() {
-            return HashMap::new();
+            return PendingLeafFetch {
+                pool: self,
+                missing,
+                pending: None,
+            };
         }
-        let mut reqs: Vec<ReadReq> = missing
+        let reqs: Vec<ReadReq> = missing
             .iter()
             .map(|id| ReadReq::new(id * self.page_size as u64, self.page_size))
             .collect();
-        if self.planner.read(self.device.as_ref(), &mut reqs).is_err() {
-            return HashMap::new();
+        let pending = Some(self.planner.submit(self.device.as_ref(), reqs));
+        PendingLeafFetch {
+            pool: self,
+            missing,
+            pending,
         }
+    }
+
+    /// Decode the fetched leaves and warm spare pool capacity with them
+    /// (completion half of the fault-batch scatter).
+    fn finish_fault_batch(&self, missing: Vec<u64>, reqs: Vec<ReadReq>) -> HashMap<u64, LeafPage> {
         let mut fetched = HashMap::with_capacity(missing.len());
         for (id, req) in missing.into_iter().zip(reqs) {
             if let Ok(leaf) = LeafPage::decode(&req.buf) {
@@ -304,6 +331,40 @@ impl BufferPool {
             inner.pages.get_mut(&id).expect("listed above").dirty = false;
         }
         Ok(())
+    }
+}
+
+/// A batch's cold-leaf scatter in flight ([`BufferPool::submit_fault_batch`]).
+pub struct PendingLeafFetch<'a> {
+    pool: &'a BufferPool,
+    missing: Vec<u64>,
+    /// `None` when nothing needed fetching (or coalescing is off).
+    pending: Option<PendingRead>,
+}
+
+impl PendingLeafFetch<'_> {
+    /// True once waiting would not park.
+    pub fn try_complete(&self) -> bool {
+        self.pending.as_ref().is_none_or(PendingRead::try_complete)
+    }
+
+    /// Finish the fetch: park on the scatter, decode the leaves and warm
+    /// spare pool capacity. Best-effort like [`BufferPool::fault_batch`]: a
+    /// failed scatter simply yields no leaves and the per-leaf path surfaces
+    /// genuine states or errors.
+    pub fn wait(self) -> HashMap<u64, LeafPage> {
+        let Self {
+            pool,
+            missing,
+            pending,
+        } = self;
+        let Some(pending) = pending else {
+            return HashMap::new();
+        };
+        let Ok(reqs) = pending.wait() else {
+            return HashMap::new();
+        };
+        pool.finish_fault_batch(missing, reqs)
     }
 }
 

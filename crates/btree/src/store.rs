@@ -48,7 +48,7 @@ impl BtreeStore {
             leaf_device,
             capacity_pages,
             config.page_size,
-            mlkv_storage::IoPlanner::from_config(&config),
+            mlkv_storage::IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics)),
             Arc::clone(&metrics),
         );
 
@@ -338,6 +338,16 @@ impl KvStore for BtreeStore {
             .map(|(i, &k)| (Self::route(&tree.separators, k).1, i))
             .collect();
         routed.sort_unstable_by_key(|&(page, _)| page);
+        // Submit the scatter for the batch's missing leaf pages first, so
+        // the device fetches them while the leaf groups are being built
+        // below (the pool bookkeeping the async backend overlaps). Groups
+        // whose page was fetched read the returned copy (the tree read lock
+        // held across this whole call excludes leaf mutations, so the copies
+        // cannot go stale); everything else pins the pool as before, whether
+        // serially or on executor workers.
+        let mut page_ids: Vec<u64> = routed.iter().map(|&(page, _)| page).collect();
+        page_ids.dedup(); // routed is page-sorted
+        let pending_leaves = self.pool.submit_fault_batch(&page_ids);
         let mut groups: Vec<&[(u64, usize)]> = Vec::new();
         let mut pos = 0;
         while pos < routed.len() {
@@ -349,14 +359,7 @@ impl KvStore for BtreeStore {
             groups.push(&routed[pos..end]);
             pos = end;
         }
-        // Fetch the batch's missing leaf pages with one coalesced device
-        // scatter before touching any group. Groups whose page was fetched
-        // read the returned copy (the tree read lock held across this whole
-        // call excludes leaf mutations, so the copies cannot go stale);
-        // everything else pins the pool as before, whether serially or on
-        // executor workers.
-        let page_ids: Vec<u64> = groups.iter().map(|g| g[0].0).collect();
-        let fetched = self.pool.fault_batch(&page_ids);
+        let fetched = pending_leaves.wait();
         let fetched = &fetched;
         let mut out: Vec<Option<StorageResult<Vec<u8>>>> = keys.iter().map(|_| None).collect();
         if self.executor.workers_for(groups.len(), keys.len()) <= 1 {

@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use mlkv_storage::{StorageResult, StoreConfig};
+use mlkv_storage::{IoBackend, StorageResult, StoreConfig};
 
 use crate::backend::{open_store, BackendKind};
 use crate::table::{EmbeddingTable, TableOptions};
@@ -47,6 +47,8 @@ pub struct EmbeddingModelBuilder {
     page_size: usize,
     io_coalescing: bool,
     io_gap_bytes: Option<usize>,
+    io_backend: IoBackend,
+    io_queue_depth: Option<usize>,
     options: TableOptions,
 }
 
@@ -60,6 +62,8 @@ impl EmbeddingModelBuilder {
             page_size: 16 << 10,
             io_coalescing: true,
             io_gap_bytes: None,
+            io_backend: IoBackend::Sync,
+            io_queue_depth: None,
             options: TableOptions::default(),
         }
     }
@@ -138,6 +142,22 @@ impl EmbeddingModelBuilder {
         self
     }
 
+    /// How cold-path batch reads reach the device: blocking `pread`s
+    /// ([`IoBackend::Sync`], the default) or submission-queue reads that
+    /// overlap each other and let workers park on completions
+    /// ([`IoBackend::Async`]).
+    pub fn io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
+        self
+    }
+
+    /// Submission-queue depth of the async I/O backend (default:
+    /// [`mlkv_storage::config::DEFAULT_IO_QUEUE_DEPTH`]).
+    pub fn io_queue_depth(mut self, depth: usize) -> Self {
+        self.io_queue_depth = Some(depth);
+        self
+    }
+
     /// Application cache budget in bytes.
     pub fn app_cache_bytes(mut self, bytes: usize) -> Self {
         self.options.app_cache_bytes = bytes;
@@ -162,9 +182,13 @@ impl EmbeddingModelBuilder {
             .with_memory_budget(self.memory_budget)
             .with_page_size(self.page_size)
             .with_parallelism(self.options.parallelism)
-            .with_io_coalescing(self.io_coalescing);
+            .with_io_coalescing(self.io_coalescing)
+            .with_io_backend(self.io_backend);
         if let Some(gap) = self.io_gap_bytes {
             config = config.with_io_gap_bytes(gap);
+        }
+        if let Some(depth) = self.io_queue_depth {
+            config = config.with_io_queue_depth(depth);
         }
         if let Some(dir) = &self.dir {
             config.dir = Some(dir.join(&self.model_id));
@@ -252,21 +276,25 @@ mod tests {
     #[test]
     fn io_knobs_reach_the_store_and_preserve_results() {
         for coalesce in [true, false] {
-            let model = Mlkv::builder("io-knobs")
-                .dim(4)
-                .backend(BackendKind::Faster)
-                .memory_budget(16 << 10)
-                .page_size(1 << 10)
-                .io_coalescing(coalesce)
-                .io_gap_bytes(256)
-                .build()
-                .unwrap();
-            let keys: Vec<u64> = (0..500).collect();
-            let rows = vec![vec![0.25f32; 4]; keys.len()];
-            model.put(&keys, &rows).unwrap();
-            // Larger-than-memory: gathers hit the cold path either way.
-            let got = model.get(&keys).unwrap();
-            assert_eq!(got, rows, "coalesce={coalesce}");
+            for io_backend in [IoBackend::Sync, IoBackend::Async] {
+                let model = Mlkv::builder("io-knobs")
+                    .dim(4)
+                    .backend(BackendKind::Faster)
+                    .memory_budget(16 << 10)
+                    .page_size(1 << 10)
+                    .io_coalescing(coalesce)
+                    .io_gap_bytes(256)
+                    .io_backend(io_backend)
+                    .io_queue_depth(8)
+                    .build()
+                    .unwrap();
+                let keys: Vec<u64> = (0..500).collect();
+                let rows = vec![vec![0.25f32; 4]; keys.len()];
+                model.put(&keys, &rows).unwrap();
+                // Larger-than-memory: gathers hit the cold path either way.
+                let got = model.get(&keys).unwrap();
+                assert_eq!(got, rows, "coalesce={coalesce} io_backend={io_backend}");
+            }
         }
     }
 

@@ -19,7 +19,9 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use mlkv_storage::kv::ReadSource;
-use mlkv_storage::{Device, IoPlanner, ReadReq, StorageError, StorageMetrics, StorageResult};
+use mlkv_storage::{
+    Device, IoPlanner, PendingRead, ReadReq, StorageError, StorageMetrics, StorageResult,
+};
 
 use crate::address::Address;
 use crate::record::Record;
@@ -332,12 +334,15 @@ impl HybridLog {
         Ok((self.finish_disk_record(&buf[..total])?, ReadSource::Disk))
     }
 
-    /// Fetch the records at `addrs` — all device-resident — with one coalesced
-    /// scatter: a speculative span per record (header + typical value in a
-    /// single request, see `SPECULATIVE_COLD_READ`) and a second,
-    /// exactly-sized scatter for the few values that exceed it. Results are
-    /// per-address, so one bad address cannot fail the whole batch.
-    pub fn read_records_from_disk(&self, addrs: &[Address]) -> Vec<StorageResult<Record>> {
+    /// Submit a coalesced scatter for the records at `addrs` — all
+    /// device-resident — and return a handle to finish it with. Each record
+    /// gets a speculative span (header + typical value in a single request,
+    /// see `SPECULATIVE_COLD_READ`); [`PendingRecords::wait`] issues a
+    /// second, exactly-sized scatter for the few values that exceed it,
+    /// decoding the already-complete records *while* that follow-up round is
+    /// in flight. Results are per-address, so one bad address cannot fail
+    /// the whole batch.
+    pub fn submit_records_from_disk(&self, addrs: Vec<Address>) -> PendingRecords<'_> {
         let mut out: Vec<Option<StorageResult<Record>>> = addrs.iter().map(|_| None).collect();
         let mut slots: Vec<usize> = Vec::with_capacity(addrs.len());
         let mut batch: Vec<ReadReq> = Vec::with_capacity(addrs.len());
@@ -350,53 +355,21 @@ impl HybridLog {
                 Err(e) => out[i] = Some(Err(e)),
             }
         }
-        if self.planner.read(self.device.as_ref(), &mut batch).is_err() {
-            // A merged read failed somewhere in the batch: retry per record so
-            // each address surfaces its own (possibly clean) result.
-            for (&i, req) in slots.iter().zip(&batch) {
-                out[i] = Some(
-                    self.read_record_from_disk(Address::new(req.offset))
-                        .map(|(record, _)| record),
-                );
-            }
-        } else {
-            let mut follow_slots: Vec<usize> = Vec::new();
-            let mut follow: Vec<ReadReq> = Vec::new();
-            for (&i, req) in slots.iter().zip(&batch) {
-                match Record::decode_header(&req.buf) {
-                    Ok((_, _, value_len, _)) => {
-                        let total = Record::HEADER_LEN + value_len;
-                        if total <= req.buf.len() {
-                            out[i] = Some(self.finish_disk_record(&req.buf[..total]));
-                        } else {
-                            follow_slots.push(i);
-                            follow.push(ReadReq::new(req.offset, total));
-                        }
-                    }
-                    Err(e) => out[i] = Some(Err(e)),
-                }
-            }
-            if !follow.is_empty()
-                && self
-                    .planner
-                    .read(self.device.as_ref(), &mut follow)
-                    .is_err()
-            {
-                for (&i, req) in follow_slots.iter().zip(&follow) {
-                    out[i] = Some(
-                        self.read_record_from_disk(Address::new(req.offset))
-                            .map(|(record, _)| record),
-                    );
-                }
-            } else {
-                for (&i, req) in follow_slots.iter().zip(&follow) {
-                    out[i] = Some(self.finish_disk_record(&req.buf));
-                }
-            }
+        let pending = self.planner.submit(self.device.as_ref(), batch);
+        PendingRecords {
+            log: self,
+            addrs,
+            slots,
+            out,
+            pending,
         }
-        out.into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+    }
+
+    /// Fetch the records at `addrs` with one coalesced (possibly
+    /// asynchronous) scatter: [`HybridLog::submit_records_from_disk`]
+    /// finished immediately.
+    pub fn read_records_from_disk(&self, addrs: &[Address]) -> Vec<StorageResult<Record>> {
+        self.submit_records_from_disk(addrs.to_vec()).wait()
     }
 
     /// Clear the VALID flag of the record at `addr`, turning it into padding that
@@ -531,6 +504,105 @@ impl HybridLog {
     /// Total bytes currently allocated in the log.
     pub fn allocated_bytes(&self) -> u64 {
         self.tail.load(Ordering::Acquire) - Address::FIRST_VALID
+    }
+}
+
+/// A cold-record scatter in flight ([`HybridLog::submit_records_from_disk`]).
+///
+/// Under the async backend the submission's merged reads overlap each other
+/// in the device while the caller walks memory-resident chains; the sync
+/// backend completes at submit time and [`PendingRecords::wait`] just
+/// decodes.
+pub struct PendingRecords<'a> {
+    log: &'a HybridLog,
+    /// Requested addresses (taken by value — used by the error fallbacks).
+    addrs: Vec<Address>,
+    /// Input slots whose speculative request was actually submitted.
+    slots: Vec<usize>,
+    /// Per-slot results; invalid addresses fail at submit time.
+    out: Vec<Option<StorageResult<Record>>>,
+    pending: PendingRead,
+}
+
+impl PendingRecords<'_> {
+    /// True once waiting would not park.
+    pub fn try_complete(&self) -> bool {
+        self.pending.try_complete()
+    }
+
+    /// Finish the batch: park on the speculative scatter, submit the
+    /// follow-up scatter for oversized values, decode the complete records
+    /// while it is in flight, then resolve the stragglers.
+    pub fn wait(self) -> Vec<StorageResult<Record>> {
+        let Self {
+            log,
+            addrs,
+            slots,
+            mut out,
+            pending,
+        } = self;
+        match pending.wait() {
+            Err(_) => {
+                // A merged read failed somewhere in the batch: retry per
+                // record so each address surfaces its own (possibly clean)
+                // result.
+                for &i in &slots {
+                    out[i] = Some(
+                        log.read_record_from_disk(addrs[i])
+                            .map(|(record, _)| record),
+                    );
+                }
+            }
+            Ok(reqs) => {
+                // First pass: headers only, so the follow-up scatter for
+                // values beyond the speculative span is submitted before any
+                // value decoding happens.
+                let mut complete: Vec<(usize, usize, usize)> = Vec::new(); // (slot, req, total)
+                let mut follow_slots: Vec<usize> = Vec::new();
+                let mut follow: Vec<ReadReq> = Vec::new();
+                for (r, (&i, req)) in slots.iter().zip(&reqs).enumerate() {
+                    match Record::decode_header(&req.buf) {
+                        Ok((_, _, value_len, _)) => {
+                            let total = Record::HEADER_LEN + value_len;
+                            if total <= req.buf.len() {
+                                complete.push((i, r, total));
+                            } else {
+                                follow_slots.push(i);
+                                follow.push(ReadReq::new(req.offset, total));
+                            }
+                        }
+                        Err(e) => out[i] = Some(Err(e)),
+                    }
+                }
+                let follow_pending =
+                    (!follow.is_empty()).then(|| log.planner.submit(log.device.as_ref(), follow));
+                // Decode the speculative-complete records while the
+                // follow-up round is in flight.
+                for (i, r, total) in complete {
+                    out[i] = Some(log.finish_disk_record(&reqs[r].buf[..total]));
+                }
+                if let Some(follow_pending) = follow_pending {
+                    match follow_pending.wait() {
+                        Ok(follow_reqs) => {
+                            for (&i, req) in follow_slots.iter().zip(&follow_reqs) {
+                                out[i] = Some(log.finish_disk_record(&req.buf));
+                            }
+                        }
+                        Err(_) => {
+                            for &i in &follow_slots {
+                                out[i] = Some(
+                                    log.read_record_from_disk(addrs[i])
+                                        .map(|(record, _)| record),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 }
 

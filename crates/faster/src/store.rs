@@ -39,7 +39,7 @@ impl FasterKv {
             config.memory_budget,
             config.page_size,
             config.sync_writes,
-            mlkv_storage::IoPlanner::from_config(&config),
+            mlkv_storage::IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics)),
             Arc::clone(&metrics),
         )?;
         let store = Self {
@@ -205,10 +205,14 @@ impl FasterKv {
     /// `(original position, result)` pairs.
     ///
     /// Chain hops that leave the in-memory window are not read one record at a
-    /// time: each round collects every distinct key's pending device address
-    /// and fetches them with **one** coalesced scatter
-    /// ([`HybridLog::read_records_from_disk`]), so a cold range pays one
-    /// device submission per chain depth, not one per record.
+    /// time: the walk is breadth-first over chain depth, and each round
+    /// collects every distinct key's pending device address and fetches them
+    /// with **one** coalesced scatter
+    /// ([`HybridLog::submit_records_from_disk`]), so a cold range pays one
+    /// device submission per chain depth, not one per record. The round's
+    /// scatter is *submitted* before the memory phase runs, so under the
+    /// async backend the device resolves the previous hops while this worker
+    /// walks memory-resident chains — and only then parks on the completion.
     fn read_sorted_range(
         &self,
         keys: &[Key],
@@ -236,11 +240,44 @@ impl FasterKv {
             .enumerate()
             .map(|(d, &(start, _))| (d, self.index.head(keys[order[start]])))
             .collect();
-        while !pending.is_empty() {
-            let mut disk: Vec<(usize, Address)> = Vec::new();
-            // Memory phase: follow each chain until it resolves or leaves the
-            // in-memory window.
-            for (d, mut addr) in pending.drain(..) {
+        let mut inflight: Option<(Vec<usize>, crate::hlog::PendingRecords<'_>)> = None;
+        // Cursors whose frame lookup already missed: they go to the device
+        // unconditionally next round. Classifying them by `head` again would
+        // lose the progress guarantee — during an eviction the frame is
+        // repointed before `head` advances, so a head-based re-check could
+        // bounce such an address back to the memory walk indefinitely
+        // (a device read is always safe: frames are flushed before reuse).
+        let mut evicted: Vec<(usize, Address)> = Vec::new();
+        while !pending.is_empty() || !evicted.is_empty() || inflight.is_some() {
+            // Classify this round's chain cursors: ended chains resolve as
+            // absent, addresses already below the in-memory head go to the
+            // device now, the rest walk memory while that scatter is in
+            // flight.
+            let head = self.log.head();
+            let mut disk: Vec<(usize, Address)> = std::mem::take(&mut evicted);
+            let mut mem: Vec<(usize, Address)> = Vec::new();
+            for (d, addr) in pending.drain(..) {
+                if addr.is_invalid() {
+                    resolved[d] = Some(Ok(None));
+                } else if addr.raw() < head.raw() {
+                    disk.push((d, addr));
+                } else {
+                    mem.push((d, addr));
+                }
+            }
+            // Submit the device round first: its merged reads overlap each
+            // other (and this worker's memory phase) under the async backend.
+            let submitted = if disk.is_empty() {
+                None
+            } else {
+                let addrs: Vec<Address> = disk.iter().map(|&(_, addr)| addr).collect();
+                let ds: Vec<usize> = disk.iter().map(|&(d, _)| d).collect();
+                Some((ds, self.log.submit_records_from_disk(addrs)))
+            };
+            // Memory phase: follow each resident chain until it resolves or
+            // leaves the in-memory window (then it joins the next round's
+            // scatter).
+            for (d, mut addr) in mem {
                 let key = keys[order[spans[d].0]];
                 loop {
                     if addr.is_invalid() {
@@ -264,7 +301,7 @@ impl FasterKv {
                             addr = record.prev;
                         }
                         Ok(None) => {
-                            disk.push((d, addr));
+                            evicted.push((d, addr));
                             break;
                         }
                         Err(e) => {
@@ -274,27 +311,24 @@ impl FasterKv {
                     }
                 }
             }
-            if disk.is_empty() {
-                break;
-            }
-            // Disk phase: one coalesced scatter for this round's addresses.
-            let addrs: Vec<Address> = disk.iter().map(|&(_, addr)| addr).collect();
-            for ((d, _), record) in disk
-                .into_iter()
-                .zip(self.log.read_records_from_disk(&addrs))
-            {
-                let key = keys[order[spans[d].0]];
-                match record {
-                    Ok(record) if record.flags.is_valid() && record.key == key => {
-                        resolved[d] = Some(Ok((!record.is_tombstone()).then(|| {
-                            self.metrics.record_disk_read(record.value.len() as u64);
-                            record.value
-                        })));
+            // Harvest the previous round's scatter; hops re-enter `pending`
+            // for the next round's classification.
+            if let Some((ds, scatter)) = inflight.take() {
+                for (d, record) in ds.into_iter().zip(scatter.wait()) {
+                    let key = keys[order[spans[d].0]];
+                    match record {
+                        Ok(record) if record.flags.is_valid() && record.key == key => {
+                            resolved[d] = Some(Ok((!record.is_tombstone()).then(|| {
+                                self.metrics.record_disk_read(record.value.len() as u64);
+                                record.value
+                            })));
+                        }
+                        Ok(record) => pending.push((d, record.prev)),
+                        Err(e) => resolved[d] = Some(Err(e)),
                     }
-                    Ok(record) => pending.push((d, record.prev)),
-                    Err(e) => resolved[d] = Some(Err(e)),
                 }
             }
+            inflight = submitted;
         }
 
         // Fan each distinct key's result out to its duplicate occurrences.

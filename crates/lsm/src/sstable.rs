@@ -17,7 +17,9 @@
 
 use std::sync::Arc;
 
-use mlkv_storage::{Device, IoPlanner, ReadReq, StorageError, StorageMetrics, StorageResult};
+use mlkv_storage::{
+    Device, IoPlanner, PendingRead, ReadReq, StorageError, StorageMetrics, StorageResult,
+};
 
 use crate::bloom::BloomFilter;
 use crate::memtable::Entry;
@@ -238,14 +240,13 @@ impl SsTable {
         self.decode_entry(pos, key, &bytes).map(Some)
     }
 
-    /// Batched point lookups: one coalesced scatter fetches every key of the
-    /// batch this table admits (bloom + index reject the rest without I/O).
-    /// Result slots mirror [`SsTable::get`].
-    pub fn get_many(
-        &self,
-        keys: &[u64],
-        metrics: &StorageMetrics,
-    ) -> Vec<StorageResult<Option<Entry>>> {
+    /// Submit one coalesced scatter for every key of the batch this table
+    /// admits (bloom + index reject the rest without I/O) and return a handle
+    /// to finish the pass with. Under the async backend the scatter's merged
+    /// reads overlap each other in the device while the caller works —
+    /// [`crate::store::LsmStore`] uses the window to finish the *previous*
+    /// table pass's bookkeeping, pipelining the passes.
+    pub fn submit_get_many(&self, keys: Vec<u64>) -> PendingTableGets<'_> {
         let mut out: Vec<Option<StorageResult<Option<Entry>>>> =
             keys.iter().map(|_| None).collect();
         let mut slots: Vec<(usize, usize)> = Vec::new(); // (input slot, index pos)
@@ -259,21 +260,24 @@ impl SsTable {
                 None => out[i] = Some(Ok(None)),
             }
         }
-        if self.planner.read(self.device.as_ref(), &mut reqs).is_err() {
-            // A merged read failed: retry per key so each slot surfaces its
-            // own result.
-            for &(i, _) in &slots {
-                out[i] = Some(self.get(keys[i], metrics));
-            }
-        } else {
-            for ((i, pos), req) in slots.into_iter().zip(&reqs) {
-                metrics.record_background_disk_read(req.buf.len() as u64);
-                out[i] = Some(self.decode_entry(pos, keys[i], &req.buf).map(Some));
-            }
+        let pending = self.planner.submit(self.device.as_ref(), reqs);
+        PendingTableGets {
+            table: self,
+            keys,
+            slots,
+            out,
+            pending,
         }
-        out.into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+    }
+
+    /// Batched point lookups: one coalesced scatter fetches every key of the
+    /// batch this table admits. Result slots mirror [`SsTable::get`].
+    pub fn get_many(
+        &self,
+        keys: &[u64],
+        metrics: &StorageMetrics,
+    ) -> Vec<StorageResult<Option<Entry>>> {
+        self.submit_get_many(keys.to_vec()).wait(metrics)
     }
 
     /// Read every entry in key order (used by compaction).
@@ -298,6 +302,54 @@ impl SsTable {
             }
         }
         Ok(out)
+    }
+}
+
+/// One table pass's coalesced scatter in flight ([`SsTable::submit_get_many`]).
+pub struct PendingTableGets<'a> {
+    table: &'a SsTable,
+    /// Probed keys (taken by value — each pass builds its own probe list).
+    keys: Vec<u64>,
+    /// `(input slot, index position)` of every admitted key.
+    slots: Vec<(usize, usize)>,
+    /// Per-slot results; bloom/index rejects resolve at submit time.
+    out: Vec<Option<StorageResult<Option<Entry>>>>,
+    pending: PendingRead,
+}
+
+impl PendingTableGets<'_> {
+    /// True once waiting would not park.
+    pub fn try_complete(&self) -> bool {
+        self.pending.try_complete()
+    }
+
+    /// Finish the pass: park on the scatter, then decode every admitted
+    /// key's entry. A failed merged read falls back to per-key point gets so
+    /// each slot surfaces its own result.
+    pub fn wait(self, metrics: &StorageMetrics) -> Vec<StorageResult<Option<Entry>>> {
+        let Self {
+            table,
+            keys,
+            slots,
+            mut out,
+            pending,
+        } = self;
+        match pending.wait() {
+            Err(_) => {
+                for &(i, _) in &slots {
+                    out[i] = Some(table.get(keys[i], metrics));
+                }
+            }
+            Ok(reqs) => {
+                for ((i, pos), req) in slots.into_iter().zip(&reqs) {
+                    metrics.record_background_disk_read(req.buf.len() as u64);
+                    out[i] = Some(table.decode_entry(pos, keys[i], &req.buf).map(Some));
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 }
 

@@ -72,7 +72,8 @@ impl LsmStore {
             table_seqs.sort_unstable();
             for seq in table_seqs {
                 let device = device_from_config(&config, &format!("sst_{seq}.dat"))?;
-                tables.push(SsTable::open(device, IoPlanner::from_config(&config), seq)?);
+                let planner = IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics));
+                tables.push(SsTable::open(device, planner, seq)?);
                 max_seq = max_seq.max(seq);
             }
         }
@@ -132,7 +133,7 @@ impl LsmStore {
         let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
         let table = SsTable::build(
             device,
-            IoPlanner::from_config(&self.config),
+            IoPlanner::from_config(&self.config).with_metrics(Arc::clone(&self.metrics)),
             &entries,
             seq,
             &self.metrics,
@@ -168,7 +169,7 @@ impl LsmStore {
         let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
         let table = SsTable::build(
             device,
-            IoPlanner::from_config(&self.config),
+            IoPlanner::from_config(&self.config).with_metrics(Arc::clone(&self.metrics)),
             &entries,
             seq,
             &self.metrics,
@@ -196,31 +197,46 @@ impl LsmStore {
     /// Resolve a set of batch positions against the SSTables: one pass per
     /// table (newest first), each table's bloom filter rejecting absent keys
     /// before any device read and every admitted key of the pass fetched with
-    /// **one** coalesced scatter ([`SsTable::get_many`]). Resolved values are
-    /// copied into the block cache, exactly like the point-read path. Returns
-    /// `(original position, result)` pairs; positions that no table holds come
-    /// back as misses.
+    /// **one** coalesced scatter ([`SsTable::submit_get_many`]). Resolved
+    /// values are copied into the block cache, exactly like the point-read
+    /// path. The passes are pipelined: as soon as a pass's results are
+    /// classified, the next table's scatter is submitted, and the resolved
+    /// values' bookkeeping (cache inserts, metrics) runs while that scatter
+    /// is in flight. Returns `(original position, result)` pairs; positions
+    /// that no table holds come back as misses.
     fn probe_tables(
         &self,
         tables: &[SsTable],
         keys: &[Key],
         mut unresolved: Vec<usize>,
     ) -> Vec<(usize, StorageResult<Vec<u8>>)> {
+        fn submit<'t>(
+            table: &'t SsTable,
+            keys: &[Key],
+            slots: Vec<usize>,
+        ) -> (Vec<usize>, crate::sstable::PendingTableGets<'t>) {
+            let probe_keys: Vec<Key> = slots.iter().map(|&i| keys[i]).collect();
+            let pending = table.submit_get_many(probe_keys);
+            (slots, pending)
+        }
+
         let mut out = Vec::with_capacity(unresolved.len());
-        for table in tables.iter().rev() {
-            if unresolved.is_empty() {
-                break;
+        let mut rev_tables = tables.iter().rev();
+        let mut inflight = match rev_tables.next() {
+            Some(table) if !unresolved.is_empty() => {
+                Some(submit(table, keys, std::mem::take(&mut unresolved)))
             }
-            let probe_keys: Vec<Key> = unresolved.iter().map(|&i| keys[i]).collect();
-            let results = table.get_many(&probe_keys, &self.metrics);
-            let mut still = Vec::with_capacity(unresolved.len());
-            for (i, result) in unresolved.into_iter().zip(results) {
+            _ => None,
+        };
+        while let Some((slots, pending)) = inflight.take() {
+            let results = pending.wait(&self.metrics);
+            // Cheap classification first, so the next pass's scatter gets
+            // submitted before any per-value work.
+            let mut hits: Vec<(usize, Vec<u8>)> = Vec::new();
+            let mut still: Vec<usize> = Vec::new();
+            for (i, result) in slots.into_iter().zip(results) {
                 match result {
-                    Ok(Some(Some(v))) => {
-                        self.metrics.record_disk_read(v.len() as u64);
-                        self.block_cache.insert(keys[i], v.clone());
-                        out.push((i, Ok(v)));
-                    }
+                    Ok(Some(Some(v))) => hits.push((i, v)),
                     Ok(Some(None)) => {
                         self.metrics.record_miss();
                         out.push((i, Err(StorageError::KeyNotFound)));
@@ -229,7 +245,20 @@ impl LsmStore {
                     Err(e) => out.push((i, Err(e))),
                 }
             }
-            unresolved = still;
+            inflight = if still.is_empty() {
+                None
+            } else if let Some(table) = rev_tables.next() {
+                Some(submit(table, keys, still))
+            } else {
+                unresolved = still;
+                None
+            };
+            // This pass's bookkeeping overlaps the next pass's scatter.
+            for (i, v) in hits {
+                self.metrics.record_disk_read(v.len() as u64);
+                self.block_cache.insert(keys[i], v.clone());
+                out.push((i, Ok(v)));
+            }
         }
         for i in unresolved {
             self.metrics.record_miss();

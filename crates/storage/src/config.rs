@@ -7,6 +7,41 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// How cold-path batch reads reach the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Blocking reads: every merged range is a synchronous `pread` on the
+    /// issuing worker (the pre-submission-queue behaviour, and the default).
+    #[default]
+    Sync,
+    /// Submission-queue reads: batches are submitted via
+    /// [`crate::Device::submit_reads`] and completed asynchronously (an
+    /// [`crate::IoRing`] poller for real devices, a virtual clock for the
+    /// simulated one), so merged reads overlap each other and workers park on
+    /// completions instead of blocking in `pread`.
+    Async,
+}
+
+impl IoBackend {
+    /// Parse the CI-matrix spelling (`"sync"` / `"async"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sync" => Some(Self::Sync),
+            "async" => Some(Self::Async),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IoBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Sync => "sync",
+            Self::Async => "async",
+        })
+    }
+}
+
 /// Configuration shared by every engine in the workspace.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -52,10 +87,27 @@ pub struct StoreConfig {
     /// for fewer round trips; the default (4 KiB) merges anything within a
     /// typical flash page.
     pub io_gap_bytes: usize,
+    /// How cold-path batch reads reach the device: blocking `pread`s
+    /// ([`IoBackend::Sync`], the default) or submission-queue reads completed
+    /// asynchronously ([`IoBackend::Async`]).
+    pub io_backend: IoBackend,
+    /// Submission-queue depth of the async I/O backend. The two completion
+    /// engines apply it at different granularities: an [`crate::IoRing`]
+    /// (real devices) holds this many *submissions* before its
+    /// [`crate::IoRing::submit`] applies backpressure, while the simulated
+    /// device overlaps this many *requests within one submission*
+    /// (`latency × ceil(N / depth)`), modelling the in-device overlap a
+    /// native io_uring backend would realise on hardware. Ignored under
+    /// [`IoBackend::Sync`].
+    pub io_queue_depth: usize,
 }
 
 /// Default [`StoreConfig::io_gap_bytes`]: one typical flash page.
 pub const DEFAULT_IO_GAP_BYTES: usize = 4 << 10;
+
+/// Default [`StoreConfig::io_queue_depth`]: a typical NVMe submission-queue
+/// slice per submitter.
+pub const DEFAULT_IO_QUEUE_DEPTH: usize = 32;
 
 impl Default for StoreConfig {
     fn default() -> Self {
@@ -70,6 +122,8 @@ impl Default for StoreConfig {
             simulated_read_bytes_per_sec: 0,
             io_coalescing: true,
             io_gap_bytes: DEFAULT_IO_GAP_BYTES,
+            io_backend: IoBackend::Sync,
+            io_queue_depth: DEFAULT_IO_QUEUE_DEPTH,
         }
     }
 }
@@ -148,6 +202,43 @@ impl StoreConfig {
         self
     }
 
+    /// Select how cold-path batch reads reach the device (sync `pread`s or
+    /// submission-queue async; see [`IoBackend`]).
+    pub fn with_io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = backend;
+        self
+    }
+
+    /// Set the async backend's submission-queue depth (clamped to ≥ 1).
+    pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
+        self.io_queue_depth = depth.max(1);
+        self
+    }
+
+    /// Apply the CI test-matrix environment overrides: `MLKV_IO_BACKEND`
+    /// (`sync` / `async`) and `MLKV_PARALLELISM` (worker count). Unset or
+    /// unparsable variables leave the configuration untouched. Tests that
+    /// exercise cold-path equality call this so one binary runs under every
+    /// `io_backend × parallelism` cell of the CI matrix.
+    pub fn apply_env_overrides(self) -> Self {
+        self.apply_overrides(
+            std::env::var("MLKV_IO_BACKEND").ok().as_deref(),
+            std::env::var("MLKV_PARALLELISM").ok().as_deref(),
+        )
+    }
+
+    /// Pure body of [`StoreConfig::apply_env_overrides`] (unit-testable
+    /// without mutating process-global environment state).
+    fn apply_overrides(mut self, io_backend: Option<&str>, parallelism: Option<&str>) -> Self {
+        if let Some(backend) = io_backend.and_then(IoBackend::parse) {
+            self.io_backend = backend;
+        }
+        if let Some(parallelism) = parallelism.and_then(|s| s.trim().parse::<usize>().ok()) {
+            self.parallelism = parallelism;
+        }
+        self
+    }
+
     /// Number of whole pages that fit in the memory budget (at least one).
     pub fn pages_in_budget(&self) -> usize {
         (self.memory_budget / self.page_size).max(1)
@@ -199,6 +290,34 @@ mod tests {
         assert_eq!(cfg.simulated_read_bytes_per_sec, 0);
         assert!(cfg.io_coalescing, "coalescing is on by default");
         assert_eq!(cfg.io_gap_bytes, DEFAULT_IO_GAP_BYTES);
+    }
+
+    #[test]
+    fn io_backend_knobs_default_and_compose() {
+        let cfg = StoreConfig::default();
+        assert_eq!(cfg.io_backend, IoBackend::Sync);
+        assert_eq!(cfg.io_queue_depth, DEFAULT_IO_QUEUE_DEPTH);
+        let cfg = cfg.with_io_backend(IoBackend::Async).with_io_queue_depth(0);
+        assert_eq!(cfg.io_backend, IoBackend::Async);
+        assert_eq!(cfg.io_queue_depth, 1, "depth clamps to at least one slot");
+        assert_eq!(IoBackend::parse("Async"), Some(IoBackend::Async));
+        assert_eq!(IoBackend::parse(" sync "), Some(IoBackend::Sync));
+        assert_eq!(IoBackend::parse("uring"), None);
+        assert_eq!(IoBackend::Async.to_string(), "async");
+    }
+
+    #[test]
+    fn env_overrides_apply_only_when_parsable() {
+        let cfg = StoreConfig::default().apply_overrides(Some("async"), Some("4"));
+        assert_eq!(cfg.io_backend, IoBackend::Async);
+        assert_eq!(cfg.parallelism, 4);
+        let cfg = StoreConfig::default().apply_overrides(Some("bogus"), Some("not-a-number"));
+        assert_eq!(cfg.io_backend, IoBackend::Sync);
+        assert_eq!(cfg.parallelism, 0);
+        let cfg = StoreConfig::default()
+            .with_parallelism(2)
+            .apply_overrides(None, None);
+        assert_eq!(cfg.parallelism, 2, "unset vars leave the config untouched");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
 use crate::io::ReadReq;
+use crate::ring::IoBatch;
 
 /// A device supporting positioned reads and writes.
 ///
@@ -40,6 +41,22 @@ pub trait Device: Send + Sync {
             self.read_at(req.offset, &mut req.buf)?;
         }
         Ok(())
+    }
+
+    /// Submit a batch of reads for asynchronous completion, taking ownership
+    /// of the requests while they are in flight.
+    ///
+    /// The default implementation completes synchronously (it is
+    /// [`Device::read_scatter`] wrapped in an already-complete
+    /// [`IoBatch`]), so every device is correct under the async API.
+    /// [`crate::RingDevice`] replaces it with a real submission queue
+    /// ([`crate::IoRing`]) and [`SimLatencyDevice`] with a virtual-clock
+    /// completion; engines reach it through [`crate::IoPlanner::submit`]
+    /// when [`crate::StoreConfig::io_backend`] is `Async`.
+    fn submit_reads(&self, reqs: Vec<ReadReq>) -> IoBatch {
+        let mut reqs = reqs;
+        let result = self.read_scatter(&mut reqs).map(|()| reqs);
+        IoBatch::ready(result)
     }
 
     /// Current logical size in bytes (highest written offset + length).
@@ -293,6 +310,7 @@ pub struct SimLatencyDevice {
     inner: std::sync::Arc<dyn Device>,
     read_latency: std::time::Duration,
     read_bytes_per_sec: u64,
+    queue_depth: usize,
 }
 
 impl SimLatencyDevice {
@@ -313,7 +331,16 @@ impl SimLatencyDevice {
             inner,
             read_latency,
             read_bytes_per_sec: bytes_per_sec,
+            queue_depth: crate::config::DEFAULT_IO_QUEUE_DEPTH,
         }
+    }
+
+    /// Set the simulated submission-queue depth: the number of in-flight
+    /// requests whose fixed costs overlap in one [`Device::submit_reads`]
+    /// submission (synchronous reads are unaffected).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
     }
 
     /// Transfer time for `bytes` at the configured throughput.
@@ -350,6 +377,121 @@ impl Device for SimLatencyDevice {
         self.inner.read_scatter(reqs)
     }
 
+    fn submit_reads(&self, reqs: Vec<ReadReq>) -> IoBatch {
+        // Virtual-clock completion: a submission of N requests keeps up to
+        // `queue_depth` of them in flight at once, so it pays
+        // ceil(N / depth) fixed costs (not N, the serial `read_scatter`
+        // price) plus the full transfer. The deadline is computed up front
+        // and the batch completes when it passes, so a submitter that works
+        // between submit and wait only pays the residual device time — the
+        // overlap win the async backend exists for, measurable without real
+        // hardware. The inner reads (instant memory copies) run at wait time.
+        let total_bytes: u64 = reqs.iter().map(|r| r.buf.len() as u64).sum();
+        let rounds = reqs.len().div_ceil(self.queue_depth) as u32;
+        let service = self.read_latency * rounds + self.transfer_cost(total_bytes);
+        let deadline = std::time::Instant::now() + service;
+        let inner = std::sync::Arc::clone(&self.inner);
+        IoBatch::clocked(deadline, move || {
+            let mut reqs = reqs;
+            inner.read_scatter(&mut reqs).map(|()| reqs)
+        })
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.inner.sync()
+    }
+
+    fn append(&self, data: &[u8]) -> StorageResult<u64> {
+        self.inner.append(data)
+    }
+}
+
+/// Fault-injection decorator: fails every *batched read submission*
+/// ([`Device::read_scatter`] / [`Device::submit_reads`]) and per-request
+/// `read_at` from the Nth read operation onward, with an injected I/O error.
+///
+/// Used by the async-path fault tests to prove that a submission failing
+/// mid-batch surfaces per-slot errors without hanging any completion waiter,
+/// and that the store is fully readable again once the device recovers
+/// ([`FailingDevice::heal`]). Writes are never failed, so the stores under
+/// test can be populated through the same wrapped device.
+pub struct FailingDevice {
+    inner: std::sync::Arc<dyn Device>,
+    /// Read-operation number (1-based) from which reads fail; 0 = healthy.
+    fail_from: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl FailingDevice {
+    /// Wrap `inner`; reads fail from the `fail_from`-th read operation
+    /// onward (1-based; 0 starts healthy).
+    pub fn new(inner: std::sync::Arc<dyn Device>, fail_from: u64) -> Self {
+        Self {
+            inner,
+            fail_from: AtomicU64::new(fail_from),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Stop injecting failures (the device "recovers").
+    pub fn heal(&self) {
+        self.fail_from.store(0, Ordering::SeqCst);
+    }
+
+    /// Resume failing, starting `after` read operations from now.
+    pub fn fail_after(&self, after: u64) {
+        self.fail_from.store(
+            self.reads.load(Ordering::SeqCst) + after + 1,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Total read operations observed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    fn next_read_fails(&self) -> bool {
+        let n = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
+        let fail_from = self.fail_from.load(Ordering::SeqCst);
+        fail_from != 0 && n >= fail_from
+    }
+
+    fn injected() -> StorageError {
+        StorageError::Io(std::io::Error::other("injected device failure"))
+    }
+}
+
+impl Device for FailingDevice {
+    fn write_at(&self, offset: u64, data: &[u8]) -> StorageResult<()> {
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+        if self.next_read_fails() {
+            return Err(Self::injected());
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn read_scatter(&self, reqs: &mut [ReadReq]) -> StorageResult<()> {
+        if self.next_read_fails() {
+            return Err(Self::injected());
+        }
+        self.inner.read_scatter(reqs)
+    }
+
+    fn submit_reads(&self, reqs: Vec<ReadReq>) -> IoBatch {
+        if self.next_read_fails() {
+            return IoBatch::ready(Err(Self::injected()));
+        }
+        self.inner.submit_reads(reqs)
+    }
+
     fn len(&self) -> u64 {
         self.inner.len()
     }
@@ -367,7 +509,10 @@ impl Device for SimLatencyDevice {
 /// is configured, memory-backed otherwise. `name` distinguishes multiple device
 /// files of one engine (e.g. `hlog.dat`, `wal.dat`). A configured
 /// `simulated_read_latency` / `simulated_read_bytes_per_sec` wraps the device
-/// in a [`SimLatencyDevice`].
+/// in a [`SimLatencyDevice`]; an `Async` [`crate::StoreConfig::io_backend`]
+/// makes [`Device::submit_reads`] genuinely asynchronous — via the simulated
+/// device's virtual clock when one is configured, via a lazily-spawned
+/// [`crate::IoRing`] ([`crate::RingDevice`]) otherwise.
 pub fn device_from_config(
     cfg: &crate::StoreConfig,
     name: &str,
@@ -379,14 +524,26 @@ pub fn device_from_config(
         }
         None => std::sync::Arc::new(MemDevice::new()),
     };
-    if cfg.simulated_read_latency.is_zero() && cfg.simulated_read_bytes_per_sec == 0 {
-        Ok(device)
-    } else {
-        Ok(std::sync::Arc::new(SimLatencyDevice::with_throughput(
+    let simulated = !cfg.simulated_read_latency.is_zero() || cfg.simulated_read_bytes_per_sec != 0;
+    if simulated {
+        // The simulated device's own virtual-clock `submit_reads` models the
+        // async queue; wrapping it in a ring would serialise its sleeps on
+        // the poller thread instead.
+        return Ok(std::sync::Arc::new(
+            SimLatencyDevice::with_throughput(
+                device,
+                cfg.simulated_read_latency,
+                cfg.simulated_read_bytes_per_sec,
+            )
+            .with_queue_depth(cfg.io_queue_depth),
+        ));
+    }
+    match cfg.io_backend {
+        crate::config::IoBackend::Sync => Ok(device),
+        crate::config::IoBackend::Async => Ok(std::sync::Arc::new(crate::ring::RingDevice::new(
             device,
-            cfg.simulated_read_latency,
-            cfg.simulated_read_bytes_per_sec,
-        )))
+            cfg.io_queue_depth,
+        ))),
     }
 }
 
@@ -516,6 +673,76 @@ mod tests {
         assert_eq!(&buf, b"hello");
         dev.write_at(0, b"HELLO").unwrap();
         dev.sync().unwrap();
+    }
+
+    #[test]
+    fn sim_submit_reads_overlaps_fixed_costs_up_to_queue_depth() {
+        let latency = std::time::Duration::from_millis(4);
+        let inner = std::sync::Arc::new(MemDevice::new());
+        inner.append(&vec![3u8; 1024]).unwrap();
+        let dev = SimLatencyDevice::new(inner, latency).with_queue_depth(4);
+        // 8 requests at depth 4: two rounds of fixed cost, not eight.
+        let reqs: Vec<ReadReq> = (0..8).map(|i| ReadReq::new(i * 64, 64)).collect();
+        let start = std::time::Instant::now();
+        let batch = dev.submit_reads(reqs);
+        let submitted_in = start.elapsed();
+        let filled = batch.wait().unwrap();
+        let total = start.elapsed();
+        assert!(total >= latency * 2, "two virtual rounds must be paid");
+        assert!(
+            submitted_in < latency,
+            "submission must not sleep (virtual clock defers the cost)"
+        );
+        assert!(filled.iter().all(|r| r.buf == vec![3u8; 64]));
+    }
+
+    #[test]
+    fn failing_device_injects_then_heals() {
+        let inner = std::sync::Arc::new(MemDevice::new());
+        inner.append(&vec![9u8; 256]).unwrap();
+        let dev = FailingDevice::new(inner, 2);
+        let mut buf = [0u8; 8];
+        dev.read_at(0, &mut buf).unwrap(); // read #1: healthy
+        assert!(dev.read_at(0, &mut buf).is_err(), "read #2 fails");
+        let mut reqs = vec![ReadReq::new(0, 8)];
+        assert!(dev.read_scatter(&mut reqs).is_err());
+        assert!(dev.submit_reads(vec![ReadReq::new(0, 8)]).wait().is_err());
+        dev.heal();
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, &[9u8; 8]);
+        assert!(dev.submit_reads(vec![ReadReq::new(0, 8)]).wait().is_ok());
+        dev.fail_after(1);
+        dev.read_at(0, &mut buf).unwrap();
+        assert!(dev.read_at(0, &mut buf).is_err());
+        assert!(dev.reads() >= 8);
+        // Writes are never failed.
+        dev.write_at(0, b"w").unwrap();
+        assert_eq!(dev.append(b"a").unwrap(), 256);
+        dev.sync().unwrap();
+        assert_eq!(dev.len(), 257);
+    }
+
+    #[test]
+    fn device_from_config_wires_the_async_backend() {
+        use crate::config::IoBackend;
+        // Async without simulation: ring-wrapped, submissions complete.
+        let cfg = crate::StoreConfig::in_memory()
+            .with_io_backend(IoBackend::Async)
+            .with_io_queue_depth(2);
+        let dev = device_from_config(&cfg, "x.dat").unwrap();
+        dev.append(&[1, 2, 3, 4]).unwrap();
+        let reqs = dev.submit_reads(vec![ReadReq::new(1, 2)]).wait().unwrap();
+        assert_eq!(reqs[0].buf, vec![2, 3]);
+        // Async with simulation: the virtual clock serves submissions (and
+        // sync reads still pay their latency).
+        let cfg = crate::StoreConfig::in_memory()
+            .with_io_backend(IoBackend::Async)
+            .with_simulated_read_latency(std::time::Duration::from_millis(1));
+        let dev = device_from_config(&cfg, "x.dat").unwrap();
+        dev.append(&[7; 16]).unwrap();
+        let batch = dev.submit_reads(vec![ReadReq::new(0, 4), ReadReq::new(8, 4)]);
+        let reqs = batch.wait().unwrap();
+        assert!(reqs.iter().all(|r| r.buf == vec![7; 4]));
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   other workers.
 //! * **Caller participates** — the calling thread runs jobs too; `parallelism`
 //!   worker threads means `parallelism - 1` spawns.
+//! * **I/O-friendly workers** — a job's cold reads go through the engine's
+//!   [`crate::IoPlanner`]; under [`crate::config::IoBackend::Async`] the job
+//!   submits its scatter and parks on the completion
+//!   ([`crate::ring::IoBatch::wait`]) only after overlapping whatever CPU
+//!   work it has, instead of blocking inside `pread` for every merged range.
 //! * **Inline fallback** — with `parallelism <= 1`, fewer than two jobs, or a
 //!   batch below [`PARALLEL_CUTOFF`] keys, jobs run inline on the caller in
 //!   order, byte-for-byte identical to the pre-executor serial path (this is

@@ -13,9 +13,21 @@
 //! overlapping and unsorted requests all work, and the result is byte-identical
 //! to the per-request loop ([`Device::read_scatter`]'s default implementation)
 //! for every gap threshold.
+//!
+//! Under [`crate::IoBackend::Async`] the planner also drives the submission
+//! queue: [`IoPlanner::submit`] plans the same merged runs, hands them to
+//! [`Device::submit_reads`] as **one** submission (so the merged reads overlap
+//! each other in the device instead of running serially), and returns a
+//! [`PendingRead`] the caller finishes with [`PendingRead::wait`] — after
+//! doing whatever CPU work it can overlap with the device.
 
+use std::sync::Arc;
+
+use crate::config::IoBackend;
 use crate::device::Device;
 use crate::error::StorageResult;
+use crate::metrics::StorageMetrics;
+use crate::ring::IoBatch;
 
 /// One positioned read: fill `buf` from byte offset `offset` of a device.
 #[derive(Debug)]
@@ -52,15 +64,27 @@ impl ReadReq {
 /// in which case a handful of 4 MiB reads is still one round trip each.
 const MAX_RUN_BYTES: u64 = 4 << 20;
 
+/// One planned merged read: the covering `[start, end)` range and the indices
+/// of the member requests it serves.
+#[derive(Debug)]
+struct Run {
+    start: u64,
+    end: u64,
+    members: Vec<usize>,
+}
+
 /// Plans batched device reads: sorts by offset and merges near-adjacent
 /// ranges into single large reads (see the module docs).
 ///
 /// Engines embed one (built from their [`crate::StoreConfig`]) and route every
-/// cold-path batch read through [`IoPlanner::read`].
+/// cold-path batch read through [`IoPlanner::read`] (blocking) or
+/// [`IoPlanner::submit`] (asynchronous under [`IoBackend::Async`]).
 #[derive(Debug, Clone)]
 pub struct IoPlanner {
     coalesce: bool,
     gap_bytes: u64,
+    backend: IoBackend,
+    metrics: Option<Arc<StorageMetrics>>,
 }
 
 impl Default for IoPlanner {
@@ -76,6 +100,8 @@ impl IoPlanner {
         Self {
             coalesce: true,
             gap_bytes,
+            backend: IoBackend::Sync,
+            metrics: None,
         }
     }
 
@@ -86,6 +112,8 @@ impl IoPlanner {
         Self {
             coalesce: false,
             gap_bytes: 0,
+            backend: IoBackend::Sync,
+            metrics: None,
         }
     }
 
@@ -94,12 +122,34 @@ impl IoPlanner {
         Self {
             coalesce: cfg.io_coalescing,
             gap_bytes: cfg.io_gap_bytes as u64,
+            backend: cfg.io_backend,
+            metrics: None,
         }
+    }
+
+    /// Attach the engine's metrics block, so run-cap splits surface as
+    /// `planner_splits` instead of being silently applied.
+    pub fn with_metrics(mut self, metrics: Arc<StorageMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Force a read backend (used by tests and benches; engines normally
+    /// inherit it from [`crate::StoreConfig::io_backend`]).
+    pub fn with_backend(mut self, backend: IoBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// True when this planner merges ranges (false = pass-through).
     pub fn coalescing(&self) -> bool {
         self.coalesce
+    }
+
+    /// The read backend this planner drives ([`IoBackend::Sync`] blocks in
+    /// [`IoPlanner::read`]-style `pread`s; [`IoBackend::Async`] submits).
+    pub fn backend(&self) -> IoBackend {
+        self.backend
     }
 
     /// Fill every request's buffer from `device`, coalescing near-adjacent
@@ -112,56 +162,170 @@ impl IoPlanner {
         if !self.coalesce || reqs.len() <= 1 {
             return device.read_scatter(reqs);
         }
-        let mut order: Vec<usize> = (0..reqs.len()).collect();
-        order.sort_unstable_by_key(|&i| (reqs[i].offset, reqs[i].buf.len()));
-        let mut run: Vec<usize> = Vec::new();
-        let (mut run_start, mut run_end) = (0u64, 0u64);
-        for &i in &order {
-            let (offset, end) = (reqs[i].offset, reqs[i].end());
-            let extends = !run.is_empty()
-                && offset <= run_end.saturating_add(self.gap_bytes)
-                && end.max(run_end) - run_start <= MAX_RUN_BYTES;
-            if extends {
-                run.push(i);
-                run_end = run_end.max(end);
-            } else {
-                self.read_run(device, reqs, &run, run_start, run_end)?;
-                run.clear();
-                run.push(i);
-                run_start = offset;
-                run_end = end;
-            }
+        for run in self.plan(reqs) {
+            self.read_run(device, reqs, &run)?;
         }
-        self.read_run(device, reqs, &run, run_start, run_end)
+        Ok(())
     }
 
-    /// Issue one merged read covering `[start, end)` and slice it back into
+    /// Submit the batch and return a handle to finish it with. Under
+    /// [`IoBackend::Sync`] this performs the (blocking) [`IoPlanner::read`]
+    /// eagerly and the handle is already complete; under
+    /// [`IoBackend::Async`] the merged runs go to [`Device::submit_reads`]
+    /// as one submission, and [`PendingRead::wait`] slices the completed
+    /// bytes back into the per-request buffers.
+    pub fn submit(&self, device: &dyn Device, mut reqs: Vec<ReadReq>) -> PendingRead {
+        if self.backend == IoBackend::Sync {
+            let result = self.read(device, &mut reqs).map(|()| reqs);
+            return PendingRead {
+                state: PendingState::Done(Some(result)),
+            };
+        }
+        if !self.coalesce || reqs.len() <= 1 {
+            return PendingRead {
+                state: PendingState::Direct(device.submit_reads(reqs)),
+            };
+        }
+        let runs = self.plan(&reqs);
+        // Single-member runs cover exactly their request's range: move the
+        // request's own buffer into the submission (the sync path reads
+        // straight into it for the same reason) instead of allocating a
+        // covering buffer and copying back.
+        let merged: Vec<ReadReq> = runs
+            .iter()
+            .map(|run| match run.members.as_slice() {
+                [i] => std::mem::replace(&mut reqs[*i], ReadReq::new(0, 0)),
+                _ => ReadReq::new(run.start, (run.end - run.start) as usize),
+            })
+            .collect();
+        let batch = device.submit_reads(merged);
+        PendingRead {
+            state: PendingState::Merged { batch, runs, reqs },
+        }
+    }
+
+    /// Group the batch into merged runs: sort by offset, extend a run while
+    /// the next request starts within `gap_bytes` of its end, and split (one
+    /// extra round trip, counted as `planner_splits`) when a run would exceed
+    /// [`MAX_RUN_BYTES`].
+    fn plan(&self, reqs: &[ReadReq]) -> Vec<Run> {
+        let mut order: Vec<usize> = (0..reqs.len()).collect();
+        order.sort_unstable_by_key(|&i| (reqs[i].offset, reqs[i].buf.len()));
+        let mut runs: Vec<Run> = Vec::new();
+        for &i in &order {
+            let (offset, end) = (reqs[i].offset, reqs[i].end());
+            if let Some(run) = runs.last_mut() {
+                if offset <= run.end.saturating_add(self.gap_bytes) {
+                    if end.max(run.end) - run.start <= MAX_RUN_BYTES {
+                        run.members.push(i);
+                        run.end = run.end.max(end);
+                        continue;
+                    }
+                    // Mergeable by gap but capped by size: surface the split.
+                    if let Some(metrics) = &self.metrics {
+                        metrics.record_planner_split();
+                    }
+                }
+            }
+            runs.push(Run {
+                start: offset,
+                end,
+                members: vec![i],
+            });
+        }
+        runs
+    }
+
+    /// Issue one merged read covering the run's range and slice it back into
     /// the member requests' buffers. Single-member runs read straight into
     /// their own buffer (no scratch copy).
-    fn read_run(
-        &self,
-        device: &dyn Device,
-        reqs: &mut [ReadReq],
-        run: &[usize],
-        start: u64,
-        end: u64,
-    ) -> StorageResult<()> {
-        match run {
+    fn read_run(&self, device: &dyn Device, reqs: &mut [ReadReq], run: &Run) -> StorageResult<()> {
+        match run.members.as_slice() {
             [] => Ok(()),
             [i] => {
                 let req = &mut reqs[*i];
                 device.read_at(req.offset, &mut req.buf)
             }
-            _ => {
-                let mut scratch = vec![0u8; (end - start) as usize];
-                device.read_at(start, &mut scratch)?;
-                for &i in run {
+            members => {
+                let mut scratch = vec![0u8; (run.end - run.start) as usize];
+                device.read_at(run.start, &mut scratch)?;
+                for &i in members {
                     let req = &mut reqs[i];
-                    let at = (req.offset - start) as usize;
+                    let at = (req.offset - run.start) as usize;
                     let len = req.buf.len();
                     req.buf.copy_from_slice(&scratch[at..at + len]);
                 }
                 Ok(())
+            }
+        }
+    }
+}
+
+enum PendingState {
+    /// Sync backend: the read already happened at submit time.
+    Done(Option<StorageResult<Vec<ReadReq>>>),
+    /// Async backend, unmerged (coalescing off or trivial batch): the
+    /// original requests are in flight themselves.
+    Direct(IoBatch),
+    /// Async backend, coalesced: the merged runs are in flight; completion
+    /// slices them back into the original requests.
+    Merged {
+        batch: IoBatch,
+        runs: Vec<Run>,
+        reqs: Vec<ReadReq>,
+    },
+}
+
+/// A batch read in flight ([`IoPlanner::submit`]).
+///
+/// Callers overlap CPU work between submit and [`PendingRead::wait`]; the
+/// wait parks on the device completion (condvar or virtual clock) rather
+/// than blocking inside `pread`.
+pub struct PendingRead {
+    state: PendingState,
+}
+
+impl PendingRead {
+    /// True once waiting would not park (always true on the sync backend).
+    pub fn try_complete(&self) -> bool {
+        match &self.state {
+            PendingState::Done(_) => true,
+            PendingState::Direct(batch) | PendingState::Merged { batch, .. } => {
+                batch.try_complete()
+            }
+        }
+    }
+
+    /// Park until the submission completes and return the filled requests
+    /// (in their original order). The first failing device read fails the
+    /// whole batch, exactly like [`IoPlanner::read`]; callers needing
+    /// per-request granularity fall back to per-request reads on error.
+    pub fn wait(self) -> StorageResult<Vec<ReadReq>> {
+        match self.state {
+            PendingState::Done(result) => result.expect("sync submission holds its result"),
+            PendingState::Direct(batch) => batch.wait(),
+            PendingState::Merged {
+                batch,
+                runs,
+                mut reqs,
+            } => {
+                let merged = batch.wait()?;
+                for (run, filled) in runs.iter().zip(merged) {
+                    match run.members.as_slice() {
+                        // Single-member runs travelled as the request itself:
+                        // move it back into its slot.
+                        [i] => reqs[*i] = filled,
+                        members => {
+                            for &i in members {
+                                let req = &mut reqs[i];
+                                let at = (req.offset - run.start) as usize;
+                                let len = req.buf.len();
+                                req.buf.copy_from_slice(&filled.buf[at..at + len]);
+                            }
+                        }
+                    }
+                }
+                Ok(reqs)
             }
         }
     }
@@ -329,6 +493,75 @@ mod tests {
     }
 
     #[test]
+    fn async_submit_matches_sync_read_for_every_planner_shape() {
+        let dev = CountingDevice::with_bytes(4096);
+        let reqs = [
+            (0u64, 64usize),
+            (64, 64),
+            (600, 32),
+            (0, 16), // duplicate/overlap
+            (4000, 96),
+        ];
+        let want = expected(&dev, &reqs);
+        for backend in [IoBackend::Sync, IoBackend::Async] {
+            for planner in [
+                IoPlanner::new(64).with_backend(backend),
+                IoPlanner::new(u64::MAX).with_backend(backend),
+                IoPlanner::disabled().with_backend(backend),
+            ] {
+                assert_eq!(planner.backend(), backend);
+                let batch: Vec<ReadReq> = reqs.iter().map(|&(o, l)| ReadReq::new(o, l)).collect();
+                let pending = planner.submit(&dev, batch);
+                let got: Vec<Vec<u8>> = pending
+                    .wait()
+                    .unwrap()
+                    .into_iter()
+                    .map(ReadReq::into_buf)
+                    .collect();
+                assert_eq!(got, want, "backend {backend}");
+            }
+        }
+        // Trivial batches under async go straight through.
+        let planner = IoPlanner::new(0).with_backend(IoBackend::Async);
+        let pending = planner.submit(&dev, Vec::new());
+        assert!(pending.try_complete());
+        assert!(pending.wait().unwrap().is_empty());
+    }
+
+    #[test]
+    fn async_submit_surfaces_read_errors() {
+        let dev = CountingDevice::with_bytes(64);
+        let planner = IoPlanner::new(u64::MAX).with_backend(IoBackend::Async);
+        let pending = planner.submit(&dev, vec![ReadReq::new(0, 32), ReadReq::new(1024, 32)]);
+        assert!(pending.wait().is_err(), "read past end must fail the batch");
+    }
+
+    #[test]
+    fn run_cap_splits_are_counted_in_metrics() {
+        let metrics = Arc::new(StorageMetrics::new());
+        let chunk = (MAX_RUN_BYTES / 2) as usize + 1;
+        let dev = CountingDevice::with_bytes(3 * chunk);
+        let planner = IoPlanner::new(0).with_metrics(Arc::clone(&metrics));
+        let reqs = [
+            (0u64, chunk),
+            (chunk as u64, chunk),
+            (2 * chunk as u64, chunk),
+        ];
+        let want = expected(&dev, &reqs);
+        assert_eq!(run_planner(&planner, &dev, &reqs), want);
+        assert_eq!(
+            metrics.snapshot().planner_splits,
+            2,
+            "each adjacent range beyond the cap is one surfaced split"
+        );
+        // Gap-separated ranges are distinct runs, not splits.
+        let far = [(0u64, 16usize), (1 << 20, 16)];
+        let want = expected(&dev, &far);
+        assert_eq!(run_planner(&planner, &dev, &far), want);
+        assert_eq!(metrics.snapshot().planner_splits, 2, "no new splits");
+    }
+
+    #[test]
     fn from_config_honours_the_knobs() {
         let cfg = crate::StoreConfig::in_memory()
             .with_io_coalescing(false)
@@ -338,5 +571,8 @@ mod tests {
         let planner = IoPlanner::from_config(&cfg);
         assert!(planner.coalescing());
         assert_eq!(planner.gap_bytes, 123);
+        assert_eq!(planner.backend(), IoBackend::Sync);
+        let cfg = crate::StoreConfig::in_memory().with_io_backend(IoBackend::Async);
+        assert_eq!(IoPlanner::from_config(&cfg).backend(), IoBackend::Async);
     }
 }

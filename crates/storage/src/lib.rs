@@ -9,7 +9,12 @@
 //!   engines for their on-disk components, with a vectored batch read
 //!   ([`Device::read_scatter`]).
 //! * [`IoPlanner`] / [`ReadReq`] — the cold-path I/O planner that coalesces a
-//!   batch of near-adjacent device reads into few large ones.
+//!   batch of near-adjacent device reads into few large ones, and (under
+//!   [`config::IoBackend::Async`]) submits them asynchronously as one batch.
+//! * [`IoRing`] / [`IoBatch`] — the io_uring-style submission/completion
+//!   queue behind [`Device::submit_reads`]: a fixed-depth ring with a
+//!   dedicated poller thread, condvar-backed completions, and a virtual-clock
+//!   variant for the simulated device.
 //! * [`Page`] / [`PageId`] — fixed-size page plumbing for paged engines.
 //! * [`ShardedLruCache`] — a general purpose byte cache used both as block cache
 //!   (LSM), buffer-pool victim cache (B+tree) and application cache (MLKV core).
@@ -32,14 +37,16 @@ pub mod kv;
 pub mod memstore;
 pub mod metrics;
 pub mod page;
+pub mod ring;
 
 pub use cache::ShardedLruCache;
-pub use config::StoreConfig;
-pub use device::{Device, FileDevice, MemDevice, SimLatencyDevice};
+pub use config::{IoBackend, StoreConfig, DEFAULT_IO_QUEUE_DEPTH};
+pub use device::{Device, FailingDevice, FileDevice, MemDevice, SimLatencyDevice};
 pub use error::{StorageError, StorageResult};
 pub use exec::BatchExecutor;
-pub use io::{IoPlanner, ReadReq};
+pub use io::{IoPlanner, PendingRead, ReadReq};
 pub use kv::{BatchRmwFn, KvStore, WriteBatch};
 pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};
 pub use page::{Page, PageId, PAGE_SIZE};
+pub use ring::{IoBatch, IoRing, RingDevice};

@@ -38,6 +38,10 @@ pub struct StorageMetrics {
     pub prefetch_skips: AtomicU64,
     /// Number of cache evictions performed.
     pub evictions: AtomicU64,
+    /// Coalesced read runs the I/O planner split because they would exceed
+    /// its scratch-allocation cap (each split costs one extra device round
+    /// trip; see `mlkv_storage::io`).
+    pub planner_splits: AtomicU64,
 }
 
 /// A point-in-time copy of [`StorageMetrics`].
@@ -55,6 +59,7 @@ pub struct MetricsSnapshot {
     pub prefetch_copies: u64,
     pub prefetch_skips: u64,
     pub evictions: u64,
+    pub planner_splits: u64,
 }
 
 impl StorageMetrics {
@@ -128,6 +133,12 @@ impl StorageMetrics {
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a coalesced run the I/O planner had to split at its run cap.
+    #[inline]
+    pub fn record_planner_split(&self) {
+        self.planner_splits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -143,6 +154,7 @@ impl StorageMetrics {
             prefetch_copies: self.prefetch_copies.load(Ordering::Relaxed),
             prefetch_skips: self.prefetch_skips.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            planner_splits: self.planner_splits.load(Ordering::Relaxed),
         }
     }
 
@@ -160,6 +172,7 @@ impl StorageMetrics {
         self.prefetch_copies.store(0, Ordering::Relaxed);
         self.prefetch_skips.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.planner_splits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -179,6 +192,7 @@ impl MetricsSnapshot {
             prefetch_copies: self.prefetch_copies - earlier.prefetch_copies,
             prefetch_skips: self.prefetch_skips - earlier.prefetch_skips,
             evictions: self.evictions - earlier.evictions,
+            planner_splits: self.planner_splits - earlier.planner_splits,
         }
     }
 
@@ -214,6 +228,7 @@ mod tests {
         m.record_prefetch_copy();
         m.record_prefetch_skip();
         m.record_eviction();
+        m.record_planner_split();
         let s = m.snapshot();
         assert_eq!(s.mem_hits, 1);
         assert_eq!(s.disk_reads, 1);
@@ -227,6 +242,7 @@ mod tests {
         assert_eq!(s.prefetch_copies, 1);
         assert_eq!(s.prefetch_skips, 1);
         assert_eq!(s.evictions, 1);
+        assert_eq!(s.planner_splits, 1);
         assert_eq!(s.total_io_bytes(), 4096 + 8192);
     }
 

@@ -12,8 +12,15 @@ use proptest::prelude::*;
 
 use mlkv::{open_store, BackendKind};
 use mlkv_storage::{
-    Device, FileDevice, IoPlanner, MemDevice, ReadReq, SimLatencyDevice, StoreConfig,
+    Device, FileDevice, IoBackend, IoPlanner, MemDevice, ReadReq, SimLatencyDevice, StoreConfig,
 };
+
+/// Base configuration of every cold-path equality test, with the CI matrix's
+/// `MLKV_IO_BACKEND` / `MLKV_PARALLELISM` environment overrides applied —
+/// one test binary covers all four `io_backend × parallelism` cells.
+fn matrix_config() -> StoreConfig {
+    StoreConfig::in_memory().apply_env_overrides()
+}
 
 /// Deterministic content so any slicing mistake shows up as a byte mismatch.
 fn patterned(n: usize) -> Vec<u8> {
@@ -97,7 +104,7 @@ proptest! {
             let open = |coalesce: bool| {
                 open_store(
                     backend,
-                    StoreConfig::in_memory()
+                    matrix_config()
                         .with_memory_budget(16 << 10)
                         .with_page_size(2 << 10)
                         .with_index_buckets(128)
@@ -139,6 +146,159 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Acceptance gate of the async tentpole: a cold `multi_get` through the
+    /// submission-queue backend is byte-identical to the blocking-`pread`
+    /// path on every storage backend, for arbitrary probe batches.
+    #[test]
+    fn cold_multi_get_is_identical_with_sync_and_async_io(
+        probes in proptest::collection::vec(0u64..700, 1..400),
+    ) {
+        for backend in BackendKind::ALL {
+            let open = |io_backend: IoBackend| {
+                open_store(
+                    backend,
+                    matrix_config()
+                        .with_memory_budget(16 << 10)
+                        .with_page_size(2 << 10)
+                        .with_index_buckets(128)
+                        .with_io_backend(io_backend)
+                        .with_io_queue_depth(4),
+                )
+                .unwrap()
+            };
+            let sync = open(IoBackend::Sync);
+            let async_ = open(IoBackend::Async);
+            for store in [&sync, &async_] {
+                for k in 0..600u64 {
+                    store.put(k, &[(k % 251) as u8; 24]).unwrap();
+                }
+                store.delete(5).unwrap();
+                store.flush().unwrap();
+            }
+            let a = sync.multi_get(&probes);
+            let b = async_.multi_get(&probes);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert_eq!(
+                    x.as_ref().ok(),
+                    y.as_ref().ok(),
+                    "{}: key {} (pos {})",
+                    backend.name(),
+                    probes[i],
+                    i
+                );
+                // Both sides agree with the per-key ground truth.
+                match async_.get(probes[i]) {
+                    Ok(v) => prop_assert_eq!(y.as_ref().unwrap(), &v),
+                    Err(e) => {
+                        prop_assert!(e.is_not_found());
+                        prop_assert!(y.as_ref().unwrap_err().is_not_found());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Disk-backed async reads: a store over real files (`FileDevice` fronted by
+/// the `IoRing` poller) serves cold batches identically to the sync path and
+/// persists across reopen under either backend.
+#[test]
+fn disk_backed_async_store_matches_sync_and_reopens() {
+    let dir = std::env::temp_dir().join(format!(
+        "mlkv-io-async-disk-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    for backend in BackendKind::ALL {
+        let open = |io_backend: IoBackend, sub: &str| {
+            open_store(
+                backend,
+                StoreConfig::on_disk(dir.join(sub).join(backend.name()))
+                    .with_memory_budget(16 << 10)
+                    .with_page_size(2 << 10)
+                    .with_index_buckets(128)
+                    .with_io_backend(io_backend)
+                    .with_io_queue_depth(4),
+            )
+            .unwrap()
+        };
+        let sync = open(IoBackend::Sync, "sync");
+        let async_ = open(IoBackend::Async, "async");
+        for store in [&sync, &async_] {
+            for k in 0..400u64 {
+                store.put(k, &[(k % 251) as u8; 48]).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        let probes: Vec<u64> = (0..1024u64).map(|i| (i * 13) % 500).collect();
+        let a = sync.multi_get(&probes);
+        let b = async_.multi_get(&probes);
+        for (key, (x, y)) in probes.iter().zip(a.iter().zip(&b)) {
+            assert_eq!(
+                x.as_ref().ok(),
+                y.as_ref().ok(),
+                "{}: key {key}",
+                backend.name()
+            );
+        }
+        // Reopen the async store's files and read. Only the engines that
+        // recover without an explicit checkpoint (LSM via WAL/SSTables,
+        // B+tree via its meta page) keep their data across a plain reopen.
+        if matches!(
+            backend,
+            BackendKind::RocksDbLike | BackendKind::WiredTigerLike
+        ) {
+            drop(async_);
+            let reopened = open(IoBackend::Async, "async");
+            assert_eq!(
+                reopened.get(7).ok(),
+                sync.get(7).ok(),
+                "{} reopen",
+                backend.name()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The planner's 4 MiB run cap is no longer silently applied: a cold gather
+/// whose merged run would exceed the cap surfaces the forced splits as
+/// `planner_splits` in the engine metrics.
+#[test]
+fn planner_run_cap_splits_are_surfaced_in_metrics() {
+    let store = open_store(
+        BackendKind::Faster,
+        matrix_config()
+            .with_memory_budget(16 << 10)
+            .with_page_size(4 << 10)
+            .with_index_buckets(1 << 12)
+            // A huge gap threshold merges the whole key space into one run,
+            // which must then split at the 4 MiB cap. Serial execution keeps
+            // the whole 6 MiB gather in one worker's scatter regardless of
+            // the matrix's parallelism cell.
+            .with_io_gap_bytes(1 << 20)
+            .with_parallelism(1),
+    )
+    .unwrap();
+    let n = 6_000u64; // ~6 MiB of 1 KiB records: beyond one 4 MiB run
+    for k in 0..n {
+        store.put(k, &[(k % 251) as u8; 1024]).unwrap();
+    }
+    assert_eq!(store.metrics().snapshot().planner_splits, 0);
+    let keys: Vec<u64> = (0..n).collect();
+    for (k, got) in keys.iter().zip(store.multi_get(&keys)) {
+        assert_eq!(got.unwrap(), vec![(k % 251) as u8; 1024], "key {k}");
+    }
+    assert!(
+        store.metrics().snapshot().planner_splits > 0,
+        "a >4 MiB coalesced gather must surface its run-cap splits"
+    );
+}
+
 /// Non-proptest sanity check: the FASTER cold gather issues *fewer* device
 /// round trips with coalescing on, and the same results either way (the
 /// throughput-priced `SimLatencyDevice` makes the difference measurable in
@@ -148,7 +308,7 @@ fn faster_cold_batch_results_survive_spills_and_large_values() {
     let open = |coalesce: bool| {
         open_store(
             BackendKind::Faster,
-            StoreConfig::in_memory()
+            matrix_config()
                 .with_memory_budget(8 << 10)
                 .with_page_size(2 << 10)
                 .with_index_buckets(64)
