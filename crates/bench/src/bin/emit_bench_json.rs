@@ -16,12 +16,18 @@
 //! * `BENCH_io_async.json` (same setup): the coalesced cold-SSD gather with
 //!   blocking reads (`io_backend = sync`) vs submission-queue reads
 //!   (`io_backend = async`), at the same parallelism and coalescing.
+//! * `BENCH_durability.json` (`mlkv_storage::wal` group commit): `write_batch`
+//!   throughput on each disk engine with `durability = None` vs
+//!   `GroupCommit`, across group sizes — the group-commit sync cost is paid
+//!   once per acknowledged batch, so its per-record price melts as the group
+//!   grows.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p mlkv-bench --bin emit_bench_json \
-//!     [-- --out PATH] [--io-out PATH] [--io-async-out PATH] [--quick]
+//!     [-- --out PATH] [--io-out PATH] [--io-async-out PATH] \
+//!     [--durability-out PATH] [--quick]
 //! ```
 //!
 //! `--quick` runs one measurement iteration per cell (CI smoke); the default
@@ -312,6 +318,126 @@ fn write_io_coalesce_json(cells: &[IoCell], quick: bool, out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// One `BENCH_durability.json` row: `write_batch` throughput on a disk engine
+/// under one durability mode at one group size.
+struct DurabilityCell {
+    engine: &'static str,
+    durability: &'static str,
+    group: usize,
+    mean_ns: u128,
+    records_per_sec: f64,
+    /// Batch-latency multiplier vs `DurabilityMode::None` at the same group
+    /// size — the price of the group-commit fsync.
+    cost_vs_none: f64,
+}
+
+/// Mean wall-clock nanoseconds of one acknowledged `write_batch` of `group`
+/// records, cycling keys through a bounded space so later batches overwrite.
+fn measure_write_batches(
+    store: &Arc<dyn mlkv_storage::KvStore>,
+    group: usize,
+    iters: u32,
+    next_key: &mut u64,
+) -> u128 {
+    const KEY_SPACE: u64 = 100_000;
+    let value = vec![0xABu8; 32];
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut batch = mlkv_storage::WriteBatch::new();
+        for _ in 0..group {
+            batch.put(*next_key % KEY_SPACE, value.clone());
+            *next_key += 1;
+        }
+        store.write_batch(&batch).unwrap();
+    }
+    start.elapsed().as_nanos() / u128::from(iters.max(1))
+}
+
+/// Measure the `None` / `GroupCommit` pair on every disk engine across group
+/// sizes, over real files (the comparison *is* the fsync cost).
+fn run_durability(quick: bool) -> Vec<DurabilityCell> {
+    use mlkv_storage::DurabilityMode;
+    let groups: &[usize] = if quick { &[64] } else { &[1, 16, 128, 1024] };
+    let (warmup, iters) = if quick { (1, 1) } else { (2, 16) };
+    let mut cells = Vec::new();
+    for backend in io_coalesce::BACKENDS {
+        for &group in groups {
+            let mut none_ns = 0u128;
+            for (label, mode) in [
+                ("none", DurabilityMode::None),
+                (
+                    "group_commit",
+                    DurabilityMode::GroupCommit { window: 1 << 20 },
+                ),
+            ] {
+                let dir = std::env::temp_dir().join(format!(
+                    "mlkv-bench-durability-{}-{label}-{group}-{}",
+                    backend.name(),
+                    std::process::id()
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                let store = mlkv::open_store(
+                    backend,
+                    mlkv_storage::StoreConfig::on_disk(&dir)
+                        .with_memory_budget(8 << 20)
+                        .with_page_size(16 << 10)
+                        .with_index_buckets(1 << 14)
+                        .with_durability(mode),
+                )
+                .unwrap();
+                let mut next_key = 0u64;
+                measure_write_batches(&store, group, warmup, &mut next_key);
+                let mean_ns = measure_write_batches(&store, group, iters, &mut next_key);
+                drop(store);
+                std::fs::remove_dir_all(&dir).ok();
+
+                if label == "none" {
+                    none_ns = mean_ns;
+                }
+                let cost = mean_ns as f64 / none_ns.max(1) as f64;
+                let records_per_sec = group as f64 * 1e9 / mean_ns.max(1) as f64;
+                eprintln!(
+                    "{:>10} write-batch group {group:>5} durability={label:<12}: \
+                     {:>10.3} ms/batch ({records_per_sec:>12.0} rec/s, {cost:.2}x vs none)",
+                    backend.name(),
+                    mean_ns as f64 / 1e6
+                );
+                cells.push(DurabilityCell {
+                    engine: backend.name(),
+                    durability: label,
+                    group,
+                    mean_ns,
+                    records_per_sec,
+                    cost_vs_none: cost,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn write_durability_json(cells: &[DurabilityCell], quick: bool, out_path: &str) {
+    let mut json = String::new();
+    let note = "acknowledged write_batch over real files: durability=none never syncs, \
+                durability=group_commit fsyncs the shared WAL (or page journal) once per \
+                acknowledged batch, so its per-record cost shrinks as the group grows; \
+                crash safety of the group_commit rows is proven by tests/crash_recovery.rs";
+    json_prologue(&mut json, "durability", quick, note);
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"workload\": \"write-batch\", \"group\": {}, \
+             \"durability\": \"{}\", \"mean_ns\": {}, \"records_per_sec\": {:.0}, \
+             \"cost_vs_none\": {:.3}}}",
+            c.engine, c.group, c.durability, c.mean_ns, c.records_per_sec, c.cost_vs_none
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -321,6 +447,8 @@ fn main() {
         .unwrap_or_else(|| "BENCH_io_coalesce.json".to_string());
     let io_async_out_path = mlkv_bench::arg_value(&args, "--io-async-out")
         .unwrap_or_else(|| "BENCH_io_async.json".to_string());
+    let durability_out_path = mlkv_bench::arg_value(&args, "--durability-out")
+        .unwrap_or_else(|| "BENCH_durability.json".to_string());
 
     let mut cells = Vec::new();
     let warm = |engine| GroupSpec {
@@ -383,4 +511,7 @@ fn main() {
 
     let io_async_cells = run_io_async(quick);
     write_io_async_json(&io_async_cells, quick, &io_async_out_path);
+
+    let durability_cells = run_durability(quick);
+    write_durability_json(&durability_cells, quick, &durability_out_path);
 }

@@ -316,6 +316,19 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Encoded bytes of leaf `page_id`'s *current* content, faulting it in if
+    /// it was evicted since it was touched (the eviction wrote it back, so the
+    /// faulted copy is current). Used to journal post-images of mutated
+    /// leaves.
+    pub fn leaf_image(&self, page_id: u64) -> StorageResult<Vec<u8>> {
+        Ok(self.with_leaf(page_id, |leaf| leaf.encode())?.0)
+    }
+
+    /// Harden every byte written to the leaf device (durability barrier).
+    pub fn sync(&self) -> StorageResult<()> {
+        self.device.sync()
+    }
+
     /// Write every dirty resident page back to the device (checkpoint barrier).
     pub fn flush_all(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();

@@ -1,7 +1,7 @@
 //! The B+tree store: in-memory separator level + buffer-pooled leaf pages,
 //! behind the [`KvStore`] interface.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -10,10 +10,50 @@ use parking_lot::RwLock;
 use mlkv_storage::device::device_from_config;
 use mlkv_storage::exec::BatchExecutor;
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
-use mlkv_storage::{Device, StorageError, StorageMetrics, StorageResult, StoreConfig};
+use mlkv_storage::wal::{WalReader, WalWriter};
+use mlkv_storage::{
+    Device, DurabilityMode, StorageError, StorageMetrics, StorageResult, StoreConfig,
+};
 
 use crate::buffer_pool::BufferPool;
 use crate::node::LeafPage;
+
+/// Journal record tags (first payload byte on the shared WAL framing).
+const JOURNAL_PAGE: u8 = 1; // [tag][page_id u64 LE][encoded leaf image]
+const JOURNAL_META: u8 = 2; // [tag][encoded tree meta]
+const JOURNAL_LIVE: u8 = 3; // [tag][live record count u64 LE]
+
+/// File name of journal generation `gen` inside the store directory.
+fn journal_file_name(gen: u64) -> String {
+    format!("btree_journal_{gen}.dat")
+}
+
+/// The journal generations present in `dir`, ascending (i.e. chronological).
+fn journal_generations(dir: &std::path::Path) -> Vec<u64> {
+    let mut gens = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if let Some(rest) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("btree_journal_"))
+                .and_then(|n| n.strip_suffix(".dat"))
+            {
+                if let Ok(gen) = rest.parse::<u64>() {
+                    gens.push(gen);
+                }
+            }
+        }
+    }
+    gens.sort_unstable();
+    gens
+}
+
+/// The page-image journal past the last flush, rotated by every flush.
+struct JournalHandle {
+    writer: WalWriter,
+    gen: u64,
+}
 
 /// Separator map: `max key reachable through this leaf -> leaf page id`. The
 /// rightmost leaf always carries `u64::MAX` so that every key routes somewhere.
@@ -33,6 +73,11 @@ pub struct BtreeStore {
     tree: RwLock<TreeMeta>,
     live: AtomicU64,
     executor: BatchExecutor,
+    /// `None` under [`DurabilityMode::None`] (or without a directory): flushes
+    /// are then the only durability, as in the seed. Otherwise every
+    /// acknowledged mutation journals the post-images of the leaves it
+    /// touched, and the journal is replayed over the base files on open.
+    journal: Option<RwLock<JournalHandle>>,
 }
 
 const META_MAGIC: u64 = 0x4D4C_4B56_4254_5245; // "MLKVBTRE"
@@ -68,7 +113,7 @@ impl BtreeStore {
             )
         };
 
-        Ok(Self {
+        let mut store = Self {
             executor: BatchExecutor::new(config.parallelism),
             config,
             metrics,
@@ -76,7 +121,137 @@ impl BtreeStore {
             meta_device,
             tree: RwLock::new(meta),
             live: AtomicU64::new(live),
-        })
+            journal: None,
+        };
+        if let Some(dir) = store.config.dir.clone() {
+            store.replay_journal(&dir)?;
+            if store.config.effective_durability() != DurabilityMode::None {
+                let gens = journal_generations(&dir);
+                let gen = gens.last().map(|g| g + 1).unwrap_or(0);
+                let device = device_from_config(&store.config, &journal_file_name(gen))?;
+                store.journal = Some(RwLock::new(JournalHandle {
+                    writer: WalWriter::new(
+                        device,
+                        store.config.effective_durability(),
+                        Arc::clone(&store.metrics),
+                    ),
+                    gen,
+                }));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Replay any surviving journal generations over the base leaf/meta files,
+    /// in ascending (chronological) order. Page records re-install the
+    /// journaled post-image of a leaf — replacing whatever (possibly torn or
+    /// stale) bytes the crash left on the leaf device — and meta/live records
+    /// restore the routing table and record count as of the covering
+    /// acknowledgement. Replaying an image that is already on disk is
+    /// idempotent, so generations are *not* deleted here: until the next
+    /// flush they remain the only durable copy of their pages. They are
+    /// garbage-collected by [`BtreeStore::rotate_journal`] at flush time.
+    fn replay_journal(&mut self, dir: &std::path::Path) -> StorageResult<()> {
+        for gen in journal_generations(dir) {
+            let device = device_from_config(&self.config, &journal_file_name(gen))?;
+            for payload in WalReader::replay(device.as_ref())? {
+                match payload.first().copied() {
+                    Some(JOURNAL_PAGE) if payload.len() > 9 => {
+                        let page_id = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                        let leaf = LeafPage::decode(&payload[9..])?;
+                        self.pool.install_new(page_id, leaf)?;
+                    }
+                    Some(JOURNAL_META) if payload.len() > 1 => {
+                        let (meta, live) = Self::decode_meta_bytes(&payload[1..])?;
+                        *self.tree.get_mut() = meta;
+                        self.live.store(live, Ordering::SeqCst);
+                    }
+                    Some(JOURNAL_LIVE) if payload.len() >= 9 => {
+                        let live = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                        self.live.store(live, Ordering::SeqCst);
+                    }
+                    _ => {
+                        return Err(StorageError::Corruption(
+                            "unknown btree journal record".into(),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Journal one acknowledged mutation: the post-images of every leaf it
+    /// touched, a meta record when the routing table changed, and the live
+    /// count — all as **one** grouped append, acknowledged with a single
+    /// commit. Must be called under the tree write lock so the images are
+    /// consistent with the acknowledged state.
+    fn journal_commit(
+        &self,
+        tree: &TreeMeta,
+        touched: &BTreeSet<u64>,
+        meta_changed: bool,
+    ) -> StorageResult<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(touched.len() + 2);
+        for &page_id in touched {
+            let image = self.pool.leaf_image(page_id)?;
+            let mut p = Vec::with_capacity(9 + image.len());
+            p.push(JOURNAL_PAGE);
+            p.extend_from_slice(&page_id.to_le_bytes());
+            p.extend_from_slice(&image);
+            payloads.push(p);
+        }
+        if meta_changed {
+            let mut p = vec![JOURNAL_META];
+            p.extend_from_slice(&self.encode_meta(tree));
+            payloads.push(p);
+        }
+        let mut p = vec![JOURNAL_LIVE];
+        p.extend_from_slice(&self.live.load(Ordering::SeqCst).to_le_bytes());
+        payloads.push(p);
+        let handle = journal.read();
+        handle
+            .writer
+            .append_group(payloads.iter().map(|p| p.as_slice()))?;
+        handle.writer.commit()
+    }
+
+    /// Start a new journal generation and delete the superseded ones. Called
+    /// by [`BtreeStore::flush`] *after* the leaf and meta devices are
+    /// hardened: every journaled image is then covered by the base files.
+    fn rotate_journal(&self) -> StorageResult<()> {
+        let dir = match &self.config.dir {
+            Some(dir) => dir.clone(),
+            None => return Ok(()),
+        };
+        match &self.journal {
+            Some(journal) => {
+                let mut handle = journal.write();
+                let old_gen = handle.gen;
+                let device = device_from_config(&self.config, &journal_file_name(old_gen + 1))?;
+                handle.writer = WalWriter::new(
+                    device,
+                    self.config.effective_durability(),
+                    Arc::clone(&self.metrics),
+                );
+                handle.gen = old_gen + 1;
+                drop(handle);
+                for gen in journal_generations(&dir) {
+                    if gen <= old_gen {
+                        let _ = std::fs::remove_file(dir.join(journal_file_name(gen)));
+                    }
+                }
+            }
+            None => {
+                for gen in journal_generations(&dir) {
+                    let _ = std::fs::remove_file(dir.join(journal_file_name(gen)));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Convenience constructor for tests: purely in-memory store.
@@ -102,6 +277,11 @@ impl BtreeStore {
         let len = device.len() as usize;
         let mut bytes = vec![0u8; len];
         device.read_at(0, &mut bytes)?;
+        Self::decode_meta_bytes(&bytes)
+    }
+
+    fn decode_meta_bytes(bytes: &[u8]) -> StorageResult<(TreeMeta, u64)> {
+        let len = bytes.len();
         if len < 32 {
             return Err(StorageError::Corruption("btree meta truncated".into()));
         }
@@ -247,8 +427,18 @@ impl BtreeStore {
 
     /// Upsert `key` into the tree whose meta the caller holds write-locked.
     /// This is the body shared by `put`, `multi_rmw` and `write_batch`, so a
-    /// batch pays for the tree lock once.
-    fn put_locked(&self, tree: &mut TreeMeta, key: Key, value: &[u8]) -> StorageResult<()> {
+    /// batch pays for the tree lock once. The leaves mutated (including a
+    /// split's new right sibling) are recorded in `touched`, and
+    /// `meta_changed` is raised when the routing table changed — the caller
+    /// journals both at its acknowledgement point.
+    fn put_locked(
+        &self,
+        tree: &mut TreeMeta,
+        key: Key,
+        value: &[u8],
+        touched: &mut BTreeSet<u64>,
+        meta_changed: &mut bool,
+    ) -> StorageResult<()> {
         self.metrics.record_upsert();
         let (sep, page_id) = Self::route(&tree.separators, key);
         let capacity = self.leaf_capacity();
@@ -261,6 +451,7 @@ impl BtreeStore {
         if inserted {
             self.live.fetch_add(1, Ordering::Relaxed);
         }
+        touched.insert(page_id);
         match split {
             Some(right) => {
                 // The right sibling inherits the old separator (upper bound of the
@@ -272,6 +463,8 @@ impl BtreeStore {
                     .insert(left_max.expect("left leaf non-empty after split"), page_id);
                 tree.separators.insert(sep, right_id);
                 self.pool.install_new(right_id, right)?;
+                touched.insert(right_id);
+                *meta_changed = true;
             }
             None => {
                 // Grow the separator if the new key extended the leaf's range
@@ -281,6 +474,7 @@ impl BtreeStore {
                     if max > sep {
                         tree.separators.remove(&sep);
                         tree.separators.insert(max, page_id);
+                        *meta_changed = true;
                     }
                 }
             }
@@ -387,7 +581,10 @@ impl KvStore for BtreeStore {
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
         self.check_value_size(value)?;
         let mut tree = self.tree.write();
-        self.put_locked(&mut tree, key, value)
+        let mut touched = BTreeSet::new();
+        let mut meta_changed = false;
+        self.put_locked(&mut tree, key, value, &mut touched, &mut meta_changed)?;
+        self.journal_commit(&tree, &touched, meta_changed)
     }
 
     fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
@@ -408,6 +605,8 @@ impl KvStore for BtreeStore {
         // preserved so duplicate keys see earlier occurrences' writes.
         let mut tree = self.tree.write();
         let mut out = vec![Vec::new(); keys.len()];
+        let mut touched = BTreeSet::new();
+        let mut meta_changed = false;
         for (i, &key) in keys.iter().enumerate() {
             self.metrics.record_rmw();
             let (_, page_id) = Self::route(&tree.separators, key);
@@ -416,9 +615,13 @@ impl KvStore for BtreeStore {
                 .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
             let new_value = f(i, current.as_deref());
             self.check_value_size(&new_value)?;
-            self.put_locked(&mut tree, key, &new_value)?;
+            self.put_locked(&mut tree, key, &new_value, &mut touched, &mut meta_changed)?;
             out[i] = new_value;
         }
+        // One journal group (and one sync) covers the whole batch: each
+        // touched leaf's post-image reflects every mutation the batch made to
+        // it, so per-op images would be redundant.
+        self.journal_commit(&tree, &touched, meta_changed)?;
         Ok(out)
     }
 
@@ -443,10 +646,18 @@ impl KvStore for BtreeStore {
         let mut order: Vec<usize> = (0..ops.len()).collect();
         order.sort_by_key(|&i| *ops[i].0);
         let mut tree = self.tree.write();
+        let mut touched = BTreeSet::new();
+        let mut meta_changed = false;
         for i in order {
-            self.put_locked(&mut tree, *ops[i].0, ops[i].1)?;
+            self.put_locked(
+                &mut tree,
+                *ops[i].0,
+                ops[i].1,
+                &mut touched,
+                &mut meta_changed,
+            )?;
         }
-        Ok(())
+        self.journal_commit(&tree, &touched, meta_changed)
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
@@ -456,7 +667,9 @@ impl KvStore for BtreeStore {
         if removed {
             self.live.fetch_sub(1, Ordering::Relaxed);
         }
-        Ok(())
+        let mut touched = BTreeSet::new();
+        touched.insert(page_id);
+        self.journal_commit(&tree, &touched, false)
     }
 
     fn approximate_len(&self) -> usize {
@@ -471,10 +684,14 @@ impl KvStore for BtreeStore {
         let tree = self.tree.read();
         self.pool.flush_all()?;
         self.meta_device.write_at(0, &self.encode_meta(&tree))?;
-        if self.config.sync_writes {
+        if self.config.effective_durability() != DurabilityMode::None {
+            // Harden the base files *before* rotating the journal away: until
+            // both syncs return, the journal is the only durable copy of the
+            // pages flushed above.
+            self.pool.sync()?;
             self.meta_device.sync()?;
         }
-        Ok(())
+        self.rotate_journal()
     }
 }
 
@@ -692,6 +909,107 @@ mod tests {
         assert_eq!(store.get(0).unwrap(), 0u64.to_le_bytes());
         assert!(store.get(3).unwrap_err().is_not_found());
         assert_eq!(store.approximate_len(), 1999);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mlkv-btree-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journaled_writes_survive_reopen_without_flush() {
+        let dir = temp_dir("reopen");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_durability(DurabilityMode::GroupCommit { window: 64 });
+        {
+            let store = BtreeStore::open(cfg.clone()).unwrap();
+            // Enough inserts to split leaves (routing changes must replay too).
+            for k in 0..300u64 {
+                store.put(k, &[(k % 251) as u8; 32]).unwrap();
+            }
+            store.delete(5).unwrap();
+            // No flush: the journal is the only durable copy.
+        }
+        let store = BtreeStore::open(cfg).unwrap();
+        assert!(store.leaf_count() > 1, "splits must survive");
+        assert_eq!(store.approximate_len(), 299);
+        assert!(store.get(5).unwrap_err().is_not_found());
+        for k in (0..300u64).filter(|&k| k != 5) {
+            assert_eq!(store.get(k).unwrap(), vec![(k % 251) as u8; 32], "key {k}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_rotates_the_journal_generation() {
+        let dir = temp_dir("rotate");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_durability(DurabilityMode::GroupCommit { window: 64 });
+        let store = BtreeStore::open(cfg.clone()).unwrap();
+        for k in 0..100u64 {
+            store.put(k, &[1u8; 32]).unwrap();
+        }
+        assert_eq!(journal_generations(&dir), vec![0]);
+        store.flush().unwrap();
+        assert_eq!(journal_generations(&dir), vec![1], "flush supersedes gen 0");
+        store.put(500, &[2u8; 32]).unwrap();
+        drop(store);
+        // Reopen recovers the flushed base plus the delta journal.
+        let store = BtreeStore::open(cfg).unwrap();
+        assert_eq!(store.approximate_len(), 101);
+        assert_eq!(store.get(500).unwrap(), vec![2u8; 32]);
+        assert_eq!(store.get(99).unwrap(), vec![1u8; 32]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batches_journal_one_group_per_ack() {
+        let dir = temp_dir("group");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(64 << 10)
+            .with_page_size(4 << 10)
+            .with_durability(DurabilityMode::GroupCommit { window: 1 << 20 });
+        let store = BtreeStore::open(cfg).unwrap();
+        let mut batch = mlkv_storage::WriteBatch::new();
+        for k in 0..64u64 {
+            batch.put(k, vec![k as u8; 16]);
+        }
+        store.write_batch(&batch).unwrap();
+        let keys: Vec<u64> = (0..64).collect();
+        store
+            .multi_rmw(&keys, &|_, cur| {
+                let mut v = cur.unwrap().to_vec();
+                v[0] ^= 0xFF;
+                v
+            })
+            .unwrap();
+        let snap = store.metrics().snapshot();
+        assert_eq!(snap.wal_appends, 2, "one grouped journal append per batch");
+        assert_eq!(snap.wal_syncs, 2, "one sync per acknowledged batch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_durable_store_writes_no_journal() {
+        let dir = temp_dir("nojournal");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10);
+        let store = BtreeStore::open(cfg).unwrap();
+        store.put(1, &[1u8; 8]).unwrap();
+        assert!(journal_generations(&dir).is_empty());
+        assert_eq!(store.metrics().snapshot().wal_appends, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

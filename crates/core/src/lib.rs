@@ -70,5 +70,6 @@ pub use table::{EmbeddingTable, TableBuilder, TableOptions};
 
 // Re-export the storage-facing types users need when configuring backends.
 pub use mlkv_storage::{
-    BatchExecutor, IoBackend, KvStore, StorageError, StorageResult, StoreConfig, WriteBatch,
+    BatchExecutor, DurabilityMode, IoBackend, KvStore, StorageError, StorageResult, StoreConfig,
+    WriteBatch,
 };

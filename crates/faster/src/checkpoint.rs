@@ -73,10 +73,17 @@ pub fn read_manifest(dir: &Path) -> StorageResult<Manifest> {
 }
 
 /// Take a fold-over checkpoint of `store` into `dir`.
+///
+/// Checkpoints are assumed to run without concurrent writers (the trainer
+/// quiesces before checkpointing): a record appended between the fold-over
+/// below and the WAL rotation at the end would be covered by neither the
+/// manifest nor the surviving WAL generation.
 pub fn write_checkpoint(store: &FasterKv, dir: &Path) -> StorageResult<()> {
     fs::create_dir_all(dir)?;
-    // 1. Fold over: push every dirty page to the device.
+    // 1. Fold over: push every dirty page to the device, then harden it — the
+    //    manifest must never point at log bytes the device could still lose.
     store.log().flush_all()?;
+    store.log().sync()?;
     // 2. Persist the manifest. Write-then-rename so a crash mid-checkpoint never
     //    leaves a truncated manifest behind.
     let manifest = Manifest {
@@ -88,6 +95,9 @@ pub fn write_checkpoint(store: &FasterKv, dir: &Path) -> StorageResult<()> {
     let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
     fs::write(&tmp, manifest.encode())?;
     fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+    // 3. The checkpoint now covers every logged record: start a fresh WAL
+    //    generation and garbage-collect the superseded ones.
+    store.rotate_wal()?;
     Ok(())
 }
 

@@ -428,6 +428,13 @@ impl HybridLog {
         Ok(())
     }
 
+    /// Harden the device unconditionally (checkpoints call this after
+    /// [`HybridLog::flush_all`] so the manifest never references pages still
+    /// sitting in an OS or crash-injection write buffer).
+    pub fn sync(&self) -> StorageResult<()> {
+        self.device.sync()
+    }
+
     /// Iterate over every valid record in log order, calling `f(address, record)`.
     /// Used by checkpointing, recovery and fold-over scans.
     pub fn scan(&self, mut f: impl FnMut(Address, &Record)) -> StorageResult<()> {

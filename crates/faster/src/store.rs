@@ -5,10 +5,13 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use mlkv_storage::device::device_from_config;
 use mlkv_storage::exec::BatchExecutor;
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
-use mlkv_storage::{StorageError, StorageMetrics, StorageResult, StoreConfig};
+use mlkv_storage::wal::{WalOp, WalReader, WalWriter};
+use mlkv_storage::{DurabilityMode, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
 use crate::address::Address;
 use crate::checkpoint;
@@ -16,6 +19,41 @@ use crate::epoch::EpochManager;
 use crate::hash_index::HashIndex;
 use crate::hlog::HybridLog;
 use crate::record::Record;
+
+/// File name of WAL generation `gen` inside the store directory.
+fn wal_file_name(gen: u64) -> String {
+    format!("faster_wal_{gen}.dat")
+}
+
+/// The WAL generations present in `dir`, ascending (i.e. chronological).
+fn wal_generations(dir: &std::path::Path) -> Vec<u64> {
+    let mut gens = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if let Some(rest) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("faster_wal_"))
+                .and_then(|n| n.strip_suffix(".dat"))
+            {
+                if let Ok(gen) = rest.parse::<u64>() {
+                    gens.push(gen);
+                }
+            }
+        }
+    }
+    gens.sort_unstable();
+    gens
+}
+
+/// The delta write-ahead log past the last checkpoint: generation-numbered
+/// (`faster_wal_{gen}.dat`), rotated by every checkpoint. Appenders hold the
+/// read half of the lock (concurrent appends are fine — the device append is
+/// atomic); rotation takes the write half.
+struct WalHandle {
+    writer: WalWriter,
+    gen: u64,
+}
 
 /// A FASTER-like key-value store.
 pub struct FasterKv {
@@ -26,6 +64,10 @@ pub struct FasterKv {
     live_records: AtomicU64,
     config: StoreConfig,
     executor: BatchExecutor,
+    /// `None` under [`DurabilityMode::None`]: checkpoints are then the only
+    /// durability (the seed behaviour); otherwise every acknowledged write is
+    /// logged here and replayed on open past the last checkpoint.
+    wal: Option<RwLock<WalHandle>>,
 }
 
 impl FasterKv {
@@ -42,7 +84,7 @@ impl FasterKv {
             mlkv_storage::IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics)),
             Arc::clone(&metrics),
         )?;
-        let store = Self {
+        let mut store = Self {
             index: HashIndex::new(config.index_buckets),
             log,
             epoch: Arc::new(EpochManager::new()),
@@ -50,13 +92,122 @@ impl FasterKv {
             live_records: AtomicU64::new(0),
             executor: BatchExecutor::new(config.parallelism),
             config,
+            wal: None,
         };
         if let Some(dir) = store.config.dir.clone() {
             if checkpoint::manifest_exists(&dir) {
                 store.recover(&dir)?;
             }
+            store.attach_wal(&dir)?;
         }
         Ok(store)
+    }
+
+    /// Replay any surviving write-ahead-log generations over the checkpointed
+    /// state, then (when the store is durable) start a fresh generation for
+    /// this run's deltas.
+    ///
+    /// Generations are replayed in ascending order — rotation only ever adds a
+    /// higher generation, so ascending order is chronological. Replaying a
+    /// record whose write is already in the checkpoint is harmless: WAL
+    /// records carry full values, so re-applying them is idempotent. Stale
+    /// generations are *not* deleted here — until the next checkpoint the
+    /// WAL files are the only durable copy of their records — they are
+    /// garbage-collected by [`FasterKv::rotate_wal`] at checkpoint time.
+    fn attach_wal(&mut self, dir: &std::path::Path) -> StorageResult<()> {
+        let gens = wal_generations(dir);
+        {
+            let _guard = self.epoch.acquire();
+            for &gen in &gens {
+                let device = device_from_config(&self.config, &wal_file_name(gen))?;
+                for payload in WalReader::replay(device.as_ref())? {
+                    match WalOp::decode(&payload)? {
+                        WalOp::Put { key, value } => self.put_value(key, &value)?,
+                        WalOp::Delete { key } => {
+                            self.delete_value(key)?;
+                        }
+                    }
+                }
+            }
+        }
+        if self.config.effective_durability() != DurabilityMode::None {
+            let gen = gens.last().map(|g| g + 1).unwrap_or(0);
+            let device = device_from_config(&self.config, &wal_file_name(gen))?;
+            self.wal = Some(RwLock::new(WalHandle {
+                writer: WalWriter::new(
+                    device,
+                    self.config.effective_durability(),
+                    Arc::clone(&self.metrics),
+                ),
+                gen,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Start a new WAL generation and delete the superseded ones. Called by
+    /// [`checkpoint::write_checkpoint`] *after* the manifest rename: every
+    /// record in the old generations is covered by the just-written
+    /// checkpoint, so the files can go. Under [`DurabilityMode::None`] there
+    /// is no writer, but generations left behind by an earlier durable run
+    /// are likewise superseded and removed.
+    pub(crate) fn rotate_wal(&self) -> StorageResult<()> {
+        let dir = match &self.config.dir {
+            Some(dir) => dir.clone(),
+            None => return Ok(()),
+        };
+        match &self.wal {
+            Some(wal) => {
+                let mut handle = wal.write();
+                let old_gen = handle.gen;
+                let device = device_from_config(&self.config, &wal_file_name(old_gen + 1))?;
+                handle.writer = WalWriter::new(
+                    device,
+                    self.config.effective_durability(),
+                    Arc::clone(&self.metrics),
+                );
+                handle.gen = old_gen + 1;
+                drop(handle);
+                for gen in wal_generations(&dir) {
+                    if gen <= old_gen {
+                        let _ = std::fs::remove_file(dir.join(wal_file_name(gen)));
+                    }
+                }
+            }
+            None => {
+                for gen in wal_generations(&dir) {
+                    let _ = std::fs::remove_file(dir.join(wal_file_name(gen)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one WAL record (no-op when the store is not durable).
+    fn wal_append(&self, payload: &[u8]) -> StorageResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.read().writer.append(payload)?;
+        }
+        Ok(())
+    }
+
+    /// Append a whole batch of WAL records as one device write.
+    fn wal_append_group(&self, payloads: &[Vec<u8>]) -> StorageResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.read()
+                .writer
+                .append_group(payloads.iter().map(|p| p.as_slice()))?;
+        }
+        Ok(())
+    }
+
+    /// Acknowledgement point: harden everything logged so far under the
+    /// configured durability mode.
+    fn wal_commit(&self) -> StorageResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.read().writer.commit()?;
+        }
+        Ok(())
     }
 
     /// Convenience: an in-memory store with the given buffer budget (tests).
@@ -172,6 +323,19 @@ impl FasterKv {
             }
         }
         self.append_and_install(key, value.to_vec(), false)
+    }
+
+    /// Tombstone `key` if it is live, returning whether a tombstone was
+    /// written. The caller must hold epoch protection.
+    fn delete_value(&self, key: Key) -> StorageResult<bool> {
+        if let Some((_, record, _)) = self.find(key)? {
+            if !record.is_tombstone() {
+                self.live_records.fetch_sub(1, Ordering::Relaxed);
+                self.append_and_install(key, Vec::new(), true)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Read-modify-write `key`, recording metrics. The caller must hold epoch
@@ -460,13 +624,28 @@ impl KvStore for FasterKv {
     }
 
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
-        let _guard = self.epoch.acquire();
-        self.put_value(key, value)
+        // Log before apply: a record is never visible in the store without
+        // first being in the WAL, so an acknowledged put can never be lost.
+        self.wal_append(&WalOp::encode_put(key, value))?;
+        {
+            let _guard = self.epoch.acquire();
+            self.put_value(key, value)?;
+        }
+        self.wal_commit()
     }
 
     fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
-        let _guard = self.epoch.acquire();
-        self.rmw_value(key, f)
+        // Apply before log: the value only exists once the closure has run
+        // against the current state. An applied-but-unlogged record can only
+        // surface as an *unacknowledged* write (the commit below has not
+        // returned), which the durability contract permits.
+        let value = {
+            let _guard = self.epoch.acquire();
+            self.rmw_value(key, f)?
+        };
+        self.wal_append(&WalOp::encode_put(key, &value))?;
+        self.wal_commit()?;
+        Ok(value)
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
@@ -486,27 +665,42 @@ impl KvStore for FasterKv {
             for (i, value) in self.rmw_sorted_range(keys, &order, f)? {
                 out[i] = value;
             }
-            return Ok(out);
-        }
-        let jobs: Vec<_> = mlkv_storage::exec::split_sorted(&order, keys, workers)
-            .into_iter()
-            .map(|range| {
-                move || {
-                    let _guard = self.epoch.acquire();
-                    self.rmw_sorted_range(keys, range, f)
+        } else {
+            let jobs: Vec<_> = mlkv_storage::exec::split_sorted(&order, keys, workers)
+                .into_iter()
+                .map(|range| {
+                    move || {
+                        let _guard = self.epoch.acquire();
+                        self.rmw_sorted_range(keys, range, f)
+                    }
+                })
+                .collect();
+            // Every range runs to completion before the first error (in range
+            // order) is surfaced. Note this differs from the serial path on
+            // *failed* batches: serially no key after the failing one is
+            // written, in parallel the other ranges' writes still land. Both
+            // leave partial state (rmw failures here are I/O-level); only
+            // successful batches carry the byte-identical-across-parallelism
+            // guarantee.
+            for pairs in self.executor.execute(jobs, keys.len()) {
+                for (i, value) in pairs? {
+                    out[i] = value;
                 }
-            })
-            .collect();
-        // Every range runs to completion before the first error (in range
-        // order) is surfaced. Note this differs from the serial path on
-        // *failed* batches: serially no key after the failing one is written,
-        // in parallel the other ranges' writes still land. Both leave partial
-        // state (rmw failures here are I/O-level); only successful batches
-        // carry the byte-identical-across-parallelism guarantee.
-        for pairs in self.executor.execute(jobs, keys.len()) {
-            for (i, value) in pairs? {
-                out[i] = value;
             }
+        }
+        // Log the batch's resolved values (apply-before-log, as in `rmw`) as
+        // one grouped append, then acknowledge with a single commit — the
+        // group-commit amortisation the WAL exists for. Duplicate keys log
+        // their cumulative values in occurrence order, so replay converges on
+        // the same final state.
+        if self.wal.is_some() {
+            let payloads: Vec<Vec<u8>> = keys
+                .iter()
+                .zip(&out)
+                .map(|(k, v)| WalOp::encode_put(*k, v))
+                .collect();
+            self.wal_append_group(&payloads)?;
+            self.wal_commit()?;
         }
         Ok(out)
     }
@@ -519,23 +713,34 @@ impl KvStore for FasterKv {
     }
 
     fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
-        // Grouped fast path: a single epoch enter/exit covers every upsert.
-        let _guard = self.epoch.acquire();
-        for (k, v) in batch.iter() {
-            self.put_value(*k, v)?;
+        // Log the whole batch as one grouped append before touching the store
+        // (log-before-apply, batch-atomic in the log), then acknowledge with a
+        // single commit: one sync per batch, not per record.
+        if self.wal.is_some() {
+            let payloads: Vec<Vec<u8>> = batch
+                .iter()
+                .map(|(k, v)| WalOp::encode_put(*k, v))
+                .collect();
+            self.wal_append_group(&payloads)?;
         }
-        Ok(())
+        {
+            // Grouped fast path: a single epoch enter/exit covers every upsert.
+            let _guard = self.epoch.acquire();
+            for (k, v) in batch.iter() {
+                self.put_value(*k, v)?;
+            }
+        }
+        self.wal_commit()
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
-        let _guard = self.epoch.acquire();
-        if let Some((_, record, _)) = self.find(key)? {
-            if !record.is_tombstone() {
-                self.live_records.fetch_sub(1, Ordering::Relaxed);
-                self.append_and_install(key, Vec::new(), true)?;
-            }
+        // Log before apply, as for `put`.
+        self.wal_append(&WalOp::encode_delete(key))?;
+        {
+            let _guard = self.epoch.acquire();
+            self.delete_value(key)?;
         }
-        Ok(())
+        self.wal_commit()
     }
 
     fn promote_to_memory(&self, key: Key) -> StorageResult<bool> {
@@ -1019,6 +1224,126 @@ mod tests {
             }
         }
         assert_eq!(store.approximate_len(), 2000);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mlkv-faster-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_writes_survive_reopen_without_checkpoint() {
+        let dir = temp_dir("reopen");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_index_buckets(256)
+            .with_durability(DurabilityMode::GroupCommit { window: 64 });
+        {
+            let store = FasterKv::open(cfg.clone()).unwrap();
+            for k in 0..200u64 {
+                store.put(k, &[k as u8; 24]).unwrap();
+            }
+            store.delete(7).unwrap();
+            store
+                .rmw(3, &|cur| {
+                    let mut v = cur.unwrap().to_vec();
+                    v[0] = 0xAB;
+                    v
+                })
+                .unwrap();
+            // No checkpoint, no flush: the WAL is the only durable copy.
+        }
+        let store = FasterKv::open(cfg).unwrap();
+        assert_eq!(store.approximate_len(), 199);
+        assert!(store.get(7).unwrap_err().is_not_found());
+        let v3 = store.get(3).unwrap();
+        assert_eq!(v3[0], 0xAB);
+        assert_eq!(&v3[1..], &[3u8; 23][..]);
+        assert_eq!(store.get(199).unwrap(), vec![199u8; 24]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batches_log_one_group_and_survive_reopen() {
+        let dir = temp_dir("batch");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_index_buckets(256)
+            .with_durability(DurabilityMode::GroupCommit { window: 1 << 20 });
+        {
+            let store = FasterKv::open(cfg.clone()).unwrap();
+            let mut batch = mlkv_storage::WriteBatch::new();
+            for k in 0..64u64 {
+                batch.put(k, vec![k as u8; 16]);
+            }
+            store.write_batch(&batch).unwrap();
+            let keys: Vec<u64> = (0..64).collect();
+            store
+                .multi_rmw(&keys, &|i, cur| {
+                    let mut v = cur.unwrap().to_vec();
+                    v[0] = v[0].wrapping_add(i as u8 + 1);
+                    v
+                })
+                .unwrap();
+            let snap = store.metrics().snapshot();
+            assert_eq!(snap.wal_appends, 2, "one grouped append per batch");
+            assert_eq!(snap.wal_syncs, 2, "one sync per acknowledged batch");
+        }
+        let store = FasterKv::open(cfg).unwrap();
+        assert_eq!(store.approximate_len(), 64);
+        for k in 0..64u64 {
+            let v = store.get(k).unwrap();
+            assert_eq!(v[0], (k as u8).wrapping_add(k as u8 + 1), "key {k}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rotates_the_wal_generation() {
+        let dir = temp_dir("rotate");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_index_buckets(256)
+            .with_durability(DurabilityMode::GroupCommit { window: 64 });
+        let store = FasterKv::open(cfg.clone()).unwrap();
+        for k in 0..100u64 {
+            store.put(k, &[1u8; 16]).unwrap();
+        }
+        assert_eq!(wal_generations(&dir), vec![0]);
+        store.checkpoint().unwrap();
+        // Generation 0 is superseded by the checkpoint and deleted.
+        assert_eq!(wal_generations(&dir), vec![1]);
+        store.put(200, &[2u8; 16]).unwrap();
+        drop(store);
+        // Reopen recovers the checkpoint plus the delta WAL.
+        let store = FasterKv::open(cfg).unwrap();
+        assert_eq!(store.approximate_len(), 101);
+        assert_eq!(store.get(200).unwrap(), vec![2u8; 16]);
+        assert_eq!(store.get(99).unwrap(), vec![1u8; 16]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_durable_store_writes_no_wal() {
+        let dir = temp_dir("nowal");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_index_buckets(256);
+        let store = FasterKv::open(cfg).unwrap();
+        store.put(1, &[1u8; 8]).unwrap();
+        assert!(wal_generations(&dir).is_empty(), "None mode must not log");
+        assert_eq!(store.metrics().snapshot().wal_appends, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

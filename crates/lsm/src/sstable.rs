@@ -134,6 +134,13 @@ impl SsTable {
         })
     }
 
+    /// Harden the table to stable storage. Called after `build` and *before*
+    /// the WAL (or compaction inputs) covering these entries is removed, so a
+    /// crash can never leave the entries in neither place.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.device.sync()
+    }
+
     /// Number of entries (including tombstones).
     pub fn len(&self) -> usize {
         self.index.len()

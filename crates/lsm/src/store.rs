@@ -10,7 +10,8 @@ use mlkv_storage::device::device_from_config;
 use mlkv_storage::exec::{split_sorted, BatchExecutor};
 use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, WriteBatch};
 use mlkv_storage::{
-    IoPlanner, ShardedLruCache, StorageError, StorageMetrics, StorageResult, StoreConfig,
+    DurabilityMode, IoPlanner, ShardedLruCache, StorageError, StorageMetrics, StorageResult,
+    StoreConfig,
 };
 
 use crate::memtable::{Entry, MemTable};
@@ -73,12 +74,25 @@ impl LsmStore {
             for seq in table_seqs {
                 let device = device_from_config(&config, &format!("sst_{seq}.dat"))?;
                 let planner = IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics));
-                tables.push(SsTable::open(device, planner, seq)?);
+                match SsTable::open(device, planner, seq) {
+                    Ok(table) => tables.push(table),
+                    // An SST whose hardening sync never completed (crash
+                    // mid-flush) is empty or torn. Its entries are still in
+                    // the WAL — rotation only removes a WAL *after* the SST
+                    // covering it synced — so dropping the carcass is safe.
+                    Err(_) => {
+                        let _ = std::fs::remove_file(dir.join(format!("sst_{seq}.dat")));
+                    }
+                }
                 max_seq = max_seq.max(seq);
             }
         }
         let wal_device = device_from_config(&config, &format!("wal_{wal_gen}.dat"))?;
-        let wal = WriteAheadLog::new(wal_device, config.sync_writes);
+        let wal = WriteAheadLog::new(
+            wal_device,
+            config.effective_durability(),
+            Arc::clone(&metrics),
+        );
         let mut memtable = MemTable::new();
         for (key, entry) in wal.replay()? {
             match entry {
@@ -138,6 +152,13 @@ impl LsmStore {
             seq,
             &self.metrics,
         )?;
+        // Harden the SSTable *before* the WAL covering its entries is
+        // removed, so a crash can never leave the entries in neither place.
+        // Under `DurabilityMode::None` nothing promises to survive a crash,
+        // so the sync is skipped (preserving the non-durable fast path).
+        if self.config.effective_durability() != DurabilityMode::None {
+            table.sync()?;
+        }
         inner.tables.push(table);
         // Rotate the WAL: recovered state now lives in the SSTable.
         inner.wal_gen += 1;
@@ -145,7 +166,11 @@ impl LsmStore {
             let _ = std::fs::remove_file(dir.join(format!("wal_{}.dat", inner.wal_gen - 1)));
         }
         let wal_device = device_from_config(&self.config, &format!("wal_{}.dat", inner.wal_gen))?;
-        inner.wal = WriteAheadLog::new(wal_device, self.config.sync_writes);
+        inner.wal = WriteAheadLog::new(
+            wal_device,
+            self.config.effective_durability(),
+            Arc::clone(&self.metrics),
+        );
 
         if inner.tables.len() > COMPACTION_THRESHOLD {
             self.compact(inner)?;
@@ -174,6 +199,11 @@ impl LsmStore {
             seq,
             &self.metrics,
         )?;
+        // Harden the merged run before its inputs are removed (same crash
+        // rule as `flush_memtable`).
+        if self.config.effective_durability() != DurabilityMode::None {
+            table.sync()?;
+        }
         // Remove the old table files.
         if let Some(dir) = &self.config.dir {
             for old in &inner.tables {
@@ -374,8 +404,9 @@ impl KvStore for LsmStore {
         self.metrics.record_upsert();
         self.block_cache.invalidate(key);
         let mut inner = self.inner.write();
-        inner.wal.log_put(key, value, &self.metrics)?;
+        inner.wal.log_put(key, value)?;
         inner.memtable.put(key, value.to_vec());
+        inner.wal.commit()?;
         if inner.memtable.bytes() >= self.memtable_budget {
             self.flush_memtable(&mut inner)?;
         }
@@ -395,8 +426,9 @@ impl KvStore for LsmStore {
             },
         };
         let new_value = f(current.as_deref());
-        inner.wal.log_put(key, &new_value, &self.metrics)?;
+        inner.wal.log_put(key, &new_value)?;
         inner.memtable.put(key, new_value.clone());
+        inner.wal.commit()?;
         if inner.memtable.bytes() >= self.memtable_budget {
             self.flush_memtable(&mut inner)?;
         }
@@ -421,21 +453,27 @@ impl KvStore for LsmStore {
                 },
             };
             let new_value = f(i, current.as_deref());
-            inner.wal.log_put(key, &new_value, &self.metrics)?;
+            inner.wal.log_put(key, &new_value)?;
             inner.memtable.put(key, new_value.clone());
             out[i] = new_value;
+            // A mid-batch flush is safe here (unlike `write_batch`): every
+            // entry logged so far is already applied, so the drained
+            // memtable — and thus the new SSTable — covers them all.
             if inner.memtable.bytes() >= self.memtable_budget {
                 self.flush_memtable(&mut inner)?;
             }
         }
+        // One group-commit sync acknowledges the whole batch.
+        inner.wal.commit()?;
         Ok(out)
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
         self.block_cache.invalidate(key);
         let mut inner = self.inner.write();
-        inner.wal.log_delete(key, &self.metrics)?;
+        inner.wal.log_delete(key)?;
         inner.memtable.delete(key);
+        inner.wal.commit()?;
         if inner.memtable.bytes() >= self.memtable_budget {
             self.flush_memtable(&mut inner)?;
         }
@@ -462,17 +500,24 @@ impl KvStore for LsmStore {
     }
 
     fn write_batch(&self, batch: &WriteBatch) -> StorageResult<()> {
-        // Grouped fast path: one write-lock acquisition and one block-cache
-        // sweep for the whole batch instead of per-key lock churn.
+        // Grouped fast path: one write-lock acquisition, one grouped WAL
+        // append and one group-commit sync for the whole batch. The append
+        // precedes every memtable mutation, so a failed append leaves the
+        // store untouched (no half-applied, unlogged batch) and recovery
+        // replays the batch all-or-nothing up to the torn tail.
         let mut inner = self.inner.write();
+        inner.wal.log_batch(batch)?;
         for (k, v) in batch.iter() {
             self.metrics.record_upsert();
             self.block_cache.invalidate(*k);
-            inner.wal.log_put(*k, v, &self.metrics)?;
             inner.memtable.put(*k, v.clone());
-            if inner.memtable.bytes() >= self.memtable_budget {
-                self.flush_memtable(&mut inner)?;
-            }
+        }
+        inner.wal.commit()?;
+        // One budget check after the whole batch, not per entry: a mid-batch
+        // flush would rotate away the WAL that still covers the unapplied
+        // tail of the batch. The memtable may overshoot by one batch.
+        if inner.memtable.bytes() >= self.memtable_budget {
+            self.flush_memtable(&mut inner)?;
         }
         Ok(())
     }

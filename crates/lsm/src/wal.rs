@@ -1,86 +1,75 @@
-//! Write-ahead log for the LSM engine.
+//! Write-ahead log for the LSM engine, on the shared group-commit framing
+//! ([`mlkv_storage::wal`]).
 //!
-//! Every mutation is appended to the WAL before it is applied to the memtable so
-//! that the memtable's contents can be recovered after a crash. The WAL is
-//! truncated (rotated) whenever the memtable is flushed into an SSTable.
+//! Every mutation is appended to the WAL *before* it is applied to the
+//! memtable — a whole `write_batch` as one grouped append — so the memtable's
+//! contents can be recovered after a crash, and nothing acknowledged was ever
+//! applied without first being logged. The store calls [`WriteAheadLog::commit`]
+//! at each operation's acknowledgement point (one sync per batch under
+//! [`DurabilityMode::GroupCommit`]) and rotates the log whenever the memtable
+//! is flushed into an SSTable.
 
 use std::sync::Arc;
 
-use mlkv_storage::{Device, StorageMetrics, StorageResult};
+use mlkv_storage::kv::WriteBatch;
+use mlkv_storage::wal::{WalOp, WalReader, WalWriter};
+use mlkv_storage::{Device, DurabilityMode, StorageMetrics, StorageResult};
 
 use crate::memtable::Entry;
 
-/// Operation tags in the log.
-const OP_PUT: u8 = 0;
-const OP_DELETE: u8 = 1;
-
-/// Append-only write-ahead log.
+/// Append-only write-ahead log over the shared checksummed framing.
 pub struct WriteAheadLog {
-    device: Arc<dyn Device>,
-    sync_writes: bool,
+    writer: WalWriter,
 }
 
 impl WriteAheadLog {
-    /// Wrap a device as a WAL.
-    pub fn new(device: Arc<dyn Device>, sync_writes: bool) -> Self {
+    /// Wrap a device as a WAL syncing under `durability`.
+    pub fn new(
+        device: Arc<dyn Device>,
+        durability: DurabilityMode,
+        metrics: Arc<StorageMetrics>,
+    ) -> Self {
         Self {
-            device,
-            sync_writes,
+            writer: WalWriter::new(device, durability, metrics),
         }
     }
 
-    /// Append a put record.
-    pub fn log_put(&self, key: u64, value: &[u8], metrics: &StorageMetrics) -> StorageResult<()> {
-        let mut rec = Vec::with_capacity(13 + value.len());
-        rec.push(OP_PUT);
-        rec.extend_from_slice(&key.to_le_bytes());
-        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        rec.extend_from_slice(value);
-        self.device.append(&rec)?;
-        metrics.record_disk_write(rec.len() as u64);
-        if self.sync_writes {
-            self.device.sync()?;
-        }
-        Ok(())
+    /// Append a put record (not yet committed).
+    pub fn log_put(&self, key: u64, value: &[u8]) -> StorageResult<()> {
+        self.writer.append(&WalOp::encode_put(key, value))
     }
 
-    /// Append a delete record.
-    pub fn log_delete(&self, key: u64, metrics: &StorageMetrics) -> StorageResult<()> {
-        let mut rec = Vec::with_capacity(13);
-        rec.push(OP_DELETE);
-        rec.extend_from_slice(&key.to_le_bytes());
-        rec.extend_from_slice(&0u32.to_le_bytes());
-        self.device.append(&rec)?;
-        metrics.record_disk_write(rec.len() as u64);
-        if self.sync_writes {
-            self.device.sync()?;
-        }
-        Ok(())
+    /// Append a delete record (not yet committed).
+    pub fn log_delete(&self, key: u64) -> StorageResult<()> {
+        self.writer.append(&WalOp::encode_delete(key))
     }
 
-    /// Replay the log from the beginning, yielding each logged operation.
+    /// Append a whole batch of puts as **one** device append, so the batch is
+    /// recovered all-or-nothing up to the torn tail and pays one write + (at
+    /// commit) one sync regardless of its size.
+    pub fn log_batch(&self, batch: &WriteBatch) -> StorageResult<()> {
+        let payloads: Vec<Vec<u8>> = batch
+            .iter()
+            .map(|(k, v)| WalOp::encode_put(*k, v))
+            .collect();
+        self.writer
+            .append_group(payloads.iter().map(|p| p.as_slice()))
+    }
+
+    /// Acknowledgement point: make everything logged so far durable under the
+    /// configured mode (one sync per group under `GroupCommit`).
+    pub fn commit(&self) -> StorageResult<()> {
+        self.writer.commit()
+    }
+
+    /// Replay the log from the beginning, yielding each intact logged
+    /// operation (stops at the first torn or corrupt frame).
     pub fn replay(&self) -> StorageResult<Vec<(u64, Entry)>> {
-        let len = self.device.len();
-        if len == 0 {
-            return Ok(Vec::new());
-        }
-        let mut data = vec![0u8; len as usize];
-        self.device.read_at(0, &mut data)?;
         let mut out = Vec::new();
-        let mut pos = 0usize;
-        while pos + 13 <= data.len() {
-            let op = data[pos];
-            let key = u64::from_le_bytes(data[pos + 1..pos + 9].try_into().unwrap());
-            let vlen = u32::from_le_bytes(data[pos + 9..pos + 13].try_into().unwrap()) as usize;
-            pos += 13;
-            match op {
-                OP_PUT if pos + vlen <= data.len() => {
-                    out.push((key, Some(data[pos..pos + vlen].to_vec())));
-                    pos += vlen;
-                }
-                OP_DELETE => out.push((key, None)),
-                // Torn tail write: stop replaying.
-                _ => break,
+        for payload in WalReader::replay(self.writer.device().as_ref())? {
+            match WalOp::decode(&payload)? {
+                WalOp::Put { key, value } => out.push((key, Some(value))),
+                WalOp::Delete { key } => out.push((key, None)),
             }
         }
         Ok(out)
@@ -88,12 +77,12 @@ impl WriteAheadLog {
 
     /// Number of bytes currently in the log.
     pub fn len(&self) -> u64 {
-        self.device.len()
+        self.writer.len()
     }
 
     /// True when the log holds no records.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.writer.is_empty()
     }
 }
 
@@ -102,46 +91,78 @@ mod tests {
     use super::*;
     use mlkv_storage::MemDevice;
 
+    fn wal(device: Arc<dyn Device>, durability: DurabilityMode) -> WriteAheadLog {
+        WriteAheadLog::new(device, durability, Arc::new(StorageMetrics::new()))
+    }
+
     #[test]
     fn log_and_replay_roundtrip() {
-        let wal = WriteAheadLog::new(Arc::new(MemDevice::new()), false);
-        let metrics = StorageMetrics::new();
-        wal.log_put(1, b"one", &metrics).unwrap();
-        wal.log_delete(2, &metrics).unwrap();
-        wal.log_put(3, b"", &metrics).unwrap();
-        let ops = wal.replay().unwrap();
+        let w = wal(Arc::new(MemDevice::new()), DurabilityMode::None);
+        w.log_put(1, b"one").unwrap();
+        w.log_delete(2).unwrap();
+        w.log_put(3, b"").unwrap();
+        w.commit().unwrap();
+        let ops = w.replay().unwrap();
         assert_eq!(
             ops,
             vec![(1, Some(b"one".to_vec())), (2, None), (3, Some(Vec::new()))]
         );
-        assert!(!wal.is_empty());
+        assert!(!w.is_empty());
     }
 
     #[test]
     fn empty_wal_replays_nothing() {
-        let wal = WriteAheadLog::new(Arc::new(MemDevice::new()), false);
-        assert!(wal.replay().unwrap().is_empty());
-        assert!(wal.is_empty());
+        let w = wal(Arc::new(MemDevice::new()), DurabilityMode::None);
+        assert!(w.replay().unwrap().is_empty());
+        assert!(w.is_empty());
     }
 
     #[test]
     fn torn_tail_is_ignored() {
         let device = Arc::new(MemDevice::new());
-        let wal = WriteAheadLog::new(Arc::clone(&device) as Arc<dyn Device>, false);
-        let metrics = StorageMetrics::new();
-        wal.log_put(1, b"ok", &metrics).unwrap();
-        // Simulate a torn write: an incomplete header at the tail.
-        device.append(&[OP_PUT, 1, 2, 3]).unwrap();
-        let ops = wal.replay().unwrap();
+        let w = wal(Arc::clone(&device) as Arc<dyn Device>, DurabilityMode::None);
+        w.log_put(1, b"ok").unwrap();
+        // Simulate a torn write: an incomplete frame at the tail.
+        device.append(&[42, 0, 0, 0, 7, 7]).unwrap();
+        let ops = w.replay().unwrap();
         assert_eq!(ops.len(), 1);
         assert_eq!(ops[0].0, 1);
     }
 
     #[test]
+    fn batch_is_one_append() {
+        let device = Arc::new(MemDevice::new());
+        let metrics = Arc::new(StorageMetrics::new());
+        let w = WriteAheadLog::new(
+            Arc::clone(&device) as Arc<dyn Device>,
+            DurabilityMode::GroupCommit { window: 1024 },
+            Arc::clone(&metrics),
+        );
+        let mut batch = WriteBatch::new();
+        for k in 0..50u64 {
+            batch.put(k, vec![k as u8; 8]);
+        }
+        w.log_batch(&batch).unwrap();
+        w.commit().unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.wal_appends, 1, "whole batch in one device append");
+        assert_eq!(snap.wal_syncs, 1, "one sync per committed group");
+        let ops = w.replay().unwrap();
+        assert_eq!(ops.len(), 50);
+        assert_eq!(ops[49], (49, Some(vec![49u8; 8])));
+    }
+
+    #[test]
     fn metrics_account_wal_writes() {
-        let wal = WriteAheadLog::new(Arc::new(MemDevice::new()), false);
-        let metrics = StorageMetrics::new();
-        wal.log_put(1, b"abcd", &metrics).unwrap();
-        assert_eq!(metrics.snapshot().disk_write_bytes, 17);
+        let metrics = Arc::new(StorageMetrics::new());
+        let w = WriteAheadLog::new(
+            Arc::new(MemDevice::new()),
+            DurabilityMode::None,
+            Arc::clone(&metrics),
+        );
+        w.log_put(1, b"abcd").unwrap();
+        // 8-byte frame header + 1-byte op tag + 8-byte key + 4-byte value.
+        assert_eq!(metrics.snapshot().disk_write_bytes, 21);
+        assert_eq!(metrics.snapshot().wal_appends, 1);
     }
 }

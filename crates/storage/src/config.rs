@@ -5,7 +5,11 @@
 //! the handful of structural parameters the engines need.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::device::Device;
+use crate::error::StorageResult;
 
 /// How cold-path batch reads reach the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +43,76 @@ impl std::fmt::Display for IoBackend {
             Self::Sync => "sync",
             Self::Async => "async",
         })
+    }
+}
+
+/// When a store's write-ahead log syncs its device — the trade between
+/// per-operation fsync cost and the bytes a power loss may take with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// Never sync the WAL. A crash may lose everything since the last engine
+    /// flush/checkpoint; clean shutdown-and-reopen still replays the log.
+    /// Mirrors the paper's non-durable training runs (the default).
+    #[default]
+    None,
+    /// Sync only at engine barriers (flush, checkpoint, log rotation). An
+    /// acknowledged *flush* survives a crash; acknowledged individual writes
+    /// since the last barrier do **not**. The classic OS-buffered posture.
+    Buffered,
+    /// Group commit: one sync per acknowledged batch (`write_batch` /
+    /// `multi_rmw` / single ops), plus a forced sync whenever `window`
+    /// records accumulate un-synced inside a batch. Every acknowledged
+    /// operation survives a crash; the fsync cost is amortised across the
+    /// whole group.
+    GroupCommit {
+        /// Maximum number of un-synced records before an append forces a
+        /// sync (clamped to ≥ 1). `window: 1` is per-record fsync.
+        window: usize,
+    },
+}
+
+impl DurabilityMode {
+    /// True when acknowledged individual operations survive a power loss.
+    pub fn is_durable(&self) -> bool {
+        matches!(self, DurabilityMode::GroupCommit { .. })
+    }
+}
+
+impl std::fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::None => f.write_str("none"),
+            Self::Buffered => f.write_str("buffered"),
+            Self::GroupCommit { window } => write!(f, "group-commit({window})"),
+        }
+    }
+}
+
+/// Injectable device constructor: maps a file name (e.g. `"wal_3.dat"`) to
+/// the [`Device`] a store should use for it. The crash-injection harness uses
+/// this to slide a [`crate::CrashDevice`] under every file of a store; when
+/// unset, [`crate::device_from_config`] builds file/memory devices as usual.
+#[derive(Clone)]
+pub struct DeviceFactory(DeviceFactoryFn);
+
+/// The boxed constructor a [`DeviceFactory`] wraps.
+type DeviceFactoryFn = Arc<dyn Fn(&str) -> StorageResult<Arc<dyn Device>> + Send + Sync>;
+
+impl DeviceFactory {
+    /// Wrap a constructor closure.
+    pub fn new(f: impl Fn(&str) -> StorageResult<Arc<dyn Device>> + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Build the device backing `name`.
+    pub fn make(&self, name: &str) -> StorageResult<Arc<dyn Device>> {
+        (self.0)(name)
+    }
+}
+
+impl std::fmt::Debug for DeviceFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DeviceFactory(..)")
     }
 }
 
@@ -100,6 +174,13 @@ pub struct StoreConfig {
     /// native io_uring backend would realise on hardware. Ignored under
     /// [`IoBackend::Sync`].
     pub io_queue_depth: usize,
+    /// When the write-ahead log syncs its device (see [`DurabilityMode`]).
+    /// The legacy [`StoreConfig::sync_writes`] flag is folded in by
+    /// [`StoreConfig::effective_durability`].
+    pub durability: DurabilityMode,
+    /// Override how per-file devices are constructed (crash injection, fault
+    /// injection). `None` uses the standard file/memory devices.
+    pub device_factory: Option<DeviceFactory>,
 }
 
 /// Default [`StoreConfig::io_gap_bytes`]: one typical flash page.
@@ -124,6 +205,8 @@ impl Default for StoreConfig {
             io_gap_bytes: DEFAULT_IO_GAP_BYTES,
             io_backend: IoBackend::Sync,
             io_queue_depth: DEFAULT_IO_QUEUE_DEPTH,
+            durability: DurabilityMode::None,
+            device_factory: None,
         }
     }
 }
@@ -213,6 +296,29 @@ impl StoreConfig {
     pub fn with_io_queue_depth(mut self, depth: usize) -> Self {
         self.io_queue_depth = depth.max(1);
         self
+    }
+
+    /// Set the WAL durability mode (see [`DurabilityMode`]).
+    pub fn with_durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        self
+    }
+
+    /// Install a custom per-file device constructor (crash/fault injection).
+    pub fn with_device_factory(mut self, factory: DeviceFactory) -> Self {
+        self.device_factory = Some(factory);
+        self
+    }
+
+    /// The durability mode engines should actually run under: the legacy
+    /// `sync_writes: true` flag upgrades [`DurabilityMode::None`] to
+    /// per-record group commit, preserving its historical "fsync eagerly"
+    /// meaning; an explicit `durability` setting wins.
+    pub fn effective_durability(&self) -> DurabilityMode {
+        match (self.durability, self.sync_writes) {
+            (DurabilityMode::None, true) => DurabilityMode::GroupCommit { window: 1 },
+            (mode, _) => mode,
+        }
     }
 
     /// Apply the CI test-matrix environment overrides: `MLKV_IO_BACKEND`
@@ -318,6 +424,50 @@ mod tests {
             .with_parallelism(2)
             .apply_overrides(None, None);
         assert_eq!(cfg.parallelism, 2, "unset vars leave the config untouched");
+    }
+
+    #[test]
+    fn durability_defaults_composes_and_folds_sync_writes() {
+        let cfg = StoreConfig::default();
+        assert_eq!(cfg.durability, DurabilityMode::None);
+        assert_eq!(cfg.effective_durability(), DurabilityMode::None);
+        assert!(cfg.device_factory.is_none());
+
+        // Legacy sync_writes upgrades None to per-record group commit...
+        let cfg = StoreConfig::default().with_sync_writes(true);
+        assert_eq!(
+            cfg.effective_durability(),
+            DurabilityMode::GroupCommit { window: 1 }
+        );
+        // ...but an explicit durability setting wins.
+        let cfg = cfg.with_durability(DurabilityMode::Buffered);
+        assert_eq!(cfg.effective_durability(), DurabilityMode::Buffered);
+
+        let cfg = StoreConfig::default().with_durability(DurabilityMode::GroupCommit { window: 8 });
+        assert_eq!(
+            cfg.effective_durability(),
+            DurabilityMode::GroupCommit { window: 8 }
+        );
+        assert!(cfg.effective_durability().is_durable());
+        assert!(!DurabilityMode::Buffered.is_durable());
+        assert_eq!(DurabilityMode::None.to_string(), "none");
+        assert_eq!(DurabilityMode::Buffered.to_string(), "buffered");
+        assert_eq!(
+            DurabilityMode::GroupCommit { window: 8 }.to_string(),
+            "group-commit(8)"
+        );
+    }
+
+    #[test]
+    fn device_factory_is_cloneable_and_builds_devices() {
+        let factory = DeviceFactory::new(|_name| {
+            Ok(Arc::new(crate::device::MemDevice::new()) as Arc<dyn Device>)
+        });
+        let cfg = StoreConfig::default().with_device_factory(factory.clone());
+        assert!(cfg.device_factory.is_some());
+        let device = cfg.device_factory.unwrap().make("wal_0.dat").unwrap();
+        assert!(device.is_empty());
+        assert_eq!(format!("{factory:?}"), "DeviceFactory(..)");
     }
 
     #[test]

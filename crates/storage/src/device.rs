@@ -9,7 +9,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -417,13 +417,21 @@ impl Device for SimLatencyDevice {
 /// Used by the async-path fault tests to prove that a submission failing
 /// mid-batch surfaces per-slot errors without hanging any completion waiter,
 /// and that the store is fully readable again once the device recovers
-/// ([`FailingDevice::heal`]). Writes are never failed, so the stores under
-/// test can be populated through the same wrapped device.
+/// ([`FailingDevice::heal`]). Writes and syncs are never failed *by default*,
+/// so the stores under test can be populated through the same wrapped device;
+/// [`FailingDevice::set_fail_writes`] / [`FailingDevice::set_fail_syncs`]
+/// switch those paths to faulting too, for write-side coverage.
 pub struct FailingDevice {
     inner: std::sync::Arc<dyn Device>,
     /// Read-operation number (1-based) from which reads fail; 0 = healthy.
     fail_from: AtomicU64,
     reads: AtomicU64,
+    /// When set, every `write_at` / `append` fails.
+    fail_writes: AtomicBool,
+    /// When set, every `sync` fails.
+    fail_syncs: AtomicBool,
+    writes: AtomicU64,
+    syncs: AtomicU64,
 }
 
 impl FailingDevice {
@@ -434,12 +442,28 @@ impl FailingDevice {
             inner,
             fail_from: AtomicU64::new(fail_from),
             reads: AtomicU64::new(0),
+            fail_writes: AtomicBool::new(false),
+            fail_syncs: AtomicBool::new(false),
+            writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
         }
     }
 
-    /// Stop injecting failures (the device "recovers").
+    /// Stop injecting failures on every path (the device "recovers").
     pub fn heal(&self) {
         self.fail_from.store(0, Ordering::SeqCst);
+        self.fail_writes.store(false, Ordering::SeqCst);
+        self.fail_syncs.store(false, Ordering::SeqCst);
+    }
+
+    /// Start (or stop) failing every `write_at` / `append`.
+    pub fn set_fail_writes(&self, fail: bool) {
+        self.fail_writes.store(fail, Ordering::SeqCst);
+    }
+
+    /// Start (or stop) failing every `sync`.
+    pub fn set_fail_syncs(&self, fail: bool) {
+        self.fail_syncs.store(fail, Ordering::SeqCst);
     }
 
     /// Resume failing, starting `after` read operations from now.
@@ -455,6 +479,17 @@ impl FailingDevice {
         self.reads.load(Ordering::SeqCst)
     }
 
+    /// Total write operations (`write_at` + `append`) observed so far,
+    /// including failed ones.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Total sync operations observed so far, including failed ones.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
     fn next_read_fails(&self) -> bool {
         let n = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
         let fail_from = self.fail_from.load(Ordering::SeqCst);
@@ -468,6 +503,10 @@ impl FailingDevice {
 
 impl Device for FailingDevice {
     fn write_at(&self, offset: u64, data: &[u8]) -> StorageResult<()> {
+        self.writes.fetch_add(1, Ordering::SeqCst);
+        if self.fail_writes.load(Ordering::SeqCst) {
+            return Err(Self::injected());
+        }
         self.inner.write_at(offset, data)
     }
 
@@ -497,11 +536,220 @@ impl Device for FailingDevice {
     }
 
     fn sync(&self) -> StorageResult<()> {
+        self.syncs.fetch_add(1, Ordering::SeqCst);
+        if self.fail_syncs.load(Ordering::SeqCst) {
+            return Err(Self::injected());
+        }
         self.inner.sync()
     }
 
     fn append(&self, data: &[u8]) -> StorageResult<u64> {
+        self.writes.fetch_add(1, Ordering::SeqCst);
+        if self.fail_writes.load(Ordering::SeqCst) {
+            return Err(Self::injected());
+        }
         self.inner.append(data)
+    }
+}
+
+/// Shared power-loss script for every [`CrashDevice`] of one store.
+///
+/// Syncs are the durability boundaries, so the clock counts them *globally*
+/// across all of a store's files (WAL, hybrid log, SSTs, journal, meta) and
+/// kills the whole "machine" — every attached device at once — when the
+/// scripted ordinal is reached, exactly like pulling the plug mid-fsync. The
+/// crash-injection harness first runs a workload un-armed to learn how many
+/// sync boundaries it has ([`CrashClock::syncs`]), then sweeps `kill_at` over
+/// every one of them.
+#[derive(Debug, Default)]
+pub struct CrashClock {
+    syncs: AtomicU64,
+    /// Sync ordinal (1-based) at which power dies; 0 = never.
+    kill_at: AtomicU64,
+    dead: AtomicBool,
+}
+
+impl CrashClock {
+    /// A new, un-armed clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm the script: power dies at the `kill_at`-th sync from now on
+    /// (1-based; counts continue across [`CrashClock::arm`] calls).
+    pub fn arm(&self, kill_at: u64) {
+        self.kill_at.store(kill_at, Ordering::SeqCst);
+    }
+
+    /// Total syncs observed across every attached device.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// True once power has been lost.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Lose power immediately (un-scripted kill).
+    pub fn kill_now(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Record one sync; returns `true` when this sync is the scripted kill
+    /// point (power dies *during* the fsync, before it reaches the platter).
+    fn on_sync(&self) -> bool {
+        let n = self.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        let kill_at = self.kill_at.load(Ordering::SeqCst);
+        if kill_at != 0 && n >= kill_at {
+            self.dead.store(true, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Un-flushed writes of one [`CrashDevice`], applied to the inner device only
+/// on a successful sync.
+struct CrashState {
+    /// Writes since the last sync, in issue order (later entries win).
+    pending: Vec<(u64, Vec<u8>)>,
+    /// Visible device length (inner length + un-synced extensions).
+    len: u64,
+}
+
+/// Power-loss injection device: buffers every write in memory and hardens it
+/// to the inner (file) device only on `sync`. When the shared [`CrashClock`]
+/// reaches its scripted kill point, all un-synced bytes are gone and every
+/// further operation fails until the store is reopened over the inner files —
+/// which then contain exactly what a real disk would after `kill -9` + power
+/// cycle: the synced prefix, nothing more.
+///
+/// Sibling of [`FailingDevice`]: that one injects *transient I/O errors*,
+/// this one injects *power loss*.
+pub struct CrashDevice {
+    inner: std::sync::Arc<dyn Device>,
+    clock: std::sync::Arc<CrashClock>,
+    state: Mutex<CrashState>,
+    writes: AtomicU64,
+}
+
+impl CrashDevice {
+    /// Wrap `inner` (typically a [`FileDevice`]) under `clock`'s script.
+    pub fn new(inner: std::sync::Arc<dyn Device>, clock: std::sync::Arc<CrashClock>) -> Self {
+        let len = inner.len();
+        Self {
+            inner,
+            clock,
+            state: Mutex::new(CrashState {
+                pending: Vec::new(),
+                len,
+            }),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total write operations (`write_at` + `append`) observed.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Bytes currently buffered and not yet hardened.
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.state
+            .lock()
+            .pending
+            .iter()
+            .map(|(_, d)| d.len() as u64)
+            .sum()
+    }
+
+    fn dead_err() -> StorageError {
+        StorageError::Io(std::io::Error::other(
+            "power lost: device refuses I/O until reopen",
+        ))
+    }
+
+    fn check_alive(&self) -> StorageResult<()> {
+        if self.clock.is_dead() {
+            Err(Self::dead_err())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Device for CrashDevice {
+    fn write_at(&self, offset: u64, data: &[u8]) -> StorageResult<()> {
+        self.check_alive()?;
+        self.writes.fetch_add(1, Ordering::SeqCst);
+        let mut state = self.state.lock();
+        state.len = state.len.max(offset + data.len() as u64);
+        state.pending.push((offset, data.to_vec()));
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> StorageResult<()> {
+        self.check_alive()?;
+        let state = self.state.lock();
+        let end = offset + buf.len() as u64;
+        if end > state.len {
+            return Err(StorageError::Corruption(format!(
+                "read past end of device: {} > {}",
+                end, state.len
+            )));
+        }
+        // Base image: whatever the inner device has for the part of the range
+        // it covers; bytes that exist only as un-synced writes start zeroed.
+        buf.fill(0);
+        let inner_len = self.inner.len();
+        if offset < inner_len {
+            let covered = ((inner_len - offset) as usize).min(buf.len());
+            self.inner.read_at(offset, &mut buf[..covered])?;
+        }
+        // Overlay pending writes in issue order (later writes win).
+        for (w_off, data) in &state.pending {
+            let w_end = w_off + data.len() as u64;
+            if w_end <= offset || *w_off >= end {
+                continue;
+            }
+            let from = offset.max(*w_off);
+            let to = end.min(w_end);
+            buf[(from - offset) as usize..(to - offset) as usize]
+                .copy_from_slice(&data[(from - w_off) as usize..(to - w_off) as usize]);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.state.lock().len
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.check_alive()?;
+        // Hold the state lock across the clock tick and the flush so the
+        // kill decision and the hardening of this device are atomic.
+        let mut state = self.state.lock();
+        if self.clock.on_sync() {
+            // Power dies during the fsync: nothing buffered reaches the
+            // inner device, and the whole machine is dead from here on.
+            return Err(Self::dead_err());
+        }
+        for (offset, data) in state.pending.drain(..) {
+            self.inner.write_at(offset, &data)?;
+        }
+        self.inner.sync()
+    }
+
+    fn append(&self, data: &[u8]) -> StorageResult<u64> {
+        self.check_alive()?;
+        self.writes.fetch_add(1, Ordering::SeqCst);
+        let mut state = self.state.lock();
+        let offset = state.len;
+        state.len += data.len() as u64;
+        state.pending.push((offset, data.to_vec()));
+        Ok(offset)
     }
 }
 
@@ -512,17 +760,22 @@ impl Device for FailingDevice {
 /// in a [`SimLatencyDevice`]; an `Async` [`crate::StoreConfig::io_backend`]
 /// makes [`Device::submit_reads`] genuinely asynchronous — via the simulated
 /// device's virtual clock when one is configured, via a lazily-spawned
-/// [`crate::IoRing`] ([`crate::RingDevice`]) otherwise.
+/// [`crate::IoRing`] ([`crate::RingDevice`]) otherwise. A configured
+/// [`crate::DeviceFactory`] replaces the base (file/memory) construction —
+/// the crash- and fault-injection harnesses use it to slide a [`CrashDevice`]
+/// or [`FailingDevice`] under every file of a store — and still gets the
+/// sim/ring wrapping applied on top.
 pub fn device_from_config(
     cfg: &crate::StoreConfig,
     name: &str,
 ) -> StorageResult<std::sync::Arc<dyn Device>> {
-    let device: std::sync::Arc<dyn Device> = match &cfg.dir {
-        Some(dir) => {
+    let device: std::sync::Arc<dyn Device> = match (&cfg.device_factory, &cfg.dir) {
+        (Some(factory), _) => factory.make(name)?,
+        (None, Some(dir)) => {
             std::fs::create_dir_all(dir)?;
             std::sync::Arc::new(FileDevice::open(dir.join(name))?)
         }
-        None => std::sync::Arc::new(MemDevice::new()),
+        (None, None) => std::sync::Arc::new(MemDevice::new()),
     };
     let simulated = !cfg.simulated_read_latency.is_zero() || cfg.simulated_read_bytes_per_sec != 0;
     if simulated {
@@ -720,6 +973,116 @@ mod tests {
         assert_eq!(dev.append(b"a").unwrap(), 256);
         dev.sync().unwrap();
         assert_eq!(dev.len(), 257);
+    }
+
+    #[test]
+    fn failing_device_write_and_sync_faults_toggle() {
+        let inner = std::sync::Arc::new(MemDevice::new());
+        let dev = FailingDevice::new(inner, 0);
+        dev.append(b"ok").unwrap();
+        dev.sync().unwrap();
+
+        dev.set_fail_writes(true);
+        assert!(dev.write_at(0, b"x").is_err());
+        assert!(dev.append(b"y").is_err());
+        dev.sync().unwrap(); // syncs still healthy
+
+        dev.set_fail_syncs(true);
+        assert!(dev.sync().is_err());
+        // Reads are untouched by write/sync faults.
+        let mut buf = [0u8; 2];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+
+        dev.heal();
+        dev.write_at(0, b"OK").unwrap();
+        dev.sync().unwrap();
+        assert_eq!(dev.writes(), 4, "failed writes still counted");
+        assert_eq!(dev.syncs(), 4, "failed syncs still counted");
+    }
+
+    #[test]
+    fn crash_device_loses_unsynced_bytes_at_the_scripted_sync() {
+        let inner = std::sync::Arc::new(MemDevice::new());
+        let clock = std::sync::Arc::new(CrashClock::new());
+        let dev = CrashDevice::new(
+            std::sync::Arc::clone(&inner) as std::sync::Arc<dyn Device>,
+            std::sync::Arc::clone(&clock),
+        );
+
+        // Writes buffer: visible through the overlay, absent from the inner
+        // device until a sync hardens them.
+        assert_eq!(dev.append(b"alpha").unwrap(), 0);
+        dev.write_at(2, b"XY").unwrap();
+        assert_eq!(dev.len(), 5);
+        let mut buf = [0u8; 5];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"alXYa", "later write wins in the overlay");
+        assert_eq!(inner.len(), 0, "nothing hardened yet");
+        assert!(dev.unsynced_bytes() > 0);
+
+        dev.sync().unwrap();
+        assert_eq!(clock.syncs(), 1);
+        assert_eq!(dev.unsynced_bytes(), 0);
+        assert_eq!(&inner.to_vec(), b"alXYa", "sync hardens in issue order");
+
+        // Arm the script: the very next sync is the kill point. The synced
+        // prefix survives; the tail written after it does not.
+        clock.arm(2);
+        dev.append(b"-lost").unwrap();
+        assert!(dev.sync().is_err(), "power dies during the fsync");
+        assert!(clock.is_dead());
+        assert!(dev.read_at(0, &mut buf).is_err(), "dead until reopen");
+        assert!(dev.write_at(0, b"z").is_err());
+        assert!(dev.append(b"z").is_err());
+        assert!(dev.sync().is_err());
+        assert_eq!(&inner.to_vec(), b"alXYa", "un-synced tail is gone");
+        assert!(dev.writes() >= 3);
+
+        // "Reopen": a fresh device over the same inner bytes, fresh clock.
+        let dev = CrashDevice::new(inner, std::sync::Arc::new(CrashClock::new()));
+        assert_eq!(dev.len(), 5);
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"alXYa");
+    }
+
+    #[test]
+    fn crash_clock_is_global_across_devices_and_kill_now_works() {
+        let clock = std::sync::Arc::new(CrashClock::new());
+        let a = CrashDevice::new(
+            std::sync::Arc::new(MemDevice::new()) as std::sync::Arc<dyn Device>,
+            std::sync::Arc::clone(&clock),
+        );
+        let b = CrashDevice::new(
+            std::sync::Arc::new(MemDevice::new()) as std::sync::Arc<dyn Device>,
+            std::sync::Arc::clone(&clock),
+        );
+        a.sync().unwrap();
+        b.sync().unwrap();
+        assert_eq!(clock.syncs(), 2, "one ordinal stream for the machine");
+        clock.arm(3);
+        assert!(a.sync().is_err(), "third sync anywhere is the kill point");
+        assert!(b.append(b"x").is_err(), "whole machine dies together");
+
+        let clock = CrashClock::new();
+        assert!(!clock.is_dead());
+        clock.kill_now();
+        assert!(clock.is_dead());
+    }
+
+    #[test]
+    fn device_from_config_uses_the_factory() {
+        let counted = std::sync::Arc::new(MemDevice::new());
+        let handle = std::sync::Arc::clone(&counted);
+        let cfg = crate::StoreConfig::in_memory().with_device_factory(
+            crate::config::DeviceFactory::new(move |name| {
+                assert_eq!(name, "x.dat");
+                Ok(std::sync::Arc::clone(&handle) as std::sync::Arc<dyn Device>)
+            }),
+        );
+        let dev = device_from_config(&cfg, "x.dat").unwrap();
+        dev.append(b"via factory").unwrap();
+        assert_eq!(&counted.to_vec(), b"via factory");
     }
 
     #[test]

@@ -38,10 +38,14 @@ pub mod memstore;
 pub mod metrics;
 pub mod page;
 pub mod ring;
+pub mod wal;
 
 pub use cache::ShardedLruCache;
-pub use config::{IoBackend, StoreConfig, DEFAULT_IO_QUEUE_DEPTH};
-pub use device::{Device, FailingDevice, FileDevice, MemDevice, SimLatencyDevice};
+pub use config::{DeviceFactory, DurabilityMode, IoBackend, StoreConfig, DEFAULT_IO_QUEUE_DEPTH};
+pub use device::{
+    device_from_config, CrashClock, CrashDevice, Device, FailingDevice, FileDevice, MemDevice,
+    SimLatencyDevice,
+};
 pub use error::{StorageError, StorageResult};
 pub use exec::BatchExecutor;
 pub use io::{IoPlanner, PendingRead, ReadReq};
@@ -50,3 +54,4 @@ pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use ring::{IoBatch, IoRing, RingDevice};
+pub use wal::{WalOp, WalReader, WalWriter};

@@ -42,6 +42,11 @@ pub struct StorageMetrics {
     /// its scratch-allocation cap (each split costs one extra device round
     /// trip; see `mlkv_storage::io`).
     pub planner_splits: AtomicU64,
+    /// Appends to a write-ahead log (each may carry a whole record group).
+    pub wal_appends: AtomicU64,
+    /// Syncs issued by a write-ahead log (the fsync cost group commit
+    /// amortises; compare against `wal_appends` for the amortisation ratio).
+    pub wal_syncs: AtomicU64,
 }
 
 /// A point-in-time copy of [`StorageMetrics`].
@@ -60,6 +65,8 @@ pub struct MetricsSnapshot {
     pub prefetch_skips: u64,
     pub evictions: u64,
     pub planner_splits: u64,
+    pub wal_appends: u64,
+    pub wal_syncs: u64,
 }
 
 impl StorageMetrics {
@@ -139,6 +146,20 @@ impl StorageMetrics {
         self.planner_splits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a WAL append of `bytes` (framing included). Counts as a device
+    /// write too.
+    #[inline]
+    pub fn record_wal_append(&self, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.record_disk_write(bytes);
+    }
+
+    /// Record a WAL-issued device sync.
+    #[inline]
+    pub fn record_wal_sync(&self) {
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -155,6 +176,8 @@ impl StorageMetrics {
             prefetch_skips: self.prefetch_skips.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             planner_splits: self.planner_splits.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -173,6 +196,8 @@ impl StorageMetrics {
         self.prefetch_skips.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.planner_splits.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_syncs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -193,6 +218,8 @@ impl MetricsSnapshot {
             prefetch_skips: self.prefetch_skips - earlier.prefetch_skips,
             evictions: self.evictions - earlier.evictions,
             planner_splits: self.planner_splits - earlier.planner_splits,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
         }
     }
 
@@ -229,12 +256,12 @@ mod tests {
         m.record_prefetch_skip();
         m.record_eviction();
         m.record_planner_split();
+        m.record_wal_append(21);
+        m.record_wal_sync();
         let s = m.snapshot();
         assert_eq!(s.mem_hits, 1);
         assert_eq!(s.disk_reads, 1);
         assert_eq!(s.disk_read_bytes, 4096);
-        assert_eq!(s.disk_writes, 1);
-        assert_eq!(s.disk_write_bytes, 8192);
         assert_eq!(s.upserts, 1);
         assert_eq!(s.rmws, 1);
         assert_eq!(s.lookups, 2);
@@ -243,7 +270,12 @@ mod tests {
         assert_eq!(s.prefetch_skips, 1);
         assert_eq!(s.evictions, 1);
         assert_eq!(s.planner_splits, 1);
-        assert_eq!(s.total_io_bytes(), 4096 + 8192);
+        assert_eq!(s.wal_appends, 1);
+        assert_eq!(s.wal_syncs, 1);
+        // WAL appends also count as device writes.
+        assert_eq!(s.disk_writes, 2);
+        assert_eq!(s.disk_write_bytes, 8192 + 21);
+        assert_eq!(s.total_io_bytes(), 4096 + 8192 + 21);
     }
 
     #[test]

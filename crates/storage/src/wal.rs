@@ -1,0 +1,444 @@
+//! Group-commit write-ahead log shared by every persistent engine.
+//!
+//! The WAL is a stream of length+checksum framed records on a [`Device`]:
+//!
+//! ```text
+//! ┌────────────┬────────────┬───────────────┐
+//! │ len: u32LE │ crc: u32LE │ payload bytes │  × N
+//! └────────────┴────────────┴───────────────┘
+//! ```
+//!
+//! Durability is amortised exactly like PR 4 amortised cold reads: instead of
+//! one `fsync` per record, a whole `write_batch` / `multi_rmw` appends its
+//! records as **one** device append ([`WalWriter::append_group`]) and pays
+//! **one** sync at its acknowledgement point ([`WalWriter::commit`]). The
+//! [`DurabilityMode`] knob selects how strong that point is:
+//!
+//! * [`DurabilityMode::None`] — never sync; a crash may lose everything since
+//!   the last engine flush. Clean reopens still replay the log.
+//! * [`DurabilityMode::Buffered`] — sync only at engine barriers
+//!   ([`WalWriter::barrier`]: flush / checkpoint / rotation), never per
+//!   operation; a crash loses the buffered tail but acked flushes survive.
+//! * [`DurabilityMode::GroupCommit { window }`] — sync at every commit point
+//!   and additionally whenever `window` records accumulate un-synced, so an
+//!   acknowledged batch is durable and the loss window inside an unacked
+//!   batch is bounded.
+//!
+//! Replay ([`WalReader::replay`]) validates each frame's CRC and stops at the
+//! first torn or corrupt frame — the classic "committed prefix" recovery shape
+//! (cf. SNIPPETS §1/§2): everything before the tear is applied, the tear and
+//! everything after it is discarded.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::config::DurabilityMode;
+use crate::device::Device;
+use crate::error::{StorageError, StorageResult};
+use crate::metrics::StorageMetrics;
+
+/// Bytes of framing per record (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single record payload: larger length prefixes are treated
+/// as a torn tail during replay (a corrupt length would otherwise ask for an
+/// absurd allocation).
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data` — the per-record checksum of the WAL framing.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append one framed record to `buf`.
+fn frame_into(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Group-commit append half of the WAL.
+///
+/// Thread-safe: appends are single [`Device::append`] calls (atomic on every
+/// device) and the un-synced record counter is atomic, so parallel batch
+/// workers may append concurrently; each record's frame stays contiguous.
+pub struct WalWriter {
+    device: Arc<dyn Device>,
+    mode: DurabilityMode,
+    metrics: Arc<StorageMetrics>,
+    /// Records appended since the last sync (drives the group-commit window).
+    unsynced: AtomicU64,
+}
+
+impl WalWriter {
+    /// Wrap `device` as a WAL in the given durability mode.
+    pub fn new(
+        device: Arc<dyn Device>,
+        mode: DurabilityMode,
+        metrics: Arc<StorageMetrics>,
+    ) -> Self {
+        Self {
+            device,
+            mode,
+            metrics,
+            unsynced: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying device (replay reads it, tests inspect it).
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.device
+    }
+
+    /// The durability mode this writer syncs under.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// Append one framed record. Under [`DurabilityMode::GroupCommit`] the
+    /// append syncs eagerly once `window` records accumulate un-synced.
+    pub fn append(&self, payload: &[u8]) -> StorageResult<()> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame_into(&mut frame, payload);
+        self.device.append(&frame)?;
+        self.metrics.record_wal_append(frame.len() as u64);
+        self.note_appended(1)
+    }
+
+    /// Append a whole group of records as **one** device append (the write-side
+    /// coalescing trick: one syscall, one contiguous extent, and — together
+    /// with [`WalWriter::commit`] — one sync for the whole batch).
+    pub fn append_group<'a>(
+        &self,
+        payloads: impl IntoIterator<Item = &'a [u8]>,
+    ) -> StorageResult<()> {
+        let mut buf = Vec::new();
+        let mut count = 0u64;
+        for payload in payloads {
+            frame_into(&mut buf, payload);
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        self.device.append(&buf)?;
+        self.metrics.record_wal_append(buf.len() as u64);
+        self.note_appended(count)
+    }
+
+    fn note_appended(&self, records: u64) -> StorageResult<()> {
+        if let DurabilityMode::GroupCommit { window } = self.mode {
+            let unsynced = self.unsynced.fetch_add(records, Ordering::SeqCst) + records;
+            if unsynced >= window.max(1) as u64 {
+                self.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Group-commit point: called once at a batch's acknowledgement. Syncs any
+    /// un-synced records under [`DurabilityMode::GroupCommit`]; a no-op under
+    /// `None` and `Buffered`.
+    pub fn commit(&self) -> StorageResult<()> {
+        if matches!(self.mode, DurabilityMode::GroupCommit { .. })
+            && self.unsynced.load(Ordering::SeqCst) > 0
+        {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Engine barrier (flush / checkpoint / rotation): syncs under every mode
+    /// except [`DurabilityMode::None`].
+    pub fn barrier(&self) -> StorageResult<()> {
+        match self.mode {
+            DurabilityMode::None => Ok(()),
+            _ => self.sync(),
+        }
+    }
+
+    /// Unconditionally sync the device and reset the group-commit window.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.device.sync()?;
+        self.unsynced.store(0, Ordering::SeqCst);
+        self.metrics.record_wal_sync();
+        Ok(())
+    }
+
+    /// Number of bytes currently in the log.
+    pub fn len(&self) -> u64 {
+        self.device.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Replay half of the WAL.
+pub struct WalReader;
+
+impl WalReader {
+    /// Read every intact framed record from `device` in append order.
+    ///
+    /// Stops (without error) at the first torn or corrupt frame — a truncated
+    /// header, a length past the device end, or a CRC mismatch — so a crash
+    /// mid-append yields the longest valid committed prefix.
+    pub fn replay(device: &dyn Device) -> StorageResult<Vec<Vec<u8>>> {
+        let len = device.len();
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut data = vec![0u8; len as usize];
+        device.read_at(0, &mut data)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + FRAME_HEADER <= data.len() {
+            let rec_len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+            let rec_crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+            if rec_len > MAX_RECORD_LEN {
+                break;
+            }
+            let start = pos + FRAME_HEADER;
+            let Some(end) = start.checked_add(rec_len as usize) else {
+                break;
+            };
+            if end > data.len() {
+                break;
+            }
+            let payload = &data[start..end];
+            if crc32(payload) != rec_crc {
+                break;
+            }
+            out.push(payload.to_vec());
+            pos = end;
+        }
+        Ok(out)
+    }
+}
+
+/// Logical key-value operations engines log through the shared framing (the
+/// B+tree journals page images instead and frames raw payloads directly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Upsert `key` to `value`.
+    Put {
+        /// The record key.
+        key: u64,
+        /// The full new value (not a delta), so replay is idempotent.
+        value: Vec<u8>,
+    },
+    /// Delete `key` (a tombstone for log-structured engines).
+    Delete {
+        /// The record key.
+        key: u64,
+    },
+}
+
+const OP_PUT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+impl WalOp {
+    /// Encode a put without cloning the value into a `WalOp` first.
+    pub fn encode_put(key: u64, value: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(9 + value.len());
+        buf.push(OP_PUT);
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(value);
+        buf
+    }
+
+    /// Encode a delete.
+    pub fn encode_delete(key: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(9);
+        buf.push(OP_DELETE);
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf
+    }
+
+    /// Encode this operation as a WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WalOp::Put { key, value } => Self::encode_put(*key, value),
+            WalOp::Delete { key } => Self::encode_delete(*key),
+        }
+    }
+
+    /// Decode a WAL payload produced by [`WalOp::encode`].
+    pub fn decode(payload: &[u8]) -> StorageResult<WalOp> {
+        if payload.len() < 9 {
+            return Err(StorageError::Corruption(format!(
+                "WAL op payload of {} bytes is shorter than its header",
+                payload.len()
+            )));
+        }
+        let key = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+        match payload[0] {
+            OP_PUT => Ok(WalOp::Put {
+                key,
+                value: payload[9..].to_vec(),
+            }),
+            OP_DELETE => Ok(WalOp::Delete { key }),
+            tag => Err(StorageError::Corruption(format!(
+                "unknown WAL op tag {tag}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn writer(mode: DurabilityMode) -> (Arc<MemDevice>, Arc<StorageMetrics>, WalWriter) {
+        let device = Arc::new(MemDevice::new());
+        let metrics = Arc::new(StorageMetrics::new());
+        let wal = WalWriter::new(
+            Arc::clone(&device) as Arc<dyn Device>,
+            mode,
+            Arc::clone(&metrics),
+        );
+        (device, metrics, wal)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let (_, _, wal) = writer(DurabilityMode::None);
+        wal.append(b"alpha").unwrap();
+        wal.append(b"").unwrap();
+        wal.append_group([b"beta".as_slice(), b"gamma".as_slice()])
+            .unwrap();
+        wal.commit().unwrap();
+        let records = WalReader::replay(wal.device().as_ref()).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                b"alpha".to_vec(),
+                Vec::new(),
+                b"beta".to_vec(),
+                b"gamma".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_and_corrupt_crc_stop_replay() {
+        let (device, _, wal) = writer(DurabilityMode::None);
+        wal.append(b"intact").unwrap();
+        // Torn tail: header promises more bytes than exist.
+        device.append(&20u32.to_le_bytes()).unwrap();
+        device.append(&0u32.to_le_bytes()).unwrap();
+        device.append(b"shor").unwrap();
+        let records = WalReader::replay(device.as_ref() as &dyn Device).unwrap();
+        assert_eq!(records, vec![b"intact".to_vec()]);
+
+        // Corrupt payload: CRC mismatch stops replay at the bad frame.
+        let (device, _, wal) = writer(DurabilityMode::None);
+        wal.append(b"good").unwrap();
+        wal.append(b"evil").unwrap();
+        let mut image = device.to_vec();
+        let last = image.len() - 1;
+        image[last] ^= 0xFF;
+        let tampered = MemDevice::new();
+        tampered.write_at(0, &image).unwrap();
+        let records = WalReader::replay(&tampered).unwrap();
+        assert_eq!(records, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn group_commit_syncs_at_window_and_commit() {
+        let (_, metrics, wal) = writer(DurabilityMode::GroupCommit { window: 4 });
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 0, "window not reached");
+        wal.commit().unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 1, "commit syncs the group");
+        wal.commit().unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 1, "nothing un-synced: no-op");
+        wal.append_group([
+            b"c".as_slice(),
+            b"d".as_slice(),
+            b"e".as_slice(),
+            b"f".as_slice(),
+        ])
+        .unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 2, "window forces a sync");
+    }
+
+    #[test]
+    fn buffered_and_none_sync_only_at_their_barriers() {
+        let (_, metrics, wal) = writer(DurabilityMode::Buffered);
+        wal.append(b"a").unwrap();
+        wal.commit().unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 0, "buffered: commit is free");
+        wal.barrier().unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 1, "buffered: barrier syncs");
+
+        let (_, metrics, wal) = writer(DurabilityMode::None);
+        wal.append(b"a").unwrap();
+        wal.commit().unwrap();
+        wal.barrier().unwrap();
+        assert_eq!(metrics.snapshot().wal_syncs, 0, "none: never syncs");
+    }
+
+    #[test]
+    fn metrics_account_appends() {
+        let (_, metrics, wal) = writer(DurabilityMode::None);
+        wal.append(b"abcd").unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.wal_appends, 1);
+        assert_eq!(snap.disk_write_bytes, (FRAME_HEADER + 4) as u64);
+        assert_eq!(wal.len(), (FRAME_HEADER + 4) as u64);
+        assert!(!wal.is_empty());
+    }
+
+    #[test]
+    fn wal_op_roundtrip_and_rejects_garbage() {
+        let put = WalOp::Put {
+            key: 7,
+            value: vec![1, 2, 3],
+        };
+        assert_eq!(WalOp::decode(&put.encode()).unwrap(), put);
+        let del = WalOp::Delete { key: 9 };
+        assert_eq!(WalOp::decode(&del.encode()).unwrap(), del);
+        assert_eq!(WalOp::encode_put(7, &[1, 2, 3]), put.encode());
+        assert_eq!(WalOp::encode_delete(9), del.encode());
+        assert!(WalOp::decode(&[]).is_err());
+        assert!(WalOp::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+}

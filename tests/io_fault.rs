@@ -172,3 +172,137 @@ fn buffer_pool_faults_degrade_to_per_leaf_errors_and_recover() {
         .unwrap();
     assert_eq!(value, Some(vec![5u8; 8]));
 }
+
+/// Injection handles by file name, shared with the factory that made them.
+type FailingHandles = Arc<std::sync::Mutex<std::collections::HashMap<String, Arc<FailingDevice>>>>;
+
+/// A [`mlkv_storage::DeviceFactory`] that slides a [`FailingDevice`] under
+/// every file the store opens and hands the injection handles back by name.
+fn failing_factory() -> (FailingHandles, mlkv_storage::DeviceFactory) {
+    let handles: FailingHandles = Arc::default();
+    let factory = {
+        let handles = Arc::clone(&handles);
+        mlkv_storage::DeviceFactory::new(move |name| {
+            let failing = Arc::new(FailingDevice::new(Arc::new(MemDevice::new()), 0));
+            handles
+                .lock()
+                .unwrap()
+                .insert(name.to_string(), Arc::clone(&failing));
+            Ok(failing as Arc<dyn Device>)
+        })
+    };
+    (handles, factory)
+}
+
+fn durable_faulty_config() -> (FailingHandles, mlkv_storage::StoreConfig) {
+    let (handles, factory) = failing_factory();
+    let config = mlkv_storage::StoreConfig::in_memory()
+        .with_device_factory(factory)
+        .with_memory_budget(1 << 20)
+        .with_durability(mlkv_storage::DurabilityMode::GroupCommit { window: 1 << 20 });
+    (handles, config)
+}
+
+/// Regression for the write-path ack hole: a WAL append that fails mid-batch
+/// must leave the store untouched — log-then-apply means a batch is either
+/// fully logged before any key lands in the memtable, or not applied at all.
+#[test]
+fn lsm_failed_wal_append_leaves_batch_unapplied() {
+    use mlkv_storage::KvStore;
+
+    let (handles, config) = durable_faulty_config();
+    let store = mlkv_lsm::LsmStore::open(config).unwrap();
+    store.put(1, b"one").unwrap();
+    let wal = Arc::clone(
+        handles
+            .lock()
+            .unwrap()
+            .get("wal_0.dat")
+            .expect("wal device"),
+    );
+
+    wal.set_fail_writes(true);
+    let mut batch = mlkv_storage::WriteBatch::new();
+    batch.put(2, b"two".to_vec());
+    batch.put(3, b"three".to_vec());
+    assert!(store.write_batch(&batch).is_err(), "append fault surfaces");
+    // Atomicity: no key of the failed batch was applied, prior data is intact.
+    assert!(matches!(
+        store.get(2),
+        Err(mlkv_storage::StorageError::KeyNotFound)
+    ));
+    assert!(matches!(
+        store.get(3),
+        Err(mlkv_storage::StorageError::KeyNotFound)
+    ));
+    assert_eq!(store.get(1).unwrap(), b"one");
+
+    wal.set_fail_writes(false);
+    store.write_batch(&batch).unwrap();
+    assert_eq!(store.get(2).unwrap(), b"two");
+    assert_eq!(store.get(3).unwrap(), b"three");
+}
+
+/// Sync faults surface as ack failures and heal without poisoning the store.
+#[test]
+fn lsm_failed_commit_sync_surfaces_and_recovers() {
+    use mlkv_storage::KvStore;
+
+    let (handles, config) = durable_faulty_config();
+    let store = mlkv_lsm::LsmStore::open(config).unwrap();
+    store.put(1, b"one").unwrap();
+    let wal = Arc::clone(
+        handles
+            .lock()
+            .unwrap()
+            .get("wal_0.dat")
+            .expect("wal device"),
+    );
+
+    wal.set_fail_syncs(true);
+    // The append lands but the group-commit fsync fails: the ack must not lie.
+    assert!(store.put(4, b"four").is_err(), "sync fault fails the ack");
+
+    wal.set_fail_syncs(false);
+    store.put(5, b"five").unwrap();
+    assert_eq!(store.get(5).unwrap(), b"five");
+    assert_eq!(store.get(1).unwrap(), b"one");
+}
+
+/// FASTER logs before applying: a failed WAL write rejects the put entirely.
+#[test]
+fn faster_failed_wal_write_rejects_the_put() {
+    use mlkv_storage::KvStore;
+
+    // FASTER scans `dir` for WAL generations, so the config needs one even
+    // though every device the factory hands out is memory-backed.
+    let dir = std::env::temp_dir().join(format!(
+        "mlkv-io-fault-faster-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (handles, mut config) = durable_faulty_config();
+    config.dir = Some(dir.clone());
+    let store = mlkv_faster::FasterKv::open(config).unwrap();
+    store.put(1, b"one").unwrap();
+    let wal = Arc::clone(
+        handles
+            .lock()
+            .unwrap()
+            .get("faster_wal_0.dat")
+            .expect("wal device"),
+    );
+
+    wal.set_fail_writes(true);
+    assert!(store.put(2, b"two").is_err(), "write fault surfaces");
+    assert!(matches!(
+        store.get(2),
+        Err(mlkv_storage::StorageError::KeyNotFound)
+    ));
+
+    wal.heal();
+    store.put(2, b"two").unwrap();
+    assert_eq!(store.get(2).unwrap(), b"two");
+    assert_eq!(store.get(1).unwrap(), b"one");
+}
