@@ -8,6 +8,12 @@
 //! absolute nanoseconds) are compared because they are host-independent:
 //! the committed baselines come from a different machine than the CI runner.
 //!
+//! `BENCH_serving.json` rows additionally carry client-observed latency
+//! percentiles (`p50_ns`, `p99_ns`). Those are compared too — direction
+//! inverted (higher latency = regression), same threshold, still warn-only —
+//! which is noisier than the ratios, but a >30% p99 jump on the same loopback
+//! setup is worth a warning line even across hosts.
+//!
 //! Usage:
 //!
 //! ```text
@@ -27,11 +33,32 @@ use std::process::ExitCode;
 use mlkv_bench::arg_value;
 
 /// The speedup fields the emitters write, in lookup order.
-const SPEEDUP_KEYS: [&str; 3] = [
+const SPEEDUP_KEYS: [&str; 4] = [
     "speedup_vs_serial",
     "speedup_vs_per_record",
     "speedup_vs_sync",
+    "speedup_vs_per_request",
 ];
+
+/// Latency fields (serving rows): compared with the direction inverted —
+/// larger is worse.
+const LATENCY_KEYS: [&str; 2] = ["p50_ns", "p99_ns"];
+
+/// Measured-but-not-compared fields, excluded from row identity keys.
+const NOISE_KEYS: [&str; 4] = [
+    "mean_ns",
+    "achieved_rps",
+    "fused_keys_per_tick",
+    "records_per_sec",
+];
+
+/// One comparable metric extracted from a result row.
+#[derive(Clone, Copy)]
+struct Metric {
+    value: f64,
+    /// `true` for latency metrics: regression means the value *rose*.
+    lower_is_better: bool,
+}
 
 /// Parse a flat JSON object line (`{"k": v, ...}`) into key/value strings.
 /// Tolerant of anything the emitter writes; returns `None` for non-row lines.
@@ -64,30 +91,56 @@ fn parse_row(line: &str) -> Option<Vec<(String, String)>> {
     }
 }
 
-/// Extract the result rows' speedups from one emitted `BENCH_*.json` file,
-/// keyed by their identity fields (engine, workload, batch, parallelism,
-/// mode knobs).
-fn parse_rows(path: &str) -> BTreeMap<String, f64> {
+/// Extract the result rows' comparable metrics from one emitted
+/// `BENCH_*.json` file, keyed by their identity fields (engine, workload,
+/// batch, parallelism, mode knobs). A speedup row yields one entry keyed by
+/// identity alone (the historical format); each latency field yields a
+/// further entry with an explicit `metric=` suffix.
+fn parse_rows(path: &str) -> BTreeMap<String, Metric> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let mut rows = BTreeMap::new();
     for line in text.lines() {
         let Some(fields) = parse_row(line) else {
             continue;
         };
-        let Some(speedup) = fields
+        let identity = fields
             .iter()
-            .find(|(k, _)| SPEEDUP_KEYS.contains(&k.as_str()))
-            .and_then(|(_, v)| v.parse::<f64>().ok())
-        else {
-            continue;
-        };
-        let key = fields
-            .iter()
-            .filter(|(k, _)| k != "mean_ns" && !SPEEDUP_KEYS.contains(&k.as_str()))
+            .filter(|(k, _)| {
+                !NOISE_KEYS.contains(&k.as_str())
+                    && !SPEEDUP_KEYS.contains(&k.as_str())
+                    && !LATENCY_KEYS.contains(&k.as_str())
+            })
             .map(|(k, v)| format!("{k}={v}"))
             .collect::<Vec<_>>()
             .join(" ");
-        rows.insert(key, speedup);
+        if let Some(speedup) = fields
+            .iter()
+            .find(|(k, _)| SPEEDUP_KEYS.contains(&k.as_str()))
+            .and_then(|(_, v)| v.parse::<f64>().ok())
+        {
+            rows.insert(
+                identity.clone(),
+                Metric {
+                    value: speedup,
+                    lower_is_better: false,
+                },
+            );
+        }
+        for (k, v) in &fields {
+            if !LATENCY_KEYS.contains(&k.as_str()) {
+                continue;
+            }
+            let Ok(value) = v.parse::<f64>() else {
+                continue;
+            };
+            rows.insert(
+                format!("{identity} metric={k}"),
+                Metric {
+                    value,
+                    lower_is_better: true,
+                },
+            );
+        }
     }
     rows
 }
@@ -127,25 +180,50 @@ fn main() -> ExitCode {
     let mut regressions = 0usize;
     let mut compared = 0usize;
     for (key, base) in &baseline {
-        // Denominator rows (coalescing-off / serial / sync) carry a speedup
-        // of exactly 1.0 in both files, so they compare as trivially ok; no
-        // filtering, or genuine sub-1.0 data rows (e.g. WiredTiger's ~0.96x
-        // async cell) would silently escape regression detection.
+        // Denominator rows (coalescing-off / serial / sync / per-request)
+        // carry a speedup of exactly 1.0 in both files, so they compare as
+        // trivially ok; no filtering, or genuine sub-1.0 data rows (e.g.
+        // WiredTiger's ~0.96x async cell) would silently escape regression
+        // detection.
         let Some(cur) = current.get(key) else {
             eprintln!("::warning::bench drift: row missing from current run: {key}");
             continue;
         };
         compared += 1;
-        let floor = base * (1.0 - threshold);
-        if *cur < floor {
-            regressions += 1;
-            eprintln!(
-                "::warning::bench drift: {key}: speedup {cur:.2}x fell below {floor:.2}x \
-                 (baseline {base:.2}x - {:.0}% tolerance)",
-                threshold * 100.0
-            );
+        if base.lower_is_better {
+            let ceiling = base.value * (1.0 + threshold);
+            if cur.value > ceiling {
+                regressions += 1;
+                eprintln!(
+                    "::warning::bench drift: {key}: latency {:.0}ns rose above {ceiling:.0}ns \
+                     (baseline {:.0}ns + {:.0}% tolerance)",
+                    cur.value,
+                    base.value,
+                    threshold * 100.0
+                );
+            } else {
+                println!(
+                    "ok: {key}: latency {:.0}ns (baseline {:.0}ns, ceiling {ceiling:.0}ns)",
+                    cur.value, base.value
+                );
+            }
         } else {
-            println!("ok: {key}: speedup {cur:.2}x (baseline {base:.2}x, floor {floor:.2}x)");
+            let floor = base.value * (1.0 - threshold);
+            if cur.value < floor {
+                regressions += 1;
+                eprintln!(
+                    "::warning::bench drift: {key}: speedup {:.2}x fell below {floor:.2}x \
+                     (baseline {:.2}x - {:.0}% tolerance)",
+                    cur.value,
+                    base.value,
+                    threshold * 100.0
+                );
+            } else {
+                println!(
+                    "ok: {key}: speedup {:.2}x (baseline {:.2}x, floor {floor:.2}x)",
+                    cur.value, base.value
+                );
+            }
         }
     }
     println!(

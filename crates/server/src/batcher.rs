@@ -1,0 +1,513 @@
+//! The batcher: a single thread that turns the admission queue's per-request
+//! work into fused storage calls.
+//!
+//! Each tick the batcher drains a micro-batch from the [`AdmissionQueue`],
+//! drops work whose deadline expired while queued, fuses the remainder into as
+//! few `EmbeddingTable::gather` / `apply_gradients` calls as possible
+//! (contiguous runs of the same kind — this preserves per-connection
+//! read-your-writes ordering across the batch), and scatters the results back
+//! through each request's reply closure.
+//!
+//! The micro-batch window is sized by [`AdaptiveWindow`], the same ±1-step
+//! clamp feedback loop the trainer uses for prefetch depth: grow while ticks
+//! fill the window and leave a backlog (fusion is paying off), shrink when a
+//! tick's latency overshoots the target (queueing delay is eating the
+//! deadline budget).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mlkv::EmbeddingTable;
+use mlkv_storage::{StorageError, StorageMetrics};
+
+use crate::protocol::{ErrorCode, Response};
+use crate::queue::{AdmissionQueue, Pending, Work};
+
+/// Feedback-sized micro-batch window (in requests per tick).
+///
+/// Mirrors the trainer's `AdaptiveLookahead`: one multiplicative step per
+/// observation, clamped to `[1, max]`, so the window cannot oscillate wildly
+/// on a single noisy tick.
+#[derive(Debug)]
+pub struct AdaptiveWindow {
+    window: usize,
+    max: usize,
+    latency_target: Duration,
+    adaptive: bool,
+}
+
+impl AdaptiveWindow {
+    /// A window starting at `initial` requests, clamped to `[1, max]`.
+    /// `adaptive = false` pins the window at `initial` (per-request dispatch
+    /// when `initial == 1` — the benchmark's comparison baseline).
+    pub fn new(initial: usize, max: usize, latency_target: Duration, adaptive: bool) -> Self {
+        let max = max.max(1);
+        Self {
+            window: initial.clamp(1, max),
+            max,
+            latency_target,
+            adaptive,
+        }
+    }
+
+    /// The current window size in requests.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Feed back one tick's observation: how many requests the tick drained,
+    /// how many were still queued afterwards, and how long the fused storage
+    /// calls took. Returns the window for the next tick.
+    pub fn observe(&mut self, drained: usize, backlog: usize, tick_latency: Duration) -> usize {
+        if !self.adaptive {
+            return self.window;
+        }
+        if tick_latency > self.latency_target {
+            // The fused call itself is too slow for the deadline budget:
+            // smaller batches bound per-tick latency.
+            self.window = (self.window / 2).max(1);
+        } else if drained >= self.window && backlog > 0 {
+            // Window filled and work is still waiting — wider fusion
+            // amortises more per-key overhead without adding wait time.
+            self.window = (self.window * 2).min(self.max);
+        }
+        self.window
+    }
+}
+
+/// Configuration for the batcher loop.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Initial micro-batch window in requests.
+    pub window_initial: usize,
+    /// Upper clamp for the adaptive window.
+    pub window_max: usize,
+    /// How long a non-full window stays open waiting for more requests.
+    pub window_wait: Duration,
+    /// Tick latency above which the window shrinks.
+    pub window_latency_target: Duration,
+    /// `false` pins the window at `window_initial` (no feedback).
+    pub adaptive: bool,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            window_initial: 16,
+            window_max: 256,
+            window_wait: Duration::from_micros(200),
+            window_latency_target: Duration::from_millis(2),
+            adaptive: true,
+        }
+    }
+}
+
+/// The batcher loop. Runs on its own thread until the queue closes and
+/// drains; flushes the table before returning so graceful shutdown reaches
+/// the WAL/fsync path.
+pub struct Batcher {
+    table: Arc<EmbeddingTable>,
+    queue: Arc<AdmissionQueue>,
+    metrics: Arc<StorageMetrics>,
+    window: AdaptiveWindow,
+    wait: Duration,
+}
+
+impl Batcher {
+    /// Build a batcher over `table`, fed by `queue`, reporting into `metrics`.
+    pub fn new(
+        table: Arc<EmbeddingTable>,
+        queue: Arc<AdmissionQueue>,
+        metrics: Arc<StorageMetrics>,
+        config: &BatcherConfig,
+    ) -> Self {
+        Self {
+            table,
+            queue,
+            metrics,
+            window: AdaptiveWindow::new(
+                config.window_initial,
+                config.window_max,
+                config.window_latency_target,
+                config.adaptive,
+            ),
+            wait: config.window_wait,
+        }
+    }
+
+    /// Run until the queue is closed and fully drained, then flush the table.
+    /// The flush error (if any) is returned so the server can surface it.
+    pub fn run(mut self) -> Result<(), StorageError> {
+        while let Some((batch, backlog)) = self.queue.next_batch(self.window.window(), self.wait) {
+            self.tick(batch, backlog);
+        }
+        self.table.flush()
+    }
+
+    /// Process one drained micro-batch. Public for deterministic unit tests
+    /// (construct a queue, enqueue, call `tick` directly — no threads).
+    pub fn tick(&mut self, batch: Vec<Pending>, backlog: usize) {
+        let started = Instant::now();
+        let now = started;
+        let drained = batch.len();
+        let mut fused_keys = 0u64;
+
+        // Drop work that expired while queued, then fuse contiguous runs of
+        // the same kind. Runs (not a global sort) keep each connection's
+        // gather-after-apply ordering intact.
+        let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+        for p in batch {
+            if p.expired(now) {
+                self.metrics.record_serve_rejected();
+                let deadline_us = p.deadline_us;
+                (p.reply)(Response::Error {
+                    id: p.id,
+                    code: ErrorCode::DeadlineExceeded,
+                    message: StorageError::DeadlineExceeded { deadline_us }.to_string(),
+                });
+            } else {
+                live.push(p);
+            }
+        }
+
+        while !live.is_empty() {
+            let end = run_end(&live, 0);
+            let run: Vec<Pending> = live.drain(..end).collect();
+            fused_keys += self.execute_run(run) as u64;
+        }
+
+        let tick_latency = started.elapsed();
+        self.metrics
+            .record_serve_tick(fused_keys, backlog as u64, self.window.window() as u64);
+        self.window.observe(drained, backlog, tick_latency);
+    }
+
+    /// Execute one same-kind run as a single fused storage call and scatter
+    /// results back. Returns the number of keys fused.
+    fn execute_run(&self, run: Vec<Pending>) -> usize {
+        if run.is_empty() {
+            return 0;
+        }
+        match &run[0].work {
+            Work::Gather { .. } => self.execute_gather_run(run),
+            Work::Apply { .. } => self.execute_apply_run(run),
+        }
+    }
+
+    fn execute_gather_run(&self, run: Vec<Pending>) -> usize {
+        let mut all_keys: Vec<u64> = Vec::new();
+        let mut spans: Vec<usize> = Vec::with_capacity(run.len());
+        for p in &run {
+            let Work::Gather { keys } = &p.work else {
+                unreachable!("gather run contains only gathers");
+            };
+            spans.push(keys.len());
+            all_keys.extend_from_slice(keys);
+        }
+        let fused = all_keys.len();
+        match self.table.gather(&all_keys) {
+            Ok(rows) => {
+                let dim = self.table.dim() as u32;
+                let mut offset = 0;
+                for (p, span) in run.into_iter().zip(spans) {
+                    let slice = rows[offset..offset + span].to_vec();
+                    offset += span;
+                    (p.reply)(Response::Rows {
+                        id: p.id,
+                        dim,
+                        rows: slice,
+                    });
+                }
+            }
+            Err(err) => self.fail_run(run, &err),
+        }
+        fused
+    }
+
+    fn execute_apply_run(&self, run: Vec<Pending>) -> usize {
+        let lr = match &run[0].work {
+            Work::Apply { lr, .. } => *lr,
+            Work::Gather { .. } => unreachable!("apply run contains only applies"),
+        };
+        let mut fused: Vec<(u64, &[f32])> = Vec::new();
+        for p in &run {
+            let Work::Apply { updates, .. } = &p.work else {
+                unreachable!("apply run contains only applies");
+            };
+            for (key, grad) in updates {
+                fused.push((*key, grad.as_slice()));
+            }
+        }
+        let count = fused.len();
+        match self.table.apply_gradients(&fused, lr) {
+            Ok(()) => {
+                drop(fused);
+                for p in run {
+                    (p.reply)(Response::Applied { id: p.id });
+                }
+            }
+            Err(err) => {
+                drop(fused);
+                self.fail_run(run, &err);
+            }
+        }
+        count
+    }
+
+    /// A storage failure fans out to every request that rode the fused call.
+    fn fail_run(&self, run: Vec<Pending>, err: &StorageError) {
+        let message = err.to_string();
+        for p in run {
+            self.metrics.record_serve_rejected();
+            (p.reply)(Response::Error {
+                id: p.id,
+                code: ErrorCode::Storage,
+                message: message.clone(),
+            });
+        }
+    }
+}
+
+/// End (exclusive) of the maximal fusable run starting at `start`: same work
+/// kind, and for applies the same learning-rate bit pattern (one fused
+/// `apply_gradients` call carries exactly one `lr`).
+fn run_end(live: &[Pending], start: usize) -> usize {
+    let mut end = start + 1;
+    match &live[start].work {
+        Work::Gather { .. } => {
+            while end < live.len() && matches!(live[end].work, Work::Gather { .. }) {
+                end += 1;
+            }
+        }
+        Work::Apply { lr, .. } => {
+            let bits = lr.to_bits();
+            while end < live.len() {
+                match &live[end].work {
+                    Work::Apply { lr, .. } if lr.to_bits() == bits => end += 1,
+                    _ => break,
+                }
+            }
+        }
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_storage::config::StoreConfig;
+    use std::sync::mpsc;
+
+    fn test_table(dim: usize) -> Arc<EmbeddingTable> {
+        let store = mlkv::open_store(mlkv::BackendKind::InMemory, StoreConfig::default()).unwrap();
+        Arc::new(
+            EmbeddingTable::builder(store)
+                .dim(dim)
+                .seed(7)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn batcher(table: &Arc<EmbeddingTable>, queue: &Arc<AdmissionQueue>) -> Batcher {
+        Batcher::new(
+            Arc::clone(table),
+            Arc::clone(queue),
+            table.store().metrics(),
+            &BatcherConfig::default(),
+        )
+    }
+
+    fn gather_pending(id: u64, keys: Vec<u64>) -> (Pending, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Pending {
+                id,
+                deadline_us: 0,
+                deadline: None,
+                work: Work::Gather { keys },
+                reply: Box::new(move |r| {
+                    let _ = tx.send(r);
+                }),
+            },
+            rx,
+        )
+    }
+
+    fn apply_pending(
+        id: u64,
+        lr: f32,
+        updates: Vec<(u64, Vec<f32>)>,
+    ) -> (Pending, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Pending {
+                id,
+                deadline_us: 0,
+                deadline: None,
+                work: Work::Apply { lr, updates },
+                reply: Box::new(move |r| {
+                    let _ = tx.send(r);
+                }),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn eight_clients_fuse_at_least_sixteen_keys_per_tick() {
+        // The acceptance bar from the issue: ≥ 8 concurrent clients, a
+        // batcher window fusing ≥ 16 keys per engine tick. Deterministic
+        // version: 8 queued gathers × 4 keys = one 32-key fused tick.
+        let table = test_table(8);
+        let metrics = table.store().metrics();
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let mut rxs = Vec::new();
+        for client in 0..8u64 {
+            let keys: Vec<u64> = (0..4).map(|k| client * 100 + k).collect();
+            let (p, rx) = gather_pending(client, keys);
+            queue.offer(p).unwrap();
+            rxs.push(rx);
+        }
+        let mut b = batcher(&table, &queue);
+        let (batch, backlog) = queue.next_batch(64, Duration::ZERO).unwrap();
+        b.tick(batch, backlog);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.serve_ticks, 1);
+        assert!(
+            snap.serve_fused_keys >= 16,
+            "one tick fused {} keys, want ≥ 16",
+            snap.serve_fused_keys
+        );
+        for rx in rxs {
+            match rx.try_recv().unwrap() {
+                Response::Rows { rows, dim, .. } => {
+                    assert_eq!(rows.len(), 4);
+                    assert_eq!(dim, 8);
+                }
+                other => panic!("expected rows, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batch_preserves_order_and_scatters_correct_rows() {
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        // apply(k=5, +1) then gather(k=5) in the same batch: the gather must
+        // observe the update (runs execute in admission order).
+        let (a, arx) = apply_pending(1, 1.0, vec![(5, vec![1.0; 4])]);
+        let (g, grx) = gather_pending(2, vec![5]);
+        let before = table.get_one(5).unwrap();
+        queue.offer(a).unwrap();
+        queue.offer(g).unwrap();
+        let mut b = batcher(&table, &queue);
+        let (batch, backlog) = queue.next_batch(64, Duration::ZERO).unwrap();
+        b.tick(batch, backlog);
+        assert!(matches!(
+            arx.try_recv().unwrap(),
+            Response::Applied { id: 1 }
+        ));
+        match grx.try_recv().unwrap() {
+            Response::Rows { rows, .. } => {
+                // apply_gradients subtracts lr * grad.
+                for (i, v) in rows[0].iter().enumerate() {
+                    assert!(
+                        (v - (before[i] - 1.0)).abs() < 1e-6,
+                        "gather after apply in one batch must see the update"
+                    );
+                }
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_expiry_rejects_with_typed_error_and_counts_rejection() {
+        let table = test_table(4);
+        let metrics = table.store().metrics();
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let (mut p, rx) = gather_pending(9, vec![1]);
+        p.deadline_us = 250;
+        p.deadline = Some(Instant::now() - Duration::from_millis(1));
+        // Admission happened before expiry in this scenario; simulate by
+        // ticking directly with an already-expired entry.
+        let mut b = batcher(&table, &queue);
+        b.tick(vec![p], 0);
+        match rx.try_recv().unwrap() {
+            Response::Error { id, code, message } => {
+                assert_eq!(id, 9);
+                assert_eq!(code, ErrorCode::DeadlineExceeded);
+                assert!(message.contains("250"), "typed message carries the budget");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(metrics.snapshot().serve_rejected, 1);
+    }
+
+    #[test]
+    fn applies_with_different_lr_split_into_separate_runs() {
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let (a1, r1) = apply_pending(1, 0.5, vec![(1, vec![1.0; 4])]);
+        let (a2, r2) = apply_pending(2, 0.25, vec![(1, vec![1.0; 4])]);
+        let before = table.get_one(1).unwrap();
+        for p in [a1, a2] {
+            queue.offer(p).unwrap();
+        }
+        let mut b = batcher(&table, &queue);
+        let (batch, backlog) = queue.next_batch(64, Duration::ZERO).unwrap();
+        b.tick(batch, backlog);
+        assert!(matches!(r1.try_recv().unwrap(), Response::Applied { .. }));
+        assert!(matches!(r2.try_recv().unwrap(), Response::Applied { .. }));
+        let after = table.get_one(1).unwrap();
+        assert!(
+            (after[0] - (before[0] - 0.75)).abs() < 1e-6,
+            "both updates applied with their own lr"
+        );
+    }
+
+    #[test]
+    fn adaptive_window_grows_on_backlog_and_shrinks_on_slow_ticks() {
+        let mut w = AdaptiveWindow::new(16, 256, Duration::from_millis(2), true);
+        // Full window + backlog → grow.
+        assert_eq!(w.observe(16, 10, Duration::from_micros(100)), 32);
+        assert_eq!(w.observe(32, 10, Duration::from_micros(100)), 64);
+        // Latency overshoot → halve, even with backlog.
+        assert_eq!(w.observe(64, 10, Duration::from_millis(5)), 32);
+        // Partial drain, no backlog → hold.
+        assert_eq!(w.observe(3, 0, Duration::from_micros(100)), 32);
+        // Clamp at max.
+        let mut w = AdaptiveWindow::new(200, 256, Duration::from_millis(2), true);
+        assert_eq!(w.observe(200, 1, Duration::ZERO), 256);
+        assert_eq!(w.observe(256, 1, Duration::ZERO), 256);
+        // Clamp at 1 and fixed mode.
+        let mut w = AdaptiveWindow::new(1, 256, Duration::from_nanos(1), true);
+        assert_eq!(w.observe(1, 0, Duration::from_secs(1)), 1);
+        let mut w = AdaptiveWindow::new(8, 256, Duration::from_millis(2), false);
+        assert_eq!(
+            w.observe(8, 99, Duration::from_secs(9)),
+            8,
+            "fixed mode never moves"
+        );
+    }
+
+    #[test]
+    fn run_loop_drains_after_close_and_flushes() {
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let mut rxs = Vec::new();
+        for id in 0..5 {
+            let (p, rx) = gather_pending(id, vec![id]);
+            queue.offer(p).unwrap();
+            rxs.push(rx);
+        }
+        queue.close();
+        let b = batcher(&table, &queue);
+        b.run().unwrap();
+        for rx in rxs {
+            assert!(matches!(rx.try_recv().unwrap(), Response::Rows { .. }));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! `mlkv-server` — serve an embedding table over TCP.
+//!
+//! ```text
+//! mlkv-server --addr 127.0.0.1:7878 --backend faster --dim 64 \
+//!     --durability group:4096 --dir /tmp/mlkv-serve
+//! ```
+//!
+//! The process runs until a client sends a `Shutdown` frame (see
+//! `Client::shutdown_server`) or it receives SIGINT/SIGTERM-free EOF from the
+//! environment; shutdown drains admitted work and flushes the table. The
+//! `MLKV_IO_BACKEND`, `MLKV_PARALLELISM`, and `MLKV_DURABILITY` environment
+//! overrides apply on top of the flags.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mlkv::BackendKind;
+use mlkv_server::ServerBuilder;
+use mlkv_storage::DurabilityMode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mlkv-server [--addr HOST:PORT] [--backend NAME] [--dim N]\n\
+         \x20                 [--memory-budget-mb N] [--parallelism N]\n\
+         \x20                 [--durability none|buffered|group:<records>]\n\
+         \x20                 [--dir PATH] [--staleness-bound N] [--seed N]\n\
+         \x20                 [--queue-capacity N] [--window-init N] [--window-max N]\n\
+         \x20                 [--window-wait-us N] [--no-adaptive]\n\
+         backends: {}",
+        BackendKind::ALL
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_backend(name: &str) -> Option<BackendKind> {
+    BackendKind::ALL
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut builder_backend = BackendKind::Mlkv;
+    let mut dim = 64usize;
+    let mut memory_budget_mb: Option<usize> = None;
+    let mut parallelism: Option<usize> = None;
+    let mut durability: Option<DurabilityMode> = None;
+    let mut dir: Option<String> = None;
+    let mut staleness_bound = 0u32;
+    let mut seed = 0x5eedu64;
+    let mut queue_capacity: Option<usize> = None;
+    let mut window_init: Option<usize> = None;
+    let mut window_max: Option<usize> = None;
+    let mut window_wait_us: Option<u64> = None;
+    let mut adaptive = true;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = value().to_string(),
+            "--backend" => {
+                let name = value();
+                builder_backend = parse_backend(name).unwrap_or_else(|| {
+                    eprintln!("unknown backend: {name}");
+                    usage()
+                });
+            }
+            "--dim" => dim = value().parse().unwrap_or_else(|_| usage()),
+            "--memory-budget-mb" => {
+                memory_budget_mb = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--parallelism" => parallelism = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--durability" => {
+                let spec = value();
+                durability = Some(DurabilityMode::parse(spec).unwrap_or_else(|| {
+                    eprintln!("bad durability spec: {spec}");
+                    usage()
+                }));
+            }
+            "--dir" => dir = Some(value().to_string()),
+            "--staleness-bound" => staleness_bound = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--queue-capacity" => {
+                queue_capacity = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--window-init" => window_init = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--window-max" => window_max = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--window-wait-us" => {
+                window_wait_us = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--no-adaptive" => adaptive = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let mut builder = ServerBuilder::new(builder_backend, dim)
+        .staleness_bound(staleness_bound)
+        .seed(seed)
+        .adaptive_window(adaptive);
+    if let Some(mb) = memory_budget_mb {
+        builder = builder.memory_budget(mb << 20);
+    }
+    if let Some(p) = parallelism {
+        builder = builder.parallelism(p);
+    }
+    if let Some(d) = durability {
+        builder = builder.durability(d);
+    }
+    if let Some(d) = dir {
+        builder = builder.dir(d);
+    }
+    if let Some(c) = queue_capacity {
+        builder = builder.queue_capacity(c);
+    }
+    if let Some(w) = window_init {
+        builder = builder.window_initial(w);
+    }
+    if let Some(w) = window_max {
+        builder = builder.window_max(w);
+    }
+    if let Some(us) = window_wait_us {
+        builder = builder.window_wait(Duration::from_micros(us));
+    }
+
+    let handle = match builder.serve(&addr) {
+        Ok(h) => h,
+        Err(err) => {
+            eprintln!("mlkv-server: failed to start on {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "mlkv-server: serving {} (dim {dim}) on {}",
+        builder_backend.name(),
+        handle.local_addr()
+    );
+    match handle.join() {
+        Ok(()) => {
+            eprintln!("mlkv-server: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("mlkv-server: shutdown error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Blocking client for the MLKV serving protocol.
+//!
+//! One request in flight at a time per connection; the server echoes the
+//! request id, which the client checks. Server-side rejections come back as
+//! the same typed [`StorageError`] variants the server raised, so callers
+//! handle a loopback server exactly like an embedded table.
+
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mlkv_storage::{StorageError, StorageResult};
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+
+/// A blocking connection to an `mlkv-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> StorageResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(StorageError::Io)?;
+        stream.set_nodelay(true).map_err(StorageError::Io)?;
+        let reader = BufReader::new(stream.try_clone().map_err(StorageError::Io)?);
+        Ok(Self {
+            reader,
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> StorageResult<Response> {
+        let body = request.encode();
+        write_frame(&mut self.writer, &body).map_err(StorageError::Io)?;
+        self.writer.flush().map_err(StorageError::Io)?;
+        match read_frame(&mut self.reader).map_err(StorageError::Io)? {
+            Some(body) => Response::decode(&body).map_err(|e| {
+                StorageError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }),
+            None => Err(StorageError::Closed),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Round-trip a ping.
+    pub fn ping(&mut self) -> StorageResult<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch embeddings for `keys`, optionally bounded by `deadline` (the
+    /// server rejects work it cannot start within the budget).
+    pub fn gather(
+        &mut self,
+        keys: &[u64],
+        deadline: Option<Duration>,
+    ) -> StorageResult<Vec<Vec<f32>>> {
+        let id = self.fresh_id();
+        let request = Request::Gather {
+            id,
+            deadline_us: deadline_to_us(deadline),
+            keys: keys.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Rows { id: got, rows, .. } if got == id => Ok(rows),
+            Response::Error {
+                id: got,
+                code,
+                message,
+            } if got == id || got == 0 => Err(decode_error(code, &message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Apply gradients with learning rate `lr` under an optional deadline.
+    pub fn apply_gradients(
+        &mut self,
+        updates: &[(u64, Vec<f32>)],
+        lr: f32,
+        deadline: Option<Duration>,
+    ) -> StorageResult<()> {
+        let dim = updates.first().map_or(0, |(_, g)| g.len()) as u32;
+        let id = self.fresh_id();
+        let request = Request::Apply {
+            id,
+            deadline_us: deadline_to_us(deadline),
+            lr,
+            dim,
+            updates: updates.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Applied { id: got } if got == id => Ok(()),
+            Response::Error {
+                id: got,
+                code,
+                message,
+            } if got == id || got == 0 => Err(decode_error(code, &message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (drain + flush). The server
+    /// acknowledges before it starts draining.
+    pub fn shutdown_server(&mut self) -> StorageResult<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownStarted => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn deadline_to_us(deadline: Option<Duration>) -> u64 {
+    deadline.map_or(0, |d| d.as_micros().clamp(1, u64::MAX as u128) as u64)
+}
+
+/// Map a wire error code back onto the typed storage error the server raised.
+fn decode_error(code: ErrorCode, message: &str) -> StorageError {
+    match code {
+        ErrorCode::DeadlineExceeded => StorageError::DeadlineExceeded {
+            deadline_us: parse_first_uint(message).unwrap_or(0),
+        },
+        ErrorCode::Overloaded => {
+            let mut nums = uints(message);
+            StorageError::Overloaded {
+                depth: nums.next().unwrap_or(0) as usize,
+                capacity: nums.next().unwrap_or(0) as usize,
+            }
+        }
+        ErrorCode::Malformed => StorageError::InvalidArgument(format!("server: {message}")),
+        ErrorCode::ShuttingDown => StorageError::Closed,
+        ErrorCode::Storage => StorageError::Io(io::Error::other(format!("server: {message}"))),
+    }
+}
+
+fn uints(s: &str) -> impl Iterator<Item = u64> + '_ {
+    s.split(|c: char| !c.is_ascii_digit())
+        .filter(|t| !t.is_empty())
+        .filter_map(|t| t.parse().ok())
+}
+
+fn parse_first_uint(s: &str) -> Option<u64> {
+    uints(s).next()
+}
+
+fn unexpected(response: &Response) -> StorageError {
+    StorageError::Io(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {response:?}"),
+    ))
+}

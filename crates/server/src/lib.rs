@@ -1,0 +1,36 @@
+//! Embedding-serving front end for the MLKV reproduction.
+//!
+//! MLKV's engine is batch-first: one `gather` over many keys amortises index
+//! probes, cold-path I/O, and executor dispatch. A serving tier talking to it
+//! one request at a time throws that away. This crate restores it across
+//! clients:
+//!
+//! * [`protocol`] — a length-prefixed little-endian binary protocol over TCP
+//!   carrying `gather` / `apply_gradients` / `ping` / `shutdown` frames, each
+//!   request with an id and a microsecond deadline budget;
+//! * [`queue::AdmissionQueue`] — a bounded queue where deadline-expired work
+//!   is rejected with [`mlkv_storage::StorageError::DeadlineExceeded`] and
+//!   overflow is shed with [`mlkv_storage::StorageError::Overloaded`];
+//! * [`batcher::Batcher`] — one thread that closes micro-batch windows and
+//!   issues a single fused `multi_get` / `multi_rmw`-backed table call per
+//!   tick, scattering rows back to the originating connections; the window
+//!   is sized by [`batcher::AdaptiveWindow`], the same feedback-clamp loop
+//!   the trainer uses for prefetch depth;
+//! * [`server::ServerBuilder`] / [`server::ServerHandle`] — the TCP listener
+//!   plumbed to every [`mlkv_storage::StoreConfig`] knob (backend,
+//!   parallelism, I/O backend, durability), with graceful shutdown that
+//!   drains admitted work and flushes through the WAL path;
+//! * [`client::Client`] — a blocking client that surfaces server rejections
+//!   as the same typed errors.
+
+pub mod batcher;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use batcher::{AdaptiveWindow, Batcher, BatcherConfig};
+pub use client::Client;
+pub use protocol::{ErrorCode, FrameError, Request, Response, MAX_FRAME_BYTES};
+pub use queue::{AdmissionQueue, Pending, Work};
+pub use server::{ServerBuilder, ServerHandle, DEFAULT_QUEUE_CAPACITY};

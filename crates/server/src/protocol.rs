@@ -1,0 +1,605 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every frame is a little-endian `u32` body length followed by the body; the
+//! body's first byte is the opcode, the rest is the opcode's payload. All
+//! integers are little-endian, all floats are IEEE-754 `f32` bit patterns.
+//!
+//! ```text
+//! +----------+--------+-----------------+
+//! | len: u32 | op: u8 | payload (len-1) |
+//! +----------+--------+-----------------+
+//! ```
+//!
+//! Request payloads:
+//!
+//! * `PING` — empty.
+//! * `GATHER` — `id: u64, deadline_us: u64, nkeys: u32, keys: nkeys × u64`.
+//! * `APPLY` — `id: u64, deadline_us: u64, lr: f32, dim: u32, n: u32,`
+//!   then `n × (key: u64, grad: dim × f32)`.
+//! * `SHUTDOWN` — empty.
+//!
+//! `deadline_us` is the request's latency budget in microseconds measured
+//! from server receipt (`0` = no deadline). A request whose budget expires
+//! while queued is rejected with [`ErrorCode::DeadlineExceeded`] instead of
+//! occupying a micro-batch.
+//!
+//! Response payloads mirror the requests: `ROWS` carries
+//! `id: u64, dim: u32, nrows: u32, rows: nrows × dim × f32`; `APPLIED` and
+//! `ERROR` echo the request id (`ERROR` adds a one-byte [`ErrorCode`] and a
+//! UTF-8 message). Responses to one connection are written in admission
+//! order, but a pipelining client must use the echoed id, not arrival order,
+//! to match responses to requests across opcodes.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's body, guarding the length prefix against
+/// malformed (or malicious) headers: a 16 M-row gather of dimension 64 still
+/// fits, while a corrupt length can never trigger a multi-gigabyte
+/// allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Request opcodes (high bit clear).
+const OP_PING: u8 = 0x01;
+const OP_GATHER: u8 = 0x02;
+const OP_APPLY: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+
+/// Response opcodes (high bit set).
+const OP_PONG: u8 = 0x81;
+const OP_ROWS: u8 = 0x82;
+const OP_APPLIED: u8 = 0x83;
+const OP_SHUTDOWN_STARTED: u8 = 0x84;
+const OP_ERROR: u8 = 0x8F;
+
+/// Typed rejection codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request's deadline budget expired before execution.
+    DeadlineExceeded = 1,
+    /// The admission queue was full; the request was shed, not queued.
+    Overloaded = 2,
+    /// The frame did not decode (unknown opcode, truncated payload,
+    /// oversized length prefix).
+    Malformed = 3,
+    /// The storage engine failed the fused batch this request rode in.
+    Storage = 4,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown = 5,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_wire(byte: u8) -> Option<Self> {
+        match byte {
+            1 => Some(Self::DeadlineExceeded),
+            2 => Some(Self::Overloaded),
+            3 => Some(Self::Malformed),
+            4 => Some(Self::Storage),
+            5 => Some(Self::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe, answered inline by the connection (never queued).
+    Ping,
+    /// Fetch embeddings for `keys` (order preserved, duplicates allowed).
+    Gather {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// Latency budget in microseconds from receipt; `0` = none.
+        deadline_us: u64,
+        /// Keys to fetch.
+        keys: Vec<u64>,
+    },
+    /// Apply SGD-style gradients: `value -= lr * grad` per pair.
+    Apply {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// Latency budget in microseconds from receipt; `0` = none.
+        deadline_us: u64,
+        /// Learning rate.
+        lr: f32,
+        /// Gradient dimension (every gradient must have this length).
+        dim: u32,
+        /// `(key, gradient)` pairs, applied cumulatively in order.
+        updates: Vec<(u64, Vec<f32>)>,
+    },
+    /// Begin graceful shutdown: drain queued work, fsync, close listeners.
+    Shutdown,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Gather`].
+    Rows {
+        /// Echo of the request id.
+        id: u64,
+        /// Row dimension.
+        dim: u32,
+        /// One row per requested key, in request order.
+        rows: Vec<Vec<f32>>,
+    },
+    /// Answer to [`Request::Apply`].
+    Applied {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Answer to [`Request::Shutdown`]: the drain has begun.
+    ShutdownStarted,
+    /// Typed rejection or failure.
+    Error {
+        /// Echo of the request id (`0` when the frame itself was malformed).
+        id: u64,
+        /// Rejection class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The body ended before the payload its opcode promises.
+    Truncated,
+    /// The first body byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// The payload is longer than its opcode consumes.
+    TrailingBytes(usize),
+    /// A count field implies a payload larger than [`MAX_FRAME_BYTES`].
+    Oversized,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame body truncated"),
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            FrameError::Oversized => write!(f, "count field exceeds frame limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Little-endian cursor over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Oversized)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, FrameError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes(left))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
+}
+
+/// Reject count fields that promise more payload than the frame cap allows,
+/// before any allocation is sized from them.
+fn check_count(count: usize, elem_bytes: usize) -> Result<(), FrameError> {
+    if count.saturating_mul(elem_bytes) > MAX_FRAME_BYTES {
+        Err(FrameError::Oversized)
+    } else {
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Encode this request as a frame body (opcode + payload, no length
+    /// prefix; [`write_frame`] adds it).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => vec![OP_PING],
+            Request::Gather {
+                id,
+                deadline_us,
+                keys,
+            } => {
+                let mut out = Vec::with_capacity(1 + 8 + 8 + 4 + keys.len() * 8);
+                out.push(OP_GATHER);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *deadline_us);
+                put_u32(&mut out, keys.len() as u32);
+                for k in keys {
+                    put_u64(&mut out, *k);
+                }
+                out
+            }
+            Request::Apply {
+                id,
+                deadline_us,
+                lr,
+                dim,
+                updates,
+            } => {
+                let row = 8 + *dim as usize * 4;
+                let mut out = Vec::with_capacity(1 + 8 + 8 + 4 + 4 + 4 + updates.len() * row);
+                out.push(OP_APPLY);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *deadline_us);
+                put_f32(&mut out, *lr);
+                put_u32(&mut out, *dim);
+                put_u32(&mut out, updates.len() as u32);
+                for (key, grad) in updates {
+                    put_u64(&mut out, *key);
+                    for g in grad {
+                        put_f32(&mut out, *g);
+                    }
+                }
+                out
+            }
+            Request::Shutdown => vec![OP_SHUTDOWN],
+        }
+    }
+
+    /// Decode a frame body into a request.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8()?;
+        let req = match op {
+            OP_PING => Request::Ping,
+            OP_SHUTDOWN => Request::Shutdown,
+            OP_GATHER => {
+                let id = c.u64()?;
+                let deadline_us = c.u64()?;
+                let nkeys = c.u32()? as usize;
+                check_count(nkeys, 8)?;
+                let mut keys = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    keys.push(c.u64()?);
+                }
+                Request::Gather {
+                    id,
+                    deadline_us,
+                    keys,
+                }
+            }
+            OP_APPLY => {
+                let id = c.u64()?;
+                let deadline_us = c.u64()?;
+                let lr = c.f32()?;
+                let dim = c.u32()?;
+                let n = c.u32()? as usize;
+                check_count(n, 8 + dim as usize * 4)?;
+                let mut updates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = c.u64()?;
+                    let mut grad = Vec::with_capacity(dim as usize);
+                    for _ in 0..dim {
+                        grad.push(c.f32()?);
+                    }
+                    updates.push((key, grad));
+                }
+                Request::Apply {
+                    id,
+                    deadline_us,
+                    lr,
+                    dim,
+                    updates,
+                }
+            }
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode this response as a frame body (opcode + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => vec![OP_PONG],
+            Response::ShutdownStarted => vec![OP_SHUTDOWN_STARTED],
+            Response::Applied { id } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_APPLIED);
+                put_u64(&mut out, *id);
+                out
+            }
+            Response::Rows { id, dim, rows } => {
+                let mut out = Vec::with_capacity(1 + 8 + 4 + 4 + rows.len() * *dim as usize * 4);
+                out.push(OP_ROWS);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, *dim);
+                put_u32(&mut out, rows.len() as u32);
+                for row in rows {
+                    debug_assert_eq!(row.len(), *dim as usize);
+                    for v in row {
+                        put_f32(&mut out, *v);
+                    }
+                }
+                out
+            }
+            Response::Error { id, code, message } => {
+                let msg = message.as_bytes();
+                let mut out = Vec::with_capacity(1 + 8 + 1 + 4 + msg.len());
+                out.push(OP_ERROR);
+                put_u64(&mut out, *id);
+                out.push(*code as u8);
+                put_u32(&mut out, msg.len() as u32);
+                out.extend_from_slice(msg);
+                out
+            }
+        }
+    }
+
+    /// Decode a frame body into a response.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(body);
+        let op = c.u8()?;
+        let resp = match op {
+            OP_PONG => Response::Pong,
+            OP_SHUTDOWN_STARTED => Response::ShutdownStarted,
+            OP_APPLIED => Response::Applied { id: c.u64()? },
+            OP_ROWS => {
+                let id = c.u64()?;
+                let dim = c.u32()?;
+                let nrows = c.u32()? as usize;
+                check_count(nrows, dim as usize * 4)?;
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let mut row = Vec::with_capacity(dim as usize);
+                    for _ in 0..dim {
+                        row.push(c.f32()?);
+                    }
+                    rows.push(row);
+                }
+                Response::Rows { id, dim, rows }
+            }
+            OP_ERROR => {
+                let id = c.u64()?;
+                let code =
+                    ErrorCode::from_wire(c.u8()?).ok_or(FrameError::UnknownOpcode(OP_ERROR))?;
+                let len = c.u32()? as usize;
+                check_count(len, 1)?;
+                let message = String::from_utf8_lossy(c.take(len)?).into_owned();
+                Response::Error { id, code, message }
+            }
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Write one frame: length prefix plus body. One `write_all` per frame, so
+/// concurrent writers (connection thread answering pings, batcher thread
+/// scattering results) interleave only at frame granularity when they share
+/// a lock around the stream.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME_BYTES);
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)
+}
+
+/// Read one frame body. Returns `Ok(None)` on clean EOF (the peer closed
+/// between frames); a close mid-frame surfaces as `UnexpectedEof`, and a
+/// length prefix beyond [`MAX_FRAME_BYTES`] as `InvalidData` (the stream is
+/// unrecoverable after either — framing is lost).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => r.read_exact(&mut len_buf)?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Gather {
+            id: 7,
+            deadline_us: 1500,
+            keys: vec![1, u64::MAX, 0, 42],
+        });
+        roundtrip_request(Request::Gather {
+            id: 0,
+            deadline_us: 0,
+            keys: Vec::new(),
+        });
+        roundtrip_request(Request::Apply {
+            id: 9,
+            deadline_us: 0,
+            lr: 0.125,
+            dim: 3,
+            updates: vec![(5, vec![1.0, -2.5, f32::MIN]), (5, vec![0.0, 0.5, 3.25])],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::ShutdownStarted);
+        roundtrip_response(Response::Applied { id: 3 });
+        roundtrip_response(Response::Rows {
+            id: 11,
+            dim: 2,
+            rows: vec![vec![1.0, 2.0], vec![-0.5, 0.25]],
+        });
+        roundtrip_response(Response::Error {
+            id: 4,
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_bodies_are_typed_errors() {
+        let full = Request::Gather {
+            id: 1,
+            deadline_us: 0,
+            keys: vec![1, 2, 3],
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert_eq!(
+                Request::decode(&full[..cut]),
+                Err(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        assert_eq!(Request::decode(&[]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_bytes_are_rejected() {
+        assert_eq!(
+            Request::decode(&[0x7F]),
+            Err(FrameError::UnknownOpcode(0x7F))
+        );
+        let mut body = Request::Ping.encode();
+        body.push(0xAB);
+        assert_eq!(Request::decode(&body), Err(FrameError::TrailingBytes(1)));
+        assert_eq!(
+            Response::decode(&[0x01]),
+            Err(FrameError::UnknownOpcode(0x01))
+        );
+    }
+
+    #[test]
+    fn absurd_count_fields_do_not_allocate() {
+        // A gather claiming u32::MAX keys in a 17-byte body must fail on the
+        // count check, not attempt a 32 GiB Vec::with_capacity.
+        let mut body = vec![OP_GATHER];
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(Request::decode(&body), Err(FrameError::Oversized));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        write_frame(
+            &mut buf,
+            &Request::Gather {
+                id: 2,
+                deadline_us: 9,
+                keys: vec![8],
+            }
+            .encode(),
+        )
+        .unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            Request::decode(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Ping
+        );
+        let second = read_frame(&mut r).unwrap().unwrap();
+        assert!(matches!(
+            Request::decode(&second).unwrap(),
+            Request::Gather { id: 2, .. }
+        ));
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            None,
+            "clean EOF between frames"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_data() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        buf.truncate(buf.len() - 1);
+        // Header promises one byte more than the stream carries.
+        buf[0..4].copy_from_slice(&2u32.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,550 @@
+//! The TCP front end: listener, connection threads, and graceful shutdown.
+//!
+//! Thread model:
+//!
+//! * one **accept** thread owns the listener and, at shutdown, the teardown
+//!   sequence (join batcher → unblock and join connection threads);
+//! * one **connection** thread per client decodes frames and offers work to
+//!   the [`AdmissionQueue`]; replies are written through a per-connection
+//!   mutex so batcher scatters and inline rejections never interleave bytes;
+//! * one **batcher** thread issues the fused storage calls ([`Batcher`]).
+//!
+//! Shutdown (from a `Shutdown` frame or [`ServerHandle::shutdown`]) is
+//! graceful: admission closes immediately (new work is rejected with
+//! `ShuttingDown`), the batcher drains everything already admitted and
+//! flushes the table — under a group-commit config that is the WAL/fsync
+//! path — and only then are client sockets shut down and joined.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mlkv::{BackendKind, EmbeddingTable};
+use mlkv_storage::{
+    DurabilityMode, IoBackend, StorageError, StorageMetrics, StorageResult, StoreConfig,
+};
+
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::queue::{AdmissionQueue, Pending, Work};
+
+/// Default admission-queue capacity (requests).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Builder for a serving instance: storage knobs mirror
+/// [`mlkv::EmbeddingModelBuilder`], serving knobs cover the admission queue
+/// and the micro-batch window.
+pub struct ServerBuilder {
+    backend: BackendKind,
+    dim: usize,
+    staleness_bound: u32,
+    memory_budget: Option<usize>,
+    page_size: Option<usize>,
+    parallelism: Option<usize>,
+    io_backend: Option<IoBackend>,
+    io_queue_depth: Option<usize>,
+    durability: Option<DurabilityMode>,
+    dir: Option<std::path::PathBuf>,
+    seed: u64,
+    env_overrides: bool,
+    queue_capacity: usize,
+    batcher: BatcherConfig,
+    table: Option<Arc<EmbeddingTable>>,
+}
+
+impl ServerBuilder {
+    /// Start from a backend and an embedding dimension.
+    pub fn new(backend: BackendKind, dim: usize) -> Self {
+        Self {
+            backend,
+            dim,
+            staleness_bound: 0,
+            memory_budget: None,
+            page_size: None,
+            parallelism: None,
+            io_backend: None,
+            io_queue_depth: None,
+            durability: None,
+            dir: None,
+            seed: 0x5eed,
+            env_overrides: true,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            batcher: BatcherConfig::default(),
+            table: None,
+        }
+    }
+
+    /// Staleness bound forwarded to the table (0 = strict).
+    pub fn staleness_bound(mut self, bound: u32) -> Self {
+        self.staleness_bound = bound;
+        self
+    }
+
+    /// Memory budget in bytes for the chosen engine.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Page size for paged engines.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.page_size = Some(bytes);
+        self
+    }
+
+    /// Batch-executor parallelism (0 = auto, 1 = serial).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers);
+        self
+    }
+
+    /// Cold-path I/O backend.
+    pub fn io_backend(mut self, backend: IoBackend) -> Self {
+        self.io_backend = Some(backend);
+        self
+    }
+
+    /// Submission-queue depth for the async I/O backend.
+    pub fn io_queue_depth(mut self, depth: usize) -> Self {
+        self.io_queue_depth = Some(depth);
+        self
+    }
+
+    /// Durability mode (graceful shutdown flushes through this path).
+    pub fn durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = Some(mode);
+        self
+    }
+
+    /// On-disk directory for file-backed configs.
+    pub fn dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Seed for deterministic embedding initialisation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether `MLKV_*` environment overrides apply (default true).
+    pub fn env_overrides(mut self, apply: bool) -> Self {
+        self.env_overrides = apply;
+        self
+    }
+
+    /// Admission-queue capacity; beyond it requests are shed with
+    /// [`StorageError::Overloaded`].
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Initial micro-batch window (requests per tick).
+    pub fn window_initial(mut self, window: usize) -> Self {
+        self.batcher.window_initial = window;
+        self
+    }
+
+    /// Upper clamp for the adaptive window.
+    pub fn window_max(mut self, max: usize) -> Self {
+        self.batcher.window_max = max;
+        self
+    }
+
+    /// How long a non-full window stays open for more arrivals.
+    pub fn window_wait(mut self, wait: Duration) -> Self {
+        self.batcher.window_wait = wait;
+        self
+    }
+
+    /// Tick latency above which the adaptive window shrinks.
+    pub fn window_latency_target(mut self, target: Duration) -> Self {
+        self.batcher.window_latency_target = target;
+        self
+    }
+
+    /// `false` pins the window at `window_initial` (per-request dispatch
+    /// when it is 1) — the benchmark baseline.
+    pub fn adaptive_window(mut self, adaptive: bool) -> Self {
+        self.batcher.adaptive = adaptive;
+        self
+    }
+
+    /// Serve an existing table instead of building one (tests, embedding the
+    /// server in a trainer process). Storage knobs are ignored.
+    pub fn table(mut self, table: Arc<EmbeddingTable>) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    fn build_table(&self) -> StorageResult<Arc<EmbeddingTable>> {
+        if let Some(table) = &self.table {
+            return Ok(Arc::clone(table));
+        }
+        let mut config = match &self.dir {
+            Some(dir) => StoreConfig::on_disk(dir.clone()),
+            None => StoreConfig::in_memory(),
+        };
+        if let Some(bytes) = self.memory_budget {
+            config = config.with_memory_budget(bytes);
+        }
+        if let Some(bytes) = self.page_size {
+            config = config.with_page_size(bytes);
+        }
+        if let Some(workers) = self.parallelism {
+            config = config.with_parallelism(workers);
+        }
+        if let Some(backend) = self.io_backend {
+            config = config.with_io_backend(backend);
+        }
+        if let Some(depth) = self.io_queue_depth {
+            config = config.with_io_queue_depth(depth);
+        }
+        if let Some(mode) = self.durability {
+            config = config.with_durability(mode);
+        }
+        if self.env_overrides {
+            config = config.apply_env_overrides();
+        }
+        let store = mlkv::open_store(self.backend, config)?;
+        let table = EmbeddingTable::builder(store)
+            .dim(self.dim)
+            .staleness_bound(self.staleness_bound)
+            .seed(self.seed)
+            .build()?;
+        Ok(Arc::new(table))
+    }
+
+    /// Bind `addr`, spawn the accept and batcher threads, and return the
+    /// running server's handle.
+    pub fn serve(self, addr: impl std::net::ToSocketAddrs) -> StorageResult<ServerHandle> {
+        let table = self.build_table()?;
+        let metrics = table.store().metrics();
+        let queue = Arc::new(AdmissionQueue::new(self.queue_capacity));
+        let listener = TcpListener::bind(addr).map_err(StorageError::Io)?;
+        let local_addr = listener.local_addr().map_err(StorageError::Io)?;
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            queue: Arc::clone(&queue),
+            metrics: Arc::clone(&metrics),
+            conns: Mutex::new(Vec::new()),
+            local_addr,
+        });
+
+        let batcher = Batcher::new(
+            Arc::clone(&table),
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            &self.batcher,
+        );
+        let batcher_thread = thread::Builder::new()
+            .name("mlkv-batcher".into())
+            .spawn(move || batcher.run())
+            .map_err(StorageError::Io)?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("mlkv-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, batcher_thread))
+            .map_err(StorageError::Io)?;
+
+        Ok(ServerHandle {
+            shared,
+            accept: Mutex::new(Some(accept_thread)),
+            table,
+        })
+    }
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    queue: Arc<AdmissionQueue>,
+    metrics: Arc<StorageMetrics>,
+    /// Read halves of live connections keyed by connection id, kept so
+    /// teardown can unblock their blocking `read_frame` via
+    /// `TcpStream::shutdown`. A connection thread removes its own entry on
+    /// exit — the socket then closes as soon as the last reply writer drops,
+    /// so departed clients see FIN promptly and dead fds don't accumulate.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flip the shutdown flag, close admission, and poke the accept loop.
+    /// Safe to call from any thread (including connection threads): teardown
+    /// itself happens on the accept thread.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// Handle to a running server: its address, its table, and shutdown.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Mutex<Option<JoinHandle<StorageResult<()>>>>,
+    table: Arc<EmbeddingTable>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The table being served.
+    pub fn table(&self) -> &Arc<EmbeddingTable> {
+        &self.table
+    }
+
+    /// Serving metrics (admitted/rejected counters, fused keys, window).
+    pub fn metrics(&self) -> &Arc<StorageMetrics> {
+        &self.shared.metrics
+    }
+
+    /// Gracefully stop: close admission, drain in-flight batches, flush the
+    /// table, close connections, join every thread. Idempotent; returns the
+    /// batcher's flush result.
+    pub fn shutdown(&self) -> StorageResult<()> {
+        self.shared.begin_shutdown();
+        let handle = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match handle {
+            Some(h) => h.join().unwrap_or_else(|_| {
+                Err(StorageError::Io(io::Error::other(
+                    "server accept thread panicked",
+                )))
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Block until the server stops on its own (e.g. a client sent a
+    /// `Shutdown` frame). Equivalent to `shutdown()` without initiating it.
+    pub fn join(&self) -> StorageResult<()> {
+        let handle = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match handle {
+            Some(h) => h.join().unwrap_or_else(|_| {
+                Err(StorageError::Io(io::Error::other(
+                    "server accept thread panicked",
+                )))
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Accept loop; owns teardown so joins never run on a connection thread.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    batcher: JoinHandle<Result<(), StorageError>>,
+) -> StorageResult<()> {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn_id: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let read_half = match stream.try_clone() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((conn_id, read_half));
+        let conn_shared = Arc::clone(&shared);
+        if let Ok(h) = thread::Builder::new()
+            .name("mlkv-conn".into())
+            .spawn(move || connection_loop(conn_id, stream, conn_shared))
+        {
+            conn_threads.push(h);
+        }
+    }
+    drop(listener);
+
+    // Drain: the queue is closed, so the batcher finishes everything already
+    // admitted, replies, and flushes the table before exiting.
+    let flush_result = batcher.join().unwrap_or_else(|_| {
+        Err(StorageError::Io(io::Error::other(
+            "batcher thread panicked",
+        )))
+    });
+
+    // Only now unblock readers and join connection threads; replies for
+    // drained work have already been written.
+    for (_, conn) in shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .drain(..)
+    {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    for h in conn_threads {
+        let _ = h.join();
+    }
+    flush_result
+}
+
+/// Per-connection thread body: run the frame loop, then retire this
+/// connection's teardown handle. Without the removal the clone registered in
+/// `Shared::conns` would keep the socket open after the thread exits, so a
+/// peer that triggered a malformed-frame close would block forever waiting
+/// for FIN (and every dead connection would leak an fd until shutdown).
+fn connection_loop(conn_id: u64, stream: TcpStream, shared: Arc<Shared>) {
+    connection_frames(stream, &shared);
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|(id, _)| *id != conn_id);
+}
+
+/// Per-connection read loop: decode a frame, dispatch, repeat until EOF,
+/// error, or shutdown.
+fn connection_frames(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    // Writer shared between this thread (inline replies) and the batcher
+    // (scattered replies), serialised frame-at-a-time.
+    let writer: Arc<Mutex<TcpStream>> = Arc::new(Mutex::new(stream));
+
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // disconnect or oversized frame
+        };
+        let request = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(err) => {
+                // Malformed payload inside a well-framed message: answer with
+                // a typed error, then drop the connection — after a decode
+                // failure the stream cannot be trusted to stay aligned.
+                send(
+                    &writer,
+                    &Response::Error {
+                        id: 0,
+                        code: ErrorCode::Malformed,
+                        message: err.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        match request {
+            Request::Ping => {
+                if !send(&writer, &Response::Pong) {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                send(&writer, &Response::ShutdownStarted);
+                shared.begin_shutdown();
+                return;
+            }
+            Request::Gather {
+                id,
+                deadline_us,
+                keys,
+            } => {
+                dispatch(shared, &writer, id, deadline_us, Work::Gather { keys });
+            }
+            Request::Apply {
+                id,
+                deadline_us,
+                lr,
+                updates,
+                ..
+            } => {
+                dispatch(
+                    shared,
+                    &writer,
+                    id,
+                    deadline_us,
+                    Work::Apply { lr, updates },
+                );
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Offer one request to the admission queue; on rejection answer inline with
+/// the typed error.
+fn dispatch(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    id: u64,
+    deadline_us: u64,
+    work: Work,
+) {
+    let deadline = (deadline_us > 0).then(|| Instant::now() + Duration::from_micros(deadline_us));
+    let reply_writer = Arc::clone(writer);
+    let pending = Pending {
+        id,
+        deadline_us,
+        deadline,
+        work,
+        reply: Box::new(move |response| {
+            send(&reply_writer, &response);
+        }),
+    };
+    match shared.queue.offer(pending) {
+        Ok(()) => shared.metrics.record_serve_admitted(),
+        Err((rejected, err)) => {
+            shared.metrics.record_serve_rejected();
+            let code = match &err {
+                StorageError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+                StorageError::Overloaded { .. } => ErrorCode::Overloaded,
+                StorageError::Closed => ErrorCode::ShuttingDown,
+                _ => ErrorCode::Storage,
+            };
+            send(
+                writer,
+                &Response::Error {
+                    id: rejected.id,
+                    code,
+                    message: err.to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Write one response frame; false when the peer is gone.
+fn send(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> bool {
+    let body = response.encode();
+    let mut guard = writer.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *guard, &body)
+        .and_then(|()| guard.flush())
+        .is_ok()
+}

@@ -76,6 +76,32 @@ impl DurabilityMode {
     pub fn is_durable(&self) -> bool {
         matches!(self, DurabilityMode::GroupCommit { .. })
     }
+
+    /// Parse the CI-matrix / env-var spelling (case-insensitive):
+    /// `"none"`, `"buffered"`, `"group"` (group commit, one sync per
+    /// acknowledged batch), or `"group:<window>"` (forced sync every
+    /// `<window>` un-synced records; `group:1` is per-record fsync).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "none" => Some(Self::None),
+            "buffered" => Some(Self::Buffered),
+            "group" | "group_commit" | "group-commit" => Some(Self::GroupCommit {
+                window: DEFAULT_GROUP_COMMIT_WINDOW,
+            }),
+            _ => {
+                let window = s
+                    .strip_prefix("group:")
+                    .or_else(|| s.strip_prefix("group_commit:"))
+                    .or_else(|| s.strip_prefix("group-commit:"))?;
+                window
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .map(|w| Self::GroupCommit { window: w.max(1) })
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for DurabilityMode {
@@ -189,6 +215,11 @@ pub const DEFAULT_IO_GAP_BYTES: usize = 4 << 10;
 /// Default [`StoreConfig::io_queue_depth`]: a typical NVMe submission-queue
 /// slice per submitter.
 pub const DEFAULT_IO_QUEUE_DEPTH: usize = 32;
+
+/// Group-commit window used when `MLKV_DURABILITY=group` gives no explicit
+/// window: large enough that in practice every acknowledged batch pays
+/// exactly one sync (the forced-sync threshold never triggers mid-batch).
+pub const DEFAULT_GROUP_COMMIT_WINDOW: usize = 1 << 20;
 
 impl Default for StoreConfig {
     fn default() -> Self {
@@ -322,25 +353,36 @@ impl StoreConfig {
     }
 
     /// Apply the CI test-matrix environment overrides: `MLKV_IO_BACKEND`
-    /// (`sync` / `async`) and `MLKV_PARALLELISM` (worker count). Unset or
-    /// unparsable variables leave the configuration untouched. Tests that
-    /// exercise cold-path equality call this so one binary runs under every
-    /// `io_backend × parallelism` cell of the CI matrix.
+    /// (`sync` / `async`), `MLKV_PARALLELISM` (worker count) and
+    /// `MLKV_DURABILITY` (`none` / `buffered` / `group[:<window>]`, see
+    /// [`DurabilityMode::parse`]). Unset or unparsable variables leave the
+    /// configuration untouched. Tests that exercise cold-path equality call
+    /// this so one binary runs under every `io_backend × parallelism` cell of
+    /// the CI matrix.
     pub fn apply_env_overrides(self) -> Self {
         self.apply_overrides(
             std::env::var("MLKV_IO_BACKEND").ok().as_deref(),
             std::env::var("MLKV_PARALLELISM").ok().as_deref(),
+            std::env::var("MLKV_DURABILITY").ok().as_deref(),
         )
     }
 
     /// Pure body of [`StoreConfig::apply_env_overrides`] (unit-testable
     /// without mutating process-global environment state).
-    fn apply_overrides(mut self, io_backend: Option<&str>, parallelism: Option<&str>) -> Self {
+    fn apply_overrides(
+        mut self,
+        io_backend: Option<&str>,
+        parallelism: Option<&str>,
+        durability: Option<&str>,
+    ) -> Self {
         if let Some(backend) = io_backend.and_then(IoBackend::parse) {
             self.io_backend = backend;
         }
         if let Some(parallelism) = parallelism.and_then(|s| s.trim().parse::<usize>().ok()) {
             self.parallelism = parallelism;
+        }
+        if let Some(mode) = durability.and_then(DurabilityMode::parse) {
+            self.durability = mode;
         }
         self
     }
@@ -414,16 +456,57 @@ mod tests {
 
     #[test]
     fn env_overrides_apply_only_when_parsable() {
-        let cfg = StoreConfig::default().apply_overrides(Some("async"), Some("4"));
+        let cfg = StoreConfig::default().apply_overrides(Some("async"), Some("4"), None);
         assert_eq!(cfg.io_backend, IoBackend::Async);
         assert_eq!(cfg.parallelism, 4);
-        let cfg = StoreConfig::default().apply_overrides(Some("bogus"), Some("not-a-number"));
+        let cfg = StoreConfig::default().apply_overrides(Some("bogus"), Some("not-a-number"), None);
         assert_eq!(cfg.io_backend, IoBackend::Sync);
         assert_eq!(cfg.parallelism, 0);
         let cfg = StoreConfig::default()
             .with_parallelism(2)
-            .apply_overrides(None, None);
+            .apply_overrides(None, None, None);
         assert_eq!(cfg.parallelism, 2, "unset vars leave the config untouched");
+    }
+
+    #[test]
+    fn durability_env_override_parses_all_spellings() {
+        assert_eq!(DurabilityMode::parse("none"), Some(DurabilityMode::None));
+        assert_eq!(
+            DurabilityMode::parse(" Buffered "),
+            Some(DurabilityMode::Buffered)
+        );
+        assert_eq!(
+            DurabilityMode::parse("group"),
+            Some(DurabilityMode::GroupCommit {
+                window: DEFAULT_GROUP_COMMIT_WINDOW
+            })
+        );
+        assert_eq!(
+            DurabilityMode::parse("group:16"),
+            Some(DurabilityMode::GroupCommit { window: 16 })
+        );
+        assert_eq!(
+            DurabilityMode::parse("group_commit:0"),
+            Some(DurabilityMode::GroupCommit { window: 1 }),
+            "window clamps to at least one record"
+        );
+        assert_eq!(DurabilityMode::parse("group:soon"), None);
+        assert_eq!(DurabilityMode::parse("fsync"), None);
+
+        let cfg = StoreConfig::default().apply_overrides(None, None, Some("group:8"));
+        assert_eq!(
+            cfg.durability,
+            DurabilityMode::GroupCommit { window: 8 },
+            "MLKV_DURABILITY overrides the configured mode"
+        );
+        let cfg = StoreConfig::default()
+            .with_durability(DurabilityMode::Buffered)
+            .apply_overrides(None, None, Some("bogus"));
+        assert_eq!(
+            cfg.durability,
+            DurabilityMode::Buffered,
+            "unparsable MLKV_DURABILITY leaves the config untouched"
+        );
     }
 
     #[test]

@@ -29,6 +29,23 @@ pub enum StorageError {
     },
     /// Checkpoint / recovery failure.
     Checkpoint(String),
+    /// A request's deadline expired before the serving layer executed it
+    /// (either rejected at admission or dropped by the batcher while queued).
+    /// Expired work never occupies a micro-batch, so one slow client cannot
+    /// inflate every other client's tail latency.
+    DeadlineExceeded {
+        /// The deadline budget the request carried, in microseconds.
+        deadline_us: u64,
+    },
+    /// The serving admission queue was full; the request was rejected without
+    /// queueing (load shedding — the typed alternative to unbounded queueing
+    /// delay under overload).
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -43,6 +60,15 @@ impl fmt::Display for StorageError {
                 write!(f, "staleness wait timed out for key {key} (bound {bound})")
             }
             StorageError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            StorageError::DeadlineExceeded { deadline_us } => {
+                write!(f, "deadline of {deadline_us}us exceeded before execution")
+            }
+            StorageError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "admission queue overloaded ({depth} queued, capacity {capacity})"
+                )
+            }
         }
     }
 }
@@ -85,6 +111,13 @@ impl StorageError {
                 bound: *bound,
             },
             StorageError::Checkpoint(msg) => StorageError::Checkpoint(msg.clone()),
+            StorageError::DeadlineExceeded { deadline_us } => StorageError::DeadlineExceeded {
+                deadline_us: *deadline_us,
+            },
+            StorageError::Overloaded { depth, capacity } => StorageError::Overloaded {
+                depth: *depth,
+                capacity: *capacity,
+            },
         }
     }
 }
@@ -110,6 +143,14 @@ mod tests {
         assert!(StorageError::Checkpoint("meta".into())
             .to_string()
             .contains("meta"));
+        let de = StorageError::DeadlineExceeded { deadline_us: 250 };
+        assert!(de.to_string().contains("250us"));
+        let ov = StorageError::Overloaded {
+            depth: 9,
+            capacity: 8,
+        };
+        assert!(ov.to_string().contains("9 queued"));
+        assert!(ov.to_string().contains("capacity 8"));
     }
 
     #[test]
@@ -135,6 +176,22 @@ mod tests {
         }
         match StorageError::Corruption("page".into()).clone_shallow() {
             StorageError::Corruption(msg) => assert_eq!(msg, "page"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match (StorageError::DeadlineExceeded { deadline_us: 77 }).clone_shallow() {
+            StorageError::DeadlineExceeded { deadline_us: 77 } => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match (StorageError::Overloaded {
+            depth: 3,
+            capacity: 2,
+        })
+        .clone_shallow()
+        {
+            StorageError::Overloaded {
+                depth: 3,
+                capacity: 2,
+            } => {}
             other => panic!("wrong variant: {other:?}"),
         }
     }

@@ -41,7 +41,10 @@ pub mod ring;
 pub mod wal;
 
 pub use cache::ShardedLruCache;
-pub use config::{DeviceFactory, DurabilityMode, IoBackend, StoreConfig, DEFAULT_IO_QUEUE_DEPTH};
+pub use config::{
+    DeviceFactory, DurabilityMode, IoBackend, StoreConfig, DEFAULT_GROUP_COMMIT_WINDOW,
+    DEFAULT_IO_QUEUE_DEPTH,
+};
 pub use device::{
     device_from_config, CrashClock, CrashDevice, Device, FailingDevice, FileDevice, MemDevice,
     SimLatencyDevice,

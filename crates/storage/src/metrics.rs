@@ -47,6 +47,25 @@ pub struct StorageMetrics {
     /// Syncs issued by a write-ahead log (the fsync cost group commit
     /// amortises; compare against `wal_appends` for the amortisation ratio).
     pub wal_syncs: AtomicU64,
+    /// Serving-layer requests admitted into the batcher's admission queue.
+    pub serve_admitted: AtomicU64,
+    /// Serving-layer requests rejected with a typed error (deadline expired,
+    /// queue overloaded, or server shutting down) instead of occupying a
+    /// micro-batch.
+    pub serve_rejected: AtomicU64,
+    /// Micro-batch ticks the serving batcher executed (each issues one fused
+    /// storage batch per contiguous same-kind run it drained).
+    pub serve_ticks: AtomicU64,
+    /// Keys fused into batched storage calls by the serving batcher; divide
+    /// by `serve_ticks` for the fused-keys-per-tick the cross-request
+    /// batching win is measured by.
+    pub serve_fused_keys: AtomicU64,
+    /// Gauge (not a counter): admission-queue depth observed at the serving
+    /// batcher's most recent tick.
+    pub serve_queue_depth: AtomicU64,
+    /// Gauge (not a counter): the serving batcher's current micro-batch
+    /// window (max requests fused per tick), as sized by its feedback loop.
+    pub serve_window: AtomicU64,
 }
 
 /// A point-in-time copy of [`StorageMetrics`].
@@ -67,6 +86,16 @@ pub struct MetricsSnapshot {
     pub planner_splits: u64,
     pub wal_appends: u64,
     pub wal_syncs: u64,
+    pub serve_admitted: u64,
+    pub serve_rejected: u64,
+    pub serve_ticks: u64,
+    pub serve_fused_keys: u64,
+    /// Gauge: queue depth at the last serving tick (copied, not differenced,
+    /// by [`MetricsSnapshot::delta`]).
+    pub serve_queue_depth: u64,
+    /// Gauge: current serving micro-batch window (copied, not differenced,
+    /// by [`MetricsSnapshot::delta`]).
+    pub serve_window: u64,
 }
 
 impl StorageMetrics {
@@ -160,6 +189,30 @@ impl StorageMetrics {
         self.wal_syncs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a serving request admitted into the batcher's queue.
+    #[inline]
+    pub fn record_serve_admitted(&self) {
+        self.serve_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a serving request rejected with a typed error (deadline,
+    /// overload, shutdown).
+    #[inline]
+    pub fn record_serve_rejected(&self) {
+        self.serve_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one serving batcher tick that fused `keys` keys, observed
+    /// `queue_depth` requests still queued after draining, and currently
+    /// targets `window` requests per tick.
+    #[inline]
+    pub fn record_serve_tick(&self, keys: u64, queue_depth: u64, window: u64) {
+        self.serve_ticks.fetch_add(1, Ordering::Relaxed);
+        self.serve_fused_keys.fetch_add(keys, Ordering::Relaxed);
+        self.serve_queue_depth.store(queue_depth, Ordering::Relaxed);
+        self.serve_window.store(window, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -178,6 +231,12 @@ impl StorageMetrics {
             planner_splits: self.planner_splits.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            serve_admitted: self.serve_admitted.load(Ordering::Relaxed),
+            serve_rejected: self.serve_rejected.load(Ordering::Relaxed),
+            serve_ticks: self.serve_ticks.load(Ordering::Relaxed),
+            serve_fused_keys: self.serve_fused_keys.load(Ordering::Relaxed),
+            serve_queue_depth: self.serve_queue_depth.load(Ordering::Relaxed),
+            serve_window: self.serve_window.load(Ordering::Relaxed),
         }
     }
 
@@ -198,6 +257,12 @@ impl StorageMetrics {
         self.planner_splits.store(0, Ordering::Relaxed);
         self.wal_appends.store(0, Ordering::Relaxed);
         self.wal_syncs.store(0, Ordering::Relaxed);
+        self.serve_admitted.store(0, Ordering::Relaxed);
+        self.serve_rejected.store(0, Ordering::Relaxed);
+        self.serve_ticks.store(0, Ordering::Relaxed);
+        self.serve_fused_keys.store(0, Ordering::Relaxed);
+        self.serve_queue_depth.store(0, Ordering::Relaxed);
+        self.serve_window.store(0, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +285,13 @@ impl MetricsSnapshot {
             planner_splits: self.planner_splits - earlier.planner_splits,
             wal_appends: self.wal_appends - earlier.wal_appends,
             wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            serve_admitted: self.serve_admitted - earlier.serve_admitted,
+            serve_rejected: self.serve_rejected - earlier.serve_rejected,
+            serve_ticks: self.serve_ticks - earlier.serve_ticks,
+            serve_fused_keys: self.serve_fused_keys - earlier.serve_fused_keys,
+            // Gauges describe "now", not an interval: keep the later reading.
+            serve_queue_depth: self.serve_queue_depth,
+            serve_window: self.serve_window,
         }
     }
 
@@ -304,6 +376,34 @@ mod tests {
         let m = StorageMetrics::new();
         m.record_disk_read(10);
         m.record_upsert();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn serving_counters_accumulate_and_gauges_track_latest() {
+        let m = StorageMetrics::new();
+        m.record_serve_admitted();
+        m.record_serve_admitted();
+        m.record_serve_rejected();
+        m.record_serve_tick(48, 3, 16);
+        let first = m.snapshot();
+        assert_eq!(first.serve_admitted, 2);
+        assert_eq!(first.serve_rejected, 1);
+        assert_eq!(first.serve_ticks, 1);
+        assert_eq!(first.serve_fused_keys, 48);
+        assert_eq!(first.serve_queue_depth, 3);
+        assert_eq!(first.serve_window, 16);
+
+        m.record_serve_tick(16, 0, 8);
+        let second = m.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.serve_ticks, 1);
+        assert_eq!(d.serve_fused_keys, 16);
+        // Gauges are point-in-time readings, not interval differences.
+        assert_eq!(d.serve_queue_depth, 0);
+        assert_eq!(d.serve_window, 8);
+
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

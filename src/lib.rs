@@ -9,6 +9,7 @@ pub use mlkv_btree;
 pub use mlkv_embedding;
 pub use mlkv_faster;
 pub use mlkv_lsm;
+pub use mlkv_server;
 pub use mlkv_storage;
 pub use mlkv_trainer;
 pub use mlkv_workloads;

@@ -1,0 +1,381 @@
+//! End-to-end tests of the TCP serving tier: a real listener on loopback,
+//! real client connections, the admission queue and batcher in between.
+//!
+//! The core correctness test is a shadow run: seeded multi-client traffic
+//! (every client owns a disjoint key range) through the server must leave the
+//! served table byte-identical to replaying each client's operation stream
+//! directly against a plain table. Around it: connect/disconnect churn,
+//! malformed and truncated frames, deadline expiry, and graceful shutdown
+//! draining already-admitted work.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlkv::{open_store, BackendKind, EmbeddingTable};
+use mlkv_server::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use mlkv_server::{Client, ServerBuilder, ServerHandle};
+use mlkv_storage::{DurabilityMode, StorageError, StoreConfig};
+
+const DIM: usize = 8;
+const SEED: u64 = 42;
+
+fn make_table(backend: BackendKind) -> Arc<EmbeddingTable> {
+    let store = open_store(
+        backend,
+        StoreConfig::in_memory()
+            .with_memory_budget(8 << 20)
+            .with_page_size(4 << 10),
+    )
+    .unwrap();
+    Arc::new(
+        EmbeddingTable::builder(store)
+            .dim(DIM)
+            .staleness_bound(u32::MAX)
+            .seed(SEED)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn serve(table: Arc<EmbeddingTable>) -> ServerHandle {
+    ServerBuilder::new(BackendKind::InMemory, DIM)
+        .table(table)
+        .serve("127.0.0.1:0")
+        .unwrap()
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One client's deterministic operation stream over its private key range.
+enum Op {
+    Gather(Vec<u64>),
+    Apply(Vec<(u64, Vec<f32>)>, f32),
+}
+
+fn client_ops(client: u64, ops: usize, keys_per_op: usize) -> Vec<Op> {
+    let base = client * 1000;
+    let span = 50u64;
+    let mut rng = 0xC0FFEE ^ (client << 32);
+    (0..ops)
+        .map(|_| {
+            let keys: Vec<u64> = (0..keys_per_op)
+                .map(|_| base + splitmix(&mut rng) % span)
+                .collect();
+            if splitmix(&mut rng).is_multiple_of(2) {
+                Op::Gather(keys)
+            } else {
+                let updates = keys
+                    .iter()
+                    .map(|&k| {
+                        let g: Vec<f32> = (0..DIM)
+                            .map(|d| ((k as f32) + d as f32).sin() * 0.1)
+                            .collect();
+                        (k, g)
+                    })
+                    .collect();
+                Op::Apply(updates, 0.05)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_multi_client_run_matches_single_caller_shadow() {
+    const CLIENTS: u64 = 6;
+    const OPS: usize = 30;
+    const KEYS_PER_OP: usize = 4;
+
+    let served = make_table(BackendKind::Faster);
+    let handle = serve(Arc::clone(&served));
+    let addr = handle.local_addr();
+
+    let mut threads = Vec::new();
+    for c in 0..CLIENTS {
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for op in client_ops(c, OPS, KEYS_PER_OP) {
+                match op {
+                    Op::Gather(keys) => {
+                        let rows = client.gather(&keys, None).unwrap();
+                        assert_eq!(rows.len(), keys.len());
+                        for row in rows {
+                            assert_eq!(row.len(), DIM);
+                        }
+                    }
+                    Op::Apply(updates, lr) => {
+                        client.apply_gradients(&updates, lr, None).unwrap();
+                    }
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown().unwrap();
+
+    // Replay every client's stream serially against a fresh shadow table.
+    // Ranges are disjoint and the server preserves per-connection order, so
+    // interleaving across clients cannot change any row.
+    let shadow = make_table(BackendKind::Faster);
+    for c in 0..CLIENTS {
+        for op in client_ops(c, OPS, KEYS_PER_OP) {
+            match op {
+                Op::Gather(keys) => {
+                    shadow.gather(&keys).unwrap();
+                }
+                Op::Apply(updates, lr) => {
+                    let borrowed: Vec<(u64, &[f32])> =
+                        updates.iter().map(|(k, g)| (*k, g.as_slice())).collect();
+                    shadow.apply_gradients(&borrowed, lr).unwrap();
+                }
+            }
+        }
+    }
+
+    let all_keys: Vec<u64> = (0..CLIENTS)
+        .flat_map(|c| (0..50).map(move |k| c * 1000 + k))
+        .collect();
+    assert_eq!(
+        served.gather(&all_keys).unwrap(),
+        shadow.gather(&all_keys).unwrap(),
+        "served table diverged from the single-caller shadow run"
+    );
+}
+
+#[test]
+fn connect_disconnect_churn_leaves_server_healthy() {
+    let handle = serve(make_table(BackendKind::InMemory));
+    let addr = handle.local_addr();
+
+    for round in 0..20u64 {
+        match round % 3 {
+            // Full round trip then clean disconnect.
+            0 => {
+                let mut client = Client::connect(addr).unwrap();
+                client.ping().unwrap();
+                let rows = client.gather(&[round, round + 1], None).unwrap();
+                assert_eq!(rows.len(), 2);
+            }
+            // Connect and vanish without a single frame.
+            1 => {
+                let _ = TcpStream::connect(addr).unwrap();
+            }
+            // Drop mid-conversation (after one request).
+            _ => {
+                let mut client = Client::connect(addr).unwrap();
+                client.ping().unwrap();
+            }
+        }
+    }
+
+    let mut survivor = Client::connect(addr).unwrap();
+    survivor.ping().unwrap();
+    assert_eq!(survivor.gather(&[7], None).unwrap().len(), 1);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_and_truncated_frames_do_not_kill_the_server() {
+    let handle = serve(make_table(BackendKind::InMemory));
+    let addr = handle.local_addr();
+
+    // Unknown opcode inside a well-formed frame: typed Malformed error, then
+    // the server closes that connection.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_frame(&mut stream, &[0x7F, 1, 2, 3]).unwrap();
+        let body = read_frame(&mut stream).unwrap().expect("error reply");
+        match Response::decode(&body).unwrap() {
+            Response::Error { id, code, .. } => {
+                assert_eq!(id, 0);
+                assert_eq!(code, ErrorCode::Malformed);
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        assert!(
+            read_frame(&mut stream).unwrap().is_none(),
+            "connection closes after a malformed frame"
+        );
+    }
+
+    // Truncated frame: a length prefix promising more bytes than ever arrive.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 10]).unwrap();
+        drop(stream); // mid-frame disconnect
+    }
+
+    // Garbage length prefix far beyond the frame cap.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        // Server rejects without allocating 4 GiB and drops the connection.
+        assert!(read_frame(&mut stream).unwrap().is_none());
+    }
+
+    // A gather frame whose payload lies about its key count.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let good = Request::Gather {
+            id: 1,
+            deadline_us: 0,
+            keys: vec![1, 2, 3],
+        }
+        .encode();
+        write_frame(&mut stream, &good[..good.len() - 4]).unwrap();
+        let body = read_frame(&mut stream).unwrap().expect("error reply");
+        assert!(matches!(
+            Response::decode(&body).unwrap(),
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ));
+    }
+
+    // After all of that abuse, an honest client still gets served.
+    let mut survivor = Client::connect(addr).unwrap();
+    assert_eq!(survivor.gather(&[1, 2], None).unwrap().len(), 2);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn expired_deadline_comes_back_as_typed_error() {
+    // A long window wait guarantees the request sits in the batcher's window
+    // well past its 1us budget, regardless of scheduler timing.
+    let handle = ServerBuilder::new(BackendKind::InMemory, DIM)
+        .table(make_table(BackendKind::InMemory))
+        .window_initial(64)
+        .window_wait(Duration::from_millis(50))
+        .serve("127.0.0.1:0")
+        .unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let err = client
+        .gather(&[1, 2, 3], Some(Duration::from_micros(1)))
+        .unwrap_err();
+    assert!(
+        matches!(err, StorageError::DeadlineExceeded { .. }),
+        "want DeadlineExceeded, got {err:?}"
+    );
+    assert!(handle.metrics().snapshot().serve_rejected >= 1);
+
+    // The connection survives a rejected request.
+    assert_eq!(client.gather(&[1], None).unwrap().len(), 1);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_work() {
+    // A wide-open window holds admitted gathers in the queue; shutdown must
+    // answer them all (drain) rather than drop them.
+    let handle = ServerBuilder::new(BackendKind::InMemory, DIM)
+        .table(make_table(BackendKind::InMemory))
+        .window_initial(64)
+        .window_max(64)
+        .window_wait(Duration::from_secs(2))
+        .serve("127.0.0.1:0")
+        .unwrap();
+    let addr = handle.local_addr();
+
+    let mut waiters = Vec::new();
+    for c in 0..4u64 {
+        waiters.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.gather(&[c * 10, c * 10 + 1], None).unwrap()
+        }));
+    }
+    // Let the gathers reach the admission queue before asking for shutdown.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut admin = Client::connect(addr).unwrap();
+    admin.shutdown_server().unwrap();
+    handle.join().unwrap();
+
+    for w in waiters {
+        let rows = w.join().expect("client thread");
+        assert_eq!(rows.len(), 2, "queued gather was answered during drain");
+    }
+    let snap = handle.metrics().snapshot();
+    assert!(snap.serve_admitted >= 4);
+
+    // New connections are refused once the listener is gone.
+    assert!(
+        Client::connect(addr).is_err() || {
+            let mut c = Client::connect(addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}
+
+#[test]
+fn server_builds_its_own_durable_store_and_flushes_on_shutdown() {
+    let dir = std::env::temp_dir().join(format!("mlkv-serving-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let handle = ServerBuilder::new(BackendKind::Faster, DIM)
+        .dir(&dir)
+        .memory_budget(4 << 20)
+        .durability(DurabilityMode::GroupCommit { window: 1024 })
+        .seed(SEED)
+        .serve("127.0.0.1:0")
+        .unwrap();
+
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let before = client.gather(&[11], None).unwrap();
+    client
+        .apply_gradients(&[(11, vec![1.0; DIM])], 0.5, None)
+        .unwrap();
+    let after = client.gather(&[11], None).unwrap();
+    for d in 0..DIM {
+        assert!((after[0][d] - (before[0][d] - 0.5)).abs() < 1e-6);
+    }
+
+    // Graceful shutdown drains and flushes through the group-commit path.
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_sheds_with_typed_error() {
+    // Capacity 1 and a held-open window: the first request occupies the
+    // queue, the second must be shed at admission.
+    let handle = ServerBuilder::new(BackendKind::InMemory, DIM)
+        .table(make_table(BackendKind::InMemory))
+        .queue_capacity(1)
+        .window_initial(64)
+        .window_max(64)
+        .window_wait(Duration::from_secs(2))
+        .serve("127.0.0.1:0")
+        .unwrap();
+    let addr = handle.local_addr();
+
+    let blocker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.gather(&[1], None).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.gather(&[2], None).unwrap_err();
+    assert!(
+        matches!(err, StorageError::Overloaded { capacity: 1, .. }),
+        "want Overloaded, got {err:?}"
+    );
+
+    handle.shutdown().unwrap();
+    assert_eq!(
+        blocker.join().unwrap().len(),
+        1,
+        "blocked request drained at shutdown"
+    );
+}
