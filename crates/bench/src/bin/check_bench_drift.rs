@@ -32,24 +32,29 @@ use std::process::ExitCode;
 
 use mlkv_bench::arg_value;
 
-/// The speedup fields the emitters write, in lookup order.
-const SPEEDUP_KEYS: [&str; 4] = [
+/// The speedup fields the emitters write, in lookup order. Higher is better.
+const SPEEDUP_KEYS: [&str; 5] = [
     "speedup_vs_serial",
     "speedup_vs_per_record",
     "speedup_vs_sync",
     "speedup_vs_per_request",
+    "throughput_retained_vs_serving",
 ];
 
-/// Latency fields (serving rows): compared with the direction inverted —
-/// larger is worse.
-const LATENCY_KEYS: [&str; 2] = ["p50_ns", "p99_ns"];
+/// Fields compared with the direction inverted — larger is worse: serving
+/// latency percentiles, fault-recovery time, and the retry amplification of
+/// the churn rows.
+const LATENCY_KEYS: [&str; 4] = ["p50_ns", "p99_ns", "recovery_ns", "retry_amplification"];
 
 /// Measured-but-not-compared fields, excluded from row identity keys.
-const NOISE_KEYS: [&str; 4] = [
+const NOISE_KEYS: [&str; 7] = [
     "mean_ns",
     "achieved_rps",
     "fused_keys_per_tick",
     "records_per_sec",
+    "attempts",
+    "reconnects",
+    "severed",
 ];
 
 /// One comparable metric extracted from a result row.
@@ -191,20 +196,32 @@ fn main() -> ExitCode {
         };
         compared += 1;
         if base.lower_is_better {
+            // Unit-neutral formatting: these rows mix nanosecond latencies
+            // with dimensionless ratios (retry_amplification).
+            let fmt = |v: f64| {
+                if v >= 1000.0 {
+                    format!("{v:.0}")
+                } else {
+                    format!("{v:.3}")
+                }
+            };
             let ceiling = base.value * (1.0 + threshold);
             if cur.value > ceiling {
                 regressions += 1;
                 eprintln!(
-                    "::warning::bench drift: {key}: latency {:.0}ns rose above {ceiling:.0}ns \
-                     (baseline {:.0}ns + {:.0}% tolerance)",
-                    cur.value,
-                    base.value,
+                    "::warning::bench drift: {key}: {} rose above {} \
+                     (baseline {} + {:.0}% tolerance)",
+                    fmt(cur.value),
+                    fmt(ceiling),
+                    fmt(base.value),
                     threshold * 100.0
                 );
             } else {
                 println!(
-                    "ok: {key}: latency {:.0}ns (baseline {:.0}ns, ceiling {ceiling:.0}ns)",
-                    cur.value, base.value
+                    "ok: {key}: {} (baseline {}, ceiling {})",
+                    fmt(cur.value),
+                    fmt(base.value),
+                    fmt(ceiling)
                 );
             }
         } else {

@@ -26,13 +26,19 @@
 //!   cold-SSD table, with the server's cross-request micro-batching off
 //!   (`batching = per_request`) vs on (`batching = fused`), at two offered
 //!   loads.
+//! * `BENCH_fault_recovery.json` (`mlkv_bench::fault`): the serving tier
+//!   under faults — gather latency while `Serving` vs `Degraded` (read-only
+//!   after an injected device write fault, probes failing), the time from
+//!   healing the device to the probe flipping back to `Serving`, and the
+//!   retry amplification of a retrying client behind a seeded chaos proxy.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p mlkv-bench --bin emit_bench_json \
 //!     [-- --out PATH] [--io-out PATH] [--io-async-out PATH] \
-//!     [--durability-out PATH] [--serving-out PATH] [--serving-only] [--quick]
+//!     [--durability-out PATH] [--serving-out PATH] [--fault-out PATH] \
+//!     [--serving-only] [--fault-only] [--quick]
 //! ```
 //!
 //! `--quick` runs one measurement iteration per cell (CI smoke); the default
@@ -542,15 +548,128 @@ fn write_serving_json(cells: &[ServingCell], quick: bool, out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// One `BENCH_fault_recovery.json` row group for one engine: degraded-mode
+/// read retention, probe-driven recovery time, and retry amplification under
+/// seeded connection churn.
+struct FaultCell {
+    engine: &'static str,
+    degraded: mlkv_bench::fault::DegradedMeasurement,
+    churn: mlkv_bench::fault::ChurnMeasurement,
+}
+
+/// Measure the fault sweep on every serving backend.
+fn run_fault(quick: bool) -> Vec<FaultCell> {
+    use mlkv_bench::fault;
+    let iters = if quick { 8 } else { 64 };
+    // Constant across quick/full: `ops` is part of the row identity, so the
+    // CI smoke must produce the same rows as the committed full baseline.
+    let churn_ops = 96;
+    let mut cells = Vec::new();
+    for (i, backend) in fault::BACKENDS.iter().enumerate() {
+        let degraded = fault::run_degraded(*backend, iters);
+        let churn = fault::run_churn(*backend, churn_ops, 0xFA_17 + i as u64);
+        eprintln!(
+            "{:>10} fault: degraded gather {:>8.3} ms vs serving {:>8.3} ms \
+             ({:.2}x retained), recovery {:>8.3} ms, churn amplification {:.2}x \
+             ({} attempts / {} ops, {} severed)",
+            backend.name(),
+            degraded.degraded_ns as f64 / 1e6,
+            degraded.serving_ns as f64 / 1e6,
+            degraded.throughput_retained,
+            degraded.recovery_ns as f64 / 1e6,
+            churn.retry_amplification,
+            churn.attempts,
+            churn.ops,
+            churn.severed,
+        );
+        cells.push(FaultCell {
+            engine: backend.name(),
+            degraded,
+            churn,
+        });
+    }
+    cells
+}
+
+fn write_fault_json(cells: &[FaultCell], quick: bool, out_path: &str) {
+    use mlkv_bench::fault;
+    let mut json = String::new();
+    let note = format!(
+        "serving tier under injected faults: gather-degraded compares mean gather latency \
+         while Serving vs Degraded (device write fault flips the server read-only; the \
+         still-failing {}ms probes are part of the degraded cost), write-recovery is the \
+         time from healing the device to a gather-driven probe restoring Serving (floor = \
+         probe interval), apply-churn drives a retrying client through a seeded chaos \
+         proxy severing connections — retry_amplification is wire attempts per completed \
+         op and every op must still succeed (tests/chaos_serving.rs proves byte-equality)",
+        fault::PROBE_INTERVAL.as_millis(),
+    );
+    json_prologue(&mut json, "fault_recovery", quick, &note);
+    let mut rows: Vec<String> = Vec::new();
+    for c in cells {
+        for (state, mean_ns) in [
+            ("serving", c.degraded.serving_ns),
+            ("degraded", c.degraded.degraded_ns),
+        ] {
+            let retained = if state == "serving" {
+                1.0
+            } else {
+                c.degraded.throughput_retained
+            };
+            rows.push(format!(
+                "    {{\"engine\": \"{}\", \"workload\": \"gather-degraded\", \"batch\": {}, \
+                 \"state\": \"{state}\", \"mean_ns\": {}, \
+                 \"throughput_retained_vs_serving\": {retained:.3}}}",
+                c.engine,
+                fault::GATHER_KEYS,
+                mean_ns,
+            ));
+        }
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"workload\": \"write-recovery\", \
+             \"probe_interval_ms\": {}, \"recovery_ns\": {}}}",
+            c.engine,
+            fault::PROBE_INTERVAL.as_millis(),
+            c.degraded.recovery_ns,
+        ));
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"workload\": \"apply-churn\", \"ops\": {}, \
+             \"attempts\": {}, \"reconnects\": {}, \"severed\": {}, \
+             \"retry_amplification\": {:.3}}}",
+            c.engine,
+            c.churn.ops,
+            c.churn.attempts,
+            c.churn.reconnects,
+            c.churn.severed,
+            c.churn.retry_amplification,
+        ));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(row);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let serving_only = args.iter().any(|a| a == "--serving-only");
+    let fault_only = args.iter().any(|a| a == "--fault-only");
     let serving_out_path = mlkv_bench::arg_value(&args, "--serving-out")
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let fault_out_path = mlkv_bench::arg_value(&args, "--fault-out")
+        .unwrap_or_else(|| "BENCH_fault_recovery.json".to_string());
     if serving_only {
         let serving_cells = run_serving(quick);
         write_serving_json(&serving_cells, quick, &serving_out_path);
+        return;
+    }
+    if fault_only {
+        let fault_cells = run_fault(quick);
+        write_fault_json(&fault_cells, quick, &fault_out_path);
         return;
     }
     let out_path = mlkv_bench::arg_value(&args, "--out")
@@ -629,4 +748,7 @@ fn main() {
 
     let serving_cells = run_serving(quick);
     write_serving_json(&serving_cells, quick, &serving_out_path);
+
+    let fault_cells = run_fault(quick);
+    write_fault_json(&fault_cells, quick, &fault_out_path);
 }

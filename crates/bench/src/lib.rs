@@ -4,6 +4,7 @@
 //! built-in laptop-scale workload sizes, so `--scale 4` runs a longer, more
 //! faithful sweep and `--scale 0.25` gives a quick smoke run.
 
+pub mod fault;
 pub mod serving;
 
 use std::sync::Arc;

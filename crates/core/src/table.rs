@@ -484,15 +484,40 @@ impl EmbeddingTable {
     /// assert_eq!(model.get_one(1).unwrap(), vec![0.9, 0.9]);
     /// ```
     pub fn apply_gradients(&self, updates: &[(u64, &[f32])], lr: f32) -> StorageResult<()> {
-        if updates.is_empty() {
+        self.apply_gradients_tagged(updates, lr, &[])
+    }
+
+    /// [`EmbeddingTable::apply_gradients`] with opaque `(key, bytes)` *tag
+    /// records* written in the **same** storage batch as the gradients.
+    ///
+    /// Tags are stored verbatim (no dimension check, no decode) and ride the
+    /// batch through the engine's WAL group commit, so a tag is durable if
+    /// and only if the gradients it accompanies are. The serving layer uses
+    /// this to persist idempotency markers atomically with the mutation they
+    /// acknowledge: after a crash, a recovered marker proves the whole batch
+    /// was applied, and its absence proves none of it was. Tag keys live in
+    /// the server's reserved key range and are never gathered, so they are
+    /// exempt from staleness admission; duplicate tag keys keep the last
+    /// occurrence, like any other duplicate key in a batch.
+    pub fn apply_gradients_tagged(
+        &self,
+        updates: &[(u64, &[f32])],
+        lr: f32,
+        tags: &[(u64, Vec<u8>)],
+    ) -> StorageResult<()> {
+        if updates.is_empty() && tags.is_empty() {
             return Ok(());
         }
         for (_, grad) in updates {
             self.check_dim(grad)?;
         }
         let start = Instant::now();
-        let keys: Vec<u64> = updates.iter().map(|(k, _)| *k).collect();
-        let guards = self.controller.acquire_put_batch(&keys)?;
+        let grad_keys: Vec<u64> = updates.iter().map(|(k, _)| *k).collect();
+        let mut keys = grad_keys.clone();
+        keys.extend(tags.iter().map(|(k, _)| *k));
+        // Staleness admission covers only the embedding rows; tag records are
+        // internal bookkeeping outside the staleness domain.
+        let guards = self.controller.acquire_put_batch(&grad_keys)?;
         for key in &keys {
             self.cache.invalidate(*key);
         }
@@ -506,6 +531,11 @@ impl EmbeddingTable {
         let mut result = self
             .store
             .multi_rmw(&keys, &|i, current| {
+                // Positions past the gradient updates are tag records,
+                // written verbatim regardless of what was there before.
+                if i >= updates.len() {
+                    return tags[i - updates.len()].1.clone();
+                }
                 let mut value = match current {
                     Some(bytes) => match decode_vector(bytes, dim) {
                         Ok(v) => v,
@@ -665,6 +695,29 @@ mod tests {
         assert_eq!(t.stats().initialised, 1);
         assert!(t.contains(5).unwrap());
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn tagged_gradients_write_tags_in_the_same_batch() {
+        let t = table(u32::MAX);
+        t.put_one(1, &[1.0; 8]).unwrap();
+        let marker_key = 0xFFFF_FFFF_0000_0007u64;
+        t.apply_gradients_tagged(
+            &[(1, &[0.5; 8][..])],
+            0.2,
+            &[(marker_key, vec![0xAB, 0xCD])],
+        )
+        .unwrap();
+        assert_eq!(t.get_one(1).unwrap(), vec![0.9; 8]);
+        // The tag is an ordinary store record, byte-verbatim, outside the
+        // embedding encoding.
+        let got = t.store().multi_get(&[marker_key]);
+        assert_eq!(got[0].as_ref().unwrap(), &vec![0xAB, 0xCD]);
+        // Re-tagging the same slot keeps the last write.
+        t.apply_gradients_tagged(&[], 0.0, &[(marker_key, vec![0x01])])
+            .unwrap();
+        let got = t.store().multi_get(&[marker_key]);
+        assert_eq!(got[0].as_ref().unwrap(), &vec![0x01]);
     }
 
     #[test]

@@ -144,21 +144,40 @@ impl LsmStore {
         }
         let entries = inner.memtable.drain_sorted();
         let seq = self.next_seq();
-        let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
-        let table = SsTable::build(
-            device,
-            IoPlanner::from_config(&self.config).with_metrics(Arc::clone(&self.metrics)),
-            &entries,
-            seq,
-            &self.metrics,
-        )?;
-        // Harden the SSTable *before* the WAL covering its entries is
-        // removed, so a crash can never leave the entries in neither place.
-        // Under `DurabilityMode::None` nothing promises to survive a crash,
-        // so the sync is skipped (preserving the non-durable fast path).
-        if self.config.effective_durability() != DurabilityMode::None {
-            table.sync()?;
-        }
+        let built = (|| {
+            let device = device_from_config(&self.config, &format!("sst_{seq}.dat"))?;
+            let table = SsTable::build(
+                device,
+                IoPlanner::from_config(&self.config).with_metrics(Arc::clone(&self.metrics)),
+                &entries,
+                seq,
+                &self.metrics,
+            )?;
+            // Harden the SSTable *before* the WAL covering its entries is
+            // removed, so a crash can never leave the entries in neither place.
+            // Under `DurabilityMode::None` nothing promises to survive a crash,
+            // so the sync is skipped (preserving the non-durable fast path).
+            if self.config.effective_durability() != DurabilityMode::None {
+                table.sync()?;
+            }
+            Ok(table)
+        })();
+        let table = match built {
+            Ok(table) => table,
+            Err(e) => {
+                // The SSTable never made it: put the drained entries back so
+                // acknowledged live state stays readable while the device is
+                // faulty (the WAL still covers it, so durability is
+                // unaffected; a later flush retries with a fresh sequence).
+                for (key, entry) in entries {
+                    match entry {
+                        Some(v) => inner.memtable.put(key, v),
+                        None => inner.memtable.delete(key),
+                    }
+                }
+                return Err(e);
+            }
+        };
         inner.tables.push(table);
         // Rotate the WAL: recovered state now lives in the SSTable.
         inner.wal_gen += 1;
@@ -436,35 +455,52 @@ impl KvStore for LsmStore {
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
-        // One write-lock acquisition and one WAL stream for the whole batch.
-        // Keys are processed in input order so duplicate keys observe earlier
-        // occurrences' writes through the memtable.
+        // One write-lock acquisition, one *grouped* WAL append and one
+        // group-commit sync for the whole batch. Values are resolved against
+        // a batch-local overlay (so duplicate keys observe earlier
+        // occurrences) and neither the log nor the memtable is touched until
+        // every value is computed: a failed append leaves the store exactly
+        // as it was, and a crash recovers the batch all-or-nothing. The
+        // serving layer's idempotency markers ride in the same batch as the
+        // gradients they cover, so this atomicity is what makes a marker
+        // durable if and only if its batch is.
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
         let mut inner = self.inner.write();
         let mut out = vec![Vec::new(); keys.len()];
+        let mut overlay: std::collections::HashMap<Key, Vec<u8>> = std::collections::HashMap::new();
         for (i, &key) in keys.iter().enumerate() {
             self.metrics.record_rmw();
             self.block_cache.invalidate(key);
-            let current: Option<Vec<u8>> = match inner.memtable.get(key) {
-                Some(Some(v)) => Some(v.clone()),
-                Some(None) => None,
-                None => match self.search_tables(&inner, key)? {
-                    Some(Some(v)) => Some(v),
-                    _ => None,
+            let current: Option<Vec<u8>> = match overlay.get(&key) {
+                Some(v) => Some(v.clone()),
+                None => match inner.memtable.get(key) {
+                    Some(Some(v)) => Some(v.clone()),
+                    Some(None) => None,
+                    None => match self.search_tables(&inner, key)? {
+                        Some(Some(v)) => Some(v),
+                        _ => None,
+                    },
                 },
             };
             let new_value = f(i, current.as_deref());
-            inner.wal.log_put(key, &new_value)?;
-            inner.memtable.put(key, new_value.clone());
+            overlay.insert(key, new_value.clone());
             out[i] = new_value;
-            // A mid-batch flush is safe here (unlike `write_batch`): every
-            // entry logged so far is already applied, so the drained
-            // memtable — and thus the new SSTable — covers them all.
-            if inner.memtable.bytes() >= self.memtable_budget {
-                self.flush_memtable(&mut inner)?;
-            }
         }
-        // One group-commit sync acknowledges the whole batch.
+        inner
+            .wal
+            .log_puts(keys.iter().copied().zip(out.iter().map(|v| v.as_slice())))?;
+        for (&key, value) in keys.iter().zip(&out) {
+            inner.memtable.put(key, value.clone());
+        }
+        // One group-commit sync acknowledges the whole batch. The budget
+        // check runs only after it (cf. `write_batch`): a mid-batch flush
+        // would rotate away the WAL that covers the batch's earlier entries.
         inner.wal.commit()?;
+        if inner.memtable.bytes() >= self.memtable_budget {
+            self.flush_memtable(&mut inner)?;
+        }
         Ok(out)
     }
 

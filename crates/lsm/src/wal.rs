@@ -56,6 +56,18 @@ impl WriteAheadLog {
             .append_group(payloads.iter().map(|p| p.as_slice()))
     }
 
+    /// Append a batch of already-resolved `(key, value)` puts as **one**
+    /// device append — the `multi_rmw` analogue of
+    /// [`WriteAheadLog::log_batch`], with the same all-or-nothing recovery.
+    pub fn log_puts<'a, I>(&self, pairs: I) -> StorageResult<()>
+    where
+        I: Iterator<Item = (u64, &'a [u8])>,
+    {
+        let payloads: Vec<Vec<u8>> = pairs.map(|(k, v)| WalOp::encode_put(k, v)).collect();
+        self.writer
+            .append_group(payloads.iter().map(|p| p.as_slice()))
+    }
+
     /// Acknowledgement point: make everything logged so far durable under the
     /// configured mode (one sync per group under `GroupCommit`).
     pub fn commit(&self) -> StorageResult<()> {

@@ -13,14 +13,36 @@
 //! fill the window and leave a backlog (fusion is paying off), shrink when a
 //! tick's latency overshoots the target (queueing delay is eating the
 //! deadline budget).
+//!
+//! The batcher is also the single authoritative point for the fault-tolerance
+//! machinery (it is the only thread that mutates the table, so there are no
+//! races to reason about):
+//!
+//! * **Idempotent retries** — a mutation whose `(session_id, id)` the
+//!   [`DedupWindow`] already acknowledged is re-acknowledged without being
+//!   re-applied; fresh mutations ride their durable marker in the same fused
+//!   batch ([`EmbeddingTable::apply_gradients_tagged`]).
+//! * **In-doubt reconciliation** — when a fused apply fails, its sessions are
+//!   marked in-doubt: on an apply-before-log engine the gradients may already
+//!   be in live state even though the batch was NACKed. A retry from an
+//!   in-doubt session checks the store-resident marker; if the failed attempt
+//!   did land, the current live values are written back (log-before-apply,
+//!   idempotent) instead of re-applied, so the gradient is never doubled.
+//! * **Health-aware degradation** — write faults flip [`Health`] to
+//!   `Degraded`; while degraded every tick first runs a recovery probe when
+//!   due, gathers keep flowing, and mutations are refused with the retryable
+//!   `Unavailable` error.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mlkv::EmbeddingTable;
-use mlkv_storage::{StorageError, StorageMetrics};
+use mlkv_storage::{StorageError, StorageMetrics, WriteBatch};
 
-use crate::protocol::{ErrorCode, Response};
+use crate::dedup::{self, DedupWindow};
+use crate::health::{Health, HealthState};
+use crate::protocol::{encode_error, ErrorCode, Response};
 use crate::queue::{AdmissionQueue, Pending, Work};
 
 /// Feedback-sized micro-batch window (in requests per tick).
@@ -111,6 +133,12 @@ pub struct Batcher {
     metrics: Arc<StorageMetrics>,
     window: AdaptiveWindow,
     wait: Duration,
+    health: Arc<Health>,
+    dedup: Arc<DedupWindow>,
+    /// Sessions whose last fused apply failed: live state may hold their
+    /// mutation even though it was NACKed (apply-before-log engines), so a
+    /// retry must consult the durable marker before re-applying.
+    in_doubt: HashSet<u64>,
 }
 
 impl Batcher {
@@ -120,6 +148,8 @@ impl Batcher {
         queue: Arc<AdmissionQueue>,
         metrics: Arc<StorageMetrics>,
         config: &BatcherConfig,
+        health: Arc<Health>,
+        dedup: Arc<DedupWindow>,
     ) -> Self {
         Self {
             table,
@@ -132,6 +162,9 @@ impl Batcher {
                 config.adaptive,
             ),
             wait: config.window_wait,
+            health,
+            dedup,
+            in_doubt: HashSet::new(),
         }
     }
 
@@ -147,6 +180,12 @@ impl Batcher {
     /// Process one drained micro-batch. Public for deterministic unit tests
     /// (construct a queue, enqueue, call `tick` directly — no threads).
     pub fn tick(&mut self, batch: Vec<Pending>, backlog: usize) {
+        // Recovery first: while degraded, any traffic (gathers, retried
+        // applies) drives probes, so the server cannot get stuck read-only
+        // with no one to heal it.
+        if self.health.probe_due() {
+            self.health.run_probe(&self.table);
+        }
         let started = Instant::now();
         let now = started;
         let drained = batch.len();
@@ -184,7 +223,7 @@ impl Batcher {
 
     /// Execute one same-kind run as a single fused storage call and scatter
     /// results back. Returns the number of keys fused.
-    fn execute_run(&self, run: Vec<Pending>) -> usize {
+    fn execute_run(&mut self, run: Vec<Pending>) -> usize {
         if run.is_empty() {
             return 0;
         }
@@ -224,13 +263,68 @@ impl Batcher {
         fused
     }
 
-    fn execute_apply_run(&self, run: Vec<Pending>) -> usize {
+    fn execute_apply_run(&mut self, run: Vec<Pending>) -> usize {
         let lr = match &run[0].work {
             Work::Apply { lr, .. } => *lr,
             Work::Gather { .. } => unreachable!("apply run contains only applies"),
         };
+
+        // Split the run: already-acknowledged retries are answered from the
+        // dedup window; in-run duplicates ride the fused call's outcome
+        // without contributing gradients twice; everything else is fresh.
+        let mut fresh: Vec<Pending> = Vec::new();
+        let mut riders: Vec<Pending> = Vec::new();
+        let mut in_run: HashSet<(u64, u64)> = HashSet::new();
+        let mut rejected: Vec<Pending> = Vec::new();
+        for p in run {
+            if p.session_id != 0 && self.dedup.already_acked(p.session_id, p.id) {
+                self.metrics.record_serve_deduped();
+                (p.reply)(Response::Applied { id: p.id });
+            } else if self.health.state() != HealthState::Serving {
+                // Degraded (or draining): refuse the mutation with the
+                // retryable hint. The probe at the top of the tick is what
+                // eventually lets these through.
+                rejected.push(p);
+            } else if p.session_id != 0 && !in_run.insert((p.session_id, p.id)) {
+                riders.push(p);
+            } else if p.session_id != 0 && self.in_doubt.contains(&p.session_id) {
+                match self.reconcile(&p) {
+                    Ok(true) => {
+                        // The NACKed attempt did land in live state; it is
+                        // now durable too. Acknowledge without re-applying.
+                        self.in_doubt.remove(&p.session_id);
+                        self.dedup.record(p.session_id, p.id);
+                        self.metrics.record_serve_deduped();
+                        (p.reply)(Response::Applied { id: p.id });
+                    }
+                    Ok(false) => {
+                        // No trace of the failed attempt: plain re-apply.
+                        self.in_doubt.remove(&p.session_id);
+                        fresh.push(p);
+                    }
+                    Err(err) => {
+                        self.health.on_write_error(&err);
+                        self.fail_run(vec![p], &err);
+                    }
+                }
+            } else {
+                fresh.push(p);
+            }
+        }
+        if !rejected.is_empty() {
+            let err = match self.health.state() {
+                HealthState::Draining => StorageError::Closed,
+                _ => self.health.unavailable_error(),
+            };
+            self.fail_run(rejected, &err);
+        }
+        if fresh.is_empty() {
+            self.fail_run(riders, &StorageError::Unavailable { retry_after_ms: 0 });
+            return 0;
+        }
+
         let mut fused: Vec<(u64, &[f32])> = Vec::new();
-        for p in &run {
+        for p in &fresh {
             let Work::Apply { updates, .. } = &p.work else {
                 unreachable!("apply run contains only applies");
             };
@@ -238,30 +332,106 @@ impl Batcher {
                 fused.push((*key, grad.as_slice()));
             }
         }
+        // One durable marker per session, covering its highest id in the run;
+        // it rides the same fused batch, so it is durable iff the batch is.
+        let mut session_high: Vec<(u64, u64)> = Vec::new();
+        for p in &fresh {
+            if p.session_id == 0 {
+                continue;
+            }
+            match session_high.iter_mut().find(|(s, _)| *s == p.session_id) {
+                Some((_, high)) => *high = (*high).max(p.id),
+                None => session_high.push((p.session_id, p.id)),
+            }
+        }
+        let tags: Vec<(u64, Vec<u8>)> = session_high
+            .iter()
+            .map(|(s, id)| self.dedup.marker_tag(*s, *id))
+            .collect();
+
         let count = fused.len();
-        match self.table.apply_gradients(&fused, lr) {
+        match self.table.apply_gradients_tagged(&fused, lr, &tags) {
             Ok(()) => {
                 drop(fused);
-                for p in run {
+                for p in fresh {
+                    if p.session_id != 0 {
+                        self.dedup.record(p.session_id, p.id);
+                    }
+                    (p.reply)(Response::Applied { id: p.id });
+                }
+                for p in riders {
+                    self.metrics.record_serve_deduped();
                     (p.reply)(Response::Applied { id: p.id });
                 }
             }
             Err(err) => {
                 drop(fused);
-                self.fail_run(run, &err);
+                // Live state may hold this batch even though it failed
+                // (apply-before-log engines): remember the sessions so their
+                // retries reconcile against the durable marker.
+                for p in &fresh {
+                    if p.session_id != 0 {
+                        self.in_doubt.insert(p.session_id);
+                    }
+                }
+                self.health.on_write_error(&err);
+                self.fail_run(fresh, &err);
+                self.fail_run(riders, &err);
             }
         }
         count
     }
 
+    /// Decide whether an in-doubt session's NACKed attempt actually landed in
+    /// live state, and if so make durable state match it. Returns `Ok(true)`
+    /// when `p` is now safely acknowledgeable without re-applying.
+    ///
+    /// The durable marker is read from the store (live state): if it covers
+    /// `p.id`, the failed fused batch *did* mutate live state before its WAL
+    /// append failed. Re-applying would double the gradient, so instead the
+    /// touched keys' current live values are written back together with the
+    /// marker as one `write_batch` — a log-before-apply, idempotent path —
+    /// which makes the durable image equal to live state, exactly once.
+    fn reconcile(&self, p: &Pending) -> Result<bool, StorageError> {
+        let store = self.table.store();
+        let slot_key = self.dedup.slot_key(p.session_id);
+        let marker = match store.multi_get(&[slot_key]).pop() {
+            Some(Ok(value)) => dedup::decode_marker(&value),
+            Some(Err(err)) if err.is_not_found() => None,
+            Some(Err(err)) => return Err(err),
+            None => None,
+        };
+        let Some((session, last)) = marker else {
+            return Ok(false);
+        };
+        if session != p.session_id || p.id > last {
+            return Ok(false);
+        }
+        let Work::Apply { updates, .. } = &p.work else {
+            return Ok(false);
+        };
+        let keys: Vec<u64> = updates.iter().map(|(k, _)| *k).collect();
+        let mut batch = WriteBatch::new();
+        for (key, result) in keys.iter().zip(store.multi_get(&keys)) {
+            match result {
+                Ok(value) => batch.put(*key, value),
+                Err(err) if err.is_not_found() => {}
+                Err(err) => return Err(err),
+            }
+        }
+        batch.put(slot_key, dedup::encode_marker(session, last));
+        store.write_batch(&batch)?;
+        Ok(true)
+    }
+
     /// A storage failure fans out to every request that rode the fused call.
     fn fail_run(&self, run: Vec<Pending>, err: &StorageError) {
-        let message = err.to_string();
+        let (code, message) = encode_error(err);
         for p in run {
             self.metrics.record_serve_rejected();
             (p.reply)(Response::Error {
                 id: p.id,
-                code: ErrorCode::Storage,
+                code,
                 message: message.clone(),
             });
         }
@@ -310,11 +480,14 @@ mod tests {
     }
 
     fn batcher(table: &Arc<EmbeddingTable>, queue: &Arc<AdmissionQueue>) -> Batcher {
+        let metrics = table.store().metrics();
         Batcher::new(
             Arc::clone(table),
             Arc::clone(queue),
-            table.store().metrics(),
+            Arc::clone(&metrics),
             &BatcherConfig::default(),
+            Arc::new(Health::new(25, Duration::ZERO, metrics)),
+            Arc::new(DedupWindow::new(64)),
         )
     }
 
@@ -323,6 +496,7 @@ mod tests {
         (
             Pending {
                 id,
+                session_id: 0,
                 deadline_us: 0,
                 deadline: None,
                 work: Work::Gather { keys },
@@ -339,10 +513,20 @@ mod tests {
         lr: f32,
         updates: Vec<(u64, Vec<f32>)>,
     ) -> (Pending, mpsc::Receiver<Response>) {
+        session_apply_pending(0, id, lr, updates)
+    }
+
+    fn session_apply_pending(
+        session_id: u64,
+        id: u64,
+        lr: f32,
+        updates: Vec<(u64, Vec<f32>)>,
+    ) -> (Pending, mpsc::Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
         (
             Pending {
                 id,
+                session_id,
                 deadline_us: 0,
                 deadline: None,
                 work: Work::Apply { lr, updates },
@@ -491,6 +675,105 @@ mod tests {
             8,
             "fixed mode never moves"
         );
+    }
+
+    #[test]
+    fn retried_apply_is_acked_from_the_window_not_reapplied() {
+        let table = test_table(4);
+        let metrics = table.store().metrics();
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let mut b = batcher(&table, &queue);
+        let before = table.get_one(9).unwrap();
+
+        let (first, r1) = session_apply_pending(7, 1, 1.0, vec![(9, vec![1.0; 4])]);
+        b.tick(vec![first], 0);
+        assert!(matches!(
+            r1.try_recv().unwrap(),
+            Response::Applied { id: 1 }
+        ));
+
+        // The "ack was lost" retry: same session, same id.
+        let (retry, r2) = session_apply_pending(7, 1, 1.0, vec![(9, vec![1.0; 4])]);
+        b.tick(vec![retry], 0);
+        assert!(matches!(
+            r2.try_recv().unwrap(),
+            Response::Applied { id: 1 }
+        ));
+
+        let after = table.get_one(9).unwrap();
+        assert!(
+            (after[0] - (before[0] - 1.0)).abs() < 1e-6,
+            "gradient applied exactly once across the retry"
+        );
+        assert_eq!(metrics.snapshot().serve_deduped, 1);
+        // The durable marker rode the fused batch.
+        let marker = table
+            .store()
+            .multi_get(&[b.dedup.slot_key(7)])
+            .pop()
+            .unwrap()
+            .unwrap();
+        assert_eq!(crate::dedup::decode_marker(&marker), Some((7, 1)));
+    }
+
+    #[test]
+    fn in_run_duplicate_applies_once_but_acks_both() {
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let mut b = batcher(&table, &queue);
+        let before = table.get_one(3).unwrap();
+        let (a, r1) = session_apply_pending(5, 2, 1.0, vec![(3, vec![1.0; 4])]);
+        let (dup, r2) = session_apply_pending(5, 2, 1.0, vec![(3, vec![1.0; 4])]);
+        b.tick(vec![a, dup], 0);
+        assert!(matches!(
+            r1.try_recv().unwrap(),
+            Response::Applied { id: 2 }
+        ));
+        assert!(matches!(
+            r2.try_recv().unwrap(),
+            Response::Applied { id: 2 }
+        ));
+        let after = table.get_one(3).unwrap();
+        assert!((after[0] - (before[0] - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degraded_server_rejects_writes_serves_reads_and_recovers_by_probe() {
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let mut b = batcher(&table, &queue);
+        b.health
+            .on_write_error(&StorageError::Io(std::io::Error::other("injected")));
+
+        // In-memory store: the probe at the next tick heals immediately, so
+        // pin the state by checking the rejection path via a direct run (no
+        // probe) first.
+        let (a, arx) = session_apply_pending(1, 1, 1.0, vec![(2, vec![1.0; 4])]);
+        b.execute_apply_run(vec![a]);
+        match arx.try_recv().unwrap() {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, ErrorCode::Unavailable);
+                assert!(message.contains("retry after 25ms"), "{message}");
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+
+        // Gathers keep flowing while degraded.
+        let (g, grx) = gather_pending(2, vec![2]);
+        b.execute_run(vec![g]);
+        assert!(matches!(grx.try_recv().unwrap(), Response::Rows { .. }));
+
+        // A tick probes and (store is healthy) returns to Serving.
+        let (a2, a2rx) = session_apply_pending(1, 2, 1.0, vec![(2, vec![1.0; 4])]);
+        b.tick(vec![a2], 0);
+        assert!(matches!(
+            a2rx.try_recv().unwrap(),
+            Response::Applied { id: 2 }
+        ));
+        assert_eq!(b.health.state(), HealthState::Serving);
+        let snap = table.store().metrics().snapshot();
+        assert_eq!(snap.health_degraded, 1);
+        assert_eq!(snap.health_recovered, 1);
     }
 
     #[test]

@@ -26,6 +26,8 @@ fn usage() -> ! {
          \x20                 [--dir PATH] [--staleness-bound N] [--seed N]\n\
          \x20                 [--queue-capacity N] [--window-init N] [--window-max N]\n\
          \x20                 [--window-wait-us N] [--no-adaptive]\n\
+         \x20                 [--dedup-slots N] [--probe-interval-ms N]\n\
+         \x20                 [--retry-after-ms N]\n\
          backends: {}",
         BackendKind::ALL
             .iter()
@@ -59,6 +61,9 @@ fn main() -> ExitCode {
     let mut window_max: Option<usize> = None;
     let mut window_wait_us: Option<u64> = None;
     let mut adaptive = true;
+    let mut dedup_slots: Option<usize> = None;
+    let mut probe_interval_ms: Option<u64> = None;
+    let mut retry_after_ms: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -96,6 +101,13 @@ fn main() -> ExitCode {
                 window_wait_us = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--no-adaptive" => adaptive = false,
+            "--dedup-slots" => dedup_slots = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--probe-interval-ms" => {
+                probe_interval_ms = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--retry-after-ms" => {
+                retry_after_ms = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -131,6 +143,15 @@ fn main() -> ExitCode {
     }
     if let Some(us) = window_wait_us {
         builder = builder.window_wait(Duration::from_micros(us));
+    }
+    if let Some(n) = dedup_slots {
+        builder = builder.dedup_slots(n);
+    }
+    if let Some(ms) = probe_interval_ms {
+        builder = builder.probe_interval(Duration::from_millis(ms));
+    }
+    if let Some(ms) = retry_after_ms {
+        builder = builder.unavailable_retry_after_ms(ms);
     }
 
     let handle = match builder.serve(&addr) {

@@ -1,0 +1,362 @@
+//! Deterministic connection chaos: a TCP proxy that severs and delays
+//! traffic at scripted points.
+//!
+//! Time-based fault injection makes flaky tests; like the storage layer's
+//! `CrashClock` (which kills by *sync ordinal*), [`ChaosProxy`] scripts
+//! faults by **chunk ordinal** — a global counter of ≤1 KiB forwarding
+//! chunks across both directions of every proxied connection. The same
+//! script against the same workload severs at the same byte positions every
+//! run, including *mid-frame* (half a chunk forwarded, then the connection
+//! is torn down both ways), which is exactly the case a length-prefixed
+//! protocol and a retrying client must survive.
+//!
+//! Compose it with the storage fault devices for end-to-end sweeps: the
+//! proxy breaks the wire while `FailingDevice` / `CrashDevice` break the
+//! store underneath the server.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Forwarding chunk size; one ordinal per chunk.
+const CHUNK: usize = 1024;
+
+/// What the proxy does to the traffic. Ordinals are global across both
+/// directions and all connections, 1-based, in forwarding order.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosScript {
+    kill_points: Vec<u64>,
+    mid_frame: bool,
+    delay: Duration,
+}
+
+impl ChaosScript {
+    /// Forward everything untouched.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sever the connection carrying the `points`-th chunks (1-based global
+    /// chunk ordinals).
+    pub fn sever_at(points: Vec<u64>) -> Self {
+        Self {
+            kill_points: points,
+            ..Self::default()
+        }
+    }
+
+    /// `faults` kill points with deterministic pseudo-random gaps in
+    /// `[min_gap, max_gap]` chunks, derived from `seed`.
+    pub fn seeded(seed: u64, faults: usize, min_gap: u64, max_gap: u64) -> Self {
+        let min_gap = min_gap.max(1);
+        let max_gap = max_gap.max(min_gap);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut points = Vec::with_capacity(faults);
+        let mut at = 0u64;
+        for _ in 0..faults {
+            at += min_gap + next() % (max_gap - min_gap + 1);
+            points.push(at);
+        }
+        Self {
+            kill_points: points,
+            ..Self::default()
+        }
+    }
+
+    /// Sever *inside* the fatal chunk: forward half of it, then kill — the
+    /// peer observes a torn frame, not a clean boundary.
+    pub fn mid_frame(mut self, on: bool) -> Self {
+        self.mid_frame = on;
+        self
+    }
+
+    /// Sleep this long before forwarding every chunk (models a slow or
+    /// congested link; stacks deadline pressure on the client).
+    pub fn delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    chunks: AtomicU64,
+    severed: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// A scripted man-in-the-middle between clients and one upstream server.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Listen on an ephemeral local port and forward every connection to
+    /// `upstream` under `script`.
+    pub fn spawn(upstream: SocketAddr, script: ChaosScript) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let script = Arc::new(script);
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_counters = Arc::clone(&counters);
+        let accept = thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || {
+                for inbound in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = inbound else { continue };
+                    let Ok(server) = TcpStream::connect(upstream) else {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let _ = client.set_nodelay(true);
+                    let _ = server.set_nodelay(true);
+                    spawn_pumps(
+                        client,
+                        server,
+                        Arc::clone(&script),
+                        Arc::clone(&accept_counters),
+                    );
+                }
+            })?;
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            counters,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Chunks forwarded so far (the ordinal clock).
+    pub fn chunks(&self) -> u64 {
+        self.counters.chunks.load(Ordering::SeqCst)
+    }
+
+    /// Connections severed by the script.
+    pub fn severed(&self) -> u64 {
+        self.counters.severed.load(Ordering::SeqCst)
+    }
+
+    /// Chunks that were delayed before forwarding.
+    pub fn delayed(&self) -> u64 {
+        self.counters.delayed.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting and join the accept thread. Live pump threads die with
+    /// their sockets.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Both directions of one proxied connection, each on its own thread.
+fn spawn_pumps(
+    client: TcpStream,
+    server: TcpStream,
+    script: Arc<ChaosScript>,
+    counters: Arc<Counters>,
+) {
+    let pair = |from: &TcpStream, to: &TcpStream| -> Option<(TcpStream, TcpStream)> {
+        Some((from.try_clone().ok()?, to.try_clone().ok()?))
+    };
+    let Some(up) = pair(&client, &server) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    let Some(down) = pair(&server, &client) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    for (name, (from, to)) in [("chaos-up", up), ("chaos-down", down)] {
+        let script = Arc::clone(&script);
+        let counters = Arc::clone(&counters);
+        let both = (client.try_clone().ok(), server.try_clone().ok());
+        let _ = thread::Builder::new()
+            .name(name.into())
+            .spawn(move || pump(from, to, &script, &counters, both));
+    }
+}
+
+/// Copy chunks from `from` to `to`, consulting the script at each global
+/// ordinal. On a kill point: optionally forward half the chunk, then tear
+/// down both sides of the proxied connection.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    script: &ChaosScript,
+    counters: &Counters,
+    both: (Option<TcpStream>, Option<TcpStream>),
+) {
+    let mut buf = [0u8; CHUNK];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let ordinal = counters.chunks.fetch_add(1, Ordering::SeqCst) + 1;
+        if !script.delay.is_zero() {
+            counters.delayed.fetch_add(1, Ordering::SeqCst);
+            thread::sleep(script.delay);
+        }
+        if script.kill_points.contains(&ordinal) {
+            if script.mid_frame && n > 1 {
+                let _ = to.write_all(&buf[..n / 2]);
+                let _ = to.flush();
+            }
+            counters.severed.fetch_add(1, Ordering::SeqCst);
+            let (c, s) = &both;
+            if let Some(c) = c {
+                let _ = c.shutdown(Shutdown::Both);
+            }
+            if let Some(s) = s {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            break;
+        }
+        if to.write_all(&buf[..n]).and_then(|()| to.flush()).is_err() {
+            break;
+        }
+    }
+    // Propagate EOF so the other side's read loop unblocks.
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    /// A line-echo upstream: reads lines, echoes them back.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {
+                                if line.trim() == "quit" {
+                                    return; // leaves the listener loop alive
+                                }
+                                if writer.write_all(line.as_bytes()).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn clean_script_forwards_transparently() {
+        let (upstream, _h) = echo_server();
+        let mut proxy = ChaosProxy::spawn(upstream, ChaosScript::none()).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for i in 0..5 {
+            writeln!(writer, "hello {i}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), format!("hello {i}"));
+        }
+        assert!(proxy.chunks() >= 10, "both directions count chunks");
+        assert_eq!(proxy.severed(), 0);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn scripted_kill_point_severs_the_connection() {
+        let (upstream, _h) = echo_server();
+        // Chunks: 1 = request "first", 2 = its echo, 3 = request "second",
+        // 4 = its echo — killed.
+        let mut proxy = ChaosProxy::spawn(upstream, ChaosScript::sever_at(vec![4])).unwrap();
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writeln!(writer, "first").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "first");
+        writeln!(writer, "second").unwrap();
+        line.clear();
+        // The echo of "second" is chunk 2: severed, so we see EOF or reset.
+        let got = reader.read_line(&mut line);
+        assert!(
+            matches!(got, Ok(0) | Err(_)),
+            "expected severed connection, got {line:?}"
+        );
+        assert_eq!(proxy.severed(), 1);
+
+        // A fresh connection works again (kill point already consumed).
+        let stream = TcpStream::connect(proxy.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writeln!(writer, "after").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "after");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn seeded_scripts_are_deterministic_and_spaced() {
+        let a = ChaosScript::seeded(7, 5, 3, 9);
+        let b = ChaosScript::seeded(7, 5, 3, 9);
+        assert_eq!(a.kill_points, b.kill_points);
+        let c = ChaosScript::seeded(8, 5, 3, 9);
+        assert_ne!(a.kill_points, c.kill_points, "seed changes the script");
+        let mut prev = 0;
+        for &p in &a.kill_points {
+            assert!(p - prev >= 3 && p - prev <= 9);
+            prev = p;
+        }
+    }
+}

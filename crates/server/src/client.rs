@@ -1,48 +1,193 @@
-//! Blocking client for the MLKV serving protocol.
+//! Blocking client for the MLKV serving protocol, with deadline budgets and
+//! idempotent retries.
 //!
 //! One request in flight at a time per connection; the server echoes the
 //! request id, which the client checks. Server-side rejections come back as
 //! the same typed [`StorageError`] variants the server raised, so callers
 //! handle a loopback server exactly like an embedded table.
+//!
+//! ## Fault tolerance
+//!
+//! [`ClientOptions`] turns the client into a retrying one:
+//!
+//! * the per-request deadline is a **budget**: socket connect/read/write
+//!   timeouts are derived from what is left of it, every retry sleeps no
+//!   longer than the remainder, and exhaustion surfaces as the same
+//!   [`StorageError::DeadlineExceeded`] the server would raise;
+//! * **retryable** failures — connection drops (reset/aborted/broken
+//!   pipe/EOF mid-response), refused reconnects, [`StorageError::Overloaded`]
+//!   and [`StorageError::Unavailable`] — are retried up to
+//!   [`ClientOptions::max_retries`] times with capped exponential backoff and
+//!   deterministic jitter, reconnecting as needed. An `Unavailable` carries
+//!   the server's `retry_after` hint, which floors the backoff. Everything
+//!   else (invalid arguments, corruption, shutdown) is terminal;
+//! * a non-zero [`ClientOptions::session_id`] makes retried mutations
+//!   **idempotent**: the request id is preserved across attempts and the
+//!   server deduplicates on `(session_id, id)`, so a retry whose original
+//!   attempt was applied-but-unacknowledged is acknowledged, not re-applied.
 
 use std::io::{self, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use mlkv_storage::{StorageError, StorageResult};
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::protocol::{decode_error, read_frame, write_frame, Request, Response};
+
+/// Retry, timeout, and idempotency knobs for [`Client::connect_with`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Cap on each (re)connect attempt (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Default per-request deadline budget when the call site passes `None`.
+    pub request_timeout: Option<Duration>,
+    /// Retries after the first attempt (0 = fail fast, the old behaviour).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_initial: Duration,
+    /// Upper clamp for the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Idempotency session (`0` = none): mutations carry it so server-side
+    /// dedup makes retries exactly-once.
+    pub session_id: u64,
+    /// First request id; ids increase from here (must be ≥ 1).
+    pub first_request_id: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(5)),
+            request_timeout: None,
+            max_retries: 0,
+            backoff_initial: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(200),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            session_id: 0,
+            first_request_id: 1,
+        }
+    }
+}
+
+impl ClientOptions {
+    /// A retrying, idempotent configuration: `session_id` for exactly-once
+    /// mutations and `max_retries` attempts over dropped connections.
+    pub fn retrying(session_id: u64, max_retries: u32) -> Self {
+        Self {
+            session_id,
+            max_retries,
+            ..Self::default()
+        }
+    }
+
+    /// Defaults with the `MLKV_RETRY_MAX` / `MLKV_RETRY_BACKOFF_MS` /
+    /// `MLKV_RETRY_BACKOFF_CAP_MS` environment knobs applied (see
+    /// [`mlkv_storage::FaultTuning`]), so a deployment can turn on retries
+    /// without a code change. The idempotency session stays `0` — sessions
+    /// are per-client identities, not deployment tuning.
+    pub fn from_env() -> Self {
+        let tuning = mlkv_storage::FaultTuning::from_env();
+        Self {
+            max_retries: tuning.retry_max,
+            backoff_initial: Duration::from_millis(tuning.retry_backoff_ms),
+            backoff_cap: Duration::from_millis(tuning.retry_backoff_cap_ms),
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters a test (or an operator log line) can read back after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Request attempts, including first tries.
+    pub attempts: u64,
+    /// Attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Connections (re-)established after the initial connect.
+    pub reconnects: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
 
 /// A blocking connection to an `mlkv-server`.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    addrs: Vec<SocketAddr>,
+    conn: Option<Conn>,
+    opts: ClientOptions,
     next_id: u64,
+    stats: ClientStats,
+    rng: u64,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect with default options (no retries, no session).
     pub fn connect(addr: impl ToSocketAddrs) -> StorageResult<Self> {
-        let stream = TcpStream::connect(addr).map_err(StorageError::Io)?;
-        stream.set_nodelay(true).map_err(StorageError::Io)?;
-        let reader = BufReader::new(stream.try_clone().map_err(StorageError::Io)?);
-        Ok(Self {
-            reader,
-            writer: stream,
-            next_id: 1,
-        })
+        Self::connect_with(addr, ClientOptions::default())
     }
 
-    fn roundtrip(&mut self, request: &Request) -> StorageResult<Response> {
-        let body = request.encode();
-        write_frame(&mut self.writer, &body).map_err(StorageError::Io)?;
-        self.writer.flush().map_err(StorageError::Io)?;
-        match read_frame(&mut self.reader).map_err(StorageError::Io)? {
-            Some(body) => Response::decode(&body).map_err(|e| {
-                StorageError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-            }),
-            None => Err(StorageError::Closed),
+    /// Connect with explicit retry/timeout/idempotency options.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: ClientOptions) -> StorageResult<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(StorageError::Io)?.collect();
+        if addrs.is_empty() {
+            return Err(StorageError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
         }
+        let next_id = opts.first_request_id.max(1);
+        let rng = opts.jitter_seed | 1;
+        let mut client = Self {
+            addrs,
+            conn: None,
+            opts,
+            next_id,
+            stats: ClientStats::default(),
+            rng,
+        };
+        client.conn = Some(client.open_conn()?);
+        Ok(client)
+    }
+
+    /// The idempotency session this client stamps on mutations (0 = none).
+    pub fn session_id(&self) -> u64 {
+        self.opts.session_id
+    }
+
+    /// The id the next request will use.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Attempt/retry/reconnect counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    fn open_conn(&self) -> StorageResult<Conn> {
+        let mut last = io::Error::other("no address to connect to");
+        for addr in &self.addrs {
+            let attempt = match self.opts.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(addr, t),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true).map_err(StorageError::Io)?;
+                    let reader = BufReader::new(stream.try_clone().map_err(StorageError::Io)?);
+                    return Ok(Conn {
+                        reader,
+                        writer: stream,
+                    });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(StorageError::Io(last))
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -51,28 +196,122 @@ impl Client {
         id
     }
 
+    /// One attempt over the current (or a fresh) connection. Transport
+    /// failures tear the connection down so the next attempt reconnects;
+    /// typed server errors keep it.
+    fn attempt(
+        &mut self,
+        request: &Request,
+        remaining: Option<Duration>,
+    ) -> StorageResult<Response> {
+        if self.conn.is_none() {
+            let conn = self.open_conn()?;
+            self.conn = Some(conn);
+            self.stats.reconnects += 1;
+        }
+        let result = (|| -> io::Result<Option<Vec<u8>>> {
+            let conn = self.conn.as_mut().expect("connection just ensured");
+            conn.writer.set_write_timeout(remaining)?;
+            conn.reader.get_ref().set_read_timeout(remaining)?;
+            write_frame(&mut conn.writer, &request.encode())?;
+            conn.writer.flush()?;
+            read_frame(&mut conn.reader)
+        })();
+        match result {
+            Ok(Some(body)) => Response::decode(&body).map_err(|e| {
+                // A frame that decodes wrong means the stream is unusable.
+                self.conn = None;
+                StorageError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }),
+            Ok(None) => {
+                // Clean EOF where a response was owed: the connection died
+                // (server crash, proxy sever) — retryable transport loss.
+                self.conn = None;
+                Err(StorageError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response",
+                )))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(StorageError::Io(e))
+            }
+        }
+    }
+
+    /// Run one logical request to completion under the deadline budget,
+    /// retrying retryable failures. The request is rebuilt each attempt so
+    /// its wire deadline reflects the remaining budget; its id never changes.
+    fn call(
+        &mut self,
+        deadline: Option<Duration>,
+        build: &dyn Fn(u64) -> Request,
+    ) -> StorageResult<Response> {
+        let deadline = deadline.or(self.opts.request_timeout);
+        let deadline_us = deadline_to_us(deadline);
+        let deadline_at = deadline.map(|d| Instant::now() + d);
+        let mut backoff = self.opts.backoff_initial.max(Duration::from_micros(1));
+        let mut attempts_left = self.opts.max_retries;
+        loop {
+            let remaining = match deadline_at {
+                Some(at) => match at.checked_duration_since(Instant::now()) {
+                    Some(r) if !r.is_zero() => Some(r),
+                    _ => return Err(StorageError::DeadlineExceeded { deadline_us }),
+                },
+                None => None,
+            };
+            self.stats.attempts += 1;
+            let request = build(remaining.map_or(0, deadline_to_some_us));
+            let err = match self.attempt(&request, remaining) {
+                Ok(response) => return Ok(response),
+                Err(err) => err,
+            };
+            if attempts_left == 0 || !is_retryable(&err) {
+                return Err(surface_timeout(err, deadline_us));
+            }
+            attempts_left -= 1;
+            self.stats.retries += 1;
+            // An Unavailable hint floors the backoff; the remaining budget
+            // caps the sleep so retries never outlive the deadline.
+            let hint = match &err {
+                StorageError::Unavailable { retry_after_ms } => {
+                    Duration::from_millis(*retry_after_ms)
+                }
+                _ => Duration::ZERO,
+            };
+            let mut sleep = jitter(backoff.max(hint), &mut self.rng);
+            if let Some(at) = deadline_at {
+                sleep = sleep.min(at.saturating_duration_since(Instant::now()));
+            }
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+            backoff = (backoff * 2).min(self.opts.backoff_cap.max(backoff));
+        }
+    }
+
     /// Round-trip a ping.
     pub fn ping(&mut self) -> StorageResult<()> {
-        match self.roundtrip(&Request::Ping)? {
+        match self.call(None, &|_| Request::Ping)? {
             Response::Pong => Ok(()),
             other => Err(unexpected(&other)),
         }
     }
 
     /// Fetch embeddings for `keys`, optionally bounded by `deadline` (the
-    /// server rejects work it cannot start within the budget).
+    /// budget covers retries, queueing, and the fused storage call).
     pub fn gather(
         &mut self,
         keys: &[u64],
         deadline: Option<Duration>,
     ) -> StorageResult<Vec<Vec<f32>>> {
         let id = self.fresh_id();
-        let request = Request::Gather {
+        let keys = keys.to_vec();
+        match self.call(deadline, &move |deadline_us| Request::Gather {
             id,
-            deadline_us: deadline_to_us(deadline),
-            keys: keys.to_vec(),
-        };
-        match self.roundtrip(&request)? {
+            deadline_us,
+            keys: keys.clone(),
+        })? {
             Response::Rows { id: got, rows, .. } if got == id => Ok(rows),
             Response::Error {
                 id: got,
@@ -90,16 +329,33 @@ impl Client {
         lr: f32,
         deadline: Option<Duration>,
     ) -> StorageResult<()> {
-        let dim = updates.first().map_or(0, |(_, g)| g.len()) as u32;
         let id = self.fresh_id();
-        let request = Request::Apply {
+        self.apply_with_id(id, updates, lr, deadline)
+    }
+
+    /// Apply gradients under an explicit request id — the replay half of the
+    /// idempotency contract: after a reconnect (even to a restarted server),
+    /// re-issuing an unacknowledged mutation with its *original* id lets the
+    /// server dedup it against the durable marker.
+    pub fn apply_with_id(
+        &mut self,
+        id: u64,
+        updates: &[(u64, Vec<f32>)],
+        lr: f32,
+        deadline: Option<Duration>,
+    ) -> StorageResult<()> {
+        self.next_id = self.next_id.max(id + 1);
+        let dim = updates.first().map_or(0, |(_, g)| g.len()) as u32;
+        let session_id = self.opts.session_id;
+        let updates = updates.to_vec();
+        match self.call(deadline, &move |deadline_us| Request::Apply {
             id,
-            deadline_us: deadline_to_us(deadline),
+            session_id,
+            deadline_us,
             lr,
             dim,
-            updates: updates.to_vec(),
-        };
-        match self.roundtrip(&request)? {
+            updates: updates.clone(),
+        })? {
             Response::Applied { id: got } if got == id => Ok(()),
             Response::Error {
                 id: got,
@@ -111,9 +367,9 @@ impl Client {
     }
 
     /// Ask the server to shut down gracefully (drain + flush). The server
-    /// acknowledges before it starts draining.
+    /// acknowledges before it starts draining. Never retried.
     pub fn shutdown_server(&mut self) -> StorageResult<()> {
-        match self.roundtrip(&Request::Shutdown)? {
+        match self.attempt(&Request::Shutdown, self.opts.request_timeout)? {
             Response::ShutdownStarted => Ok(()),
             other => Err(unexpected(&other)),
         }
@@ -121,36 +377,62 @@ impl Client {
 }
 
 fn deadline_to_us(deadline: Option<Duration>) -> u64 {
-    deadline.map_or(0, |d| d.as_micros().clamp(1, u64::MAX as u128) as u64)
+    deadline.map_or(0, deadline_to_some_us)
 }
 
-/// Map a wire error code back onto the typed storage error the server raised.
-fn decode_error(code: ErrorCode, message: &str) -> StorageError {
-    match code {
-        ErrorCode::DeadlineExceeded => StorageError::DeadlineExceeded {
-            deadline_us: parse_first_uint(message).unwrap_or(0),
-        },
-        ErrorCode::Overloaded => {
-            let mut nums = uints(message);
-            StorageError::Overloaded {
-                depth: nums.next().unwrap_or(0) as usize,
-                capacity: nums.next().unwrap_or(0) as usize,
-            }
-        }
-        ErrorCode::Malformed => StorageError::InvalidArgument(format!("server: {message}")),
-        ErrorCode::ShuttingDown => StorageError::Closed,
-        ErrorCode::Storage => StorageError::Io(io::Error::other(format!("server: {message}"))),
+fn deadline_to_some_us(d: Duration) -> u64 {
+    d.as_micros().clamp(1, u64::MAX as u128) as u64
+}
+
+/// Failures worth retrying: typed back-pressure from the server, and
+/// transport-level connection loss (including refused reconnects while a
+/// server restarts). Semantic failures are terminal.
+fn is_retryable(err: &StorageError) -> bool {
+    match err {
+        StorageError::Overloaded { .. } | StorageError::Unavailable { .. } => true,
+        StorageError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::NotConnected
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::WouldBlock
+        ),
+        _ => false,
     }
 }
 
-fn uints(s: &str) -> impl Iterator<Item = u64> + '_ {
-    s.split(|c: char| !c.is_ascii_digit())
-        .filter(|t| !t.is_empty())
-        .filter_map(|t| t.parse().ok())
+/// A socket timeout is the deadline budget running out mid-I/O; surface it as
+/// the typed deadline error rather than a raw I/O failure.
+fn surface_timeout(err: StorageError, deadline_us: u64) -> StorageError {
+    match &err {
+        StorageError::Io(e)
+            if deadline_us > 0
+                && matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+        {
+            StorageError::DeadlineExceeded { deadline_us }
+        }
+        _ => err,
+    }
 }
 
-fn parse_first_uint(s: &str) -> Option<u64> {
-    uints(s).next()
+/// Deterministic jitter: scale `base` by a splitmix-derived factor in
+/// `[0.5, 1.0)`, so concurrent retriers spread out without randomness that
+/// would break reproducible tests.
+fn jitter(base: Duration, rng: &mut u64) -> Duration {
+    *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *rng;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let factor = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+    base.mul_f64(factor)
 }
 
 fn unexpected(response: &Response) -> StorageError {
@@ -158,4 +440,60 @@ fn unexpected(response: &Response) -> StorageError {
         io::ErrorKind::InvalidData,
         format!("unexpected response: {response:?}"),
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(is_retryable(&StorageError::Overloaded {
+            depth: 1,
+            capacity: 1
+        }));
+        assert!(is_retryable(&StorageError::Unavailable {
+            retry_after_ms: 9
+        }));
+        assert!(is_retryable(&StorageError::Io(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "x"
+        ))));
+        assert!(!is_retryable(&StorageError::Closed));
+        assert!(!is_retryable(&StorageError::InvalidArgument("x".into())));
+        assert!(!is_retryable(&StorageError::Corruption("x".into())));
+        assert!(!is_retryable(&StorageError::Io(io::Error::other("x"))));
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full_base() {
+        let mut rng = 1u64;
+        let base = Duration::from_millis(100);
+        for _ in 0..1000 {
+            let j = jitter(base, &mut rng);
+            assert!(j >= base / 2 && j < base, "{j:?}");
+        }
+        // Deterministic: the same seed replays the same sequence.
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..10 {
+            assert_eq!(jitter(base, &mut a), jitter(base, &mut b));
+        }
+    }
+
+    #[test]
+    fn socket_timeouts_surface_as_deadline_exceeded() {
+        let timed_out = StorageError::Io(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        assert!(matches!(
+            surface_timeout(timed_out, 500),
+            StorageError::DeadlineExceeded { deadline_us: 500 }
+        ));
+        let reset = StorageError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "r"));
+        assert!(matches!(surface_timeout(reset, 500), StorageError::Io(_)));
+        let no_deadline = StorageError::Io(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        assert!(
+            matches!(surface_timeout(no_deadline, 0), StorageError::Io(_)),
+            "without a budget a timeout stays an I/O error"
+        );
+    }
 }

@@ -1,0 +1,198 @@
+//! Exactly-once bookkeeping for mutating requests: the per-session dedup
+//! window and its durable store-resident markers.
+//!
+//! A client that retries an `apply_gradients` after a lost acknowledgement
+//! must not have the gradient applied twice. The server keeps two records of
+//! "the highest request id acknowledged per session":
+//!
+//! * an **in-memory window** ([`DedupWindow`]) the batcher consults on every
+//!   mutation — a fixed-size direct-mapped table, one slot per
+//!   `session_id % slots`;
+//! * a **durable marker** per slot, written as an ordinary store record at a
+//!   reserved key *in the same fused `multi_rmw` batch* as the gradients it
+//!   acknowledges. Engine batch atomicity (one WAL group append, one journal
+//!   commit group) then guarantees the marker is durable iff the gradients
+//!   are — across crash and recovery, not just process lifetime.
+//!
+//! On `serve()` the window is rebuilt from the markers
+//! ([`DedupWindow::recover`]), so a retry that lands on a restarted server is
+//! still acknowledged from the window instead of re-applied.
+//!
+//! Reserved keys live at the very top of the key space
+//! ([`RESERVED_KEY_BASE`]`..=u64::MAX`); the server rejects client requests
+//! that touch them, so markers can never collide with embedding rows.
+
+use std::sync::Mutex;
+
+use mlkv_storage::KvStore;
+
+/// First key of the reserved range. Everything at or above this is server
+/// metadata (dedup markers, health probes), never an embedding row.
+pub const RESERVED_KEY_BASE: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// Key the health probe writes through the full WAL/commit path to test
+/// whether a degraded store has recovered.
+pub const PROBE_KEY: u64 = u64::MAX;
+
+/// True when `key` falls in the server-reserved metadata range.
+pub fn is_reserved_key(key: u64) -> bool {
+    key >= RESERVED_KEY_BASE
+}
+
+/// Fixed-size direct-mapped window of `(session_id, last acked request id)`
+/// pairs. Two sessions hashing to the same slot evict each other — safe,
+/// because eviction only *loses* dedup information, degrading a retry to a
+/// re-apply of work the evicting session already superseded in the durable
+/// marker; it never acknowledges work that did not happen.
+pub struct DedupWindow {
+    slots: Mutex<Vec<Option<(u64, u64)>>>,
+}
+
+impl DedupWindow {
+    /// A window with `slots` entries (clamped ≥ 1).
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots: Mutex::new(vec![None; slots.max(1)]),
+        }
+    }
+
+    /// Number of slots (= number of reserved marker keys in use).
+    pub fn slot_count(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The reserved store key holding the durable marker for `session_id`.
+    pub fn slot_key(&self, session_id: u64) -> u64 {
+        RESERVED_KEY_BASE + session_id % self.slot_count() as u64
+    }
+
+    /// True when `(session_id, request_id)` was already acknowledged: the
+    /// session owns its slot and acked an id ≥ `request_id` (ids are unique
+    /// and increasing per session, so ≤ the high-water mark means "seen").
+    pub fn already_acked(&self, session_id: u64, request_id: u64) -> bool {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = (session_id % slots.len() as u64) as usize;
+        matches!(slots[idx], Some((s, last)) if s == session_id && request_id <= last)
+    }
+
+    /// Record an acknowledgement. Keeps the high-water mark for the owning
+    /// session; a different session taking the slot overwrites (eviction).
+    pub fn record(&self, session_id: u64, request_id: u64) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = (session_id % slots.len() as u64) as usize;
+        slots[idx] = match slots[idx] {
+            Some((s, last)) if s == session_id => Some((s, last.max(request_id))),
+            _ => Some((session_id, request_id)),
+        };
+    }
+
+    /// The durable marker for an acknowledgement, as a `(key, value)` pair to
+    /// ride in the same fused batch as the gradients it covers.
+    pub fn marker_tag(&self, session_id: u64, request_id: u64) -> (u64, Vec<u8>) {
+        (
+            self.slot_key(session_id),
+            encode_marker(session_id, request_id),
+        )
+    }
+
+    /// Rebuild the window from the durable markers (one `multi_get` over the
+    /// reserved slot keys). Missing keys are empty slots; undecodable values
+    /// are ignored rather than trusted. Returns how many slots were restored.
+    pub fn recover(&self, store: &dyn KvStore) -> usize {
+        let slot_count = self.slot_count();
+        let keys: Vec<u64> = (0..slot_count as u64)
+            .map(|i| RESERVED_KEY_BASE + i)
+            .collect();
+        let mut restored = 0;
+        let results = store.multi_get(&keys);
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        for (idx, result) in results.into_iter().enumerate() {
+            if let Ok(value) = result {
+                if let Some((session_id, request_id)) = decode_marker(&value) {
+                    slots[idx] = Some((session_id, request_id));
+                    restored += 1;
+                }
+            }
+        }
+        restored
+    }
+}
+
+/// 16-byte marker value: `session_id` LE ‖ `request_id` LE.
+pub fn encode_marker(session_id: u64, request_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&session_id.to_le_bytes());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out
+}
+
+/// Decode a marker value; `None` when it is not a 16-byte marker.
+pub fn decode_marker(value: &[u8]) -> Option<(u64, u64)> {
+    if value.len() != 16 {
+        return None;
+    }
+    let session_id = u64::from_le_bytes(value[..8].try_into().ok()?);
+    let request_id = u64::from_le_bytes(value[8..].try_into().ok()?);
+    Some((session_id, request_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_storage::MemStore;
+
+    #[test]
+    fn reserved_range_starts_where_documented() {
+        assert!(!is_reserved_key(RESERVED_KEY_BASE - 1));
+        assert!(is_reserved_key(RESERVED_KEY_BASE));
+        assert!(is_reserved_key(PROBE_KEY));
+    }
+
+    #[test]
+    fn window_tracks_high_water_mark_per_session() {
+        let w = DedupWindow::new(8);
+        assert!(!w.already_acked(3, 1));
+        w.record(3, 5);
+        assert!(w.already_acked(3, 5));
+        assert!(w.already_acked(3, 4), "ids below the mark are acked");
+        assert!(!w.already_acked(3, 6));
+        w.record(3, 2);
+        assert!(w.already_acked(3, 5), "stale record cannot lower the mark");
+    }
+
+    #[test]
+    fn colliding_session_evicts_but_never_falsely_acks() {
+        let w = DedupWindow::new(4);
+        // 1 and 5 share slot 1 (mod 4).
+        w.record(1, 10);
+        w.record(5, 3);
+        assert!(!w.already_acked(1, 10), "evicted session is forgotten");
+        assert!(w.already_acked(5, 3));
+    }
+
+    #[test]
+    fn marker_roundtrip_and_rejects_foreign_values() {
+        let m = encode_marker(7, 42);
+        assert_eq!(m.len(), 16);
+        assert_eq!(decode_marker(&m), Some((7, 42)));
+        assert_eq!(decode_marker(&m[..15]), None);
+        assert_eq!(decode_marker(&[0u8; 17]), None);
+    }
+
+    #[test]
+    fn recover_rebuilds_window_from_store_markers() {
+        let store = MemStore::new();
+        let w = DedupWindow::new(4);
+        let (k, v) = w.marker_tag(6, 9);
+        assert_eq!(k, RESERVED_KEY_BASE + 2);
+        store.put(k, &v).unwrap();
+        // A non-marker value in another reserved slot must be skipped.
+        store.put(RESERVED_KEY_BASE, b"not a marker").unwrap();
+
+        let fresh = DedupWindow::new(4);
+        assert_eq!(fresh.recover(&store), 1);
+        assert!(fresh.already_acked(6, 9));
+        assert!(fresh.already_acked(6, 8));
+        assert!(!fresh.already_acked(6, 10));
+    }
+}

@@ -1,0 +1,265 @@
+//! Health-aware degradation: the server's `Serving → Degraded → Serving`
+//! state machine (with a terminal `Draining` for shutdown).
+//!
+//! A write-path storage fault (device I/O error, corruption, failed
+//! checkpoint) does not have to take the whole server down: gathers can keep
+//! being answered from live state while mutations are refused with the
+//! retryable [`StorageError::Unavailable`], carrying a `retry_after` hint for
+//! the client's backoff. The batcher drives the machine:
+//!
+//! * a failed fused apply (or end-of-run flush) whose error
+//!   [`is_write_fault`] flips the state to [`HealthState::Degraded`];
+//! * while degraded, each tick first runs a **recovery probe** when one is
+//!   due: a put to the reserved [`crate::dedup::PROBE_KEY`] followed by a
+//!   table flush, exercising the real WAL-append/commit/sync path. A probe
+//!   that succeeds flips back to [`HealthState::Serving`]; one that fails
+//!   re-arms the probe timer;
+//! * shutdown sets [`HealthState::Draining`], which no probe leaves.
+//!
+//! Transitions and probe attempts are counted in `StorageMetrics`
+//! (`health_degraded`, `health_recovered`, `health_probes`) and the current
+//! state is exported as the `health_state` gauge.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mlkv::EmbeddingTable;
+use mlkv_storage::{StorageError, StorageMetrics};
+
+use crate::dedup::PROBE_KEY;
+
+/// The server's health state (the `health_state` gauge uses these values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HealthState {
+    /// Fully serving: reads and writes admitted.
+    Serving = 0,
+    /// Read-only after a write-path fault: gathers flow, mutations are
+    /// refused with [`StorageError::Unavailable`] until a probe succeeds.
+    Degraded = 1,
+    /// Shutting down; terminal.
+    Draining = 2,
+}
+
+/// True for errors that indicate the write path itself is unhealthy (as
+/// opposed to a bad request): device I/O failures, detected corruption, and
+/// failed checkpoints.
+pub fn is_write_fault(err: &StorageError) -> bool {
+    matches!(
+        err,
+        StorageError::Io(_) | StorageError::Corruption(_) | StorageError::Checkpoint(_)
+    )
+}
+
+/// Shared health machine. Cheap to read from any thread (one atomic load);
+/// transitions happen on the batcher thread.
+pub struct Health {
+    state: AtomicU8,
+    retry_after_ms: u64,
+    probe_interval: Duration,
+    /// When the last probe ran (`None` = never, so the first is always due).
+    last_probe: Mutex<Option<Instant>>,
+    probe_counter: AtomicU64,
+    metrics: Arc<StorageMetrics>,
+}
+
+impl Health {
+    /// A health machine starting at [`HealthState::Serving`].
+    ///
+    /// `retry_after_ms` is the backoff hint carried in `Unavailable` errors;
+    /// `probe_interval` spaces recovery probes (zero = probe every tick —
+    /// what deterministic tests want).
+    pub fn new(
+        retry_after_ms: u64,
+        probe_interval: Duration,
+        metrics: Arc<StorageMetrics>,
+    ) -> Self {
+        metrics.set_health_state(HealthState::Serving as u64);
+        Self {
+            state: AtomicU8::new(HealthState::Serving as u8),
+            retry_after_ms,
+            probe_interval,
+            last_probe: Mutex::new(None),
+            probe_counter: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        match self.state.load(Ordering::SeqCst) {
+            0 => HealthState::Serving,
+            1 => HealthState::Degraded,
+            _ => HealthState::Draining,
+        }
+    }
+
+    /// The typed error mutations receive while degraded.
+    pub fn unavailable_error(&self) -> StorageError {
+        StorageError::Unavailable {
+            retry_after_ms: self.retry_after_ms,
+        }
+    }
+
+    /// React to a fused-write failure: a write fault degrades the server
+    /// (unless it is already draining). Returns true when this call caused
+    /// the `Serving → Degraded` transition.
+    pub fn on_write_error(&self, err: &StorageError) -> bool {
+        if !is_write_fault(err) {
+            return false;
+        }
+        let flipped = self
+            .state
+            .compare_exchange(
+                HealthState::Serving as u8,
+                HealthState::Degraded as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if flipped {
+            self.metrics.record_health_degraded();
+            self.metrics.set_health_state(HealthState::Degraded as u64);
+            // Make the next tick probe immediately: the fault just happened,
+            // and tests with interval 0 rely on probe-per-tick anyway.
+            *self.last_probe.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+        flipped
+    }
+
+    /// True when the server is degraded and the probe spacing has elapsed.
+    pub fn probe_due(&self) -> bool {
+        if self.state() != HealthState::Degraded {
+            return false;
+        }
+        let last = self.last_probe.lock().unwrap_or_else(|e| e.into_inner());
+        match *last {
+            None => true,
+            Some(at) => at.elapsed() >= self.probe_interval,
+        }
+    }
+
+    /// Run one recovery probe against `table`: write the reserved probe key
+    /// through the store's normal put path, then flush. Success proves the
+    /// WAL-append/commit/sync path works again *and* hardens everything the
+    /// degraded period acknowledged from the dedup window, so the flip back
+    /// to `Serving` never resurrects an un-durable acknowledgement. Returns
+    /// true when the probe recovered the server.
+    pub fn run_probe(&self, table: &EmbeddingTable) -> bool {
+        if self.state() != HealthState::Degraded {
+            return false;
+        }
+        *self.last_probe.lock().unwrap_or_else(|e| e.into_inner()) = Some(Instant::now());
+        self.metrics.record_health_probe();
+        let stamp = self.probe_counter.fetch_add(1, Ordering::SeqCst);
+        let probe = table
+            .store()
+            .put(PROBE_KEY, &stamp.to_le_bytes())
+            .and_then(|()| table.flush());
+        if probe.is_err() {
+            return false;
+        }
+        let recovered = self
+            .state
+            .compare_exchange(
+                HealthState::Degraded as u8,
+                HealthState::Serving as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        if recovered {
+            self.metrics.record_health_recovered();
+            self.metrics.set_health_state(HealthState::Serving as u64);
+        }
+        recovered
+    }
+
+    /// Enter the terminal draining state (shutdown).
+    pub fn set_draining(&self) {
+        self.state
+            .store(HealthState::Draining as u8, Ordering::SeqCst);
+        self.metrics.set_health_state(HealthState::Draining as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkv_storage::StoreConfig;
+
+    fn table() -> EmbeddingTable {
+        let store = mlkv::open_store(mlkv::BackendKind::InMemory, StoreConfig::default()).unwrap();
+        EmbeddingTable::builder(store)
+            .dim(4)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    fn health(metrics: Arc<StorageMetrics>) -> Health {
+        Health::new(25, Duration::ZERO, metrics)
+    }
+
+    #[test]
+    fn write_fault_degrades_and_probe_recovers() {
+        let t = table();
+        let metrics = t.store().metrics();
+        let h = health(Arc::clone(&metrics));
+        assert_eq!(h.state(), HealthState::Serving);
+        assert!(!h.probe_due(), "healthy servers do not probe");
+
+        let io_err = StorageError::Io(std::io::Error::other("injected"));
+        assert!(h.on_write_error(&io_err));
+        assert!(
+            !h.on_write_error(&io_err),
+            "second fault is not a transition"
+        );
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert!(matches!(
+            h.unavailable_error(),
+            StorageError::Unavailable { retry_after_ms: 25 }
+        ));
+
+        assert!(h.probe_due());
+        assert!(h.run_probe(&t), "healthy in-memory store recovers at once");
+        assert_eq!(h.state(), HealthState::Serving);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.health_degraded, 1);
+        assert_eq!(snap.health_recovered, 1);
+        assert_eq!(snap.health_probes, 1);
+        assert_eq!(snap.health_state, HealthState::Serving as u64);
+    }
+
+    #[test]
+    fn request_scoped_errors_do_not_degrade() {
+        let t = table();
+        let h = health(t.store().metrics());
+        for err in [
+            StorageError::KeyNotFound,
+            StorageError::InvalidArgument("bad dim".into()),
+            StorageError::Overloaded {
+                depth: 1,
+                capacity: 1,
+            },
+            StorageError::DeadlineExceeded { deadline_us: 5 },
+        ] {
+            assert!(!h.on_write_error(&err));
+        }
+        assert_eq!(h.state(), HealthState::Serving);
+    }
+
+    #[test]
+    fn draining_is_terminal() {
+        let t = table();
+        let h = health(t.store().metrics());
+        h.on_write_error(&StorageError::Io(std::io::Error::other("x")));
+        h.set_draining();
+        assert_eq!(h.state(), HealthState::Draining);
+        assert!(!h.probe_due());
+        assert!(!h.run_probe(&t), "probes never leave draining");
+        assert_eq!(h.state(), HealthState::Draining);
+    }
+}

@@ -21,16 +21,36 @@
 //!   parallelism, I/O backend, durability), with graceful shutdown that
 //!   drains admitted work and flushes through the WAL path;
 //! * [`client::Client`] — a blocking client that surfaces server rejections
-//!   as the same typed errors.
+//!   as the same typed errors, with deadline-budgeted retries, automatic
+//!   reconnect, and idempotent sessions ([`client::ClientOptions`]).
+//!
+//! The serving path is fault tolerant end to end:
+//!
+//! * [`dedup`] — exactly-once mutations: per-session dedup window plus
+//!   durable markers riding the same fused batch as the gradients they
+//!   acknowledge, recovered from the store on restart;
+//! * [`health`] — `Serving → Degraded(read-only) → Serving` degradation on
+//!   write-path faults, with probe-driven recovery and a `Draining` terminal
+//!   state for shutdown;
+//! * [`chaos`] — a deterministic chaos proxy severing and delaying
+//!   connections at scripted chunk ordinals, for crash/retry sweeps.
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
+pub mod dedup;
+pub mod health;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use batcher::{AdaptiveWindow, Batcher, BatcherConfig};
-pub use client::Client;
-pub use protocol::{ErrorCode, FrameError, Request, Response, MAX_FRAME_BYTES};
+pub use chaos::{ChaosProxy, ChaosScript};
+pub use client::{Client, ClientOptions, ClientStats};
+pub use dedup::{DedupWindow, PROBE_KEY, RESERVED_KEY_BASE};
+pub use health::{Health, HealthState};
+pub use protocol::{
+    decode_error, encode_error, ErrorCode, FrameError, Request, Response, MAX_FRAME_BYTES,
+};
 pub use queue::{AdmissionQueue, Pending, Work};
 pub use server::{ServerBuilder, ServerHandle, DEFAULT_QUEUE_CAPACITY};

@@ -14,9 +14,15 @@
 //!
 //! * `PING` — empty.
 //! * `GATHER` — `id: u64, deadline_us: u64, nkeys: u32, keys: nkeys × u64`.
-//! * `APPLY` — `id: u64, deadline_us: u64, lr: f32, dim: u32, n: u32,`
-//!   then `n × (key: u64, grad: dim × f32)`.
+//! * `APPLY` — `id: u64, session_id: u64, deadline_us: u64, lr: f32,
+//!   dim: u32, n: u32,` then `n × (key: u64, grad: dim × f32)`.
 //! * `SHUTDOWN` — empty.
+//!
+//! `session_id` identifies the client's idempotency session (`0` = none):
+//! the server remembers the highest `id` it acknowledged per session, so a
+//! retried `APPLY` that was already applied is acknowledged from that window
+//! instead of being applied twice. Within a session, request ids must be
+//! unique and increasing for mutations.
 //!
 //! `deadline_us` is the request's latency budget in microseconds measured
 //! from server receipt (`0` = no deadline). A request whose budget expires
@@ -31,6 +37,8 @@
 //! to match responses to requests across opcodes.
 
 use std::io::{self, Read, Write};
+
+use mlkv_storage::StorageError;
 
 /// Upper bound on one frame's body, guarding the length prefix against
 /// malformed (or malicious) headers: a 16 M-row gather of dimension 64 still
@@ -62,10 +70,24 @@ pub enum ErrorCode {
     /// The frame did not decode (unknown opcode, truncated payload,
     /// oversized length prefix).
     Malformed = 3,
-    /// The storage engine failed the fused batch this request rode in.
+    /// The storage engine failed the fused batch this request rode in
+    /// (an I/O-level fault; carries the engine's message).
     Storage = 4,
     /// The server is draining for shutdown and admits no new work.
     ShuttingDown = 5,
+    /// The server is temporarily read-only (degraded after a write-path
+    /// fault) but expects to recover; retry after the advertised backoff.
+    Unavailable = 6,
+    /// The requested key does not exist.
+    NotFound = 7,
+    /// The engine detected on-disk corruption executing this request.
+    Corruption = 8,
+    /// The request was semantically invalid (bad dimension, reserved key).
+    InvalidArgument = 9,
+    /// A bounded-staleness wait timed out.
+    StalenessTimeout = 10,
+    /// A checkpoint or recovery step failed.
+    CheckpointFailed = 11,
 }
 
 impl ErrorCode {
@@ -77,8 +99,93 @@ impl ErrorCode {
             3 => Some(Self::Malformed),
             4 => Some(Self::Storage),
             5 => Some(Self::ShuttingDown),
+            6 => Some(Self::Unavailable),
+            7 => Some(Self::NotFound),
+            8 => Some(Self::Corruption),
+            9 => Some(Self::InvalidArgument),
+            10 => Some(Self::StalenessTimeout),
+            11 => Some(Self::CheckpointFailed),
             _ => None,
         }
+    }
+
+    /// The wire code for a [`StorageError`] (the classification half of
+    /// [`encode_error`]).
+    pub fn for_error(err: &StorageError) -> Self {
+        match err {
+            StorageError::Io(_) => Self::Storage,
+            StorageError::KeyNotFound => Self::NotFound,
+            StorageError::Corruption(_) => Self::Corruption,
+            StorageError::InvalidArgument(_) => Self::InvalidArgument,
+            StorageError::Closed => Self::ShuttingDown,
+            StorageError::StalenessTimeout { .. } => Self::StalenessTimeout,
+            StorageError::Checkpoint(_) => Self::CheckpointFailed,
+            StorageError::DeadlineExceeded { .. } => Self::DeadlineExceeded,
+            StorageError::Overloaded { .. } => Self::Overloaded,
+            StorageError::Unavailable { .. } => Self::Unavailable,
+        }
+    }
+}
+
+/// Map a [`StorageError`] onto the wire as `(code, message)` so that
+/// [`decode_error`] on the other side reconstructs the same variant with the
+/// same payload. Every variant has a code of its own; structured payloads
+/// (deadlines, queue depths, retry hints) travel inside the message and are
+/// re-parsed on decode.
+pub fn encode_error(err: &StorageError) -> (ErrorCode, String) {
+    let message = match err {
+        // String payloads travel verbatim so decode is lossless.
+        StorageError::Corruption(msg)
+        | StorageError::InvalidArgument(msg)
+        | StorageError::Checkpoint(msg) => msg.clone(),
+        other => other.to_string(),
+    };
+    (ErrorCode::for_error(err), message)
+}
+
+/// Inverse of [`encode_error`]: rebuild the typed [`StorageError`] a server
+/// sent as `(code, message)`. Numeric payloads are parsed back out of the
+/// message; a message that lost them decodes to the variant's zero values
+/// rather than collapsing to an opaque error, so retry classification always
+/// survives the wire. [`ErrorCode::Malformed`] has no `StorageError` source
+/// (the server raises it for frames that never decoded) and comes back as
+/// [`StorageError::InvalidArgument`].
+pub fn decode_error(code: ErrorCode, message: &str) -> StorageError {
+    let uints = || -> Vec<u64> {
+        message
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.parse().ok())
+            .collect()
+    };
+    match code {
+        ErrorCode::DeadlineExceeded => StorageError::DeadlineExceeded {
+            deadline_us: uints().first().copied().unwrap_or(0),
+        },
+        ErrorCode::Overloaded => {
+            let nums = uints();
+            StorageError::Overloaded {
+                depth: nums.first().copied().unwrap_or(0) as usize,
+                capacity: nums.get(1).copied().unwrap_or(0) as usize,
+            }
+        }
+        ErrorCode::Unavailable => StorageError::Unavailable {
+            retry_after_ms: uints().first().copied().unwrap_or(0),
+        },
+        ErrorCode::StalenessTimeout => {
+            let nums = uints();
+            StorageError::StalenessTimeout {
+                key: nums.first().copied().unwrap_or(0),
+                bound: nums.get(1).copied().unwrap_or(0) as u32,
+            }
+        }
+        ErrorCode::NotFound => StorageError::KeyNotFound,
+        ErrorCode::ShuttingDown => StorageError::Closed,
+        ErrorCode::Corruption => StorageError::Corruption(message.to_string()),
+        ErrorCode::InvalidArgument => StorageError::InvalidArgument(message.to_string()),
+        ErrorCode::CheckpointFailed => StorageError::Checkpoint(message.to_string()),
+        ErrorCode::Storage => StorageError::Io(io::Error::other(format!("server: {message}"))),
+        ErrorCode::Malformed => StorageError::InvalidArgument(format!("server: {message}")),
     }
 }
 
@@ -100,6 +207,10 @@ pub enum Request {
     Apply {
         /// Client-chosen id echoed in the response.
         id: u64,
+        /// Idempotency session this mutation belongs to (`0` = none): a
+        /// retry carrying a `(session_id, id)` the server already
+        /// acknowledged is answered from its dedup window, not re-applied.
+        session_id: u64,
         /// Latency budget in microseconds from receipt; `0` = none.
         deadline_us: u64,
         /// Learning rate.
@@ -263,15 +374,17 @@ impl Request {
             }
             Request::Apply {
                 id,
+                session_id,
                 deadline_us,
                 lr,
                 dim,
                 updates,
             } => {
                 let row = 8 + *dim as usize * 4;
-                let mut out = Vec::with_capacity(1 + 8 + 8 + 4 + 4 + 4 + updates.len() * row);
+                let mut out = Vec::with_capacity(1 + 8 + 8 + 8 + 4 + 4 + 4 + updates.len() * row);
                 out.push(OP_APPLY);
                 put_u64(&mut out, *id);
+                put_u64(&mut out, *session_id);
                 put_u64(&mut out, *deadline_us);
                 put_f32(&mut out, *lr);
                 put_u32(&mut out, *dim);
@@ -312,6 +425,7 @@ impl Request {
             }
             OP_APPLY => {
                 let id = c.u64()?;
+                let session_id = c.u64()?;
                 let deadline_us = c.u64()?;
                 let lr = c.f32()?;
                 let dim = c.u32()?;
@@ -328,6 +442,7 @@ impl Request {
                 }
                 Request::Apply {
                     id,
+                    session_id,
                     deadline_us,
                     lr,
                     dim,
@@ -485,6 +600,7 @@ mod tests {
         });
         roundtrip_request(Request::Apply {
             id: 9,
+            session_id: 0xDEAD_BEEF,
             deadline_us: 0,
             lr: 0.125,
             dim: 3,
@@ -590,6 +706,80 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
         let err = read_frame(&mut &buf[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn every_storage_error_survives_the_wire() {
+        // One witness per StorageError variant, with non-zero payloads so a
+        // lossy encode/decode cannot hide behind defaults. A match on one
+        // witness keeps this list exhaustive: adding a variant fails to
+        // compile until it is covered here.
+        let witnesses = vec![
+            StorageError::Io(io::Error::new(io::ErrorKind::NotFound, "disk gone")),
+            StorageError::KeyNotFound,
+            StorageError::Corruption("page 7: bad checksum 0xDEAD".into()),
+            StorageError::InvalidArgument("dim 16 != table dim 8".into()),
+            StorageError::Closed,
+            StorageError::StalenessTimeout { key: 99, bound: 3 },
+            StorageError::Checkpoint("manifest write failed: 12".into()),
+            StorageError::DeadlineExceeded { deadline_us: 1500 },
+            StorageError::Overloaded {
+                depth: 128,
+                capacity: 64,
+            },
+            StorageError::Unavailable { retry_after_ms: 40 },
+        ];
+        match &witnesses[0] {
+            StorageError::Io(_)
+            | StorageError::KeyNotFound
+            | StorageError::Corruption(_)
+            | StorageError::InvalidArgument(_)
+            | StorageError::Closed
+            | StorageError::StalenessTimeout { .. }
+            | StorageError::Checkpoint(_)
+            | StorageError::DeadlineExceeded { .. }
+            | StorageError::Overloaded { .. }
+            | StorageError::Unavailable { .. } => {}
+        }
+        for err in witnesses {
+            let (code, message) = encode_error(&err);
+            // Ride a full Error response frame, as the server would send it.
+            let mut buf = Vec::new();
+            write_frame(
+                &mut buf,
+                &Response::Error {
+                    id: 7,
+                    code,
+                    message: message.clone(),
+                }
+                .encode(),
+            )
+            .unwrap();
+            let frame = read_frame(&mut &buf[..]).unwrap().unwrap();
+            let Response::Error {
+                id,
+                code: got_code,
+                message: got_message,
+            } = Response::decode(&frame).unwrap()
+            else {
+                panic!("expected Error response");
+            };
+            assert_eq!(id, 7);
+            assert_eq!(got_code, code);
+            let decoded = decode_error(got_code, &got_message);
+            match (&err, &decoded) {
+                // Io carries a live io::Error, so equality is structural:
+                // same variant, message preserved inside the decoded error.
+                (StorageError::Io(e), StorageError::Io(d)) => {
+                    assert!(d.to_string().contains(&e.to_string()), "{d} vs {e}");
+                }
+                _ => assert_eq!(
+                    format!("{err:?}"),
+                    format!("{decoded:?}"),
+                    "variant lost payload over the wire"
+                ),
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub type Replier = Box<dyn FnOnce(Response) + Send>;
 pub struct Pending {
     /// Client-chosen request id, echoed in the response.
     pub id: u64,
+    /// Idempotency session for mutations (`0` = none; see
+    /// [`crate::dedup::DedupWindow`]).
+    pub session_id: u64,
     /// The deadline budget from the wire, kept for the typed error.
     pub deadline_us: u64,
     /// Absolute expiry instant (`None` = no deadline).
@@ -214,6 +217,7 @@ mod tests {
         (
             Pending {
                 id,
+                session_id: 0,
                 deadline_us: 1,
                 deadline,
                 work: Work::Gather { keys: vec![id] },

@@ -24,11 +24,14 @@ use std::time::{Duration, Instant};
 
 use mlkv::{BackendKind, EmbeddingTable};
 use mlkv_storage::{
-    DurabilityMode, IoBackend, StorageError, StorageMetrics, StorageResult, StoreConfig,
+    DurabilityMode, FaultTuning, IoBackend, StorageError, StorageMetrics, StorageResult,
+    StoreConfig,
 };
 
 use crate::batcher::{Batcher, BatcherConfig};
-use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+use crate::dedup::{is_reserved_key, DedupWindow};
+use crate::health::{Health, HealthState};
+use crate::protocol::{encode_error, read_frame, write_frame, ErrorCode, Request, Response};
 use crate::queue::{AdmissionQueue, Pending, Work};
 
 /// Default admission-queue capacity (requests).
@@ -53,6 +56,9 @@ pub struct ServerBuilder {
     queue_capacity: usize,
     batcher: BatcherConfig,
     table: Option<Arc<EmbeddingTable>>,
+    dedup_slots: Option<usize>,
+    probe_interval: Option<Duration>,
+    unavailable_retry_after_ms: Option<u64>,
 }
 
 impl ServerBuilder {
@@ -74,6 +80,9 @@ impl ServerBuilder {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             batcher: BatcherConfig::default(),
             table: None,
+            dedup_slots: None,
+            probe_interval: None,
+            unavailable_retry_after_ms: None,
         }
     }
 
@@ -182,6 +191,27 @@ impl ServerBuilder {
         self
     }
 
+    /// Slots in the idempotency dedup window (default from
+    /// `MLKV_DEDUP_SLOTS`, else 1024). One durable marker key per slot.
+    pub fn dedup_slots(mut self, slots: usize) -> Self {
+        self.dedup_slots = Some(slots);
+        self
+    }
+
+    /// Spacing between recovery probes while degraded (default from
+    /// `MLKV_HEALTH_PROBE_MS`; zero probes on every tick).
+    pub fn probe_interval(mut self, interval: Duration) -> Self {
+        self.probe_interval = Some(interval);
+        self
+    }
+
+    /// The `retry_after` hint (ms) carried by `Unavailable` rejections while
+    /// the server is degraded.
+    pub fn unavailable_retry_after_ms(mut self, ms: u64) -> Self {
+        self.unavailable_retry_after_ms = Some(ms);
+        self
+    }
+
     fn build_table(&self) -> StorageResult<Arc<EmbeddingTable>> {
         if let Some(table) = &self.table {
             return Ok(Arc::clone(table));
@@ -229,12 +259,34 @@ impl ServerBuilder {
         let listener = TcpListener::bind(addr).map_err(StorageError::Io)?;
         let local_addr = listener.local_addr().map_err(StorageError::Io)?;
 
+        let tuning = if self.env_overrides {
+            FaultTuning::from_env()
+        } else {
+            FaultTuning::default()
+        };
+        // By default the `retry_after` hint matches the probe spacing: there
+        // is no point retrying before the server even tries to heal.
+        let health = Arc::new(Health::new(
+            self.unavailable_retry_after_ms
+                .unwrap_or(tuning.probe_interval_ms),
+            self.probe_interval
+                .unwrap_or(Duration::from_millis(tuning.probe_interval_ms)),
+            Arc::clone(&metrics),
+        ));
+        let dedup = Arc::new(DedupWindow::new(
+            self.dedup_slots.unwrap_or(tuning.dedup_slots),
+        ));
+        // Rebuild the idempotency window from the durable markers, so retries
+        // that land on a restarted server are still deduplicated.
+        dedup.recover(table.store().as_ref());
+
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             queue: Arc::clone(&queue),
             metrics: Arc::clone(&metrics),
             conns: Mutex::new(Vec::new()),
             local_addr,
+            health: Arc::clone(&health),
         });
 
         let batcher = Batcher::new(
@@ -242,6 +294,8 @@ impl ServerBuilder {
             Arc::clone(&queue),
             Arc::clone(&metrics),
             &self.batcher,
+            Arc::clone(&health),
+            dedup,
         );
         let batcher_thread = thread::Builder::new()
             .name("mlkv-batcher".into())
@@ -273,6 +327,7 @@ struct Shared {
     /// so departed clients see FIN promptly and dead fds don't accumulate.
     conns: Mutex<Vec<(u64, TcpStream)>>,
     local_addr: SocketAddr,
+    health: Arc<Health>,
 }
 
 impl Shared {
@@ -283,6 +338,7 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.health.set_draining();
         self.queue.close();
         // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
@@ -310,6 +366,11 @@ impl ServerHandle {
     /// Serving metrics (admitted/rejected counters, fused keys, window).
     pub fn metrics(&self) -> &Arc<StorageMetrics> {
         &self.shared.metrics
+    }
+
+    /// Current health state (`Serving`, `Degraded`, or `Draining`).
+    pub fn health(&self) -> HealthState {
+        self.shared.health.state()
     }
 
     /// Gracefully stop: close admission, drain in-flight batches, flush the
@@ -474,10 +535,11 @@ fn connection_frames(stream: TcpStream, shared: &Arc<Shared>) {
                 deadline_us,
                 keys,
             } => {
-                dispatch(shared, &writer, id, deadline_us, Work::Gather { keys });
+                dispatch(shared, &writer, id, 0, deadline_us, Work::Gather { keys });
             }
             Request::Apply {
                 id,
+                session_id,
                 deadline_us,
                 lr,
                 updates,
@@ -487,6 +549,7 @@ fn connection_frames(stream: TcpStream, shared: &Arc<Shared>) {
                     shared,
                     &writer,
                     id,
+                    session_id,
                     deadline_us,
                     Work::Apply { lr, updates },
                 );
@@ -504,13 +567,32 @@ fn dispatch(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
     id: u64,
+    session_id: u64,
     deadline_us: u64,
     work: Work,
 ) {
+    // The top of the key space belongs to the server (dedup markers, health
+    // probes); a client request touching it could forge or clobber an
+    // acknowledgement marker, so it is refused outright.
+    let touches_reserved = match &work {
+        Work::Gather { keys } => keys.iter().copied().any(is_reserved_key),
+        Work::Apply { updates, .. } => updates.iter().any(|(k, _)| is_reserved_key(*k)),
+    };
+    if touches_reserved {
+        shared.metrics.record_serve_rejected();
+        let err = StorageError::InvalidArgument(format!(
+            "keys at or above {:#x} are reserved for server metadata",
+            crate::dedup::RESERVED_KEY_BASE
+        ));
+        let (code, message) = encode_error(&err);
+        send(writer, &Response::Error { id, code, message });
+        return;
+    }
     let deadline = (deadline_us > 0).then(|| Instant::now() + Duration::from_micros(deadline_us));
     let reply_writer = Arc::clone(writer);
     let pending = Pending {
         id,
+        session_id,
         deadline_us,
         deadline,
         work,
@@ -522,18 +604,13 @@ fn dispatch(
         Ok(()) => shared.metrics.record_serve_admitted(),
         Err((rejected, err)) => {
             shared.metrics.record_serve_rejected();
-            let code = match &err {
-                StorageError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
-                StorageError::Overloaded { .. } => ErrorCode::Overloaded,
-                StorageError::Closed => ErrorCode::ShuttingDown,
-                _ => ErrorCode::Storage,
-            };
+            let (code, message) = encode_error(&err);
             send(
                 writer,
                 &Response::Error {
                     id: rejected.id,
                     code,
-                    message: err.to_string(),
+                    message,
                 },
             );
         }

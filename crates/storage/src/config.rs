@@ -393,6 +393,83 @@ impl StoreConfig {
     }
 }
 
+/// Serving-path fault-tolerance tuning, overridable from the environment the
+/// same way the I/O matrix knobs are: `MLKV_DEDUP_SLOTS` (idempotency-window
+/// slots), `MLKV_HEALTH_PROBE_MS` (recovery-probe interval while degraded),
+/// `MLKV_RETRY_MAX` (client retry attempts), `MLKV_RETRY_BACKOFF_MS` /
+/// `MLKV_RETRY_BACKOFF_CAP_MS` (client backoff ladder). Unset or unparsable
+/// variables leave the defaults untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultTuning {
+    /// Idempotency-window slots the server persists (one per active session;
+    /// sessions hash onto slots, collisions evict the older session).
+    pub dedup_slots: usize,
+    /// How often a degraded server re-probes the write path, in milliseconds
+    /// (0 = probe on every batcher tick; useful for deterministic tests).
+    pub probe_interval_ms: u64,
+    /// Default number of client retry attempts after the first try.
+    pub retry_max: u32,
+    /// First client backoff step, in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Cap on the exponential client backoff, in milliseconds.
+    pub retry_backoff_cap_ms: u64,
+}
+
+impl Default for FaultTuning {
+    fn default() -> Self {
+        Self {
+            dedup_slots: 1024,
+            probe_interval_ms: 200,
+            retry_max: 0,
+            retry_backoff_ms: 5,
+            retry_backoff_cap_ms: 200,
+        }
+    }
+}
+
+impl FaultTuning {
+    /// Defaults overridden by the `MLKV_*` fault-tolerance environment knobs.
+    pub fn from_env() -> Self {
+        Self::default().apply_overrides(
+            std::env::var("MLKV_DEDUP_SLOTS").ok().as_deref(),
+            std::env::var("MLKV_HEALTH_PROBE_MS").ok().as_deref(),
+            std::env::var("MLKV_RETRY_MAX").ok().as_deref(),
+            std::env::var("MLKV_RETRY_BACKOFF_MS").ok().as_deref(),
+            std::env::var("MLKV_RETRY_BACKOFF_CAP_MS").ok().as_deref(),
+        )
+    }
+
+    /// Pure body of [`FaultTuning::from_env`] (unit-testable without mutating
+    /// process-global environment state).
+    fn apply_overrides(
+        mut self,
+        dedup_slots: Option<&str>,
+        probe_interval_ms: Option<&str>,
+        retry_max: Option<&str>,
+        retry_backoff_ms: Option<&str>,
+        retry_backoff_cap_ms: Option<&str>,
+    ) -> Self {
+        if let Some(slots) = dedup_slots.and_then(|s| s.trim().parse::<usize>().ok()) {
+            // Zero slots would make every session collide with nothing:
+            // clamp to one so dedup stays on when the knob is present.
+            self.dedup_slots = slots.max(1);
+        }
+        if let Some(ms) = probe_interval_ms.and_then(|s| s.trim().parse::<u64>().ok()) {
+            self.probe_interval_ms = ms;
+        }
+        if let Some(n) = retry_max.and_then(|s| s.trim().parse::<u32>().ok()) {
+            self.retry_max = n;
+        }
+        if let Some(ms) = retry_backoff_ms.and_then(|s| s.trim().parse::<u64>().ok()) {
+            self.retry_backoff_ms = ms.max(1);
+        }
+        if let Some(ms) = retry_backoff_cap_ms.and_then(|s| s.trim().parse::<u64>().ok()) {
+            self.retry_backoff_cap_ms = ms.max(1);
+        }
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,6 +543,45 @@ mod tests {
             .with_parallelism(2)
             .apply_overrides(None, None, None);
         assert_eq!(cfg.parallelism, 2, "unset vars leave the config untouched");
+    }
+
+    #[test]
+    fn fault_tuning_env_overrides_apply_only_when_parsable() {
+        let t = FaultTuning::default();
+        assert_eq!(t.dedup_slots, 1024);
+        assert_eq!(t.retry_max, 0, "retries are opt-in");
+
+        let t = FaultTuning::default().apply_overrides(
+            Some("64"),
+            Some("0"),
+            Some("5"),
+            Some("2"),
+            Some("100"),
+        );
+        assert_eq!(t.dedup_slots, 64);
+        assert_eq!(t.probe_interval_ms, 0, "zero means probe every tick");
+        assert_eq!(t.retry_max, 5);
+        assert_eq!(t.retry_backoff_ms, 2);
+        assert_eq!(t.retry_backoff_cap_ms, 100);
+
+        let t = FaultTuning::default().apply_overrides(
+            Some("0"),
+            Some("nope"),
+            Some("-3"),
+            Some("0"),
+            None,
+        );
+        assert_eq!(t.dedup_slots, 1, "zero slots clamps to one");
+        assert_eq!(
+            t.probe_interval_ms,
+            FaultTuning::default().probe_interval_ms
+        );
+        assert_eq!(t.retry_max, 0, "unparsable values leave the default");
+        assert_eq!(t.retry_backoff_ms, 1, "backoff clamps to at least 1ms");
+        assert_eq!(
+            t.retry_backoff_cap_ms,
+            FaultTuning::default().retry_backoff_cap_ms
+        );
     }
 
     #[test]

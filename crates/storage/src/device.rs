@@ -428,6 +428,11 @@ pub struct FailingDevice {
     reads: AtomicU64,
     /// When set, every `write_at` / `append` fails.
     fail_writes: AtomicBool,
+    /// Write-operation number (1-based) from which writes fail; 0 = healthy.
+    /// The scripted analogue of `fail_from` for the write path, so chaos
+    /// harnesses can trip a fault at a chosen operation ordinal instead of
+    /// toggling `fail_writes` between operations.
+    fail_writes_from: AtomicU64,
     /// When set, every `sync` fails.
     fail_syncs: AtomicBool,
     writes: AtomicU64,
@@ -443,6 +448,7 @@ impl FailingDevice {
             fail_from: AtomicU64::new(fail_from),
             reads: AtomicU64::new(0),
             fail_writes: AtomicBool::new(false),
+            fail_writes_from: AtomicU64::new(0),
             fail_syncs: AtomicBool::new(false),
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
@@ -453,6 +459,7 @@ impl FailingDevice {
     pub fn heal(&self) {
         self.fail_from.store(0, Ordering::SeqCst);
         self.fail_writes.store(false, Ordering::SeqCst);
+        self.fail_writes_from.store(0, Ordering::SeqCst);
         self.fail_syncs.store(false, Ordering::SeqCst);
     }
 
@@ -464,6 +471,16 @@ impl FailingDevice {
     /// Start (or stop) failing every `sync`.
     pub fn set_fail_syncs(&self, fail: bool) {
         self.fail_syncs.store(fail, Ordering::SeqCst);
+    }
+
+    /// Start failing writes `after` write operations from now (scripted by
+    /// operation ordinal, like [`CrashClock::arm`] for power loss; `heal`
+    /// clears it).
+    pub fn fail_writes_after(&self, after: u64) {
+        self.fail_writes_from.store(
+            self.writes.load(Ordering::SeqCst) + after + 1,
+            Ordering::SeqCst,
+        );
     }
 
     /// Resume failing, starting `after` read operations from now.
@@ -496,6 +513,15 @@ impl FailingDevice {
         fail_from != 0 && n >= fail_from
     }
 
+    fn next_write_fails(&self) -> bool {
+        let n = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.fail_writes.load(Ordering::SeqCst) {
+            return true;
+        }
+        let fail_from = self.fail_writes_from.load(Ordering::SeqCst);
+        fail_from != 0 && n >= fail_from
+    }
+
     fn injected() -> StorageError {
         StorageError::Io(std::io::Error::other("injected device failure"))
     }
@@ -503,8 +529,7 @@ impl FailingDevice {
 
 impl Device for FailingDevice {
     fn write_at(&self, offset: u64, data: &[u8]) -> StorageResult<()> {
-        self.writes.fetch_add(1, Ordering::SeqCst);
-        if self.fail_writes.load(Ordering::SeqCst) {
+        if self.next_write_fails() {
             return Err(Self::injected());
         }
         self.inner.write_at(offset, data)
@@ -544,8 +569,7 @@ impl Device for FailingDevice {
     }
 
     fn append(&self, data: &[u8]) -> StorageResult<u64> {
-        self.writes.fetch_add(1, Ordering::SeqCst);
-        if self.fail_writes.load(Ordering::SeqCst) {
+        if self.next_write_fails() {
             return Err(Self::injected());
         }
         self.inner.append(data)
@@ -999,6 +1023,20 @@ mod tests {
         dev.sync().unwrap();
         assert_eq!(dev.writes(), 4, "failed writes still counted");
         assert_eq!(dev.syncs(), 4, "failed syncs still counted");
+    }
+
+    #[test]
+    fn failing_device_scripted_write_ordinal() {
+        let inner = std::sync::Arc::new(MemDevice::new());
+        let dev = FailingDevice::new(inner, 0);
+        dev.append(b"one").unwrap();
+        dev.fail_writes_after(1);
+        dev.append(b"two").unwrap(); // one more healthy write
+        assert!(dev.append(b"three").is_err(), "scripted ordinal reached");
+        assert!(dev.write_at(0, b"x").is_err(), "stays failed afterwards");
+        dev.heal();
+        dev.append(b"four").unwrap();
+        assert_eq!(dev.writes(), 5, "failed writes still counted");
     }
 
     #[test]

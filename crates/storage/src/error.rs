@@ -46,6 +46,14 @@ pub enum StorageError {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// The server is temporarily unable to execute this kind of request
+    /// (e.g. writes while degraded to read-only after a device fault) but
+    /// expects to recover. Unlike `Closed` this is retryable: the client
+    /// should back off at least `retry_after_ms` and try again.
+    Unavailable {
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -67,6 +75,12 @@ impl fmt::Display for StorageError {
                 write!(
                     f,
                     "admission queue overloaded ({depth} queued, capacity {capacity})"
+                )
+            }
+            StorageError::Unavailable { retry_after_ms } => {
+                write!(
+                    f,
+                    "temporarily unavailable (read-only), retry after {retry_after_ms}ms"
                 )
             }
         }
@@ -118,6 +132,9 @@ impl StorageError {
                 depth: *depth,
                 capacity: *capacity,
             },
+            StorageError::Unavailable { retry_after_ms } => StorageError::Unavailable {
+                retry_after_ms: *retry_after_ms,
+            },
         }
     }
 }
@@ -151,6 +168,8 @@ mod tests {
         };
         assert!(ov.to_string().contains("9 queued"));
         assert!(ov.to_string().contains("capacity 8"));
+        let ua = StorageError::Unavailable { retry_after_ms: 40 };
+        assert!(ua.to_string().contains("40ms"));
     }
 
     #[test]
@@ -192,6 +211,10 @@ mod tests {
                 depth: 3,
                 capacity: 2,
             } => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match (StorageError::Unavailable { retry_after_ms: 25 }).clone_shallow() {
+            StorageError::Unavailable { retry_after_ms: 25 } => {}
             other => panic!("wrong variant: {other:?}"),
         }
     }

@@ -42,8 +42,8 @@ pub mod wal;
 
 pub use cache::ShardedLruCache;
 pub use config::{
-    DeviceFactory, DurabilityMode, IoBackend, StoreConfig, DEFAULT_GROUP_COMMIT_WINDOW,
-    DEFAULT_IO_QUEUE_DEPTH,
+    DeviceFactory, DurabilityMode, FaultTuning, IoBackend, StoreConfig,
+    DEFAULT_GROUP_COMMIT_WINDOW, DEFAULT_IO_QUEUE_DEPTH,
 };
 pub use device::{
     device_from_config, CrashClock, CrashDevice, Device, FailingDevice, FileDevice, MemDevice,

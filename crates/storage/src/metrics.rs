@@ -66,6 +66,18 @@ pub struct StorageMetrics {
     /// Gauge (not a counter): the serving batcher's current micro-batch
     /// window (max requests fused per tick), as sized by its feedback loop.
     pub serve_window: AtomicU64,
+    /// Retried mutations acknowledged from the server's idempotency window
+    /// instead of being re-applied (each is one double-apply prevented).
+    pub serve_deduped: AtomicU64,
+    /// Health transitions into `Degraded` (write-path fault observed).
+    pub health_degraded: AtomicU64,
+    /// Health transitions back to `Serving` (a recovery probe succeeded).
+    pub health_recovered: AtomicU64,
+    /// Recovery probes attempted while degraded (successful or not).
+    pub health_probes: AtomicU64,
+    /// Gauge (not a counter): current serving health state
+    /// (0 = Serving, 1 = Degraded, 2 = Draining).
+    pub health_state: AtomicU64,
 }
 
 /// A point-in-time copy of [`StorageMetrics`].
@@ -96,6 +108,13 @@ pub struct MetricsSnapshot {
     /// Gauge: current serving micro-batch window (copied, not differenced,
     /// by [`MetricsSnapshot::delta`]).
     pub serve_window: u64,
+    pub serve_deduped: u64,
+    pub health_degraded: u64,
+    pub health_recovered: u64,
+    pub health_probes: u64,
+    /// Gauge: current health state (copied, not differenced, by
+    /// [`MetricsSnapshot::delta`]). 0 = Serving, 1 = Degraded, 2 = Draining.
+    pub health_state: u64,
 }
 
 impl StorageMetrics {
@@ -213,6 +232,37 @@ impl StorageMetrics {
         self.serve_window.store(window, Ordering::Relaxed);
     }
 
+    /// Record a retried mutation acknowledged from the idempotency window
+    /// (not re-applied).
+    #[inline]
+    pub fn record_serve_deduped(&self) {
+        self.serve_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a health transition into `Degraded`.
+    #[inline]
+    pub fn record_health_degraded(&self) {
+        self.health_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a health transition back to `Serving`.
+    #[inline]
+    pub fn record_health_recovered(&self) {
+        self.health_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one recovery-probe attempt (regardless of outcome).
+    #[inline]
+    pub fn record_health_probe(&self) {
+        self.health_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set the health-state gauge (0 = Serving, 1 = Degraded, 2 = Draining).
+    #[inline]
+    pub fn set_health_state(&self, state: u64) {
+        self.health_state.store(state, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -237,6 +287,11 @@ impl StorageMetrics {
             serve_fused_keys: self.serve_fused_keys.load(Ordering::Relaxed),
             serve_queue_depth: self.serve_queue_depth.load(Ordering::Relaxed),
             serve_window: self.serve_window.load(Ordering::Relaxed),
+            serve_deduped: self.serve_deduped.load(Ordering::Relaxed),
+            health_degraded: self.health_degraded.load(Ordering::Relaxed),
+            health_recovered: self.health_recovered.load(Ordering::Relaxed),
+            health_probes: self.health_probes.load(Ordering::Relaxed),
+            health_state: self.health_state.load(Ordering::Relaxed),
         }
     }
 
@@ -263,6 +318,11 @@ impl StorageMetrics {
         self.serve_fused_keys.store(0, Ordering::Relaxed);
         self.serve_queue_depth.store(0, Ordering::Relaxed);
         self.serve_window.store(0, Ordering::Relaxed);
+        self.serve_deduped.store(0, Ordering::Relaxed);
+        self.health_degraded.store(0, Ordering::Relaxed);
+        self.health_recovered.store(0, Ordering::Relaxed);
+        self.health_probes.store(0, Ordering::Relaxed);
+        self.health_state.store(0, Ordering::Relaxed);
     }
 }
 
@@ -289,9 +349,14 @@ impl MetricsSnapshot {
             serve_rejected: self.serve_rejected - earlier.serve_rejected,
             serve_ticks: self.serve_ticks - earlier.serve_ticks,
             serve_fused_keys: self.serve_fused_keys - earlier.serve_fused_keys,
+            serve_deduped: self.serve_deduped - earlier.serve_deduped,
+            health_degraded: self.health_degraded - earlier.health_degraded,
+            health_recovered: self.health_recovered - earlier.health_recovered,
+            health_probes: self.health_probes - earlier.health_probes,
             // Gauges describe "now", not an interval: keep the later reading.
             serve_queue_depth: self.serve_queue_depth,
             serve_window: self.serve_window,
+            health_state: self.health_state,
         }
     }
 
@@ -403,6 +468,36 @@ mod tests {
         // Gauges are point-in-time readings, not interval differences.
         assert_eq!(d.serve_queue_depth, 0);
         assert_eq!(d.serve_window, 8);
+
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn fault_tolerance_counters_and_health_gauge() {
+        let m = StorageMetrics::new();
+        m.record_serve_deduped();
+        m.record_health_degraded();
+        m.set_health_state(1);
+        m.record_health_probe();
+        m.record_health_probe();
+        m.record_health_recovered();
+        m.set_health_state(0);
+        let first = m.snapshot();
+        assert_eq!(first.serve_deduped, 1);
+        assert_eq!(first.health_degraded, 1);
+        assert_eq!(first.health_recovered, 1);
+        assert_eq!(first.health_probes, 2);
+        assert_eq!(first.health_state, 0);
+
+        m.record_serve_deduped();
+        m.set_health_state(2);
+        let second = m.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.serve_deduped, 1);
+        assert_eq!(d.health_degraded, 0);
+        // The health gauge is a point-in-time reading, not a difference.
+        assert_eq!(d.health_state, 2);
 
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
