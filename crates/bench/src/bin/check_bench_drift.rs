@@ -33,21 +33,29 @@ use std::process::ExitCode;
 use mlkv_bench::arg_value;
 
 /// The speedup fields the emitters write, in lookup order. Higher is better.
-const SPEEDUP_KEYS: [&str; 5] = [
+const SPEEDUP_KEYS: [&str; 6] = [
     "speedup_vs_serial",
     "speedup_vs_per_record",
     "speedup_vs_sync",
     "speedup_vs_per_request",
     "throughput_retained_vs_serving",
+    "read_throughput_vs_primary",
 ];
 
 /// Fields compared with the direction inverted — larger is worse: serving
-/// latency percentiles, fault-recovery time, and the retry amplification of
-/// the churn rows.
-const LATENCY_KEYS: [&str; 4] = ["p50_ns", "p99_ns", "recovery_ns", "retry_amplification"];
+/// latency percentiles, fault-recovery and replication-failover times, the
+/// replication lag drain, and the retry amplification of the churn rows.
+const LATENCY_KEYS: [&str; 6] = [
+    "p50_ns",
+    "p99_ns",
+    "recovery_ns",
+    "retry_amplification",
+    "catchup_ns",
+    "failover_ns",
+];
 
 /// Measured-but-not-compared fields, excluded from row identity keys.
-const NOISE_KEYS: [&str; 7] = [
+const NOISE_KEYS: [&str; 9] = [
     "mean_ns",
     "achieved_rps",
     "fused_keys_per_tick",
@@ -55,6 +63,8 @@ const NOISE_KEYS: [&str; 7] = [
     "attempts",
     "reconnects",
     "severed",
+    "primary_gather_ns",
+    "replica_gather_ns",
 ];
 
 /// One comparable metric extracted from a result row.

@@ -31,6 +31,12 @@
 //!   after an injected device write fault, probes failing), the time from
 //!   healing the device to the probe flipping back to `Serving`, and the
 //!   retry amplification of a retrying client behind a seeded chaos proxy.
+//! * `BENCH_replication.json` (`mlkv_bench::replication`): the replicated
+//!   serving tier — the time for an `Async` replica to drain the lag left by
+//!   a burst of acknowledged applies, the client-observed failover gap from
+//!   killing a `SemiSync{1}` primary to the promoted replica acknowledging a
+//!   mutation, and the replica's gather throughput relative to the primary
+//!   while it applies the stream.
 //!
 //! Usage:
 //!
@@ -38,7 +44,8 @@
 //! cargo run --release -p mlkv-bench --bin emit_bench_json \
 //!     [-- --out PATH] [--io-out PATH] [--io-async-out PATH] \
 //!     [--durability-out PATH] [--serving-out PATH] [--fault-out PATH] \
-//!     [--serving-only] [--fault-only] [--quick]
+//!     [--replication-out PATH] [--serving-only] [--fault-only] \
+//!     [--replication-only] [--quick]
 //! ```
 //!
 //! `--quick` runs one measurement iteration per cell (CI smoke); the default
@@ -653,15 +660,108 @@ fn write_fault_json(cells: &[FaultCell], quick: bool, out_path: &str) {
     println!("wrote {out_path}");
 }
 
+/// One `BENCH_replication.json` row group for one engine: async lag drain +
+/// replica read throughput, and the semi-sync failover gap.
+struct ReplicationCell {
+    engine: &'static str,
+    lag: mlkv_bench::replication::LagMeasurement,
+    failover: mlkv_bench::replication::FailoverMeasurement,
+}
+
+/// Measure the replication sweep on every replicated serving backend.
+fn run_replication(quick: bool) -> Vec<ReplicationCell> {
+    use mlkv_bench::replication;
+    let gather_iters = if quick { 8 } else { 64 };
+    let failover_rounds = if quick { 1 } else { 5 };
+    // Constant across quick/full: burst and warmup ops are part of the row
+    // identity, so the CI smoke must produce the same rows as the committed
+    // full baseline.
+    let burst = 64;
+    let warmup_ops = 16;
+    let mut cells = Vec::new();
+    for backend in replication::BACKENDS {
+        let lag = replication::run_lag(backend, burst, gather_iters);
+        let failover = replication::run_failover(backend, warmup_ops, failover_rounds);
+        eprintln!(
+            "{:>10} replication: lag drain {:>8.3} ms after {} applies, \
+             failover {:>8.3} ms, replica reads {:>8.3} ms vs primary {:>8.3} ms \
+             ({:.2}x retained)",
+            backend.name(),
+            lag.catchup_ns as f64 / 1e6,
+            lag.burst,
+            failover.failover_ns as f64 / 1e6,
+            lag.replica_gather_ns as f64 / 1e6,
+            lag.primary_gather_ns as f64 / 1e6,
+            lag.read_throughput_vs_primary,
+        );
+        cells.push(ReplicationCell {
+            engine: backend.name(),
+            lag,
+            failover,
+        });
+    }
+    cells
+}
+
+fn write_replication_json(cells: &[ReplicationCell], quick: bool, out_path: &str) {
+    use mlkv_bench::replication;
+    let mut json = String::new();
+    let note = format!(
+        "replicated serving tier over loopback WAL shipping: replication-lag bursts \
+         acknowledged applies at an Async primary and times the drain until the primary's \
+         repl_lag gauge returns to zero (every shipped group applied and acknowledged by \
+         the replica), failover kills a SemiSync{{acks:1}} primary and times the \
+         client-observed gap until the promoted replica acknowledges a mutation (promotion \
+         + endpoint rotation + retry), replica-read compares mean {}-key gather latency on \
+         the replica (while it applies the stream) against the primary — zero acked loss \
+         across the kill is proven by tests/chaos_replication.rs",
+        replication::GATHER_KEYS,
+    );
+    json_prologue(&mut json, "replication", quick, &note);
+    let mut rows: Vec<String> = Vec::new();
+    for c in cells {
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"workload\": \"replication-lag\", \"mode\": \"async\", \
+             \"burst\": {}, \"catchup_ns\": {}}}",
+            c.engine, c.lag.burst, c.lag.catchup_ns,
+        ));
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"workload\": \"failover\", \"mode\": \"semisync:1\", \
+             \"warmup_ops\": {}, \"failover_ns\": {}}}",
+            c.engine, c.failover.warmup_ops, c.failover.failover_ns,
+        ));
+        rows.push(format!(
+            "    {{\"engine\": \"{}\", \"workload\": \"replica-read\", \"batch\": {}, \
+             \"primary_gather_ns\": {}, \"replica_gather_ns\": {}, \
+             \"read_throughput_vs_primary\": {:.3}}}",
+            c.engine,
+            replication::GATHER_KEYS,
+            c.lag.primary_gather_ns,
+            c.lag.replica_gather_ns,
+            c.lag.read_throughput_vs_primary,
+        ));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(row);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let serving_only = args.iter().any(|a| a == "--serving-only");
     let fault_only = args.iter().any(|a| a == "--fault-only");
+    let replication_only = args.iter().any(|a| a == "--replication-only");
     let serving_out_path = mlkv_bench::arg_value(&args, "--serving-out")
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
     let fault_out_path = mlkv_bench::arg_value(&args, "--fault-out")
         .unwrap_or_else(|| "BENCH_fault_recovery.json".to_string());
+    let replication_out_path = mlkv_bench::arg_value(&args, "--replication-out")
+        .unwrap_or_else(|| "BENCH_replication.json".to_string());
     if serving_only {
         let serving_cells = run_serving(quick);
         write_serving_json(&serving_cells, quick, &serving_out_path);
@@ -670,6 +770,11 @@ fn main() {
     if fault_only {
         let fault_cells = run_fault(quick);
         write_fault_json(&fault_cells, quick, &fault_out_path);
+        return;
+    }
+    if replication_only {
+        let replication_cells = run_replication(quick);
+        write_replication_json(&replication_cells, quick, &replication_out_path);
         return;
     }
     let out_path = mlkv_bench::arg_value(&args, "--out")
@@ -751,4 +856,7 @@ fn main() {
 
     let fault_cells = run_fault(quick);
     write_fault_json(&fault_cells, quick, &fault_out_path);
+
+    let replication_cells = run_replication(quick);
+    write_replication_json(&replication_cells, quick, &replication_out_path);
 }

@@ -5,6 +5,7 @@
 //! faithful sweep and `--scale 0.25` gives a quick smoke run.
 
 pub mod fault;
+pub mod replication;
 pub mod serving;
 
 use std::sync::Arc;

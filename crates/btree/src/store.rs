@@ -134,7 +134,8 @@ impl BtreeStore {
                         device,
                         store.config.effective_durability(),
                         Arc::clone(&store.metrics),
-                    ),
+                    )
+                    .with_tap(store.config.wal_tap.clone()),
                     gen,
                 }));
             }
@@ -236,7 +237,8 @@ impl BtreeStore {
                     device,
                     self.config.effective_durability(),
                     Arc::clone(&self.metrics),
-                );
+                )
+                .with_tap(self.config.wal_tap.clone());
                 handle.gen = old_gen + 1;
                 drop(handle);
                 for gen in journal_generations(&dir) {
@@ -693,6 +695,47 @@ impl KvStore for BtreeStore {
         }
         self.rotate_journal()
     }
+
+    fn replication_tap(&self) -> Option<Arc<mlkv_storage::wal::WalTap>> {
+        self.config.wal_tap.clone()
+    }
+
+    fn apply_replicated_group(&self, frames: &[Vec<u8>]) -> StorageResult<()> {
+        // Shipped groups are page-image journal groups (see `journal_commit`):
+        // install each post-image exactly as `replay_journal` does, under the
+        // tree write lock so readers never observe a half-applied group, then
+        // re-journal the applied images so the *replica's* journal covers them
+        // across its own restarts.
+        let mut tree = self.tree.write();
+        let mut touched = BTreeSet::new();
+        let mut meta_changed = false;
+        for payload in frames {
+            match payload.first().copied() {
+                Some(JOURNAL_PAGE) if payload.len() > 9 => {
+                    let page_id = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                    let leaf = LeafPage::decode(&payload[9..])?;
+                    self.pool.install_new(page_id, leaf)?;
+                    touched.insert(page_id);
+                }
+                Some(JOURNAL_META) if payload.len() > 1 => {
+                    let (meta, live) = Self::decode_meta_bytes(&payload[1..])?;
+                    *tree = meta;
+                    self.live.store(live, Ordering::SeqCst);
+                    meta_changed = true;
+                }
+                Some(JOURNAL_LIVE) if payload.len() >= 9 => {
+                    let live = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                    self.live.store(live, Ordering::SeqCst);
+                }
+                _ => {
+                    return Err(StorageError::Corruption(
+                        "unknown replicated btree journal record".into(),
+                    ))
+                }
+            }
+        }
+        self.journal_commit(&tree, &touched, meta_changed)
+    }
 }
 
 #[cfg(test)]
@@ -1010,6 +1053,52 @@ mod tests {
         store.put(1, &[1u8; 8]).unwrap();
         assert!(journal_generations(&dir).is_empty());
         assert_eq!(store.metrics().snapshot().wal_appends, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shipped_journal_groups_replicate_into_a_standby_tree() {
+        let dir = temp_dir("repl");
+        let tap = Arc::new(mlkv_storage::wal::WalTap::new(1024));
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_durability(DurabilityMode::GroupCommit { window: 1 << 20 })
+            .with_wal_tap(Arc::clone(&tap));
+        let primary = BtreeStore::open(cfg).unwrap();
+        assert!(
+            primary
+                .replication_tap()
+                .is_some_and(|t| Arc::ptr_eq(&t, &tap)),
+            "store exposes the configured tap"
+        );
+        // Replica attached at genesis: page-image groups carry full
+        // post-images, so applying them in order reconstructs the tree.
+        let replica = BtreeStore::in_memory(1 << 20).unwrap();
+        // Enough keys to split leaves (meta records ship too), plus a delete.
+        for k in 0..300u64 {
+            primary.put(k, &[(k % 251) as u8; 16]).unwrap();
+        }
+        primary.delete(7).unwrap();
+        let mut shipper = mlkv_storage::wal::WalShipper::new(Arc::clone(&tap), 0);
+        loop {
+            match shipper.next(std::time::Duration::from_millis(0)) {
+                mlkv_storage::wal::Shipment::Group(group) => {
+                    replica.apply_replicated_group(&group.frames).unwrap()
+                }
+                mlkv_storage::wal::Shipment::Idle => break,
+                mlkv_storage::wal::Shipment::Gap { .. } => panic!("no eviction expected"),
+            }
+        }
+        assert_eq!(replica.approximate_len(), primary.approximate_len());
+        assert_eq!(replica.leaf_count(), primary.leaf_count());
+        for k in 0..300u64 {
+            if k == 7 {
+                assert!(replica.get(k).unwrap_err().is_not_found());
+            } else {
+                assert_eq!(replica.get(k).unwrap(), vec![(k % 251) as u8; 16]);
+            }
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,7 +1,7 @@
 //! The `FasterKv` store: hash index + hybrid log + epoch protection, exposing the
 //! [`KvStore`] interface used by the MLKV layer and the benchmark harness.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -68,6 +68,10 @@ pub struct FasterKv {
     /// durability (the seed behaviour); otherwise every acknowledged write is
     /// logged here and replayed on open past the last checkpoint.
     wal: Option<RwLock<WalHandle>>,
+    /// Writers hold the read half for the duration of each mutation;
+    /// [`FasterKv::checkpoint`] takes the write half (non-blocking) so a
+    /// checkpoint can never interleave with an in-flight writer.
+    writer_gate: RwLock<()>,
 }
 
 impl FasterKv {
@@ -93,6 +97,7 @@ impl FasterKv {
             executor: BatchExecutor::new(config.parallelism),
             config,
             wal: None,
+            writer_gate: RwLock::new(()),
         };
         if let Some(dir) = store.config.dir.clone() {
             if checkpoint::manifest_exists(&dir) {
@@ -138,7 +143,8 @@ impl FasterKv {
                     device,
                     self.config.effective_durability(),
                     Arc::clone(&self.metrics),
-                ),
+                )
+                .with_tap(self.config.wal_tap.clone()),
                 gen,
             }));
         }
@@ -165,7 +171,8 @@ impl FasterKv {
                     device,
                     self.config.effective_durability(),
                     Arc::clone(&self.metrics),
-                );
+                )
+                .with_tap(self.config.wal_tap.clone());
                 handle.gen = old_gen + 1;
                 drop(handle);
                 for gen in wal_generations(&dir) {
@@ -532,11 +539,19 @@ impl FasterKv {
     }
 
     /// Checkpoint the store into its configured directory.
+    ///
+    /// Fails fast with [`StorageError::Checkpoint`] when any writer is in
+    /// flight: the manifest's `tail`/`live_records` must describe a state no
+    /// concurrent mutation is still moving. Writers arriving *during* the
+    /// checkpoint block until it completes.
     pub fn checkpoint(&self) -> StorageResult<()> {
         let dir =
             self.config.dir.clone().ok_or_else(|| {
                 StorageError::Checkpoint("in-memory store cannot checkpoint".into())
             })?;
+        let _quiesced = self.writer_gate.try_write().ok_or_else(|| {
+            StorageError::Checkpoint("checkpoint requires quiesced writers".into())
+        })?;
         checkpoint::write_checkpoint(self, &dir)
     }
 
@@ -624,6 +639,7 @@ impl KvStore for FasterKv {
     }
 
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        let _writers = self.writer_gate.read();
         // Log before apply: a record is never visible in the store without
         // first being in the WAL, so an acknowledged put can never be lost.
         self.wal_append(&WalOp::encode_put(key, value))?;
@@ -635,6 +651,7 @@ impl KvStore for FasterKv {
     }
 
     fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        let _writers = self.writer_gate.read();
         // Apply before log: the value only exists once the closure has run
         // against the current state. An applied-but-unlogged record can only
         // surface as an *unacknowledged* write (the commit below has not
@@ -649,6 +666,7 @@ impl KvStore for FasterKv {
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
+        let _writers = self.writer_gate.read();
         // A stable sort groups duplicate keys while keeping their occurrence
         // order, so each occurrence observes the previous one's write. Small
         // batches run under one epoch enter/exit on the calling thread; large
@@ -713,6 +731,7 @@ impl KvStore for FasterKv {
     }
 
     fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
+        let _writers = self.writer_gate.read();
         // Log the whole batch as one grouped append before touching the store
         // (log-before-apply, batch-atomic in the log), then acknowledge with a
         // single commit: one sync per batch, not per record.
@@ -734,6 +753,7 @@ impl KvStore for FasterKv {
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
+        let _writers = self.writer_gate.read();
         // Log before apply, as for `put`.
         self.wal_append(&WalOp::encode_delete(key))?;
         {
@@ -845,6 +865,29 @@ impl KvStore for FasterKv {
 
     fn flush(&self) -> StorageResult<()> {
         self.log.flush_all()
+    }
+
+    fn replication_tap(&self) -> Option<Arc<mlkv_storage::wal::WalTap>> {
+        self.config.wal_tap.clone()
+    }
+
+    fn replication_snapshot(&self) -> StorageResult<Vec<(Key, Vec<u8>)>> {
+        // Scan the hybrid log oldest→newest: later records overwrite earlier
+        // ones and tombstones delete, exactly as `recover` resolves the final
+        // state. The epoch guard keeps concurrently-trimmed pages alive.
+        let _guard = self.epoch.acquire();
+        let mut live: HashMap<u64, Vec<u8>> = HashMap::new();
+        self.log.scan(|_, record| {
+            if record.is_tombstone() {
+                live.remove(&record.key);
+            } else {
+                live.insert(record.key, record.value.clone());
+            }
+        })?;
+        let mut out: Vec<(Key, Vec<u8>)> = live.into_iter().collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        self.metrics.record_repl_snapshot();
+        Ok(out)
     }
 }
 
@@ -1329,6 +1372,84 @@ mod tests {
         assert_eq!(store.approximate_len(), 101);
         assert_eq!(store.get(200).unwrap(), vec![2u8; 16]);
         assert_eq!(store.get(99).unwrap(), vec![1u8; 16]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_concurrent_writers() {
+        let dir = temp_dir("ckpt_guard");
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_index_buckets(256)
+            .with_durability(DurabilityMode::GroupCommit { window: 64 });
+        let store = FasterKv::open(cfg).unwrap();
+        store.put(1, b"seed").unwrap();
+        // A checkpoint issued while a writer is mid-flight (here: from inside
+        // the multi_rmw closure, which runs with the write in progress) must
+        // fail with a typed error instead of snapshotting a moving state.
+        let saw_guard_error = std::sync::atomic::AtomicBool::new(false);
+        let out = store
+            .multi_rmw(&[1], &|_, cur| {
+                match store.checkpoint() {
+                    Err(StorageError::Checkpoint(msg)) => {
+                        assert!(msg.contains("quiesced"), "unexpected message: {msg}");
+                        saw_guard_error.store(true, Ordering::SeqCst);
+                    }
+                    other => panic!("expected Checkpoint error, got {other:?}"),
+                }
+                let mut v = cur.unwrap().to_vec();
+                v.push(b'!');
+                v
+            })
+            .unwrap();
+        assert!(saw_guard_error.load(Ordering::SeqCst));
+        assert_eq!(out[0], b"seed!");
+        // Quiesced again: the checkpoint goes through and the write survives.
+        store.checkpoint().unwrap();
+        assert_eq!(store.get(1).unwrap(), b"seed!");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replication_snapshot_resolves_overwrites_and_tombstones() {
+        let store = FasterKv::in_memory(1 << 20).unwrap();
+        store.put(3, b"old").unwrap();
+        store.put(1, b"one").unwrap();
+        store.put(3, b"new").unwrap();
+        store.put(2, b"two").unwrap();
+        store.delete(2).unwrap();
+        let snap = store.replication_snapshot().unwrap();
+        assert_eq!(
+            snap,
+            vec![(1, b"one".to_vec()), (3, b"new".to_vec())],
+            "later records overwrite, tombstones delete, keys sorted"
+        );
+        assert_eq!(store.metrics().snapshot().repl_snapshots, 1);
+    }
+
+    #[test]
+    fn wal_tap_observes_acked_groups() {
+        let dir = temp_dir("tap");
+        let tap = Arc::new(mlkv_storage::wal::WalTap::new(64));
+        let cfg = StoreConfig::on_disk(&dir)
+            .with_memory_budget(16 << 10)
+            .with_page_size(1 << 10)
+            .with_index_buckets(256)
+            .with_durability(DurabilityMode::GroupCommit { window: 1 << 20 })
+            .with_wal_tap(Arc::clone(&tap));
+        let store = FasterKv::open(cfg).unwrap();
+        assert!(
+            store
+                .replication_tap()
+                .is_some_and(|t| Arc::ptr_eq(&t, &tap)),
+            "store exposes the configured tap"
+        );
+        store.put(1, b"a").unwrap();
+        let keys: Vec<u64> = (0..8).collect();
+        store.multi_rmw(&keys, &|i, _| vec![i as u8]).unwrap();
+        // One frame for the put, one 8-frame group for the batch.
+        assert_eq!(tap.next_offset(), 9);
         std::fs::remove_dir_all(&dir).ok();
     }
 

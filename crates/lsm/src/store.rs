@@ -92,7 +92,8 @@ impl LsmStore {
             wal_device,
             config.effective_durability(),
             Arc::clone(&metrics),
-        );
+        )
+        .with_tap(config.wal_tap.clone());
         let mut memtable = MemTable::new();
         for (key, entry) in wal.replay()? {
             match entry {
@@ -189,7 +190,8 @@ impl LsmStore {
             wal_device,
             self.config.effective_durability(),
             Arc::clone(&self.metrics),
-        );
+        )
+        .with_tap(self.config.wal_tap.clone());
 
         if inner.tables.len() > COMPACTION_THRESHOLD {
             self.compact(inner)?;
@@ -572,6 +574,31 @@ impl KvStore for LsmStore {
         let mut inner = self.inner.write();
         self.flush_memtable(&mut inner)
     }
+
+    fn replication_tap(&self) -> Option<Arc<mlkv_storage::wal::WalTap>> {
+        self.config.wal_tap.clone()
+    }
+
+    fn replication_snapshot(&self) -> StorageResult<Vec<(Key, Vec<u8>)>> {
+        // Merge every SSTable oldest→newest, then overlay the memtable — the
+        // same newest-wins resolution reads use — and drop tombstones: the
+        // result is the full live state a catching-up replica should install.
+        let inner = self.inner.read();
+        let mut merged: std::collections::BTreeMap<u64, Entry> = std::collections::BTreeMap::new();
+        for table in &inner.tables {
+            for (key, entry) in table.scan_all(&self.metrics)? {
+                merged.insert(key, entry);
+            }
+        }
+        for (&key, entry) in inner.memtable.iter() {
+            merged.insert(key, entry.clone());
+        }
+        self.metrics.record_repl_snapshot();
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, e)| e.map(|v| (k, v)))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -791,6 +818,39 @@ mod tests {
         assert_eq!(store.get(0).unwrap(), 0u64.to_le_bytes());
         assert!(store.get(5).unwrap_err().is_not_found());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replication_snapshot_merges_all_levels() {
+        let tap = Arc::new(mlkv_storage::wal::WalTap::new(64));
+        let store = LsmStore::open(
+            StoreConfig::in_memory()
+                .with_memory_budget(32 << 10)
+                .with_wal_tap(Arc::clone(&tap)),
+        )
+        .unwrap();
+        assert!(
+            store
+                .replication_tap()
+                .is_some_and(|t| Arc::ptr_eq(&t, &tap)),
+            "store exposes the configured tap"
+        );
+        store.put(1, b"sst-old").unwrap();
+        store.put(2, b"sst").unwrap();
+        store.put(3, b"doomed").unwrap();
+        store.flush().unwrap(); // all three now live in an SSTable
+        store.put(1, b"mem-new").unwrap(); // memtable overrides the SSTable
+        store.delete(3).unwrap(); // memtable tombstone hides the SSTable
+        store.put(4, b"mem").unwrap();
+        let snap = store.replication_snapshot().unwrap();
+        assert_eq!(
+            snap,
+            vec![
+                (1, b"mem-new".to_vec()),
+                (2, b"sst".to_vec()),
+                (4, b"mem".to_vec()),
+            ]
+        );
     }
 
     #[test]

@@ -34,6 +34,13 @@ impl WriteAheadLog {
         }
     }
 
+    /// Publish acknowledged groups into `tap` for replication (see
+    /// [`mlkv_storage::wal::WalTap`]).
+    pub fn with_tap(mut self, tap: Option<Arc<mlkv_storage::wal::WalTap>>) -> Self {
+        self.writer = self.writer.with_tap(tap);
+        self
+    }
+
     /// Append a put record (not yet committed).
     pub fn log_put(&self, key: u64, value: &[u8]) -> StorageResult<()> {
         self.writer.append(&WalOp::encode_put(key, value))

@@ -41,9 +41,10 @@ use mlkv::EmbeddingTable;
 use mlkv_storage::{StorageError, StorageMetrics, WriteBatch};
 
 use crate::dedup::{self, DedupWindow};
-use crate::health::{Health, HealthState};
+use crate::health::{Health, HealthState, Role};
 use crate::protocol::{encode_error, ErrorCode, Response};
 use crate::queue::{AdmissionQueue, Pending, Work};
+use crate::repl::{ReplicationHub, ReplicationMode};
 
 /// Feedback-sized micro-batch window (in requests per tick).
 ///
@@ -139,6 +140,10 @@ pub struct Batcher {
     /// mutation even though it was NACKed (apply-before-log engines), so a
     /// retry must consult the durable marker before re-applying.
     in_doubt: HashSet<u64>,
+    /// Replication state for the semi-sync acknowledgement gate (`None`
+    /// outside a served replication topology).
+    repl: Option<Arc<ReplicationHub>>,
+    repl_mode: ReplicationMode,
 }
 
 impl Batcher {
@@ -165,7 +170,18 @@ impl Batcher {
             health,
             dedup,
             in_doubt: HashSet::new(),
+            repl: None,
+            repl_mode: ReplicationMode::Async,
         }
+    }
+
+    /// Attach the replication hub and acknowledgement mode. Under
+    /// [`ReplicationMode::SemiSync`] every fused apply waits for the quorum
+    /// before acknowledging.
+    pub fn with_replication(mut self, hub: Arc<ReplicationHub>, mode: ReplicationMode) -> Self {
+        self.repl = Some(hub);
+        self.repl_mode = mode;
+        self
     }
 
     /// Run until the queue is closed and fully drained, then flush the table.
@@ -280,10 +296,15 @@ impl Batcher {
             if p.session_id != 0 && self.dedup.already_acked(p.session_id, p.id) {
                 self.metrics.record_serve_deduped();
                 (p.reply)(Response::Applied { id: p.id });
-            } else if self.health.state() != HealthState::Serving {
+            } else if self.health.state() != HealthState::Serving
+                || self.health.role() == Role::Replica
+            {
                 // Degraded (or draining): refuse the mutation with the
                 // retryable hint. The probe at the top of the tick is what
-                // eventually lets these through.
+                // eventually lets these through. A replica refuses client
+                // mutations the same retryable way — its writes arrive over
+                // the replication stream — so a client that reached it before
+                // promotion just backs off and retries into the promotion.
                 rejected.push(p);
             } else if p.session_id != 0 && !in_run.insert((p.session_id, p.id)) {
                 riders.push(p);
@@ -353,6 +374,23 @@ impl Batcher {
         match self.table.apply_gradients_tagged(&fused, lr, &tags) {
             Ok(()) => {
                 drop(fused);
+                if let Err(err) = self.replication_barrier() {
+                    // Locally durable but the replica quorum did not confirm
+                    // in time: acknowledging now could lose the mutation to a
+                    // failover, so NACK retryably. The marker *is* durable
+                    // (and shipped with the batch), so the sessions go
+                    // in-doubt and their retries reconcile through it —
+                    // exactly once, never doubled — whether they land back
+                    // here or on a promoted replica.
+                    for p in &fresh {
+                        if p.session_id != 0 {
+                            self.in_doubt.insert(p.session_id);
+                        }
+                    }
+                    self.fail_run(fresh, &err);
+                    self.fail_run(riders, &err);
+                    return count;
+                }
                 for p in fresh {
                     if p.session_id != 0 {
                         self.dedup.record(p.session_id, p.id);
@@ -380,6 +418,24 @@ impl Batcher {
             }
         }
         count
+    }
+
+    /// The semi-sync acknowledgement gate: wait until the configured number
+    /// of replicas have acked the WAL tail the fused apply just produced.
+    /// `Async` mode (or no hub) passes immediately. A quorum timeout is a
+    /// retryable refusal, not a health event — the local write path is fine.
+    fn replication_barrier(&self) -> Result<(), StorageError> {
+        let (Some(hub), ReplicationMode::SemiSync { acks }) = (&self.repl, self.repl_mode) else {
+            return Ok(());
+        };
+        let target = hub.tail();
+        if hub.wait_for_acks(target, acks, hub.ack_timeout()) {
+            Ok(())
+        } else {
+            Err(StorageError::Unavailable {
+                retry_after_ms: hub.retry_hint_ms(),
+            })
+        }
     }
 
     /// Decide whether an in-doubt session's NACKed attempt actually landed in
@@ -774,6 +830,94 @@ mod tests {
         let snap = table.store().metrics().snapshot();
         assert_eq!(snap.health_degraded, 1);
         assert_eq!(snap.health_recovered, 1);
+    }
+
+    #[test]
+    fn replica_role_rejects_applies_but_serves_gathers() {
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let mut b = batcher(&table, &queue);
+        b.health.set_role(Role::Replica);
+
+        let (a, arx) = session_apply_pending(3, 1, 1.0, vec![(2, vec![1.0; 4])]);
+        b.tick(vec![a], 0);
+        match arx.try_recv().unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+
+        // Gathers keep flowing (a different key: under BSP a second Get on
+        // the same key would wait for a Put that the rejected apply never
+        // made).
+        let (g, grx) = gather_pending(2, vec![5]);
+        b.tick(vec![g], 0);
+        assert!(matches!(grx.try_recv().unwrap(), Response::Rows { .. }));
+
+        // Promotion (role flip) lets the retry through, and it is the same
+        // (session, id) — applied exactly once, not doubled.
+        b.health.set_role(Role::Primary);
+        let before = table.get_one(2).unwrap();
+        let (retry, rrx) = session_apply_pending(3, 1, 1.0, vec![(2, vec![1.0; 4])]);
+        b.tick(vec![retry], 0);
+        assert!(matches!(
+            rrx.try_recv().unwrap(),
+            Response::Applied { id: 1 }
+        ));
+        let after = table.get_one(2).unwrap();
+        assert!((after[0] - (before[0] - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn semisync_without_quorum_nacks_and_retry_reconciles_after_ack() {
+        use mlkv_storage::ReplicationTuning;
+
+        let table = test_table(4);
+        let queue = Arc::new(AdmissionQueue::new(64));
+        let hub = Arc::new(ReplicationHub::new(
+            None,
+            table.store().metrics(),
+            ReplicationTuning {
+                retention_groups: 16,
+                ack_timeout_ms: 1,
+                heartbeat_ms: 1,
+            },
+        ));
+        let mut b = batcher(&table, &queue)
+            .with_replication(Arc::clone(&hub), ReplicationMode::SemiSync { acks: 1 });
+        let before = table.get_one(8).unwrap();
+
+        // No replica attached: the apply lands locally (marker and all) but
+        // the quorum times out, so the client gets a retryable NACK.
+        let (a, arx) = session_apply_pending(11, 1, 1.0, vec![(8, vec![1.0; 4])]);
+        b.tick(vec![a], 0);
+        match arx.try_recv().unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unavailable),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        let mid = table.get_one(8).unwrap();
+        assert!(
+            (mid[0] - (before[0] - 1.0)).abs() < 1e-6,
+            "mutation is locally applied despite the NACK"
+        );
+
+        // A replica attaches and acks: the retry reconciles through the
+        // durable marker — acknowledged without re-applying. Compare raw
+        // stored bytes (the dedup'd retry makes no Put, so a table Get here
+        // would wait on the BSP staleness clock).
+        let raw_mid = table.store().multi_get(&[8]).pop().unwrap().unwrap();
+        let id = hub.register();
+        hub.record_ack(id, u64::MAX);
+        let (retry, rrx) = session_apply_pending(11, 1, 1.0, vec![(8, vec![1.0; 4])]);
+        b.tick(vec![retry], 0);
+        assert!(matches!(
+            rrx.try_recv().unwrap(),
+            Response::Applied { id: 1 }
+        ));
+        let raw_after = table.store().multi_get(&[8]).pop().unwrap().unwrap();
+        assert_eq!(
+            raw_mid, raw_after,
+            "gradient applied exactly once across NACK and retry"
+        );
     }
 
     #[test]

@@ -8,14 +8,15 @@
 //! The process runs until a client sends a `Shutdown` frame (see
 //! `Client::shutdown_server`) or it receives SIGINT/SIGTERM-free EOF from the
 //! environment; shutdown drains admitted work and flushes the table. The
-//! `MLKV_IO_BACKEND`, `MLKV_PARALLELISM`, and `MLKV_DURABILITY` environment
-//! overrides apply on top of the flags.
+//! `MLKV_IO_BACKEND`, `MLKV_PARALLELISM`, `MLKV_DURABILITY`, and
+//! `MLKV_REPLICATION_MODE` environment overrides apply on top of the flags;
+//! `--replicate-from` starts the process as a replica of the given primary.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use mlkv::BackendKind;
-use mlkv_server::ServerBuilder;
+use mlkv_server::{ReplicationMode, ServerBuilder};
 use mlkv_storage::DurabilityMode;
 
 fn usage() -> ! {
@@ -28,6 +29,8 @@ fn usage() -> ! {
          \x20                 [--window-wait-us N] [--no-adaptive]\n\
          \x20                 [--dedup-slots N] [--probe-interval-ms N]\n\
          \x20                 [--retry-after-ms N]\n\
+         \x20                 [--replicate-from HOST:PORT]\n\
+         \x20                 [--replication-mode async|semisync[:acks]]\n\
          backends: {}",
         BackendKind::ALL
             .iter()
@@ -64,6 +67,8 @@ fn main() -> ExitCode {
     let mut dedup_slots: Option<usize> = None;
     let mut probe_interval_ms: Option<u64> = None;
     let mut retry_after_ms: Option<u64> = None;
+    let mut replicate_from: Option<String> = None;
+    let mut replication_mode: Option<ReplicationMode> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -107,6 +112,14 @@ fn main() -> ExitCode {
             }
             "--retry-after-ms" => {
                 retry_after_ms = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--replicate-from" => replicate_from = Some(value().to_string()),
+            "--replication-mode" => {
+                let spec = value();
+                replication_mode = Some(ReplicationMode::parse(spec).unwrap_or_else(|| {
+                    eprintln!("bad replication mode: {spec}");
+                    usage()
+                }));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -152,6 +165,12 @@ fn main() -> ExitCode {
     }
     if let Some(ms) = retry_after_ms {
         builder = builder.unavailable_retry_after_ms(ms);
+    }
+    if let Some(primary) = replicate_from {
+        builder = builder.replicate_from(primary);
+    }
+    if let Some(mode) = replication_mode {
+        builder = builder.replication_mode(mode);
     }
 
     let handle = match builder.serve(&addr) {

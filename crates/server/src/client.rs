@@ -24,7 +24,13 @@
 //! * a non-zero [`ClientOptions::session_id`] makes retried mutations
 //!   **idempotent**: the request id is preserved across attempts and the
 //!   server deduplicates on `(session_id, id)`, so a retry whose original
-//!   attempt was applied-but-unacknowledged is acknowledged, not re-applied.
+//!   attempt was applied-but-unacknowledged is acknowledged, not re-applied;
+//! * when the address resolves to **multiple endpoints** (a primary and its
+//!   replicas), the client remembers which endpoint last answered and, on a
+//!   typed `Unavailable` rejection, rotates to the next one before retrying —
+//!   so an apply that lands on a replica (or a just-killed primary) re-resolves
+//!   to the promoted endpoint, and the preserved request id dedups across the
+//!   failover.
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -32,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use mlkv_storage::{StorageError, StorageResult};
 
-use crate::protocol::{decode_error, read_frame, write_frame, Request, Response};
+use crate::protocol::{decode_error, read_frame, write_frame, ErrorCode, Request, Response};
 
 /// Retry, timeout, and idempotency knobs for [`Client::connect_with`].
 #[derive(Debug, Clone)]
@@ -117,6 +123,9 @@ struct Conn {
 /// A blocking connection to an `mlkv-server`.
 pub struct Client {
     addrs: Vec<SocketAddr>,
+    /// Index of the endpoint the current/last connection reached; connection
+    /// attempts start here so the client sticks to a discovered primary.
+    addr_cursor: usize,
     conn: Option<Conn>,
     opts: ClientOptions,
     next_id: u64,
@@ -143,6 +152,7 @@ impl Client {
         let rng = opts.jitter_seed | 1;
         let mut client = Self {
             addrs,
+            addr_cursor: 0,
             conn: None,
             opts,
             next_id,
@@ -168,17 +178,23 @@ impl Client {
         self.stats
     }
 
-    fn open_conn(&self) -> StorageResult<Conn> {
+    fn open_conn(&mut self) -> StorageResult<Conn> {
         let mut last = io::Error::other("no address to connect to");
-        for addr in &self.addrs {
+        // Start at the cursor (the endpoint that last answered, or the one a
+        // rotation skipped to) and wrap around the whole list, so a dead
+        // primary falls through to its replicas.
+        for step in 0..self.addrs.len() {
+            let idx = (self.addr_cursor + step) % self.addrs.len();
+            let addr = self.addrs[idx];
             let attempt = match self.opts.connect_timeout {
-                Some(t) => TcpStream::connect_timeout(addr, t),
+                Some(t) => TcpStream::connect_timeout(&addr, t),
                 None => TcpStream::connect(addr),
             };
             match attempt {
                 Ok(stream) => {
                     stream.set_nodelay(true).map_err(StorageError::Io)?;
                     let reader = BufReader::new(stream.try_clone().map_err(StorageError::Io)?);
+                    self.addr_cursor = idx;
                     return Ok(Conn {
                         reader,
                         writer: stream,
@@ -263,6 +279,16 @@ impl Client {
             self.stats.attempts += 1;
             let request = build(remaining.map_or(0, deadline_to_some_us));
             let err = match self.attempt(&request, remaining) {
+                // Typed back-pressure is part of the retry contract: fold the
+                // server's own Unavailable/Overloaded rejections into the
+                // retry loop (a degraded primary heals, a replica gets
+                // promoted, a full queue drains). Other typed errors are
+                // semantic and flow back to the caller as responses.
+                Ok(Response::Error { code, message, .. })
+                    if matches!(code, ErrorCode::Unavailable | ErrorCode::Overloaded) =>
+                {
+                    decode_error(code, &message)
+                }
                 Ok(response) => return Ok(response),
                 Err(err) => err,
             };
@@ -271,6 +297,14 @@ impl Client {
             }
             attempts_left -= 1;
             self.stats.retries += 1;
+            // A typed `Unavailable` from one endpoint of a multi-endpoint
+            // client usually means "wrong role" (a replica, or a degraded
+            // primary) — rotate so the retry tries the next endpoint instead
+            // of hammering the same one.
+            if self.addrs.len() > 1 && matches!(err, StorageError::Unavailable { .. }) {
+                self.conn = None;
+                self.addr_cursor = (self.addr_cursor + 1) % self.addrs.len();
+            }
             // An Unavailable hint floors the backoff; the remaining budget
             // caps the sleep so retries never outlive the deadline.
             let hint = match &err {

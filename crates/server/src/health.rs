@@ -42,6 +42,22 @@ pub enum HealthState {
     Draining = 2,
 }
 
+/// The server's replication role (the `repl_role` gauge uses these values).
+///
+/// Orthogonal to [`HealthState`]: a replica can itself be serving, degraded,
+/// or draining. A [`Role::Replica`] answers gathers from replicated state but
+/// refuses client mutations with [`StorageError::Unavailable`] — its writes
+/// arrive only over the replication stream — until
+/// [`crate::ServerHandle::promote`] flips it to [`Role::Primary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Role {
+    /// Accepts client mutations and ships its WAL to attached replicas.
+    Primary = 0,
+    /// Applies the primary's WAL stream; read-only for clients.
+    Replica = 1,
+}
+
 /// True for errors that indicate the write path itself is unhealthy (as
 /// opposed to a bad request): device I/O failures, detected corruption, and
 /// failed checkpoints.
@@ -56,6 +72,7 @@ pub fn is_write_fault(err: &StorageError) -> bool {
 /// transitions happen on the batcher thread.
 pub struct Health {
     state: AtomicU8,
+    role: AtomicU8,
     retry_after_ms: u64,
     probe_interval: Duration,
     /// When the last probe ran (`None` = never, so the first is always due).
@@ -76,8 +93,10 @@ impl Health {
         metrics: Arc<StorageMetrics>,
     ) -> Self {
         metrics.set_health_state(HealthState::Serving as u64);
+        metrics.set_repl_role(Role::Primary as u64);
         Self {
             state: AtomicU8::new(HealthState::Serving as u8),
+            role: AtomicU8::new(Role::Primary as u8),
             retry_after_ms,
             probe_interval,
             last_probe: Mutex::new(None),
@@ -93,6 +112,21 @@ impl Health {
             1 => HealthState::Degraded,
             _ => HealthState::Draining,
         }
+    }
+
+    /// Current replication role.
+    pub fn role(&self) -> Role {
+        match self.role.load(Ordering::SeqCst) {
+            0 => Role::Primary,
+            _ => Role::Replica,
+        }
+    }
+
+    /// Change the replication role (replica attach at startup, promotion at
+    /// failover) and export it on the `repl_role` gauge.
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role as u8, Ordering::SeqCst);
+        self.metrics.set_repl_role(role as u64);
     }
 
     /// The typed error mutations receive while degraded.
@@ -249,6 +283,21 @@ mod tests {
             assert!(!h.on_write_error(&err));
         }
         assert_eq!(h.state(), HealthState::Serving);
+    }
+
+    #[test]
+    fn role_flips_are_tracked_on_the_gauge() {
+        let t = table();
+        let metrics = t.store().metrics();
+        let h = health(Arc::clone(&metrics));
+        assert_eq!(h.role(), Role::Primary);
+        assert_eq!(metrics.snapshot().repl_role, Role::Primary as u64);
+        h.set_role(Role::Replica);
+        assert_eq!(h.role(), Role::Replica);
+        assert_eq!(metrics.snapshot().repl_role, Role::Replica as u64);
+        assert_eq!(h.state(), HealthState::Serving, "role is orthogonal");
+        h.set_role(Role::Primary);
+        assert_eq!(metrics.snapshot().repl_role, Role::Primary as u64);
     }
 
     #[test]

@@ -33,7 +33,14 @@
 //!   write-path faults, with probe-driven recovery and a `Draining` terminal
 //!   state for shutdown;
 //! * [`chaos`] — a deterministic chaos proxy severing and delaying
-//!   connections at scripted chunk ordinals, for crash/retry sweeps.
+//!   connections at scripted chunk ordinals, for crash/retry sweeps;
+//! * [`repl`] — a replicated tier on the shared WAL framing: a primary
+//!   streams committed WAL groups to replicas over the same wire protocol
+//!   (snapshot catch-up included), [`repl::ReplicationMode::SemiSync`] gates
+//!   acknowledgements on replica acks, and
+//!   [`server::ServerHandle::promote`] fails over to a replica with the
+//!   dedup windows rebuilt from durable markers — zero acked loss, zero
+//!   double-apply across the switch.
 
 pub mod batcher;
 pub mod chaos;
@@ -42,15 +49,17 @@ pub mod dedup;
 pub mod health;
 pub mod protocol;
 pub mod queue;
+pub mod repl;
 pub mod server;
 
 pub use batcher::{AdaptiveWindow, Batcher, BatcherConfig};
 pub use chaos::{ChaosProxy, ChaosScript};
 pub use client::{Client, ClientOptions, ClientStats};
 pub use dedup::{DedupWindow, PROBE_KEY, RESERVED_KEY_BASE};
-pub use health::{Health, HealthState};
+pub use health::{Health, HealthState, Role};
 pub use protocol::{
     decode_error, encode_error, ErrorCode, FrameError, Request, Response, MAX_FRAME_BYTES,
 };
 pub use queue::{AdmissionQueue, Pending, Work};
+pub use repl::{ReplicationClient, ReplicationHub, ReplicationMode};
 pub use server::{ServerBuilder, ServerHandle, DEFAULT_QUEUE_CAPACITY};

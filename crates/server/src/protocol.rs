@@ -51,6 +51,8 @@ const OP_PING: u8 = 0x01;
 const OP_GATHER: u8 = 0x02;
 const OP_APPLY: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_REPL_HANDSHAKE: u8 = 0x10;
+const OP_REPL_ACK: u8 = 0x11;
 
 /// Response opcodes (high bit set).
 const OP_PONG: u8 = 0x81;
@@ -58,6 +60,9 @@ const OP_ROWS: u8 = 0x82;
 const OP_APPLIED: u8 = 0x83;
 const OP_SHUTDOWN_STARTED: u8 = 0x84;
 const OP_ERROR: u8 = 0x8F;
+const OP_REPL_START: u8 = 0x90;
+const OP_REPL_APPEND: u8 = 0x91;
+const OP_REPL_SNAPSHOT: u8 = 0x92;
 
 /// Typed rejection codes carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +227,22 @@ pub enum Request {
     },
     /// Begin graceful shutdown: drain queued work, fsync, close listeners.
     Shutdown,
+    /// A replica attaching to this server's WAL stream. The connection
+    /// switches from request/response into replication streaming: the server
+    /// answers with optional [`Response::ReplSnapshot`] catch-up chunks, then
+    /// [`Response::ReplStart`], then an open-ended sequence of
+    /// [`Response::ReplAppend`] frames.
+    ReplHandshake {
+        /// Global frame ordinal the replica has durably applied; the stream
+        /// resumes at (or before — re-application is idempotent) this point.
+        applied: u64,
+    },
+    /// Replica → primary progress report on an open replication stream; also
+    /// doubles as the replica's heartbeat.
+    ReplAck {
+        /// Global frame ordinal the replica has durably applied.
+        applied: u64,
+    },
 }
 
 /// A decoded response frame.
@@ -253,6 +274,33 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Answer to [`Request::ReplHandshake`] (after any snapshot chunks):
+    /// appends will stream from `resume_from`. The replica adopts
+    /// `resume_from` as its applied offset.
+    ReplStart {
+        /// First global frame ordinal the append stream covers.
+        resume_from: u64,
+    },
+    /// One acknowledged WAL group, shipped verbatim: the frame payloads of
+    /// one group-commit window, in append order.
+    ReplAppend {
+        /// Global ordinal of `frames[0]`.
+        offset: u64,
+        /// The group's WAL record payloads (no framing headers — those are
+        /// re-added by the replica's own WAL when it re-logs the ops).
+        frames: Vec<Vec<u8>>,
+    },
+    /// One chunk of state-transfer catch-up, sent when the replica's applied
+    /// offset has fallen behind the primary's in-memory WAL retention. Pairs
+    /// are raw `(key, value)` store entries; installing every chunk and then
+    /// adopting the accompanying [`Response::ReplStart`] offset is equivalent
+    /// to having replayed all frames below it.
+    ReplSnapshot {
+        /// The append stream will resume here once all chunks are installed.
+        resume_from: u64,
+        /// Raw store entries for this chunk.
+        pairs: Vec<(u64, Vec<u8>)>,
     },
 }
 
@@ -398,6 +446,18 @@ impl Request {
                 out
             }
             Request::Shutdown => vec![OP_SHUTDOWN],
+            Request::ReplHandshake { applied } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_REPL_HANDSHAKE);
+                put_u64(&mut out, *applied);
+                out
+            }
+            Request::ReplAck { applied } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_REPL_ACK);
+                put_u64(&mut out, *applied);
+                out
+            }
         }
     }
 
@@ -408,6 +468,8 @@ impl Request {
         let req = match op {
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_REPL_HANDSHAKE => Request::ReplHandshake { applied: c.u64()? },
+            OP_REPL_ACK => Request::ReplAck { applied: c.u64()? },
             OP_GATHER => {
                 let id = c.u64()?;
                 let deadline_us = c.u64()?;
@@ -492,6 +554,37 @@ impl Response {
                 out.extend_from_slice(msg);
                 out
             }
+            Response::ReplStart { resume_from } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(OP_REPL_START);
+                put_u64(&mut out, *resume_from);
+                out
+            }
+            Response::ReplAppend { offset, frames } => {
+                let body: usize = frames.iter().map(|f| 4 + f.len()).sum();
+                let mut out = Vec::with_capacity(1 + 8 + 4 + body);
+                out.push(OP_REPL_APPEND);
+                put_u64(&mut out, *offset);
+                put_u32(&mut out, frames.len() as u32);
+                for frame in frames {
+                    put_u32(&mut out, frame.len() as u32);
+                    out.extend_from_slice(frame);
+                }
+                out
+            }
+            Response::ReplSnapshot { resume_from, pairs } => {
+                let body: usize = pairs.iter().map(|(_, v)| 12 + v.len()).sum();
+                let mut out = Vec::with_capacity(1 + 8 + 4 + body);
+                out.push(OP_REPL_SNAPSHOT);
+                put_u64(&mut out, *resume_from);
+                put_u32(&mut out, pairs.len() as u32);
+                for (key, value) in pairs {
+                    put_u64(&mut out, *key);
+                    put_u32(&mut out, value.len() as u32);
+                    out.extend_from_slice(value);
+                }
+                out
+            }
         }
     }
 
@@ -526,6 +619,34 @@ impl Response {
                 check_count(len, 1)?;
                 let message = String::from_utf8_lossy(c.take(len)?).into_owned();
                 Response::Error { id, code, message }
+            }
+            OP_REPL_START => Response::ReplStart {
+                resume_from: c.u64()?,
+            },
+            OP_REPL_APPEND => {
+                let offset = c.u64()?;
+                let n = c.u32()? as usize;
+                check_count(n, 4)?;
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = c.u32()? as usize;
+                    check_count(len, 1)?;
+                    frames.push(c.take(len)?.to_vec());
+                }
+                Response::ReplAppend { offset, frames }
+            }
+            OP_REPL_SNAPSHOT => {
+                let resume_from = c.u64()?;
+                let n = c.u32()? as usize;
+                check_count(n, 12)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = c.u64()?;
+                    let len = c.u32()? as usize;
+                    check_count(len, 1)?;
+                    pairs.push((key, c.take(len)?.to_vec()));
+                }
+                Response::ReplSnapshot { resume_from, pairs }
             }
             other => return Err(FrameError::UnknownOpcode(other)),
         };
@@ -623,6 +744,49 @@ mod tests {
             code: ErrorCode::Overloaded,
             message: "queue full".into(),
         });
+    }
+
+    #[test]
+    fn replication_frames_roundtrip() {
+        roundtrip_request(Request::ReplHandshake { applied: 0 });
+        roundtrip_request(Request::ReplHandshake { applied: u64::MAX });
+        roundtrip_request(Request::ReplAck { applied: 12345 });
+        roundtrip_response(Response::ReplStart { resume_from: 99 });
+        roundtrip_response(Response::ReplAppend {
+            offset: 7,
+            frames: vec![vec![1, 2, 3], Vec::new(), vec![0xFF; 64]],
+        });
+        roundtrip_response(Response::ReplAppend {
+            offset: 0,
+            frames: Vec::new(),
+        });
+        roundtrip_response(Response::ReplSnapshot {
+            resume_from: 42,
+            pairs: vec![(1, b"one".to_vec()), (u64::MAX, Vec::new())],
+        });
+    }
+
+    #[test]
+    fn truncated_replication_bodies_are_typed_errors() {
+        let full = Response::ReplAppend {
+            offset: 3,
+            frames: vec![vec![9, 9], vec![8]],
+        }
+        .encode();
+        for cut in 1..full.len() {
+            assert_eq!(
+                Response::decode(&full[..cut]),
+                Err(FrameError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // A frame-length field promising more payload than the cap must fail
+        // the count check, not attempt the allocation.
+        let mut body = vec![OP_REPL_APPEND];
+        put_u64(&mut body, 0);
+        put_u32(&mut body, 1);
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(Response::decode(&body), Err(FrameError::Oversized));
     }
 
     #[test]

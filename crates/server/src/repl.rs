@@ -1,0 +1,651 @@
+//! Primary → replica replication over the shared WAL framing.
+//!
+//! A replica is an ordinary server started with `--replicate-from HOST:PORT`:
+//! it dials the primary's client port, sends [`Request::ReplHandshake`] with
+//! the frame ordinal it has durably applied, and the connection switches into
+//! a one-way append stream. The primary walks its [`WalTap`] with a
+//! [`WalShipper`] and sends each acknowledged group verbatim as
+//! [`Response::ReplAppend`]; the replica replays groups through
+//! [`ReplicaApplier`] (re-logging them in its *own* WAL, so its durability
+//! story is the same as a primary's) and reports progress with
+//! [`Request::ReplAck`]. A replica that lags past the tap's retention window
+//! is caught up by state transfer ([`Response::ReplSnapshot`] chunks followed
+//! by [`Response::ReplStart`]); re-application overlap is harmless because
+//! WAL frames carry idempotent post-images.
+//!
+//! Acknowledgement modes ([`ReplicationMode`]):
+//!
+//! * `Async` — the primary acknowledges an apply as soon as its own WAL
+//!   commits it (replicas trail by the shipping lag).
+//! * `SemiSync { acks }` — the primary additionally waits until `acks`
+//!   replicas have acked the fused batch's WAL tail before acknowledging.
+//!   An ack-timeout is *not* an acknowledgement: the batch is refused with
+//!   the retryable [`StorageError::Unavailable`] and its sessions are marked
+//!   in-doubt, so the client's retry reconciles through the durable session
+//!   marker exactly like a write fault — acked-but-unreplicated mutations
+//!   cannot exist.
+//!
+//! Failover is promotion: [`crate::ServerHandle::promote`] stops the
+//! replication client, rebuilds the dedup windows from the replicated session
+//! markers (exactly as restart recovery does), and flips
+//! [`crate::Role::Replica`] → [`crate::Role::Primary`], after which the former replica
+//! accepts mutations. Clients carry the endpoint list and re-resolve on
+//! failure, deduplicating in-flight retries across the promotion.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mlkv_storage::wal::{ReplicaApplier, Shipment, WalGroup, WalShipper, WalTap};
+use mlkv_storage::{KvStore, ReplicationTuning, StorageError, StorageMetrics, WriteBatch};
+
+use crate::protocol::{encode_error, read_frame, write_frame, Request, Response};
+
+/// Entries per [`Response::ReplSnapshot`] chunk, keeping each state-transfer
+/// frame far below [`crate::protocol::MAX_FRAME_BYTES`] for embedding-sized
+/// values.
+const SNAPSHOT_CHUNK_PAIRS: usize = 1024;
+
+/// When the primary acknowledges a mutation relative to replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Acknowledge at local WAL commit; replicas trail asynchronously.
+    Async,
+    /// Acknowledge only once `acks` replicas have durably applied the
+    /// batch's WAL tail (clamped to ≥ 1).
+    SemiSync {
+        /// Replica acknowledgements required per fused batch.
+        acks: usize,
+    },
+}
+
+impl ReplicationMode {
+    /// Parse `"async"` or `"semisync[:acks]"` (as accepted by the
+    /// `--replication-mode` flag and `MLKV_REPLICATION_MODE`).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("async") {
+            return Some(Self::Async);
+        }
+        if let Some(rest) = s
+            .strip_prefix("semisync")
+            .or_else(|| s.strip_prefix("SEMISYNC"))
+        {
+            let acks = match rest.strip_prefix(':') {
+                Some(n) => n.trim().parse::<usize>().ok()?,
+                None if rest.is_empty() => 1,
+                None => return None,
+            };
+            return Some(Self::SemiSync { acks: acks.max(1) });
+        }
+        None
+    }
+
+    /// The mode named by `MLKV_REPLICATION_MODE`, if set and well-formed.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("MLKV_REPLICATION_MODE")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+    }
+}
+
+impl std::fmt::Display for ReplicationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Async => write!(f, "async"),
+            Self::SemiSync { acks } => write!(f, "semisync:{acks}"),
+        }
+    }
+}
+
+struct HubInner {
+    /// Highest acked frame ordinal per attached replica stream.
+    acked: HashMap<u64, u64>,
+    next_id: u64,
+}
+
+/// Primary-side replication state: the attached replica streams and their
+/// acknowledged offsets. The batcher's semi-sync gate waits on it; each
+/// replica connection registers itself for the life of its stream.
+pub struct ReplicationHub {
+    tap: Option<Arc<WalTap>>,
+    metrics: Arc<StorageMetrics>,
+    tuning: ReplicationTuning,
+    inner: Mutex<HubInner>,
+    changed: Condvar,
+}
+
+impl ReplicationHub {
+    /// A hub over the serving store's tap (`None` when the store cannot ship
+    /// — no WAL, or no tap configured; handshakes are then refused).
+    pub fn new(
+        tap: Option<Arc<WalTap>>,
+        metrics: Arc<StorageMetrics>,
+        tuning: ReplicationTuning,
+    ) -> Self {
+        Self {
+            tap,
+            metrics,
+            tuning,
+            inner: Mutex::new(HubInner {
+                acked: HashMap::new(),
+                next_id: 0,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// The replication tail: ordinal one past the last acknowledged frame.
+    pub fn tail(&self) -> u64 {
+        self.tap.as_ref().map(|t| t.next_offset()).unwrap_or(0)
+    }
+
+    /// The semi-sync ack wait budget.
+    pub fn ack_timeout(&self) -> Duration {
+        Duration::from_millis(self.tuning.ack_timeout_ms.max(1))
+    }
+
+    /// The backoff hint carried by semi-sync refusals.
+    pub fn retry_hint_ms(&self) -> u64 {
+        self.tuning.heartbeat_ms.max(1)
+    }
+
+    /// Number of currently attached replica streams.
+    pub fn replica_count(&self) -> usize {
+        self.lock().acked.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register(&self) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.acked.insert(id, 0);
+        id
+    }
+
+    pub(crate) fn unregister(&self, id: u64) {
+        self.lock().acked.remove(&id);
+        self.changed.notify_all();
+    }
+
+    pub(crate) fn record_ack(&self, id: u64, applied: u64) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.acked.get_mut(&id) {
+            *slot = (*slot).max(applied);
+        }
+        let min_acked = inner.acked.values().copied().min().unwrap_or(0);
+        drop(inner);
+        self.metrics.record_repl_ack();
+        self.metrics
+            .set_repl_lag(self.tail().saturating_sub(min_acked));
+        self.changed.notify_all();
+    }
+
+    /// Block until `need` replicas have acked frame ordinal `offset` (or
+    /// beyond), up to `timeout`. Returns whether the quorum was reached.
+    pub fn wait_for_acks(&self, offset: u64, need: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            let got = inner.acked.values().filter(|&&a| a >= offset).count();
+            if got >= need {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Take over a connection that sent [`Request::ReplHandshake`]: stream
+    /// WAL groups to the replica until it disconnects or `shutdown` is set.
+    /// Runs on the connection's thread; an ack-reader thread drains the
+    /// replica's [`Request::ReplAck`] frames concurrently.
+    pub fn serve_replica(
+        self: &Arc<Self>,
+        reader: BufReader<TcpStream>,
+        writer: Arc<Mutex<TcpStream>>,
+        store: Arc<dyn KvStore>,
+        applied: u64,
+        shutdown: &AtomicBool,
+    ) {
+        let Some(tap) = self.tap.clone() else {
+            let err = StorageError::InvalidArgument(
+                "this server has no replication tap (WAL disabled?)".into(),
+            );
+            let (code, message) = encode_error(&err);
+            send_response(
+                &writer,
+                &Response::Error {
+                    id: 0,
+                    code,
+                    message,
+                },
+            );
+            return;
+        };
+
+        let id = self.register();
+        let hub = Arc::clone(self);
+        let acker = thread::Builder::new()
+            .name("mlkv-repl-acks".into())
+            .spawn(move || {
+                let mut reader = reader;
+                while let Ok(Some(body)) = read_frame(&mut reader) {
+                    match Request::decode(&body) {
+                        Ok(Request::ReplAck { applied }) => hub.record_ack(id, applied),
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                }
+                hub.unregister(id);
+            })
+            .expect("spawn replication ack reader");
+
+        let mut cursor = applied;
+        let heartbeat = Duration::from_millis(self.tuning.heartbeat_ms.max(1));
+        // Below retention already at attach: state-transfer before streaming.
+        if cursor < tap.base_offset() {
+            match self.send_snapshot(&writer, store.as_ref(), &tap) {
+                Some(resume) => cursor = resume,
+                None => {
+                    self.finish_stream(id, &writer, acker);
+                    return;
+                }
+            }
+        }
+        if !send_response(
+            &writer,
+            &Response::ReplStart {
+                resume_from: cursor,
+            },
+        ) {
+            self.finish_stream(id, &writer, acker);
+            return;
+        }
+        let mut shipper = WalShipper::new(Arc::clone(&tap), cursor);
+        while !shutdown.load(Ordering::SeqCst) {
+            match shipper.next(heartbeat) {
+                Shipment::Group(group) => {
+                    let ok = send_response(
+                        &writer,
+                        &Response::ReplAppend {
+                            offset: group.offset,
+                            frames: group.frames.clone(),
+                        },
+                    );
+                    if !ok {
+                        break;
+                    }
+                    self.metrics.record_repl_group_shipped();
+                }
+                Shipment::Gap { resume_from } => {
+                    // The replica lagged out of retention mid-stream: snapshot
+                    // again and resume at the recorded tail.
+                    let resume = match self.send_snapshot(&writer, store.as_ref(), &tap) {
+                        Some(r) => r.max(resume_from),
+                        None => break,
+                    };
+                    if !send_response(
+                        &writer,
+                        &Response::ReplStart {
+                            resume_from: resume,
+                        },
+                    ) {
+                        break;
+                    }
+                    shipper = WalShipper::new(Arc::clone(&tap), resume);
+                }
+                Shipment::Idle => {}
+            }
+        }
+        self.finish_stream(id, &writer, acker);
+    }
+
+    /// Stream the store's full state as snapshot chunks. Returns the frame
+    /// ordinal the append stream resumes at, or `None` when the transfer
+    /// failed (unsupported snapshot, dead connection).
+    fn send_snapshot(
+        &self,
+        writer: &Arc<Mutex<TcpStream>>,
+        store: &dyn KvStore,
+        tap: &WalTap,
+    ) -> Option<u64> {
+        // Record the tail *before* scanning: every frame acknowledged before
+        // this point is already applied to the store, so the scan covers it;
+        // frames published during the scan are ≥ resume_from and will be
+        // streamed (re-application of any overlap is idempotent).
+        let resume_from = tap.next_offset();
+        let pairs = match store.replication_snapshot() {
+            Ok(pairs) => pairs,
+            Err(err) => {
+                let (code, message) = encode_error(&err);
+                send_response(
+                    writer,
+                    &Response::Error {
+                        id: 0,
+                        code,
+                        message,
+                    },
+                );
+                return None;
+            }
+        };
+        let mut chunks = pairs.chunks(SNAPSHOT_CHUNK_PAIRS);
+        loop {
+            let chunk = chunks.next().map(<[_]>::to_vec).unwrap_or_default();
+            let last = chunk.is_empty();
+            // An empty store still sends one (empty) chunk so the replica
+            // always observes the transfer.
+            if !send_response(
+                writer,
+                &Response::ReplSnapshot {
+                    resume_from,
+                    pairs: chunk,
+                },
+            ) {
+                return None;
+            }
+            if last {
+                break;
+            }
+        }
+        // (The engine's `replication_snapshot` recorded the metric.)
+        Some(resume_from)
+    }
+
+    fn finish_stream(&self, id: u64, writer: &Arc<Mutex<TcpStream>>, acker: JoinHandle<()>) {
+        // Shut the socket so the ack reader (blocked in read_frame on the
+        // same fd) unblocks, then reap it.
+        if let Ok(stream) = writer.lock() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = acker.join();
+        self.unregister(id);
+    }
+}
+
+fn send_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> bool {
+    let mut stream = match writer.lock() {
+        Ok(s) => s,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    write_frame(&mut *stream, &response.encode()).is_ok()
+}
+
+/// Replica-side pump: a background thread that dials the primary, replays the
+/// shipped stream into the local store, and acks progress. Reconnects with
+/// heartbeat pacing until stopped (promotion or shutdown).
+pub struct ReplicationClient {
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    applier: Arc<ReplicaApplier>,
+}
+
+impl ReplicationClient {
+    /// Spawn the replication pump for `store`, streaming from `primary`.
+    pub fn spawn(
+        primary: String,
+        store: Arc<dyn KvStore>,
+        metrics: Arc<StorageMetrics>,
+        tuning: ReplicationTuning,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let applier = Arc::new(ReplicaApplier::new(store, 0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let applier = Arc::clone(&applier);
+            thread::Builder::new()
+                .name("mlkv-repl-client".into())
+                .spawn(move || run_replication_client(&primary, &applier, &metrics, tuning, &stop))
+                .expect("spawn replication client")
+        };
+        Self {
+            stop,
+            thread: Mutex::new(Some(thread)),
+            applier,
+        }
+    }
+
+    /// Frame ordinal the replica has durably applied.
+    pub fn applied(&self) -> u64 {
+        self.applier.applied()
+    }
+
+    /// Stop the pump and wait for it to exit (promotion, shutdown).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let handle = self.thread.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplicationClient {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run_replication_client(
+    primary: &str,
+    applier: &ReplicaApplier,
+    metrics: &StorageMetrics,
+    tuning: ReplicationTuning,
+    stop: &AtomicBool,
+) {
+    let heartbeat = Duration::from_millis(tuning.heartbeat_ms.max(1));
+    while !stop.load(Ordering::SeqCst) {
+        let Some(stream) = dial(primary, heartbeat) else {
+            sleep_unless_stopped(heartbeat, stop);
+            continue;
+        };
+        let _ = stream.set_nodelay(true);
+        // Bounded reads so the pump notices `stop` promptly even on an idle
+        // primary; a timeout doubles as the heartbeat-ack tick.
+        let _ = stream.set_read_timeout(Some(heartbeat));
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let mut reader = BufReader::new(stream);
+        let handshake = Request::ReplHandshake {
+            applied: applier.applied(),
+        };
+        if write_frame(&mut writer, &handshake.encode()).is_err() {
+            sleep_unless_stopped(heartbeat, stop);
+            continue;
+        }
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match read_frame(&mut reader) {
+                Ok(Some(body)) => {
+                    if !handle_stream_frame(&body, applier, metrics, &mut writer) {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle tick: refresh the primary's view of our progress.
+                    let ack = Request::ReplAck {
+                        applied: applier.applied(),
+                    };
+                    if write_frame(&mut writer, &ack.encode()).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        sleep_unless_stopped(heartbeat, stop);
+    }
+}
+
+/// Apply one primary frame. Returns false when the stream must be torn down
+/// (decode failure, apply failure, refused handshake).
+fn handle_stream_frame(
+    body: &[u8],
+    applier: &ReplicaApplier,
+    metrics: &StorageMetrics,
+    writer: &mut TcpStream,
+) -> bool {
+    match Response::decode(body) {
+        Ok(Response::ReplSnapshot { pairs, .. }) => install_snapshot_chunk(applier, &pairs),
+        Ok(Response::ReplStart { resume_from }) => {
+            applier.set_applied(applier.applied().max(resume_from));
+            ack(writer, applier)
+        }
+        Ok(Response::ReplAppend { offset, frames }) => {
+            let group = WalGroup { offset, frames };
+            if applier.apply(&group).is_err() {
+                return false;
+            }
+            metrics.record_repl_group_applied();
+            ack(writer, applier)
+        }
+        Ok(Response::Error { .. }) => false,
+        Ok(_) | Err(_) => false,
+    }
+}
+
+fn install_snapshot_chunk(applier: &ReplicaApplier, pairs: &[(u64, Vec<u8>)]) -> bool {
+    if pairs.is_empty() {
+        return true;
+    }
+    let mut batch = WriteBatch::new();
+    for (key, value) in pairs {
+        batch.put(*key, value.clone());
+    }
+    applier.store().write_batch(&batch).is_ok()
+}
+
+fn ack(writer: &mut TcpStream, applier: &ReplicaApplier) -> bool {
+    let frame = Request::ReplAck {
+        applied: applier.applied(),
+    };
+    write_frame(writer, &frame.encode()).is_ok()
+}
+
+fn dial(addr: &str, timeout: Duration) -> Option<TcpStream> {
+    let targets = addr.to_socket_addrs().ok()?;
+    for target in targets {
+        if let Ok(stream) =
+            TcpStream::connect_timeout(&target, timeout.max(Duration::from_millis(50)))
+        {
+            return Some(stream);
+        }
+    }
+    None
+}
+
+fn sleep_unless_stopped(d: Duration, stop: &AtomicBool) {
+    if !stop.load(Ordering::SeqCst) {
+        thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_mode_parses_flag_grammar() {
+        assert_eq!(
+            ReplicationMode::parse("async"),
+            Some(ReplicationMode::Async)
+        );
+        assert_eq!(
+            ReplicationMode::parse(" Async "),
+            Some(ReplicationMode::Async)
+        );
+        assert_eq!(
+            ReplicationMode::parse("semisync"),
+            Some(ReplicationMode::SemiSync { acks: 1 })
+        );
+        assert_eq!(
+            ReplicationMode::parse("semisync:3"),
+            Some(ReplicationMode::SemiSync { acks: 3 })
+        );
+        assert_eq!(
+            ReplicationMode::parse("semisync:0"),
+            Some(ReplicationMode::SemiSync { acks: 1 }),
+            "ack quorum clamps to one"
+        );
+        assert_eq!(ReplicationMode::parse("semisync:x"), None);
+        assert_eq!(ReplicationMode::parse("chain"), None);
+        assert_eq!(
+            ReplicationMode::SemiSync { acks: 2 }.to_string(),
+            "semisync:2"
+        );
+    }
+
+    #[test]
+    fn hub_quorum_wait_counts_acked_replicas() {
+        let hub = Arc::new(ReplicationHub::new(
+            Some(Arc::new(WalTap::new(16))),
+            Arc::new(StorageMetrics::new()),
+            ReplicationTuning::default(),
+        ));
+        assert!(
+            hub.wait_for_acks(0, 0, Duration::ZERO),
+            "a zero quorum is vacuously satisfied"
+        );
+        assert!(
+            !hub.wait_for_acks(5, 1, Duration::from_millis(10)),
+            "no replicas attached"
+        );
+        let a = hub.register();
+        let b = hub.register();
+        assert_eq!(hub.replica_count(), 2);
+        hub.record_ack(a, 5);
+        assert!(hub.wait_for_acks(5, 1, Duration::ZERO));
+        assert!(!hub.wait_for_acks(5, 2, Duration::from_millis(10)));
+        hub.record_ack(b, 7);
+        assert!(hub.wait_for_acks(5, 2, Duration::ZERO));
+        // Acks never regress.
+        hub.record_ack(b, 3);
+        assert!(hub.wait_for_acks(7, 1, Duration::ZERO));
+        hub.unregister(a);
+        assert_eq!(hub.replica_count(), 1);
+    }
+
+    #[test]
+    fn quorum_wait_unblocks_on_ack_arrival() {
+        let hub = Arc::new(ReplicationHub::new(
+            Some(Arc::new(WalTap::new(16))),
+            Arc::new(StorageMetrics::new()),
+            ReplicationTuning::default(),
+        ));
+        let id = hub.register();
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            thread::spawn(move || hub.wait_for_acks(9, 1, Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(20));
+        hub.record_ack(id, 9);
+        assert!(
+            waiter.join().unwrap(),
+            "waiter saw the ack, not the timeout"
+        );
+    }
+}

@@ -24,15 +24,16 @@ use std::time::{Duration, Instant};
 
 use mlkv::{BackendKind, EmbeddingTable};
 use mlkv_storage::{
-    DurabilityMode, FaultTuning, IoBackend, StorageError, StorageMetrics, StorageResult,
-    StoreConfig,
+    DurabilityMode, FaultTuning, IoBackend, KvStore, ReplicationTuning, StorageError,
+    StorageMetrics, StorageResult, StoreConfig, WalTap,
 };
 
 use crate::batcher::{Batcher, BatcherConfig};
 use crate::dedup::{is_reserved_key, DedupWindow};
-use crate::health::{Health, HealthState};
+use crate::health::{Health, HealthState, Role};
 use crate::protocol::{encode_error, read_frame, write_frame, ErrorCode, Request, Response};
 use crate::queue::{AdmissionQueue, Pending, Work};
+use crate::repl::{ReplicationClient, ReplicationHub, ReplicationMode};
 
 /// Default admission-queue capacity (requests).
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
@@ -59,6 +60,9 @@ pub struct ServerBuilder {
     dedup_slots: Option<usize>,
     probe_interval: Option<Duration>,
     unavailable_retry_after_ms: Option<u64>,
+    replicate_from: Option<String>,
+    replication_mode: Option<ReplicationMode>,
+    replication_tuning: Option<ReplicationTuning>,
 }
 
 impl ServerBuilder {
@@ -83,6 +87,9 @@ impl ServerBuilder {
             dedup_slots: None,
             probe_interval: None,
             unavailable_retry_after_ms: None,
+            replicate_from: None,
+            replication_mode: None,
+            replication_tuning: None,
         }
     }
 
@@ -212,6 +219,60 @@ impl ServerBuilder {
         self
     }
 
+    /// Start as a replica of the server at `addr` (`HOST:PORT`): the server
+    /// comes up in [`Role::Replica`], applies the primary's WAL stream, and
+    /// refuses client mutations until [`ServerHandle::promote`].
+    pub fn replicate_from(mut self, addr: impl Into<String>) -> Self {
+        self.replicate_from = Some(addr.into());
+        self
+    }
+
+    /// Primary-side acknowledgement mode (default [`ReplicationMode::Async`],
+    /// overridable by `MLKV_REPLICATION_MODE` when env overrides apply).
+    /// Setting any mode also attaches a [`WalTap`] to the store so replicas
+    /// can stream from this server.
+    pub fn replication_mode(mut self, mode: ReplicationMode) -> Self {
+        self.replication_mode = Some(mode);
+        self
+    }
+
+    /// Replication tuning (tap retention, ack timeout, heartbeat); default
+    /// from the `MLKV_REPLICATION_*` environment knobs.
+    pub fn replication_tuning(mut self, tuning: ReplicationTuning) -> Self {
+        self.replication_tuning = Some(tuning);
+        self
+    }
+
+    /// Whether this build participates in replication at all (as primary
+    /// source, as replica, or because the environment turned it on).
+    fn replication_enabled(&self) -> bool {
+        self.replicate_from.is_some()
+            || self.replication_mode.is_some()
+            || (self.env_overrides && ReplicationMode::from_env().is_some())
+    }
+
+    fn effective_replication_tuning(&self) -> ReplicationTuning {
+        self.replication_tuning.unwrap_or_else(|| {
+            if self.env_overrides {
+                ReplicationTuning::from_env()
+            } else {
+                ReplicationTuning::default()
+            }
+        })
+    }
+
+    fn effective_replication_mode(&self) -> ReplicationMode {
+        self.replication_mode
+            .or_else(|| {
+                if self.env_overrides {
+                    ReplicationMode::from_env()
+                } else {
+                    None
+                }
+            })
+            .unwrap_or(ReplicationMode::Async)
+    }
+
     fn build_table(&self) -> StorageResult<Arc<EmbeddingTable>> {
         if let Some(table) = &self.table {
             return Ok(Arc::clone(table));
@@ -240,6 +301,13 @@ impl ServerBuilder {
         }
         if self.env_overrides {
             config = config.apply_env_overrides();
+        }
+        if self.replication_enabled() {
+            // Attach the tap replicas stream from. A replica gets one too:
+            // replicated groups re-logged in its own WAL publish into it, so
+            // a promoted replica can in turn serve downstream replicas.
+            let retention = self.effective_replication_tuning().retention_groups;
+            config = config.with_wal_tap(Arc::new(WalTap::new(retention)));
         }
         let store = mlkv::open_store(self.backend, config)?;
         let table = EmbeddingTable::builder(store)
@@ -280,6 +348,26 @@ impl ServerBuilder {
         // that land on a restarted server are still deduplicated.
         dedup.recover(table.store().as_ref());
 
+        let repl_tuning = self.effective_replication_tuning();
+        let repl_mode = self.effective_replication_mode();
+        let repl = Arc::new(ReplicationHub::new(
+            table.store().replication_tap(),
+            Arc::clone(&metrics),
+            repl_tuning,
+        ));
+        let repl_client = match &self.replicate_from {
+            Some(primary) => {
+                health.set_role(Role::Replica);
+                Some(ReplicationClient::spawn(
+                    primary.clone(),
+                    Arc::clone(table.store()),
+                    Arc::clone(&metrics),
+                    repl_tuning,
+                ))
+            }
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             queue: Arc::clone(&queue),
@@ -287,6 +375,8 @@ impl ServerBuilder {
             conns: Mutex::new(Vec::new()),
             local_addr,
             health: Arc::clone(&health),
+            store: Arc::clone(table.store()),
+            repl: Arc::clone(&repl),
         });
 
         let batcher = Batcher::new(
@@ -295,8 +385,9 @@ impl ServerBuilder {
             Arc::clone(&metrics),
             &self.batcher,
             Arc::clone(&health),
-            dedup,
-        );
+            Arc::clone(&dedup),
+        )
+        .with_replication(Arc::clone(&repl), repl_mode);
         let batcher_thread = thread::Builder::new()
             .name("mlkv-batcher".into())
             .spawn(move || batcher.run())
@@ -312,6 +403,8 @@ impl ServerBuilder {
             shared,
             accept: Mutex::new(Some(accept_thread)),
             table,
+            dedup,
+            repl_client: Mutex::new(repl_client),
         })
     }
 }
@@ -328,6 +421,10 @@ struct Shared {
     conns: Mutex<Vec<(u64, TcpStream)>>,
     local_addr: SocketAddr,
     health: Arc<Health>,
+    /// The served store, handed to replication streams for snapshot
+    /// catch-up.
+    store: Arc<dyn KvStore>,
+    repl: Arc<ReplicationHub>,
 }
 
 impl Shared {
@@ -350,6 +447,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Mutex<Option<JoinHandle<StorageResult<()>>>>,
     table: Arc<EmbeddingTable>,
+    dedup: Arc<DedupWindow>,
+    repl_client: Mutex<Option<ReplicationClient>>,
 }
 
 impl ServerHandle {
@@ -373,10 +472,80 @@ impl ServerHandle {
         self.shared.health.state()
     }
 
+    /// Current replication role (`Primary` or `Replica`).
+    pub fn role(&self) -> Role {
+        self.shared.health.role()
+    }
+
+    /// Number of replica streams currently attached to this server.
+    pub fn replica_count(&self) -> usize {
+        self.shared.repl.replica_count()
+    }
+
+    /// Promote this replica to primary: stop the replication pump, rebuild
+    /// the idempotency dedup window from the replicated durable session
+    /// markers (exactly as restart recovery does, so in-flight client retries
+    /// dedup across the failover), and flip to [`Role::Primary`]. Idempotent;
+    /// a no-op on a server that is already primary.
+    pub fn promote(&self) -> StorageResult<()> {
+        if self.shared.health.role() == Role::Primary {
+            return Ok(());
+        }
+        let client = self
+            .repl_client
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(client) = client {
+            client.stop();
+        }
+        self.dedup.recover(self.table.store().as_ref());
+        self.shared.health.set_role(Role::Primary);
+        self.shared.metrics.record_repl_promotion();
+        Ok(())
+    }
+
+    /// Abrupt termination for failover tests: sever every client connection
+    /// *first* — so no acknowledgement written after this point can reach a
+    /// client — then tear the server down. From a client's perspective this
+    /// is indistinguishable from the process dying mid-run.
+    pub fn kill(&self) {
+        let client = self
+            .repl_client
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(client) = client {
+            client.stop();
+        }
+        for (_, conn) in self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        self.shared.begin_shutdown();
+        let handle = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
     /// Gracefully stop: close admission, drain in-flight batches, flush the
     /// table, close connections, join every thread. Idempotent; returns the
     /// batcher's flush result.
     pub fn shutdown(&self) -> StorageResult<()> {
+        let client = self
+            .repl_client
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(client) = client {
+            client.stop();
+        }
         self.shared.begin_shutdown();
         let handle = self.accept.lock().unwrap_or_else(|e| e.into_inner()).take();
         match handle {
@@ -553,6 +722,31 @@ fn connection_frames(stream: TcpStream, shared: &Arc<Shared>) {
                     deadline_us,
                     Work::Apply { lr, updates },
                 );
+            }
+            Request::ReplHandshake { applied } => {
+                // The connection stops being request/response and becomes a
+                // replication stream until the replica detaches.
+                shared.repl.serve_replica(
+                    reader,
+                    writer,
+                    Arc::clone(&shared.store),
+                    applied,
+                    &shared.shutdown,
+                );
+                return;
+            }
+            Request::ReplAck { .. } => {
+                // Acks are only meaningful inside a stream (where the hub's
+                // ack reader consumes them); stray ones poison the framing.
+                send(
+                    &writer,
+                    &Response::Error {
+                        id: 0,
+                        code: ErrorCode::InvalidArgument,
+                        message: "replication ack outside a replication stream".into(),
+                    },
+                );
+                return;
             }
         }
         if shared.shutdown.load(Ordering::SeqCst) {

@@ -207,6 +207,11 @@ pub struct StoreConfig {
     /// Override how per-file devices are constructed (crash injection, fault
     /// injection). `None` uses the standard file/memory devices.
     pub device_factory: Option<DeviceFactory>,
+    /// Replication tap the store's WAL writers publish acknowledged groups
+    /// into (see [`crate::wal::WalTap`]). `None` (the default) disables
+    /// replication publishing. Shared across log rotations, so shipped frame
+    /// offsets stay monotonic for the store's lifetime.
+    pub wal_tap: Option<Arc<crate::wal::WalTap>>,
 }
 
 /// Default [`StoreConfig::io_gap_bytes`]: one typical flash page.
@@ -238,6 +243,7 @@ impl Default for StoreConfig {
             io_queue_depth: DEFAULT_IO_QUEUE_DEPTH,
             durability: DurabilityMode::None,
             device_factory: None,
+            wal_tap: None,
         }
     }
 }
@@ -338,6 +344,13 @@ impl StoreConfig {
     /// Install a custom per-file device constructor (crash/fault injection).
     pub fn with_device_factory(mut self, factory: DeviceFactory) -> Self {
         self.device_factory = Some(factory);
+        self
+    }
+
+    /// Publish acknowledged WAL groups into `tap` for replication shipping
+    /// (see [`crate::wal::WalTap`]).
+    pub fn with_wal_tap(mut self, tap: Arc<crate::wal::WalTap>) -> Self {
+        self.wal_tap = Some(tap);
         self
     }
 
@@ -465,6 +478,70 @@ impl FaultTuning {
         }
         if let Some(ms) = retry_backoff_cap_ms.and_then(|s| s.trim().parse::<u64>().ok()) {
             self.retry_backoff_cap_ms = ms.max(1);
+        }
+        self
+    }
+}
+
+/// Replication tuning, overridable from the environment like the other
+/// `MLKV_*` knobs: `MLKV_REPLICATION_RETENTION` (acknowledged WAL groups the
+/// primary retains for streaming before a lagging replica must snapshot),
+/// `MLKV_REPLICATION_ACK_MS` (how long a semi-synchronous primary waits for
+/// replica acks before treating the apply as failed) and
+/// `MLKV_REPLICATION_HEARTBEAT_MS` (the replication stream's idle poll
+/// interval). Unset or unparsable variables leave the defaults untouched.
+/// The replication *mode* itself (`async` / `semisync:<acks>`,
+/// `MLKV_REPLICATION_MODE`) is parsed by the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationTuning {
+    /// Acknowledged WAL groups retained by the primary's tap; a replica
+    /// lagging further than this observes a gap and must catch up by
+    /// snapshot.
+    pub retention_groups: usize,
+    /// Semi-sync ack wait budget in milliseconds.
+    pub ack_timeout_ms: u64,
+    /// Idle poll interval of the shipping loop in milliseconds.
+    pub heartbeat_ms: u64,
+}
+
+impl Default for ReplicationTuning {
+    fn default() -> Self {
+        Self {
+            retention_groups: 4096,
+            ack_timeout_ms: 2000,
+            heartbeat_ms: 20,
+        }
+    }
+}
+
+impl ReplicationTuning {
+    /// Defaults overridden by the `MLKV_REPLICATION_*` environment knobs.
+    pub fn from_env() -> Self {
+        Self::default().apply_overrides(
+            std::env::var("MLKV_REPLICATION_RETENTION").ok().as_deref(),
+            std::env::var("MLKV_REPLICATION_ACK_MS").ok().as_deref(),
+            std::env::var("MLKV_REPLICATION_HEARTBEAT_MS")
+                .ok()
+                .as_deref(),
+        )
+    }
+
+    /// Pure body of [`ReplicationTuning::from_env`] (unit-testable without
+    /// mutating process-global environment state).
+    fn apply_overrides(
+        mut self,
+        retention: Option<&str>,
+        ack_timeout_ms: Option<&str>,
+        heartbeat_ms: Option<&str>,
+    ) -> Self {
+        if let Some(groups) = retention.and_then(|s| s.trim().parse::<usize>().ok()) {
+            self.retention_groups = groups.max(1);
+        }
+        if let Some(ms) = ack_timeout_ms.and_then(|s| s.trim().parse::<u64>().ok()) {
+            self.ack_timeout_ms = ms.max(1);
+        }
+        if let Some(ms) = heartbeat_ms.and_then(|s| s.trim().parse::<u64>().ok()) {
+            self.heartbeat_ms = ms.max(1);
         }
         self
     }
@@ -675,5 +752,38 @@ mod tests {
             .with_memory_budget(10)
             .with_page_size(4096);
         assert_eq!(cfg.pages_in_budget(), 1);
+    }
+
+    #[test]
+    fn wal_tap_is_off_by_default_and_composes() {
+        let cfg = StoreConfig::default();
+        assert!(cfg.wal_tap.is_none());
+        let tap = Arc::new(crate::wal::WalTap::new(8));
+        let cfg = cfg.with_wal_tap(Arc::clone(&tap));
+        assert!(cfg.wal_tap.is_some());
+        // The tap is shared, not cloned per config copy.
+        let copy = cfg.clone();
+        assert!(Arc::ptr_eq(copy.wal_tap.as_ref().unwrap(), &tap));
+    }
+
+    #[test]
+    fn replication_tuning_env_overrides_apply_only_when_parsable() {
+        let t = ReplicationTuning::default();
+        assert_eq!(t.retention_groups, 4096);
+        assert_eq!(t.ack_timeout_ms, 2000);
+        assert_eq!(t.heartbeat_ms, 20);
+
+        let t = ReplicationTuning::default().apply_overrides(Some("16"), Some("500"), Some("5"));
+        assert_eq!(t.retention_groups, 16);
+        assert_eq!(t.ack_timeout_ms, 500);
+        assert_eq!(t.heartbeat_ms, 5);
+
+        let t = ReplicationTuning::default().apply_overrides(Some("0"), Some("junk"), None);
+        assert_eq!(t.retention_groups, 1, "retention clamps to one group");
+        assert_eq!(
+            t.ack_timeout_ms,
+            ReplicationTuning::default().ack_timeout_ms
+        );
+        assert_eq!(t.heartbeat_ms, ReplicationTuning::default().heartbeat_ms);
     }
 }

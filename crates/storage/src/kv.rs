@@ -249,6 +249,72 @@ pub trait KvStore: Send + Sync + 'static {
 
     /// Flush all in-memory state to the device (checkpoint-like barrier).
     fn flush(&self) -> StorageResult<()>;
+
+    /// The replication tap this store's WAL publishes acknowledged groups
+    /// into, if the store was opened with one
+    /// ([`crate::StoreConfig::with_wal_tap`]). `None` means the store cannot
+    /// act as a replication primary. Engines with a WAL override this to
+    /// return their configured tap.
+    fn replication_tap(&self) -> Option<Arc<crate::wal::WalTap>> {
+        None
+    }
+
+    /// Apply one shipped replication group (the frames of a
+    /// [`crate::wal::WalGroup`]) to this store, as a standby replica.
+    ///
+    /// The default decodes the frames as logical [`crate::wal::WalOp`]s — the
+    /// shape FASTER's delta WAL and the LSM WAL ship — and applies them
+    /// through the store's normal write path, so the replica writes its *own*
+    /// WAL and the applied group survives a replica restart. An all-put group
+    /// is applied as one [`KvStore::write_batch`] (one local WAL group, one
+    /// sync — mirroring the primary's group commit); groups containing
+    /// deletes fall back to sequential application. Frames carry full
+    /// post-values, so re-applying a group (duplicate delivery after a
+    /// reconnect) is idempotent.
+    ///
+    /// Engines whose WAL ships physical frames instead (the B+tree's
+    /// page-image journal) override this to install the shipped images.
+    fn apply_replicated_group(&self, frames: &[Vec<u8>]) -> StorageResult<()> {
+        let ops = frames
+            .iter()
+            .map(|f| crate::wal::WalOp::decode(f))
+            .collect::<StorageResult<Vec<_>>>()?;
+        if ops.len() > 1
+            && ops
+                .iter()
+                .all(|op| matches!(op, crate::wal::WalOp::Put { .. }))
+        {
+            let mut batch = WriteBatch::new();
+            for op in ops {
+                if let crate::wal::WalOp::Put { key, value } = op {
+                    batch.put(key, value);
+                }
+            }
+            return self.write_batch(&batch);
+        }
+        for op in ops {
+            match op {
+                crate::wal::WalOp::Put { key, value } => self.put(key, &value)?,
+                crate::wal::WalOp::Delete { key } => self.delete(key)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// A fuzzy logical snapshot of the store — `(key, value)` pairs covering
+    /// at least every acknowledged mutation at the time of the call — used to
+    /// bootstrap a replica that fell behind the primary's WAL retention
+    /// window. Overlap with subsequently shipped groups is harmless (frames
+    /// carry idempotent post-values). Engines that cannot enumerate their
+    /// records (or whose replication stream is physical, like the B+tree's
+    /// page images) return [`crate::StorageError::InvalidArgument`]; such
+    /// replicas must attach at genesis instead.
+    fn replication_snapshot(&self) -> StorageResult<Vec<(Key, Vec<u8>)>> {
+        Err(crate::error::StorageError::InvalidArgument(format!(
+            "{} does not support logical replication snapshots",
+            self.name()
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod wal;
 
 pub use cache::ShardedLruCache;
 pub use config::{
-    DeviceFactory, DurabilityMode, FaultTuning, IoBackend, StoreConfig,
+    DeviceFactory, DurabilityMode, FaultTuning, IoBackend, ReplicationTuning, StoreConfig,
     DEFAULT_GROUP_COMMIT_WINDOW, DEFAULT_IO_QUEUE_DEPTH,
 };
 pub use device::{
@@ -57,4 +57,6 @@ pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use ring::{IoBatch, IoRing, RingDevice};
-pub use wal::{WalOp, WalReader, WalWriter};
+pub use wal::{
+    ReplicaApplier, Shipment, WalGroup, WalOp, WalReader, WalShipper, WalTap, WalWriter,
+};

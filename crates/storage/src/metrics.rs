@@ -78,6 +78,24 @@ pub struct StorageMetrics {
     /// Gauge (not a counter): current serving health state
     /// (0 = Serving, 1 = Degraded, 2 = Draining).
     pub health_state: AtomicU64,
+    /// Acknowledged WAL groups shipped to replicas (primary side).
+    pub repl_groups_shipped: AtomicU64,
+    /// Shipped replication groups applied into a standby engine (replica
+    /// side).
+    pub repl_groups_applied: AtomicU64,
+    /// Replica acknowledgements received by the primary.
+    pub repl_acks: AtomicU64,
+    /// Snapshot catch-ups served to lagging replicas.
+    pub repl_snapshots: AtomicU64,
+    /// Replica promotions to primary (failovers completed).
+    pub repl_promotions: AtomicU64,
+    /// Gauge (not a counter): frames the slowest connected replica lags
+    /// behind the primary's acknowledged tail (0 when fully caught up or no
+    /// replicas are connected).
+    pub repl_lag: AtomicU64,
+    /// Gauge (not a counter): current replication role
+    /// (0 = Primary, 1 = Replica).
+    pub repl_role: AtomicU64,
 }
 
 /// A point-in-time copy of [`StorageMetrics`].
@@ -115,6 +133,17 @@ pub struct MetricsSnapshot {
     /// Gauge: current health state (copied, not differenced, by
     /// [`MetricsSnapshot::delta`]). 0 = Serving, 1 = Degraded, 2 = Draining.
     pub health_state: u64,
+    pub repl_groups_shipped: u64,
+    pub repl_groups_applied: u64,
+    pub repl_acks: u64,
+    pub repl_snapshots: u64,
+    pub repl_promotions: u64,
+    /// Gauge: slowest-replica lag in frames (copied, not differenced, by
+    /// [`MetricsSnapshot::delta`]).
+    pub repl_lag: u64,
+    /// Gauge: current replication role (copied, not differenced, by
+    /// [`MetricsSnapshot::delta`]). 0 = Primary, 1 = Replica.
+    pub repl_role: u64,
 }
 
 impl StorageMetrics {
@@ -263,6 +292,48 @@ impl StorageMetrics {
         self.health_state.store(state, Ordering::Relaxed);
     }
 
+    /// Record one replication group shipped to a replica.
+    #[inline]
+    pub fn record_repl_group_shipped(&self) {
+        self.repl_groups_shipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one shipped replication group applied into a standby engine.
+    #[inline]
+    pub fn record_repl_group_applied(&self) {
+        self.repl_groups_applied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one replica acknowledgement received by the primary.
+    #[inline]
+    pub fn record_repl_ack(&self) {
+        self.repl_acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one snapshot catch-up served to a lagging replica.
+    #[inline]
+    pub fn record_repl_snapshot(&self) {
+        self.repl_snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one replica promotion to primary (a completed failover).
+    #[inline]
+    pub fn record_repl_promotion(&self) {
+        self.repl_promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Set the replication-lag gauge (frames behind the acknowledged tail).
+    #[inline]
+    pub fn set_repl_lag(&self, frames: u64) {
+        self.repl_lag.store(frames, Ordering::Relaxed);
+    }
+
+    /// Set the replication-role gauge (0 = Primary, 1 = Replica).
+    #[inline]
+    pub fn set_repl_role(&self, role: u64) {
+        self.repl_role.store(role, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -292,6 +363,13 @@ impl StorageMetrics {
             health_recovered: self.health_recovered.load(Ordering::Relaxed),
             health_probes: self.health_probes.load(Ordering::Relaxed),
             health_state: self.health_state.load(Ordering::Relaxed),
+            repl_groups_shipped: self.repl_groups_shipped.load(Ordering::Relaxed),
+            repl_groups_applied: self.repl_groups_applied.load(Ordering::Relaxed),
+            repl_acks: self.repl_acks.load(Ordering::Relaxed),
+            repl_snapshots: self.repl_snapshots.load(Ordering::Relaxed),
+            repl_promotions: self.repl_promotions.load(Ordering::Relaxed),
+            repl_lag: self.repl_lag.load(Ordering::Relaxed),
+            repl_role: self.repl_role.load(Ordering::Relaxed),
         }
     }
 
@@ -323,6 +401,13 @@ impl StorageMetrics {
         self.health_recovered.store(0, Ordering::Relaxed);
         self.health_probes.store(0, Ordering::Relaxed);
         self.health_state.store(0, Ordering::Relaxed);
+        self.repl_groups_shipped.store(0, Ordering::Relaxed);
+        self.repl_groups_applied.store(0, Ordering::Relaxed);
+        self.repl_acks.store(0, Ordering::Relaxed);
+        self.repl_snapshots.store(0, Ordering::Relaxed);
+        self.repl_promotions.store(0, Ordering::Relaxed);
+        self.repl_lag.store(0, Ordering::Relaxed);
+        self.repl_role.store(0, Ordering::Relaxed);
     }
 }
 
@@ -353,10 +438,17 @@ impl MetricsSnapshot {
             health_degraded: self.health_degraded - earlier.health_degraded,
             health_recovered: self.health_recovered - earlier.health_recovered,
             health_probes: self.health_probes - earlier.health_probes,
+            repl_groups_shipped: self.repl_groups_shipped - earlier.repl_groups_shipped,
+            repl_groups_applied: self.repl_groups_applied - earlier.repl_groups_applied,
+            repl_acks: self.repl_acks - earlier.repl_acks,
+            repl_snapshots: self.repl_snapshots - earlier.repl_snapshots,
+            repl_promotions: self.repl_promotions - earlier.repl_promotions,
             // Gauges describe "now", not an interval: keep the later reading.
             serve_queue_depth: self.serve_queue_depth,
             serve_window: self.serve_window,
             health_state: self.health_state,
+            repl_lag: self.repl_lag,
+            repl_role: self.repl_role,
         }
     }
 
@@ -498,6 +590,41 @@ mod tests {
         assert_eq!(d.health_degraded, 0);
         // The health gauge is a point-in-time reading, not a difference.
         assert_eq!(d.health_state, 2);
+
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn replication_counters_and_gauges() {
+        let m = StorageMetrics::new();
+        m.record_repl_group_shipped();
+        m.record_repl_group_shipped();
+        m.record_repl_group_applied();
+        m.record_repl_ack();
+        m.record_repl_snapshot();
+        m.record_repl_promotion();
+        m.set_repl_lag(7);
+        m.set_repl_role(1);
+        let first = m.snapshot();
+        assert_eq!(first.repl_groups_shipped, 2);
+        assert_eq!(first.repl_groups_applied, 1);
+        assert_eq!(first.repl_acks, 1);
+        assert_eq!(first.repl_snapshots, 1);
+        assert_eq!(first.repl_promotions, 1);
+        assert_eq!(first.repl_lag, 7);
+        assert_eq!(first.repl_role, 1);
+
+        m.record_repl_ack();
+        m.set_repl_lag(0);
+        m.set_repl_role(0);
+        let second = m.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.repl_acks, 1);
+        assert_eq!(d.repl_groups_shipped, 0);
+        // Gauges are point-in-time readings, not interval differences.
+        assert_eq!(d.repl_lag, 0);
+        assert_eq!(d.repl_role, 0);
 
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

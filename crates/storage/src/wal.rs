@@ -29,12 +29,15 @@
 //! (cf. SNIPPETS §1/§2): everything before the tear is applied, the tear and
 //! everything after it is discarded.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::config::DurabilityMode;
 use crate::device::Device;
 use crate::error::{StorageError, StorageResult};
+use crate::kv::KvStore;
 use crate::metrics::StorageMetrics;
 
 /// Bytes of framing per record (`len` + `crc`).
@@ -95,6 +98,12 @@ pub struct WalWriter {
     metrics: Arc<StorageMetrics>,
     /// Records appended since the last sync (drives the group-commit window).
     unsynced: AtomicU64,
+    /// Replication tap the writer publishes acknowledged groups into, if any.
+    tap: Option<Arc<WalTap>>,
+    /// Frames appended but not yet acknowledged (and therefore not yet
+    /// published to the tap). Held under a lock *around* the device append so
+    /// the tap observes frames in exactly device order.
+    pending: Mutex<Vec<Vec<u8>>>,
 }
 
 impl WalWriter {
@@ -109,7 +118,17 @@ impl WalWriter {
             mode,
             metrics,
             unsynced: AtomicU64::new(0),
+            tap: None,
+            pending: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Publish acknowledged frame groups into `tap` (replication). `None`
+    /// leaves the writer untapped; the offsets a tap hands out stay monotonic
+    /// across log rotations as long as rotated writers share the same tap.
+    pub fn with_tap(mut self, tap: Option<Arc<WalTap>>) -> Self {
+        self.tap = tap;
+        self
     }
 
     /// The underlying device (replay reads it, tests inspect it).
@@ -127,7 +146,13 @@ impl WalWriter {
     pub fn append(&self, payload: &[u8]) -> StorageResult<()> {
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
         frame_into(&mut frame, payload);
-        self.device.append(&frame)?;
+        if self.tap.is_some() {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            self.device.append(&frame)?;
+            pending.push(payload.to_vec());
+        } else {
+            self.device.append(&frame)?;
+        }
         self.metrics.record_wal_append(frame.len() as u64);
         self.note_appended(1)
     }
@@ -141,14 +166,24 @@ impl WalWriter {
     ) -> StorageResult<()> {
         let mut buf = Vec::new();
         let mut count = 0u64;
+        let mut frames: Vec<Vec<u8>> = Vec::new();
         for payload in payloads {
             frame_into(&mut buf, payload);
+            if self.tap.is_some() {
+                frames.push(payload.to_vec());
+            }
             count += 1;
         }
         if count == 0 {
             return Ok(());
         }
-        self.device.append(&buf)?;
+        if self.tap.is_some() {
+            let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            self.device.append(&buf)?;
+            pending.append(&mut frames);
+        } else {
+            self.device.append(&buf)?;
+        }
         self.metrics.record_wal_append(buf.len() as u64);
         self.note_appended(count)
     }
@@ -171,6 +206,11 @@ impl WalWriter {
             && self.unsynced.load(Ordering::SeqCst) > 0
         {
             self.sync()?;
+        } else {
+            // No sync due (None/Buffered, or the window already synced the
+            // group): the acknowledgement itself still publishes the group to
+            // the replication tap.
+            self.publish_pending();
         }
         Ok(())
     }
@@ -179,7 +219,10 @@ impl WalWriter {
     /// except [`DurabilityMode::None`].
     pub fn barrier(&self) -> StorageResult<()> {
         match self.mode {
-            DurabilityMode::None => Ok(()),
+            DurabilityMode::None => {
+                self.publish_pending();
+                Ok(())
+            }
             _ => self.sync(),
         }
     }
@@ -189,7 +232,20 @@ impl WalWriter {
         self.device.sync()?;
         self.unsynced.store(0, Ordering::SeqCst);
         self.metrics.record_wal_sync();
+        // Publish *after* the sync: a tapped group is only shipped once it is
+        // durable on the primary, so a replica can never be ahead of what a
+        // primary restart would recover.
+        self.publish_pending();
         Ok(())
+    }
+
+    /// Flush pending frames to the replication tap as one acknowledged group.
+    fn publish_pending(&self) {
+        let Some(tap) = &self.tap else { return };
+        let frames = std::mem::take(&mut *self.pending.lock().unwrap_or_else(|e| e.into_inner()));
+        if !frames.is_empty() {
+            tap.publish(frames);
+        }
     }
 
     /// Number of bytes currently in the log.
@@ -311,6 +367,239 @@ impl WalOp {
                 "unknown WAL op tag {tag}"
             ))),
         }
+    }
+}
+
+/// One acknowledged group of WAL frames, as published to a [`WalTap`].
+///
+/// `offset` is the global ordinal of the group's first frame — frame offsets
+/// are monotonic across log rotations (rotated writers share the tap), so a
+/// replica's applied offset unambiguously names a position in the primary's
+/// acknowledged history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalGroup {
+    /// Ordinal of the first frame of this group.
+    pub offset: u64,
+    /// The group's frame payloads, in device append order.
+    pub frames: Vec<Vec<u8>>,
+}
+
+impl WalGroup {
+    /// Ordinal one past this group's last frame.
+    pub fn end(&self) -> u64 {
+        self.offset + self.frames.len() as u64
+    }
+}
+
+struct TapInner {
+    groups: VecDeque<Arc<WalGroup>>,
+    /// Ordinal of the first retained frame (frames before it were evicted).
+    base: u64,
+    /// Ordinal one past the last published frame.
+    next: u64,
+}
+
+/// Bounded buffer of acknowledged WAL groups: the seam between a primary's
+/// WAL writers (which [`WalTap::publish`] into it at their acknowledgement
+/// points) and the replication stream ([`WalShipper`] cursors reading from
+/// it). Retention is bounded by a group count; a shipper that falls behind
+/// the retention window observes a gap and must catch up via snapshot.
+pub struct WalTap {
+    inner: Mutex<TapInner>,
+    changed: Condvar,
+    capacity: usize,
+}
+
+impl WalTap {
+    /// A tap retaining at most `capacity_groups` acknowledged groups
+    /// (clamped to ≥ 1).
+    pub fn new(capacity_groups: usize) -> Self {
+        Self {
+            inner: Mutex::new(TapInner {
+                groups: VecDeque::new(),
+                base: 0,
+                next: 0,
+            }),
+            changed: Condvar::new(),
+            capacity: capacity_groups.max(1),
+        }
+    }
+
+    /// Publish one acknowledged group (called by tapped [`WalWriter`]s).
+    pub fn publish(&self, frames: Vec<Vec<u8>>) {
+        if frames.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let group = Arc::new(WalGroup {
+            offset: inner.next,
+            frames,
+        });
+        inner.next = group.end();
+        inner.groups.push_back(group);
+        while inner.groups.len() > self.capacity {
+            let evicted = inner.groups.pop_front().expect("len > capacity ≥ 1");
+            inner.base = evicted.end();
+        }
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Ordinal one past the last published frame (the replication tail).
+    pub fn next_offset(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).next
+    }
+
+    /// Ordinal of the oldest retained frame.
+    pub fn base_offset(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).base
+    }
+}
+
+impl std::fmt::Debug for WalTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("WalTap")
+            .field("base", &inner.base)
+            .field("next", &inner.next)
+            .field("groups", &inner.groups.len())
+            .finish()
+    }
+}
+
+/// What a [`WalShipper`] pull produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shipment {
+    /// The next acknowledged group at the cursor.
+    Group(Arc<WalGroup>),
+    /// The cursor fell behind the tap's retention window: the groups between
+    /// the cursor and `resume_from` were evicted. The caller must catch the
+    /// replica up out-of-band (snapshot) and resume streaming at
+    /// `resume_from`; the shipper has already advanced its cursor there.
+    Gap {
+        /// Frame ordinal streaming resumes from after the catch-up.
+        resume_from: u64,
+    },
+    /// No new acknowledged group arrived within the timeout.
+    Idle,
+}
+
+/// A streaming cursor over a [`WalTap`]: each [`WalShipper::next`] hands out
+/// the next acknowledged group at or past the cursor, blocking (bounded by a
+/// timeout) until one arrives.
+pub struct WalShipper {
+    tap: Arc<WalTap>,
+    cursor: u64,
+}
+
+impl WalShipper {
+    /// A shipper over `tap` starting at frame ordinal `from` (a replica's
+    /// applied offset, from its replication handshake).
+    pub fn new(tap: Arc<WalTap>, from: u64) -> Self {
+        Self { tap, cursor: from }
+    }
+
+    /// The frame ordinal the next shipment starts at.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Pull the next acknowledged group, waiting up to `timeout` for one.
+    pub fn next(&mut self, timeout: Duration) -> Shipment {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.tap.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.cursor < inner.base {
+                // Evicted past the cursor: snapshot catch-up covers the
+                // primary's state up to (at least) the current tail, so
+                // streaming resumes from there.
+                self.cursor = inner.next;
+                return Shipment::Gap {
+                    resume_from: self.cursor,
+                };
+            }
+            if self.cursor < inner.next {
+                // Scan for the group containing the cursor (cursor normally
+                // sits on a boundary; an overlapping group is returned whole —
+                // replicated frames are idempotent post-images).
+                let group = inner
+                    .groups
+                    .iter()
+                    .find(|g| g.end() > self.cursor)
+                    .expect("cursor in [base, next) names a retained group");
+                let group = Arc::clone(group);
+                self.cursor = group.end();
+                return Shipment::Group(group);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Shipment::Idle;
+            }
+            let (guard, _) = self
+                .tap
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+}
+
+/// Replays shipped [`WalGroup`]s into a standby engine and tracks the applied
+/// frame offset (what the replica reports in handshakes and acks).
+pub struct ReplicaApplier {
+    store: Arc<dyn KvStore>,
+    applied: AtomicU64,
+}
+
+impl ReplicaApplier {
+    /// An applier over `store` whose applied offset starts at `applied`
+    /// (zero for a fresh standby).
+    pub fn new(store: Arc<dyn KvStore>, applied: u64) -> Self {
+        Self {
+            store,
+            applied: AtomicU64::new(applied),
+        }
+    }
+
+    /// The store groups are applied into.
+    pub fn store(&self) -> &Arc<dyn KvStore> {
+        &self.store
+    }
+
+    /// Frame ordinal one past the last applied frame.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Reset the applied offset (snapshot catch-up installed state covering
+    /// everything before `offset`).
+    pub fn set_applied(&self, offset: u64) {
+        self.applied.store(offset, Ordering::SeqCst);
+    }
+
+    /// Apply one shipped group. Groups at or before the applied offset are
+    /// skipped (duplicate delivery after a reconnect); an overlapping group is
+    /// re-applied whole, which is safe because frames carry idempotent
+    /// post-images.
+    pub fn apply(&self, group: &WalGroup) -> StorageResult<()> {
+        if group.end() <= self.applied() {
+            return Ok(());
+        }
+        self.store.apply_replicated_group(&group.frames)?;
+        let mut cur = self.applied.load(Ordering::SeqCst);
+        while cur < group.end() {
+            match self.applied.compare_exchange(
+                cur,
+                group.end(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        Ok(())
     }
 }
 
@@ -440,5 +729,256 @@ mod tests {
         assert_eq!(WalOp::encode_delete(9), del.encode());
         assert!(WalOp::decode(&[]).is_err());
         assert!(WalOp::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    fn tapped_writer(
+        mode: DurabilityMode,
+        capacity: usize,
+    ) -> (Arc<WalTap>, Arc<StorageMetrics>, WalWriter) {
+        let tap = Arc::new(WalTap::new(capacity));
+        let device = Arc::new(MemDevice::new());
+        let metrics = Arc::new(StorageMetrics::new());
+        let wal = WalWriter::new(device as Arc<dyn Device>, mode, Arc::clone(&metrics))
+            .with_tap(Some(Arc::clone(&tap)));
+        (tap, metrics, wal)
+    }
+
+    #[test]
+    fn tap_publishes_acked_groups_with_monotonic_offsets() {
+        let (tap, metrics, wal) =
+            tapped_writer(DurabilityMode::GroupCommit { window: 1 << 20 }, 64);
+        wal.append_group([b"a".as_slice(), b"b".as_slice()])
+            .unwrap();
+        assert_eq!(tap.next_offset(), 0, "unacked frames are not published");
+        wal.commit().unwrap();
+        assert_eq!(tap.next_offset(), 2, "commit publishes the group");
+        wal.append(b"c").unwrap();
+        wal.commit().unwrap();
+        assert_eq!(tap.next_offset(), 3);
+        assert_eq!(tap.base_offset(), 0);
+
+        let mut shipper = WalShipper::new(Arc::clone(&tap), 0);
+        let Shipment::Group(g1) = shipper.next(Duration::ZERO) else {
+            panic!("first group expected");
+        };
+        assert_eq!(g1.offset, 0);
+        assert_eq!(g1.frames, vec![b"a".to_vec(), b"b".to_vec()]);
+        let Shipment::Group(g2) = shipper.next(Duration::ZERO) else {
+            panic!("second group expected");
+        };
+        assert_eq!(g2.offset, 2);
+        assert_eq!(g2.end(), 3);
+        assert_eq!(shipper.cursor(), 3);
+        assert_eq!(shipper.next(Duration::ZERO), Shipment::Idle);
+
+        // Tapping must not change the sync accounting.
+        assert_eq!(metrics.snapshot().wal_syncs, 2);
+    }
+
+    #[test]
+    fn tap_publishes_at_ack_under_all_durability_modes() {
+        for mode in [DurabilityMode::None, DurabilityMode::Buffered] {
+            let (tap, metrics, wal) = tapped_writer(mode, 64);
+            wal.append(b"x").unwrap();
+            assert_eq!(tap.next_offset(), 0);
+            wal.commit().unwrap();
+            assert_eq!(tap.next_offset(), 1, "{mode}: ack publishes");
+            assert_eq!(
+                metrics.snapshot().wal_syncs,
+                0,
+                "{mode}: publishing does not add syncs"
+            );
+            wal.append(b"y").unwrap();
+            wal.barrier().unwrap();
+            assert_eq!(tap.next_offset(), 2, "{mode}: barrier publishes");
+        }
+    }
+
+    #[test]
+    fn window_forced_sync_publishes_mid_batch() {
+        let (tap, _, wal) = tapped_writer(DurabilityMode::GroupCommit { window: 2 }, 64);
+        wal.append_group([b"a".as_slice(), b"b".as_slice(), b"c".as_slice()])
+            .unwrap();
+        // The 3-record group crossed the window: already synced & published.
+        assert_eq!(tap.next_offset(), 3);
+        wal.commit().unwrap();
+        assert_eq!(tap.next_offset(), 3, "commit after window sync is a no-op");
+    }
+
+    #[test]
+    fn shipper_observes_gap_after_retention_eviction() {
+        let tap = Arc::new(WalTap::new(2));
+        tap.publish(vec![b"a".to_vec()]);
+        tap.publish(vec![b"b".to_vec()]);
+        tap.publish(vec![b"c".to_vec()]);
+        assert_eq!(tap.base_offset(), 1, "oldest group evicted");
+        assert_eq!(tap.next_offset(), 3);
+
+        let mut shipper = WalShipper::new(Arc::clone(&tap), 0);
+        assert_eq!(
+            shipper.next(Duration::ZERO),
+            Shipment::Gap { resume_from: 3 },
+            "a cursor behind retention must snapshot and resume at the tail"
+        );
+        assert_eq!(shipper.cursor(), 3);
+        tap.publish(vec![b"d".to_vec()]);
+        let Shipment::Group(g) = shipper.next(Duration::ZERO) else {
+            panic!("group after gap expected");
+        };
+        assert_eq!(g.offset, 3);
+        assert_eq!(g.frames, vec![b"d".to_vec()]);
+    }
+
+    #[test]
+    fn shipper_wakes_on_publish_from_another_thread() {
+        let tap = Arc::new(WalTap::new(8));
+        let mut shipper = WalShipper::new(Arc::clone(&tap), 0);
+        let publisher = {
+            let tap = Arc::clone(&tap);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tap.publish(vec![b"late".to_vec()]);
+            })
+        };
+        let shipment = shipper.next(Duration::from_secs(5));
+        publisher.join().unwrap();
+        let Shipment::Group(g) = shipment else {
+            panic!("expected the published group, got {shipment:?}");
+        };
+        assert_eq!(g.frames, vec![b"late".to_vec()]);
+    }
+
+    #[test]
+    fn replica_applier_applies_groups_and_skips_duplicates() {
+        let store: Arc<dyn KvStore> = Arc::new(crate::memstore::MemStore::new());
+        let applier = ReplicaApplier::new(Arc::clone(&store), 0);
+        let group = WalGroup {
+            offset: 0,
+            frames: vec![WalOp::encode_put(1, b"one"), WalOp::encode_put(2, b"two")],
+        };
+        applier.apply(&group).unwrap();
+        assert_eq!(applier.applied(), 2);
+        assert_eq!(store.get(1).unwrap(), b"one");
+
+        // Duplicate delivery after a reconnect: skipped, state unchanged.
+        applier.apply(&group).unwrap();
+        assert_eq!(applier.applied(), 2);
+
+        let group2 = WalGroup {
+            offset: 2,
+            frames: vec![WalOp::encode_delete(1), WalOp::encode_put(3, b"three")],
+        };
+        applier.apply(&group2).unwrap();
+        assert_eq!(applier.applied(), 4);
+        assert!(store.get(1).unwrap_err().is_not_found());
+        assert_eq!(store.get(3).unwrap(), b"three");
+
+        applier.set_applied(10);
+        assert_eq!(applier.applied(), 10);
+    }
+
+    #[test]
+    fn default_apply_replicated_group_rejects_corrupt_frames() {
+        let store: Arc<dyn KvStore> = Arc::new(crate::memstore::MemStore::new());
+        let applier = ReplicaApplier::new(store, 0);
+        let group = WalGroup {
+            offset: 0,
+            frames: vec![vec![0xFF, 1, 2]],
+        };
+        assert!(applier.apply(&group).is_err());
+        assert_eq!(applier.applied(), 0, "failed groups do not advance");
+    }
+
+    // ── Satellite: committed-prefix replay under torn/corrupt frames ────────
+    //
+    // All three engines frame their logs through this module (FASTER's delta
+    // WAL and the LSM WAL log `WalOp`s, the B+tree journals page images), so
+    // the committed-prefix property proved here at the framing layer is the
+    // one their recovery paths inherit.
+
+    use proptest::prelude::*;
+
+    fn groups_strategy() -> impl Strategy<Value = Vec<Vec<Vec<u8>>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..6),
+            1..6,
+        )
+    }
+
+    /// Device image of `groups` appended through the writer's grouped path,
+    /// plus the flattened frame payloads in order.
+    fn framed_image(groups: &[Vec<Vec<u8>>]) -> (Vec<u8>, Vec<Vec<u8>>) {
+        let (device, _, wal) = writer(DurabilityMode::None);
+        let mut flat = Vec::new();
+        for group in groups {
+            wal.append_group(group.iter().map(|p| p.as_slice()))
+                .unwrap();
+            wal.commit().unwrap();
+            flat.extend(group.iter().cloned());
+        }
+        (device.to_vec(), flat)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// A torn tail *inside* a multi-record group: truncating the image at
+        /// any byte keeps exactly the frames that are fully on the device —
+        /// whole groups before the tear plus the torn group's intact prefix.
+        #[test]
+        fn torn_tail_inside_group_keeps_committed_prefix(
+            groups in groups_strategy(),
+            cut_seed in any::<u16>(),
+        ) {
+            let (image, flat) = framed_image(&groups);
+            let cut = cut_seed as usize % (image.len() + 1);
+            let device = MemDevice::new();
+            device.write_at(0, &image[..cut]).unwrap();
+            let replayed = WalReader::replay(&device).unwrap();
+
+            // Expected: the longest frame prefix whose framing fits in `cut`.
+            let mut expect = Vec::new();
+            let mut pos = 0usize;
+            for payload in &flat {
+                let end = pos + FRAME_HEADER + payload.len();
+                if end > cut {
+                    break;
+                }
+                expect.push(payload.clone());
+                pos = end;
+            }
+            prop_assert_eq!(replayed, expect);
+        }
+
+        /// Corrupting one byte of a *middle* frame stops replay exactly at
+        /// that frame, keeping every earlier frame and discarding every later
+        /// one (no resynchronisation past a bad CRC).
+        #[test]
+        fn corrupt_middle_frame_keeps_exactly_earlier_frames(
+            groups in groups_strategy(),
+            victim_seed in any::<u16>(),
+            byte_seed in any::<u16>(),
+        ) {
+            let (mut image, flat) = framed_image(&groups);
+            let victim = victim_seed as usize % flat.len();
+            // Byte span of the victim frame (header + payload).
+            let mut start = 0usize;
+            for payload in flat.iter().take(victim) {
+                start += FRAME_HEADER + payload.len();
+            }
+            let frame_len = FRAME_HEADER + flat[victim].len();
+            let flip = start + byte_seed as usize % frame_len;
+            image[flip] ^= 0x5A;
+
+            let device = MemDevice::new();
+            device.write_at(0, &image).unwrap();
+            let replayed = WalReader::replay(&device).unwrap();
+
+            // Frames before the victim survive byte-identically; the victim
+            // and everything after it are discarded. (A flipped length,
+            // CRC, or payload byte all fail the victim's CRC check — replay
+            // never resynchronises past a bad frame.)
+            prop_assert_eq!(&replayed[..], &flat[..victim]);
+        }
     }
 }

@@ -389,3 +389,125 @@ fn overload_sheds_with_typed_error() {
         "blocked request drained at shutdown"
     );
 }
+
+/// Satellite: dedup-window behaviour under a flood of short-lived sessions.
+/// The window is a fixed direct-mapped table, so (a) its durable footprint in
+/// the reserved key range never exceeds the configured slot count no matter
+/// how many sessions churn through, (b) after a restart a session whose
+/// marker survived the churn still dedups its retry, and (c) an evicted
+/// session degrades to re-apply — never to a false acknowledgement.
+#[test]
+fn session_churn_bounds_dedup_memory_and_reconciles_through_markers() {
+    use mlkv_server::{ClientOptions, RESERVED_KEY_BASE};
+
+    const SLOTS: usize = 4;
+    let dir = std::env::temp_dir().join(format!(
+        "mlkv-dedup-churn-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let builder = || {
+        ServerBuilder::new(BackendKind::RocksDbLike, DIM)
+            .staleness_bound(u32::MAX)
+            .seed(SEED)
+            .dir(dir.clone())
+            .durability(DurabilityMode::GroupCommit { window: 1 << 20 })
+            .parallelism(1)
+            .dedup_slots(SLOTS)
+    };
+    let handle = builder().serve("127.0.0.1:0").unwrap();
+    let addr = handle.local_addr();
+
+    let apply_once = |session: u64, id: u64, key: u64| {
+        let mut client = Client::connect_with(addr, ClientOptions::retrying(session, 0)).unwrap();
+        client
+            .apply_with_id(id, &[(key, vec![1.0; DIM])], 0.1, None)
+            .unwrap();
+    };
+
+    // The session whose retry we replay later. Slot = 42 % 4 = 2.
+    apply_once(42, 1, 7);
+    let after_first = handle
+        .table()
+        .store()
+        .multi_get(&[7])
+        .pop()
+        .unwrap()
+        .unwrap();
+
+    // Flood: 64 short-lived sessions, one mutation each. Sessions 44 and 46
+    // collide with nothing we check; sessions ≡ 2 (mod 4) evict session 42.
+    for s in 100..164u64 {
+        apply_once(s, 1, 1000 + s);
+    }
+
+    // (a) Bounded durable footprint: however many sessions churned, only the
+    // SLOTS reserved marker keys exist — probing beyond them finds nothing.
+    let probe: Vec<u64> = (SLOTS as u64..SLOTS as u64 + 16)
+        .map(|i| RESERVED_KEY_BASE + i)
+        .collect();
+    for result in handle.table().store().multi_get(&probe) {
+        assert!(
+            result.is_err(),
+            "dedup marker leaked beyond the {SLOTS}-slot window"
+        );
+    }
+
+    handle.shutdown().unwrap();
+
+    // (b) Restart: recovery rebuilds the window from the surviving markers.
+    // The last writer of slot 2 was session 162 (162 % 4 == 2): its retry
+    // must be acknowledged from the recovered marker without re-applying.
+    let handle = builder().serve("127.0.0.1:0").unwrap();
+    let addr = handle.local_addr();
+    let before = handle
+        .table()
+        .store()
+        .multi_get(&[1000 + 162])
+        .pop()
+        .unwrap()
+        .unwrap();
+    {
+        let mut client = Client::connect_with(addr, ClientOptions::retrying(162, 0)).unwrap();
+        client
+            .apply_with_id(1, &[(1000 + 162, vec![1.0; DIM])], 0.1, None)
+            .unwrap();
+    }
+    assert_eq!(
+        handle
+            .table()
+            .store()
+            .multi_get(&[1000 + 162])
+            .pop()
+            .unwrap()
+            .unwrap(),
+        before,
+        "surviving marker must dedup the retry across the restart"
+    );
+    assert!(handle.metrics().snapshot().serve_deduped >= 1);
+
+    // (c) Session 42 was evicted from its slot by the churn: its retry is
+    // *not* falsely acknowledged from thin air — it re-applies (at-least-once
+    // degradation, never acknowledgement of lost work).
+    {
+        let mut client = Client::connect_with(addr, ClientOptions::retrying(42, 0)).unwrap();
+        client
+            .apply_with_id(1, &[(7, vec![1.0; DIM])], 0.1, None)
+            .unwrap();
+    }
+    assert_ne!(
+        handle
+            .table()
+            .store()
+            .multi_get(&[7])
+            .pop()
+            .unwrap()
+            .unwrap(),
+        after_first,
+        "evicted session must degrade to re-apply, not to a silent ack"
+    );
+
+    handle.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
