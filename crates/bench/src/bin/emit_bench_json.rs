@@ -8,7 +8,10 @@
 //! * `BENCH_batch_parallel.json` (`mlkv_bench::batch_parallel`): one
 //!   `EmbeddingTable::gather` at parallelism 1 / 2 / 4 / 8 on the in-memory
 //!   and FASTER engines (warm, RAM-resident) plus a cold FASTER configuration
-//!   with simulated SSD read latency.
+//!   with simulated SSD read latency; and the write half of the matrix — one
+//!   `apply_gradients` batch at `write_shards` 1 / 2 / 4 / 8 (read
+//!   parallelism pinned to 1) on every sharded-write-path engine, warm plus
+//!   a cold FASTER configuration.
 //! * `BENCH_io_coalesce.json` (`mlkv_bench::io_coalesce`): the cold-SSD gather
 //!   on FASTER / RocksDB-label LSM / WiredTiger-label B+tree with the I/O
 //!   planner's coalescing off (the per-record read path) vs on, at the same
@@ -44,9 +47,13 @@
 //! cargo run --release -p mlkv-bench --bin emit_bench_json \
 //!     [-- --out PATH] [--io-out PATH] [--io-async-out PATH] \
 //!     [--durability-out PATH] [--serving-out PATH] [--fault-out PATH] \
-//!     [--replication-out PATH] [--serving-only] [--fault-only] \
-//!     [--replication-only] [--quick]
+//!     [--replication-out PATH] [--batch-only] [--serving-only] \
+//!     [--fault-only] [--replication-only] [--quick]
 //! ```
+//!
+//! `--batch-only` stops after `BENCH_batch_parallel.json` (regenerating just
+//! the executor/write-shard matrix without the serving/fault/replication
+//! sweeps).
 //!
 //! `--quick` runs one measurement iteration per cell (CI smoke); the default
 //! run is sized for stable means on an idle machine. Interpreting the
@@ -62,8 +69,9 @@ use std::time::Instant;
 
 use mlkv::{BackendKind, EmbeddingTable};
 use mlkv_bench::batch_parallel::{
-    cold_faster_table, rotating_keys, warm_table, COLD_KEY_SPACE, GATHER_BATCH_SIZES,
-    PARALLELISM_LEVELS, WARM_KEY_SPACE,
+    cold_faster_table, cold_write_faster_table, gradient_rows, rotating_keys, warm_table,
+    warm_write_table, APPLY_BATCH_SIZE, COLD_KEY_SPACE, GATHER_BATCH_SIZES, PARALLELISM_LEVELS,
+    WARM_KEY_SPACE, WRITE_BACKENDS, WRITE_SHARD_LEVELS,
 };
 use mlkv_bench::io_coalesce;
 use mlkv_storage::exec::available_parallelism;
@@ -123,6 +131,52 @@ fn measure_gather(
     start.elapsed().as_nanos() / u128::from(iters.max(1))
 }
 
+/// One `BENCH_batch_parallel.json` write row: an `apply_gradients` batch with
+/// the read `parallelism` knob pinned serial and only `write_shards` swept, so
+/// the row isolates the sharded write path (memtable shards / leaf latches /
+/// hash-chain CAS + the shard-worker fan-out of `multi_rmw`).
+struct WriteCell {
+    engine: &'static str,
+    workload: &'static str,
+    batch: usize,
+    write_shards: usize,
+    mean_ns: u128,
+    speedup_vs_serial: f64,
+}
+
+/// Mean wall-clock nanoseconds of one `apply_gradients` batch over `iters`
+/// measured calls (after `warmup` unmeasured ones), rotating the key pattern
+/// per call the same way [`measure_gather`] does.
+fn measure_apply(
+    table: &EmbeddingTable,
+    n: usize,
+    key_space: u64,
+    warmup: u32,
+    iters: u32,
+) -> u128 {
+    let grads = gradient_rows(n, 16);
+    let apply = |base: u64| {
+        let keys = rotating_keys(base, n, key_space);
+        let updates: Vec<(u64, &[f32])> = keys
+            .iter()
+            .copied()
+            .zip(grads.iter().map(|g| g.as_slice()))
+            .collect();
+        table.apply_gradients(&updates, 0.01).unwrap();
+    };
+    let mut base = 0u64;
+    for _ in 0..warmup {
+        base = base.wrapping_add(31);
+        apply(base);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        base = base.wrapping_add(31);
+        apply(base);
+    }
+    start.elapsed().as_nanos() / u128::from(iters.max(1))
+}
+
 /// One benchmark group: an engine/workload pair swept over parallelism levels
 /// and batch sizes.
 struct GroupSpec<'a> {
@@ -166,6 +220,48 @@ fn push_group(
                 workload: spec.workload,
                 batch,
                 parallelism,
+                mean_ns,
+                speedup_vs_serial: speedup,
+            });
+        }
+    }
+}
+
+/// [`push_group`] for the write rows: the same engine/workload/batch sweep,
+/// but over [`WRITE_SHARD_LEVELS`] instead of parallelism, measuring
+/// `apply_gradients` on a fresh table per level.
+fn push_write_group(
+    cells: &mut Vec<WriteCell>,
+    spec: &GroupSpec<'_>,
+    quick: bool,
+    build: impl Fn(usize) -> Arc<EmbeddingTable>,
+) {
+    let (warmup, iters) = if quick {
+        (1, 1)
+    } else {
+        (spec.warmup, spec.iters)
+    };
+    for &batch in spec.batches {
+        let mut serial_ns = 0u128;
+        for &write_shards in &WRITE_SHARD_LEVELS {
+            let table = build(write_shards);
+            let mean_ns = measure_apply(&table, batch, spec.key_space, warmup, iters);
+            if write_shards == 1 {
+                serial_ns = mean_ns;
+            }
+            let speedup = serial_ns as f64 / mean_ns.max(1) as f64;
+            eprintln!(
+                "{:>10} {:<14} batch {batch:>5} w{write_shards}: \
+                 {:>10.3} ms/apply ({speedup:.2}x vs w1)",
+                spec.engine,
+                spec.workload,
+                mean_ns as f64 / 1e6
+            );
+            cells.push(WriteCell {
+                engine: spec.engine,
+                workload: spec.workload,
+                batch,
+                write_shards,
                 mean_ns,
                 speedup_vs_serial: speedup,
             });
@@ -753,6 +849,7 @@ fn write_replication_json(cells: &[ReplicationCell], quick: bool, out_path: &str
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let batch_only = args.iter().any(|a| a == "--batch-only");
     let serving_only = args.iter().any(|a| a == "--serving-only");
     let fault_only = args.iter().any(|a| a == "--fault-only");
     let replication_only = args.iter().any(|a| a == "--replication-only");
@@ -818,16 +915,54 @@ fn main() {
         cold_faster_table,
     );
 
+    // Write half of the matrix: `apply_gradients` with the read knob pinned
+    // serial and `write_shards` swept, on every sharded-write-path engine.
+    let mut write_cells = Vec::new();
+    for backend in WRITE_BACKENDS {
+        push_write_group(
+            &mut write_cells,
+            &GroupSpec {
+                engine: backend.name(),
+                workload: "apply-warm",
+                batches: &[APPLY_BATCH_SIZE],
+                key_space: WARM_KEY_SPACE,
+                warmup: 3,
+                iters: 20,
+            },
+            quick,
+            move |w| warm_write_table(backend, w),
+        );
+    }
+    // Cold apply: every RMW over the cold region pays a blocking simulated
+    // SSD read before it can fold the gradient in, so shard workers win by
+    // overlapping those reads — visible on any host, like gather-cold-ssd.
+    push_write_group(
+        &mut write_cells,
+        &GroupSpec {
+            engine: "FASTER",
+            workload: "apply-cold-ssd",
+            batches: &[1024],
+            key_space: COLD_KEY_SPACE,
+            warmup: 1,
+            iters: 8,
+        },
+        quick,
+        cold_write_faster_table,
+    );
+
     let mut json = String::new();
     json_prologue(
         &mut json,
         "batch_parallel",
         quick,
-        "gather latency by batch-executor parallelism; gather-warm is \
-         RAM-resident CPU work (parallel speedup requires >= that many idle cores; on a \
-         1-core host it measures executor overhead), gather-cold-ssd is device-bound with \
-         25us simulated SSD reads (speedup = overlapped I/O, visible on any host)",
+        "gather latency by batch-executor parallelism and apply_gradients latency by \
+         write_shards; gather-warm/apply-warm are RAM-resident CPU work (parallel speedup \
+         requires >= that many idle cores; on a 1-core host they measure executor/latch \
+         overhead), gather-cold-ssd/apply-cold-ssd are device-bound with 25us simulated SSD \
+         reads (speedup = overlapped I/O, visible on any host); apply rows pin read \
+         parallelism to 1 so only the sharded write path varies",
     );
+    let total = cells.len() + write_cells.len();
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             json,
@@ -835,12 +970,28 @@ fn main() {
              \"parallelism\": {}, \"mean_ns\": {}, \"speedup_vs_serial\": {:.3}}}",
             c.engine, c.workload, c.batch, c.parallelism, c.mean_ns, c.speedup_vs_serial
         );
-        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < total { ",\n" } else { "\n" });
+    }
+    for (i, c) in write_cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"batch\": {}, \
+             \"write_shards\": {}, \"mean_ns\": {}, \"speedup_vs_serial\": {:.3}}}",
+            c.engine, c.workload, c.batch, c.write_shards, c.mean_ns, c.speedup_vs_serial
+        );
+        json.push_str(if cells.len() + i + 1 < total {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).unwrap();
     println!("wrote {out_path}");
+    if batch_only {
+        return;
+    }
 
     let io_cells = run_io_coalesce(quick);
     write_io_coalesce_json(&io_cells, quick, &io_out_path);

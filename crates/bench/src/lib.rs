@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mlkv::{BackendKind, EmbeddingTable, Mlkv, StorageResult};
-use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, RmwFn};
 use mlkv_storage::{StorageMetrics, StoreConfig};
 
 /// Value following `flag` in `args` (e.g. `arg_value(&args, "--out")`),
@@ -46,6 +46,16 @@ pub fn parallelism_from_args() -> usize {
         .unwrap_or(0)
 }
 
+/// Parse `--write-shards <usize>` from the process arguments. Defaults to `0`
+/// (follow the read `parallelism` knob, which is the engine default);
+/// `--write-shards 1` pins every mutation onto the serial single-lock write
+/// path without giving up parallel reads.
+pub fn write_shards_from_args() -> usize {
+    cli_value("--write-shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Open an embedding table on `backend` with the given storage buffer budget.
 /// MLKV backends get bounded staleness + look-ahead workers; baseline backends
 /// get the plain table layer with enforcement disabled (pure offloading).
@@ -64,6 +74,7 @@ pub fn open_table(
         .staleness_bound(staleness_bound)
         .lookahead_workers(2)
         .parallelism(parallelism_from_args())
+        .write_shards(write_shards_from_args())
         .init_scale(0.5);
     if !backend.is_mlkv() {
         builder = builder.disable_staleness_enforcement();
@@ -145,7 +156,7 @@ impl KvStore for StalenessWrappedStore {
         out
     }
 
-    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+    fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
         let guard = self.controller.acquire_put(key)?;
         let out = self.inner.rmw(key, f);
         drop(guard);
@@ -228,18 +239,31 @@ pub mod batch_parallel {
 
     /// Parallelism levels every group sweeps.
     pub const PARALLELISM_LEVELS: [usize; 4] = [1, 2, 4, 8];
+    /// Write-shard levels the apply-gradients groups sweep.
+    pub const WRITE_SHARD_LEVELS: [usize; 4] = [1, 2, 4, 8];
     /// Gather batch sizes for the warm groups.
     pub const GATHER_BATCH_SIZES: [usize; 2] = [1024, 4096];
+    /// Batch size of the warm apply-gradients groups (large enough to clear
+    /// the executor's parallel cutoff with room to spare).
+    pub const APPLY_BATCH_SIZE: usize = 4096;
     /// Key space of the warm (RAM-resident) tables.
     pub const WARM_KEY_SPACE: u64 = 20_000;
     /// Key space of the cold (larger-than-memory) FASTER table.
     pub const COLD_KEY_SPACE: u64 = 4_000;
     /// Simulated SSD read latency of the cold configuration.
     pub const COLD_READ_LATENCY: Duration = Duration::from_micros(25);
+    /// The persistent engines whose write paths are sharded, swept by the
+    /// warm apply-gradients group (labels follow the paper's figures).
+    pub const WRITE_BACKENDS: [BackendKind; 3] = [
+        BackendKind::Faster,
+        BackendKind::RocksDbLike,
+        BackendKind::WiredTigerLike,
+    ];
 
     fn build_table(
         backend: BackendKind,
         parallelism: usize,
+        write_shards: usize,
         memory_budget: usize,
         read_latency: Duration,
         key_space: u64,
@@ -251,6 +275,7 @@ pub mod batch_parallel {
                 .with_page_size(4 << 10)
                 .with_index_buckets(1 << 14)
                 .with_parallelism(parallelism)
+                .with_write_shards(write_shards)
                 .with_simulated_read_latency(read_latency)
                 // This matrix isolates the *executor*: the cold group measures
                 // how well workers overlap blocking per-record reads, so the
@@ -280,6 +305,7 @@ pub mod batch_parallel {
         build_table(
             backend,
             parallelism,
+            0, // write_shards follow parallelism; these groups only gather
             64 << 20,
             Duration::ZERO,
             WARM_KEY_SPACE,
@@ -293,6 +319,36 @@ pub mod batch_parallel {
         build_table(
             BackendKind::Faster,
             parallelism,
+            0, // write_shards follow parallelism; this group only gathers
+            64 << 10,
+            COLD_READ_LATENCY,
+            COLD_KEY_SPACE,
+        )
+    }
+
+    /// A RAM-resident table on `backend` with the *read* knob pinned serial
+    /// and only `write_shards` swept, so the apply-gradients rows isolate the
+    /// sharded write path (memtable shards / leaf latches / hash-chain CAS)
+    /// from the read executor measured by the gather groups.
+    pub fn warm_write_table(backend: BackendKind, write_shards: usize) -> Arc<EmbeddingTable> {
+        build_table(
+            backend,
+            1,
+            write_shards,
+            64 << 20,
+            Duration::ZERO,
+            WARM_KEY_SPACE,
+        )
+    }
+
+    /// FASTER with the cold-gather configuration but `write_shards` swept:
+    /// an RMW over the cold region pays a blocking simulated-SSD read per
+    /// record, so shard workers win by overlapping those reads.
+    pub fn cold_write_faster_table(write_shards: usize) -> Arc<EmbeddingTable> {
+        build_table(
+            BackendKind::Faster,
+            1,
+            write_shards,
             64 << 10,
             COLD_READ_LATENCY,
             COLD_KEY_SPACE,
@@ -302,6 +358,12 @@ pub mod batch_parallel {
     /// The rotating key pattern both entry points gather.
     pub fn rotating_keys(base: u64, n: usize, key_space: u64) -> Vec<u64> {
         (0..n as u64).map(|i| (base + i * 17) % key_space).collect()
+    }
+
+    /// Gradient rows for one apply-gradients batch over [`rotating_keys`]
+    /// (the caller zips these with the keys into `&[(u64, &[f32])]`).
+    pub fn gradient_rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        vec![vec![0.01f32; dim]; n]
     }
 }
 
@@ -467,6 +529,29 @@ mod tests {
         let warm = batch_parallel::warm_table(BackendKind::InMemory, 1);
         let keys = batch_parallel::rotating_keys(7, 64, batch_parallel::WARM_KEY_SPACE);
         assert_eq!(warm.gather(&keys).unwrap().len(), 64);
+    }
+
+    #[test]
+    fn batch_parallel_write_tables_apply_identically_across_shards() {
+        for backend in batch_parallel::WRITE_BACKENDS {
+            let serial = batch_parallel::warm_write_table(backend, 1);
+            let sharded = batch_parallel::warm_write_table(backend, 4);
+            let keys = batch_parallel::rotating_keys(3, 512, batch_parallel::WARM_KEY_SPACE);
+            let grads = batch_parallel::gradient_rows(keys.len(), 16);
+            let updates: Vec<(u64, &[f32])> = keys
+                .iter()
+                .copied()
+                .zip(grads.iter().map(|g| g.as_slice()))
+                .collect();
+            serial.apply_gradients(&updates, 0.1).unwrap();
+            sharded.apply_gradients(&updates, 0.1).unwrap();
+            assert_eq!(
+                serial.gather(&keys).unwrap(),
+                sharded.gather(&keys).unwrap(),
+                "{}",
+                backend.name()
+            );
+        }
     }
 
     #[test]

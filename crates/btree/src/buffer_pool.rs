@@ -21,41 +21,57 @@ struct CachedPage {
     stamp: u64,
 }
 
-/// LRU buffer pool of leaf pages.
+/// LRU buffer pool of leaf pages, sharded by page-id hash so warm hits on
+/// different pages never contend on one mutex.
 pub struct BufferPool {
     device: Arc<dyn Device>,
     page_size: usize,
-    capacity_pages: usize,
     planner: IoPlanner,
     metrics: Arc<StorageMetrics>,
-    inner: Mutex<PoolInner>,
+    /// One independently locked shard per hash bucket. Each shard runs its own
+    /// LRU clock over its own slice of the capacity, so eviction pressure in
+    /// one shard never touches pages cached in another.
+    shards: Vec<Mutex<PoolShard>>,
 }
 
-struct PoolInner {
+struct PoolShard {
     pages: HashMap<u64, CachedPage>,
     clock: u64,
+    capacity: usize,
 }
 
 impl BufferPool {
     /// Create a pool over `device` holding at most `capacity_pages` pages of
-    /// `page_size` bytes each.
+    /// `page_size` bytes each, split over `shards` hash shards. The shard
+    /// count is clamped so every shard keeps at least two page slots (tiny
+    /// pools degrade to one shard, preserving exact global-LRU eviction
+    /// order); the per-shard capacities always sum to `capacity_pages`.
     pub fn new(
         device: Arc<dyn Device>,
         capacity_pages: usize,
         page_size: usize,
+        shards: usize,
         planner: IoPlanner,
         metrics: Arc<StorageMetrics>,
     ) -> Self {
+        let capacity_pages = capacity_pages.max(2);
+        let shard_count = shards.max(1).min(capacity_pages / 2).max(1);
+        let base = capacity_pages / shard_count;
+        let extra = capacity_pages % shard_count;
         Self {
             device,
             page_size,
-            capacity_pages: capacity_pages.max(2),
             planner,
             metrics,
-            inner: Mutex::new(PoolInner {
-                pages: HashMap::new(),
-                clock: 0,
-            }),
+            shards: (0..shard_count)
+                .map(|i| {
+                    Mutex::new(PoolShard {
+                        pages: HashMap::new(),
+                        clock: 0,
+                        capacity: base + usize::from(i < extra),
+                    })
+                })
+                .collect(),
         }
     }
 
@@ -64,9 +80,20 @@ impl BufferPool {
         self.page_size
     }
 
+    /// Number of hash shards the pool is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard caching `page_id`.
+    fn shard_of(&self, page_id: u64) -> usize {
+        let h = page_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h as usize) % self.shards.len()
+    }
+
     /// Number of pages currently resident.
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().pages.len()
+        self.shards.iter().map(|s| s.lock().pages.len()).sum()
     }
 
     /// Run `f` with read access to the leaf `page_id`, faulting it in from the
@@ -86,21 +113,21 @@ impl BufferPool {
         let mut faulted: Option<LeafPage> = None;
         loop {
             {
-                let mut inner = self.inner.lock();
+                let mut shard = self.shards[self.shard_of(page_id)].lock();
                 if let Some(leaf) = faulted.take() {
-                    inner.clock += 1;
-                    let stamp = inner.clock;
-                    inner.pages.entry(page_id).or_insert(CachedPage {
+                    shard.clock += 1;
+                    let stamp = shard.clock;
+                    shard.pages.entry(page_id).or_insert(CachedPage {
                         leaf,
                         dirty: false,
                         stamp,
                     });
-                    self.evict_if_needed(&mut inner)?;
+                    self.evict_if_needed(&mut shard)?;
                 }
-                if inner.pages.contains_key(&page_id) {
-                    inner.clock += 1;
-                    let stamp = inner.clock;
-                    let page = inner.pages.get_mut(&page_id).expect("resident");
+                if shard.pages.contains_key(&page_id) {
+                    shard.clock += 1;
+                    let stamp = shard.clock;
+                    let page = shard.pages.get_mut(&page_id).expect("resident");
                     page.stamp = stamp;
                     let out = f(&page.leaf);
                     return Ok((out, from_disk));
@@ -112,16 +139,19 @@ impl BufferPool {
     }
 
     /// Run `f` with mutable access to the leaf `page_id`, marking it dirty.
+    /// Concurrent mutators of the *same* page must be excluded by the caller
+    /// (the store's per-leaf latches, or the tree write lock on the serial and
+    /// structural paths); the shard lock only protects the pool bookkeeping.
     pub fn with_leaf_mut<R>(
         &self,
         page_id: u64,
         f: impl FnOnce(&mut LeafPage) -> R,
     ) -> StorageResult<(R, bool)> {
-        let mut inner = self.inner.lock();
-        let from_disk = self.ensure_resident(&mut inner, page_id)?;
-        inner.clock += 1;
-        let stamp = inner.clock;
-        let page = inner.pages.get_mut(&page_id).expect("page just ensured");
+        let mut shard = self.shards[self.shard_of(page_id)].lock();
+        let from_disk = self.ensure_resident(&mut shard, page_id)?;
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let page = shard.pages.get_mut(&page_id).expect("page just ensured");
         page.stamp = stamp;
         page.dirty = true;
         let out = f(&mut page.leaf);
@@ -131,10 +161,10 @@ impl BufferPool {
     /// Install a brand-new leaf (e.g. the right sibling of a split) without
     /// reading the device.
     pub fn install_new(&self, page_id: u64, leaf: LeafPage) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let stamp = inner.clock;
-        inner.pages.insert(
+        let mut shard = self.shards[self.shard_of(page_id)].lock();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.pages.insert(
             page_id,
             CachedPage {
                 leaf,
@@ -142,7 +172,7 @@ impl BufferPool {
                 stamp,
             },
         );
-        self.evict_if_needed(&mut inner)?;
+        self.evict_if_needed(&mut shard)?;
         Ok(())
     }
 
@@ -153,10 +183,12 @@ impl BufferPool {
     /// The batch may be far larger than the pool: fetched pages are installed
     /// into spare pool capacity only (never evicting resident — possibly
     /// dirty, definitely warmer — pages), and the caller serves its groups
-    /// from the returned copies either way. That is safe whenever leaf
-    /// mutations are excluded for the duration of the batch (the tree read
-    /// lock in `BtreeStore::multi_get`): a non-resident page's on-device
-    /// bytes are current, because eviction writes dirty pages back.
+    /// from the returned copies either way. A non-resident page's on-device
+    /// bytes are current as of the submit (eviction writes dirty pages back);
+    /// a *latched* writer mutating the page concurrently necessarily overlaps
+    /// the read batch, so serving the fetched pre-image is a valid
+    /// linearisation (structural changes are still excluded by the tree read
+    /// lock the caller holds).
     ///
     /// Best-effort: pages with no on-device home (fresh leaves that live only
     /// in the pool), undecodable pages, and whole batches whose scatter read
@@ -183,14 +215,16 @@ impl BufferPool {
                 pending: None,
             };
         }
-        let mut missing: Vec<u64> = {
-            let inner = self.inner.lock();
-            page_ids
-                .iter()
-                .copied()
-                .filter(|id| !inner.pages.contains_key(id))
-                .collect()
-        };
+        let mut missing: Vec<u64> = page_ids
+            .iter()
+            .copied()
+            .filter(|&id| {
+                !self.shards[self.shard_of(id)]
+                    .lock()
+                    .pages
+                    .contains_key(&id)
+            })
+            .collect();
         missing.sort_unstable();
         missing.dedup();
         let device_len = self.device.len();
@@ -228,14 +262,14 @@ impl BufferPool {
         // Warm the pool with as many fetched pages as fit for free. Resident
         // pages are never displaced (they may be dirty, and they are warmer
         // than a batch that just swept the key space).
-        let mut inner = self.inner.lock();
         for (id, leaf) in &fetched {
-            if inner.pages.len() >= self.capacity_pages {
-                break;
+            let mut shard = self.shards[self.shard_of(*id)].lock();
+            if shard.pages.len() >= shard.capacity {
+                continue;
             }
-            inner.clock += 1;
-            let stamp = inner.clock;
-            inner.pages.entry(*id).or_insert(CachedPage {
+            shard.clock += 1;
+            let stamp = shard.clock;
+            shard.pages.entry(*id).or_insert(CachedPage {
                 leaf: leaf.clone(),
                 dirty: false,
                 stamp,
@@ -260,17 +294,18 @@ impl BufferPool {
         LeafPage::decode(&buf)
     }
 
-    fn ensure_resident(&self, inner: &mut PoolInner, page_id: u64) -> StorageResult<bool> {
-        if inner.pages.contains_key(&page_id) {
+    fn ensure_resident(&self, shard: &mut PoolShard, page_id: u64) -> StorageResult<bool> {
+        if shard.pages.contains_key(&page_id) {
             return Ok(false);
         }
-        // Fault the page in from the device. Mutable accesses are already
-        // serialised by the tree's write lock, so unlike `with_leaf` there is
-        // no concurrency to win by dropping the pool lock here.
+        // Fault the page in from the device. Mutable accesses to one page are
+        // already serialised by the store (leaf latch or tree write lock), so
+        // unlike `with_leaf` there is no concurrency to win by dropping the
+        // shard lock here.
         let leaf = self.read_leaf(page_id)?;
-        inner.clock += 1;
-        let stamp = inner.clock;
-        inner.pages.insert(
+        shard.clock += 1;
+        let stamp = shard.clock;
+        shard.pages.insert(
             page_id,
             CachedPage {
                 leaf,
@@ -278,19 +313,19 @@ impl BufferPool {
                 stamp,
             },
         );
-        self.evict_if_needed(inner)?;
+        self.evict_if_needed(shard)?;
         Ok(true)
     }
 
-    fn evict_if_needed(&self, inner: &mut PoolInner) -> StorageResult<()> {
-        while inner.pages.len() > self.capacity_pages {
-            let victim = inner
+    fn evict_if_needed(&self, shard: &mut PoolShard) -> StorageResult<()> {
+        while shard.pages.len() > shard.capacity {
+            let victim = shard
                 .pages
                 .iter()
                 .min_by_key(|(_, p)| p.stamp)
                 .map(|(id, _)| *id)
                 .expect("non-empty");
-            let page = inner.pages.remove(&victim).expect("victim exists");
+            let page = shard.pages.remove(&victim).expect("victim exists");
             if page.dirty {
                 self.write_leaf(victim, &page.leaf)?;
             }
@@ -331,17 +366,19 @@ impl BufferPool {
 
     /// Write every dirty resident page back to the device (checkpoint barrier).
     pub fn flush_all(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        let dirty_ids: Vec<u64> = inner
-            .pages
-            .iter()
-            .filter(|(_, p)| p.dirty)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in dirty_ids {
-            let leaf = inner.pages.get(&id).expect("listed above").leaf.clone();
-            self.write_leaf(id, &leaf)?;
-            inner.pages.get_mut(&id).expect("listed above").dirty = false;
+        for shard_lock in &self.shards {
+            let mut shard = shard_lock.lock();
+            let dirty_ids: Vec<u64> = shard
+                .pages
+                .iter()
+                .filter(|(_, p)| p.dirty)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in dirty_ids {
+                let leaf = shard.pages.get(&id).expect("listed above").leaf.clone();
+                self.write_leaf(id, &leaf)?;
+                shard.pages.get_mut(&id).expect("listed above").dirty = false;
+            }
         }
         Ok(())
     }
@@ -391,6 +428,7 @@ mod tests {
             Arc::new(MemDevice::new()),
             capacity,
             4096,
+            1,
             IoPlanner::default(),
             Arc::new(StorageMetrics::new()),
         )
@@ -462,6 +500,7 @@ mod tests {
             device,
             2,
             4096,
+            1,
             IoPlanner::default(),
             Arc::new(StorageMetrics::new()),
         );
@@ -493,6 +532,7 @@ mod tests {
             Arc::clone(&device) as Arc<dyn Device>,
             8,
             4096,
+            1,
             IoPlanner::default(),
             metrics,
         );
@@ -511,6 +551,7 @@ mod tests {
             device,
             2,
             64,
+            1,
             IoPlanner::default(),
             Arc::new(StorageMetrics::new()),
         );

@@ -95,6 +95,19 @@ impl LeafPage {
         self.byte_size() > page_capacity
     }
 
+    /// True when upserting `key` with a `value_len`-byte value would keep the
+    /// serialized leaf within `page_capacity` bytes. The latched write path
+    /// pre-checks this so a would-split insert can escalate to the tree lock
+    /// *before* mutating the leaf (a latched leaf must never transiently
+    /// overflow — eviction would fail to write it back).
+    pub fn fits_after_upsert(&self, key: u64, value_len: usize, page_capacity: usize) -> bool {
+        let size = match self.get(key) {
+            Some(old) => self.byte_size() - old.len() + value_len,
+            None => self.byte_size() + ENTRY_OVERHEAD + value_len,
+        };
+        size <= page_capacity
+    }
+
     /// Split the leaf in half (by byte size), returning the new right sibling.
     /// `self` keeps the lower keys.
     pub fn split(&mut self) -> LeafPage {

@@ -5,11 +5,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use mlkv_storage::device::device_from_config;
-use mlkv_storage::exec::BatchExecutor;
-use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::exec::{available_parallelism, BatchExecutor};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, RmwFn};
 use mlkv_storage::wal::{WalReader, WalWriter};
 use mlkv_storage::{
     Device, DurabilityMode, StorageError, StorageMetrics, StorageResult, StoreConfig,
@@ -64,7 +64,31 @@ struct TreeMeta {
     next_page_id: u64,
 }
 
+/// Value producer for one position of a batched upsert: receives the position
+/// and the key's current value, returns the bytes to store (or an error, which
+/// aborts that position and propagates).
+type UpsertFn<'a> = dyn Fn(usize, Option<&[u8]>) -> StorageResult<Vec<u8>> + Sync + 'a;
+
+/// What one latched leaf group produced (see `BtreeStore::multi_upsert`).
+struct GroupOutcome {
+    page_id: u64,
+    /// `(position, stored value)` for every op applied under the latch.
+    values: Vec<(usize, Vec<u8>)>,
+    /// Positions that would split the leaf — escalated to the tree lock.
+    deferred: Vec<usize>,
+    /// True when at least one op mutated the leaf.
+    touched: bool,
+}
+
 /// Disk-paged B+tree key-value store (WiredTiger stand-in).
+///
+/// Write concurrency: small batches (and `write_shards = 1`) take the tree
+/// write lock and run the legacy serial path. Large batches hold the tree lock
+/// *shared* and latch the leaves they touch instead: `multi_upsert` routes the
+/// batch into leaf-disjoint groups, acquires the groups' latch lanes in
+/// ascending order, fans the groups out over the write executor, and journals
+/// one group per acknowledged batch. Structural modifications (leaf splits)
+/// escalate to the tree write lock; everything else only ever latches leaves.
 pub struct BtreeStore {
     config: StoreConfig,
     metrics: Arc<StorageMetrics>,
@@ -73,6 +97,12 @@ pub struct BtreeStore {
     tree: RwLock<TreeMeta>,
     live: AtomicU64,
     executor: BatchExecutor,
+    write_executor: BatchExecutor,
+    /// Fixed table of leaf-latch lanes (page-id hash → lane). Writers lock
+    /// their batch's lanes in ascending index order, so concurrent latched
+    /// batches are deadlock-free; distinct leaves sharing a lane merely
+    /// serialise.
+    leaf_latches: Vec<Mutex<()>>,
     /// `None` under [`DurabilityMode::None`] (or without a directory): flushes
     /// are then the only durability, as in the seed. Otherwise every
     /// acknowledged mutation journals the post-images of the leaves it
@@ -89,10 +119,15 @@ impl BtreeStore {
         let leaf_device = device_from_config(&config, "btree_leaves.dat")?;
         let meta_device = device_from_config(&config, "btree_meta.dat")?;
         let capacity_pages = (config.memory_budget / config.page_size).max(2);
+        let write_shards = match config.effective_write_shards() {
+            0 => available_parallelism(),
+            n => n,
+        };
         let pool = BufferPool::new(
             leaf_device,
             capacity_pages,
             config.page_size,
+            write_shards,
             mlkv_storage::IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics)),
             Arc::clone(&metrics),
         );
@@ -115,6 +150,10 @@ impl BtreeStore {
 
         let mut store = Self {
             executor: BatchExecutor::new(config.parallelism),
+            write_executor: BatchExecutor::new(write_shards),
+            // Eight lanes per write shard keep false lane-sharing between
+            // concurrent batches rare while still scaling with the knob.
+            leaf_latches: (0..write_shards * 8).map(|_| Mutex::new(())).collect(),
             config,
             metrics,
             pool,
@@ -483,6 +522,179 @@ impl BtreeStore {
         }
         Ok(())
     }
+
+    /// Latch lane guarding leaf `page_id`.
+    fn latch_of(&self, page_id: u64) -> usize {
+        let h = page_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h as usize) % self.leaf_latches.len()
+    }
+
+    /// The single mutation entry point: upsert `keys[i] -> compute(i, current)`
+    /// for every position, in occurrence order per key, and journal the whole
+    /// batch as one group at its acknowledgement point.
+    ///
+    /// Small batches (or `write_shards = 1`) run the serial path under the
+    /// tree write lock. Large batches take the tree lock *shared*, latch the
+    /// lanes of the leaf-disjoint groups the routing produced (ascending lane
+    /// order — deadlock-free against other latched batches), and fan the
+    /// groups out over the write executor. Each worker pre-checks that an
+    /// upsert fits its leaf; a would-split op defers itself and the rest of
+    /// its group (preserving per-key order) to an escalation phase that
+    /// reruns them under the tree write lock, where splitting is safe.
+    ///
+    /// Concurrent latched batches interleave at leaf granularity: per-key
+    /// atomicity and per-batch journal groups are preserved, but cross-key
+    /// readers may observe a batch partially applied (same contract as the
+    /// FASTER engine's sharded writes).
+    fn multi_upsert(&self, keys: &[Key], compute: &UpsertFn) -> StorageResult<Vec<Vec<u8>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = vec![Vec::new(); keys.len()];
+        if self.write_executor.planned_workers(keys.len()) <= 1 {
+            // Serial path: one tree write-lock acquisition for the whole
+            // batch; routing happens per key because an insert may split a
+            // leaf mid-batch. Input order preserves duplicate-key writes.
+            let mut tree = self.tree.write();
+            let mut touched = BTreeSet::new();
+            let mut meta_changed = false;
+            for (i, &key) in keys.iter().enumerate() {
+                let (_, page_id) = Self::route(&tree.separators, key);
+                let (current, _) = self
+                    .pool
+                    .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
+                let value = compute(i, current.as_deref())?;
+                self.put_locked(&mut tree, key, &value, &mut touched, &mut meta_changed)?;
+                out[i] = value;
+            }
+            self.journal_commit(&tree, &touched, meta_changed)?;
+            return Ok(out);
+        }
+
+        let mut touched = BTreeSet::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        {
+            let tree = self.tree.read();
+            // Leaf-disjoint groups: stable sort by routed page keeps duplicate
+            // keys (same leaf) in occurrence order within their group.
+            let mut routed: Vec<(u64, usize)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (Self::route(&tree.separators, k).1, i))
+                .collect();
+            routed.sort_by_key(|&(page, _)| page);
+            let mut groups: Vec<(u64, &[(u64, usize)])> = Vec::new();
+            let mut pos = 0;
+            while pos < routed.len() {
+                let page_id = routed[pos].0;
+                let mut end = pos;
+                while end < routed.len() && routed[end].0 == page_id {
+                    end += 1;
+                }
+                groups.push((page_id, &routed[pos..end]));
+                pos = end;
+            }
+            // Latch every group's lane, ascending and dedup'd. Holding the
+            // latches across apply + journal keeps other latched batches off
+            // these leaves until this batch's journal group is acknowledged.
+            let mut lanes: Vec<usize> = groups.iter().map(|&(p, _)| self.latch_of(p)).collect();
+            lanes.sort_unstable();
+            lanes.dedup();
+            let _latches: Vec<_> = lanes.iter().map(|&l| self.leaf_latches[l].lock()).collect();
+
+            let capacity = self.leaf_capacity();
+            let run_group = |page_id: u64,
+                             members: &[(u64, usize)]|
+             -> StorageResult<GroupOutcome> {
+                let mut values = Vec::with_capacity(members.len());
+                let mut group_deferred = Vec::new();
+                let mut inserts = 0u64;
+                let mut touched = false;
+                let (res, _) = self
+                    .pool
+                    .with_leaf_mut(page_id, |leaf| -> StorageResult<()> {
+                        for (gi, &(_, i)) in members.iter().enumerate() {
+                            let key = keys[i];
+                            let current = leaf.get(key).map(|v| v.to_vec());
+                            let value = compute(i, current.as_deref())?;
+                            if !leaf.fits_after_upsert(key, value.len(), capacity) {
+                                // Splitting needs the tree lock. Defer the rest of
+                                // the group too, so later ops on this leaf (incl.
+                                // duplicate keys) still apply after this one.
+                                group_deferred.extend(members[gi..].iter().map(|&(_, i)| i));
+                                return Ok(());
+                            }
+                            self.metrics.record_upsert();
+                            if leaf.insert(key, value.clone()) {
+                                inserts += 1;
+                            }
+                            touched = true;
+                            values.push((i, value));
+                        }
+                        Ok(())
+                    })?;
+                res?;
+                self.live.fetch_add(inserts, Ordering::Relaxed);
+                Ok(GroupOutcome {
+                    page_id,
+                    values,
+                    deferred: group_deferred,
+                    touched,
+                })
+            };
+            let results: Vec<StorageResult<GroupOutcome>> =
+                if self.write_executor.workers_for(groups.len(), keys.len()) <= 1 {
+                    groups.iter().map(|&(p, m)| run_group(p, m)).collect()
+                } else {
+                    let jobs: Vec<_> = groups
+                        .iter()
+                        .map(|&(p, m)| {
+                            let run_group = &run_group;
+                            move || run_group(p, m)
+                        })
+                        .collect();
+                    self.write_executor.execute(jobs, keys.len())
+                };
+            for result in results {
+                let group = result?;
+                if group.touched {
+                    touched.insert(group.page_id);
+                }
+                for (i, value) in group.values {
+                    out[i] = value;
+                }
+                deferred.extend(group.deferred);
+            }
+            if deferred.is_empty() {
+                // No structural change: acknowledge under the shared tree
+                // lock, latches still held.
+                self.journal_commit(&tree, &touched, false)?;
+                return Ok(out);
+            }
+        }
+        // Escalation: would-split ops rerun under the tree write lock (their
+        // latches and the shared lock were released above — batch atomicity
+        // across this boundary is traded for per-key linearizability). The
+        // values are recomputed from the leaf's current state, so duplicate
+        // keys still observe every earlier occurrence.
+        deferred.sort_unstable();
+        let mut tree = self.tree.write();
+        let mut meta_changed = false;
+        for i in deferred {
+            let key = keys[i];
+            let (_, page_id) = Self::route(&tree.separators, key);
+            let (current, _) = self
+                .pool
+                .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
+            let value = compute(i, current.as_deref())?;
+            self.put_locked(&mut tree, key, &value, &mut touched, &mut meta_changed)?;
+            out[i] = value;
+        }
+        // One journal group still covers the whole batch: the escalated
+        // leaves' post-images include the latched phase's mutations.
+        self.journal_commit(&tree, &touched, meta_changed)?;
+        Ok(out)
+    }
 }
 
 impl KvStore for BtreeStore {
@@ -581,50 +793,34 @@ impl KvStore for BtreeStore {
     }
 
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
+        // Thin wrapper over the batch path: one mutation entry point.
         self.check_value_size(value)?;
-        let mut tree = self.tree.write();
-        let mut touched = BTreeSet::new();
-        let mut meta_changed = false;
-        self.put_locked(&mut tree, key, value, &mut touched, &mut meta_changed)?;
-        self.journal_commit(&tree, &touched, meta_changed)
+        self.multi_upsert(&[key], &|_, _| Ok(value.to_vec()))?;
+        Ok(())
     }
 
-    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+    fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
+        // Thin wrapper over the batch path: one mutation entry point.
         self.metrics.record_rmw();
-        let current = match self.get_traced(key) {
-            Ok(r) => Some(r.value),
-            Err(e) if e.is_not_found() => None,
-            Err(e) => return Err(e),
-        };
-        let new_value = f(current.as_deref());
-        self.put(key, &new_value)?;
-        Ok(new_value)
+        let mut out = self.multi_upsert(&[key], &|_, current| {
+            let value = f(current);
+            self.check_value_size(&value)?;
+            Ok(value)
+        })?;
+        Ok(out.pop().expect("single-key batch yields one value"))
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
-        // One tree write-lock acquisition for the whole batch; routing happens
-        // per key because an insert may split a leaf mid-batch. Input order is
-        // preserved so duplicate keys see earlier occurrences' writes.
-        let mut tree = self.tree.write();
-        let mut out = vec![Vec::new(); keys.len()];
-        let mut touched = BTreeSet::new();
-        let mut meta_changed = false;
-        for (i, &key) in keys.iter().enumerate() {
+        // Metrics up front: an op deferred by the latched path recomputes its
+        // value during escalation, and must not count twice.
+        for _ in keys {
             self.metrics.record_rmw();
-            let (_, page_id) = Self::route(&tree.separators, key);
-            let (current, _) = self
-                .pool
-                .with_leaf(page_id, |leaf| leaf.get(key).map(|v| v.to_vec()))?;
-            let new_value = f(i, current.as_deref());
-            self.check_value_size(&new_value)?;
-            self.put_locked(&mut tree, key, &new_value, &mut touched, &mut meta_changed)?;
-            out[i] = new_value;
         }
-        // One journal group (and one sync) covers the whole batch: each
-        // touched leaf's post-image reflects every mutation the batch made to
-        // it, so per-op images would be redundant.
-        self.journal_commit(&tree, &touched, meta_changed)?;
-        Ok(out)
+        self.multi_upsert(keys, &|i, current| {
+            let value = f(i, current);
+            self.check_value_size(&value)?;
+            Ok(value)
+        })
     }
 
     fn exists(&self, key: Key) -> StorageResult<bool> {
@@ -638,33 +834,24 @@ impl KvStore for BtreeStore {
     }
 
     fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
+        // Thin wrapper over the batch path: one mutation entry point. The
+        // size pre-check keeps the old all-or-nothing rejection of oversized
+        // values before anything is applied.
         for (_, v) in batch.iter() {
             self.check_value_size(v)?;
         }
-        // One tree write-lock acquisition; a stable sort by key turns the batch
-        // into a sorted traversal (consecutive upserts hit the same leaf) while
-        // preserving occurrence order for duplicate keys.
-        let ops: Vec<(&Key, &Vec<u8>)> = batch.iter().collect();
-        let mut order: Vec<usize> = (0..ops.len()).collect();
-        order.sort_by_key(|&i| *ops[i].0);
-        let mut tree = self.tree.write();
-        let mut touched = BTreeSet::new();
-        let mut meta_changed = false;
-        for i in order {
-            self.put_locked(
-                &mut tree,
-                *ops[i].0,
-                ops[i].1,
-                &mut touched,
-                &mut meta_changed,
-            )?;
-        }
-        self.journal_commit(&tree, &touched, meta_changed)
+        let keys: Vec<Key> = batch.iter().map(|(k, _)| *k).collect();
+        let values: Vec<&Vec<u8>> = batch.iter().map(|(_, v)| v).collect();
+        self.multi_upsert(&keys, &|i, _| Ok(values[i].clone()))?;
+        Ok(())
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
-        let tree = self.tree.write();
+        // Removal never splits or merges (this tree has no merges), so the
+        // shared tree lock plus the leaf's latch lane suffice.
+        let tree = self.tree.read();
         let (_, page_id) = Self::route(&tree.separators, key);
+        let _latch = self.leaf_latches[self.latch_of(page_id)].lock();
         let (removed, _) = self.pool.with_leaf_mut(page_id, |leaf| leaf.remove(key))?;
         if removed {
             self.live.fetch_sub(1, Ordering::Relaxed);
@@ -683,7 +870,11 @@ impl KvStore for BtreeStore {
     }
 
     fn flush(&self) -> StorageResult<()> {
-        let tree = self.tree.read();
+        // Exclusive: latched writers hold the tree lock shared for their whole
+        // apply + journal window, so taking it exclusively here guarantees no
+        // acknowledged mutation sits only in a journal generation this flush
+        // is about to rotate away.
+        let tree = self.tree.write();
         self.pool.flush_all()?;
         self.meta_device.write_at(0, &self.encode_meta(&tree))?;
         if self.config.effective_durability() != DurabilityMode::None {

@@ -128,6 +128,18 @@ impl EmbeddingModelBuilder {
         self
     }
 
+    /// Write-side concurrency of the storage engine (`0` = follow
+    /// `parallelism`, `1` = the serial single-lock write path): the number of
+    /// memtable shards (LSM), leaf-latch lanes (B+tree), buffer-pool shards,
+    /// and mutation workers one `apply_gradients` scatter fans out over.
+    /// Independent of [`EmbeddingModelBuilder::parallelism`], so write
+    /// concurrency can be tuned — or pinned serial for determinism — without
+    /// giving up parallel reads.
+    pub fn write_shards(mut self, shards: usize) -> Self {
+        self.options.write_shards = shards;
+        self
+    }
+
     /// Enable or disable coalesced cold-path batch reads (on by default):
     /// the storage engine merges a batch's near-adjacent device reads into
     /// few large ones. `false` restores the per-record read path.
@@ -195,6 +207,7 @@ impl EmbeddingModelBuilder {
             .with_memory_budget(self.memory_budget)
             .with_page_size(self.page_size)
             .with_parallelism(self.options.parallelism)
+            .with_write_shards(self.options.write_shards)
             .with_io_coalescing(self.io_coalescing)
             .with_io_backend(self.io_backend)
             .with_durability(self.durability);

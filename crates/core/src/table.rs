@@ -49,6 +49,13 @@ pub struct TableOptions {
     /// `StoreConfig::parallelism`; `Mlkv::builder(..).parallelism(n)` sets
     /// both at once.
     pub parallelism: usize,
+    /// Write-side concurrency of the storage engine (`StoreConfig::
+    /// write_shards`): memtable shards, leaf-latch lanes, and mutation
+    /// workers one `apply_gradients` scatter may fan out over. `0` = follow
+    /// `parallelism`, `1` = serial write path. The table layer itself never
+    /// fans writes out — the engine does — so this field only exists to let
+    /// the model-level builder carry the knob alongside the other options.
+    pub write_shards: usize,
 }
 
 impl Default for TableOptions {
@@ -62,22 +69,7 @@ impl Default for TableOptions {
             init_scale: 0.05,
             seed: 42,
             parallelism: 0,
-        }
-    }
-}
-
-impl TableOptions {
-    /// Options for a table of dimension `dim` with staleness bound `bound`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EmbeddingTable::builder(store)` (or `Mlkv::builder`) instead \
-                of constructing TableOptions by hand"
-    )]
-    pub fn new(dim: usize, bound: u32) -> Self {
-        Self {
-            dim,
-            staleness_bound: bound,
-            ..Self::default()
+            write_shards: 0,
         }
     }
 }
@@ -159,6 +151,17 @@ impl TableBuilder {
         self
     }
 
+    /// Record the write-side shard count (`0` = follow `parallelism`, `1` =
+    /// serial). The store passed to [`EmbeddingTable::builder`] is already
+    /// open, so this does not re-shard it — pass the same value to
+    /// `StoreConfig::with_write_shards` (or use
+    /// `Mlkv::builder(..).write_shards(n)`, which sets both) to size the
+    /// engine's write path.
+    pub fn write_shards(mut self, shards: usize) -> Self {
+        self.options.write_shards = shards;
+        self
+    }
+
     /// Replace every option at once (used by the model-level builder).
     pub fn options(mut self, options: TableOptions) -> Self {
         self.options = options;
@@ -194,18 +197,7 @@ impl EmbeddingTable {
         }
     }
 
-    /// Create a table over `store` with the given options.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EmbeddingTable::builder(store)` (or `Mlkv::builder` for the \
-                full open path) instead"
-    )]
-    pub fn new(store: Arc<dyn KvStore>, options: TableOptions) -> StorageResult<Self> {
-        Self::from_options(store, options)
-    }
-
-    /// Construction shared by [`TableBuilder::build`] and the deprecated
-    /// [`EmbeddingTable::new`] shim.
+    /// Construction behind [`TableBuilder::build`].
     fn from_options(store: Arc<dyn KvStore>, options: TableOptions) -> StorageResult<Self> {
         if options.dim == 0 {
             return Err(StorageError::InvalidArgument(
@@ -745,19 +737,6 @@ mod tests {
         .dim(0)
         .build()
         .is_err());
-    }
-
-    #[test]
-    fn deprecated_constructors_still_work() {
-        #[allow(deprecated)]
-        let t = EmbeddingTable::new(
-            open_store(BackendKind::InMemory, StoreConfig::in_memory()).unwrap(),
-            #[allow(deprecated)]
-            TableOptions::new(4, 2),
-        )
-        .unwrap();
-        assert_eq!(t.dim(), 4);
-        assert_eq!(t.mode().bound(), 2);
     }
 
     #[test]

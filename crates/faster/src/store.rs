@@ -9,7 +9,7 @@ use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
 use mlkv_storage::exec::BatchExecutor;
-use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, RmwFn};
 use mlkv_storage::wal::{WalOp, WalReader, WalWriter};
 use mlkv_storage::{DurabilityMode, StorageError, StorageMetrics, StorageResult, StoreConfig};
 
@@ -64,6 +64,12 @@ pub struct FasterKv {
     live_records: AtomicU64,
     config: StoreConfig,
     executor: BatchExecutor,
+    /// Worker pool for the *write* half of the batch API, sized by
+    /// [`StoreConfig::write_shards`] independently of the read `parallelism`
+    /// knob. The hash index CAS and the hybrid log's atomic tail already make
+    /// concurrent appends safe; the executor only decides how wide a single
+    /// batch fans out.
+    write_executor: BatchExecutor,
     /// `None` under [`DurabilityMode::None`]: checkpoints are then the only
     /// durability (the seed behaviour); otherwise every acknowledged write is
     /// logged here and replayed on open past the last checkpoint.
@@ -80,14 +86,27 @@ impl FasterKv {
     pub fn open(config: StoreConfig) -> StorageResult<Self> {
         let metrics = Arc::new(StorageMetrics::new());
         let device = device_from_config(&config, "hlog.dat")?;
+        // The legacy `sync_writes` flag is folded into the durability knob:
+        // `effective_durability` maps it to per-record group commit, and the
+        // hybrid log syncs its data pages eagerly exactly under that mode
+        // (every other mode hardens acknowledged writes through the WAL and
+        // syncs data pages at checkpoint time instead).
+        let eager_page_sync = matches!(
+            config.effective_durability(),
+            DurabilityMode::GroupCommit { window: 1 }
+        );
         let log = HybridLog::new(
             device,
             config.memory_budget,
             config.page_size,
-            config.sync_writes,
+            eager_page_sync,
             mlkv_storage::IoPlanner::from_config(&config).with_metrics(Arc::clone(&metrics)),
             Arc::clone(&metrics),
         )?;
+        let write_shards = match config.effective_write_shards() {
+            0 => mlkv_storage::exec::available_parallelism(),
+            n => n,
+        };
         let mut store = Self {
             index: HashIndex::new(config.index_buckets),
             log,
@@ -95,6 +114,7 @@ impl FasterKv {
             metrics,
             live_records: AtomicU64::new(0),
             executor: BatchExecutor::new(config.parallelism),
+            write_executor: BatchExecutor::new(write_shards),
             config,
             wal: None,
             writer_gate: RwLock::new(()),
@@ -186,14 +206,6 @@ impl FasterKv {
                     let _ = std::fs::remove_file(dir.join(wal_file_name(gen)));
                 }
             }
-        }
-        Ok(())
-    }
-
-    /// Append one WAL record (no-op when the store is not durable).
-    fn wal_append(&self, payload: &[u8]) -> StorageResult<()> {
-        if let Some(wal) = &self.wal {
-            wal.read().writer.append(payload)?;
         }
         Ok(())
     }
@@ -347,7 +359,7 @@ impl FasterKv {
 
     /// Read-modify-write `key`, recording metrics. The caller must hold epoch
     /// protection.
-    fn rmw_value(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+    fn rmw_value(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
         self.metrics.record_rmw();
         let existing = self.find(key)?;
         let (current, in_place_target) = match &existing {
@@ -538,6 +550,73 @@ impl FasterKv {
         Ok(out)
     }
 
+    /// The single mutation path for value writes and deletes: one grouped WAL
+    /// append covering the whole batch (log-before-apply, so an acknowledged
+    /// entry is never visible without being in the log), one epoch-guarded
+    /// apply pass fanned out through the write executor, then one commit as
+    /// the acknowledgement point. `put`, `delete` and `write_batch` are all
+    /// thin wrappers over this.
+    ///
+    /// The apply pass stable-sorts the batch and hands contiguous whole-key
+    /// ranges to each worker, so duplicate keys keep their occurrence order
+    /// while distinct keys spread across `write_shards` workers; cross-batch
+    /// races on a hash chain are resolved by the index CAS exactly as for
+    /// concurrent callers.
+    fn commit_entries(&self, keys: &[Key], entries: &[Option<&[u8]>]) -> StorageResult<()> {
+        debug_assert_eq!(keys.len(), entries.len());
+        if keys.is_empty() {
+            return Ok(());
+        }
+        let _writers = self.writer_gate.read();
+        if self.wal.is_some() {
+            let payloads: Vec<Vec<u8>> = keys
+                .iter()
+                .zip(entries)
+                .map(|(k, e)| match e {
+                    Some(v) => WalOp::encode_put(*k, v),
+                    None => WalOp::encode_delete(*k),
+                })
+                .collect();
+            self.wal_append_group(&payloads)?;
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let workers = self.write_executor.planned_workers(keys.len());
+        if workers <= 1 {
+            let _guard = self.epoch.acquire();
+            for &i in &order {
+                match entries[i] {
+                    Some(v) => self.put_value(keys[i], v)?,
+                    None => {
+                        self.delete_value(keys[i])?;
+                    }
+                }
+            }
+        } else {
+            let jobs: Vec<_> = mlkv_storage::exec::split_sorted(&order, keys, workers)
+                .into_iter()
+                .map(|range| {
+                    move || -> StorageResult<()> {
+                        let _guard = self.epoch.acquire();
+                        for &i in range {
+                            match entries[i] {
+                                Some(v) => self.put_value(keys[i], v)?,
+                                None => {
+                                    self.delete_value(keys[i])?;
+                                }
+                            }
+                        }
+                        Ok(())
+                    }
+                })
+                .collect();
+            for result in self.write_executor.execute(jobs, keys.len()) {
+                result?;
+            }
+        }
+        self.wal_commit()
+    }
+
     /// Checkpoint the store into its configured directory.
     ///
     /// Fails fast with [`StorageError::Checkpoint`] when any writer is in
@@ -639,30 +718,12 @@ impl KvStore for FasterKv {
     }
 
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
-        let _writers = self.writer_gate.read();
-        // Log before apply: a record is never visible in the store without
-        // first being in the WAL, so an acknowledged put can never be lost.
-        self.wal_append(&WalOp::encode_put(key, value))?;
-        {
-            let _guard = self.epoch.acquire();
-            self.put_value(key, value)?;
-        }
-        self.wal_commit()
+        self.commit_entries(&[key], &[Some(value)])
     }
 
-    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
-        let _writers = self.writer_gate.read();
-        // Apply before log: the value only exists once the closure has run
-        // against the current state. An applied-but-unlogged record can only
-        // surface as an *unacknowledged* write (the commit below has not
-        // returned), which the durability contract permits.
-        let value = {
-            let _guard = self.epoch.acquire();
-            self.rmw_value(key, f)?
-        };
-        self.wal_append(&WalOp::encode_put(key, &value))?;
-        self.wal_commit()?;
-        Ok(value)
+    fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
+        let mut out = self.multi_rmw(&[key], &|_, current| f(current))?;
+        Ok(out.pop().expect("one value per key"))
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
@@ -676,7 +737,7 @@ impl KvStore for FasterKv {
         // by the index CAS exactly as for concurrent callers.
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_by_key(|&i| keys[i]);
-        let workers = self.executor.planned_workers(keys.len());
+        let workers = self.write_executor.planned_workers(keys.len());
         let mut out = vec![Vec::new(); keys.len()];
         if workers <= 1 {
             let _guard = self.epoch.acquire();
@@ -700,7 +761,7 @@ impl KvStore for FasterKv {
             // leave partial state (rmw failures here are I/O-level); only
             // successful batches carry the byte-identical-across-parallelism
             // guarantee.
-            for pairs in self.executor.execute(jobs, keys.len()) {
+            for pairs in self.write_executor.execute(jobs, keys.len()) {
                 for (i, value) in pairs? {
                     out[i] = value;
                 }
@@ -731,68 +792,20 @@ impl KvStore for FasterKv {
     }
 
     fn write_batch(&self, batch: &mlkv_storage::WriteBatch) -> StorageResult<()> {
-        let _writers = self.writer_gate.read();
-        // Log the whole batch as one grouped append before touching the store
-        // (log-before-apply, batch-atomic in the log), then acknowledge with a
-        // single commit: one sync per batch, not per record.
-        if self.wal.is_some() {
-            let payloads: Vec<Vec<u8>> = batch
-                .iter()
-                .map(|(k, v)| WalOp::encode_put(*k, v))
-                .collect();
-            self.wal_append_group(&payloads)?;
-        }
-        {
-            // Grouped fast path: a single epoch enter/exit covers every upsert.
-            let _guard = self.epoch.acquire();
-            for (k, v) in batch.iter() {
-                self.put_value(*k, v)?;
-            }
-        }
-        self.wal_commit()
+        let keys: Vec<Key> = batch.iter().map(|(k, _)| *k).collect();
+        let entries: Vec<Option<&[u8]>> = batch.iter().map(|(_, v)| Some(v.as_slice())).collect();
+        self.commit_entries(&keys, &entries)
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
-        let _writers = self.writer_gate.read();
-        // Log before apply, as for `put`.
-        self.wal_append(&WalOp::encode_delete(key))?;
-        {
-            let _guard = self.epoch.acquire();
-            self.delete_value(key)?;
-        }
-        self.wal_commit()
+        self.commit_entries(&[key], &[None])
     }
 
     fn promote_to_memory(&self, key: Key) -> StorageResult<bool> {
-        let _guard = self.epoch.acquire();
-        let head = self.index.head(key);
-        match self.find_from(head, key)? {
-            Some((_, record, ReadSource::Disk)) if !record.is_tombstone() => {
-                // Copy the cold record to the tail (mutable region), preserving
-                // its value. This is the storage-buffer destination of MLKV's
-                // look-ahead prefetching. Installation is conditional on the
-                // chain head being unmoved, so a concurrent update between the
-                // cold read and here can never be clobbered by the stale copy.
-                let installed = self.try_install_promotion(key, record.value, head)?;
-                if installed {
-                    self.metrics.record_prefetch_copy();
-                } else {
-                    self.metrics.record_prefetch_skip();
-                }
-                Ok(installed)
-            }
-            Some((_, record, _)) if !record.is_tombstone() => {
-                // Already in memory (mutable or immutable region): the paper
-                // explicitly avoids copying records that are already memory
-                // resident to reduce pages written to disk.
-                self.metrics.record_prefetch_skip();
-                Ok(false)
-            }
-            _ => {
-                self.metrics.record_prefetch_skip();
-                Ok(false)
-            }
-        }
+        // Single-key wrapper over the batch promotion path: the chain walk,
+        // head-CAS install and "already resident / absent → skip" policy live
+        // only in `multi_promote`.
+        Ok(self.multi_promote(std::slice::from_ref(&key))? > 0)
     }
 
     fn multi_promote(&self, keys: &[Key]) -> StorageResult<usize> {

@@ -7,14 +7,14 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mlkv_storage::device::device_from_config;
-use mlkv_storage::exec::{split_sorted, BatchExecutor};
-use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, WriteBatch};
+use mlkv_storage::exec::{available_parallelism, split_sorted, BatchExecutor};
+use mlkv_storage::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, RmwFn, WriteBatch};
 use mlkv_storage::{
     DurabilityMode, IoPlanner, ShardedLruCache, StorageError, StorageMetrics, StorageResult,
     StoreConfig,
 };
 
-use crate::memtable::{Entry, MemTable};
+use crate::memtable::{Entry, MemTable, ShardedMemTable};
 use crate::sstable::SsTable;
 use crate::wal::WriteAheadLog;
 
@@ -22,7 +22,7 @@ use crate::wal::WriteAheadLog;
 const COMPACTION_THRESHOLD: usize = 6;
 
 struct Inner {
-    memtable: MemTable,
+    memtable: ShardedMemTable,
     /// All SSTables, oldest first.
     tables: Vec<SsTable>,
     wal: WriteAheadLog,
@@ -30,6 +30,15 @@ struct Inner {
 }
 
 /// LSM-tree key-value store (RocksDB stand-in).
+///
+/// Write concurrency: mutating batches hold the structural lock ([`Inner`])
+/// *shared* and serialise on the hash-sharded memtable's per-shard locks, so
+/// batches touching disjoint shards commit concurrently. Each batch stages its
+/// values under its shard locks, then one grouped WAL append + one
+/// group-commit ack cover the whole batch (shard workers stage, the calling
+/// thread is the single committer). Flushes take the structural lock
+/// exclusively, draining every shard into one SSTable pass, so SST/WAL
+/// rotation ordering is identical to the single-shard engine.
 pub struct LsmStore {
     config: StoreConfig,
     metrics: Arc<StorageMetrics>,
@@ -38,6 +47,7 @@ pub struct LsmStore {
     memtable_budget: usize,
     next_seq: AtomicU64,
     executor: BatchExecutor,
+    write_executor: BatchExecutor,
 }
 
 impl LsmStore {
@@ -94,16 +104,22 @@ impl LsmStore {
             Arc::clone(&metrics),
         )
         .with_tap(config.wal_tap.clone());
-        let mut memtable = MemTable::new();
+        let write_shards = match config.effective_write_shards() {
+            0 => available_parallelism(),
+            n => n,
+        };
+        let memtable = ShardedMemTable::new(write_shards);
         for (key, entry) in wal.replay()? {
+            let mut shard = memtable.lock_shard(memtable.shard_of(key));
             match entry {
-                Some(v) => memtable.put(key, v),
-                None => memtable.delete(key),
+                Some(v) => shard.put(key, v),
+                None => shard.delete(key),
             }
         }
 
         Ok(Self {
             executor: BatchExecutor::new(config.parallelism),
+            write_executor: BatchExecutor::new(write_shards),
             config,
             metrics,
             inner: RwLock::new(Inner {
@@ -138,7 +154,9 @@ impl LsmStore {
     }
 
     /// Flush the memtable into a new SSTable and rotate the WAL. Must be called
-    /// with the write lock held; `inner` is that guard.
+    /// with the structural write lock held (no concurrent writers or readers);
+    /// `inner` is that guard. Drains *every* memtable shard into one sorted
+    /// SSTable pass.
     fn flush_memtable(&self, inner: &mut Inner) -> StorageResult<()> {
         if inner.memtable.is_empty() {
             return Ok(());
@@ -170,12 +188,7 @@ impl LsmStore {
                 // acknowledged live state stays readable while the device is
                 // faulty (the WAL still covers it, so durability is
                 // unaffected; a later flush retries with a fresh sequence).
-                for (key, entry) in entries {
-                    match entry {
-                        Some(v) => inner.memtable.put(key, v),
-                        None => inner.memtable.delete(key),
-                    }
-                }
+                inner.memtable.restore(entries);
                 return Err(e);
             }
         };
@@ -317,6 +330,90 @@ impl LsmStore {
         }
         out
     }
+
+    /// Flush if the shared memtable budget is exceeded. Called after a batch
+    /// released its shard locks and the structural read lock: the flush takes
+    /// the structural lock exclusively and re-checks the budget under it (a
+    /// concurrent batch may have flushed first — then this is a no-op).
+    fn maybe_flush(&self) -> StorageResult<()> {
+        if self.inner.read().memtable.bytes() < self.memtable_budget {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        if inner.memtable.bytes() >= self.memtable_budget {
+            self.flush_memtable(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// The single mutation tail every write path funnels through: a batch of
+    /// already-resolved entries (`Some` = put, `None` = tombstone) in batch
+    /// order. Locks the touched memtable shards in ascending index order
+    /// (deadlock-free against concurrent batches), appends the whole batch as
+    /// **one** grouped WAL record set, applies it to the shards (fanning out
+    /// over the write executor when the batch is large enough), then pays one
+    /// group-commit sync at the acknowledgement point. The append precedes
+    /// every memtable mutation, so a failed append leaves the store untouched
+    /// and recovery replays the batch all-or-nothing up to the torn tail.
+    fn commit_entries(&self, keys: &[Key], entries: &[Entry]) -> StorageResult<()> {
+        debug_assert_eq!(keys.len(), entries.len());
+        if keys.is_empty() {
+            return Ok(());
+        }
+        {
+            let inner = self.inner.read();
+            let groups: Vec<(usize, Vec<usize>)> = inner
+                .memtable
+                .positions_by_shard(keys)
+                .into_iter()
+                .enumerate()
+                .filter(|(_, positions)| !positions.is_empty())
+                .collect();
+            let shard_ids: Vec<usize> = groups.iter().map(|(s, _)| *s).collect();
+            let mut guards = inner.memtable.lock_shards(&shard_ids);
+            inner.wal.log_entries(
+                keys.iter()
+                    .copied()
+                    .zip(entries.iter().map(|e| e.as_deref())),
+            )?;
+            let apply = |shard: &mut MemTable, positions: &[usize]| {
+                for &i in positions {
+                    match &entries[i] {
+                        Some(v) => {
+                            self.metrics.record_upsert();
+                            shard.put(keys[i], v.clone());
+                        }
+                        None => shard.delete(keys[i]),
+                    }
+                    self.block_cache.invalidate(keys[i]);
+                }
+            };
+            if self.write_executor.workers_for(groups.len(), keys.len()) <= 1 {
+                for (guard, (_, positions)) in guards.iter_mut().zip(&groups) {
+                    apply(guard, positions);
+                }
+            } else {
+                let jobs: Vec<_> = guards
+                    .iter_mut()
+                    .zip(&groups)
+                    .map(|(guard, (_, positions))| {
+                        let apply = &apply;
+                        let shard: &mut MemTable = guard;
+                        move || apply(shard, positions)
+                    })
+                    .collect();
+                self.write_executor.execute(jobs, keys.len());
+            }
+            // One group-commit sync acknowledges the whole batch, while the
+            // shard locks are still held so WAL order matches apply order on
+            // every shard two batches share.
+            inner.wal.commit()?;
+        }
+        // The budget check runs only after the acknowledgement (a mid-batch
+        // flush would rotate away the WAL covering the batch's entries) and
+        // outside the shard locks. The memtable may overshoot by one batch.
+        self.maybe_flush()
+    }
 }
 
 impl KvStore for LsmStore {
@@ -333,7 +430,7 @@ impl KvStore for LsmStore {
                 Some(v) => {
                     self.metrics.record_mem_hit();
                     Ok(ReadResult {
-                        value: v.clone(),
+                        value: v,
                         source: ReadSource::HotMemory,
                     })
                 }
@@ -378,7 +475,7 @@ impl KvStore for LsmStore {
                 out[i] = Some(match entry {
                     Some(v) => {
                         self.metrics.record_mem_hit();
-                        Ok(v.clone())
+                        Ok(v)
                     }
                     None => {
                         self.metrics.record_miss();
@@ -422,100 +519,133 @@ impl KvStore for LsmStore {
     }
 
     fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
-        self.metrics.record_upsert();
-        self.block_cache.invalidate(key);
-        let mut inner = self.inner.write();
-        inner.wal.log_put(key, value)?;
-        inner.memtable.put(key, value.to_vec());
-        inner.wal.commit()?;
-        if inner.memtable.bytes() >= self.memtable_budget {
-            self.flush_memtable(&mut inner)?;
-        }
-        Ok(())
+        // Thin wrapper over the batch path: one mutation entry point.
+        self.commit_entries(&[key], &[Some(value.to_vec())])
     }
 
-    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
-        self.metrics.record_rmw();
-        self.block_cache.invalidate(key);
-        let mut inner = self.inner.write();
-        let current: Option<Vec<u8>> = match inner.memtable.get(key) {
-            Some(Some(v)) => Some(v.clone()),
-            Some(None) => None,
-            None => match self.search_tables(&inner, key)? {
-                Some(Some(v)) => Some(v),
-                _ => None,
-            },
-        };
-        let new_value = f(current.as_deref());
-        inner.wal.log_put(key, &new_value)?;
-        inner.memtable.put(key, new_value.clone());
-        inner.wal.commit()?;
-        if inner.memtable.bytes() >= self.memtable_budget {
-            self.flush_memtable(&mut inner)?;
-        }
-        Ok(new_value)
+    fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
+        // Thin wrapper over the batch path: one mutation entry point.
+        let mut out = self.multi_rmw(&[key], &|_, current| f(current))?;
+        Ok(out.pop().expect("single-key batch yields one value"))
     }
 
     fn multi_rmw(&self, keys: &[Key], f: &BatchRmwFn) -> StorageResult<Vec<Vec<u8>>> {
-        // One write-lock acquisition, one *grouped* WAL append and one
-        // group-commit sync for the whole batch. Values are resolved against
-        // a batch-local overlay (so duplicate keys observe earlier
-        // occurrences) and neither the log nor the memtable is touched until
-        // every value is computed: a failed append leaves the store exactly
-        // as it was, and a crash recovers the batch all-or-nothing. The
-        // serving layer's idempotency markers ride in the same batch as the
-        // gradients they cover, so this atomicity is what makes a marker
-        // durable if and only if its batch is.
+        // One *grouped* WAL append and one group-commit sync for the whole
+        // batch. The structural lock is held shared; the batch's memtable
+        // shards are locked in ascending order and held across resolve,
+        // append, apply and ack, so concurrent batches serialise only where
+        // they overlap. Values are resolved against shard-local overlays
+        // (duplicate keys hash to one shard, so each overlay observes every
+        // earlier occurrence of its keys) and neither the log nor the
+        // memtable is touched until every value is computed: a failed append
+        // leaves the store exactly as it was, and a crash recovers the batch
+        // all-or-nothing. The serving layer's idempotency markers ride in the
+        // same batch as the gradients they cover, so this atomicity is what
+        // makes a marker durable if and only if its batch is.
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        let mut inner = self.inner.write();
         let mut out = vec![Vec::new(); keys.len()];
-        let mut overlay: std::collections::HashMap<Key, Vec<u8>> = std::collections::HashMap::new();
-        for (i, &key) in keys.iter().enumerate() {
-            self.metrics.record_rmw();
-            self.block_cache.invalidate(key);
-            let current: Option<Vec<u8>> = match overlay.get(&key) {
-                Some(v) => Some(v.clone()),
-                None => match inner.memtable.get(key) {
-                    Some(Some(v)) => Some(v.clone()),
-                    Some(None) => None,
-                    None => match self.search_tables(&inner, key)? {
-                        Some(Some(v)) => Some(v),
-                        _ => None,
-                    },
-                },
+        {
+            let inner = self.inner.read();
+            let groups: Vec<(usize, Vec<usize>)> = inner
+                .memtable
+                .positions_by_shard(keys)
+                .into_iter()
+                .enumerate()
+                .filter(|(_, positions)| !positions.is_empty())
+                .collect();
+            let shard_ids: Vec<usize> = groups.iter().map(|(s, _)| *s).collect();
+            let mut guards = inner.memtable.lock_shards(&shard_ids);
+            // Phase 1 (shard workers stage): resolve every value, reading
+            // through overlay → shard memtable → SSTables. No mutation yet.
+            let inner_ref = &*inner;
+            let resolve =
+                |shard: &MemTable, positions: &[usize]| -> StorageResult<Vec<(usize, Vec<u8>)>> {
+                    let mut overlay: std::collections::HashMap<Key, Vec<u8>> =
+                        std::collections::HashMap::new();
+                    let mut staged = Vec::with_capacity(positions.len());
+                    for &i in positions {
+                        let key = keys[i];
+                        self.metrics.record_rmw();
+                        let current: Option<Vec<u8>> = match overlay.get(&key) {
+                            Some(v) => Some(v.clone()),
+                            None => match shard.get(key) {
+                                Some(Some(v)) => Some(v.clone()),
+                                Some(None) => None,
+                                None => match self.search_tables(inner_ref, key)? {
+                                    Some(Some(v)) => Some(v),
+                                    _ => None,
+                                },
+                            },
+                        };
+                        let new_value = f(i, current.as_deref());
+                        overlay.insert(key, new_value.clone());
+                        staged.push((i, new_value));
+                    }
+                    Ok(staged)
+                };
+            if self.write_executor.workers_for(groups.len(), keys.len()) <= 1 {
+                for (guard, (_, positions)) in guards.iter().zip(&groups) {
+                    for (i, value) in resolve(guard, positions)? {
+                        out[i] = value;
+                    }
+                }
+            } else {
+                let jobs: Vec<_> = guards
+                    .iter()
+                    .zip(&groups)
+                    .map(|(guard, (_, positions))| {
+                        let resolve = &resolve;
+                        let shard: &MemTable = guard;
+                        move || resolve(shard, positions)
+                    })
+                    .collect();
+                for staged in self.write_executor.execute(jobs, keys.len()) {
+                    for (i, value) in staged? {
+                        out[i] = value;
+                    }
+                }
+            }
+            // Phase 2 (single committer): one grouped append, apply to the
+            // shards, one group-commit ack — all while the shard locks are
+            // still held, so WAL order matches apply order on shared shards.
+            inner
+                .wal
+                .log_puts(keys.iter().copied().zip(out.iter().map(|v| v.as_slice())))?;
+            let apply = |shard: &mut MemTable, positions: &[usize]| {
+                for &i in positions {
+                    shard.put(keys[i], out[i].clone());
+                    self.block_cache.invalidate(keys[i]);
+                }
             };
-            let new_value = f(i, current.as_deref());
-            overlay.insert(key, new_value.clone());
-            out[i] = new_value;
+            if self.write_executor.workers_for(groups.len(), keys.len()) <= 1 {
+                for (guard, (_, positions)) in guards.iter_mut().zip(&groups) {
+                    apply(guard, positions);
+                }
+            } else {
+                let jobs: Vec<_> = guards
+                    .iter_mut()
+                    .zip(&groups)
+                    .map(|(guard, (_, positions))| {
+                        let apply = &apply;
+                        let shard: &mut MemTable = guard;
+                        move || apply(shard, positions)
+                    })
+                    .collect();
+                self.write_executor.execute(jobs, keys.len());
+            }
+            inner.wal.commit()?;
         }
-        inner
-            .wal
-            .log_puts(keys.iter().copied().zip(out.iter().map(|v| v.as_slice())))?;
-        for (&key, value) in keys.iter().zip(&out) {
-            inner.memtable.put(key, value.clone());
-        }
-        // One group-commit sync acknowledges the whole batch. The budget
-        // check runs only after it (cf. `write_batch`): a mid-batch flush
-        // would rotate away the WAL that covers the batch's earlier entries.
-        inner.wal.commit()?;
-        if inner.memtable.bytes() >= self.memtable_budget {
-            self.flush_memtable(&mut inner)?;
-        }
+        // Budget check after the ack (a mid-batch flush would rotate away the
+        // WAL covering the batch) and outside the shard locks.
+        self.maybe_flush()?;
         Ok(out)
     }
 
     fn delete(&self, key: Key) -> StorageResult<()> {
-        self.block_cache.invalidate(key);
-        let mut inner = self.inner.write();
-        inner.wal.log_delete(key)?;
-        inner.memtable.delete(key);
-        inner.wal.commit()?;
-        if inner.memtable.bytes() >= self.memtable_budget {
-            self.flush_memtable(&mut inner)?;
-        }
-        Ok(())
+        // Thin wrapper over the batch path: one mutation entry point.
+        self.commit_entries(&[key], &[None])
     }
 
     fn exists(&self, key: Key) -> StorageResult<bool> {
@@ -538,26 +668,11 @@ impl KvStore for LsmStore {
     }
 
     fn write_batch(&self, batch: &WriteBatch) -> StorageResult<()> {
-        // Grouped fast path: one write-lock acquisition, one grouped WAL
-        // append and one group-commit sync for the whole batch. The append
-        // precedes every memtable mutation, so a failed append leaves the
-        // store untouched (no half-applied, unlogged batch) and recovery
-        // replays the batch all-or-nothing up to the torn tail.
-        let mut inner = self.inner.write();
-        inner.wal.log_batch(batch)?;
-        for (k, v) in batch.iter() {
-            self.metrics.record_upsert();
-            self.block_cache.invalidate(*k);
-            inner.memtable.put(*k, v.clone());
-        }
-        inner.wal.commit()?;
-        // One budget check after the whole batch, not per entry: a mid-batch
-        // flush would rotate away the WAL that still covers the unapplied
-        // tail of the batch. The memtable may overshoot by one batch.
-        if inner.memtable.bytes() >= self.memtable_budget {
-            self.flush_memtable(&mut inner)?;
-        }
-        Ok(())
+        // Thin wrapper over the batch path: one grouped WAL append, sharded
+        // apply, one group-commit sync (see `commit_entries`).
+        let keys: Vec<Key> = batch.iter().map(|(k, _)| *k).collect();
+        let entries: Vec<Entry> = batch.iter().map(|(_, v)| Some(v.clone())).collect();
+        self.commit_entries(&keys, &entries)
     }
 
     fn approximate_len(&self) -> usize {
@@ -590,8 +705,8 @@ impl KvStore for LsmStore {
                 merged.insert(key, entry);
             }
         }
-        for (&key, entry) in inner.memtable.iter() {
-            merged.insert(key, entry.clone());
+        for (key, entry) in inner.memtable.snapshot_sorted() {
+            merged.insert(key, entry);
         }
         self.metrics.record_repl_snapshot();
         Ok(merged

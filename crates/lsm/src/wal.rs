@@ -75,6 +75,23 @@ impl WriteAheadLog {
             .append_group(payloads.iter().map(|p| p.as_slice()))
     }
 
+    /// Append a mixed batch of puts (`Some`) and deletes (`None`) as **one**
+    /// device append — the general entry the batch-first mutation path uses;
+    /// same all-or-nothing recovery as [`WriteAheadLog::log_batch`].
+    pub fn log_entries<'a, I>(&self, entries: I) -> StorageResult<()>
+    where
+        I: Iterator<Item = (u64, Option<&'a [u8]>)>,
+    {
+        let payloads: Vec<Vec<u8>> = entries
+            .map(|(k, e)| match e {
+                Some(v) => WalOp::encode_put(k, v),
+                None => WalOp::encode_delete(k),
+            })
+            .collect();
+        self.writer
+            .append_group(payloads.iter().map(|p| p.as_slice()))
+    }
+
     /// Acknowledgement point: make everything logged so far durable under the
     /// configured mode (one sync per group under `GroupCommit`).
     pub fn commit(&self) -> StorageResult<()> {

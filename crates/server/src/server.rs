@@ -48,6 +48,7 @@ pub struct ServerBuilder {
     memory_budget: Option<usize>,
     page_size: Option<usize>,
     parallelism: Option<usize>,
+    write_shards: Option<usize>,
     io_backend: Option<IoBackend>,
     io_queue_depth: Option<usize>,
     durability: Option<DurabilityMode>,
@@ -75,6 +76,7 @@ impl ServerBuilder {
             memory_budget: None,
             page_size: None,
             parallelism: None,
+            write_shards: None,
             io_backend: None,
             io_queue_depth: None,
             durability: None,
@@ -114,6 +116,15 @@ impl ServerBuilder {
     /// Batch-executor parallelism (0 = auto, 1 = serial).
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers);
+        self
+    }
+
+    /// Write-side shard/worker count of the storage engine (0 = follow
+    /// `parallelism`, 1 = the serial single-lock write path); see
+    /// `StoreConfig::write_shards`. Overridable by `MLKV_WRITE_SHARDS` when
+    /// env overrides apply.
+    pub fn write_shards(mut self, shards: usize) -> Self {
+        self.write_shards = Some(shards);
         self
     }
 
@@ -289,6 +300,9 @@ impl ServerBuilder {
         }
         if let Some(workers) = self.parallelism {
             config = config.with_parallelism(workers);
+        }
+        if let Some(shards) = self.write_shards {
+            config = config.with_write_shards(shards);
         }
         if let Some(backend) = self.io_backend {
             config = config.with_io_backend(backend);

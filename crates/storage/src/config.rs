@@ -204,6 +204,15 @@ pub struct StoreConfig {
     /// The legacy [`StoreConfig::sync_writes`] flag is folded in by
     /// [`StoreConfig::effective_durability`].
     pub durability: DurabilityMode,
+    /// Write-side concurrency: the number of memtable shards (LSM), leaf-latch
+    /// lanes (B+tree), buffer-pool shards, and mutation workers a single
+    /// batched write (`multi_rmw` / `write_batch`) may fan out over. `0` means
+    /// "auto" (follow [`StoreConfig::parallelism`]); `1` forces the serial,
+    /// single-lock write path. Resolved by
+    /// [`StoreConfig::effective_write_shards`]; independent of the read-side
+    /// `parallelism` knob so write concurrency can be tuned (or pinned serial)
+    /// without giving up parallel reads.
+    pub write_shards: usize,
     /// Override how per-file devices are constructed (crash injection, fault
     /// injection). `None` uses the standard file/memory devices.
     pub device_factory: Option<DeviceFactory>,
@@ -242,6 +251,7 @@ impl Default for StoreConfig {
             io_backend: IoBackend::Sync,
             io_queue_depth: DEFAULT_IO_QUEUE_DEPTH,
             durability: DurabilityMode::None,
+            write_shards: 0,
             device_factory: None,
             wal_tap: None,
         }
@@ -341,6 +351,14 @@ impl StoreConfig {
         self
     }
 
+    /// Set the write-side shard/worker count (`0` = auto: follow the read
+    /// `parallelism` knob, `1` = the serial single-lock write path). See
+    /// [`StoreConfig::write_shards`].
+    pub fn with_write_shards(mut self, shards: usize) -> Self {
+        self.write_shards = shards;
+        self
+    }
+
     /// Install a custom per-file device constructor (crash/fault injection).
     pub fn with_device_factory(mut self, factory: DeviceFactory) -> Self {
         self.device_factory = Some(factory);
@@ -365,18 +383,32 @@ impl StoreConfig {
         }
     }
 
+    /// The write-side shard/worker count engines should actually build with:
+    /// `write_shards` itself when set, otherwise the read `parallelism` knob
+    /// (whose `0` still means "auto-size from the host"). A return of `0`
+    /// therefore means "auto" and a return of `1` means the serial write path.
+    pub fn effective_write_shards(&self) -> usize {
+        if self.write_shards == 0 {
+            self.parallelism
+        } else {
+            self.write_shards
+        }
+    }
+
     /// Apply the CI test-matrix environment overrides: `MLKV_IO_BACKEND`
-    /// (`sync` / `async`), `MLKV_PARALLELISM` (worker count) and
+    /// (`sync` / `async`), `MLKV_PARALLELISM` (worker count),
     /// `MLKV_DURABILITY` (`none` / `buffered` / `group[:<window>]`, see
-    /// [`DurabilityMode::parse`]). Unset or unparsable variables leave the
-    /// configuration untouched. Tests that exercise cold-path equality call
-    /// this so one binary runs under every `io_backend × parallelism` cell of
-    /// the CI matrix.
+    /// [`DurabilityMode::parse`]) and `MLKV_WRITE_SHARDS` (write-side shard
+    /// count, `0` = follow parallelism). Unset or unparsable variables leave
+    /// the configuration untouched. Tests that exercise cold-path equality
+    /// call this so one binary runs under every `io_backend × parallelism ×
+    /// write_shards` cell of the CI matrix.
     pub fn apply_env_overrides(self) -> Self {
         self.apply_overrides(
             std::env::var("MLKV_IO_BACKEND").ok().as_deref(),
             std::env::var("MLKV_PARALLELISM").ok().as_deref(),
             std::env::var("MLKV_DURABILITY").ok().as_deref(),
+            std::env::var("MLKV_WRITE_SHARDS").ok().as_deref(),
         )
     }
 
@@ -387,6 +419,7 @@ impl StoreConfig {
         io_backend: Option<&str>,
         parallelism: Option<&str>,
         durability: Option<&str>,
+        write_shards: Option<&str>,
     ) -> Self {
         if let Some(backend) = io_backend.and_then(IoBackend::parse) {
             self.io_backend = backend;
@@ -396,6 +429,9 @@ impl StoreConfig {
         }
         if let Some(mode) = durability.and_then(DurabilityMode::parse) {
             self.durability = mode;
+        }
+        if let Some(shards) = write_shards.and_then(|s| s.trim().parse::<usize>().ok()) {
+            self.write_shards = shards;
         }
         self
     }
@@ -570,7 +606,8 @@ mod tests {
             .with_simulated_read_latency(Duration::from_micros(50))
             .with_simulated_read_throughput(1 << 30)
             .with_io_coalescing(false)
-            .with_io_gap_bytes(128);
+            .with_io_gap_bytes(128)
+            .with_write_shards(2);
         assert_eq!(cfg.dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert_eq!(cfg.memory_budget, 1 << 20);
         assert_eq!(cfg.index_buckets, 128);
@@ -581,6 +618,7 @@ mod tests {
         assert_eq!(cfg.simulated_read_bytes_per_sec, 1 << 30);
         assert!(!cfg.io_coalescing);
         assert_eq!(cfg.io_gap_bytes, 128);
+        assert_eq!(cfg.write_shards, 2);
         assert_eq!(cfg.pages_in_budget(), (1 << 20) / 4096);
     }
 
@@ -610,16 +648,49 @@ mod tests {
 
     #[test]
     fn env_overrides_apply_only_when_parsable() {
-        let cfg = StoreConfig::default().apply_overrides(Some("async"), Some("4"), None);
+        let cfg = StoreConfig::default().apply_overrides(Some("async"), Some("4"), None, Some("8"));
         assert_eq!(cfg.io_backend, IoBackend::Async);
         assert_eq!(cfg.parallelism, 4);
-        let cfg = StoreConfig::default().apply_overrides(Some("bogus"), Some("not-a-number"), None);
+        assert_eq!(cfg.write_shards, 8);
+        let cfg = StoreConfig::default().apply_overrides(
+            Some("bogus"),
+            Some("not-a-number"),
+            None,
+            Some("lots"),
+        );
         assert_eq!(cfg.io_backend, IoBackend::Sync);
         assert_eq!(cfg.parallelism, 0);
+        assert_eq!(cfg.write_shards, 0);
         let cfg = StoreConfig::default()
             .with_parallelism(2)
-            .apply_overrides(None, None, None);
+            .with_write_shards(3)
+            .apply_overrides(None, None, None, None);
         assert_eq!(cfg.parallelism, 2, "unset vars leave the config untouched");
+        assert_eq!(cfg.write_shards, 3);
+    }
+
+    #[test]
+    fn write_shards_defaults_to_parallelism() {
+        let cfg = StoreConfig::default();
+        assert_eq!(cfg.write_shards, 0, "auto by default");
+        assert_eq!(cfg.effective_write_shards(), 0, "auto follows auto reads");
+        let cfg = cfg.with_parallelism(4);
+        assert_eq!(
+            cfg.effective_write_shards(),
+            4,
+            "unset write_shards follows the read parallelism knob"
+        );
+        let cfg = cfg.with_write_shards(2);
+        assert_eq!(cfg.effective_write_shards(), 2, "explicit setting wins");
+        let cfg =
+            StoreConfig::default()
+                .with_parallelism(8)
+                .apply_overrides(None, None, None, Some("1"));
+        assert_eq!(
+            cfg.effective_write_shards(),
+            1,
+            "MLKV_WRITE_SHARDS pins the write path serial under parallel reads"
+        );
     }
 
     #[test]
@@ -686,7 +757,7 @@ mod tests {
         assert_eq!(DurabilityMode::parse("group:soon"), None);
         assert_eq!(DurabilityMode::parse("fsync"), None);
 
-        let cfg = StoreConfig::default().apply_overrides(None, None, Some("group:8"));
+        let cfg = StoreConfig::default().apply_overrides(None, None, Some("group:8"), None);
         assert_eq!(
             cfg.durability,
             DurabilityMode::GroupCommit { window: 8 },
@@ -694,7 +765,7 @@ mod tests {
         );
         let cfg = StoreConfig::default()
             .with_durability(DurabilityMode::Buffered)
-            .apply_overrides(None, None, Some("bogus"));
+            .apply_overrides(None, None, Some("bogus"), None);
         assert_eq!(
             cfg.durability,
             DurabilityMode::Buffered,

@@ -74,6 +74,12 @@ pub enum ReadSource {
 /// are always applied by a single worker, in batch order).
 pub type BatchRmwFn<'a> = dyn Fn(usize, Option<&[u8]>) -> Vec<u8> + Sync + 'a;
 
+/// Callback of a per-key read-modify-write: receives the current value (or
+/// `None`) and returns the value to store. `Sync` for the same reason as
+/// [`BatchRmwFn`]: per-key mutations are thin wrappers over the batch entry
+/// points, which may run on batch-executor workers.
+pub type RmwFn<'a> = dyn Fn(Option<&[u8]>) -> Vec<u8> + Sync + 'a;
+
 /// A value together with the region it was read from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadResult {
@@ -133,7 +139,7 @@ pub trait KvStore: Send + Sync + 'static {
 
     /// Read-modify-write: apply `f` to the current value (or `None`) and store
     /// the result. Returns the new value.
-    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>>;
+    fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>>;
 
     /// Batched read-modify-write: for each position `i`, apply
     /// `f(i, current_value_of(keys[i]))` and store the result, returning the
@@ -334,7 +340,7 @@ mod tests {
         fn put(&self, key: Key, value: &[u8]) -> StorageResult<()> {
             self.0.put(key, value)
         }
-        fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+        fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
             self.0.rmw(key, f)
         }
         fn delete(&self, key: Key) -> StorageResult<()> {

@@ -52,7 +52,7 @@ pub use device::{
 pub use error::{StorageError, StorageResult};
 pub use exec::BatchExecutor;
 pub use io::{IoPlanner, PendingRead, ReadReq};
-pub use kv::{BatchRmwFn, KvStore, WriteBatch};
+pub use kv::{BatchRmwFn, KvStore, RmwFn, WriteBatch};
 pub use memstore::MemStore;
 pub use metrics::{MetricsSnapshot, StorageMetrics};
 pub use page::{Page, PageId, PAGE_SIZE};

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 
 use crate::error::{StorageError, StorageResult};
 use crate::exec::BatchExecutor;
-use crate::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource};
+use crate::kv::{BatchRmwFn, Key, KvStore, ReadResult, ReadSource, RmwFn};
 use crate::metrics::StorageMetrics;
 
 /// Sharded in-memory hash-map store.
@@ -157,7 +157,7 @@ impl KvStore for MemStore {
         Ok(())
     }
 
-    fn rmw(&self, key: Key, f: &dyn Fn(Option<&[u8]>) -> Vec<u8>) -> StorageResult<Vec<u8>> {
+    fn rmw(&self, key: Key, f: &RmwFn) -> StorageResult<Vec<u8>> {
         self.metrics.record_rmw();
         let mut shard = self.shard_for(key).write();
         let new = f(shard.get(&key).map(|v| v.as_slice()));

@@ -9,24 +9,42 @@
 //! update has many distinct schedules in which to show up while every failure
 //! stays reproducible from its seed.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use mlkv::{open_store, BackendKind, EmbeddingTable, KvStore, StoreConfig};
+use mlkv::{open_store, BackendKind, DurabilityMode, EmbeddingTable, KvStore, StoreConfig};
 
 const DIM: usize = 8;
 
+/// The persistent engines whose write paths are sharded (the in-memory
+/// baseline has no shard/WAL machinery to exercise).
+const PERSISTENT: [BackendKind; 3] = [
+    BackendKind::Faster,
+    BackendKind::RocksDbLike,
+    BackendKind::WiredTigerLike,
+];
+
+/// Base store configuration. CI's env matrix (`MLKV_IO_BACKEND` /
+/// `MLKV_PARALLELISM` / `MLKV_WRITE_SHARDS`) applies first so a matrix cell
+/// steers the defaults; the explicit knobs a test pins (a nonzero
+/// parallelism, a write-shard level under sweep) then win over the
+/// environment.
+fn store_config(parallelism: usize) -> StoreConfig {
+    let mut cfg = StoreConfig::in_memory()
+        .apply_env_overrides()
+        .with_memory_budget(1 << 20)
+        .with_page_size(4096)
+        .with_index_buckets(1 << 10);
+    if parallelism != 0 {
+        cfg = cfg.with_parallelism(parallelism);
+    }
+    cfg
+}
+
 fn store_for(kind: BackendKind, parallelism: usize) -> Arc<dyn KvStore> {
-    open_store(
-        kind,
-        StoreConfig::in_memory()
-            .with_memory_budget(1 << 20)
-            .with_page_size(4096)
-            .with_index_buckets(1 << 10)
-            .with_parallelism(parallelism),
-    )
-    .unwrap()
+    open_store(kind, store_config(parallelism)).unwrap()
 }
 
 fn table_for(kind: BackendKind, parallelism: usize) -> Arc<EmbeddingTable> {
@@ -221,5 +239,242 @@ proptest! {
         for kind in BackendKind::ALL {
             check_parallelism_equivalence(kind, &base_keys, rounds);
         }
+    }
+}
+
+/// An embedding table whose *write* path runs at `write_shards` while the
+/// read knob stays serial, so only the sharded mutation machinery varies.
+fn sharded_table(kind: BackendKind, write_shards: usize) -> Arc<EmbeddingTable> {
+    let store = open_store(kind, store_config(1).with_write_shards(write_shards)).unwrap();
+    Arc::new(
+        EmbeddingTable::builder(store)
+            .dim(DIM)
+            .staleness_bound(u32::MAX)
+            .parallelism(1)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Two concurrent writers on *disjoint* key ranges applied at every
+/// write-shard level: the final store state must be byte-identical to the
+/// serial write path. The ranges are disjoint because gradient arithmetic is
+/// floating-point — byte-identity across write-path configurations is only
+/// well-defined when no two threads race on the same key. Duplicate keys
+/// *within* one batch are still exercised (the executor splits batches into
+/// whole-key ranges, covered by `parallelism_levels_are_byte_identical`).
+fn check_write_shard_equivalence(kind: BackendKind, base_keys: &[u64], rounds: u8) {
+    let levels = [1usize, 2, 8];
+    let programs: [Vec<u64>; 2] = [
+        base_keys.to_vec(),
+        base_keys.iter().map(|k| k + 1_000).collect(),
+    ];
+    let mut finals: Vec<Vec<Option<Vec<u8>>>> = Vec::new();
+    for &shards in &levels {
+        let table = sharded_table(kind, shards);
+        let workers: Vec<_> = programs
+            .iter()
+            .map(|keys| {
+                let table = Arc::clone(&table);
+                // Tile past the executor's parallel cutoff so the sharded
+                // write path genuinely engages at shards > 1.
+                let batch: Vec<u64> = keys.iter().cycle().take(512).copied().collect();
+                std::thread::spawn(move || {
+                    for round in 0..rounds {
+                        let grad = vec![0.125f32 * (round + 1) as f32; DIM];
+                        let updates: Vec<(u64, &[f32])> =
+                            batch.iter().map(|k| (*k, grad.as_slice())).collect();
+                        table.apply_gradients(&updates, 0.1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let probe: Vec<u64> = (0..600u64).chain(1_000..1_600).collect();
+        finals.push(
+            table
+                .store()
+                .multi_get(&probe)
+                .into_iter()
+                .map(|r| r.ok())
+                .collect(),
+        );
+    }
+    for (state, &level) in finals.iter().zip(&levels).skip(1) {
+        assert_eq!(
+            &finals[0],
+            state,
+            "{}: final state diverged between write_shards=1 and write_shards={level}",
+            kind.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Concurrent `apply_gradients` at write_shards ∈ {1, 2, 8} leaves every
+    /// persistent engine byte-identical to its serial write path.
+    #[test]
+    fn write_shard_levels_are_byte_identical(
+        base_keys in proptest::collection::vec(0u64..600, 16..48),
+        rounds in 1u8..3,
+    ) {
+        for kind in PERSISTENT {
+            check_write_shard_equivalence(kind, &base_keys, rounds);
+        }
+    }
+}
+
+#[test]
+fn lsm_memtable_flush_under_concurrent_writers_loses_no_update() {
+    // A memtable budget far below the working set forces flushes *while*
+    // sharded writers are applying batches: the flush path drains all
+    // memtable shards into one SST pass, and must not lose or reorder any
+    // shard's records relative to the batches still landing.
+    let tiny = store_config(1)
+        .with_memory_budget(8 << 10)
+        .with_write_shards(4);
+    let store = open_store(BackendKind::RocksDbLike, tiny.clone()).unwrap();
+    let table = Arc::new(
+        EmbeddingTable::builder(store)
+            .dim(DIM)
+            .staleness_bound(u32::MAX)
+            .parallelism(1)
+            .build()
+            .unwrap(),
+    );
+    let rounds = 6u32;
+    let ranges: Vec<Vec<u64>> = (0..2u64)
+        .map(|t| (0..256u64).map(|k| t * 10_000 + k).collect())
+        .collect();
+    let workers: Vec<_> = ranges
+        .iter()
+        .map(|keys| {
+            let table = Arc::clone(&table);
+            let batch: Vec<u64> = keys.iter().cycle().take(512).copied().collect();
+            std::thread::spawn(move || {
+                let grad = [1.0f32; DIM];
+                for _ in 0..rounds {
+                    let updates: Vec<(u64, &[f32])> =
+                        batch.iter().map(|k| (*k, grad.as_slice())).collect();
+                    table.apply_gradients(&updates, 0.5).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(
+        table.store().metrics().snapshot().disk_writes > 0,
+        "the tiny memtable budget must force flushes mid-run"
+    );
+    // Every key occurs 512/256 times per batch, so it accumulates
+    // rounds x 2 gradients of 1.0 at lr 0.5.
+    let step = 0.5 * 2.0 * rounds as f32;
+    let reference = Arc::new(
+        EmbeddingTable::builder(open_store(BackendKind::RocksDbLike, tiny).unwrap())
+            .dim(DIM)
+            .staleness_bound(u32::MAX)
+            .parallelism(1)
+            .build()
+            .unwrap(),
+    );
+    for keys in &ranges {
+        for &k in keys {
+            let init = reference.get_one(k).unwrap();
+            let expected: Vec<f32> = init.iter().map(|x| x - step).collect();
+            let got = table.get_one(k).unwrap();
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g - e).abs() < 1e-3, "key {k}: {got:?} vs {expected:?}");
+            }
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mlkv-batchwal-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn wal_ships_one_group_per_acked_batch_in_commit_order() {
+    use std::time::Duration;
+
+    use mlkv_storage::{Shipment, WalShipper, WalTap};
+
+    // Mixed batch sizes: the 512- and 300-key batches clear the executor's
+    // parallel cutoff, so shard workers stage them concurrently — the
+    // committer must still log exactly one WAL group per acknowledged batch,
+    // published to the tap in commit order.
+    let batch_sizes = [3usize, 512, 1, 300];
+    for kind in PERSISTENT {
+        let dir = temp_dir(kind.name());
+        std::fs::remove_dir_all(&dir).ok();
+        let tap = Arc::new(WalTap::new(64));
+        let store = open_store(
+            kind,
+            StoreConfig::on_disk(&dir)
+                .apply_env_overrides()
+                .with_memory_budget(1 << 20)
+                .with_page_size(4096)
+                .with_index_buckets(1 << 10)
+                .with_parallelism(1)
+                .with_write_shards(4)
+                .with_durability(DurabilityMode::GroupCommit { window: 1 << 20 })
+                .with_wal_tap(Arc::clone(&tap)),
+        )
+        .unwrap();
+        // A shipper tracking the tap must see exactly one new group per
+        // acknowledged batch, in commit order with contiguous offsets. Frame
+        // *counts* per group are engine-specific (FASTER and the LSM log one
+        // logical frame per key; the B+tree journals physical page images),
+        // so only the logical-WAL engines pin frames == keys.
+        let mut shipper = WalShipper::new(Arc::clone(&tap), 0);
+        let mut offset = 0u64;
+        let mut next_key = 0u64;
+        for &n in &batch_sizes {
+            let keys: Vec<u64> = (next_key..next_key + n as u64).collect();
+            next_key += n as u64;
+            store
+                .multi_rmw(&keys, &|i, _| vec![(i % 251) as u8])
+                .unwrap();
+            let group = match shipper.next(Duration::from_secs(1)) {
+                Shipment::Group(g) => g,
+                other => panic!(
+                    "{}: expected the {n}-key batch's group, got {other:?}",
+                    kind.name()
+                ),
+            };
+            assert_eq!(
+                group.offset,
+                offset,
+                "{}: group out of commit order",
+                kind.name()
+            );
+            offset = group.end();
+            assert_eq!(
+                offset,
+                tap.next_offset(),
+                "{}: exactly one group per acknowledged {n}-key batch",
+                kind.name()
+            );
+            if kind != BackendKind::WiredTigerLike {
+                assert_eq!(
+                    group.frames.len(),
+                    n,
+                    "{}: one logical WAL frame per key in the batch",
+                    kind.name()
+                );
+            }
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -133,6 +133,7 @@ fn buffer_pool_faults_degrade_to_per_leaf_errors_and_recover() {
         Arc::clone(&device),
         8,
         4096,
+        1,
         async_planner(),
         Arc::new(StorageMetrics::new()),
     );
@@ -147,6 +148,7 @@ fn buffer_pool_faults_degrade_to_per_leaf_errors_and_recover() {
         device,
         4,
         4096,
+        1,
         async_planner(),
         Arc::new(StorageMetrics::new()),
     );
